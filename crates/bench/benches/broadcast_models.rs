@@ -1,0 +1,34 @@
+//! Broadcast-algorithm ablation (the mechanism behind Fig. 8): linear vs
+//! tree vs list-wise distribution cost, as pure model evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::{broadcast_time, BroadcastAlgo, NetworkModel};
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let net = NetworkModel::infiniband();
+    let mut g = c.benchmark_group("broadcast_models");
+    for dests in [1usize, 7, 15] {
+        g.bench_with_input(BenchmarkId::new("eval", dests), &dests, |bch, &d| {
+            bch.iter(|| {
+                let bytes = black_box(1u64 << 20);
+                let items = black_box(131_072u64);
+                (
+                    broadcast_time(&net, BroadcastAlgo::Linear, bytes, items, d),
+                    broadcast_time(&net, BroadcastAlgo::Tree, bytes, items, d),
+                    broadcast_time(
+                        &net,
+                        BroadcastAlgo::ListWise { per_item_s: 5e-5 },
+                        bytes,
+                        items,
+                        d,
+                    ),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Connected-components ablation: union–find vs BFS on bilayer cutoff
+//! graphs, plus the partial-components merge (Approach 3's reduce).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphops::{
+    connected_components_bfs, connected_components_uf, merge_partials, partial_components,
+};
+use mdsim::BilayerSpec;
+use std::hint::black_box;
+
+fn bilayer_edges(n: usize) -> (usize, Vec<(u32, u32)>) {
+    let b = mdsim::bilayer::generate(&BilayerSpec { n_atoms: n, ..Default::default() }, 7);
+    let edges = neighbors::neighbor_pairs(
+        &b.positions,
+        b.suggested_cutoff,
+        neighbors::SearchStrategy::CellList,
+    );
+    (n, edges)
+}
+
+fn bench_cc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("connected_components");
+    g.sample_size(20);
+    for n in [4096usize, 16384] {
+        let (n, edges) = bilayer_edges(n);
+        g.bench_with_input(BenchmarkId::new("union_find", n), &n, |bch, _| {
+            bch.iter(|| connected_components_uf(n, black_box(&edges)))
+        });
+        g.bench_with_input(BenchmarkId::new("bfs", n), &n, |bch, _| {
+            bch.iter(|| connected_components_bfs(n, black_box(&edges)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_partial_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partial_cc");
+    g.sample_size(20);
+    let (_, edges) = bilayer_edges(8192);
+    for chunks in [16usize, 64] {
+        let parts: Vec<_> = edges
+            .chunks(edges.len().div_ceil(chunks))
+            .map(partial_components)
+            .collect();
+        g.bench_with_input(BenchmarkId::new("merge", chunks), &chunks, |bch, _| {
+            bch.iter(|| merge_partials(black_box(&parts)))
+        });
+    }
+    g.bench_function("partial_of_full_edge_list", |bch| {
+        bch.iter(|| partial_components(black_box(&edges)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cc, bench_partial_merge);
+criterion_main!(benches);

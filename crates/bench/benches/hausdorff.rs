@@ -1,0 +1,29 @@
+//! Hausdorff ablation: the naive Algorithm 1 vs the early-break algorithm
+//! the paper cites as an available speedup (§2.1.1, ref [34]).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linalg::{frame_rmsd, hausdorff_early_break, hausdorff_naive};
+use mdsim::ChainSpec;
+use std::hint::black_box;
+
+fn bench_hausdorff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hausdorff");
+    g.sample_size(20);
+    for frames in [20usize, 60] {
+        let spec = ChainSpec { n_atoms: 100, n_frames: frames, stride: 1, ..ChainSpec::default() };
+        let a = mdsim::chain::generate(&spec, 1);
+        let b = mdsim::chain::generate(&spec, 2);
+        g.bench_with_input(BenchmarkId::new("naive", frames), &frames, |bch, _| {
+            bch.iter(|| hausdorff_naive(black_box(&a.frames), black_box(&b.frames), frame_rmsd))
+        });
+        g.bench_with_input(BenchmarkId::new("early_break", frames), &frames, |bch, _| {
+            bch.iter(|| {
+                hausdorff_early_break(black_box(&a.frames), black_box(&b.frames), frame_rmsd)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hausdorff);
+criterion_main!(benches);

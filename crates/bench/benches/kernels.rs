@@ -1,0 +1,46 @@
+//! Kernel micro-benchmarks: the GNU-vs-Intel-O3 contrast of Fig. 6 at the
+//! single-frame level, plus the dRMS ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linalg::{drms, frame_rmsd, frame_rmsd_blocked, Frame, Vec3};
+use std::hint::black_box;
+
+fn frame_pair(n: usize) -> (Frame, Frame) {
+    let a: Vec<Vec3> = (0..n)
+        .map(|i| Vec3::new(i as f32 * 0.37, (i % 17) as f32, (i % 5) as f32 * 1.3))
+        .collect();
+    let b: Vec<Vec3> =
+        a.iter().map(|p| Vec3::new(p.x + 0.5, p.y - 0.25, p.z + 0.125)).collect();
+    (Frame::new(a), Frame::new(b))
+}
+
+fn bench_rmsd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frame_rmsd");
+    for n in [334usize, 3341, 13364] {
+        let (a, b) = frame_pair(n);
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+            bch.iter(|| frame_rmsd(black_box(&a), black_box(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
+            bch.iter(|| frame_rmsd_blocked(black_box(&a), black_box(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("noopt(gnu)", n), &n, |bch, _| {
+            bch.iter(|| cpptraj::frame_rmsd_noopt(black_box(&a), black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_drms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("drms");
+    for n in [64usize, 256] {
+        let (a, b) = frame_pair(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| drms(black_box(&a), black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rmsd, bench_drms);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Edge-discovery ablation (the heart of Fig. 7's approach 3 vs 4):
+//! brute-force `cdist` vs BallTree vs cell list on bilayer systems of
+//! increasing size. The paper's crossover — brute force wins small, trees
+//! win large — should be visible in the scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdsim::BilayerSpec;
+use neighbors::{neighbor_pairs, SearchStrategy};
+use std::hint::black_box;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("edge_discovery");
+    g.sample_size(10);
+    for n in [1024usize, 4096, 16384] {
+        let b = mdsim::bilayer::generate(&BilayerSpec { n_atoms: n, ..Default::default() }, 7);
+        let cutoff = b.suggested_cutoff;
+        for (label, strategy) in [
+            ("brute", SearchStrategy::BruteForce),
+            ("balltree", SearchStrategy::BallTree),
+            ("celllist", SearchStrategy::CellList),
+        ] {
+            // O(n²) brute force on 16k atoms is slow; keep it but only there.
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |bch, _| {
+                bch.iter(|| neighbor_pairs(black_box(&b.positions), cutoff, strategy))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_tree_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("balltree_build");
+    g.sample_size(20);
+    for n in [4096usize, 16384] {
+        let b = mdsim::bilayer::generate(&BilayerSpec { n_atoms: n, ..Default::default() }, 3);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| neighbors::BallTree::build(black_box(&b.positions), 16))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_tree_build);
+criterion_main!(benches);

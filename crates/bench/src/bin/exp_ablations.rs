@@ -1,0 +1,109 @@
+//! Ablation sweep over the repository's design choices (DESIGN.md §6):
+//! quick wall-clock comparisons complementing the Criterion micro-benches.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin exp_ablations
+//! ```
+
+use bench::{secs, section};
+use mdsim::{BilayerSpec, ChainSpec};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    // 1. RMSD kernel builds (the Fig. 6 mechanism).
+    section("dRMS kernel: naive vs blocked vs black_box-pinned (GNU -O0)");
+    let spec = ChainSpec { n_atoms: 3341, n_frames: 40, stride: 1, ..ChainSpec::default() };
+    let a = mdsim::chain::generate(&spec, 1);
+    let b = mdsim::chain::generate(&spec, 2);
+    let pairs = 200usize;
+    let (_, t_naive) = time(|| {
+        black_box(
+            (0..pairs)
+                .map(|i| linalg::frame_rmsd(&a.frames[i % 40], &b.frames[(i * 7) % 40]))
+                .sum::<f64>(),
+        )
+    });
+    let (_, t_blocked) = time(|| {
+        black_box(
+            (0..pairs)
+                .map(|i| linalg::frame_rmsd_blocked(&a.frames[i % 40], &b.frames[(i * 7) % 40]))
+                .sum::<f64>(),
+        )
+    });
+    let (_, t_noopt) = time(|| {
+        black_box(
+            (0..pairs)
+                .map(|i| cpptraj::frame_rmsd_noopt(&a.frames[i % 40], &b.frames[(i * 7) % 40]))
+                .sum::<f64>(),
+        )
+    });
+    println!("naive   {:>10}s", secs(t_naive));
+    println!("blocked {:>10}s  ({:.2}x faster than naive)", secs(t_blocked), t_naive / t_blocked);
+    println!("noopt   {:>10}s  ({:.2}x slower than blocked)", secs(t_noopt), t_noopt / t_blocked);
+
+    // 2. Hausdorff: naive vs early-break (§2.1.1's cited speedup).
+    section("Hausdorff: naive (Algorithm 1) vs early-break [Taha & Hanbury]");
+    let spec = ChainSpec { n_atoms: 200, n_frames: 102, stride: 1, ..ChainSpec::default() };
+    let ta = mdsim::chain::generate(&spec, 3);
+    let tb = mdsim::chain::generate(&spec, 4);
+    let (h1, t_full) = time(|| linalg::hausdorff_naive(&ta.frames, &tb.frames, linalg::frame_rmsd));
+    let (h2, t_eb) = time(|| linalg::hausdorff_early_break(&ta.frames, &tb.frames, linalg::frame_rmsd));
+    assert!((h1 - h2).abs() < 1e-12);
+    println!("naive       {:>10}s", secs(t_full));
+    println!("early-break {:>10}s  ({:.2}x faster, identical value)", secs(t_eb), t_full / t_eb);
+
+    // 3. Edge discovery strategies (Fig. 7 approach 3 vs 4 mechanism).
+    section("edge discovery: cdist vs BallTree vs cell list");
+    println!("{:>8} {:>12} {:>12} {:>12}", "atoms", "brute (s)", "tree (s)", "cells (s)");
+    for n in [2048usize, 8192, 32768] {
+        let bl = mdsim::bilayer::generate(&BilayerSpec { n_atoms: n, ..Default::default() }, 7);
+        let cutoff = bl.suggested_cutoff;
+        use neighbors::{neighbor_pairs, SearchStrategy::*};
+        let (e1, t_brute) = time(|| neighbor_pairs(&bl.positions, cutoff, BruteForce));
+        let (e2, t_tree) = time(|| neighbor_pairs(&bl.positions, cutoff, BallTree));
+        let (e3, t_cells) = time(|| neighbor_pairs(&bl.positions, cutoff, CellList));
+        assert_eq!(e1, e2);
+        assert_eq!(e1, e3);
+        println!("{:>8} {:>12} {:>12} {:>12}", n, secs(t_brute), secs(t_tree), secs(t_cells));
+    }
+    println!("(paper: brute force wins small systems, trees win large — §4.3.4)");
+
+    // 4. Connected components algorithms.
+    section("connected components: union-find vs BFS vs Shiloach-Vishkin");
+    let bl = mdsim::bilayer::generate(&BilayerSpec { n_atoms: 32768, ..Default::default() }, 9);
+    let edges = neighbors::neighbor_pairs(
+        &bl.positions,
+        bl.suggested_cutoff,
+        neighbors::SearchStrategy::CellList,
+    );
+    let n = bl.n_atoms();
+    let (c1, t_uf) = time(|| graphops::connected_components_uf(n, &edges));
+    let (c2, t_bfs) = time(|| graphops::connected_components_bfs(n, &edges));
+    let (c3, t_sv) = time(|| graphops::connected_components_sv(n, &edges));
+    assert_eq!(c1, c2);
+    assert_eq!(c1, c3);
+    println!("union-find       {:>10}s  ({} components)", secs(t_uf), c1.count);
+    println!("bfs              {:>10}s", secs(t_bfs));
+    println!("shiloach-vishkin {:>10}s  ({} rounds)", secs(t_sv), graphops::sv_rounds(n, &edges));
+
+    // 5. Trajectory codecs.
+    section("trajectory codecs: MDT (raw f32) vs XTCQ (quantized varint)");
+    let spec = ChainSpec { n_atoms: 3341, n_frames: 102, stride: 1, ..ChainSpec::default() };
+    let t = mdsim::chain::generate(&spec, 5);
+    let (raw, t_mdt) = time(|| mdio::mdt::encode_mdt(&t.frames).unwrap());
+    let (packed, t_xtcq) = time(|| mdio::xtcq::encode_xtcq(&t.frames, mdio::xtcq::DEFAULT_PRECISION).unwrap());
+    println!("MDT  {:>10} bytes in {}s", raw.len(), secs(t_mdt));
+    println!(
+        "XTCQ {:>10} bytes in {}s  ({:.2}x smaller)",
+        packed.len(),
+        secs(t_xtcq),
+        raw.len() as f64 / packed.len() as f64
+    );
+}

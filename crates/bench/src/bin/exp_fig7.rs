@@ -1,0 +1,77 @@
+//! Figure 7 — Leaflet Finder: performance of the four architectural
+//! approaches on Spark, Dask and MPI4py.
+//!
+//! "Runtimes and Speedups for different system sizes over different number
+//! of cores for all approaches and frameworks." Grid: 4 approaches ×
+//! {Spark, Dask, MPI4py} × {131k, 262k, 524k, 4M atoms} × cores
+//! {32, 64, 128, 256}. Missing paper bars (memory failures) appear here as
+//! `OOM` — produced by the memory model, not hard-coded.
+//!
+//! Default scale ÷32 (131k→4k … 4M→125k atoms); the memory model still
+//! reasons at paper scale via `LfConfig::paper_atoms`.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin exp_fig7
+//! cargo run -p bench --release --bin exp_fig7 -- --scale 64   # faster
+//! ```
+
+use bench::{cores_nodes_label, secs, Opts};
+use dasklet::DaskClient;
+use mdtask_core::leaflet::{lf_dask, lf_mpi, lf_spark, LfApproach, LfConfig};
+use mdsim::{lf_dataset, LfDatasetId};
+use netsim::Cluster;
+use sparklet::SparkContext;
+use std::sync::Arc;
+
+fn main() {
+    let opts = Opts::parse(32);
+    let cores_axis = [32usize, 64, 128, 256];
+    println!("Fig. 7: Leaflet Finder on {} (atoms ÷{})", opts.machine.name, opts.scale);
+
+    for approach in LfApproach::ALL {
+        println!("\n--- {} ---", approach.label());
+        println!(
+            "{:<6} {:>9} | {:>12} {:>12} {:>12}",
+            "atoms", "cores/nd", "spark (s)", "dask (s)", "mpi4py (s)"
+        );
+        for id in LfDatasetId::ALL {
+            let system = lf_dataset(id, opts.scale, 7);
+            let positions = Arc::new(system.positions);
+            let cfg = LfConfig {
+                cutoff: system.suggested_cutoff,
+                partitions: 1024,
+                paper_atoms: id.paper_atoms(),
+                charge_io: true,
+            };
+            for &cores in &cores_axis {
+                let cluster = || Cluster::with_cores(opts.machine.clone(), cores);
+
+                let spark = lf_spark(&SparkContext::new(cluster()), Arc::clone(&positions), approach, &cfg)
+                    .map(|o| secs(o.report.makespan_s))
+                    .unwrap_or_else(|_| "OOM".into());
+                let dask = lf_dask(&DaskClient::new(cluster()), Arc::clone(&positions), approach, &cfg)
+                    .map(|o| secs(o.report.makespan_s))
+                    .unwrap_or_else(|_| "OOM".into());
+                let mpi = lf_mpi(cluster(), cores, &positions, approach, &cfg)
+                    .map(|o| secs(o.report.makespan_s))
+                    .unwrap_or_else(|_| "OOM".into());
+
+                println!(
+                    "{:<6} {:>9} | {:>12} {:>12} {:>12}",
+                    id.label(),
+                    cores_nodes_label(cores, &opts.machine),
+                    spark,
+                    dask,
+                    mpi
+                );
+            }
+        }
+    }
+    println!(
+        "\npaper shape: approach 1 worst and memory-capped (Dask ≤262k,\n\
+         Spark/MPI ≤524k); approach 2 beats 1 but cannot run 4M; approach 3\n\
+         ~20% faster than 2 for Spark/Dask and reaches 4M for Spark/MPI;\n\
+         tree-search wins on the large systems and runs 4M everywhere;\n\
+         MPI speedups ≈8 at 256 cores vs ≈4.5–5 for Spark/Dask."
+    );
+}

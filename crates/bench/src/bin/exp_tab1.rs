@@ -1,0 +1,28 @@
+//! Table 1 — Frameworks Comparison: descriptive properties of
+//! RADICAL-Pilot, Spark and Dask (plus the MPI baseline).
+//!
+//! ```sh
+//! cargo run -p bench --release --bin exp_tab1
+//! ```
+
+use mdtask_core::decision::framework_properties;
+use mdtask_core::EngineKind;
+
+fn main() {
+    println!("Table 1: Frameworks Comparison\n");
+    let engines = [EngineKind::RadicalPilot, EngineKind::Spark, EngineKind::Dask, EngineKind::Mpi];
+    let rows = framework_properties(engines[0]);
+    print!("{:<26}", "");
+    for e in engines {
+        print!("| {:<42}", e.label());
+    }
+    println!();
+    for (i, (key, _)) in rows.iter().enumerate() {
+        print!("{key:<26}");
+        for e in engines {
+            let props = framework_properties(e);
+            print!("| {:<42}", props[i].1);
+        }
+        println!();
+    }
+}

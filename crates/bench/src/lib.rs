@@ -1,0 +1,104 @@
+//! Shared harness for the experiment binaries (`exp_fig2` … `exp_tab3`).
+//!
+//! Every binary regenerates one figure or table from the paper's
+//! evaluation section, printing the same rows/series the paper reports.
+//! Times are **virtual** (simulated cluster seconds — see `netsim`);
+//! computation is real.
+//!
+//! Common flags:
+//! * `--scale N` — divide dataset sizes by `N` (default 32 for Leaflet
+//!   Finder systems, 16 for PSA ensembles; frame counts and task layouts
+//!   are never scaled). The memory model always reasons at paper scale.
+//! * `--full` — paper-sized datasets (`scale = 1`). Expect hours.
+//! * `--machine comet|wrangler` — machine profile where the paper varies
+//!   it.
+
+use netsim::{comet, wrangler, MachineProfile};
+
+/// Parsed command-line options.
+#[derive(Clone, Debug)]
+pub struct Opts {
+    pub scale: usize,
+    pub machine: MachineProfile,
+}
+
+impl Opts {
+    /// Parse `std::env::args`, with a default scale divisor.
+    pub fn parse(default_scale: usize) -> Opts {
+        let mut scale = default_scale;
+        let mut machine = wrangler();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--scale" => {
+                    scale = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--scale needs a positive integer");
+                    assert!(scale >= 1, "--scale must be >= 1");
+                }
+                "--full" => scale = 1,
+                "--machine" => {
+                    machine = match args.next().as_deref() {
+                        Some("comet") => comet(),
+                        Some("wrangler") => wrangler(),
+                        other => panic!("unknown machine {other:?}"),
+                    };
+                }
+                "--help" | "-h" => {
+                    eprintln!("flags: --scale N | --full | --machine comet|wrangler");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        Opts { scale, machine }
+    }
+}
+
+/// Print a section header.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Format seconds compactly.
+pub fn secs(t: f64) -> String {
+    if t >= 100.0 {
+        format!("{t:.0}")
+    } else if t >= 1.0 {
+        format!("{t:.2}")
+    } else {
+        format!("{t:.4}")
+    }
+}
+
+/// The paper's "Cores/Nodes" axis for Wrangler-class nodes (24/node).
+pub fn cores_nodes_label(cores: usize, profile: &MachineProfile) -> String {
+    format!("{}/{}", cores, cores.div_ceil(profile.cores_per_node))
+}
+
+/// Zero-workload tasks (the paper's `/bin/hostname`).
+pub fn zero_tasks(n: usize) -> Vec<taskframe::BagTask> {
+    (0..n).map(|i| Box::new(move |_: &taskframe::TaskCtx| i as u64) as taskframe::BagTask).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secs_formats() {
+        assert_eq!(secs(123.4), "123");
+        assert_eq!(secs(1.234), "1.23");
+        assert_eq!(secs(0.1234), "0.1234");
+    }
+
+    #[test]
+    fn cores_nodes() {
+        // Matches the paper's Wrangler axis labels (32 HT slots per node).
+        let w = wrangler();
+        assert_eq!(cores_nodes_label(256, &w), "256/8");
+        assert_eq!(cores_nodes_label(32, &w), "32/1");
+        assert_eq!(cores_nodes_label(16, &w), "16/1");
+    }
+}

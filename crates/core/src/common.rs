@@ -1,0 +1,123 @@
+//! The paper's remaining "commonly used algorithms" (§2): RMSD time
+//! series, pairwise frame distances, and sub-setting — each embarrassingly
+//! parallel over frames and expressible on any engine. Implemented here on
+//! Spark and Dask (the frameworks the paper recommends for data-parallel
+//! analysis) plus a serial reference.
+
+use dasklet::{Bag, DaskClient};
+use linalg::{rmsd_superposed, Frame};
+use mdsim::Trajectory;
+use sparklet::SparkContext;
+
+/// Which frame metric an RMSD series uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RmsdMode {
+    /// Plain positional RMSD (no superposition) — Algorithm 1's `dRMS`.
+    Plain,
+    /// Optimal-superposition RMSD (QCP), as MDAnalysis computes.
+    Superposed,
+}
+
+fn metric(mode: RmsdMode) -> fn(&Frame, &Frame) -> f64 {
+    match mode {
+        RmsdMode::Plain => linalg::frame_rmsd,
+        RmsdMode::Superposed => rmsd_superposed,
+    }
+}
+
+/// Serial RMSD of every frame against a reference frame ("RMSD is used to
+/// identify the deviation of atom positions between frames", §2).
+pub fn rmsd_series_serial(traj: &Trajectory, reference: &Frame, mode: RmsdMode) -> Vec<f64> {
+    let m = metric(mode);
+    traj.frames.iter().map(|f| m(f, reference)).collect()
+}
+
+/// RMSD series on Spark: frames partitioned into an RDD, map-only.
+pub fn rmsd_series_spark(
+    sc: &SparkContext,
+    traj: &Trajectory,
+    reference: &Frame,
+    mode: RmsdMode,
+    partitions: usize,
+) -> Vec<f64> {
+    let m = metric(mode);
+    let reference = reference.clone();
+    sc.parallelize(traj.frames.clone(), partitions)
+        .map(move |f| m(&f, &reference))
+        .collect()
+}
+
+/// RMSD series on Dask: a Bag of frames, mapped per partition.
+pub fn rmsd_series_dask(
+    client: &DaskClient,
+    traj: &Trajectory,
+    reference: &Frame,
+    mode: RmsdMode,
+    partitions: usize,
+) -> Vec<f64> {
+    let m = metric(mode);
+    let reference = reference.clone();
+    Bag::from_vec(client, traj.frames.clone(), partitions)
+        .map(move |f| m(f, &reference))
+        .compute()
+}
+
+/// Sub-setting (§2): restrict a trajectory to a selection of atom indices
+/// ("isolate parts of interest of MD simulation").
+pub fn subset_trajectory(traj: &Trajectory, indices: &[usize]) -> Trajectory {
+    Trajectory { frames: traj.frames.iter().map(|f| f.subset(indices)).collect() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdsim::ChainSpec;
+    use netsim::{laptop, Cluster};
+
+    fn traj() -> Trajectory {
+        let spec = ChainSpec { n_atoms: 30, n_frames: 24, stride: 1, ..ChainSpec::default() };
+        mdsim::chain::generate(&spec, 8)
+    }
+
+    #[test]
+    fn serial_series_starts_at_zero() {
+        let t = traj();
+        for mode in [RmsdMode::Plain, RmsdMode::Superposed] {
+            let series = rmsd_series_serial(&t, &t.frames[0], mode);
+            assert_eq!(series.len(), 24);
+            assert!(series[0] < 1e-5, "first frame vs itself ({mode:?})");
+            assert!(series[5] > 0.0, "dynamics must move atoms");
+        }
+    }
+
+    #[test]
+    fn superposed_never_exceeds_plain() {
+        let t = traj();
+        let plain = rmsd_series_serial(&t, &t.frames[0], RmsdMode::Plain);
+        let sup = rmsd_series_serial(&t, &t.frames[0], RmsdMode::Superposed);
+        for (p, s) in plain.iter().zip(&sup) {
+            assert!(s <= &(p + 1e-5), "superposed {s} > plain {p}");
+        }
+    }
+
+    #[test]
+    fn engines_match_serial() {
+        let t = traj();
+        let reference = rmsd_series_serial(&t, &t.frames[0], RmsdMode::Plain);
+        let sc = SparkContext::new(Cluster::new(laptop(), 2));
+        let spark = rmsd_series_spark(&sc, &t, &t.frames[0], RmsdMode::Plain, 4);
+        assert_eq!(spark, reference);
+        let client = DaskClient::new(Cluster::new(laptop(), 2));
+        let dask = rmsd_series_dask(&client, &t, &t.frames[0], RmsdMode::Plain, 4);
+        assert_eq!(dask, reference);
+    }
+
+    #[test]
+    fn subsetting_picks_atoms() {
+        let t = traj();
+        let sub = subset_trajectory(&t, &[0, 2, 4]);
+        assert_eq!(sub.n_atoms(), 3);
+        assert_eq!(sub.n_frames(), t.n_frames());
+        assert_eq!(sub.frames[3].positions()[1], t.frames[3].positions()[2]);
+    }
+}

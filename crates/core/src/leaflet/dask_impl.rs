@@ -1,0 +1,193 @@
+//! Leaflet Finder on Dask (`dasklet`), all four approaches.
+
+use super::gates::{check_feasible, task_mem_budget};
+use super::kernels::{block_edges, block_edges_tree, block_input_bytes, strip_edges};
+use super::{driver_components, sizes_of_groups, LfApproach, LfConfig, LfOutput};
+use crate::partition::{grid_for_tasks, plan_1d, plan_2d_grid, plan_2d_mem, Block};
+use crate::EngineKind;
+use dasklet::{DaskClient, Delayed};
+use graphops::{merge_partials, partial_components, PartialComponents};
+use linalg::Vec3;
+use std::sync::Arc;
+use taskframe::{EngineError, TaskCtx};
+
+/// Run the Leaflet Finder on Dask with the chosen approach.
+pub fn lf_dask(
+    client: &DaskClient,
+    positions: Arc<Vec<Vec3>>,
+    approach: LfApproach,
+    cfg: &LfConfig,
+) -> Result<LfOutput, EngineError> {
+    check_feasible(EngineKind::Dask, approach, cfg, client.cluster())?;
+    let n = positions.len();
+    match approach {
+        LfApproach::Broadcast1D => {
+            // Dask's list-wise scatter(broadcast=True): the expensive path
+            // Fig. 8 measures.
+            let bc = client.broadcast((*positions).clone())?;
+            let strips = plan_1d(n, cfg.partitions);
+            let cutoff = cfg.cutoff;
+            let tasks: Vec<Delayed<Vec<(u32, u32)>>> = strips
+                .iter()
+                .map(|&s| {
+                    client.delayed_after(&bc, move |all, _ctx| strip_edges(all, s, cutoff))
+                })
+                .collect();
+            let t0 = client.now();
+            let (parts, t1) = client.gather(&tasks);
+            client.note_phase("edge-discovery", t0, t1);
+            let edges: Vec<(u32, u32)> = parts.into_iter().flatten().collect();
+            let shuffle_bytes = super::edge_shuffle_bytes(edges.len() as u64);
+            let (sizes, count) = driver_cc(client, n, &edges);
+            Ok(finish(client, sizes, count, edges.len() as u64, shuffle_bytes, strips.len()))
+        }
+        LfApproach::Task2D => {
+            let blocks = plan_2d_grid(n, grid_for_tasks(cfg.partitions));
+            let n_tasks = blocks.len();
+            let tasks = edge_tasks(client, &positions, &blocks, cfg, false);
+            let t0 = client.now();
+            let (parts, t1) = client.gather(&tasks);
+            client.note_phase("edge-discovery", t0, t1);
+            let edges: Vec<(u32, u32)> = parts.into_iter().flatten().collect();
+            let shuffle_bytes = super::edge_shuffle_bytes(edges.len() as u64);
+            let (sizes, count) = driver_cc(client, n, &edges);
+            Ok(finish(client, sizes, count, edges.len() as u64, shuffle_bytes, n_tasks))
+        }
+        LfApproach::ParallelCC => {
+            let blocks =
+                plan_2d_mem(n, cfg.paper_atoms, cfg.partitions, task_mem_budget(client.cluster()));
+            run_partial_cc(client, &positions, blocks, cfg, false)
+        }
+        LfApproach::TreeSearch => {
+            let blocks = plan_2d_grid(n, grid_for_tasks(cfg.partitions));
+            run_partial_cc(client, &positions, blocks, cfg, true)
+        }
+    }
+}
+
+/// One delayed edge-discovery task per block.
+fn edge_tasks(
+    client: &DaskClient,
+    positions: &Arc<Vec<Vec3>>,
+    blocks: &[Block],
+    cfg: &LfConfig,
+    tree: bool,
+) -> Vec<Delayed<Vec<(u32, u32)>>> {
+    let net = client.cluster().profile.network;
+    blocks
+        .iter()
+        .map(|&b| {
+            let pos = Arc::clone(positions);
+            let cutoff = cfg.cutoff;
+            let charge_io = cfg.charge_io;
+            client.delayed(move |ctx: &TaskCtx| {
+                if charge_io {
+                    ctx.charge(net.transfer_time(block_input_bytes(b), false));
+                }
+                if tree {
+                    block_edges_tree(&pos, b, cutoff)
+                } else {
+                    block_edges(&pos, b, cutoff)
+                }
+            })
+        })
+        .collect()
+}
+
+/// Approaches 3–4: per-block partial components merged by a binary
+/// combine tree (Dask's natural reduction shape — no barrier).
+fn run_partial_cc(
+    client: &DaskClient,
+    positions: &Arc<Vec<Vec3>>,
+    blocks: Vec<Block>,
+    cfg: &LfConfig,
+    tree: bool,
+) -> Result<LfOutput, EngineError> {
+    let n_tasks = blocks.len();
+    let net = client.cluster().profile.network;
+    let edges_found = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let shuffle_bytes = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let t0 = client.now();
+    let mut level: Vec<Delayed<Vec<Vec<u32>>>> = blocks
+        .iter()
+        .map(|&b| {
+            let pos = Arc::clone(positions);
+            let cutoff = cfg.cutoff;
+            let charge_io = cfg.charge_io;
+            let ec = Arc::clone(&edges_found);
+            let sb = Arc::clone(&shuffle_bytes);
+            client.delayed(move |ctx: &TaskCtx| {
+                if charge_io {
+                    ctx.charge(net.transfer_time(block_input_bytes(b), false));
+                }
+                let edges = if tree {
+                    block_edges_tree(&pos, b, cutoff)
+                } else {
+                    block_edges(&pos, b, cutoff)
+                };
+                ec.fetch_add(edges.len() as u64, std::sync::atomic::Ordering::Relaxed);
+                let partial = partial_components(&edges);
+                sb.fetch_add(partial.wire_bytes(), std::sync::atomic::Ordering::Relaxed);
+                partial.components
+            })
+        })
+        .collect();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(client.combine(&[&a, &b], |vals, _| {
+                    merge_partials(&[
+                        PartialComponents { components: vals[0].clone() },
+                        PartialComponents { components: vals[1].clone() },
+                    ])
+                    .components
+                })),
+                None => next.push(a),
+            }
+        }
+        level = next;
+    }
+    let merged = match level.into_iter().next() {
+        Some(d) => {
+            let (vals, t1) = client.gather(std::slice::from_ref(&d));
+            client.note_phase("edge-discovery+partial-cc", t0, t1);
+            vals.into_iter().next().unwrap_or_default()
+        }
+        None => Vec::new(),
+    };
+    let (sizes, count) = sizes_of_groups(merged);
+    Ok(finish(
+        client,
+        sizes,
+        count,
+        edges_found.load(std::sync::atomic::Ordering::Relaxed),
+        shuffle_bytes.load(std::sync::atomic::Ordering::Relaxed),
+        n_tasks,
+    ))
+}
+
+fn driver_cc(client: &DaskClient, n: usize, edges: &[(u32, u32)]) -> (Vec<usize>, usize) {
+    let ((sizes, count), host_s) = netsim::measure(|| driver_components(n, edges));
+    client.charge_driver("connected-components", client.cluster().scale_compute(host_s));
+    (sizes, count)
+}
+
+fn finish(
+    client: &DaskClient,
+    leaflet_sizes: Vec<usize>,
+    n_components: usize,
+    edges_found: u64,
+    shuffle_bytes: u64,
+    tasks: usize,
+) -> LfOutput {
+    LfOutput {
+        leaflet_sizes,
+        n_components,
+        edges_found,
+        shuffle_bytes,
+        tasks,
+        report: client.report(),
+    }
+}

@@ -1,0 +1,164 @@
+//! Per-task edge-discovery kernels, shared by all engines.
+
+use crate::partition::{Block, Range};
+use linalg::Vec3;
+use neighbors::{BallTree, KdTree, SearchStrategy};
+
+/// Edges of one 2-D block via brute-force pairwise distances (`cdist`),
+/// returned with **global** atom indices, `i < j` guaranteed.
+pub fn block_edges(positions: &[Vec3], b: Block, cutoff: f32) -> Vec<(u32, u32)> {
+    let rows = &positions[b.row.0 as usize..b.row.1 as usize];
+    let cols = &positions[b.col.0 as usize..b.col.1 as usize];
+    if b.is_diagonal() {
+        linalg::edges_within_cutoff(rows, rows, cutoff, true)
+            .into_iter()
+            .map(|(i, j)| (b.row.0 + i, b.row.0 + j))
+            .collect()
+    } else {
+        linalg::edges_within_cutoff(rows, cols, cutoff, false)
+            .into_iter()
+            .map(|(i, j)| (b.row.0 + i, b.col.0 + j))
+            .collect()
+    }
+}
+
+/// Edges of one 2-D block via BallTree radius queries (Approach 4): build
+/// the tree over the column atoms, query each row atom.
+pub fn block_edges_tree(positions: &[Vec3], b: Block, cutoff: f32) -> Vec<(u32, u32)> {
+    block_edges_indexed(positions, b, cutoff, SearchStrategy::BallTree)
+}
+
+/// Approach 4 with a configurable spatial index (BallTree by default;
+/// KD-tree and cell lists as ablation alternatives). Brute force falls
+/// back to [`block_edges`].
+pub fn block_edges_indexed(
+    positions: &[Vec3],
+    b: Block,
+    cutoff: f32,
+    strategy: SearchStrategy,
+) -> Vec<(u32, u32)> {
+    let rows = &positions[b.row.0 as usize..b.row.1 as usize];
+    let cols = &positions[b.col.0 as usize..b.col.1 as usize];
+    let query_all = |query: &dyn Fn(Vec3) -> Vec<u32>| {
+        let mut edges = Vec::new();
+        for (i, &p) in rows.iter().enumerate() {
+            let gi = b.row.0 + i as u32;
+            for j in query(p) {
+                let gj = b.col.0 + j;
+                if gi < gj {
+                    edges.push((gi, gj));
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges
+    };
+    match strategy {
+        SearchStrategy::BruteForce => block_edges(positions, b, cutoff),
+        SearchStrategy::BallTree => {
+            let tree = BallTree::build(cols, 16);
+            query_all(&|p| tree.query_radius(p, cutoff))
+        }
+        SearchStrategy::KdTree => {
+            let tree = KdTree::build(cols, 16);
+            query_all(&|p| tree.query_radius(p, cutoff))
+        }
+        SearchStrategy::CellList => {
+            let grid = neighbors::CellList::build(cols, cutoff);
+            query_all(&|p| grid.query_radius(cols, p, cutoff))
+        }
+    }
+}
+
+/// Edges of one 1-D row strip against the **whole** system (Approach 1:
+/// every node holds a broadcast copy). Global indices, `i < j`.
+pub fn strip_edges(positions: &[Vec3], strip: Range, cutoff: f32) -> Vec<(u32, u32)> {
+    let rows = &positions[strip.0 as usize..strip.1 as usize];
+    linalg::edges_within_cutoff(rows, positions, cutoff, false)
+        .into_iter()
+        .filter_map(|(i, j)| {
+            let gi = strip.0 + i;
+            (gi < j).then_some((gi, j))
+        })
+        .collect()
+}
+
+/// Input bytes a 2-D block task must load (its row and column coordinate
+/// slices, 12 bytes per atom).
+pub fn block_input_bytes(b: Block) -> u64 {
+    let r = (b.row.1 - b.row.0) as u64;
+    let c = if b.is_diagonal() { 0 } else { (b.col.1 - b.col.0) as u64 };
+    (r + c) * 12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{plan_1d, plan_2d_grid};
+    use mdsim::{bilayer, BilayerSpec};
+
+    fn system() -> (Vec<Vec3>, f32) {
+        let b = bilayer::generate(&BilayerSpec { n_atoms: 120, ..Default::default() }, 3);
+        (b.positions, b.suggested_cutoff)
+    }
+
+    fn all_edges(pos: &[Vec3], cutoff: f32) -> Vec<(u32, u32)> {
+        linalg::edges_within_cutoff(pos, pos, cutoff, true)
+    }
+
+    #[test]
+    fn blocks_union_equals_global_edges() {
+        let (pos, cutoff) = system();
+        let mut got: Vec<(u32, u32)> = plan_2d_grid(pos.len(), 5)
+            .into_iter()
+            .flat_map(|b| block_edges(&pos, b, cutoff))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, all_edges(&pos, cutoff));
+    }
+
+    #[test]
+    fn tree_blocks_match_brute_blocks() {
+        let (pos, cutoff) = system();
+        for b in plan_2d_grid(pos.len(), 4) {
+            let mut brute = block_edges(&pos, b, cutoff);
+            brute.sort_unstable();
+            assert_eq!(block_edges_tree(&pos, b, cutoff), brute, "block {b:?}");
+        }
+    }
+
+    #[test]
+    fn every_index_strategy_matches_brute() {
+        use neighbors::SearchStrategy::*;
+        let (pos, cutoff) = system();
+        for b in plan_2d_grid(pos.len(), 3) {
+            let mut brute = block_edges(&pos, b, cutoff);
+            brute.sort_unstable();
+            for strategy in [BruteForce, BallTree, KdTree, CellList] {
+                assert_eq!(
+                    super::block_edges_indexed(&pos, b, cutoff, strategy),
+                    brute,
+                    "block {b:?} via {strategy:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strips_union_equals_global_edges() {
+        let (pos, cutoff) = system();
+        let mut got: Vec<(u32, u32)> = plan_1d(pos.len(), 7)
+            .into_iter()
+            .flat_map(|s| strip_edges(&pos, s, cutoff))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, all_edges(&pos, cutoff));
+    }
+
+    #[test]
+    fn input_bytes() {
+        use crate::partition::Block;
+        assert_eq!(block_input_bytes(Block { row: (0, 10), col: (10, 30) }), 30 * 12);
+        assert_eq!(block_input_bytes(Block { row: (0, 10), col: (0, 10) }), 10 * 12);
+    }
+}

@@ -1,0 +1,162 @@
+//! Leaflet Finder on MPI (`mpilike`), all four approaches.
+//!
+//! SPMD structure per approach (§4.3): Approach 1 — `MPI_Bcast` of the
+//! system, per-rank strip loops, edge list gathered to rank 0, CC at rank
+//! 0; Approaches 2–4 — blocks round-robin over ranks, edge lists or
+//! partial components gathered to rank 0 which reduces.
+
+use super::gates::{check_feasible, task_mem_budget};
+use super::kernels::{block_edges, block_edges_tree, block_input_bytes, strip_edges};
+use super::{driver_components, sizes_of_groups, LfApproach, LfConfig, LfOutput};
+use crate::partition::{grid_for_tasks, plan_1d, plan_2d_grid, plan_2d_mem, Block};
+use crate::EngineKind;
+use graphops::{merge_partials, partial_components, PartialComponents};
+use linalg::Vec3;
+use netsim::Cluster;
+use taskframe::EngineError;
+
+/// Per-rank result shipped to rank 0.
+type RankOut = (Vec<(u32, u32)>, Vec<Vec<u32>>, u64);
+
+/// Run the Leaflet Finder on MPI with `world` ranks.
+pub fn lf_mpi(
+    cluster: Cluster,
+    world: usize,
+    positions: &[Vec3],
+    approach: LfApproach,
+    cfg: &LfConfig,
+) -> Result<LfOutput, EngineError> {
+    check_feasible(EngineKind::Mpi, approach, cfg, &cluster)?;
+    let n = positions.len();
+    let blocks: Vec<Block> = match approach {
+        LfApproach::Broadcast1D => Vec::new(),
+        LfApproach::Task2D | LfApproach::TreeSearch => {
+            plan_2d_grid(n, grid_for_tasks(cfg.partitions))
+        }
+        LfApproach::ParallelCC => {
+            plan_2d_mem(n, cfg.paper_atoms, cfg.partitions, task_mem_budget(&cluster))
+        }
+    };
+    let strips = plan_1d(n, cfg.partitions);
+    let n_tasks = if approach == LfApproach::Broadcast1D { strips.len() } else { blocks.len() };
+    let net = cluster.profile.network;
+    let scale = cluster.profile.core_efficiency;
+
+    let out = mpilike::run(cluster.clone(), world, |comm| {
+        let t_start = comm.clock();
+        // Approach 1 broadcasts the whole system; the others ship only the
+        // per-rank block slices (charged as I/O below).
+        let local_positions: Vec<Vec3> = if approach == LfApproach::Broadcast1D {
+            let v = if comm.rank() == 0 { Some(positions.to_vec()) } else { None };
+            comm.bcast(0, v)
+        } else {
+            positions.to_vec() // pre-partitioned: ranks read their slices
+        };
+        let t_bcast = comm.clock();
+
+        let (edges, partials, found): RankOut = match approach {
+            LfApproach::Broadcast1D => {
+                let mine: Vec<_> =
+                    strips.iter().copied().skip(comm.rank()).step_by(comm.world()).collect();
+                let edges: Vec<(u32, u32)> = comm.compute(|| {
+                    mine.iter()
+                        .flat_map(|&s| strip_edges(&local_positions, s, cfg.cutoff))
+                        .collect()
+                });
+                let found = edges.len() as u64;
+                (edges, Vec::new(), found)
+            }
+            LfApproach::Task2D => {
+                let mine: Vec<_> =
+                    blocks.iter().copied().skip(comm.rank()).step_by(comm.world()).collect();
+                if cfg.charge_io {
+                    let bytes: u64 = mine.iter().map(|&b| block_input_bytes(b)).sum();
+                    comm.charge(net.transfer_time(bytes, false));
+                }
+                let edges: Vec<(u32, u32)> = comm.compute(|| {
+                    mine.iter()
+                        .flat_map(|&b| block_edges(&local_positions, b, cfg.cutoff))
+                        .collect()
+                });
+                let found = edges.len() as u64;
+                (edges, Vec::new(), found)
+            }
+            LfApproach::ParallelCC | LfApproach::TreeSearch => {
+                let mine: Vec<_> =
+                    blocks.iter().copied().skip(comm.rank()).step_by(comm.world()).collect();
+                if cfg.charge_io {
+                    let bytes: u64 = mine.iter().map(|&b| block_input_bytes(b)).sum();
+                    comm.charge(net.transfer_time(bytes, false));
+                }
+                let (partial, found) = comm.compute(|| {
+                    let mut found = 0u64;
+                    let parts: Vec<PartialComponents> = mine
+                        .iter()
+                        .map(|&b| {
+                            let edges = if approach == LfApproach::TreeSearch {
+                                block_edges_tree(&local_positions, b, cfg.cutoff)
+                            } else {
+                                block_edges(&local_positions, b, cfg.cutoff)
+                            };
+                            found += edges.len() as u64;
+                            partial_components(&edges)
+                        })
+                        .collect();
+                    (merge_partials(&parts).components, found)
+                });
+                (Vec::new(), partial, found)
+            }
+        };
+        let t_edges = comm.clock();
+        let gathered = comm.gather(0, (edges, partials, found));
+        (gathered, t_start, t_bcast, t_edges)
+    });
+
+    // Rank 0 reduces; rank order is stable so the result is deterministic.
+    let mut all_edges: Vec<(u32, u32)> = Vec::new();
+    let mut all_partials: Vec<PartialComponents> = Vec::new();
+    let mut edges_found = 0u64;
+    let mut shuffle_bytes = 0u64;
+    let mut t_bcast_max = 0.0f64;
+    let mut t_edges_max = 0.0f64;
+    let mut t_start_min = f64::INFINITY;
+    for (gathered, t_start, t_bcast, t_edges) in &out.results {
+        t_start_min = t_start_min.min(*t_start);
+        t_bcast_max = t_bcast_max.max(*t_bcast);
+        t_edges_max = t_edges_max.max(*t_edges);
+        if let Some(rank_outs) = gathered {
+            for (edges, partials, found) in rank_outs {
+                shuffle_bytes += super::edge_shuffle_bytes(edges.len() as u64)
+                    + PartialComponents { components: partials.clone() }.wire_bytes();
+                all_edges.extend_from_slice(edges);
+                all_partials.push(PartialComponents { components: partials.clone() });
+                edges_found += found;
+            }
+        }
+    }
+
+    let ((sizes, count), host_s) = netsim::measure(|| match approach {
+        LfApproach::Broadcast1D | LfApproach::Task2D => driver_components(n, &all_edges),
+        LfApproach::ParallelCC | LfApproach::TreeSearch => {
+            sizes_of_groups(merge_partials(&all_partials).components)
+        }
+    });
+
+    let mut report = out.report;
+    if approach == LfApproach::Broadcast1D {
+        report.push_phase("broadcast", t_start_min, t_bcast_max);
+    }
+    report.push_phase("edge-discovery", t_bcast_max, t_edges_max);
+    let cc_s = host_s / scale;
+    report.push_phase("connected-components", report.makespan_s, report.makespan_s + cc_s);
+    report.makespan_s += cc_s;
+
+    Ok(LfOutput {
+        leaflet_sizes: sizes,
+        n_components: count,
+        edges_found,
+        shuffle_bytes,
+        tasks: n_tasks,
+        report,
+    })
+}

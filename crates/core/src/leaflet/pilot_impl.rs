@@ -1,0 +1,84 @@
+//! Leaflet Finder on RADICAL-Pilot — Approach 2 only, the combination the
+//! paper evaluates (Fig. 9). Block coordinate slices are *really* encoded
+//! and staged through the filesystem (RP's only data path), edge lists are
+//! returned to the client, and the client computes connected components.
+
+use super::gates::check_feasible;
+use super::kernels::block_edges;
+use super::{driver_components, LfConfig, LfOutput};
+use crate::codec;
+use crate::partition::{grid_for_tasks, plan_2d_grid, Block};
+use crate::EngineKind;
+use linalg::Vec3;
+use pilot::{Session, UnitDescription};
+use taskframe::EngineError;
+
+/// Run the Leaflet Finder (Approach 2, "Task API and 2-D Partitioning")
+/// on a pilot session.
+pub fn lf_pilot(
+    session: &Session,
+    positions: &[Vec3],
+    cfg: &LfConfig,
+) -> Result<LfOutput, EngineError> {
+    check_feasible(
+        EngineKind::RadicalPilot,
+        super::LfApproach::Task2D,
+        cfg,
+        session.cluster(),
+    )?;
+    let n = positions.len();
+    let blocks = plan_2d_grid(n, grid_for_tasks(cfg.partitions));
+    let n_tasks = blocks.len();
+    let cutoff = cfg.cutoff;
+    let units: Vec<UnitDescription<Vec<(u32, u32)>>> = blocks
+        .iter()
+        .map(|&b| {
+            let rows = &positions[b.row.0 as usize..b.row.1 as usize];
+            let cols = &positions[b.col.0 as usize..b.col.1 as usize];
+            let input = codec::encode_point_pair(rows, cols);
+            UnitDescription::new(input, move |_ctx, staged: &[u8]| {
+                let (rows, cols) = codec::decode_point_pair(staged);
+                // Re-derive global indices from the block ranges.
+                let local = Block {
+                    row: (0, rows.len() as u32),
+                    col: (rows.len() as u32, (rows.len() + cols.len()) as u32),
+                };
+                let mut joined = rows;
+                joined.extend_from_slice(&cols);
+                let edges = if b.is_diagonal() {
+                    block_edges(&joined, Block { row: local.row, col: local.row }, cutoff)
+                } else {
+                    block_edges(&joined, local, cutoff)
+                };
+                edges
+                    .into_iter()
+                    .map(|(i, j)| {
+                        let gi = b.row.0 + i;
+                        let gj = if b.is_diagonal() {
+                            b.row.0 + j
+                        } else {
+                            b.col.0 + (j - local.col.0)
+                        };
+                        (gi, gj)
+                    })
+                    .collect()
+            })
+        })
+        .collect();
+    let out = session.submit_and_wait(units)?;
+    let edges: Vec<(u32, u32)> = out.results.into_iter().flatten().collect();
+    let shuffle_bytes = super::edge_shuffle_bytes(edges.len() as u64);
+    let ((sizes, count), host_s) = netsim::measure(|| driver_components(n, &edges));
+    let mut report = out.report;
+    let cc_s = session.cluster().scale_compute(host_s);
+    report.push_phase("connected-components", report.makespan_s, report.makespan_s + cc_s);
+    report.makespan_s += cc_s;
+    Ok(LfOutput {
+        leaflet_sizes: sizes,
+        n_components: count,
+        edges_found: edges.len() as u64,
+        shuffle_bytes,
+        tasks: n_tasks,
+        report,
+    })
+}

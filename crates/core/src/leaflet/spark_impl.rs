@@ -1,0 +1,173 @@
+//! Leaflet Finder on Spark (`sparklet`), all four approaches.
+
+use super::gates::{check_feasible, task_mem_budget};
+use super::kernels::{block_edges, block_edges_tree, block_input_bytes, strip_edges};
+use super::{driver_components, sizes_of_groups, LfApproach, LfConfig, LfOutput};
+use crate::partition::{grid_for_tasks, plan_1d, plan_2d_grid, plan_2d_mem, Block};
+use crate::EngineKind;
+use graphops::{merge_partials, partial_components, PartialComponents};
+use linalg::Vec3;
+use sparklet::{Rdd, SparkContext};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use taskframe::{EngineError, TaskCtx};
+
+/// Run the Leaflet Finder on Spark with the chosen approach.
+pub fn lf_spark(
+    sc: &SparkContext,
+    positions: Arc<Vec<Vec3>>,
+    approach: LfApproach,
+    cfg: &LfConfig,
+) -> Result<LfOutput, EngineError> {
+    check_feasible(EngineKind::Spark, approach, cfg, sc.cluster())?;
+    let n = positions.len();
+    match approach {
+        LfApproach::Broadcast1D => {
+            let bc = sc.broadcast((*positions).clone())?;
+            let strips = plan_1d(n, cfg.partitions);
+            let n_tasks = strips.len();
+            let cutoff = cfg.cutoff;
+            let edge_count = Arc::new(AtomicU64::new(0));
+            let counter = Arc::clone(&edge_count);
+            let rdd = Rdd::from_partitions(sc.clone(), n_tasks, move |p, _ctx: &TaskCtx| {
+                let edges = strip_edges(bc.value(), strips[p], cutoff);
+                counter.fetch_add(edges.len() as u64, Ordering::Relaxed);
+                edges
+            });
+            let (edges, shuffle_bytes) = collect_edges(sc, &rdd);
+            let (sizes, count) = driver_cc(sc, n, &edges);
+            Ok(finish(sc, sizes, count, edge_count.load(Ordering::Relaxed), shuffle_bytes, n_tasks))
+        }
+        LfApproach::Task2D => {
+            let blocks = plan_2d_grid(n, grid_for_tasks(cfg.partitions));
+            let (edges, edge_count, shuffle_bytes, n_tasks) =
+                run_edge_blocks(sc, &positions, blocks, cfg, false);
+            let (sizes, count) = driver_cc(sc, n, &edges);
+            Ok(finish(sc, sizes, count, edge_count, shuffle_bytes, n_tasks))
+        }
+        LfApproach::ParallelCC => {
+            let blocks = plan_2d_mem(n, cfg.paper_atoms, cfg.partitions, task_mem_budget(sc.cluster()));
+            run_partial_cc(sc, &positions, blocks, cfg, false)
+        }
+        LfApproach::TreeSearch => {
+            let blocks = plan_2d_grid(n, grid_for_tasks(cfg.partitions));
+            run_partial_cc(sc, &positions, blocks, cfg, true)
+        }
+    }
+}
+
+/// Map stage returning raw edge lists (approaches 1–2), collected at the
+/// driver; the gathered edge-list volume is the shuffle cost of Table 2.
+fn run_edge_blocks(
+    sc: &SparkContext,
+    positions: &Arc<Vec<Vec3>>,
+    blocks: Vec<Block>,
+    cfg: &LfConfig,
+    tree: bool,
+) -> (Vec<(u32, u32)>, u64, u64, usize) {
+    let n_tasks = blocks.len();
+    let cutoff = cfg.cutoff;
+    let charge_io = cfg.charge_io;
+    let net = sc.cluster().profile.network;
+    let pos = Arc::clone(positions);
+    let rdd = Rdd::from_partitions(sc.clone(), n_tasks, move |p, ctx: &TaskCtx| {
+        let b = blocks[p];
+        if charge_io {
+            ctx.charge(net.transfer_time(block_input_bytes(b), false));
+        }
+        if tree {
+            block_edges_tree(&pos, b, cutoff)
+        } else {
+            block_edges(&pos, b, cutoff)
+        }
+    });
+    let (edges, shuffle_bytes) = collect_edges(sc, &rdd);
+    let count = edges.len() as u64;
+    (edges, count, shuffle_bytes, n_tasks)
+}
+
+fn collect_edges(sc: &SparkContext, rdd: &Rdd<(u32, u32)>) -> (Vec<(u32, u32)>, u64) {
+    let t0 = sc.now();
+    let edges = rdd.collect();
+    let t1 = sc.now();
+    sc.note_phase("edge-discovery", t0, t1);
+    let bytes = super::edge_shuffle_bytes(edges.len() as u64);
+    (edges, bytes)
+}
+
+/// Approaches 3–4: map computes partial components; Spark's `reduce`
+/// merges them (one partial per task crosses the wire — Table 2's O(n)
+/// shuffle instead of O(E)).
+fn run_partial_cc(
+    sc: &SparkContext,
+    positions: &Arc<Vec<Vec3>>,
+    blocks: Vec<Block>,
+    cfg: &LfConfig,
+    tree: bool,
+) -> Result<LfOutput, EngineError> {
+    let n_tasks = blocks.len();
+    let cutoff = cfg.cutoff;
+    let charge_io = cfg.charge_io;
+    let net = sc.cluster().profile.network;
+    let pos = Arc::clone(positions);
+    let edge_count = Arc::new(AtomicU64::new(0));
+    let shuffle_bytes = Arc::new(AtomicU64::new(0));
+    let (ec, sb) = (Arc::clone(&edge_count), Arc::clone(&shuffle_bytes));
+    let rdd = Rdd::from_partitions(sc.clone(), n_tasks, move |p, ctx: &TaskCtx| {
+        let b = blocks[p];
+        if charge_io {
+            ctx.charge(net.transfer_time(block_input_bytes(b), false));
+        }
+        let edges =
+            if tree { block_edges_tree(&pos, b, cutoff) } else { block_edges(&pos, b, cutoff) };
+        ec.fetch_add(edges.len() as u64, Ordering::Relaxed);
+        let partial = partial_components(&edges);
+        sb.fetch_add(partial.wire_bytes(), Ordering::Relaxed);
+        vec![partial.components]
+    });
+    let t0 = sc.now();
+    let merged = rdd.reduce(|a, b| {
+        merge_partials(&[
+            PartialComponents { components: a },
+            PartialComponents { components: b },
+        ])
+        .components
+    });
+    let t1 = sc.now();
+    sc.note_phase("edge-discovery+partial-cc", t0, t1);
+    let (sizes, count) = sizes_of_groups(merged.unwrap_or_default());
+    Ok(finish(
+        sc,
+        sizes,
+        count,
+        edge_count.load(Ordering::Relaxed),
+        shuffle_bytes.load(Ordering::Relaxed),
+        n_tasks,
+    ))
+}
+
+/// Driver-side connected components, with its real (measured) time charged
+/// to the virtual clock.
+fn driver_cc(sc: &SparkContext, n: usize, edges: &[(u32, u32)]) -> (Vec<usize>, usize) {
+    let ((sizes, count), host_s) = netsim::measure(|| driver_components(n, edges));
+    sc.charge_driver("connected-components", sc.cluster().scale_compute(host_s));
+    (sizes, count)
+}
+
+fn finish(
+    sc: &SparkContext,
+    leaflet_sizes: Vec<usize>,
+    n_components: usize,
+    edges_found: u64,
+    shuffle_bytes: u64,
+    tasks: usize,
+) -> LfOutput {
+    LfOutput {
+        leaflet_sizes,
+        n_components,
+        edges_found,
+        shuffle_bytes,
+        tasks,
+        report: sc.report(),
+    }
+}

@@ -1,0 +1,105 @@
+//! Big Data Ogres characterization (§2): the facet/view classification the
+//! paper applies to PSA and the Leaflet Finder, as data.
+//!
+//! "Big Data Ogres are organized into four classes, called views. The
+//! possible features of a view are called facets. A combination of facets
+//! from all views defines an Ogre."
+
+/// The four Ogre views.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum View {
+    /// I/O and memory/compute ratios, iteration structure, the 5 Vs.
+    Execution,
+    /// Input collection, storage and access.
+    DataSourceAndStyle,
+    /// Algorithms and kernels.
+    Processing,
+    /// Application architecture.
+    ProblemArchitecture,
+}
+
+/// One facet assignment: a view plus the facet text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Facet {
+    pub view: View,
+    pub facet: &'static str,
+}
+
+/// The two applications characterized in §2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Application {
+    PathSimilarityAnalysis,
+    LeafletFinder,
+}
+
+/// The paper's facet assignments (§2.1.1 and §2.1.2).
+pub fn facets(app: Application) -> Vec<Facet> {
+    match app {
+        Application::PathSimilarityAnalysis => vec![
+            Facet { view: View::ProblemArchitecture, facet: "embarrassingly parallel" },
+            Facet { view: View::Processing, facet: "linear algebra kernels" },
+            Facet { view: View::Processing, facet: "O(n^2) complexity" },
+            Facet {
+                view: View::Execution,
+                facet: "medium-to-large input volume, small output",
+            },
+            Facet { view: View::Execution, facet: "HPC nodes, NumPy-class arithmetic libraries" },
+            Facet {
+                view: View::DataSourceAndStyle,
+                facet: "HPC simulation output on parallel filesystems (Lustre)",
+            },
+        ],
+        Application::LeafletFinder => vec![
+            Facet { view: View::ProblemArchitecture, facet: "MapReduce" },
+            Facet { view: View::Processing, facet: "graph algorithms (connected components)" },
+            Facet { view: View::Processing, facet: "linear algebra kernels (pairwise distances)" },
+            Facet {
+                view: View::Processing,
+                facet: "edge discovery O(n^2) or O(n log n) with trees",
+            },
+            Facet { view: View::Execution, facet: "medium input, smaller output; graph output" },
+            Facet { view: View::Execution, facet: "HPC nodes, NumPy arrays" },
+            Facet {
+                view: View::DataSourceAndStyle,
+                facet: "HPC simulation output on parallel filesystems (Lustre)",
+            },
+        ],
+    }
+}
+
+/// Does this application map naturally onto MapReduce? (Drives the
+/// "suitability" discussion of §3.4.)
+pub fn is_mapreduce_shaped(app: Application) -> bool {
+    facets(app)
+        .iter()
+        .any(|f| f.view == View::ProblemArchitecture && f.facet.contains("MapReduce"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psa_is_embarrassingly_parallel_not_mapreduce() {
+        let f = facets(Application::PathSimilarityAnalysis);
+        assert!(f.iter().any(|x| x.facet.contains("embarrassingly parallel")));
+        assert!(!is_mapreduce_shaped(Application::PathSimilarityAnalysis));
+    }
+
+    #[test]
+    fn leaflet_finder_is_mapreduce_shaped() {
+        assert!(is_mapreduce_shaped(Application::LeafletFinder));
+        let f = facets(Application::LeafletFinder);
+        assert!(f.iter().any(|x| x.facet.contains("connected components")));
+    }
+
+    #[test]
+    fn both_apps_cover_all_views_except_where_stated() {
+        for app in [Application::PathSimilarityAnalysis, Application::LeafletFinder] {
+            let f = facets(app);
+            for view in [View::Execution, View::DataSourceAndStyle, View::Processing, View::ProblemArchitecture] {
+                assert!(f.iter().any(|x| x.view == view), "{app:?} missing {view:?}");
+            }
+        }
+    }
+}

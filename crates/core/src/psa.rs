@@ -1,0 +1,313 @@
+//! Path Similarity Analysis (Algorithm 1) with the 2-D task partitioning
+//! of Algorithm 2, on every engine.
+//!
+//! "The input data, i.e. a set of trajectory files, is equally distributed
+//! over the cores, generating one task per core. Each task reads its
+//! respective input files in parallel, executes and writes the result"
+//! (§4.2). Per framework (§4.2):
+//! * RADICAL-Pilot — one Compute-Unit per task, inputs staged through the
+//!   shared filesystem (*really* serialized and written here);
+//! * Spark — an RDD with one partition per task, executed in a map;
+//! * Dask — one delayed function per task;
+//! * MPI — each task executed by a process (round-robin over ranks).
+
+use crate::codec;
+use crate::partition::{plan_psa_2d, Block};
+use dasklet::{DaskClient, Delayed};
+use linalg::{hausdorff_naive, DistanceMatrix};
+use mdsim::Trajectory;
+use netsim::{Cluster, SimReport};
+use pilot::{Session, UnitDescription};
+use sparklet::SparkContext;
+use std::sync::Arc;
+use taskframe::{EngineError, TaskCtx};
+
+/// PSA job parameters.
+#[derive(Clone, Debug)]
+pub struct PsaConfig {
+    /// Number of trajectory groups `k` (Algorithm 2): the job runs `k²`
+    /// tasks. The paper picks `k` so that `k²` ≈ core count.
+    pub groups: usize,
+    /// Charge each task the (virtual) time to read its trajectory slice
+    /// from shared storage, as the paper's file-per-task layout did.
+    pub charge_io: bool,
+}
+
+impl PsaConfig {
+    /// `k` such that `k²` is at least `cores` (one task per core, §4.2).
+    pub fn for_cores(cores: usize) -> Self {
+        let mut k = (cores as f64).sqrt().floor() as usize;
+        k = k.max(1);
+        while k * k < cores {
+            k += 1;
+        }
+        PsaConfig { groups: k, charge_io: true }
+    }
+}
+
+/// Result of a PSA run: the real all-pairs Hausdorff matrix and the
+/// simulated execution report.
+pub struct PsaOutput {
+    pub distances: DistanceMatrix,
+    pub report: SimReport,
+}
+
+/// Serial reference (Algorithm 1 verbatim).
+pub fn psa_serial(ensemble: &[Trajectory]) -> DistanceMatrix {
+    let n = ensemble.len();
+    let mut d = DistanceMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            d.set(i, j, hausdorff_naive(&ensemble[i].frames, &ensemble[j].frames, linalg::frame_rmsd));
+        }
+    }
+    d
+}
+
+/// The per-task kernel: all Hausdorff distances of one 2-D block,
+/// executed serially (Algorithm 2 step 3).
+fn block_distances(ensemble: &[Trajectory], b: Block) -> Vec<(u32, u32, f64)> {
+    let mut out = Vec::with_capacity(((b.row.1 - b.row.0) * (b.col.1 - b.col.0)) as usize);
+    for i in b.row.0..b.row.1 {
+        for j in b.col.0..b.col.1 {
+            let h = hausdorff_naive(
+                &ensemble[i as usize].frames,
+                &ensemble[j as usize].frames,
+                linalg::frame_rmsd,
+            );
+            out.push((i, j, h));
+        }
+    }
+    out
+}
+
+/// Bytes a task must read from storage for block `b`.
+fn block_input_bytes(ensemble: &[Trajectory], b: Block) -> u64 {
+    let row: u64 = (b.row.0..b.row.1).map(|i| ensemble[i as usize].size_bytes()).sum();
+    let col: u64 = (b.col.0..b.col.1).map(|j| ensemble[j as usize].size_bytes()).sum();
+    row + col
+}
+
+fn assemble(n: usize, triples: impl IntoIterator<Item = (u32, u32, f64)>) -> DistanceMatrix {
+    let mut d = DistanceMatrix::zeros(n, n);
+    for (i, j, h) in triples {
+        d.set(i as usize, j as usize, h);
+    }
+    d
+}
+
+/// PSA on Spark: one RDD partition per task, map-only.
+pub fn psa_spark(sc: &SparkContext, ensemble: Arc<Vec<Trajectory>>, cfg: &PsaConfig) -> PsaOutput {
+    let n = ensemble.len();
+    let blocks = plan_psa_2d(n, cfg.groups);
+    let net = sc.cluster().profile.network;
+    let charge_io = cfg.charge_io;
+    let ens = Arc::clone(&ensemble);
+    let rdd = sparklet::Rdd::from_partitions(sc.clone(), blocks.len(), move |p, ctx: &TaskCtx| {
+        let b = blocks[p];
+        if charge_io {
+            ctx.charge(net.transfer_time(block_input_bytes(&ens, b), false));
+        }
+        block_distances(&ens, b)
+    });
+    let triples = rdd.collect();
+    PsaOutput { distances: assemble(n, triples), report: sc.report() }
+}
+
+/// PSA on Dask: one delayed function per task.
+pub fn psa_dask(client: &DaskClient, ensemble: Arc<Vec<Trajectory>>, cfg: &PsaConfig) -> PsaOutput {
+    let n = ensemble.len();
+    let blocks = plan_psa_2d(n, cfg.groups);
+    let net = client.cluster().profile.network;
+    let tasks: Vec<Delayed<Vec<(u32, u32, f64)>>> = blocks
+        .iter()
+        .map(|&b| {
+            let ens = Arc::clone(&ensemble);
+            let charge_io = cfg.charge_io;
+            client.delayed(move |ctx: &TaskCtx| {
+                if charge_io {
+                    ctx.charge(net.transfer_time(block_input_bytes(&ens, b), false));
+                }
+                block_distances(&ens, b)
+            })
+        })
+        .collect();
+    let (parts, _t) = client.gather(&tasks);
+    PsaOutput {
+        distances: assemble(n, parts.into_iter().flatten()),
+        report: client.report(),
+    }
+}
+
+/// PSA on RADICAL-Pilot: one Compute-Unit per task, inputs genuinely
+/// staged through the filesystem (encoded trajectories written to and read
+/// back from the staging area).
+pub fn psa_pilot(
+    session: &Session,
+    ensemble: &[Trajectory],
+    cfg: &PsaConfig,
+) -> Result<PsaOutput, EngineError> {
+    let n = ensemble.len();
+    let blocks = plan_psa_2d(n, cfg.groups);
+    let units: Vec<UnitDescription<Vec<(u32, u32, f64)>>> = blocks
+        .iter()
+        .map(|&b| {
+            let rows: Vec<&Trajectory> =
+                (b.row.0..b.row.1).map(|i| &ensemble[i as usize]).collect();
+            let cols: Vec<&Trajectory> =
+                (b.col.0..b.col.1).map(|j| &ensemble[j as usize]).collect();
+            let mut input = codec::encode_trajectories(&rows);
+            input.extend_from_slice(&codec::encode_trajectories(&cols));
+            // Remember the split point so the unit can decode both groups.
+            let row_len = codec::encode_trajectories(&rows).len();
+            UnitDescription::new(input, move |_ctx, staged: &[u8]| {
+                let rows = codec::decode_trajectories(&staged[..row_len]);
+                let cols = codec::decode_trajectories(&staged[row_len..]);
+                let mut out = Vec::new();
+                for (di, ti) in rows.iter().enumerate() {
+                    for (dj, tj) in cols.iter().enumerate() {
+                        let h = hausdorff_naive(&ti.frames, &tj.frames, linalg::frame_rmsd);
+                        out.push((b.row.0 + di as u32, b.col.0 + dj as u32, h));
+                    }
+                }
+                out
+            })
+        })
+        .collect();
+    let out = session.submit_and_wait(units)?;
+    Ok(PsaOutput {
+        distances: assemble(n, out.results.into_iter().flatten()),
+        report: out.report,
+    })
+}
+
+/// PSA on MPI: blocks round-robin over ranks, gather at rank 0.
+pub fn psa_mpi(
+    cluster: Cluster,
+    world: usize,
+    ensemble: &[Trajectory],
+    cfg: &PsaConfig,
+) -> PsaOutput {
+    let n = ensemble.len();
+    let blocks = plan_psa_2d(n, cfg.groups);
+    let net = cluster.profile.network;
+    let charge_io = cfg.charge_io;
+    let out = mpilike::run(cluster, world, |comm| {
+        let mine: Vec<Block> =
+            blocks.iter().copied().skip(comm.rank()).step_by(comm.world()).collect();
+        if charge_io {
+            let bytes: u64 = mine.iter().map(|&b| block_input_bytes(ensemble, b)).sum();
+            comm.charge(net.transfer_time(bytes, false));
+        }
+        let local: Vec<(u32, u32, f64)> = comm.compute(|| {
+            mine.iter().flat_map(|&b| block_distances(ensemble, b)).collect()
+        });
+        comm.gather(0, local)
+    });
+    let triples = out.results.into_iter().flatten().flatten().flatten();
+    PsaOutput { distances: assemble(n, triples), report: out.report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdsim::ChainSpec;
+    use netsim::{comet, laptop};
+
+    fn ensemble(count: usize) -> Vec<Trajectory> {
+        let spec = ChainSpec { n_atoms: 10, n_frames: 5, stride: 1, ..ChainSpec::default() };
+        mdsim::chain::generate_ensemble(&spec, count, 42)
+    }
+
+    fn matrices_equal(a: &DistanceMatrix, b: &DistanceMatrix) -> bool {
+        a.rows() == b.rows()
+            && a.cols() == b.cols()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| (x - y).abs() < 1e-12)
+    }
+
+    #[test]
+    fn config_for_cores() {
+        assert_eq!(PsaConfig::for_cores(16).groups, 4);
+        assert_eq!(PsaConfig::for_cores(17).groups, 5);
+        assert_eq!(PsaConfig::for_cores(1).groups, 1);
+    }
+
+    #[test]
+    fn serial_matrix_is_symmetric_zero_diagonal() {
+        let e = ensemble(4);
+        let d = psa_serial(&e);
+        for i in 0..4 {
+            assert_eq!(d.get(i, i), 0.0);
+            for j in 0..4 {
+                assert!((d.get(i, j) - d.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn all_engines_match_serial() {
+        let e = ensemble(6);
+        let reference = psa_serial(&e);
+        let cfg = PsaConfig { groups: 3, charge_io: true };
+        let cluster = || Cluster::new(laptop(), 2);
+        let arc = Arc::new(e.clone());
+
+        let spark = psa_spark(&SparkContext::new(cluster()), Arc::clone(&arc), &cfg);
+        assert!(matrices_equal(&spark.distances, &reference), "spark mismatch");
+
+        let dask = psa_dask(&DaskClient::new(cluster()), Arc::clone(&arc), &cfg);
+        assert!(matrices_equal(&dask.distances, &reference), "dask mismatch");
+
+        let pilot_out =
+            psa_pilot(&Session::new(cluster()).unwrap(), &e, &cfg).expect("pilot runs");
+        assert!(matrices_equal(&pilot_out.distances, &reference), "pilot mismatch");
+
+        let mpi = psa_mpi(cluster(), 4, &e, &cfg);
+        assert!(matrices_equal(&mpi.distances, &reference), "mpi mismatch");
+    }
+
+    #[test]
+    fn task_counts_are_k_squared() {
+        let e = ensemble(4);
+        let cfg = PsaConfig { groups: 2, charge_io: false };
+        let sc = SparkContext::new(Cluster::new(laptop(), 1));
+        psa_spark(&sc, Arc::new(e), &cfg);
+        assert_eq!(sc.report().tasks, 4);
+    }
+
+    #[test]
+    fn block_input_bytes_counts_both_axes() {
+        // The I/O model charges exactly the bytes a task reads: all row
+        // and column trajectories of its block.
+        let e = ensemble(4); // 4 trajectories × 5 frames × 10 atoms
+        let per_traj = 5 * 10 * 12;
+        let diag = Block { row: (0, 2), col: (0, 2) };
+        assert_eq!(block_input_bytes(&e, diag), 4 * per_traj);
+        let off = Block { row: (0, 1), col: (2, 4) };
+        assert_eq!(block_input_bytes(&e, off), 3 * per_traj);
+    }
+
+    #[test]
+    fn charged_io_lands_in_task_durations() {
+        // Mechanism check with a charge (10 s/task) that dwarfs any host
+        // noise: compute_s must include it for every task.
+        let sc = SparkContext::new(Cluster::new(comet(), 1));
+        let rdd = sparklet::Rdd::from_partitions(sc.clone(), 4, |_p, ctx: &taskframe::TaskCtx| {
+            ctx.charge(10.0);
+            vec![0u32]
+        });
+        rdd.collect();
+        assert!(sc.report().compute_s >= 40.0);
+    }
+
+    #[test]
+    fn pilot_stages_real_bytes() {
+        let e = ensemble(2);
+        let session = Session::new(Cluster::new(laptop(), 1)).unwrap();
+        let out = psa_pilot(&session, &e, &PsaConfig { groups: 1, charge_io: true }).unwrap();
+        assert!(out.report.bytes_staged > 0, "pilot must stage trajectory bytes");
+    }
+}

@@ -1,0 +1,276 @@
+//! Dask Arrays: "a collection of NumPy arrays organized as a grid" (§3.2)
+//! — a 2-D blocked array of `f64` whose chunks are delayed tasks.
+//!
+//! Supports the operations the paper's discussion touches: element-wise
+//! `map_blocks`, block-wise binary ops, whole-array reductions, and a 2-D
+//! block partitioning view. It also carries Dask 0.14's documented
+//! limitation (Table 1): **"Dask Array can not deal with dynamic output
+//! shapes"** — `map_blocks` closures must preserve the chunk's element
+//! count, and this is enforced at runtime, which is precisely why the
+//! paper's Leaflet Finder returns adjacency lists through the *task* API
+//! instead ("While Dask's array supports 2-D block partitioning, it was
+//! not used for this implementation. We return the adjacency list of the
+//! graph instead of an array to fully use the capabilities of the
+//! abstraction", §4.3.2).
+
+use crate::client::{DaskClient, Delayed};
+use taskframe::TaskCtx;
+
+/// A dense row-major chunk.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Chunk {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f64>,
+}
+
+impl taskframe::Payload for Chunk {
+    fn wire_bytes(&self) -> u64 {
+        8 + 8 * self.data.len() as u64
+    }
+    fn item_count(&self) -> u64 {
+        self.data.len() as u64
+    }
+}
+
+/// A 2-D blocked array: `grid_rows × grid_cols` delayed chunks.
+pub struct DaskArray {
+    client: DaskClient,
+    grid_rows: usize,
+    grid_cols: usize,
+    /// Row-major grid of chunks.
+    chunks: Vec<Delayed<Chunk>>,
+}
+
+impl DaskArray {
+    /// Build from a dense row-major matrix, splitting into a
+    /// `grid_rows × grid_cols` grid of near-equal chunks.
+    pub fn from_dense(
+        client: &DaskClient,
+        rows: usize,
+        cols: usize,
+        data: Vec<f64>,
+        grid_rows: usize,
+        grid_cols: usize,
+    ) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        assert!(grid_rows >= 1 && grid_cols >= 1);
+        assert!(grid_rows <= rows.max(1) && grid_cols <= cols.max(1), "more blocks than elements");
+        let row_bounds = bounds(rows, grid_rows);
+        let col_bounds = bounds(cols, grid_cols);
+        let mut chunks = Vec::with_capacity(grid_rows * grid_cols);
+        for (r0, r1) in row_bounds.iter().copied() {
+            for (c0, c1) in col_bounds.iter().copied() {
+                let mut block = Vec::with_capacity((r1 - r0) * (c1 - c0));
+                for r in r0..r1 {
+                    block.extend_from_slice(&data[r * cols + c0..r * cols + c1]);
+                }
+                let chunk = Chunk { rows: r1 - r0, cols: c1 - c0, data: block };
+                chunks.push(client.delayed(move |_: &TaskCtx| chunk));
+            }
+        }
+        DaskArray { client: client.clone(), grid_rows, grid_cols, chunks }
+    }
+
+    pub fn grid_shape(&self) -> (usize, usize) {
+        (self.grid_rows, self.grid_cols)
+    }
+
+    /// Apply `f` to every chunk as an independent task.
+    ///
+    /// # Panics
+    /// Panics (when the result is computed) if `f` changes a chunk's
+    /// shape — the "dynamic output shapes" limitation of Table 1.
+    pub fn map_blocks(&self, f: impl Fn(&Chunk) -> Chunk + Clone) -> DaskArray {
+        let chunks = self
+            .chunks
+            .iter()
+            .map(|d| {
+                let f = f.clone();
+                d.then(&self.client, move |chunk, _| {
+                    let out = f(chunk);
+                    assert_eq!(
+                        (out.rows, out.cols),
+                        (chunk.rows, chunk.cols),
+                        "Dask Array cannot deal with dynamic output shapes (Table 1)"
+                    );
+                    out
+                })
+            })
+            .collect();
+        DaskArray {
+            client: self.client.clone(),
+            grid_rows: self.grid_rows,
+            grid_cols: self.grid_cols,
+            chunks,
+        }
+    }
+
+    /// Element-wise binary operation between equally-chunked arrays.
+    pub fn zip_with(&self, other: &DaskArray, f: impl Fn(f64, f64) -> f64 + Clone) -> DaskArray {
+        assert_eq!(self.grid_shape(), other.grid_shape(), "grid shape mismatch");
+        let chunks = self
+            .chunks
+            .iter()
+            .zip(&other.chunks)
+            .map(|(a, b)| {
+                let f = f.clone();
+                self.client.combine(&[a, b], move |vals: &[&Chunk], _| {
+                    let (x, y) = (vals[0], vals[1]);
+                    assert_eq!((x.rows, x.cols), (y.rows, y.cols), "chunk shape mismatch");
+                    Chunk {
+                        rows: x.rows,
+                        cols: x.cols,
+                        data: x.data.iter().zip(&y.data).map(|(&p, &q)| f(p, q)).collect(),
+                    }
+                })
+            })
+            .collect();
+        DaskArray {
+            client: self.client.clone(),
+            grid_rows: self.grid_rows,
+            grid_cols: self.grid_cols,
+            chunks,
+        }
+    }
+
+    /// Reduce every element with an associative `f` (tree reduction over
+    /// per-chunk partials). `None` for an empty array.
+    pub fn reduce(&self, f: impl Fn(f64, f64) -> f64 + Clone) -> Option<f64> {
+        let mut level: Vec<Delayed<Option<f64>>> = self
+            .chunks
+            .iter()
+            .map(|d| {
+                let f = f.clone();
+                d.then(&self.client, move |chunk, _| chunk.data.iter().copied().reduce(&f))
+            })
+            .collect();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            let mut it = level.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => {
+                        let f = f.clone();
+                        next.push(self.client.combine(&[&a, &b], move |vals, _| {
+                            match (*vals[0], *vals[1]) {
+                                (Some(x), Some(y)) => Some(f(x, y)),
+                                (x, y) => x.or(y),
+                            }
+                        }))
+                    }
+                    None => next.push(a),
+                }
+            }
+            level = next;
+        }
+        let head = level.into_iter().next()?;
+        let (vals, _) = self.client.gather(std::slice::from_ref(&head));
+        vals.into_iter().next().flatten()
+    }
+
+    /// Materialize back into a dense row-major matrix.
+    pub fn compute(&self, rows: usize, cols: usize) -> Vec<f64> {
+        let (chunks, _) = self.client.gather(&self.chunks);
+        let row_bounds = bounds(rows, self.grid_rows);
+        let col_bounds = bounds(cols, self.grid_cols);
+        let mut out = vec![0.0; rows * cols];
+        let mut it = chunks.into_iter();
+        for (r0, r1) in row_bounds.iter().copied() {
+            for (c0, c1) in col_bounds.iter().copied() {
+                let chunk = it.next().expect("grid complete");
+                assert_eq!((chunk.rows, chunk.cols), (r1 - r0, c1 - c0), "stale shape");
+                for (ri, r) in (r0..r1).enumerate() {
+                    out[r * cols + c0..r * cols + c1]
+                        .copy_from_slice(&chunk.data[ri * chunk.cols..(ri + 1) * chunk.cols]);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Split `len` into `parts` contiguous `(start, end)` bounds.
+fn bounds(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let sz = base + usize::from(i < extra);
+        out.push((start, start + sz));
+        start += sz;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{laptop, Cluster};
+
+    fn client() -> DaskClient {
+        DaskClient::new(Cluster::new(laptop(), 1))
+    }
+
+    fn iota(rows: usize, cols: usize) -> Vec<f64> {
+        (0..rows * cols).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let c = client();
+        let a = DaskArray::from_dense(&c, 6, 8, iota(6, 8), 2, 3);
+        assert_eq!(a.grid_shape(), (2, 3));
+        assert_eq!(a.compute(6, 8), iota(6, 8));
+    }
+
+    #[test]
+    fn map_blocks_elementwise() {
+        let c = client();
+        let a = DaskArray::from_dense(&c, 4, 4, iota(4, 4), 2, 2);
+        let b = a.map_blocks(|ch| Chunk {
+            rows: ch.rows,
+            cols: ch.cols,
+            data: ch.data.iter().map(|x| x * 2.0).collect(),
+        });
+        let want: Vec<f64> = iota(4, 4).into_iter().map(|x| x * 2.0).collect();
+        assert_eq!(b.compute(4, 4), want);
+    }
+
+    #[test]
+    #[should_panic(expected = "dynamic output shapes")]
+    fn dynamic_output_shapes_rejected() {
+        let c = client();
+        let a = DaskArray::from_dense(&c, 4, 4, iota(4, 4), 2, 2);
+        // Shrinking a chunk (e.g. returning only the edges found in it) is
+        // exactly what the Leaflet Finder would need — and cannot have.
+        a.map_blocks(|ch| Chunk { rows: 1, cols: 1, data: vec![ch.data[0]] });
+    }
+
+    #[test]
+    fn zip_with_adds() {
+        let c = client();
+        let a = DaskArray::from_dense(&c, 3, 5, iota(3, 5), 1, 2);
+        let b = DaskArray::from_dense(&c, 3, 5, vec![1.0; 15], 1, 2);
+        let sum = a.zip_with(&b, |x, y| x + y);
+        let want: Vec<f64> = iota(3, 5).into_iter().map(|x| x + 1.0).collect();
+        assert_eq!(sum.compute(3, 5), want);
+    }
+
+    #[test]
+    fn reduce_sums_everything() {
+        let c = client();
+        let a = DaskArray::from_dense(&c, 7, 3, iota(7, 3), 3, 2);
+        let total = a.reduce(|x, y| x + y).unwrap();
+        assert_eq!(total, (0..21).sum::<usize>() as f64);
+    }
+
+    #[test]
+    fn single_chunk_array() {
+        let c = client();
+        let a = DaskArray::from_dense(&c, 2, 2, iota(2, 2), 1, 1);
+        assert_eq!(a.reduce(f64::max), Some(3.0));
+        assert_eq!(a.compute(2, 2), iota(2, 2));
+    }
+}

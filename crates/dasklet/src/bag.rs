@@ -1,0 +1,214 @@
+//! Dask Bags: partitioned collections on top of delayed tasks.
+//!
+//! "Dask Bags are similar to Spark RDDs and are used to analyze
+//! semi-structured data" (§3.2). A `Bag<T>` is a vector of delayed
+//! partitions; `map`/`filter` submit one task per partition as soon as that
+//! partition is ready (no barrier), and `fold` builds a binary tree of
+//! combine tasks.
+
+use crate::client::{DaskClient, Delayed};
+use taskframe::Payload;
+
+/// A partitioned collection.
+pub struct Bag<T> {
+    client: DaskClient,
+    partitions: Vec<Delayed<Vec<T>>>,
+}
+
+impl<T> Bag<T>
+where
+    T: Payload + Clone + Send + Sync + 'static,
+{
+    /// Partition `data` into `n_partitions` and load it as a bag
+    /// (`dask.bag.from_sequence`).
+    pub fn from_vec(client: &DaskClient, data: Vec<T>, n_partitions: usize) -> Self {
+        assert!(n_partitions >= 1, "need at least one partition");
+        let len = data.len();
+        let base = len / n_partitions;
+        let extra = len % n_partitions;
+        let mut it = data.into_iter();
+        let mut partitions = Vec::with_capacity(n_partitions);
+        for i in 0..n_partitions {
+            let take = base + usize::from(i < extra);
+            let chunk: Vec<T> = it.by_ref().take(take).collect();
+            partitions.push(client.delayed(move |_| chunk));
+        }
+        Bag { client: client.clone(), partitions }
+    }
+
+    /// Build a bag from already-delayed partitions (used by the analysis
+    /// pipelines to make one task per pre-partitioned block).
+    pub fn from_delayed(client: &DaskClient, partitions: Vec<Delayed<Vec<T>>>) -> Self {
+        Bag { client: client.clone(), partitions }
+    }
+
+    pub fn n_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    pub fn map<U>(&self, f: impl Fn(&T) -> U + Clone) -> Bag<U>
+    where
+        U: Payload + Clone + Send + Sync + 'static,
+    {
+        self.map_partitions(move |part| part.iter().map(&f).collect())
+    }
+
+    pub fn filter(&self, f: impl Fn(&T) -> bool + Clone) -> Bag<T> {
+        self.map_partitions(move |part| part.iter().filter(|x| f(x)).cloned().collect())
+    }
+
+    /// Per-partition transformation: one dependent task per partition,
+    /// each starting as soon as *its* input partition is done.
+    pub fn map_partitions<U>(&self, f: impl Fn(&Vec<T>) -> Vec<U> + Clone) -> Bag<U>
+    where
+        U: Payload + Clone + Send + Sync + 'static,
+    {
+        let partitions = self
+            .partitions
+            .iter()
+            .map(|d| {
+                let f = f.clone();
+                d.then(&self.client, move |part, _| f(part))
+            })
+            .collect();
+        Bag { client: self.client.clone(), partitions }
+    }
+
+    /// Reduce the bag: `per_part` folds each partition to one value, then a
+    /// binary tree of `combine` tasks merges them (Dask's `fold`/
+    /// `reduction` shape — log-depth, no barrier). `None` for an empty bag.
+    pub fn fold<U>(
+        &self,
+        per_part: impl Fn(&Vec<T>) -> U + Clone,
+        combine: impl Fn(&U, &U) -> U + Clone,
+    ) -> Option<Delayed<U>>
+    where
+        U: Payload + Clone + Send + Sync + 'static,
+    {
+        let mut level: Vec<Delayed<U>> = self
+            .partitions
+            .iter()
+            .map(|d| {
+                let f = per_part.clone();
+                d.then(&self.client, move |part, _| f(part))
+            })
+            .collect();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            let mut it = level.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => {
+                        let c = combine.clone();
+                        next.push(self.client.combine(&[&a, &b], move |vals, _| {
+                            c(vals[0], vals[1])
+                        }));
+                    }
+                    None => next.push(a),
+                }
+            }
+            level = next;
+        }
+        level.into_iter().next()
+    }
+
+    /// Gather all partitions to the client, flattened in partition order.
+    pub fn compute(&self) -> Vec<T> {
+        let (parts, _t) = self.client.gather(&self.partitions);
+        parts.into_iter().flatten().collect()
+    }
+}
+
+impl<T> Bag<T>
+where
+    T: taskframe::Payload + Clone + Send + Sync + 'static,
+{
+    /// Count occurrences of each distinct element (`dask.bag.frequencies`):
+    /// per-partition counting, then a tree merge of count maps.
+    pub fn frequencies(&self) -> Vec<(T, u64)>
+    where
+        T: Eq + std::hash::Hash + Ord,
+    {
+        let folded = self.fold(
+            |part| {
+                let mut counts: Vec<(T, u64)> = Vec::new();
+                for x in part {
+                    match counts.iter_mut().find(|(y, _)| y == x) {
+                        Some((_, c)) => *c += 1,
+                        None => counts.push((x.clone(), 1)),
+                    }
+                }
+                counts
+            },
+            |a, b| {
+                let mut merged = a.clone();
+                for (x, c) in b {
+                    match merged.iter_mut().find(|(y, _)| y == x) {
+                        Some((_, acc)) => *acc += c,
+                        None => merged.push((x.clone(), *c)),
+                    }
+                }
+                merged
+            },
+        );
+        let mut out = folded.map(Delayed::into_value).unwrap_or_default();
+        out.sort();
+        out
+    }
+
+    /// The `k` largest elements by a key function (`dask.bag.topk`):
+    /// per-partition top-k, then a tree merge keeping k.
+    pub fn topk(&self, k: usize, key: impl Fn(&T) -> i64 + Clone) -> Vec<T> {
+        assert!(k >= 1, "k must be at least 1");
+        let select = {
+            let key = key.clone();
+            move |mut items: Vec<T>| -> Vec<T> {
+                items.sort_by_key(|x| std::cmp::Reverse(key(x)));
+                items.truncate(k);
+                items
+            }
+        };
+        let per_part = {
+            let select = select.clone();
+            move |part: &Vec<T>| select(part.clone())
+        };
+        let combine = move |a: &Vec<T>, b: &Vec<T>| {
+            let mut all = a.clone();
+            all.extend(b.iter().cloned());
+            select(all)
+        };
+        self.fold(per_part, combine).map(Delayed::into_value).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod ext_tests {
+    use super::*;
+    use netsim::{laptop, Cluster};
+
+    fn client() -> DaskClient {
+        DaskClient::new(Cluster::new(laptop(), 1))
+    }
+
+    #[test]
+    fn frequencies_counts_across_partitions() {
+        let c = client();
+        let bag = Bag::from_vec(&c, vec![1u32, 2, 1, 3, 1, 2], 3);
+        assert_eq!(bag.frequencies(), vec![(1, 3), (2, 2), (3, 1)]);
+    }
+
+    #[test]
+    fn topk_keeps_largest() {
+        let c = client();
+        let bag = Bag::from_vec(&c, (0..50u32).collect(), 7);
+        let top = bag.topk(3, |x| *x as i64);
+        assert_eq!(top, vec![49, 48, 47]);
+    }
+
+    #[test]
+    fn topk_with_fewer_items_than_k() {
+        let c = client();
+        let bag = Bag::from_vec(&c, vec![5u32, 9], 2);
+        assert_eq!(bag.topk(10, |x| *x as i64), vec![9, 5]);
+    }
+}

@@ -1,0 +1,263 @@
+//! The distributed client, delayed tasks and the dynamic scheduler.
+
+use netsim::{broadcast_time, Cluster, SimExecutor, SimReport};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use taskframe::{dask_profile, EngineError, FrameworkProfile, Payload, TaskCtx};
+
+struct DaskState {
+    exec: SimExecutor,
+    /// The central scheduler's serial timeline: each task submission passes
+    /// through it once.
+    sched_free: f64,
+    next_task: usize,
+}
+
+struct Inner {
+    cluster: Cluster,
+    profile: FrameworkProfile,
+    state: Mutex<DaskState>,
+}
+
+/// Client connected to a Dask-Distributed-style cluster.
+#[derive(Clone)]
+pub struct DaskClient {
+    inner: Arc<Inner>,
+}
+
+/// A computed task result carrying its virtual completion time.
+///
+/// Because the scheduler is purely dependency-driven (no barriers),
+/// executing tasks eagerly while tracking `ready_at` is timing-equivalent
+/// to building the graph first and calling `compute()`.
+pub struct Delayed<T> {
+    value: T,
+    ready: f64,
+}
+
+impl<T> Delayed<T> {
+    /// The task's (real) result.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    /// Consume into the result.
+    pub fn into_value(self) -> T {
+        self.value
+    }
+
+    /// Virtual time at which this result became available.
+    pub fn ready_at(&self) -> f64 {
+        self.ready
+    }
+}
+
+impl DaskClient {
+    /// Connect to a cluster (charges dask-ssh/scheduler startup).
+    pub fn new(cluster: Cluster) -> Self {
+        Self::with_profile(cluster, dask_profile())
+    }
+
+    pub fn with_profile(cluster: Cluster, profile: FrameworkProfile) -> Self {
+        let mut exec = SimExecutor::new(cluster.clone());
+        exec.report_mut().overhead_s += profile.startup_s;
+        exec.advance_makespan(profile.startup_s);
+        let startup = profile.startup_s;
+        DaskClient {
+            inner: Arc::new(Inner {
+                cluster,
+                profile,
+                state: Mutex::new(DaskState { exec, sched_free: startup, next_task: 0 }),
+            }),
+        }
+    }
+
+    pub fn cluster(&self) -> &Cluster {
+        &self.inner.cluster
+    }
+
+    /// Core scheduling path: run `f` as a task whose dependencies complete
+    /// at `deps_ready` and whose inputs need `dep_transfer_bytes` moved to
+    /// the worker.
+    fn submit_inner<T: Payload>(
+        &self,
+        deps_ready: f64,
+        dep_transfer_bytes: u64,
+        n_deps: usize,
+        f: impl FnOnce(&TaskCtx) -> T,
+    ) -> Delayed<T> {
+        let mut st = self.inner.state.lock();
+        let profile = &self.inner.profile;
+        let net = self.inner.cluster.profile.network;
+        // Scheduler handles this task once its deps are done.
+        let dispatch = st.sched_free.max(deps_ready) + profile.central_dispatch_s;
+        st.sched_free = dispatch;
+        // Worker fetches remote inputs (single-node clusters fetch locally).
+        let same_node = self.inner.cluster.nodes == 1;
+        let fetch = if n_deps > 0 {
+            net.transfer_time(dep_transfer_bytes, same_node)
+                + profile.per_transfer_overhead_s * n_deps as f64
+        } else {
+            0.0
+        };
+        let tctx = TaskCtx::new(st.next_task, st.next_task);
+        st.next_task += 1;
+        let (out, host_s) = netsim::measure(|| f(&tctx));
+        // Worker overhead runs on the executing core: scale it too.
+        let dur = self.inner.cluster.scale_compute(host_s + profile.worker_overhead_s)
+            + tctx.charged()
+            + profile.ser_time(out.wire_bytes());
+        let placement = st.exec.run_task(dispatch + fetch, dur);
+        let rep = st.exec.report_mut();
+        rep.overhead_s += profile.worker_overhead_s + profile.central_dispatch_s;
+        rep.comm_s += fetch;
+        Delayed { value: out, ready: placement.end }
+    }
+
+    /// Submit a leaf task (no dependencies) — `dask.delayed(f)()`.
+    pub fn delayed<T: Payload>(&self, f: impl FnOnce(&TaskCtx) -> T) -> Delayed<T> {
+        self.submit_inner(0.0, 0, 0, f)
+    }
+
+    /// Submit a task depending on several inputs.
+    pub fn combine<T: Payload, U: Payload>(
+        &self,
+        deps: &[&Delayed<T>],
+        f: impl FnOnce(&[&T], &TaskCtx) -> U,
+    ) -> Delayed<U> {
+        let deps_ready = deps.iter().map(|d| d.ready).fold(0.0, f64::max);
+        let bytes = deps.iter().map(|d| d.value.wire_bytes()).sum();
+        let values: Vec<&T> = deps.iter().map(|d| &d.value).collect();
+        self.submit_inner(deps_ready, bytes, deps.len(), move |ctx| f(&values, ctx))
+    }
+
+    /// Submit a task that depends on `dep` but needs no data transfer —
+    /// the dependency is already resident on every worker (a broadcast
+    /// value).
+    pub fn delayed_after<T: Payload, U: Payload>(
+        &self,
+        dep: &Delayed<T>,
+        f: impl FnOnce(&T, &TaskCtx) -> U,
+    ) -> Delayed<U> {
+        self.submit_inner(dep.ready, 0, 0, |ctx| f(&dep.value, ctx))
+    }
+
+    /// Pull results back to the client, in input order. Returns the values
+    /// and the virtual time at which the gather completed.
+    pub fn gather<T: Payload + Clone>(&self, ds: &[Delayed<T>]) -> (Vec<T>, f64) {
+        let mut st = self.inner.state.lock();
+        let net = self.inner.cluster.profile.network;
+        let profile = &self.inner.profile;
+        let mut t = ds.iter().map(|d| d.ready).fold(st.sched_free, f64::max);
+        for d in ds {
+            t += net.transfer_time(d.value.wire_bytes(), self.inner.cluster.nodes == 1)
+                + profile.per_transfer_overhead_s;
+        }
+        let base = ds.iter().map(|d| d.ready).fold(0.0, f64::max);
+        st.exec.report_mut().comm_s += t - base.max(st.sched_free.min(t));
+        st.exec.advance_makespan(t);
+        (ds.iter().map(|d| d.value.clone()).collect(), t)
+    }
+
+    /// Distribute per-partition data to workers (`client.scatter(list)`).
+    pub fn scatter<T: Payload>(&self, parts: Vec<T>) -> Result<Vec<Delayed<T>>, EngineError> {
+        let mut out = Vec::with_capacity(parts.len());
+        let mut st = self.inner.state.lock();
+        let net = self.inner.cluster.profile.network;
+        let profile = &self.inner.profile;
+        let mut t = st.sched_free;
+        for p in parts {
+            t += net.transfer_time(p.wire_bytes(), self.inner.cluster.nodes == 1)
+                + profile.per_transfer_overhead_s;
+            out.push(Delayed { value: p, ready: t });
+        }
+        let base = st.sched_free;
+        st.sched_free = t;
+        st.exec.advance_makespan(t);
+        st.exec.report_mut().comm_s += t - base;
+        Ok(out)
+    }
+
+    /// Replicate one value to every worker — `scatter(..., broadcast=True)`.
+    ///
+    /// Pays Dask's list-wise handling (per-element time, Fig. 8) and
+    /// per-element scheduler state against the *worker* memory budget
+    /// (`mem_per_node / cores_per_node`), reproducing the paper's failure
+    /// to broadcast the 524k-atom system (§4.3.1).
+    pub fn broadcast<T: Payload>(&self, value: T) -> Result<Delayed<T>, EngineError> {
+        let bytes = value.wire_bytes();
+        let items = value.item_count();
+        let worker_mem =
+            self.inner.cluster.profile.mem_per_node / self.inner.cluster.profile.cores_per_node as u64;
+        let required = bytes + items * crate::LISTWISE_STATE_BYTES_PER_ITEM;
+        if required > worker_mem {
+            return Err(EngineError::OutOfMemory {
+                node_mem: worker_mem,
+                required,
+                what: format!("list-wise broadcast of {items} elements"),
+            });
+        }
+        let mut st = self.inner.state.lock();
+        let dests = self.inner.cluster.nodes.saturating_sub(1);
+        let t = broadcast_time(
+            &self.inner.cluster.profile.network,
+            self.inner.profile.broadcast,
+            bytes,
+            items,
+            dests,
+        );
+        let start = st.sched_free;
+        st.sched_free += t;
+        let end = st.sched_free;
+        st.exec.advance_makespan(end);
+        let rep = st.exec.report_mut();
+        rep.comm_s += t;
+        rep.bytes_broadcast += bytes * dests.max(1) as u64;
+        rep.push_phase("broadcast", start, end);
+        Ok(Delayed { value, ready: end })
+    }
+
+    /// Charge client-side work (e.g. a final reduction on gathered
+    /// results) to the virtual clock, recorded as a named phase.
+    pub fn charge_driver(&self, phase: &str, secs: f64) {
+        assert!(secs >= 0.0, "cannot charge negative time");
+        let mut st = self.inner.state.lock();
+        // Client work begins after everything finished so far (gathers
+        // advance the makespan but not the scheduler timeline).
+        let start = st.sched_free.max(st.exec.report().makespan_s);
+        st.sched_free = start + secs;
+        let end = st.sched_free;
+        st.exec.advance_makespan(end);
+        st.exec.report_mut().push_phase(phase, start, end);
+    }
+
+    /// Record a named phase without advancing the clock.
+    pub fn note_phase(&self, phase: &str, start: f64, end: f64) {
+        let mut st = self.inner.state.lock();
+        st.exec.report_mut().push_phase(phase, start, end);
+    }
+
+    /// Current virtual frontier.
+    pub fn now(&self) -> f64 {
+        self.inner.state.lock().sched_free
+    }
+
+    /// Snapshot the simulated execution report.
+    pub fn report(&self) -> SimReport {
+        let st = self.inner.state.lock();
+        let mut r = st.exec.report().clone();
+        r.makespan_s = r.makespan_s.max(st.sched_free);
+        r
+    }
+}
+
+impl<T: Payload> Delayed<T> {
+    /// Chain a dependent task — `dask.delayed(f)(self)`.
+    pub fn then<U: Payload>(
+        &self,
+        client: &DaskClient,
+        f: impl FnOnce(&T, &TaskCtx) -> U,
+    ) -> Delayed<U> {
+        client.submit_inner(self.ready, self.value.wire_bytes(), 1, |ctx| f(&self.value, ctx))
+    }
+}

@@ -1,0 +1,162 @@
+//! Connected components over an edge list — the second stage of the Leaflet
+//! Finder (Algorithm 3, line 7).
+//!
+//! Two independent implementations (BFS over an adjacency list, and
+//! union–find) exist so each can validate the other; the union–find one is
+//! what the parallel pipeline uses.
+
+use crate::UnionFind;
+
+/// A components labelling of `n` nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Components {
+    /// `labels[v]` = smallest node id in v's component (canonical form).
+    pub labels: Vec<u32>,
+    /// Number of distinct components.
+    pub count: usize,
+}
+
+impl Components {
+    /// Group node ids by component, components ordered by their canonical
+    /// (minimum) member, members ascending.
+    pub fn groups(&self) -> Vec<Vec<u32>> {
+        let mut by_label: Vec<(u32, Vec<u32>)> = Vec::new();
+        let mut index_of: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        for (v, &l) in self.labels.iter().enumerate() {
+            let idx = *index_of.entry(l).or_insert_with(|| {
+                by_label.push((l, Vec::new()));
+                by_label.len() - 1
+            });
+            by_label[idx].1.push(v as u32);
+        }
+        by_label.sort_by_key(|(l, _)| *l);
+        by_label.into_iter().map(|(_, g)| g).collect()
+    }
+
+    /// Sizes of components, descending. For a lipid bilayer the first two
+    /// entries are the outer and inner leaflets.
+    pub fn sizes_desc(&self) -> Vec<usize> {
+        let mut sizes: Vec<usize> = self.groups().iter().map(Vec::len).collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    }
+}
+
+/// Connected components via union–find. Edges may repeat or contain
+/// self-loops; both are harmless.
+pub fn connected_components_uf(n: usize, edges: &[(u32, u32)]) -> Components {
+    let mut uf = UnionFind::new(n);
+    for &(a, b) in edges {
+        uf.union(a, b);
+    }
+    let labels = uf.canonical_labels();
+    Components { count: uf.set_count(), labels }
+}
+
+/// Connected components via BFS over an adjacency list. Reference
+/// implementation used to cross-validate the union–find path.
+pub fn connected_components_bfs(n: usize, edges: &[(u32, u32)]) -> Components {
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        if a != b {
+            adj[a as usize].push(b);
+            adj[b as usize].push(a);
+        }
+    }
+    let mut labels = vec![u32::MAX; n];
+    let mut count = 0usize;
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n as u32 {
+        if labels[start as usize] != u32::MAX {
+            continue;
+        }
+        count += 1;
+        labels[start as usize] = start;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &w in &adj[v as usize] {
+                if labels[w as usize] == u32::MAX {
+                    labels[w as usize] = start;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    Components { labels, count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn two_triangles() {
+        let edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5)];
+        let c = connected_components_uf(6, &edges);
+        assert_eq!(c.count, 2);
+        assert_eq!(c.groups(), vec![vec![0, 1, 2], vec![3, 4, 5]]);
+        assert_eq!(c.sizes_desc(), vec![3, 3]);
+    }
+
+    #[test]
+    fn isolated_nodes_are_their_own_components() {
+        let c = connected_components_uf(4, &[(1, 2)]);
+        assert_eq!(c.count, 3);
+        assert_eq!(c.labels, vec![0, 1, 1, 3]);
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_ignored() {
+        let c = connected_components_uf(3, &[(0, 0), (0, 1), (0, 1), (1, 0)]);
+        assert_eq!(c.count, 2);
+        assert_eq!(c.labels, vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn bfs_matches_uf_small() {
+        let edges = [(0, 3), (3, 7), (1, 2), (5, 6)];
+        assert_eq!(connected_components_bfs(8, &edges), connected_components_uf(8, &edges));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let c = connected_components_uf(0, &[]);
+        assert_eq!(c.count, 0);
+        assert!(c.groups().is_empty());
+    }
+
+    proptest! {
+        /// BFS and union–find must always agree: same canonical labels,
+        /// same count.
+        #[test]
+        fn bfs_equals_union_find(
+            n in 1usize..60,
+            raw_edges in prop::collection::vec((0u32..60, 0u32..60), 0..120),
+        ) {
+            let edges: Vec<(u32, u32)> = raw_edges.into_iter()
+                .map(|(a, b)| (a % n as u32, b % n as u32))
+                .collect();
+            let bfs = connected_components_bfs(n, &edges);
+            let uf = connected_components_uf(n, &edges);
+            prop_assert_eq!(bfs, uf);
+        }
+
+        /// Component count decreases by at most one per edge added.
+        #[test]
+        fn count_monotone_in_edges(
+            n in 1usize..40,
+            raw_edges in prop::collection::vec((0u32..40, 0u32..40), 1..60),
+        ) {
+            let edges: Vec<(u32, u32)> = raw_edges.into_iter()
+                .map(|(a, b)| (a % n as u32, b % n as u32))
+                .collect();
+            let mut prev = n;
+            for k in 0..=edges.len() {
+                let c = connected_components_uf(n, &edges[..k]).count;
+                prop_assert!(c <= prev && prev - c <= 1);
+                prev = c;
+            }
+        }
+    }
+}

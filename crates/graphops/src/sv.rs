@@ -1,0 +1,143 @@
+//! Shiloach–Vishkin-style connected components: the iterative
+//! hook-and-shortcut algorithm used by data-parallel CC implementations
+//! (label propagation over edge lists, O(log n) rounds). Included as an
+//! ablation against the sequential union–find path — it is the algorithm
+//! a pure MapReduce CC would run, with one full edge pass per round.
+
+use crate::components::Components;
+
+/// Connected components by iterated hooking + pointer shortcutting.
+///
+/// Returns canonical (min-id) labels, identical to
+/// [`crate::connected_components_uf`] — property-tested.
+pub fn connected_components_sv(n: usize, edges: &[(u32, u32)]) -> Components {
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    if n == 0 {
+        return Components { labels: parent, count: 0 };
+    }
+    loop {
+        let mut changed = false;
+        // Hook: point the larger root at the smaller across each edge.
+        for &(a, b) in edges {
+            let (ra, rb) = (parent[a as usize], parent[b as usize]);
+            if ra == rb {
+                continue;
+            }
+            // Only hook roots (nodes that are their own parent) to keep
+            // the forest well-formed, as SV does per round.
+            let (hi, lo) = if ra > rb { (ra, rb) } else { (rb, ra) };
+            if parent[hi as usize] == hi {
+                parent[hi as usize] = lo;
+                changed = true;
+            }
+        }
+        // Shortcut: halve every path.
+        for v in 0..n {
+            let p = parent[v];
+            let gp = parent[p as usize];
+            if parent[v] != gp {
+                parent[v] = gp;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Final full compression to roots.
+    for v in 0..n {
+        let mut r = parent[v];
+        while parent[r as usize] != r {
+            r = parent[r as usize];
+        }
+        parent[v] = r;
+    }
+    // Roots are minimum ids already (hooking always points to the
+    // smaller), so labels are canonical.
+    let mut roots: Vec<u32> = parent.clone();
+    roots.sort_unstable();
+    roots.dedup();
+    Components { count: roots.len(), labels: parent }
+}
+
+/// Number of hook/shortcut rounds SV needs on this graph (diagnostic for
+/// the ablation bench — O(log n) on typical graphs).
+pub fn sv_rounds(n: usize, edges: &[(u32, u32)]) -> usize {
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    let mut rounds = 0;
+    loop {
+        let mut changed = false;
+        for &(a, b) in edges {
+            let (ra, rb) = (parent[a as usize], parent[b as usize]);
+            if ra != rb {
+                let (hi, lo) = if ra > rb { (ra, rb) } else { (rb, ra) };
+                if parent[hi as usize] == hi {
+                    parent[hi as usize] = lo;
+                    changed = true;
+                }
+            }
+        }
+        for v in 0..n {
+            let gp = parent[parent[v] as usize];
+            if parent[v] != gp {
+                parent[v] = gp;
+                changed = true;
+            }
+        }
+        if !changed {
+            return rounds;
+        }
+        rounds += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::connected_components_uf;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_union_find_on_small_graphs() {
+        let cases: Vec<(usize, Vec<(u32, u32)>)> = vec![
+            (0, vec![]),
+            (3, vec![]),
+            (4, vec![(0, 1), (2, 3)]),
+            (6, vec![(0, 1), (1, 2), (3, 4), (4, 5), (2, 3)]),
+            (5, vec![(4, 0), (3, 0), (2, 0)]),
+        ];
+        for (n, edges) in cases {
+            assert_eq!(
+                connected_components_sv(n, &edges),
+                connected_components_uf(n, &edges),
+                "n={n} edges={edges:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_takes_logarithmic_rounds() {
+        // A path graph is SV's classic stress case.
+        let n = 1024;
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let rounds = sv_rounds(n, &edges);
+        assert!(rounds <= 2 * (n as f64).log2().ceil() as usize + 2, "rounds={rounds}");
+        assert_eq!(connected_components_sv(n, &edges).count, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn sv_equals_union_find(
+            n in 1usize..80,
+            raw in prop::collection::vec((0u32..80, 0u32..80), 0..160),
+        ) {
+            let edges: Vec<(u32, u32)> = raw.into_iter()
+                .map(|(a, b)| (a % n as u32, b % n as u32))
+                .collect();
+            prop_assert_eq!(
+                connected_components_sv(n, &edges),
+                connected_components_uf(n, &edges)
+            );
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Hausdorff distance between two trajectories (Algorithm 1 of the paper).
+//!
+//! The directed Hausdorff distance from trajectory `A` to trajectory `B`
+//! under a frame metric `d` is `max_{a∈A} min_{b∈B} d(a, b)`; the symmetric
+//! Hausdorff distance is the max of the two directed distances. The paper
+//! uses the naive O(|A|·|B|) algorithm and cites Taha & Hanbury's
+//! early-break algorithm \[34\] as an (unparallelized) speedup — we
+//! implement both and property-test their equivalence (an ablation bench
+//! compares them).
+
+use crate::kernels::{frame_rmsd, frame_rmsd_flavored, KernelFlavor};
+use crate::Frame;
+
+/// A metric between two frames. The PSA pipeline uses RMSD-without-
+/// superposition ([`frame_rmsd`]), exactly the `dRMS` of Algorithm 1.
+pub type FrameMetric = fn(&Frame, &Frame) -> f64;
+
+/// Naive symmetric Hausdorff distance (Algorithm 1, verbatim): computes all
+/// |A|·|B| frame distances in both directions.
+pub fn hausdorff_naive(a: &[Frame], b: &[Frame], metric: FrameMetric) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "hausdorff: empty trajectory");
+    let d_ab = directed_naive(a, b, metric);
+    let d_ba = directed_naive(b, a, metric);
+    d_ab.max(d_ba)
+}
+
+fn directed_naive(a: &[Frame], b: &[Frame], metric: FrameMetric) -> f64 {
+    let mut worst = 0.0f64;
+    for fa in a {
+        let mut best = f64::INFINITY;
+        for fb in b {
+            let d = metric(fa, fb);
+            if d < best {
+                best = d;
+            }
+        }
+        if best > worst {
+            worst = best;
+        }
+    }
+    worst
+}
+
+/// Early-break Hausdorff distance (Taha & Hanbury 2015): while scanning the
+/// inner minimum, abandon a row as soon as some `d(a, b) <= cmax` proves the
+/// row cannot raise the running maximum. Identical value to
+/// [`hausdorff_naive`], usually far fewer metric evaluations.
+pub fn hausdorff_early_break(a: &[Frame], b: &[Frame], metric: FrameMetric) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "hausdorff: empty trajectory");
+    let d_ab = directed_early_break(a, b, metric);
+    let d_ba = directed_early_break(b, a, metric);
+    d_ab.max(d_ba)
+}
+
+fn directed_early_break(a: &[Frame], b: &[Frame], metric: FrameMetric) -> f64 {
+    let mut cmax = 0.0f64;
+    for fa in a {
+        let mut cmin = f64::INFINITY;
+        let mut broke = false;
+        for fb in b {
+            let d = metric(fa, fb);
+            if d <= cmax {
+                // This row's minimum is <= cmax; it cannot change the max.
+                broke = true;
+                break;
+            }
+            if d < cmin {
+                cmin = d;
+            }
+        }
+        if !broke && cmin > cmax {
+            cmax = cmin;
+        }
+    }
+    cmax
+}
+
+/// Convenience: Hausdorff with the standard PSA metric (plain RMSD).
+pub fn hausdorff_rmsd(a: &[Frame], b: &[Frame]) -> f64 {
+    hausdorff_naive(a, b, frame_rmsd)
+}
+
+/// Hausdorff with a flavoured RMSD kernel — used by the CPPTraj-style
+/// pipeline where the kernel build (GNU vs Intel-O3) is the variable.
+pub fn hausdorff_rmsd_flavored(a: &[Frame], b: &[Frame], flavor: KernelFlavor) -> f64 {
+    match flavor {
+        KernelFlavor::Gnu => hausdorff_naive(a, b, frame_rmsd),
+        KernelFlavor::IntelO3 => {
+            hausdorff_naive(a, b, |x, y| frame_rmsd_flavored(x, y, KernelFlavor::IntelO3))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vec3;
+    use proptest::prelude::*;
+
+    /// Single-atom frames at scalar positions — lets us compute expected
+    /// Hausdorff values by hand.
+    fn traj(xs: &[f32]) -> Vec<Frame> {
+        xs.iter().map(|&x| Frame::new(vec![Vec3::new(x, 0.0, 0.0)])).collect()
+    }
+
+    #[test]
+    fn identical_trajectories_have_zero_distance() {
+        let t = traj(&[0.0, 1.0, 2.0]);
+        assert_eq!(hausdorff_rmsd(&t, &t), 0.0);
+        assert_eq!(hausdorff_early_break(&t, &t, frame_rmsd), 0.0);
+    }
+
+    #[test]
+    fn hand_computed_example() {
+        // A = {0, 1}, B = {0, 3}. d(A->B): a=0 -> 0; a=1 -> min(1,2)=1 => 1.
+        // d(B->A): b=0 -> 0; b=3 -> min(3,2)=2 => 2. H = 2.
+        let a = traj(&[0.0, 1.0]);
+        let b = traj(&[0.0, 3.0]);
+        assert!((hausdorff_rmsd(&a, &b) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let a = traj(&[0.0, 0.5, 2.5]);
+        let b = traj(&[1.0, 4.0]);
+        assert_eq!(hausdorff_rmsd(&a, &b), hausdorff_rmsd(&b, &a));
+    }
+
+    #[test]
+    fn subset_direction_is_bounded() {
+        // If A ⊆ B then directed d(A->B) = 0, so H(A,B) = d(B->A).
+        let a = traj(&[0.0, 1.0]);
+        let b = traj(&[0.0, 1.0, 5.0]);
+        assert!((hausdorff_rmsd(&a, &b) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_trajectory_panics() {
+        hausdorff_rmsd(&[], &traj(&[0.0]));
+    }
+
+    proptest! {
+        /// Early-break must compute exactly the same value as the naive
+        /// double loop, for arbitrary small trajectories.
+        #[test]
+        fn early_break_equals_naive(
+            xs in prop::collection::vec(-50.0f32..50.0, 1..20),
+            ys in prop::collection::vec(-50.0f32..50.0, 1..20),
+        ) {
+            let a = traj(&xs);
+            let b = traj(&ys);
+            let naive = hausdorff_naive(&a, &b, frame_rmsd);
+            let eb = hausdorff_early_break(&a, &b, frame_rmsd);
+            prop_assert!((naive - eb).abs() < 1e-12, "naive={naive} eb={eb}");
+        }
+
+        /// Metric axioms that Hausdorff inherits: non-negativity, symmetry,
+        /// identity on equal sets.
+        #[test]
+        fn metric_axioms(
+            xs in prop::collection::vec(-50.0f32..50.0, 1..15),
+            ys in prop::collection::vec(-50.0f32..50.0, 1..15),
+        ) {
+            let a = traj(&xs);
+            let b = traj(&ys);
+            let h = hausdorff_rmsd(&a, &b);
+            prop_assert!(h >= 0.0);
+            prop_assert_eq!(h, hausdorff_rmsd(&b, &a));
+            prop_assert_eq!(hausdorff_rmsd(&a, &a), 0.0);
+        }
+
+        /// Triangle inequality over single-atom trajectories (Hausdorff on a
+        /// metric space is a metric on compact subsets).
+        #[test]
+        fn triangle_inequality(
+            xs in prop::collection::vec(-20.0f32..20.0, 1..8),
+            ys in prop::collection::vec(-20.0f32..20.0, 1..8),
+            zs in prop::collection::vec(-20.0f32..20.0, 1..8),
+        ) {
+            let a = traj(&xs);
+            let b = traj(&ys);
+            let c = traj(&zs);
+            let ab = hausdorff_rmsd(&a, &b);
+            let bc = hausdorff_rmsd(&b, &c);
+            let ac = hausdorff_rmsd(&a, &c);
+            // f32 coordinate rounding can perturb each term by ~|x|·ε_f32.
+            prop_assert!(ac <= ab + bc + 1e-4, "ac={ac} ab+bc={}", ab + bc);
+        }
+    }
+}

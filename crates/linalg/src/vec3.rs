@@ -1,0 +1,181 @@
+//! A minimal 3-component vector over `f32`, the coordinate type used for
+//! atom positions throughout the workspace.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A position or displacement in 3-D space, single precision.
+///
+/// MD packages near-universally store coordinates in `f32`; accumulations
+/// (RMSD sums, centroids) are performed in `f64` by the kernels that need
+/// the head-room.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Vec3 {
+    pub x: f32,
+    pub y: f32,
+    pub z: f32,
+}
+
+impl Vec3 {
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Euclidean dot product.
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f32 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Squared Euclidean norm. Prefer this over `norm()` in cutoff tests:
+    /// comparing squared distances avoids the square root entirely.
+    #[inline]
+    pub fn norm2(self) -> f32 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f32 {
+        self.norm2().sqrt()
+    }
+
+    /// Squared distance to another point.
+    #[inline]
+    pub fn dist2(self, o: Vec3) -> f32 {
+        (self - o).norm2()
+    }
+
+    /// Distance to another point.
+    #[inline]
+    pub fn dist(self, o: Vec3) -> f32 {
+        self.dist2(o).sqrt()
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    /// Access a component by axis index (0 = x, 1 = y, 2 = z).
+    #[inline]
+    pub fn axis(self, k: usize) -> f32 {
+        match k {
+            0 => self.x,
+            1 => self.y,
+            2 => self.z,
+            _ => panic!("axis index {k} out of range"),
+        }
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, o: Vec3) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f32) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Div<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f32) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-0.5, 4.0, 0.25);
+        assert_eq!(a + b - b, a);
+        assert_eq!(a + (-a), Vec3::ZERO);
+        assert_eq!(a * 2.0 / 2.0, a);
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let a = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(a.norm2(), 25.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.dot(Vec3::new(0.0, 0.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Vec3::new(1.0, 1.0, 1.0);
+        let b = Vec3::new(1.0, 1.0, 4.0);
+        assert_eq!(a.dist(b), 3.0);
+        assert_eq!(a.dist2(b), 9.0);
+        assert_eq!(a.dist(a), 0.0);
+    }
+
+    #[test]
+    fn min_max_axis() {
+        let a = Vec3::new(1.0, 5.0, -2.0);
+        let b = Vec3::new(2.0, -5.0, 0.0);
+        assert_eq!(a.min(b), Vec3::new(1.0, -5.0, -2.0));
+        assert_eq!(a.max(b), Vec3::new(2.0, 5.0, 0.0));
+        assert_eq!(a.axis(0), 1.0);
+        assert_eq!(a.axis(1), 5.0);
+        assert_eq!(a.axis(2), -2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn axis_out_of_range_panics() {
+        Vec3::ZERO.axis(3);
+    }
+}

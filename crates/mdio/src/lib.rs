@@ -1,0 +1,58 @@
+//! Trajectory file I/O.
+//!
+//! The paper's pipelines read trajectory files from a parallel filesystem
+//! (Lustre); each PSA task "reads its respective input files in parallel"
+//! (§4.2) and RADICAL-Pilot exchanges *all* data through files (§3.3).
+//! This crate provides that code path on a local filesystem:
+//!
+//! * [`mdt`] — a compact binary trajectory format (magic, atom/frame
+//!   counts, little-endian `f32` coordinates);
+//! * [`xyz`] — the ubiquitous text XYZ format, for interoperability and
+//!   debugging;
+//! * [`staging`] — numbered per-task partition files, used by the pilot
+//!   engine's stage-in/stage-out.
+
+pub mod mdt;
+pub mod staging;
+pub mod xtcq;
+pub mod xyz;
+
+pub use mdt::{read_mdt, write_mdt};
+pub use staging::StagingArea;
+pub use xtcq::{read_xtcq, write_xtcq};
+pub use xyz::{read_xyz, write_xyz};
+
+/// Errors from trajectory I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file exists but is not a valid trajectory of the expected format.
+    Format(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Format(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, IoError>;

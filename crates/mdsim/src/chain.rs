@@ -1,0 +1,206 @@
+//! Protein-like chains and their Brownian-dynamics trajectories.
+//!
+//! A chain is a self-avoiding-ish random walk of `n_atoms` beads with fixed
+//! bond length; a trajectory evolves the chain by overdamped Langevin
+//! (Brownian) dynamics with harmonic bonds. The result is a time series of
+//! frames with realistic spatial correlation — exactly the input shape the
+//! PSA pipeline consumes ("trajectories are time series of atom positions",
+//! §1).
+
+use linalg::{Frame, Vec3};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Parameters for generating one trajectory.
+#[derive(Clone, Debug)]
+pub struct ChainSpec {
+    /// Beads per frame.
+    pub n_atoms: usize,
+    /// Frames in the trajectory (the paper's ensembles use 102).
+    pub n_frames: usize,
+    /// Equilibrium bond length between consecutive beads (Å).
+    pub bond_length: f32,
+    /// Bond stiffness for the harmonic restoring force.
+    pub stiffness: f32,
+    /// Thermal noise amplitude per step (Å).
+    pub temperature: f32,
+    /// Integration steps between stored frames.
+    pub stride: usize,
+}
+
+impl Default for ChainSpec {
+    fn default() -> Self {
+        ChainSpec {
+            n_atoms: 100,
+            n_frames: 102,
+            bond_length: 3.8, // Cα–Cα distance
+            stiffness: 0.5,
+            temperature: 0.3,
+            stride: 5,
+        }
+    }
+}
+
+/// A time series of frames — the object PSA compares.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trajectory {
+    pub frames: Vec<Frame>,
+}
+
+impl Trajectory {
+    pub fn n_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    pub fn n_atoms(&self) -> usize {
+        self.frames.first().map_or(0, Frame::n_atoms)
+    }
+
+    /// In-memory size — drives staging/shuffle byte accounting.
+    pub fn size_bytes(&self) -> u64 {
+        (self.n_frames() * self.n_atoms() * std::mem::size_of::<Vec3>()) as u64
+    }
+}
+
+/// Standard normal via Box–Muller (keeps us inside the plain `rand` crate —
+/// `rand_distr` is not in the approved dependency set).
+fn normal(rng: &mut StdRng) -> f32 {
+    loop {
+        let u1: f32 = rng.gen::<f32>();
+        if u1 <= f32::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f32 = rng.gen::<f32>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+    }
+}
+
+fn gaussian_kick(rng: &mut StdRng, amp: f32) -> Vec3 {
+    Vec3::new(normal(rng) * amp, normal(rng) * amp, normal(rng) * amp)
+}
+
+/// Generate a trajectory deterministically from `seed`.
+pub fn generate(spec: &ChainSpec, seed: u64) -> Trajectory {
+    assert!(spec.n_atoms > 0, "chain needs at least one atom");
+    assert!(spec.n_frames > 0, "trajectory needs at least one frame");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Initial conformation: random walk with fixed bond length.
+    let mut pos = Vec::with_capacity(spec.n_atoms);
+    pos.push(Vec3::ZERO);
+    for i in 1..spec.n_atoms {
+        let dir = loop {
+            let v = gaussian_kick(&mut rng, 1.0);
+            let n = v.norm();
+            if n > 1e-6 {
+                break v / n;
+            }
+        };
+        let prev = pos[i - 1];
+        pos.push(prev + dir * spec.bond_length);
+    }
+
+    let mut frames = Vec::with_capacity(spec.n_frames);
+    frames.push(Frame::new(pos.clone()));
+    for _ in 1..spec.n_frames {
+        for _ in 0..spec.stride {
+            step(&mut pos, spec, &mut rng);
+        }
+        frames.push(Frame::new(pos.clone()));
+    }
+    Trajectory { frames }
+}
+
+/// One Brownian step: harmonic bond forces + thermal noise.
+fn step(pos: &mut [Vec3], spec: &ChainSpec, rng: &mut StdRng) {
+    let n = pos.len();
+    let mut force = vec![Vec3::ZERO; n];
+    for i in 0..n.saturating_sub(1) {
+        let d = pos[i + 1] - pos[i];
+        let len = d.norm();
+        if len > 1e-6 {
+            let f = d * (spec.stiffness * (len - spec.bond_length) / len);
+            force[i] += f;
+            force[i + 1] -= f;
+        }
+    }
+    for i in 0..n {
+        pos[i] += force[i] + gaussian_kick(rng, spec.temperature);
+    }
+}
+
+/// Generate an ensemble of `count` trajectories with distinct seeds —
+/// the paper's PSA input is an ensemble of 128 or 256 trajectories.
+pub fn generate_ensemble(spec: &ChainSpec, count: usize, base_seed: u64) -> Vec<Trajectory> {
+    (0..count).map(|i| generate(spec, base_seed.wrapping_add(i as u64))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> ChainSpec {
+        ChainSpec { n_atoms: 20, n_frames: 5, stride: 2, ..ChainSpec::default() }
+    }
+
+    #[test]
+    fn shape_matches_spec() {
+        let t = generate(&small_spec(), 7);
+        assert_eq!(t.n_frames(), 5);
+        assert_eq!(t.n_atoms(), 20);
+        assert_eq!(t.size_bytes(), (5 * 20 * 12) as u64);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&small_spec(), 99);
+        let b = generate(&small_spec(), 99);
+        assert_eq!(a, b);
+        let c = generate(&small_spec(), 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn initial_bonds_have_spec_length() {
+        let t = generate(&small_spec(), 3);
+        let p = t.frames[0].positions();
+        for i in 1..p.len() {
+            let d = p[i].dist(p[i - 1]);
+            assert!((d - 3.8).abs() < 1e-3, "bond {i} length {d}");
+        }
+    }
+
+    #[test]
+    fn dynamics_actually_move_atoms() {
+        let t = generate(&small_spec(), 11);
+        let first = &t.frames[0];
+        let last = &t.frames[4];
+        let rmsd = linalg::frame_rmsd(first, last);
+        assert!(rmsd > 0.05, "expected motion, rmsd = {rmsd}");
+    }
+
+    #[test]
+    fn bonds_stay_near_equilibrium() {
+        // Stiffness should keep bonds from wandering arbitrarily.
+        let t = generate(&ChainSpec { n_frames: 30, ..small_spec() }, 5);
+        let p = t.frames.last().unwrap().positions();
+        for i in 1..p.len() {
+            let d = p[i].dist(p[i - 1]);
+            assert!(d > 0.5 && d < 12.0, "bond {i} degenerated to {d}");
+        }
+    }
+
+    #[test]
+    fn ensemble_has_distinct_members() {
+        let e = generate_ensemble(&small_spec(), 3, 40);
+        assert_eq!(e.len(), 3);
+        assert_ne!(e[0], e[1]);
+        assert_ne!(e[1], e[2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_atoms_panics() {
+        generate(&ChainSpec { n_atoms: 0, ..small_spec() }, 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Extended collectives: `allgather`, `alltoall`, `reduce` (to root) and
+//! point-to-point `sendrecv` — completing the MPI surface a port of the
+//! paper's codes would expect.
+
+use crate::comm::Comm;
+use taskframe::Payload;
+
+impl<'a> Comm<'a> {
+    /// Every rank receives every rank's value (rank order). Cost model:
+    /// ring allgather — `world − 1` rounds, each moving one value per
+    /// rank; the critical path is `(world − 1)` max-size transfers.
+    pub fn allgather<T>(&mut self, value: T) -> Vec<T>
+    where
+        T: Clone + Payload + Send + 'static,
+    {
+        let world = self.world();
+        let net = self.network();
+        self.collective_ext(value, move |clocks, inputs: Vec<T>| {
+            let t0 = clocks.iter().copied().fold(0.0, f64::max);
+            let max_bytes = inputs.iter().map(Payload::wire_bytes).max().unwrap_or(0);
+            let rounds = (world - 1) as f64;
+            let t = t0 + rounds * (net.transfer_time(max_bytes, false));
+            let outs: Vec<Vec<T>> = (0..world).map(|_| inputs.clone()).collect();
+            (outs, vec![t; world])
+        })
+    }
+
+    /// Personalized all-to-all: rank `i` contributes `parts[j]` for every
+    /// rank `j` and receives `inputs[j][i]` (in rank order). Cost model:
+    /// pairwise exchange — `world − 1` rounds of simultaneous sends.
+    ///
+    /// # Panics
+    /// Panics if any rank contributes a part list whose length ≠ world.
+    pub fn alltoall<T>(&mut self, parts: Vec<T>) -> Vec<T>
+    where
+        T: Clone + Payload + Send + 'static,
+    {
+        let world = self.world();
+        assert_eq!(parts.len(), world, "alltoall needs one part per rank");
+        let net = self.network();
+        self.collective_ext(parts, move |clocks, inputs: Vec<Vec<T>>| {
+            let t0 = clocks.iter().copied().fold(0.0, f64::max);
+            // Per round, every rank sends one part; charge the largest.
+            let max_bytes = inputs
+                .iter()
+                .flat_map(|ps| ps.iter().map(Payload::wire_bytes))
+                .max()
+                .unwrap_or(0);
+            let t = t0 + (world - 1) as f64 * net.transfer_time(max_bytes, false);
+            let outs: Vec<Vec<T>> = (0..world)
+                .map(|dst| (0..world).map(|src| inputs[src][dst].clone()).collect())
+                .collect();
+            (outs, vec![t; world])
+        })
+    }
+
+    /// Reduce all contributions to `root` with an associative fold over
+    /// rank order. Non-roots receive `None`. Cost: binomial tree,
+    /// `⌈log₂ world⌉` rounds.
+    pub fn reduce<T>(&mut self, root: usize, value: T, f: fn(T, T) -> T) -> Option<T>
+    where
+        T: Payload + Send + 'static,
+    {
+        let world = self.world();
+        assert!(root < world, "reduce root out of range");
+        let net = self.network();
+        self.collective_ext(value, move |clocks, inputs: Vec<T>| {
+            let t0 = clocks.iter().copied().fold(0.0, f64::max);
+            let max_bytes = inputs.iter().map(Payload::wire_bytes).max().unwrap_or(0);
+            let rounds = (world as f64).log2().ceil().max(1.0);
+            let t = t0 + rounds * net.transfer_time(max_bytes, false);
+            let mut acc: Option<T> = None;
+            for v in inputs {
+                acc = Some(match acc {
+                    None => v,
+                    Some(a) => f(a, v),
+                });
+            }
+            let mut outs: Vec<Option<T>> = (0..world).map(|_| None).collect();
+            outs[root] = acc;
+            (outs, vec![t; world])
+        })
+    }
+
+    /// Simultaneous exchange along a permutation: every rank sends to
+    /// `peer_of(rank)` and receives from whichever rank targets it.
+    ///
+    /// # Panics
+    /// Panics if `peer_of` is not a permutation of the ranks.
+    pub fn sendrecv<T>(&mut self, peer: usize, value: T) -> T
+    where
+        T: Payload + Send + 'static,
+    {
+        let world = self.world();
+        assert!(peer < world, "peer out of range");
+        let net = self.network();
+        let my_node = self.node_of(self.rank());
+        let peer_node = self.node_of(peer);
+        self.collective_ext((peer, value), move |clocks, inputs: Vec<(usize, T)>| {
+            let t0 = clocks.iter().copied().fold(0.0, f64::max);
+            let peers: Vec<usize> = inputs.iter().map(|(p, _)| *p).collect();
+            {
+                let mut seen = vec![false; world];
+                for &p in &peers {
+                    assert!(!seen[p], "sendrecv peers must form a permutation");
+                    seen[p] = true;
+                }
+            }
+            let max_bytes = inputs.iter().map(|(_, v)| v.wire_bytes()).max().unwrap_or(0);
+            let _ = (my_node, peer_node);
+            let t = t0 + net.transfer_time(max_bytes, false);
+            // outs[dst] = the value sent by the rank whose peer is dst.
+            let mut slots: Vec<Option<T>> = (0..world).map(|_| None).collect();
+            for (src, (dst, v)) in inputs.into_iter().enumerate() {
+                let _ = src;
+                slots[dst] = Some(v);
+            }
+            let outs: Vec<T> =
+                slots.into_iter().map(|s| s.expect("permutation covers all ranks")).collect();
+            (outs, vec![t; world])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::run;
+    use netsim::{laptop, Cluster};
+
+    fn cluster(ranks: usize) -> Cluster {
+        Cluster::new(laptop(), ranks.div_ceil(8))
+    }
+
+    #[test]
+    fn allgather_everyone_sees_everything() {
+        let out = run(cluster(4), 4, |comm| comm.allgather(comm.rank() as u32 * 5));
+        for v in out.results {
+            assert_eq!(v, vec![0, 5, 10, 15]);
+        }
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        let out = run(cluster(3), 3, |comm| {
+            let rank = comm.rank() as u32;
+            comm.alltoall(vec![rank * 10, rank * 10 + 1, rank * 10 + 2])
+        });
+        // Rank d receives element d from every source.
+        assert_eq!(out.results[0], vec![0, 10, 20]);
+        assert_eq!(out.results[1], vec![1, 11, 21]);
+        assert_eq!(out.results[2], vec![2, 12, 22]);
+    }
+
+    #[test]
+    fn reduce_to_root() {
+        let out = run(cluster(5), 5, |comm| comm.reduce(2, comm.rank() as u64 + 1, |a, b| a * b));
+        for (rank, v) in out.results.into_iter().enumerate() {
+            if rank == 2 {
+                assert_eq!(v, Some(120), "5! at the root");
+            } else {
+                assert_eq!(v, None);
+            }
+        }
+    }
+
+    #[test]
+    fn sendrecv_ring() {
+        let out = run(cluster(4), 4, |comm| {
+            let next = (comm.rank() + 1) % comm.world();
+            comm.sendrecv(next, comm.rank() as u32)
+        });
+        // Rank r receives from r-1 (mod world).
+        assert_eq!(out.results, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn allgather_advances_clock_with_world_size() {
+        let t = |world: usize| {
+            let out = run(cluster(world), world, |comm| {
+                comm.allgather(vec![0u8; 1 << 16]);
+                comm.clock()
+            });
+            out.results.into_iter().fold(0.0, f64::max) - 0.5
+        };
+        assert!(t(8) > t(2), "ring allgather grows with ranks");
+    }
+}

@@ -1,0 +1,291 @@
+//! The SPMD communicator and runner.
+
+use crate::collective::Rendezvous;
+use netsim::{Cluster, SimReport};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use taskframe::{mpi_profile, Payload};
+
+struct Shared {
+    rendezvous: Rendezvous,
+    cluster: Cluster,
+    /// Serializes *real* execution so host-core contention cannot inflate
+    /// measurements; parallelism lives in virtual time only.
+    compute_token: Mutex<()>,
+    compute_s: Mutex<f64>,
+    bytes_broadcast: AtomicU64,
+    bytes_shuffled: AtomicU64,
+}
+
+/// Per-rank communicator handle.
+pub struct Comm<'a> {
+    rank: usize,
+    world: usize,
+    clock: f64,
+    seq: u64,
+    shared: &'a Shared,
+}
+
+/// Results of an SPMD run: per-rank return values (rank order) plus the
+/// simulated execution report.
+pub struct MpiRunOutput<T> {
+    pub results: Vec<T>,
+    pub report: SimReport,
+}
+
+/// Launch `world` ranks running `f`, one rank per simulated core, and
+/// collect their results. Panics in any rank propagate.
+pub fn run<T, F>(cluster: Cluster, world: usize, f: F) -> MpiRunOutput<T>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Send + Sync,
+{
+    assert!(world >= 1, "need at least one rank");
+    assert!(
+        world <= cluster.total_cores(),
+        "world size {world} exceeds {} cores",
+        cluster.total_cores()
+    );
+    let profile = mpi_profile();
+    let shared = Shared {
+        rendezvous: Rendezvous::new(world),
+        cluster,
+        compute_token: Mutex::new(()),
+        compute_s: Mutex::new(0.0),
+        bytes_broadcast: AtomicU64::new(0),
+        bytes_shuffled: AtomicU64::new(0),
+    };
+
+    let mut results: Vec<Option<T>> = Vec::with_capacity(world);
+    let mut final_clocks = vec![0.0f64; world];
+    {
+        let shared = &shared;
+        let f = &f;
+        let slots: Vec<(Option<T>, f64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..world)
+                .map(|rank| {
+                    s.spawn(move || {
+                        let mut comm = Comm {
+                            rank,
+                            world,
+                            clock: profile.startup_s,
+                            seq: 0,
+                            shared,
+                        };
+                        let out = f(&mut comm);
+                        (Some(out), comm.clock)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        });
+        for (i, (out, clock)) in slots.into_iter().enumerate() {
+            results.push(out);
+            final_clocks[i] = clock;
+        }
+    }
+
+    let mut report = SimReport {
+        makespan_s: final_clocks.iter().copied().fold(0.0, f64::max),
+        tasks: world,
+        compute_s: *shared.compute_s.lock(),
+        overhead_s: profile.startup_s,
+        comm_s: shared.rendezvous.comm_seconds(),
+        bytes_broadcast: shared.bytes_broadcast.load(Ordering::Relaxed),
+        bytes_shuffled: shared.bytes_shuffled.load(Ordering::Relaxed),
+        bytes_staged: 0,
+        phases: Vec::new(),
+    };
+    report.makespan_s = report.makespan_s.max(profile.startup_s);
+    MpiRunOutput { results: results.into_iter().map(|o| o.expect("rank result")).collect(), report }
+}
+
+impl<'a> Comm<'a> {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// This rank's virtual clock (seconds since job launch).
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    fn node_of_rank(&self, rank: usize) -> usize {
+        self.shared.cluster.node_of_core(rank)
+    }
+
+    /// Node hosting a rank (for extended collectives).
+    pub(crate) fn node_of(&self, rank: usize) -> usize {
+        self.node_of_rank(rank)
+    }
+
+    /// The cluster's network model (for extended collectives).
+    pub(crate) fn network(&self) -> netsim::NetworkModel {
+        self.shared.cluster.profile.network
+    }
+
+    /// Execute real work; its measured time (scaled to the machine profile)
+    /// advances this rank's virtual clock.
+    pub fn compute<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let _token = self.shared.compute_token.lock();
+        let (out, host_s) = netsim::measure(f);
+        let sim_s = self.shared.cluster.scale_compute(host_s);
+        self.clock += sim_s;
+        *self.shared.compute_s.lock() += sim_s;
+        out
+    }
+
+    /// Advance this rank's clock by modelled (unmeasured) time.
+    pub fn charge(&mut self, secs: f64) {
+        assert!(secs >= 0.0);
+        self.clock += secs;
+    }
+
+    pub(crate) fn collective_ext<T, R, F>(&mut self, input: T, finish: F) -> R
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: FnOnce(&[f64], Vec<T>) -> (Vec<R>, Vec<f64>),
+    {
+        self.collective(input, finish)
+    }
+
+    fn collective<T, R, F>(&mut self, input: T, finish: F) -> R
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: FnOnce(&[f64], Vec<T>) -> (Vec<R>, Vec<f64>),
+    {
+        self.seq += 1;
+        let (out, t) =
+            self.shared.rendezvous.exchange(self.seq, self.rank, self.clock, input, finish);
+        self.clock = t;
+        out
+    }
+
+    /// Synchronize all ranks (tree barrier: log₂(world) latency rounds).
+    pub fn barrier(&mut self) {
+        let world = self.world;
+        let net = self.shared.cluster.profile.network;
+        self.collective((), move |clocks, _: Vec<()>| {
+            let t = clocks.iter().copied().fold(0.0, f64::max)
+                + (world as f64).log2().ceil().max(1.0) * net.latency_s;
+            (vec![(); world], vec![t; world])
+        })
+    }
+
+    /// Broadcast `value` from `root` (which must pass `Some`) to all ranks.
+    /// Naive linear algorithm: the root sends to each rank in turn, so the
+    /// completion time of the i-th destination grows linearly — the MPI
+    /// behaviour the paper measures in Fig. 8.
+    pub fn bcast<T>(&mut self, root: usize, value: Option<T>) -> T
+    where
+        T: Clone + Payload + Send + 'static,
+    {
+        assert!(root < self.world, "bcast root out of range");
+        let world = self.world;
+        let net = self.shared.cluster.profile.network;
+        let nodes: Vec<usize> = (0..world).map(|r| self.node_of_rank(r)).collect();
+        let bytes_counter = &self.shared.bytes_broadcast;
+        self.collective(value, move |clocks, mut inputs: Vec<Option<T>>| {
+            let v = inputs[root].take().unwrap_or_else(|| panic!("rank {root} must provide the bcast value"));
+            let t0 = clocks.iter().copied().fold(0.0, f64::max);
+            let bytes = v.wire_bytes();
+            let mut completion = vec![0.0; world];
+            let mut elapsed = 0.0;
+            for r in 0..world {
+                if r == root {
+                    completion[r] = t0;
+                } else {
+                    elapsed += net.transfer_time(bytes, nodes[r] == nodes[root]);
+                    completion[r] = t0 + elapsed;
+                    bytes_counter.fetch_add(bytes, Ordering::Relaxed);
+                }
+            }
+            // The root is done once its last send completes.
+            completion[root] = t0 + elapsed;
+            ((0..world).map(|_| v.clone()).collect(), completion)
+        })
+    }
+
+    /// Scatter `parts[i]` to rank `i` from `root`. Sequential sends, like
+    /// [`Self::bcast`].
+    pub fn scatter<T>(&mut self, root: usize, parts: Option<Vec<T>>) -> T
+    where
+        T: Payload + Send + 'static,
+    {
+        assert!(root < self.world, "scatter root out of range");
+        let world = self.world;
+        let net = self.shared.cluster.profile.network;
+        let nodes: Vec<usize> = (0..world).map(|r| self.node_of_rank(r)).collect();
+        let bytes_counter = &self.shared.bytes_shuffled;
+        self.collective(parts, move |clocks, mut inputs: Vec<Option<Vec<T>>>| {
+            let parts = inputs[root].take().unwrap_or_else(|| panic!("rank {root} must provide scatter parts"));
+            assert_eq!(parts.len(), world, "scatter needs one part per rank");
+            let t0 = clocks.iter().copied().fold(0.0, f64::max);
+            let mut completion = vec![t0; world];
+            let mut elapsed = 0.0;
+            for (r, part) in parts.iter().enumerate() {
+                if r != root {
+                    let bytes = part.wire_bytes();
+                    elapsed += net.transfer_time(bytes, nodes[r] == nodes[root]);
+                    completion[r] = t0 + elapsed;
+                    bytes_counter.fetch_add(bytes, Ordering::Relaxed);
+                }
+            }
+            completion[root] = t0 + elapsed;
+            let outs: Vec<T> = parts.into_iter().collect();
+            (outs, completion)
+        })
+    }
+
+    /// Gather every rank's value at `root` (rank order). Non-root ranks
+    /// return `None` and continue as soon as their send is delivered.
+    pub fn gather<T>(&mut self, root: usize, value: T) -> Option<Vec<T>>
+    where
+        T: Payload + Send + 'static,
+    {
+        assert!(root < self.world, "gather root out of range");
+        let world = self.world;
+        let net = self.shared.cluster.profile.network;
+        let nodes: Vec<usize> = (0..world).map(|r| self.node_of_rank(r)).collect();
+        let bytes_counter = &self.shared.bytes_shuffled;
+        self.collective(value, move |clocks, inputs: Vec<T>| {
+            let t0 = clocks.iter().copied().fold(0.0, f64::max);
+            let mut completion = vec![0.0; world];
+            let mut elapsed = 0.0;
+            for r in 0..world {
+                if r != root {
+                    let bytes = inputs[r].wire_bytes();
+                    elapsed += net.transfer_time(bytes, nodes[r] == nodes[root]);
+                    completion[r] = t0 + elapsed;
+                    bytes_counter.fetch_add(bytes, Ordering::Relaxed);
+                }
+            }
+            completion[root] = t0 + elapsed;
+            let mut outs: Vec<Option<Vec<T>>> = (0..world).map(|_| None).collect();
+            outs[root] = Some(inputs);
+            (outs, completion)
+        })
+    }
+
+    /// All-reduce a scalar with a commutative, associative `op`
+    /// (recursive-doubling cost: log₂(world) latency rounds).
+    pub fn allreduce_f64(&mut self, value: f64, op: fn(f64, f64) -> f64) -> f64 {
+        let world = self.world;
+        let net = self.shared.cluster.profile.network;
+        self.collective(value, move |clocks, inputs: Vec<f64>| {
+            let mut acc = inputs[0];
+            for &v in &inputs[1..] {
+                acc = op(acc, v);
+            }
+            let t = clocks.iter().copied().fold(0.0, f64::max)
+                + (world as f64).log2().ceil().max(1.0) * net.latency_s;
+            (vec![acc; world], vec![t; world])
+        })
+    }
+}

@@ -1,0 +1,183 @@
+//! Uniform-grid cell list — the classic MD short-range neighbor method.
+//!
+//! Space is tiled into cubic cells of edge `>= cutoff`; any two points
+//! within `cutoff` necessarily lie in the same or adjacent (27-stencil)
+//! cells, so the all-pairs scan collapses to a per-cell local scan. Linear
+//! build, near-linear pair enumeration for bounded densities. Included as
+//! the paper's "reduce the compute footprint" future-work item and as an
+//! ablation alternative to BallTree.
+
+use linalg::Vec3;
+use std::collections::HashMap;
+
+/// A hash-grid cell list over a point cloud.
+#[derive(Clone, Debug)]
+pub struct CellList {
+    cell_edge: f32,
+    origin: Vec3,
+    /// Cell coordinates -> indices of points inside.
+    cells: HashMap<(i32, i32, i32), Vec<u32>>,
+}
+
+impl CellList {
+    /// Build a grid with cell edge exactly `cutoff` (the optimal choice for
+    /// a single fixed query radius). `cutoff` must be positive.
+    pub fn build(points: &[Vec3], cutoff: f32) -> Self {
+        assert!(cutoff > 0.0, "cell list cutoff must be positive");
+        let origin = points
+            .iter()
+            .copied()
+            .reduce(Vec3::min)
+            .unwrap_or(Vec3::ZERO);
+        let mut cells: HashMap<(i32, i32, i32), Vec<u32>> = HashMap::new();
+        for (i, &p) in points.iter().enumerate() {
+            cells.entry(Self::key(p, origin, cutoff)).or_default().push(i as u32);
+        }
+        CellList { cell_edge: cutoff, origin, cells }
+    }
+
+    #[inline]
+    fn key(p: Vec3, origin: Vec3, edge: f32) -> (i32, i32, i32) {
+        let d = p - origin;
+        (
+            (d.x / edge).floor() as i32,
+            (d.y / edge).floor() as i32,
+            (d.z / edge).floor() as i32,
+        )
+    }
+
+    /// Number of occupied cells.
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// All pairs `(i, j)`, `i < j`, within `cutoff` (inclusive). `points`
+    /// must be the same slice the grid was built from.
+    pub fn neighbor_pairs(&self, points: &[Vec3], cutoff: f32) -> Vec<(u32, u32)> {
+        assert!(
+            cutoff <= self.cell_edge,
+            "query cutoff {cutoff} exceeds grid cell edge {}",
+            self.cell_edge
+        );
+        let c2 = cutoff * cutoff;
+        let mut edges = Vec::new();
+        for (&(cx, cy, cz), members) in &self.cells {
+            // Within-cell pairs.
+            for (a, &i) in members.iter().enumerate() {
+                for &j in &members[a + 1..] {
+                    if points[i as usize].dist2(points[j as usize]) <= c2 {
+                        edges.push(if i < j { (i, j) } else { (j, i) });
+                    }
+                }
+            }
+            // Cross-cell pairs: visit each unordered cell pair once by only
+            // scanning lexicographically-greater neighbor cells.
+            for dx in -1i32..=1 {
+                for dy in -1i32..=1 {
+                    for dz in -1i32..=1 {
+                        if (dx, dy, dz) <= (0, 0, 0) {
+                            continue;
+                        }
+                        let Some(other) = self.cells.get(&(cx + dx, cy + dy, cz + dz)) else {
+                            continue;
+                        };
+                        for &i in members {
+                            for &j in other {
+                                if points[i as usize].dist2(points[j as usize]) <= c2 {
+                                    edges.push(if i < j { (i, j) } else { (j, i) });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// Indices of all points within `radius` of `query` (radius must not
+    /// exceed the grid cell edge), ascending.
+    pub fn query_radius(&self, points: &[Vec3], query: Vec3, radius: f32) -> Vec<u32> {
+        assert!(radius <= self.cell_edge, "query radius exceeds grid cell edge");
+        let r2 = radius * radius;
+        let (cx, cy, cz) = Self::key(query, self.origin, self.cell_edge);
+        let mut out = Vec::new();
+        for dx in -1i32..=1 {
+            for dy in -1i32..=1 {
+                for dz in -1i32..=1 {
+                    if let Some(members) = self.cells.get(&(cx + dx, cy + dy, cz + dz)) {
+                        for &i in members {
+                            if query.dist2(points[i as usize]) <= r2 {
+                                out.push(i);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize, spacing: f32) -> Vec<Vec3> {
+        (0..n).map(|i| Vec3::new(i as f32 * spacing, 0.0, 0.0)).collect()
+    }
+
+    #[test]
+    fn chain_pairs() {
+        // Points 1.0 apart, cutoff 1.0: consecutive pairs only.
+        let pts = line(5, 1.0);
+        let g = CellList::build(&pts, 1.0);
+        let mut e = g.neighbor_pairs(&pts, 1.0);
+        e.sort_unstable();
+        assert_eq!(e, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn sparse_points_have_no_pairs() {
+        let pts = line(4, 10.0);
+        let g = CellList::build(&pts, 1.0);
+        assert!(g.neighbor_pairs(&pts, 1.0).is_empty());
+    }
+
+    #[test]
+    fn query_radius_matches_filter() {
+        let pts = line(10, 0.5);
+        let g = CellList::build(&pts, 1.2);
+        let q = Vec3::new(2.0, 0.0, 0.0);
+        let got = g.query_radius(&pts, q, 1.0);
+        let want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.dist2(**p) <= 1.0)
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn occupied_cells_counts() {
+        let pts = line(3, 5.0);
+        let g = CellList::build(&pts, 1.0);
+        assert_eq!(g.occupied_cells(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_query_panics() {
+        let pts = line(3, 1.0);
+        let g = CellList::build(&pts, 1.0);
+        g.neighbor_pairs(&pts, 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cutoff_panics() {
+        CellList::build(&[], 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! KD-tree radius queries — the other spatial index scikit-learn offers
+//! next to BallTree (§4.3.4 chose BallTree; the ablation bench compares).
+//!
+//! Axis-aligned median splits; radius queries prune a subtree when the
+//! query sphere lies entirely on one side of its splitting plane.
+
+use linalg::Vec3;
+
+#[derive(Clone, Debug)]
+struct Node {
+    /// Splitting axis (0/1/2) and coordinate; leaves use `axis == 3`.
+    axis: u8,
+    split: f32,
+    /// Range into `indices` (leaves only; inner nodes cover children).
+    start: u32,
+    end: u32,
+    left: u32,
+    right: u32,
+}
+
+const NO_CHILD: u32 = u32::MAX;
+
+/// A KD-tree over a fixed point cloud.
+#[derive(Clone, Debug)]
+pub struct KdTree {
+    nodes: Vec<Node>,
+    indices: Vec<u32>,
+    points: Vec<Vec3>,
+}
+
+impl KdTree {
+    /// Build over `points`; leaves hold up to `leaf_size` points.
+    pub fn build(points: &[Vec3], leaf_size: usize) -> Self {
+        assert!(leaf_size >= 1, "leaf_size must be >= 1");
+        let mut tree = KdTree {
+            nodes: Vec::new(),
+            indices: (0..points.len() as u32).collect(),
+            points: points.to_vec(),
+        };
+        if !points.is_empty() {
+            tree.build_node(0, points.len(), leaf_size, 0);
+        }
+        tree
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    fn build_node(&mut self, start: usize, end: usize, leaf_size: usize, depth: usize) -> u32 {
+        let id = self.nodes.len() as u32;
+        if end - start <= leaf_size {
+            self.nodes.push(Node {
+                axis: 3,
+                split: 0.0,
+                start: start as u32,
+                end: end as u32,
+                left: NO_CHILD,
+                right: NO_CHILD,
+            });
+            return id;
+        }
+        // Split along the widest axis (better than round-robin for
+        // anisotropic clouds like bilayers).
+        let (mut lo, mut hi) = (self.points[self.indices[start] as usize], self.points[self.indices[start] as usize]);
+        for &i in &self.indices[start..end] {
+            lo = lo.min(self.points[i as usize]);
+            hi = hi.max(self.points[i as usize]);
+        }
+        let spread = hi - lo;
+        let mut axis = 0usize;
+        if spread.y > spread.axis(axis) {
+            axis = 1;
+        }
+        if spread.z > spread.axis(axis) {
+            axis = 2;
+        }
+        let _ = depth;
+        let mid = start + (end - start) / 2;
+        self.indices[start..end].select_nth_unstable_by(mid - start, |&a, &b| {
+            self.points[a as usize]
+                .axis(axis)
+                .partial_cmp(&self.points[b as usize].axis(axis))
+                .expect("NaN coordinate in KdTree input")
+        });
+        let split = self.points[self.indices[mid] as usize].axis(axis);
+        self.nodes.push(Node {
+            axis: axis as u8,
+            split,
+            start: start as u32,
+            end: end as u32,
+            left: NO_CHILD,
+            right: NO_CHILD,
+        });
+        let left = self.build_node(start, mid, leaf_size, depth + 1);
+        let right = self.build_node(mid, end, leaf_size, depth + 1);
+        self.nodes[id as usize].left = left;
+        self.nodes[id as usize].right = right;
+        id
+    }
+
+    /// Indices of points within `radius` (inclusive) of `query`, ascending.
+    pub fn query_radius(&self, query: Vec3, radius: f32) -> Vec<u32> {
+        assert!(radius >= 0.0, "radius must be non-negative");
+        let mut out = Vec::new();
+        if self.nodes.is_empty() {
+            return out;
+        }
+        let r2 = radius * radius;
+        let mut stack = vec![0u32];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id as usize];
+            if node.axis == 3 {
+                for &i in &self.indices[node.start as usize..node.end as usize] {
+                    if query.dist2(self.points[i as usize]) <= r2 {
+                        out.push(i);
+                    }
+                }
+                continue;
+            }
+            let delta = query.axis(node.axis as usize) - node.split;
+            // The median point itself lives in the right child (mid..end).
+            if delta <= radius {
+                stack.push(node.left);
+            }
+            if -delta <= radius {
+                stack.push(node.right);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_singleton() {
+        let t = KdTree::build(&[], 4);
+        assert!(t.is_empty());
+        assert!(t.query_radius(Vec3::ZERO, 1.0).is_empty());
+        let t = KdTree::build(&[Vec3::new(1.0, 0.0, 0.0)], 4);
+        assert_eq!(t.query_radius(Vec3::ZERO, 1.0), vec![0]);
+        assert!(t.query_radius(Vec3::ZERO, 0.5).is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_all_found() {
+        let pts = vec![Vec3::new(1.0, 1.0, 1.0); 9];
+        let t = KdTree::build(&pts, 2);
+        assert_eq!(t.query_radius(Vec3::new(1.0, 1.0, 1.0), 0.0).len(), 9);
+    }
+
+    proptest! {
+        /// KD-tree query == brute-force filter for any cloud/radius/leaf.
+        #[test]
+        fn matches_brute_force(
+            coords in prop::collection::vec(
+                (-20.0f32..20.0, -20.0f32..20.0, -20.0f32..20.0), 1..70),
+            q in (-20.0f32..20.0, -20.0f32..20.0, -20.0f32..20.0),
+            radius in 0.0f32..12.0,
+            leaf in 1usize..6,
+        ) {
+            let pts: Vec<Vec3> = coords.iter().map(|&(x, y, z)| Vec3::new(x, y, z)).collect();
+            let query = Vec3::new(q.0, q.1, q.2);
+            let t = KdTree::build(&pts, leaf);
+            let got = t.query_radius(query, radius);
+            let want: Vec<u32> = pts.iter().enumerate()
+                .filter(|(_, p)| query.dist2(**p) <= radius * radius)
+                .map(|(i, _)| i as u32)
+                .collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

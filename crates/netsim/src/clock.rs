@@ -1,0 +1,53 @@
+//! Measuring real kernel time for simulated placement.
+
+use std::time::Instant;
+
+/// Run `f` and return its result together with measured host wall-clock
+/// seconds. This is the boundary between real execution and virtual time:
+/// the closure's work is genuine; only its *placement* is simulated.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// [`measure`], scaling the measured time by `1 / efficiency` — converts a
+/// host measurement into seconds on a simulated core of relative speed
+/// `efficiency`.
+pub fn measure_scaled<T>(efficiency: f64, f: impl FnOnce() -> T) -> (T, f64) {
+    assert!(efficiency > 0.0, "core efficiency must be positive");
+    let (out, t) = measure(f);
+    (out, t / efficiency)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_result_and_nonnegative_time() {
+        let (v, t) = measure(|| 2 + 2);
+        assert_eq!(v, 4);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn measure_times_real_work() {
+        let (_, t) = measure(|| std::thread::sleep(std::time::Duration::from_millis(20)));
+        assert!(t >= 0.015, "slept 20ms but measured {t}");
+    }
+
+    #[test]
+    fn scaled_divides_by_efficiency() {
+        let (_, t1) = measure(|| std::thread::sleep(std::time::Duration::from_millis(10)));
+        let (_, t2) = measure_scaled(0.5, || std::thread::sleep(std::time::Duration::from_millis(10)));
+        // t2 measures the same sleep but reports ~2x the virtual time.
+        assert!(t2 > t1 * 1.5, "t1={t1} t2={t2}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_efficiency_panics() {
+        measure_scaled(0.0, || ());
+    }
+}

@@ -1,0 +1,221 @@
+//! Simulated core timelines with list scheduling.
+
+use crate::cluster::Cluster;
+use crate::report::SimReport;
+use crate::trace::Trace;
+
+/// Where and when a simulated task ran.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TaskPlacement {
+    pub core: usize,
+    pub start: f64,
+    pub end: f64,
+}
+
+/// Greedy list scheduler over the cluster's simulated cores.
+///
+/// Each core tracks the virtual time at which it becomes free. A task with
+/// release time `ready` and duration `dur` is placed on the core giving the
+/// earliest start (`max(ready, core_free)`), ties broken by lowest core id
+/// — the behaviour of a work-conserving task scheduler with an idle worker
+/// pool, which is what Spark executors, Dask workers and pilot agents all
+/// approximate.
+#[derive(Clone, Debug)]
+pub struct SimExecutor {
+    cluster: Cluster,
+    core_free: Vec<f64>,
+    report: SimReport,
+    trace: Option<Trace>,
+    next_trace_id: usize,
+}
+
+impl SimExecutor {
+    pub fn new(cluster: Cluster) -> Self {
+        let cores = cluster.total_cores();
+        SimExecutor {
+            cluster,
+            core_free: vec![0.0; cores],
+            report: SimReport::default(),
+            trace: None,
+            next_trace_id: 0,
+        }
+    }
+
+    /// Start recording a schedule trace (per-task placements).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Trace::default());
+        }
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Schedule a task on the best core. `dur` is in simulated seconds
+    /// (already scaled by the machine profile).
+    pub fn run_task(&mut self, ready: f64, dur: f64) -> TaskPlacement {
+        assert!(dur >= 0.0 && ready >= 0.0, "negative time");
+        let mut best_core = 0usize;
+        let mut best_start = f64::INFINITY;
+        for (c, &free) in self.core_free.iter().enumerate() {
+            let start = free.max(ready);
+            if start < best_start {
+                best_start = start;
+                best_core = c;
+                if start <= ready {
+                    break; // cannot start earlier than the release time
+                }
+            }
+        }
+        self.place(best_core, best_start, dur)
+    }
+
+    /// Schedule a task on a specific core (SPMD rank pinning).
+    pub fn run_task_on(&mut self, core: usize, ready: f64, dur: f64) -> TaskPlacement {
+        assert!(core < self.core_free.len(), "core {core} out of range");
+        let start = self.core_free[core].max(ready);
+        self.place(core, start, dur)
+    }
+
+    fn place(&mut self, core: usize, start: f64, dur: f64) -> TaskPlacement {
+        let end = start + dur;
+        self.core_free[core] = end;
+        if let Some(trace) = &mut self.trace {
+            let id = self.next_trace_id;
+            self.next_trace_id += 1;
+            trace.push(id, core, start, end);
+        }
+        self.report.tasks += 1;
+        self.report.compute_s += dur;
+        self.report.makespan_s = self.report.makespan_s.max(end);
+        TaskPlacement { core, start, end }
+    }
+
+    /// Virtual time when every core is idle again.
+    pub fn all_idle_at(&self) -> f64 {
+        self.core_free.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Virtual time when core `c` is next free.
+    pub fn core_free_at(&self, c: usize) -> f64 {
+        self.core_free[c]
+    }
+
+    /// Advance the simulation's observed makespan to at least `t` (used for
+    /// driver-side phases such as a final reduce or job teardown).
+    pub fn advance_makespan(&mut self, t: f64) {
+        self.report.makespan_s = self.report.makespan_s.max(t);
+    }
+
+    /// Mutable access to the accumulated report (engines add comm/overhead
+    /// charges and phases).
+    pub fn report_mut(&mut self) -> &mut SimReport {
+        &mut self.report
+    }
+
+    /// Finish and return the report.
+    pub fn into_report(self) -> SimReport {
+        self.report
+    }
+
+    pub fn report(&self) -> &SimReport {
+        &self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{laptop, Cluster};
+
+    fn exec(cores: usize) -> SimExecutor {
+        let mut profile = laptop();
+        profile.cores_per_node = cores;
+        SimExecutor::new(Cluster::new(profile, 1))
+    }
+
+    #[test]
+    fn fills_idle_cores_first() {
+        let mut e = exec(2);
+        let a = e.run_task(0.0, 1.0);
+        let b = e.run_task(0.0, 1.0);
+        let c = e.run_task(0.0, 1.0);
+        assert_ne!(a.core, b.core);
+        assert_eq!(a.start, 0.0);
+        assert_eq!(b.start, 0.0);
+        assert_eq!(c.start, 1.0, "third task waits for a free core");
+        assert_eq!(e.report().makespan_s, 2.0);
+    }
+
+    #[test]
+    fn respects_ready_time() {
+        let mut e = exec(4);
+        let p = e.run_task(5.0, 1.0);
+        assert_eq!(p.start, 5.0);
+        assert_eq!(p.end, 6.0);
+    }
+
+    #[test]
+    fn perfect_speedup_for_divisible_work() {
+        // 64 unit tasks on 8 cores -> makespan 8; on 16 cores -> 4.
+        let mut e8 = exec(8);
+        for _ in 0..64 {
+            e8.run_task(0.0, 1.0);
+        }
+        let mut e16 = exec(16);
+        for _ in 0..64 {
+            e16.run_task(0.0, 1.0);
+        }
+        assert_eq!(e8.report().makespan_s, 8.0);
+        assert_eq!(e16.report().makespan_s, 4.0);
+    }
+
+    #[test]
+    fn pinned_tasks_serialize_on_their_core() {
+        let mut e = exec(2);
+        let a = e.run_task_on(0, 0.0, 1.0);
+        let b = e.run_task_on(0, 0.0, 1.0);
+        assert_eq!(a.end, 1.0);
+        assert_eq!(b.start, 1.0);
+        assert_eq!(e.core_free_at(1), 0.0);
+    }
+
+    #[test]
+    fn makespan_monotone() {
+        let mut e = exec(2);
+        let mut last = 0.0;
+        for i in 0..20 {
+            e.run_task(0.0, 0.1 * (i % 3) as f64);
+            assert!(e.report().makespan_s >= last);
+            last = e.report().makespan_s;
+        }
+    }
+
+    #[test]
+    fn trace_records_placements() {
+        let mut e = exec(2);
+        e.enable_trace();
+        e.run_task(0.0, 1.0);
+        e.run_task(0.0, 2.0);
+        let t = e.trace().unwrap();
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.span(), 2.0);
+        assert!(t.gantt(2, 8).contains('#'));
+    }
+
+    #[test]
+    fn advance_makespan_only_grows() {
+        let mut e = exec(1);
+        e.run_task(0.0, 2.0);
+        e.advance_makespan(1.0);
+        assert_eq!(e.report().makespan_s, 2.0);
+        e.advance_makespan(3.0);
+        assert_eq!(e.report().makespan_s, 3.0);
+    }
+}

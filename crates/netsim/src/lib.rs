@@ -1,0 +1,29 @@
+//! Virtual-time cluster simulator.
+//!
+//! The paper's experiments ran on XSEDE Comet and Wrangler with up to 256
+//! cores. We reproduce their *scaling shapes* on a laptop by splitting
+//! "running a task" into two concerns:
+//!
+//! 1. **Real execution** — task closures genuinely run on the host and are
+//!    timed ([`clock::measure`]); every analysis result is real.
+//! 2. **Simulated placement** — measured durations are placed onto
+//!    simulated per-core timelines ([`SimExecutor`]) according to each
+//!    framework's scheduling semantics, and communication (broadcast,
+//!    shuffle, staging) advances virtual time through a [`NetworkModel`].
+//!
+//! The simulated makespan is what the experiment harness reports; it scales
+//! cleanly to 256 virtual cores regardless of host core count.
+
+pub mod broadcast;
+pub mod clock;
+pub mod cluster;
+pub mod executor;
+pub mod report;
+pub mod trace;
+
+pub use broadcast::{broadcast_time, BroadcastAlgo};
+pub use clock::{measure, measure_scaled};
+pub use cluster::{comet, laptop, wrangler, Cluster, MachineProfile, NetworkModel};
+pub use executor::{SimExecutor, TaskPlacement};
+pub use report::{Phase, SimReport};
+pub use trace::{Trace, TraceEvent};

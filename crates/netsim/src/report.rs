@@ -1,0 +1,90 @@
+//! Execution reports: what an experiment run measures.
+
+use serde::{Deserialize, Serialize};
+
+/// A named interval of the simulated run (e.g. "broadcast",
+/// "edge-discovery", "connected-components"). Fig. 8's broadcast/runtime
+/// breakdown is a two-phase report.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    pub name: String,
+    pub start_s: f64,
+    pub end_s: f64,
+}
+
+impl Phase {
+    pub fn duration(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// Aggregate metrics of one simulated framework run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Virtual wall-clock of the whole job.
+    pub makespan_s: f64,
+    /// Number of tasks placed.
+    pub tasks: usize,
+    /// Sum of simulated task durations (includes per-task overhead charged
+    /// inside tasks).
+    pub compute_s: f64,
+    /// Framework overhead charged outside task bodies (startup, dispatch,
+    /// DB round-trips).
+    pub overhead_s: f64,
+    /// Time spent in communication on the critical path.
+    pub comm_s: f64,
+    pub bytes_broadcast: u64,
+    pub bytes_shuffled: u64,
+    pub bytes_staged: u64,
+    pub phases: Vec<Phase>,
+}
+
+impl SimReport {
+    /// Record a phase interval.
+    pub fn push_phase(&mut self, name: impl Into<String>, start_s: f64, end_s: f64) {
+        assert!(end_s >= start_s, "phase ends before it starts");
+        self.phases.push(Phase { name: name.into(), start_s, end_s });
+    }
+
+    /// Duration of the first phase with this name, if recorded.
+    pub fn phase_duration(&self, name: &str) -> Option<f64> {
+        self.phases.iter().find(|p| p.name == name).map(Phase::duration)
+    }
+
+    /// Throughput in tasks per simulated second (0 for an empty run).
+    pub fn throughput(&self) -> f64 {
+        if self.makespan_s > 0.0 {
+            self.tasks as f64 / self.makespan_s
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_and_lookup() {
+        let mut r = SimReport::default();
+        r.push_phase("broadcast", 0.0, 1.5);
+        r.push_phase("map", 1.5, 4.0);
+        assert_eq!(r.phase_duration("broadcast"), Some(1.5));
+        assert_eq!(r.phase_duration("map"), Some(2.5));
+        assert_eq!(r.phase_duration("reduce"), None);
+    }
+
+    #[test]
+    fn throughput() {
+        let r = SimReport { makespan_s: 2.0, tasks: 100, ..Default::default() };
+        assert_eq!(r.throughput(), 50.0);
+        assert_eq!(SimReport::default().throughput(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_phase_panics() {
+        SimReport::default().push_phase("x", 2.0, 1.0);
+    }
+}

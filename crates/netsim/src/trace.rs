@@ -1,0 +1,121 @@
+//! Execution traces: an optional per-task record of the simulated
+//! schedule, renderable as a text Gantt chart — the visibility tool for
+//! debugging framework scheduling behaviour (stage barriers, stragglers,
+//! dispatch serialization).
+
+use serde::{Deserialize, Serialize};
+
+/// One scheduled task instance.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    pub task: usize,
+    pub core: usize,
+    pub start_s: f64,
+    pub end_s: f64,
+}
+
+/// A recorded schedule.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    pub fn push(&mut self, task: usize, core: usize, start_s: f64, end_s: f64) {
+        debug_assert!(end_s >= start_s);
+        self.events.push(TraceEvent { task, core, start_s, end_s });
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Makespan covered by the trace.
+    pub fn span(&self) -> f64 {
+        self.events.iter().map(|e| e.end_s).fold(0.0, f64::max)
+    }
+
+    /// Core utilization: busy time / (cores × makespan).
+    pub fn utilization(&self, n_cores: usize) -> f64 {
+        let span = self.span();
+        if span <= 0.0 || n_cores == 0 {
+            return 0.0;
+        }
+        let busy: f64 = self.events.iter().map(|e| e.end_s - e.start_s).sum();
+        busy / (n_cores as f64 * span)
+    }
+
+    /// Render a text Gantt chart: one row per core, `width` columns of
+    /// virtual time, `#` for busy, `.` for idle.
+    pub fn gantt(&self, n_cores: usize, width: usize) -> String {
+        assert!(width >= 1);
+        let span = self.span().max(f64::MIN_POSITIVE);
+        let mut rows = vec![vec![b'.'; width]; n_cores];
+        for e in &self.events {
+            if e.core >= n_cores {
+                continue;
+            }
+            let a = ((e.start_s / span) * width as f64).floor() as usize;
+            let b = (((e.end_s / span) * width as f64).ceil() as usize).clamp(a + 1, width);
+            for cell in &mut rows[e.core][a.min(width - 1)..b] {
+                *cell = b'#';
+            }
+        }
+        let mut out = String::new();
+        for (c, row) in rows.iter().enumerate() {
+            out.push_str(&format!("core {c:>3} |"));
+            out.push_str(std::str::from_utf8(row).expect("ascii"));
+            out.push('\n');
+        }
+        out.push_str(&format!("          0 .. {:.3}s\n", span));
+        out
+    }
+
+    /// Serialize as CSV (`task,core,start_s,end_s`), for external plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("task,core,start_s,end_s\n");
+        for e in &self.events {
+            out.push_str(&format!("{},{},{},{}\n", e.task, e.core, e.start_s, e.end_s));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Trace {
+        let mut t = Trace::default();
+        t.push(0, 0, 0.0, 1.0);
+        t.push(1, 1, 0.0, 0.5);
+        t.push(2, 1, 0.5, 2.0);
+        t
+    }
+
+    #[test]
+    fn span_and_utilization() {
+        let t = trace();
+        assert_eq!(t.span(), 2.0);
+        // busy = 1.0 + 0.5 + 1.5 = 3.0 over 2 cores × 2.0s.
+        assert!((t.utilization(2) - 0.75).abs() < 1e-12);
+        assert_eq!(Trace::default().utilization(2), 0.0);
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let g = trace().gantt(2, 10);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("core   0 |#####"));
+        assert!(lines[1].contains('#'));
+        assert!(lines[2].contains("2.000"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = trace().to_csv();
+        assert!(csv.starts_with("task,core,start_s,end_s\n"));
+        assert_eq!(csv.lines().count(), 4);
+    }
+}

@@ -1,0 +1,157 @@
+//! Pilot-MapReduce — the prototype MapReduce layer over the pilot
+//! abstraction that Fig. 1 marks as "*Prototype (Not part of
+//! RADICAL-Pilot Distribution)*" (Mantha et al. 2012).
+//!
+//! Because RADICAL-Pilot has no shuffle primitive (Table 1), the shuffle
+//! here is what the paper's text implies it must be: **filesystem-based**.
+//! Map units write their partitioned intermediate output through staging;
+//! the client regroups it by key; reduce units read their buckets back
+//! from staging. Every intermediate byte crosses the shared filesystem
+//! twice — which is exactly why the paper says RP's "file staging
+//! implementation … is not suitable for supporting the data exchange
+//! patterns, i.e. shuffling" (§4.4.2).
+
+use crate::{Session, UnitDescription};
+use netsim::SimReport;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use taskframe::{EngineError, Payload};
+
+/// Run MapReduce over a pilot session.
+///
+/// * `inputs` — one map task per element;
+/// * `map` — produces key–value pairs;
+/// * `n_reducers` — reduce-side parallelism (hash partitioning);
+/// * `reduce` — folds all values of one key.
+///
+/// Returns `(key, reduced value)` pairs (deterministic order: by reducer,
+/// then first appearance) and the cumulative report.
+pub fn map_reduce<I, K, V, M, R>(
+    session: &Session,
+    inputs: Vec<I>,
+    map: M,
+    n_reducers: usize,
+    reduce: R,
+) -> Result<(Vec<(K, V)>, SimReport), EngineError>
+where
+    I: Send + 'static,
+    K: Payload + Clone + Send + Eq + Hash + 'static,
+    V: Payload + Clone + Send + 'static,
+    M: Fn(I) -> Vec<(K, V)> + Clone + Send + 'static,
+    R: Fn(V, V) -> V + Clone + Send + 'static,
+{
+    assert!(n_reducers >= 1, "need at least one reducer");
+    // Map phase: one unit per input.
+    let map_units: Vec<UnitDescription<Vec<(K, V)>>> = inputs
+        .into_iter()
+        .map(|input| {
+            let map = map.clone();
+            UnitDescription::compute_only(move |_ctx, _| map(input))
+        })
+        .collect();
+    let map_out = session.submit_and_wait(map_units)?;
+
+    // Client-side shuffle: regroup by hash bucket. The bytes moved here
+    // were already charged as staging I/O by the map units' outputs; the
+    // reduce units' inputs charge the second traversal.
+    let mut buckets: Vec<Vec<(K, V)>> = (0..n_reducers).map(|_| Vec::new()).collect();
+    for pairs in map_out.results {
+        for (k, v) in pairs {
+            let mut h = DefaultHasher::new();
+            k.hash(&mut h);
+            buckets[(h.finish() % n_reducers as u64) as usize].push((k, v));
+        }
+    }
+
+    // Reduce phase: one unit per bucket, input staged by size (the real
+    // pairs are moved through the closure; the staged blob models the
+    // filesystem traffic of the same size).
+    let reduce_units: Vec<UnitDescription<Vec<(K, V)>>> = buckets
+        .into_iter()
+        .map(|bucket| {
+            let reduce = reduce.clone();
+            let staged_len = bucket.wire_bytes() as usize;
+            UnitDescription::new(vec![0u8; staged_len], move |_ctx, _| {
+                let mut order: Vec<K> = Vec::new();
+                let mut acc: HashMap<K, V> = HashMap::new();
+                for (k, v) in bucket {
+                    match acc.remove(&k) {
+                        Some(prev) => {
+                            acc.insert(k, reduce(prev, v));
+                        }
+                        None => {
+                            order.push(k.clone());
+                            acc.insert(k, v);
+                        }
+                    }
+                }
+                order
+                    .into_iter()
+                    .map(|k| {
+                        let v = acc.remove(&k).expect("key present");
+                        (k, v)
+                    })
+                    .collect()
+            })
+        })
+        .collect();
+    let reduce_out = session.submit_and_wait(reduce_units)?;
+    Ok((reduce_out.results.into_iter().flatten().collect(), reduce_out.report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{laptop, Cluster};
+
+    fn session() -> Session {
+        Session::new(Cluster::new(laptop(), 1)).unwrap()
+    }
+
+    #[test]
+    fn word_count_shape() {
+        let s = session();
+        let docs = vec![vec![1u32, 2, 2], vec![2, 3], vec![1, 3, 3, 3]];
+        let (mut out, report) = map_reduce(
+            &s,
+            docs,
+            |doc: Vec<u32>| doc.into_iter().map(|w| (w, 1u64)).collect(),
+            2,
+            |a, b| a + b,
+        )
+        .unwrap();
+        out.sort_unstable();
+        assert_eq!(out, vec![(1, 2), (2, 3), (3, 4)]);
+        assert_eq!(report.tasks, 3 + 2, "3 map units + 2 reduce units");
+        assert!(report.bytes_staged > 0, "shuffle goes through the filesystem");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = session();
+        let (out, _) = map_reduce(
+            &s,
+            Vec::<u32>::new(),
+            |x: u32| vec![(x, 1u64)],
+            2,
+            |a, b| a + b,
+        )
+        .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_reducer_preserves_first_appearance_order() {
+        let s = session();
+        let (out, _) = map_reduce(
+            &s,
+            vec![vec![5u32, 1, 5]],
+            |doc: Vec<u32>| doc.into_iter().map(|w| (w, 1u64)).collect(),
+            1,
+            |a, b| a + b,
+        )
+        .unwrap();
+        assert_eq!(out, vec![(5, 2), (1, 1)]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Driver context: cluster handle, virtual-time state, broadcast variables.
+
+use netsim::{broadcast_time, Cluster, SimExecutor, SimReport};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use taskframe::{spark_profile, EngineError, FrameworkProfile, Payload};
+
+pub(crate) struct JobState {
+    pub exec: SimExecutor,
+    /// Virtual time before which no new stage may start (stage barrier).
+    pub frontier: f64,
+    pub next_task: usize,
+    /// Straggler mitigation (the paper's §6 future-work item): when set,
+    /// a task running longer than `threshold × stage median` is assumed
+    /// to have a speculative backup launched on another core, capping its
+    /// effective duration at that bound.
+    pub speculation: Option<f64>,
+}
+
+pub(crate) struct CtxInner {
+    pub cluster: Cluster,
+    pub profile: FrameworkProfile,
+    pub state: Mutex<JobState>,
+}
+
+/// The driver handle — equivalent of `pyspark.SparkContext`.
+#[derive(Clone)]
+pub struct SparkContext {
+    pub(crate) inner: Arc<CtxInner>,
+}
+
+impl SparkContext {
+    /// Connect a driver to a cluster (charges Spark's job startup).
+    pub fn new(cluster: Cluster) -> Self {
+        Self::with_profile(cluster, spark_profile())
+    }
+
+    /// Override the framework profile (used by ablation benches).
+    pub fn with_profile(cluster: Cluster, profile: FrameworkProfile) -> Self {
+        let mut exec = SimExecutor::new(cluster.clone());
+        exec.report_mut().overhead_s += profile.startup_s;
+        let startup = profile.startup_s;
+        exec.advance_makespan(startup);
+        SparkContext {
+            inner: Arc::new(CtxInner {
+                cluster,
+                profile,
+                state: Mutex::new(JobState {
+                    exec,
+                    frontier: startup,
+                    next_task: 0,
+                    speculation: None,
+                }),
+            }),
+        }
+    }
+
+    pub fn cluster(&self) -> &Cluster {
+        &self.inner.cluster
+    }
+
+    /// Distribute a dataset into `n_partitions` as an RDD.
+    pub fn parallelize<T>(&self, data: Vec<T>, n_partitions: usize) -> crate::Rdd<T>
+    where
+        T: Payload + Clone + Send + Sync + 'static,
+    {
+        crate::Rdd::parallelize(self.clone(), data, n_partitions)
+    }
+
+    /// Ship a read-only value to every node once (torrent-style tree
+    /// broadcast — cost grows with log of node count, Fig. 8).
+    ///
+    /// Fails if a per-node replica cannot fit in node memory.
+    pub fn broadcast<T>(&self, value: T) -> Result<Broadcast<T>, EngineError>
+    where
+        T: Payload,
+    {
+        let bytes = value.wire_bytes();
+        let items = value.item_count();
+        let mem = self.inner.cluster.profile.mem_per_node;
+        if bytes > mem {
+            return Err(EngineError::OutOfMemory {
+                node_mem: mem,
+                required: bytes,
+                what: "broadcast replica".into(),
+            });
+        }
+        let mut st = self.inner.state.lock();
+        let dests = self.inner.cluster.nodes.saturating_sub(1);
+        let t = broadcast_time(
+            &self.inner.cluster.profile.network,
+            self.inner.profile.broadcast,
+            bytes,
+            items,
+            dests,
+        ) + self.inner.profile.ser_time(bytes)
+            + self.inner.profile.per_transfer_overhead_s * dests.max(1) as f64;
+        let start = st.frontier;
+        st.frontier += t;
+        let end = st.frontier;
+        st.exec.advance_makespan(end);
+        let r = st.exec.report_mut();
+        r.comm_s += t;
+        r.bytes_broadcast += bytes * dests.max(1) as u64;
+        r.push_phase("broadcast", start, end);
+        Ok(Broadcast { value: Arc::new(value) })
+    }
+
+    /// Enable speculative execution: tasks exceeding `threshold ×` the
+    /// stage's median duration are capped at that bound, as if a backup
+    /// copy had been launched on an idle core (Spark's
+    /// `spark.speculation`; the paper's §6 straggler-mitigation item).
+    pub fn enable_speculation(&self, threshold: f64) {
+        assert!(threshold > 1.0, "speculation threshold must exceed 1.0");
+        self.inner.state.lock().speculation = Some(threshold);
+    }
+
+    /// Charge driver-side work (e.g. a final connected-components pass on
+    /// collected results) to the virtual clock, recorded as a named phase.
+    pub fn charge_driver(&self, phase: &str, secs: f64) {
+        assert!(secs >= 0.0, "cannot charge negative time");
+        let mut st = self.inner.state.lock();
+        let start = st.frontier;
+        st.frontier += secs;
+        let end = st.frontier;
+        st.exec.advance_makespan(end);
+        st.exec.report_mut().push_phase(phase, start, end);
+    }
+
+    /// Record a named phase covering `[start, end]` in virtual time
+    /// without advancing the clock (annotation only).
+    pub fn note_phase(&self, phase: &str, start: f64, end: f64) {
+        let mut st = self.inner.state.lock();
+        st.exec.report_mut().push_phase(phase, start, end);
+    }
+
+    /// Current virtual frontier (end of all completed work).
+    pub fn now(&self) -> f64 {
+        self.inner.state.lock().frontier
+    }
+
+    /// Snapshot of the simulated execution report so far.
+    pub fn report(&self) -> SimReport {
+        let st = self.inner.state.lock();
+        let mut r = st.exec.report().clone();
+        r.makespan_s = r.makespan_s.max(st.frontier);
+        r
+    }
+}
+
+/// A broadcast variable: cheap to clone into task closures, shared
+/// storage per node.
+pub struct Broadcast<T> {
+    value: Arc<T>,
+}
+
+impl<T> Clone for Broadcast<T> {
+    fn clone(&self) -> Self {
+        Broadcast { value: Arc::clone(&self.value) }
+    }
+}
+
+impl<T> Broadcast<T> {
+    /// Access the broadcast value.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+}

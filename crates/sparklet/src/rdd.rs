@@ -1,0 +1,355 @@
+//! Resilient Distributed Datasets: lazy lineage, stages, actions.
+
+use crate::context::{JobState, SparkContext};
+use netsim::measure;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use taskframe::{Payload, TaskCtx};
+
+type Compute<T> = Arc<dyn Fn(usize, &TaskCtx) -> Vec<T> + Send + Sync>;
+type Prepare = Arc<dyn Fn(&mut JobState) -> Vec<f64> + Send + Sync>;
+
+/// A distributed collection with lazy lineage.
+///
+/// Narrow transformations (`map`, `filter`, `flat_map`, `map_partitions`)
+/// fuse into their parent's stage: the child's per-partition compute
+/// closure invokes the parent's inline, so one task executes the whole
+/// fused pipeline — exactly Spark's stage fusion. Wide transformations
+/// (`group_by_key`, `reduce_by_key`) cut a stage boundary and shuffle.
+pub struct Rdd<T> {
+    ctx: SparkContext,
+    n_partitions: usize,
+    /// Runs any upstream stages (shuffles) and returns per-partition ready
+    /// times for this stage's tasks.
+    prepare: Prepare,
+    compute: Compute<T>,
+    /// Filled on first materialization iff `persisted`.
+    cache: Arc<Mutex<Option<Vec<Vec<T>>>>>,
+    persisted: bool,
+}
+
+impl<T> Clone for Rdd<T> {
+    fn clone(&self) -> Self {
+        Rdd {
+            ctx: self.ctx.clone(),
+            n_partitions: self.n_partitions,
+            prepare: Arc::clone(&self.prepare),
+            compute: Arc::clone(&self.compute),
+            cache: Arc::clone(&self.cache),
+            persisted: self.persisted,
+        }
+    }
+}
+
+impl<T> Rdd<T>
+where
+    T: Payload + Clone + Send + Sync + 'static,
+{
+    pub(crate) fn parallelize(ctx: SparkContext, data: Vec<T>, n_partitions: usize) -> Self {
+        assert!(n_partitions >= 1, "need at least one partition");
+        let chunks = split_evenly(data, n_partitions);
+        let chunks = Arc::new(chunks);
+        Rdd {
+            ctx,
+            n_partitions,
+            prepare: Arc::new(|state: &mut JobState| vec![state.frontier; 0]),
+            compute: Arc::new(move |p, _ctx| chunks[p].clone()),
+            cache: Arc::new(Mutex::new(None)),
+            persisted: false,
+        }
+    }
+
+    /// Construct from explicit per-partition compute (used by shuffles and
+    /// by `mdtask-core` to create one task per pre-partitioned data block).
+    pub fn from_partitions(
+        ctx: SparkContext,
+        n_partitions: usize,
+        compute: impl Fn(usize, &TaskCtx) -> Vec<T> + Send + Sync + 'static,
+    ) -> Self {
+        assert!(n_partitions >= 1, "need at least one partition");
+        Rdd {
+            ctx,
+            n_partitions,
+            prepare: Arc::new(|state: &mut JobState| vec![state.frontier; 0]),
+            compute: Arc::new(compute),
+            cache: Arc::new(Mutex::new(None)),
+            persisted: false,
+        }
+    }
+
+    /// Internal all-fields constructor (shuffle outputs use it).
+    pub(crate) fn assemble(
+        ctx: SparkContext,
+        n_partitions: usize,
+        prepare: Prepare,
+        compute: Compute<T>,
+    ) -> Self {
+        Rdd {
+            ctx,
+            n_partitions,
+            prepare,
+            compute,
+            cache: Arc::new(Mutex::new(None)),
+            persisted: false,
+        }
+    }
+
+    pub fn n_partitions(&self) -> usize {
+        self.n_partitions
+    }
+
+    pub fn context(&self) -> &SparkContext {
+        &self.ctx
+    }
+
+    /// Mark for in-memory caching: the first action materializes, later
+    /// actions reuse.
+    pub fn persist(&self) -> Self {
+        let mut c = self.clone();
+        c.persisted = true;
+        c
+    }
+
+    /// Per-partition input, honouring this RDD's cache (used by fused
+    /// children).
+    fn partition_input(&self, p: usize, ctx: &TaskCtx) -> Vec<T> {
+        if self.persisted {
+            if let Some(cached) = self.cache.lock().as_ref() {
+                return cached[p].clone();
+            }
+        }
+        (self.compute)(p, ctx)
+    }
+
+    /// Crate-visible accessors for operator extensions (`rdd_ext`).
+    pub(crate) fn stage_ready_public(&self, state: &mut JobState) -> Vec<f64> {
+        self.stage_ready(state)
+    }
+
+    pub(crate) fn partition_input_public(&self, p: usize, ctx: &TaskCtx) -> Vec<T> {
+        self.partition_input(p, ctx)
+    }
+
+    /// Ready times for this RDD's stage: skip upstream work if this RDD is
+    /// already cached.
+    fn stage_ready(&self, state: &mut JobState) -> Vec<f64> {
+        if self.persisted && self.cache.lock().is_some() {
+            return vec![state.frontier; self.n_partitions];
+        }
+        let r = (self.prepare)(state);
+        if r.is_empty() {
+            vec![state.frontier; self.n_partitions]
+        } else {
+            r
+        }
+    }
+
+    /// Execute this RDD's stage: one task per partition, stage barrier at
+    /// the end. Returns materialized partitions.
+    pub(crate) fn run_stage(&self, state: &mut JobState) -> Vec<Vec<T>> {
+        if self.persisted {
+            if let Some(cached) = self.cache.lock().as_ref() {
+                return cached.clone();
+            }
+        }
+        let ready = self.stage_ready(state);
+        let profile = self.ctx.inner.profile.clone();
+        let cluster = self.ctx.inner.cluster.clone();
+        let dispatch_base = state.frontier;
+        let mut results = Vec::with_capacity(self.n_partitions);
+        // Pass 1: execute every task for real and record its duration.
+        let mut durs = Vec::with_capacity(self.n_partitions);
+        for p in 0..self.n_partitions {
+            let tctx = TaskCtx::new(state.next_task, p);
+            state.next_task += 1;
+            let (out, host_s) = measure(|| (self.compute)(p, &tctx));
+            // Worker overhead is CPU work on the executing core, so it is
+            // subject to the same per-core efficiency as the kernel.
+            let dur = cluster.scale_compute(host_s + profile.worker_overhead_s)
+                + tctx.charged()
+                + profile.ser_time(out.wire_bytes());
+            durs.push(dur);
+            results.push(out);
+        }
+        // Speculative execution: cap stragglers at threshold × median, as
+        // if a backup attempt had been scheduled on an idle core.
+        if let Some(threshold) = state.speculation {
+            let mut sorted = durs.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+            let median = sorted[sorted.len() / 2];
+            let cap = threshold * median + cluster.scale_compute(profile.worker_overhead_s);
+            for d in &mut durs {
+                if *d > cap {
+                    *d = cap;
+                }
+            }
+        }
+        // Pass 2: place tasks on the simulated cores.
+        let mut stage_end = state.frontier;
+        for (p, dur) in durs.into_iter().enumerate() {
+            // Central dispatch: the driver releases tasks one at a time.
+            let release =
+                ready[p].max(dispatch_base + (p + 1) as f64 * profile.central_dispatch_s);
+            let placement = state.exec.run_task(release, dur);
+            stage_end = stage_end.max(placement.end);
+            state.exec.report_mut().overhead_s +=
+                profile.worker_overhead_s + profile.central_dispatch_s;
+        }
+        // Stage-oriented scheduler: nothing downstream starts earlier.
+        state.frontier = stage_end;
+        if self.persisted {
+            *self.cache.lock() = Some(results.clone());
+        }
+        results
+    }
+
+    // ---- narrow transformations (fuse into this stage) ----
+
+    pub fn map<U, F>(&self, f: F) -> Rdd<U>
+    where
+        U: Payload + Clone + Send + Sync + 'static,
+        F: Fn(T) -> U + Send + Sync + 'static,
+    {
+        let parent = self.clone();
+        self.derive(move |p, ctx| parent.partition_input(p, ctx).into_iter().map(&f).collect())
+    }
+
+    pub fn filter<F>(&self, f: F) -> Rdd<T>
+    where
+        F: Fn(&T) -> bool + Send + Sync + 'static,
+    {
+        let parent = self.clone();
+        self.derive(move |p, ctx| {
+            parent.partition_input(p, ctx).into_iter().filter(|x| f(x)).collect()
+        })
+    }
+
+    pub fn flat_map<U, F, I>(&self, f: F) -> Rdd<U>
+    where
+        U: Payload + Clone + Send + Sync + 'static,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Send + Sync + 'static,
+    {
+        let parent = self.clone();
+        self.derive(move |p, ctx| {
+            parent.partition_input(p, ctx).into_iter().flat_map(&f).collect()
+        })
+    }
+
+    /// Transform a whole partition at once (Spark's `mapPartitions`) — the
+    /// shape the MD pipelines use for per-block kernels.
+    pub fn map_partitions<U, F>(&self, f: F) -> Rdd<U>
+    where
+        U: Payload + Clone + Send + Sync + 'static,
+        F: Fn(Vec<T>) -> Vec<U> + Send + Sync + 'static,
+    {
+        let parent = self.clone();
+        self.derive(move |p, ctx| f(parent.partition_input(p, ctx)))
+    }
+
+    fn derive<U>(&self, compute: impl Fn(usize, &TaskCtx) -> Vec<U> + Send + Sync + 'static) -> Rdd<U>
+    where
+        U: Payload + Clone + Send + Sync + 'static,
+    {
+        let parent = self.clone();
+        Rdd {
+            ctx: self.ctx.clone(),
+            n_partitions: self.n_partitions,
+            prepare: Arc::new(move |state| parent.stage_ready(state)),
+            compute: Arc::new(compute),
+            cache: Arc::new(Mutex::new(None)),
+            persisted: false,
+        }
+    }
+
+    // ---- actions ----
+
+    /// Materialize and pull all partitions to the driver.
+    pub fn collect(&self) -> Vec<T> {
+        let mut st = self.ctx.inner.state.lock();
+        let parts = self.run_stage(&mut st);
+        // Driver gather: results stream back over the network.
+        let profile = &self.ctx.inner.profile;
+        let net = self.ctx.inner.cluster.profile.network;
+        let mut gather = 0.0;
+        for (p, part) in parts.iter().enumerate() {
+            let same = self.ctx.inner.cluster.node_of_core(p % self.ctx.inner.cluster.total_cores()) == 0;
+            gather += net.transfer_time(part.wire_bytes(), same) + profile.per_transfer_overhead_s;
+        }
+        st.frontier += gather;
+        let f = st.frontier;
+        st.exec.advance_makespan(f);
+        st.exec.report_mut().comm_s += gather;
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Materialize and count elements.
+    pub fn count(&self) -> usize {
+        let mut st = self.ctx.inner.state.lock();
+        let parts = self.run_stage(&mut st);
+        st.frontier += self.ctx.inner.cluster.profile.network.latency_s;
+        let f = st.frontier;
+        st.exec.advance_makespan(f);
+        parts.iter().map(Vec::len).sum()
+    }
+
+    /// Fold all elements with an associative `f` (per-partition fold, then
+    /// driver-side combine of one value per partition).
+    pub fn reduce(&self, f: impl Fn(T, T) -> T) -> Option<T> {
+        let mut st = self.ctx.inner.state.lock();
+        let parts = self.run_stage(&mut st);
+        let net = self.ctx.inner.cluster.profile.network;
+        let mut gather = 0.0;
+        let mut acc: Option<T> = None;
+        for part in parts {
+            if let Some(local) = part.into_iter().reduce(&f) {
+                gather += net.transfer_time(local.wire_bytes(), false);
+                acc = Some(match acc {
+                    None => local,
+                    Some(a) => f(a, local),
+                });
+            }
+        }
+        st.frontier += gather;
+        let fr = st.frontier;
+        st.exec.advance_makespan(fr);
+        st.exec.report_mut().comm_s += gather;
+        acc
+    }
+}
+
+/// Split a vector into `n` nearly-equal chunks (first `len % n` chunks get
+/// one extra element), preserving order.
+pub(crate) fn split_evenly<T>(data: Vec<T>, n: usize) -> Vec<Vec<T>> {
+    let len = data.len();
+    let base = len / n;
+    let extra = len % n;
+    let mut out = Vec::with_capacity(n);
+    let mut it = data.into_iter();
+    for i in 0..n {
+        let take = base + usize::from(i < extra);
+        out.push(it.by_ref().take(take).collect());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::split_evenly;
+
+    #[test]
+    fn split_evenly_covers_all() {
+        let parts = split_evenly((0..10).collect::<Vec<_>>(), 3);
+        assert_eq!(parts, vec![vec![0, 1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]]);
+        let empty = split_evenly(Vec::<u32>::new(), 4);
+        assert_eq!(empty.len(), 4);
+        assert!(empty.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn split_more_parts_than_items() {
+        let parts = split_evenly(vec![1, 2], 5);
+        assert_eq!(parts.iter().filter(|p| !p.is_empty()).count(), 2);
+        assert_eq!(parts.len(), 5);
+    }
+}

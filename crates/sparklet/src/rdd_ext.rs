@@ -1,0 +1,220 @@
+//! Additional RDD operators: `union`, `zip_with_index`, `distinct`,
+//! `sort_by`, and pair-RDD `join` — the rest of the RDD API surface a
+//! PySpark port of the paper's scripts touches.
+
+use crate::context::JobState;
+use crate::rdd::Rdd;
+
+use std::hash::Hash;
+use std::sync::Arc;
+use taskframe::{Payload, TaskCtx};
+
+impl<T> Rdd<T>
+where
+    T: Payload + Clone + Send + Sync + 'static,
+{
+    /// Concatenate two RDDs: the result has the partitions of both,
+    /// side by side (a narrow transformation — no shuffle).
+    pub fn union(&self, other: &Rdd<T>) -> Rdd<T> {
+        let left = self.clone();
+        let right = other.clone();
+        let split = left.n_partitions();
+        let total = split + right.n_partitions();
+        let prepare_left = left.clone();
+        let prepare_right = right.clone();
+        let ctx = self.context().clone();
+        Rdd::assemble(
+            ctx,
+            total,
+            Arc::new(move |state: &mut JobState| {
+                // Both parents' upstream stages must be ready; their ready
+                // vectors concatenate in partition order.
+                let mut ready = prepare_left.stage_ready_public(state);
+                ready.extend(prepare_right.stage_ready_public(state));
+                ready
+            }),
+            Arc::new(move |p, tctx: &TaskCtx| {
+                if p < split {
+                    left.partition_input_public(p, tctx)
+                } else {
+                    right.partition_input_public(p - split, tctx)
+                }
+            }),
+        )
+    }
+
+    /// Tag every element with its global index (partition-major order).
+    /// Spark runs a lightweight count pass first; here partition sizes are
+    /// computed inside the fused pipeline.
+    pub fn zip_with_index(&self) -> Rdd<(T, u64)> {
+        // Two-phase like Spark: a count job determines per-partition
+        // offsets, then the map tags elements.
+        let counts: Vec<u64> = {
+            let mut st = self.context().inner.state.lock();
+            self.run_stage(&mut st).iter().map(|p| p.len() as u64).collect()
+        };
+        let mut offsets = Vec::with_capacity(counts.len());
+        let mut acc = 0u64;
+        for c in counts {
+            offsets.push(acc);
+            acc += c;
+        }
+        let parent = self.clone();
+        let offsets = Arc::new(offsets);
+        let prepare_parent = self.clone();
+        Rdd::assemble(
+            self.context().clone(),
+            self.n_partitions(),
+            Arc::new(move |state: &mut JobState| prepare_parent.stage_ready_public(state)),
+            Arc::new(move |p, tctx: &TaskCtx| {
+                parent
+                    .partition_input_public(p, tctx)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, x)| (x, offsets[p] + i as u64))
+                    .collect()
+            }),
+        )
+    }
+}
+
+impl<T> Rdd<T>
+where
+    T: Payload + Clone + Send + Sync + Eq + Hash + 'static,
+{
+    /// Remove duplicates (a shuffle: elements are hash-partitioned so
+    /// equal values land in the same reducer).
+    pub fn distinct(&self, n_out: usize) -> Rdd<T> {
+        self.map(|x| (x, ()))
+            .reduce_by_key(n_out, |_, _| ())
+            .map(|(x, ())| x)
+    }
+}
+
+impl<T> Rdd<T>
+where
+    T: Payload + Clone + Send + Sync + 'static,
+{
+    /// Globally sort by a key function (shuffle into ordered range
+    /// partitions is approximated by a single-reducer sort for clarity —
+    /// `n_out` reducers each sort locally, and `collect` preserves reducer
+    /// order, so keys are globally ordered when `n_out == 1`).
+    pub fn sort_by<K>(&self, key: impl Fn(&T) -> K + Send + Sync + 'static) -> Rdd<T>
+    where
+        K: Ord + Payload + Clone + Send + Sync + Eq + Hash + 'static,
+    {
+        let keyed = self.map(move |x| {
+            let k = key(&x);
+            (k, x)
+        });
+        let grouped = keyed.group_by_key(1);
+        grouped.map_partitions(|mut groups: Vec<(K, Vec<T>)>| {
+            groups.sort_by(|a, b| a.0.cmp(&b.0));
+            groups.into_iter().flat_map(|(_, vs)| vs).collect()
+        })
+    }
+}
+
+impl<K, V> Rdd<(K, V)>
+where
+    K: Payload + Clone + Send + Sync + Eq + Hash + 'static,
+    V: Payload + Clone + Send + Sync + 'static,
+{
+    /// Inner join with another pair RDD (co-grouped shuffle).
+    pub fn join<W>(&self, other: &Rdd<(K, W)>, n_out: usize) -> Rdd<(K, (V, W))>
+    where
+        W: Payload + Clone + Send + Sync + 'static,
+    {
+        // Tag sides, union, group, emit the cross product per key.
+        let left = self.map(|(k, v)| (k, (Some(v), None::<W>)));
+        let right = other.map(|(k, w)| (k, (None::<V>, Some(w))));
+        left.union(&right).group_by_key(n_out).flat_map(|(k, pairs)| {
+            let mut vs = Vec::new();
+            let mut ws = Vec::new();
+            for (v, w) in pairs {
+                if let Some(v) = v {
+                    vs.push(v);
+                }
+                if let Some(w) = w {
+                    ws.push(w);
+                }
+            }
+            let mut out = Vec::with_capacity(vs.len() * ws.len());
+            for v in &vs {
+                for w in &ws {
+                    out.push((k.clone(), (v.clone(), w.clone())));
+                }
+            }
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::SparkContext;
+    use netsim::{laptop, Cluster};
+
+    fn ctx() -> SparkContext {
+        SparkContext::new(Cluster::new(laptop(), 2))
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let sc = ctx();
+        let a = sc.parallelize(vec![1u32, 2], 2);
+        let b = sc.parallelize(vec![3u32, 4, 5], 2);
+        assert_eq!(a.union(&b).collect(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(a.union(&b).n_partitions(), 4);
+    }
+
+    #[test]
+    fn zip_with_index_is_global() {
+        let sc = ctx();
+        let rdd = sc.parallelize((10..20u32).collect(), 3).zip_with_index();
+        let out = rdd.collect();
+        for (i, (v, idx)) in out.iter().enumerate() {
+            assert_eq!(*idx, i as u64);
+            assert_eq!(*v, 10 + i as u32);
+        }
+    }
+
+    #[test]
+    fn distinct_dedupes_across_partitions() {
+        let sc = ctx();
+        let mut out = sc
+            .parallelize(vec![3u32, 1, 3, 2, 1, 3, 2, 2], 4)
+            .distinct(2)
+            .collect();
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sort_by_orders_globally() {
+        let sc = ctx();
+        let out = sc
+            .parallelize(vec![5u32, 1, 4, 2, 3], 3)
+            .sort_by(|x| *x)
+            .collect();
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn join_inner() {
+        let sc = ctx();
+        let a = sc.parallelize(vec![(1u32, 10u32), (2, 20), (1, 11)], 2);
+        let b = sc.parallelize(vec![(1u32, 100u32), (3, 300)], 2);
+        let mut out = a.join(&b, 2).collect();
+        out.sort_unstable();
+        assert_eq!(out, vec![(1, (10, 100)), (1, (11, 100))]);
+    }
+
+    #[test]
+    fn union_of_transformed_lineages() {
+        let sc = ctx();
+        let a = sc.parallelize(vec![1u32, 2, 3], 2).map(|x| x * 10);
+        let b = sc.parallelize(vec![4u32], 1).filter(|x| *x > 0);
+        assert_eq!(a.union(&b).collect(), vec![10, 20, 30, 4]);
+    }
+}

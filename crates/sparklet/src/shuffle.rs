@@ -1,0 +1,217 @@
+//! Wide (shuffle) transformations on key-value RDDs.
+//!
+//! A shuffle ends the current stage: the parent's map tasks all run
+//! (barrier), their outputs are hash-partitioned into `n_out` buckets,
+//! every map-partition→reduce-partition transfer is charged against the
+//! network model, and the next stage's tasks become ready only after their
+//! inbound fetches complete. Shuffle output is kept (Spark writes shuffle
+//! files to disk, §3.1: "it allows quick access to those data"), so
+//! repeated actions do not re-shuffle.
+
+use crate::context::JobState;
+use crate::rdd::Rdd;
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use taskframe::Payload;
+
+/// Deterministic hash partitioner (SipHash with fixed keys, like Spark's
+/// default `hashCode % numPartitions`).
+pub(crate) fn bucket_of<K: Hash>(key: &K, n_out: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % n_out as u64) as usize
+}
+
+type Buckets<K, V> = Arc<Mutex<Option<Vec<Vec<(K, V)>>>>>;
+
+impl<K, V> Rdd<(K, V)>
+where
+    K: Payload + Clone + Send + Sync + Eq + Hash + 'static,
+    V: Payload + Clone + Send + Sync + 'static,
+{
+    /// Group values by key into `n_out` reduce partitions (full shuffle of
+    /// every record).
+    pub fn group_by_key(&self, n_out: usize) -> Rdd<(K, Vec<V>)> {
+        let (store, ctx, prepare) = self.shuffle_machinery(n_out, |part| part);
+        Rdd::shuffled(ctx, n_out, prepare, move |q, _tctx| {
+            let guard = store.lock();
+            let bucket = &guard.as_ref().expect("shuffle materialized")[q];
+            // Group preserving first-appearance order (deterministic).
+            let mut order: Vec<K> = Vec::new();
+            let mut groups: HashMap<K, Vec<V>> = HashMap::new();
+            for (k, v) in bucket {
+                groups
+                    .entry(k.clone())
+                    .or_insert_with(|| {
+                        order.push(k.clone());
+                        Vec::new()
+                    })
+                    .push(v.clone());
+            }
+            order.into_iter().map(|k| {
+                let vs = groups.remove(&k).expect("key present");
+                (k, vs)
+            }).collect()
+        })
+    }
+
+    /// Combine values per key with map-side combining (Spark's
+    /// `reduceByKey`): each map partition pre-reduces locally, shrinking
+    /// the shuffled volume.
+    pub fn reduce_by_key(
+        &self,
+        n_out: usize,
+        f: impl Fn(V, V) -> V + Send + Sync + Clone + 'static,
+    ) -> Rdd<(K, V)> {
+        let combine = {
+            let f = f.clone();
+            move |part: Vec<(K, V)>| -> Vec<(K, V)> { combine_by_key(part, &f) }
+        };
+        let (store, ctx, prepare) = self.shuffle_machinery(n_out, combine);
+        Rdd::shuffled(ctx, n_out, prepare, move |q, _tctx| {
+            let guard = store.lock();
+            let bucket = guard.as_ref().expect("shuffle materialized")[q].clone();
+            combine_by_key(bucket, &f)
+        })
+    }
+
+    /// Shared shuffle plumbing: returns the bucket store, the context, and
+    /// the prepare closure that runs the map stage + shuffle exactly once.
+    #[allow(clippy::type_complexity)]
+    fn shuffle_machinery(
+        &self,
+        n_out: usize,
+        map_side: impl Fn(Vec<(K, V)>) -> Vec<(K, V)> + Send + Sync + 'static,
+    ) -> (
+        Buckets<K, V>,
+        crate::SparkContext,
+        Arc<dyn Fn(&mut JobState) -> Vec<f64> + Send + Sync>,
+    ) {
+        assert!(n_out >= 1, "need at least one reduce partition");
+        let parent = self.clone();
+        let ctx = self.context().clone();
+        let store: Buckets<K, V> = Arc::new(Mutex::new(None));
+        let prepare_store = Arc::clone(&store);
+        let cluster = ctx.inner.cluster.clone();
+        let profile = ctx.inner.profile.clone();
+        let prepare = Arc::new(move |state: &mut JobState| -> Vec<f64> {
+            let mut guard = prepare_store.lock();
+            if guard.is_some() {
+                // Shuffle files already on disk: reducers are ready now.
+                return vec![state.frontier; n_out];
+            }
+            let parts = parent.run_stage(state);
+            let n_map = parts.len();
+            let map_end = state.frontier;
+            let total_cores = cluster.total_cores();
+            let node_of_part = |p: usize| cluster.node_of_core(p % total_cores);
+            // Hash-partition, tracking per (map, reduce) byte volumes.
+            let mut buckets: Vec<Vec<(K, V)>> = (0..n_out).map(|_| Vec::new()).collect();
+            let mut bytes_pq = vec![vec![0u64; n_out]; n_map];
+            for (p, part) in parts.into_iter().enumerate() {
+                for kv in map_side(part) {
+                    let q = bucket_of(&kv.0, n_out);
+                    bytes_pq[p][q] += kv.wire_bytes();
+                    buckets[q].push(kv);
+                }
+            }
+            // Each reducer fetches its slice from every map output.
+            let net = cluster.profile.network;
+            let mut ready = vec![map_end; n_out];
+            let mut total_bytes = 0u64;
+            let mut max_fetch = 0.0f64;
+            for (q, r) in ready.iter_mut().enumerate() {
+                let mut fetch = 0.0;
+                for (p, row) in bytes_pq.iter().enumerate() {
+                    let b = row[q];
+                    if b > 0 {
+                        let same = node_of_part(p) == node_of_part(q);
+                        fetch += net.transfer_time(b, same)
+                            + profile.per_transfer_overhead_s
+                            + profile.ser_time(b);
+                        total_bytes += b;
+                    }
+                }
+                *r = map_end + fetch;
+                max_fetch = max_fetch.max(fetch);
+            }
+            let rep = state.exec.report_mut();
+            rep.bytes_shuffled += total_bytes;
+            rep.comm_s += max_fetch;
+            rep.push_phase("shuffle", map_end, map_end + max_fetch);
+            *guard = Some(buckets);
+            ready
+        });
+        (store, ctx, prepare)
+    }
+}
+
+/// Fold values by key, preserving first-appearance key order.
+fn combine_by_key<K, V>(part: Vec<(K, V)>, f: &impl Fn(V, V) -> V) -> Vec<(K, V)>
+where
+    K: Eq + Hash + Clone,
+{
+    let mut order: Vec<K> = Vec::new();
+    let mut acc: HashMap<K, V> = HashMap::new();
+    for (k, v) in part {
+        match acc.remove(&k) {
+            Some(prev) => {
+                acc.insert(k, f(prev, v));
+            }
+            None => {
+                order.push(k.clone());
+                acc.insert(k, v);
+            }
+        }
+    }
+    order
+        .into_iter()
+        .map(|k| {
+            let v = acc.remove(&k).expect("key present");
+            (k, v)
+        })
+        .collect()
+}
+
+impl<T> Rdd<T>
+where
+    T: Payload + Clone + Send + Sync + 'static,
+{
+    /// Internal constructor for shuffle outputs.
+    pub(crate) fn shuffled(
+        ctx: crate::SparkContext,
+        n_partitions: usize,
+        prepare: Arc<dyn Fn(&mut JobState) -> Vec<f64> + Send + Sync>,
+        compute: impl Fn(usize, &taskframe::TaskCtx) -> Vec<T> + Send + Sync + 'static,
+    ) -> Self {
+        Rdd::assemble(ctx, n_partitions, prepare, Arc::new(compute))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_is_deterministic_and_in_range() {
+        for n in 1..8usize {
+            for k in 0..100u32 {
+                let b = bucket_of(&k, n);
+                assert!(b < n);
+                assert_eq!(b, bucket_of(&k, n));
+            }
+        }
+    }
+
+    #[test]
+    fn combine_by_key_folds_in_order() {
+        let out = combine_by_key(
+            vec![("b", 1), ("a", 2), ("b", 3), ("a", 4)],
+            &|x: i32, y: i32| x + y,
+        );
+        assert_eq!(out, vec![("b", 4), ("a", 6)]);
+    }
+}

@@ -1,0 +1,55 @@
+//! The execution context handed to every task closure.
+
+use std::cell::Cell;
+
+/// Per-task context: identity plus a channel for charging *modelled* time
+/// (e.g. "this task read an 8 MB trajectory file from Lustre") on top of
+/// the measured compute time.
+#[derive(Debug)]
+pub struct TaskCtx {
+    /// Task id unique within the job.
+    pub task_id: usize,
+    /// Partition index this task processes (== `task_id` for flat bags).
+    pub partition: usize,
+    extra_s: Cell<f64>,
+}
+
+impl TaskCtx {
+    pub fn new(task_id: usize, partition: usize) -> Self {
+        TaskCtx { task_id, partition, extra_s: Cell::new(0.0) }
+    }
+
+    /// Charge `secs` of modelled (not measured) time to this task — I/O
+    /// waits, license stalls, anything the host cannot reproduce.
+    pub fn charge(&self, secs: f64) {
+        assert!(secs >= 0.0, "cannot charge negative time");
+        self.extra_s.set(self.extra_s.get() + secs);
+    }
+
+    /// Total modelled time charged so far.
+    pub fn charged(&self) -> f64 {
+        self.extra_s.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let ctx = TaskCtx::new(3, 1);
+        assert_eq!(ctx.charged(), 0.0);
+        ctx.charge(0.5);
+        ctx.charge(0.25);
+        assert_eq!(ctx.charged(), 0.75);
+        assert_eq!(ctx.task_id, 3);
+        assert_eq!(ctx.partition, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_charge_panics() {
+        TaskCtx::new(0, 0).charge(-1.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! The minimal cross-engine interface.
+//!
+//! The throughput experiments (Fig. 2/3) run the *same* bag of independent
+//! tasks on every engine; [`BagEngine`] is that common denominator. The MD
+//! analysis pipelines do **not** go through this trait — they are written
+//! against each engine's native API (RDDs, delayed graphs, Compute-Units,
+//! communicators), mirroring how the paper implemented each algorithm per
+//! framework.
+
+use crate::TaskCtx;
+use netsim::SimReport;
+
+/// A task in a flat bag: runs with a context, returns a small result.
+pub type BagTask = Box<dyn Fn(&TaskCtx) -> u64 + Send + Sync>;
+
+/// Errors an engine can surface mid-job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A task (or the engine's own data structures) exceeded a simulated
+    /// node's memory — reproduces the paper's cdist / broadcast failures.
+    OutOfMemory {
+        node_mem: u64,
+        required: u64,
+        what: String,
+    },
+    /// The engine refused the workload (e.g. RADICAL-Pilot beyond 16k
+    /// tasks, §4.1: "we were not able to scale RADICAL-Pilot to 32k or
+    /// more tasks").
+    Unsupported(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::OutOfMemory { node_mem, required, what } => write!(
+                f,
+                "out of memory: {what} needs {required} bytes, node has {node_mem}"
+            ),
+            EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Uniform "run a bag of independent tasks" interface for throughput
+/// benchmarking.
+pub trait BagEngine {
+    fn name(&self) -> &'static str;
+
+    /// Execute all tasks, returning their results (in task order) and the
+    /// simulated execution report.
+    fn run_bag(&mut self, tasks: Vec<BagTask>) -> Result<(Vec<u64>, SimReport), EngineError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = EngineError::OutOfMemory { node_mem: 10, required: 20, what: "cdist".into() };
+        assert!(e.to_string().contains("cdist"));
+        let u = EngineError::Unsupported("too many tasks".into());
+        assert!(u.to_string().contains("too many tasks"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-framework overhead profiles.
+//!
+//! These constants are the quantitative heart of the reproduction: each is
+//! derived from a measurement the paper reports, and the experiment
+//! harness (Fig. 2/3/8) recovers the paper's curves *from* these mechanisms
+//! rather than hard-coding the curves.
+//!
+//! Calibration sources:
+//! * Fig. 2 — single Wrangler node, zero-workload tasks: Dask sustains
+//!   ~2,000 tasks/s, Spark roughly an order of magnitude less, RADICAL-Pilot
+//!   tens of tasks/s and cannot reach 32k tasks; Dask/Spark have sub-second
+//!   to second job startup, RP tens of seconds (pilot bootstrap).
+//! * Fig. 3 — throughput grows ≈linearly with nodes for Dask and Spark
+//!   (worker-side dispatch dominates) while RP plateaus below 100 tasks/s
+//!   (every state transition serializes through MongoDB).
+//! * Fig. 8 — broadcast time is 3–15% of edge-discovery time for Spark
+//!   (tree/torrent), 40–65% for Dask (list-wise scatter), <1–10% for MPI
+//!   (linear but cheap).
+//! * §4.4.1 — "integration of Python tools [with Spark] often causes
+//!   overheads due to the frequent need for serialization and copying data
+//!   between the Python and Java space": Spark pays a per-byte tax on task
+//!   results and shuffle data.
+
+use netsim::BroadcastAlgo;
+
+/// Overhead constants for one framework on one machine.
+#[derive(Clone, Debug)]
+pub struct FrameworkProfile {
+    pub name: &'static str,
+    /// One-time job/cluster/pilot startup before any task may run.
+    pub startup_s: f64,
+    /// Per-task cost serialized through the *central* scheduler (driver,
+    /// scheduler process, or database). Caps whole-job throughput at
+    /// `1 / central_dispatch_s` no matter how many nodes are added.
+    pub central_dispatch_s: f64,
+    /// Per-task cost charged on the executing core (worker-side spawn,
+    /// interpreter dispatch, result pickling). Scales out with cores.
+    pub worker_overhead_s: f64,
+    /// Serialization tax per byte of task result / shuffled record —
+    /// models PySpark's Python↔JVM copies; ~0 for native-Python Dask and
+    /// for MPI buffers.
+    pub result_ser_s_per_byte: f64,
+    /// Software overhead added to every inter-task transfer on top of the
+    /// raw network cost — connection handling, framing, event loop. This
+    /// is where Dask's "communication layer weaknesses … particularly
+    /// visible during broadcast and shuffle" (§4.4.2) live: Dask's
+    /// per-message cost is ~5× Spark's, while MPI's native transport adds
+    /// nothing measurable.
+    pub per_transfer_overhead_s: f64,
+    /// Broadcast algorithm (Fig. 8).
+    pub broadcast: BroadcastAlgo,
+}
+
+impl FrameworkProfile {
+    /// Serialization charge for a result of `bytes` bytes.
+    pub fn ser_time(&self, bytes: u64) -> f64 {
+        self.result_ser_s_per_byte * bytes as f64
+    }
+}
+
+/// Spark 2.2-class profile (via PySpark, as the paper used).
+pub fn spark_profile() -> FrameworkProfile {
+    FrameworkProfile {
+        name: "spark",
+        startup_s: 1.0,
+        central_dispatch_s: 5e-4,  // stage-oriented DAGScheduler: ~2k tasks/s cap
+        worker_overhead_s: 0.10,   // executor JVM->Python worker round trip
+        result_ser_s_per_byte: 8e-9, // ~125 MB/s pickle + JVM copy
+        per_transfer_overhead_s: 5e-5, // netty-based block transfer service
+        broadcast: BroadcastAlgo::Tree,
+    }
+}
+
+/// Dask 0.14 + Distributed 1.16-class profile.
+pub fn dask_profile() -> FrameworkProfile {
+    FrameworkProfile {
+        name: "dask",
+        startup_s: 0.2,
+        central_dispatch_s: 5e-5,  // lightweight scheduler: ~20k tasks/s cap
+        worker_overhead_s: 0.010,  // pure-Python direct dispatch
+        result_ser_s_per_byte: 1e-9,
+        per_transfer_overhead_s: 1e-4, // tornado event loop, per-message python framing
+        // Dask's scatter(broadcast=True) in this era tracked every list
+        // element as its own scheduler key: ~50 µs of handling per element
+        // is what makes its broadcast 40–65% of edge-discovery time in
+        // Fig. 8 (vs 3–15% for Spark's torrent broadcast).
+        broadcast: BroadcastAlgo::ListWise { per_item_s: 5e-5 },
+    }
+}
+
+/// RADICAL-Pilot 0.46-class profile. The `central_dispatch_s` here is the
+/// *aggregate* of the MongoDB round-trips each Compute-Unit performs; the
+/// `pilot` engine charges them transition-by-transition against a single
+/// database timeline, which is what produces the plateau.
+pub fn pilot_profile() -> FrameworkProfile {
+    FrameworkProfile {
+        name: "radical-pilot",
+        startup_s: 35.0,          // pilot bootstrap on the allocation
+        central_dispatch_s: 12e-3, // ≈4 DB round-trips × ~3 ms each
+        worker_overhead_s: 0.15,  // agent exec spawn (fork/exec per CU)
+        result_ser_s_per_byte: 0.0, // exchanges data via files, not sockets
+        per_transfer_overhead_s: 2e-3, // shared-filesystem open/close per blob
+        broadcast: BroadcastAlgo::Linear, // no broadcast primitive; unused
+    }
+}
+
+/// MPI (mpi4py) profile: SPMD, so there is no per-task scheduling at all —
+/// the "tasks" are loop iterations inside ranks.
+pub fn mpi_profile() -> FrameworkProfile {
+    FrameworkProfile {
+        name: "mpi4py",
+        startup_s: 0.5, // mpirun launch
+        central_dispatch_s: 0.0,
+        worker_overhead_s: 0.0,
+        result_ser_s_per_byte: 1e-9, // mpi4py pickles non-buffer objects
+        per_transfer_overhead_s: 0.0,
+        broadcast: BroadcastAlgo::Linear,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_of_dispatch_costs_matches_paper() {
+        let (s, d, p) = (spark_profile(), dask_profile(), pilot_profile());
+        // Dask < Spark < RP in per-task overhead, both central and worker.
+        assert!(d.central_dispatch_s < s.central_dispatch_s);
+        assert!(s.central_dispatch_s < p.central_dispatch_s);
+        assert!(d.worker_overhead_s < s.worker_overhead_s);
+        assert!(s.worker_overhead_s < p.worker_overhead_s);
+        // RP's plateau: central cap below 100 tasks/s.
+        assert!(1.0 / p.central_dispatch_s < 100.0);
+        // Dask and Spark caps high enough that workers dominate at <= 10
+        // nodes (24 cores each), giving near-linear node scaling.
+        assert!(1.0 / d.central_dispatch_s > 4.0 * 24.0 / d.worker_overhead_s * 0.5);
+    }
+
+    #[test]
+    fn startup_ordering() {
+        assert!(dask_profile().startup_s < spark_profile().startup_s);
+        assert!(spark_profile().startup_s < pilot_profile().startup_s);
+    }
+
+    #[test]
+    fn ser_time_is_linear() {
+        let s = spark_profile();
+        assert_eq!(s.ser_time(0), 0.0);
+        assert!((s.ser_time(2_000_000) - 2.0 * s.ser_time(1_000_000)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_overheads_rank_spark_below_dask() {
+        // §4.4.2: Spark's communication subsystem beats Dask's.
+        assert!(spark_profile().per_transfer_overhead_s < dask_profile().per_transfer_overhead_s);
+        assert_eq!(mpi_profile().per_transfer_overhead_s, 0.0);
+    }
+
+    #[test]
+    fn mpi_has_no_task_overhead() {
+        let m = mpi_profile();
+        assert_eq!(m.central_dispatch_s, 0.0);
+        assert_eq!(m.worker_overhead_s, 0.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Leaflet Finder: identify the two leaflets of a lipid bilayer with all
+//! four architectural approaches of the paper (Table 2) on a Spark-like
+//! engine, and compare their task counts, shuffle volumes and virtual
+//! runtimes.
+//!
+//! ```sh
+//! cargo run --release --example leaflet_finder
+//! ```
+
+use mdtask::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // A 4096-atom bilayer (1/32-scale stand-in for the 131k system). The
+    // generator guarantees exactly two leaflets as ground truth.
+    let bilayer =
+        mdtask::sim::bilayer::generate(&BilayerSpec { n_atoms: 4096, ..Default::default() }, 7);
+    let (up, lo) = bilayer.leaflet_sizes();
+    println!(
+        "bilayer: {} atoms, ground truth leaflets {up}/{lo}, cutoff {:.2} Å",
+        bilayer.n_atoms(),
+        bilayer.suggested_cutoff
+    );
+    let positions = Arc::new(bilayer.positions);
+
+    let cfg = LfConfig {
+        cutoff: bilayer.suggested_cutoff,
+        partitions: 64,
+        paper_atoms: 131_072, // memory model pretends this is the 131k system
+        charge_io: true,
+    };
+
+    println!(
+        "\n{:<34} {:>6} {:>9} {:>12} {:>10}",
+        "approach", "tasks", "edges", "shuffle (B)", "time (s)"
+    );
+    for approach in LfApproach::ALL {
+        // Fresh context per run: reports are per-job.
+        let sc = SparkContext::new(Cluster::new(wrangler(), 2));
+        match lf_spark(&sc, Arc::clone(&positions), approach, &cfg) {
+            Ok(out) => {
+                assert_eq!(out.n_components, 2, "must find exactly two leaflets");
+                assert_eq!(out.leaflet_sizes.iter().sum::<usize>(), positions.len());
+                println!(
+                    "{:<34} {:>6} {:>9} {:>12} {:>10.2}",
+                    approach.label(),
+                    out.tasks,
+                    out.edges_found,
+                    out.shuffle_bytes,
+                    out.report.makespan_s
+                );
+            }
+            Err(e) => println!("{:<34} failed: {e}", approach.label()),
+        }
+    }
+
+    // The broadcast approach's phase breakdown (the subject of Fig. 8).
+    let sc = SparkContext::new(Cluster::new(wrangler(), 2));
+    let out = lf_spark(&sc, Arc::clone(&positions), LfApproach::Broadcast1D, &cfg)
+        .expect("131k-class system broadcasts fine");
+    println!("\nApproach 1 phase breakdown:");
+    for p in &out.report.phases {
+        println!("  {:<24} {:>8.4} s", p.name, p.duration());
+    }
+}

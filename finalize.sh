@@ -1,0 +1,10 @@
+#!/bin/sh
+# End-of-session verification: full test suite and Criterion benches.
+# (`cargo bench --workspace` would also invoke libtest bench harnesses,
+# which reject criterion's flags — run the criterion targets by name.)
+cd "$(dirname "$0")"
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt | grep -cE "test result: ok"
+: > /root/repo/bench_output.txt
+for b in kernels hausdorff neighbor_search graph_components codecs broadcast_models; do
+    cargo bench -p bench --bench "$b" -- --quick 2>&1 | tee -a /root/repo/bench_output.txt | tail -1
+done

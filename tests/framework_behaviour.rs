@@ -1,0 +1,156 @@
+//! Cross-engine behavioural tests: the paper's headline framework
+//! orderings must emerge from the mechanisms, not be printed constants.
+
+use mdtask::prelude::*;
+
+fn zero_tasks(n: usize) -> Vec<Box<dyn Fn(&TaskCtx) -> u64 + Send + Sync>> {
+    (0..n).map(|i| Box::new(move |_: &TaskCtx| i as u64) as _).collect()
+}
+
+/// Fig. 2: single-node task throughput ordering Dask > Spark > RP.
+#[test]
+fn single_node_throughput_ordering() {
+    let n = 2048;
+    let cluster = || Cluster::new(wrangler(), 1);
+
+    let mut spark = SparkContext::new(cluster());
+    let (r, spark_rep) = spark.run_bag(zero_tasks(n)).unwrap();
+    assert_eq!(r.len(), n);
+
+    let mut dask = DaskClient::new(cluster());
+    let (_, dask_rep) = dask.run_bag(zero_tasks(n)).unwrap();
+
+    let mut rp = Session::new(cluster()).unwrap();
+    let (_, rp_rep) = rp.run_bag(zero_tasks(n)).unwrap();
+
+    let (ts, td, tr) =
+        (spark_rep.throughput(), dask_rep.throughput(), rp_rep.throughput());
+    assert!(td > 3.0 * ts, "Dask ({td:.0}/s) should dwarf Spark ({ts:.0}/s)");
+    assert!(ts > 2.0 * tr, "Spark ({ts:.0}/s) should dwarf RP ({tr:.0}/s)");
+    assert!(tr < 100.0, "RP must stay under 100 tasks/s (DB bound)");
+}
+
+/// Fig. 3: Dask and Spark throughput grows with node count; RP plateaus.
+#[test]
+fn multi_node_scaling_shapes() {
+    let n = 4096;
+    let throughput = |nodes: usize, which: &str| -> f64 {
+        let c = Cluster::new(wrangler(), nodes);
+        match which {
+            "spark" => {
+                let mut e = SparkContext::new(c);
+                e.run_bag(zero_tasks(n)).unwrap().1.throughput()
+            }
+            "dask" => {
+                let mut e = DaskClient::new(c);
+                e.run_bag(zero_tasks(n)).unwrap().1.throughput()
+            }
+            _ => {
+                let mut e = Session::new(c).unwrap();
+                e.run_bag(zero_tasks(n)).unwrap().1.throughput()
+            }
+        }
+    };
+    for which in ["spark", "dask"] {
+        let t1 = throughput(1, which);
+        let t4 = throughput(4, which);
+        assert!(
+            t4 > 1.8 * t1,
+            "{which} should scale with nodes: 1 node {t1:.0}/s, 4 nodes {t4:.0}/s"
+        );
+    }
+    let r1 = throughput(1, "rp");
+    let r4 = throughput(4, "rp");
+    assert!(
+        r4 < 1.5 * r1.max(1.0),
+        "RP must plateau: 1 node {r1:.1}/s, 4 nodes {r4:.1}/s"
+    );
+}
+
+/// §4.1: RP cannot reach 32k tasks; Spark and Dask handle 32k fine.
+#[test]
+fn rp_scale_ceiling() {
+    let cluster = || Cluster::new(wrangler(), 1);
+    let mut rp = Session::new(cluster()).unwrap();
+    assert!(rp.run_bag(zero_tasks(32_768)).is_err());
+
+    let mut dask = DaskClient::new(cluster());
+    let (r, _) = dask.run_bag(zero_tasks(32_768)).unwrap();
+    assert_eq!(r.len(), 32_768);
+}
+
+/// Fig. 5: the same job speeds up more on Comet than on Wrangler
+/// (hyper-threaded cores), at equal core counts.
+#[test]
+fn comet_outruns_wrangler() {
+    let spec = ChainSpec { n_atoms: 60, n_frames: 20, stride: 1, ..ChainSpec::default() };
+    let e = std::sync::Arc::new(mdtask::sim::chain::generate_ensemble(&spec, 8, 5));
+    let cfg = PsaConfig { groups: 4, charge_io: true };
+    let run = |profile: MachineProfile| {
+        let sc = SparkContext::new(Cluster::with_cores(profile, 48));
+        psa_spark(&sc, std::sync::Arc::clone(&e), &cfg).report.makespan_s
+    };
+    let t_comet = run(comet());
+    let t_wrangler = run(wrangler());
+    assert!(
+        t_wrangler > t_comet,
+        "Wrangler ({t_wrangler:.3}s) should trail Comet ({t_comet:.3}s)"
+    );
+}
+
+/// Table 2 direction: approach 3 moves fewer shuffle bytes than 2.
+#[test]
+fn shuffle_volume_ordering_across_engines() {
+    let b = mdtask::sim::bilayer::generate(
+        &BilayerSpec { n_atoms: 600, ..Default::default() },
+        11,
+    );
+    let pos = std::sync::Arc::new(b.positions);
+    let cfg = LfConfig {
+        cutoff: b.suggested_cutoff,
+        partitions: 36,
+        paper_atoms: 600,
+        charge_io: false,
+    };
+    let c = || Cluster::new(comet(), 2);
+    let s2 = lf_spark(&SparkContext::new(c()), pos.clone(), LfApproach::Task2D, &cfg).unwrap();
+    let s3 = lf_spark(&SparkContext::new(c()), pos.clone(), LfApproach::ParallelCC, &cfg).unwrap();
+    assert!(s3.shuffle_bytes < s2.shuffle_bytes);
+
+    let m2 = lf_mpi(c(), 8, &pos, LfApproach::Task2D, &cfg).unwrap();
+    let m3 = lf_mpi(c(), 8, &pos, LfApproach::ParallelCC, &cfg).unwrap();
+    assert!(m3.shuffle_bytes < m2.shuffle_bytes);
+}
+
+/// Fig. 8 direction: broadcast is a far larger share of runtime for Dask
+/// than for Spark.
+#[test]
+fn broadcast_share_dask_exceeds_spark() {
+    let b = mdtask::sim::bilayer::generate(
+        &BilayerSpec { n_atoms: 2048, ..Default::default() },
+        13,
+    );
+    let pos = std::sync::Arc::new(b.positions);
+    let cfg = LfConfig {
+        cutoff: b.suggested_cutoff,
+        partitions: 32,
+        paper_atoms: 131_072,
+        charge_io: false,
+    };
+    let c = || Cluster::new(wrangler(), 2);
+
+    let share = |report: &SimReport| {
+        let bcast = report.phase_duration("broadcast").unwrap();
+        let edges = report.phase_duration("edge-discovery").unwrap();
+        bcast / edges
+    };
+    let spark =
+        lf_spark(&SparkContext::new(c()), pos.clone(), LfApproach::Broadcast1D, &cfg).unwrap();
+    let dask =
+        lf_dask(&DaskClient::new(c()), pos.clone(), LfApproach::Broadcast1D, &cfg).unwrap();
+    let (ss, ds) = (share(&spark.report), share(&dask.report));
+    assert!(
+        ds > 3.0 * ss,
+        "Dask broadcast share ({ds:.3}) must dwarf Spark's ({ss:.3})"
+    );
+}

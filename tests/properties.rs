@@ -1,0 +1,96 @@
+//! Cross-crate property tests: engine results must be invariant to how
+//! work is partitioned, and virtual time must obey scheduling bounds.
+
+use mdtask::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Spark group_by_key results do not depend on the input partitioning
+    /// or the reducer count.
+    #[test]
+    fn spark_shuffle_partitioning_invariance(
+        pairs in prop::collection::vec((0u32..8, 0u32..100), 1..60),
+        in_parts in 1usize..7,
+        out_parts in 1usize..5,
+    ) {
+        let sc = SparkContext::new(Cluster::new(laptop(), 2));
+        let mut got = sc
+            .parallelize(pairs.clone(), in_parts)
+            .group_by_key(out_parts)
+            .collect();
+        got.sort_by_key(|(k, _)| *k);
+        got.iter_mut().for_each(|(_, vs)| vs.sort_unstable());
+
+        let mut want: std::collections::BTreeMap<u32, Vec<u32>> = Default::default();
+        for (k, v) in pairs {
+            want.entry(k).or_default().push(v);
+        }
+        let mut want: Vec<(u32, Vec<u32>)> = want.into_iter().collect();
+        want.iter_mut().for_each(|(_, vs)| vs.sort_unstable());
+        prop_assert_eq!(got, want);
+    }
+
+    /// PSA distance matrices are identical for every group count k —
+    /// Algorithm 2's partitioning is a pure execution strategy.
+    #[test]
+    fn psa_partitioning_invariance(k in 1usize..5, seed in 0u64..50) {
+        let spec = ChainSpec { n_atoms: 8, n_frames: 4, stride: 1, ..ChainSpec::default() };
+        let e = Arc::new(mdtask::sim::chain::generate_ensemble(&spec, 4, seed));
+        let cfg_k = PsaConfig { groups: k.min(4), charge_io: false };
+        let cfg_1 = PsaConfig { groups: 1, charge_io: false };
+        let sc_a = SparkContext::new(Cluster::new(laptop(), 1));
+        let a = psa_spark(&sc_a, Arc::clone(&e), &cfg_k).distances;
+        let sc_b = SparkContext::new(Cluster::new(laptop(), 1));
+        let b = psa_spark(&sc_b, Arc::clone(&e), &cfg_1).distances;
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert!((a.get(i, j) - b.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Leaflet Finder output is invariant to the partition count, for
+    /// every approach, on Spark.
+    #[test]
+    fn leaflet_partitioning_invariance(parts in 2usize..20, seed in 0u64..30) {
+        let b = mdtask::sim::bilayer::generate(
+            &BilayerSpec { n_atoms: 120, ..Default::default() }, seed);
+        let pos = Arc::new(b.positions);
+        let mk = |partitions| LfConfig {
+            cutoff: b.suggested_cutoff,
+            partitions,
+            paper_atoms: 120,
+            charge_io: false,
+        };
+        for approach in LfApproach::ALL {
+            let sc_a = SparkContext::new(Cluster::new(laptop(), 1));
+            let a = lf_spark(&sc_a, Arc::clone(&pos), approach, &mk(parts)).unwrap();
+            let sc_b = SparkContext::new(Cluster::new(laptop(), 1));
+            let c = lf_spark(&sc_b, Arc::clone(&pos), approach, &mk(3)).unwrap();
+            prop_assert_eq!(&a.leaflet_sizes, &c.leaflet_sizes, "{:?}", approach);
+            prop_assert_eq!(a.edges_found, c.edges_found, "{:?}", approach);
+        }
+    }
+
+    /// MPI world size never changes a PSA answer; virtual makespan never
+    /// goes below the critical-path lower bound (work/cores).
+    #[test]
+    fn mpi_world_size_invariance(world in 1usize..9, seed in 0u64..20) {
+        let spec = ChainSpec { n_atoms: 6, n_frames: 3, stride: 1, ..ChainSpec::default() };
+        let e = mdtask::sim::chain::generate_ensemble(&spec, 3, seed);
+        let cfg = PsaConfig { groups: 3, charge_io: false };
+        let base = psa_mpi(Cluster::new(laptop(), 2), 1, &e, &cfg);
+        let out = psa_mpi(Cluster::new(laptop(), 2), world, &e, &cfg);
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((out.distances.get(i, j) - base.distances.get(i, j)).abs() < 1e-12);
+            }
+        }
+        // Makespan ≥ startup (0.5 s) always; tasks cannot finish before
+        // the critical path allows.
+        prop_assert!(out.report.makespan_s >= 0.5);
+    }
+}
