@@ -8,7 +8,12 @@ use std::hint::black_box;
 fn bench_mdt(c: &mut Criterion) {
     let mut g = c.benchmark_group("mdt_codec");
     for atoms in [334usize, 3341] {
-        let spec = ChainSpec { n_atoms: atoms, n_frames: 102, stride: 1, ..ChainSpec::default() };
+        let spec = ChainSpec {
+            n_atoms: atoms,
+            n_frames: 102,
+            stride: 1,
+            ..ChainSpec::default()
+        };
         let t = mdsim::chain::generate(&spec, 1);
         let bytes = mdio::mdt::encode_mdt(&t.frames).unwrap();
         g.throughput(Throughput::Bytes(bytes.len() as u64));
@@ -25,10 +30,17 @@ fn bench_mdt(c: &mut Criterion) {
 fn bench_xyz(c: &mut Criterion) {
     let mut g = c.benchmark_group("xyz_codec");
     g.sample_size(20);
-    let spec = ChainSpec { n_atoms: 334, n_frames: 20, stride: 1, ..ChainSpec::default() };
+    let spec = ChainSpec {
+        n_atoms: 334,
+        n_frames: 20,
+        stride: 1,
+        ..ChainSpec::default()
+    };
     let t = mdsim::chain::generate(&spec, 1);
     let text = mdio::xyz::encode_xyz(&t.frames);
-    g.bench_function("encode", |bch| bch.iter(|| mdio::xyz::encode_xyz(black_box(&t.frames))));
+    g.bench_function("encode", |bch| {
+        bch.iter(|| mdio::xyz::encode_xyz(black_box(&t.frames)))
+    });
     g.bench_function("decode", |bch| {
         bch.iter(|| mdio::xyz::decode_xyz(black_box(&text)).unwrap())
     });

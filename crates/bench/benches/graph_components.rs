@@ -9,7 +9,13 @@ use mdsim::BilayerSpec;
 use std::hint::black_box;
 
 fn bilayer_edges(n: usize) -> (usize, Vec<(u32, u32)>) {
-    let b = mdsim::bilayer::generate(&BilayerSpec { n_atoms: n, ..Default::default() }, 7);
+    let b = mdsim::bilayer::generate(
+        &BilayerSpec {
+            n_atoms: n,
+            ..Default::default()
+        },
+        7,
+    );
     let edges = neighbors::neighbor_pairs(
         &b.positions,
         b.suggested_cutoff,

@@ -10,17 +10,26 @@ fn bench_hausdorff(c: &mut Criterion) {
     let mut g = c.benchmark_group("hausdorff");
     g.sample_size(20);
     for frames in [20usize, 60] {
-        let spec = ChainSpec { n_atoms: 100, n_frames: frames, stride: 1, ..ChainSpec::default() };
+        let spec = ChainSpec {
+            n_atoms: 100,
+            n_frames: frames,
+            stride: 1,
+            ..ChainSpec::default()
+        };
         let a = mdsim::chain::generate(&spec, 1);
         let b = mdsim::chain::generate(&spec, 2);
         g.bench_with_input(BenchmarkId::new("naive", frames), &frames, |bch, _| {
             bch.iter(|| hausdorff_naive(black_box(&a.frames), black_box(&b.frames), frame_rmsd))
         });
-        g.bench_with_input(BenchmarkId::new("early_break", frames), &frames, |bch, _| {
-            bch.iter(|| {
-                hausdorff_early_break(black_box(&a.frames), black_box(&b.frames), frame_rmsd)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("early_break", frames),
+            &frames,
+            |bch, _| {
+                bch.iter(|| {
+                    hausdorff_early_break(black_box(&a.frames), black_box(&b.frames), frame_rmsd)
+                })
+            },
+        );
     }
     g.finish();
 }

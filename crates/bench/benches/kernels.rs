@@ -9,8 +9,10 @@ fn frame_pair(n: usize) -> (Frame, Frame) {
     let a: Vec<Vec3> = (0..n)
         .map(|i| Vec3::new(i as f32 * 0.37, (i % 17) as f32, (i % 5) as f32 * 1.3))
         .collect();
-    let b: Vec<Vec3> =
-        a.iter().map(|p| Vec3::new(p.x + 0.5, p.y - 0.25, p.z + 0.125)).collect();
+    let b: Vec<Vec3> = a
+        .iter()
+        .map(|p| Vec3::new(p.x + 0.5, p.y - 0.25, p.z + 0.125))
+        .collect();
     (Frame::new(a), Frame::new(b))
 }
 

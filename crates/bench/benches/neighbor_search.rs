@@ -12,7 +12,13 @@ fn bench_strategies(c: &mut Criterion) {
     let mut g = c.benchmark_group("edge_discovery");
     g.sample_size(10);
     for n in [1024usize, 4096, 16384] {
-        let b = mdsim::bilayer::generate(&BilayerSpec { n_atoms: n, ..Default::default() }, 7);
+        let b = mdsim::bilayer::generate(
+            &BilayerSpec {
+                n_atoms: n,
+                ..Default::default()
+            },
+            7,
+        );
         let cutoff = b.suggested_cutoff;
         for (label, strategy) in [
             ("brute", SearchStrategy::BruteForce),
@@ -32,7 +38,13 @@ fn bench_tree_build(c: &mut Criterion) {
     let mut g = c.benchmark_group("balltree_build");
     g.sample_size(20);
     for n in [4096usize, 16384] {
-        let b = mdsim::bilayer::generate(&BilayerSpec { n_atoms: n, ..Default::default() }, 3);
+        let b = mdsim::bilayer::generate(
+            &BilayerSpec {
+                n_atoms: n,
+                ..Default::default()
+            },
+            3,
+        );
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
             bch.iter(|| neighbors::BallTree::build(black_box(&b.positions), 16))
         });

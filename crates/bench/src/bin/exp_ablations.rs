@@ -19,7 +19,12 @@ fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
 fn main() {
     // 1. RMSD kernel builds (the Fig. 6 mechanism).
     section("dRMS kernel: naive vs blocked vs black_box-pinned (GNU -O0)");
-    let spec = ChainSpec { n_atoms: 3341, n_frames: 40, stride: 1, ..ChainSpec::default() };
+    let spec = ChainSpec {
+        n_atoms: 3341,
+        n_frames: 40,
+        stride: 1,
+        ..ChainSpec::default()
+    };
     let a = mdsim::chain::generate(&spec, 1);
     let b = mdsim::chain::generate(&spec, 2);
     let pairs = 200usize;
@@ -45,25 +50,52 @@ fn main() {
         )
     });
     println!("naive   {:>10}s", secs(t_naive));
-    println!("blocked {:>10}s  ({:.2}x faster than naive)", secs(t_blocked), t_naive / t_blocked);
-    println!("noopt   {:>10}s  ({:.2}x slower than blocked)", secs(t_noopt), t_noopt / t_blocked);
+    println!(
+        "blocked {:>10}s  ({:.2}x faster than naive)",
+        secs(t_blocked),
+        t_naive / t_blocked
+    );
+    println!(
+        "noopt   {:>10}s  ({:.2}x slower than blocked)",
+        secs(t_noopt),
+        t_noopt / t_blocked
+    );
 
     // 2. Hausdorff: naive vs early-break (§2.1.1's cited speedup).
     section("Hausdorff: naive (Algorithm 1) vs early-break [Taha & Hanbury]");
-    let spec = ChainSpec { n_atoms: 200, n_frames: 102, stride: 1, ..ChainSpec::default() };
+    let spec = ChainSpec {
+        n_atoms: 200,
+        n_frames: 102,
+        stride: 1,
+        ..ChainSpec::default()
+    };
     let ta = mdsim::chain::generate(&spec, 3);
     let tb = mdsim::chain::generate(&spec, 4);
     let (h1, t_full) = time(|| linalg::hausdorff_naive(&ta.frames, &tb.frames, linalg::frame_rmsd));
-    let (h2, t_eb) = time(|| linalg::hausdorff_early_break(&ta.frames, &tb.frames, linalg::frame_rmsd));
+    let (h2, t_eb) =
+        time(|| linalg::hausdorff_early_break(&ta.frames, &tb.frames, linalg::frame_rmsd));
     assert!((h1 - h2).abs() < 1e-12);
     println!("naive       {:>10}s", secs(t_full));
-    println!("early-break {:>10}s  ({:.2}x faster, identical value)", secs(t_eb), t_full / t_eb);
+    println!(
+        "early-break {:>10}s  ({:.2}x faster, identical value)",
+        secs(t_eb),
+        t_full / t_eb
+    );
 
     // 3. Edge discovery strategies (Fig. 7 approach 3 vs 4 mechanism).
     section("edge discovery: cdist vs BallTree vs cell list");
-    println!("{:>8} {:>12} {:>12} {:>12}", "atoms", "brute (s)", "tree (s)", "cells (s)");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "atoms", "brute (s)", "tree (s)", "cells (s)"
+    );
     for n in [2048usize, 8192, 32768] {
-        let bl = mdsim::bilayer::generate(&BilayerSpec { n_atoms: n, ..Default::default() }, 7);
+        let bl = mdsim::bilayer::generate(
+            &BilayerSpec {
+                n_atoms: n,
+                ..Default::default()
+            },
+            7,
+        );
         let cutoff = bl.suggested_cutoff;
         use neighbors::{neighbor_pairs, SearchStrategy::*};
         let (e1, t_brute) = time(|| neighbor_pairs(&bl.positions, cutoff, BruteForce));
@@ -71,13 +103,25 @@ fn main() {
         let (e3, t_cells) = time(|| neighbor_pairs(&bl.positions, cutoff, CellList));
         assert_eq!(e1, e2);
         assert_eq!(e1, e3);
-        println!("{:>8} {:>12} {:>12} {:>12}", n, secs(t_brute), secs(t_tree), secs(t_cells));
+        println!(
+            "{:>8} {:>12} {:>12} {:>12}",
+            n,
+            secs(t_brute),
+            secs(t_tree),
+            secs(t_cells)
+        );
     }
     println!("(paper: brute force wins small systems, trees win large — §4.3.4)");
 
     // 4. Connected components algorithms.
     section("connected components: union-find vs BFS vs Shiloach-Vishkin");
-    let bl = mdsim::bilayer::generate(&BilayerSpec { n_atoms: 32768, ..Default::default() }, 9);
+    let bl = mdsim::bilayer::generate(
+        &BilayerSpec {
+            n_atoms: 32768,
+            ..Default::default()
+        },
+        9,
+    );
     let edges = neighbors::neighbor_pairs(
         &bl.positions,
         bl.suggested_cutoff,
@@ -89,16 +133,30 @@ fn main() {
     let (c3, t_sv) = time(|| graphops::connected_components_sv(n, &edges));
     assert_eq!(c1, c2);
     assert_eq!(c1, c3);
-    println!("union-find       {:>10}s  ({} components)", secs(t_uf), c1.count);
+    println!(
+        "union-find       {:>10}s  ({} components)",
+        secs(t_uf),
+        c1.count
+    );
     println!("bfs              {:>10}s", secs(t_bfs));
-    println!("shiloach-vishkin {:>10}s  ({} rounds)", secs(t_sv), graphops::sv_rounds(n, &edges));
+    println!(
+        "shiloach-vishkin {:>10}s  ({} rounds)",
+        secs(t_sv),
+        graphops::sv_rounds(n, &edges)
+    );
 
     // 5. Trajectory codecs.
     section("trajectory codecs: MDT (raw f32) vs XTCQ (quantized varint)");
-    let spec = ChainSpec { n_atoms: 3341, n_frames: 102, stride: 1, ..ChainSpec::default() };
+    let spec = ChainSpec {
+        n_atoms: 3341,
+        n_frames: 102,
+        stride: 1,
+        ..ChainSpec::default()
+    };
     let t = mdsim::chain::generate(&spec, 5);
     let (raw, t_mdt) = time(|| mdio::mdt::encode_mdt(&t.frames).unwrap());
-    let (packed, t_xtcq) = time(|| mdio::xtcq::encode_xtcq(&t.frames, mdio::xtcq::DEFAULT_PRECISION).unwrap());
+    let (packed, t_xtcq) =
+        time(|| mdio::xtcq::encode_xtcq(&t.frames, mdio::xtcq::DEFAULT_PRECISION).unwrap());
     println!("MDT  {:>10} bytes in {}s", raw.len(), secs(t_mdt));
     println!(
         "XTCQ {:>10} bytes in {}s  ({:.2}x smaller)",

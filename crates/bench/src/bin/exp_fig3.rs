@@ -18,8 +18,14 @@ use sparklet::SparkContext;
 use taskframe::BagEngine;
 
 fn run_machine(profile: MachineProfile, n_tasks: usize) {
-    section(&format!("Fig. 3: {} — throughput of {n_tasks} tasks vs nodes", profile.name));
-    println!("{:>6} | {:>12} {:>12} {:>12}", "nodes", "spark t/s", "dask t/s", "rp t/s");
+    section(&format!(
+        "Fig. 3: {} — throughput of {n_tasks} tasks vs nodes",
+        profile.name
+    ));
+    println!(
+        "{:>6} | {:>12} {:>12} {:>12}",
+        "nodes", "spark t/s", "dask t/s", "rp t/s"
+    );
     for nodes in 1..=4 {
         let cluster = || Cluster::new(profile.clone(), nodes);
 

@@ -14,8 +14,8 @@
 
 use bench::{cores_nodes_label, secs, Opts};
 use dasklet::DaskClient;
-use mdtask_core::psa::{psa_dask, psa_mpi, psa_pilot, psa_spark, PsaConfig};
 use mdsim::{psa_ensemble, PsaSize};
+use mdtask_core::psa::{psa_dask, psa_mpi, psa_pilot, psa_spark, PsaConfig};
 use netsim::Cluster;
 use pilot::Session;
 use sparklet::SparkContext;
@@ -44,17 +44,16 @@ fn main() {
                 let cluster = || Cluster::with_cores(opts.machine.clone(), cores);
 
                 let mpi = psa_mpi(cluster(), cores, &ensemble, &cfg).report.makespan_s;
-                let spark =
-                    psa_spark(&SparkContext::new(cluster()), Arc::clone(&ensemble), &cfg)
-                        .report
-                        .makespan_s;
+                let spark = psa_spark(&SparkContext::new(cluster()), Arc::clone(&ensemble), &cfg)
+                    .report
+                    .makespan_s;
                 let dask = psa_dask(&DaskClient::new(cluster()), Arc::clone(&ensemble), &cfg)
                     .report
                     .makespan_s;
                 let rp = Session::new(cluster())
                     .and_then(|s| psa_pilot(&s, &ensemble, &cfg))
                     .map(|o| o.report.makespan_s);
-                let rp = rp.map(|t| secs(t)).unwrap_or_else(|_| "-".into());
+                let rp = rp.map(secs).unwrap_or_else(|_| "-".into());
 
                 println!(
                     "{:<8} {:<7} {:>9} | {:>10} {:>10} {:>10} {:>10}",

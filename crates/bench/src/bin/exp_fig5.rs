@@ -10,8 +10,8 @@
 
 use bench::{cores_nodes_label, secs, Opts};
 use dasklet::DaskClient;
-use mdtask_core::psa::{psa_dask, psa_mpi, psa_pilot, psa_spark, PsaConfig};
 use mdsim::{psa_ensemble, PsaSize};
+use mdtask_core::psa::{psa_dask, psa_mpi, psa_pilot, psa_spark, PsaConfig};
 use netsim::{comet, wrangler, Cluster, MachineProfile};
 use pilot::Session;
 use sparklet::SparkContext;
@@ -27,17 +27,31 @@ fn run_machine(profile: MachineProfile, scale: usize, count: usize) {
     let ensemble = Arc::new(psa_ensemble(PsaSize::Large, count, scale, 42));
     let cores_axis = [16usize, 64, 256];
     let mut series: Vec<Series> = vec![
-        Series { name: "mpi4py", runtimes: Vec::new() },
-        Series { name: "spark", runtimes: Vec::new() },
-        Series { name: "dask", runtimes: Vec::new() },
-        Series { name: "rp", runtimes: Vec::new() },
+        Series {
+            name: "mpi4py",
+            runtimes: Vec::new(),
+        },
+        Series {
+            name: "spark",
+            runtimes: Vec::new(),
+        },
+        Series {
+            name: "dask",
+            runtimes: Vec::new(),
+        },
+        Series {
+            name: "rp",
+            runtimes: Vec::new(),
+        },
     ];
     for &cores in &cores_axis {
         let mut cfg = PsaConfig::for_cores(cores);
         // Cannot have more groups than ensemble members (Algorithm 2).
         cfg.groups = cfg.groups.min(count);
         let cluster = || Cluster::with_cores(profile.clone(), cores);
-        series[0].runtimes.push(psa_mpi(cluster(), cores, &ensemble, &cfg).report.makespan_s);
+        series[0]
+            .runtimes
+            .push(psa_mpi(cluster(), cores, &ensemble, &cfg).report.makespan_s);
         series[1].runtimes.push(
             psa_spark(&SparkContext::new(cluster()), Arc::clone(&ensemble), &cfg)
                 .report

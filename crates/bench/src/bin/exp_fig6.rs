@@ -42,9 +42,14 @@ fn main() {
     let mut base: [f64; 2] = [0.0, 0.0];
     for &cores in &cores_axis {
         let run = |build: KernelBuild| {
-            ensemble_psa(Cluster::with_cores(haswell20(), cores), cores, build, &ensemble)
-                .report
-                .makespan_s
+            ensemble_psa(
+                Cluster::with_cores(haswell20(), cores),
+                cores,
+                build,
+                &ensemble,
+            )
+            .report
+            .makespan_s
         };
         let gnu = run(KernelBuild::GnuNoOpt);
         let intel = run(KernelBuild::IntelO3);

@@ -17,8 +17,8 @@
 
 use bench::{cores_nodes_label, secs, Opts};
 use dasklet::DaskClient;
-use mdtask_core::leaflet::{lf_dask, lf_mpi, lf_spark, LfApproach, LfConfig};
 use mdsim::{lf_dataset, LfDatasetId};
+use mdtask_core::leaflet::{lf_dask, lf_mpi, lf_spark, LfApproach, LfConfig};
 use netsim::Cluster;
 use sparklet::SparkContext;
 use std::sync::Arc;
@@ -26,7 +26,10 @@ use std::sync::Arc;
 fn main() {
     let opts = Opts::parse(32);
     let cores_axis = [32usize, 64, 128, 256];
-    println!("Fig. 7: Leaflet Finder on {} (atoms ÷{})", opts.machine.name, opts.scale);
+    println!(
+        "Fig. 7: Leaflet Finder on {} (atoms ÷{})",
+        opts.machine.name, opts.scale
+    );
 
     for approach in LfApproach::ALL {
         println!("\n--- {} ---", approach.label());
@@ -46,12 +49,22 @@ fn main() {
             for &cores in &cores_axis {
                 let cluster = || Cluster::with_cores(opts.machine.clone(), cores);
 
-                let spark = lf_spark(&SparkContext::new(cluster()), Arc::clone(&positions), approach, &cfg)
-                    .map(|o| secs(o.report.makespan_s))
-                    .unwrap_or_else(|_| "OOM".into());
-                let dask = lf_dask(&DaskClient::new(cluster()), Arc::clone(&positions), approach, &cfg)
-                    .map(|o| secs(o.report.makespan_s))
-                    .unwrap_or_else(|_| "OOM".into());
+                let spark = lf_spark(
+                    &SparkContext::new(cluster()),
+                    Arc::clone(&positions),
+                    approach,
+                    &cfg,
+                )
+                .map(|o| secs(o.report.makespan_s))
+                .unwrap_or_else(|_| "OOM".into());
+                let dask = lf_dask(
+                    &DaskClient::new(cluster()),
+                    Arc::clone(&positions),
+                    approach,
+                    &cfg,
+                )
+                .map(|o| secs(o.report.makespan_s))
+                .unwrap_or_else(|_| "OOM".into());
                 let mpi = lf_mpi(cluster(), cores, &positions, approach, &cfg)
                     .map(|o| secs(o.report.makespan_s))
                     .unwrap_or_else(|_| "OOM".into());

@@ -12,8 +12,8 @@
 
 use bench::{cores_nodes_label, secs, Opts};
 use dasklet::DaskClient;
-use mdtask_core::leaflet::{lf_dask, lf_mpi, lf_spark, LfApproach, LfConfig};
 use mdsim::{lf_dataset, LfDatasetId};
+use mdtask_core::leaflet::{lf_dask, lf_mpi, lf_spark, LfApproach, LfConfig};
 use netsim::Cluster;
 use sparklet::SparkContext;
 use std::sync::Arc;
@@ -44,12 +44,22 @@ fn main() {
             let cluster = || Cluster::with_cores(opts.machine.clone(), cores);
             let mut cells: Vec<String> = Vec::new();
             // Spark
-            let s = lf_spark(&SparkContext::new(cluster()), Arc::clone(&positions), LfApproach::Broadcast1D, &cfg)
-                .expect("spark approach1 fits these sizes");
+            let s = lf_spark(
+                &SparkContext::new(cluster()),
+                Arc::clone(&positions),
+                LfApproach::Broadcast1D,
+                &cfg,
+            )
+            .expect("spark approach1 fits these sizes");
             push_cells(&mut cells, &s.report);
             // Dask
-            let d = lf_dask(&DaskClient::new(cluster()), Arc::clone(&positions), LfApproach::Broadcast1D, &cfg)
-                .expect("dask approach1 fits 131k/262k");
+            let d = lf_dask(
+                &DaskClient::new(cluster()),
+                Arc::clone(&positions),
+                LfApproach::Broadcast1D,
+                &cfg,
+            )
+            .expect("dask approach1 fits 131k/262k");
             push_cells(&mut cells, &d.report);
             // MPI
             let m = lf_mpi(cluster(), cores, &positions, LfApproach::Broadcast1D, &cfg)
@@ -59,9 +69,15 @@ fn main() {
             println!(
                 "{:>9} | {:>10} {:>10} {:>6} | {:>10} {:>10} {:>6} | {:>10} {:>10} {:>6}",
                 cores_nodes_label(cores, &opts.machine),
-                cells[0], cells[1], cells[2],
-                cells[3], cells[4], cells[5],
-                cells[6], cells[7], cells[8],
+                cells[0],
+                cells[1],
+                cells[2],
+                cells[3],
+                cells[4],
+                cells[5],
+                cells[6],
+                cells[7],
+                cells[8],
             );
         }
     }
@@ -73,8 +89,8 @@ fn main() {
 }
 
 fn push_cells(cells: &mut Vec<String>, report: &netsim::SimReport) {
-    let bcast = report.phase_duration("broadcast").unwrap_or(0.0);
-    let edges = report.phase_duration("edge-discovery").unwrap_or(f64::NAN);
+    let bcast = report.phase_total("broadcast").unwrap_or(0.0);
+    let edges = report.phase_total("edge-discovery").unwrap_or(f64::NAN);
     cells.push(secs(report.makespan_s));
     cells.push(secs(bcast));
     cells.push(format!("{:.0}%", 100.0 * bcast / edges));

@@ -11,8 +11,8 @@
 //! ```
 
 use bench::{cores_nodes_label, secs, Opts};
-use mdtask_core::leaflet::{lf_pilot, LfConfig};
 use mdsim::{lf_dataset, LfDatasetId};
+use mdtask_core::leaflet::{lf_pilot, LfConfig};
 use netsim::Cluster;
 use pilot::Session;
 use std::sync::Arc;
@@ -29,19 +29,23 @@ fn main() {
         "cores/nd", "131k (s)", "262k (s)", "524k (s)"
     );
 
-    let datasets: Vec<_> = [LfDatasetId::Atoms131k, LfDatasetId::Atoms262k, LfDatasetId::Atoms524k]
-        .into_iter()
-        .map(|id| {
-            let system = lf_dataset(id, opts.scale, 7);
-            let cfg = LfConfig {
-                cutoff: system.suggested_cutoff,
-                partitions: 1024,
-                paper_atoms: id.paper_atoms(),
-                charge_io: true,
-            };
-            (Arc::new(system.positions), cfg)
-        })
-        .collect();
+    let datasets: Vec<_> = [
+        LfDatasetId::Atoms131k,
+        LfDatasetId::Atoms262k,
+        LfDatasetId::Atoms524k,
+    ]
+    .into_iter()
+    .map(|id| {
+        let system = lf_dataset(id, opts.scale, 7);
+        let cfg = LfConfig {
+            cutoff: system.suggested_cutoff,
+            partitions: 1024,
+            paper_atoms: id.paper_atoms(),
+            charge_io: true,
+        };
+        (Arc::new(system.positions), cfg)
+    })
+    .collect();
 
     for &cores in &cores_axis {
         let mut row: Vec<String> = Vec::new();

@@ -10,7 +10,12 @@ use mdtask_core::EngineKind;
 
 fn main() {
     println!("Table 1: Frameworks Comparison\n");
-    let engines = [EngineKind::RadicalPilot, EngineKind::Spark, EngineKind::Dask, EngineKind::Mpi];
+    let engines = [
+        EngineKind::RadicalPilot,
+        EngineKind::Spark,
+        EngineKind::Dask,
+        EngineKind::Mpi,
+    ];
     let rows = framework_properties(engines[0]);
     print!("{:<26}", "");
     for e in engines {

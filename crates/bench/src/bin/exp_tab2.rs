@@ -7,8 +7,8 @@
 //! ```
 
 use bench::Opts;
-use mdtask_core::leaflet::{lf_spark, LfApproach, LfConfig};
 use mdsim::{lf_dataset, LfDatasetId};
+use mdtask_core::leaflet::{lf_spark, LfApproach, LfConfig};
 use netsim::Cluster;
 use sparklet::SparkContext;
 use std::sync::Arc;
@@ -25,14 +25,27 @@ fn main() {
     };
 
     println!("Table 2: MapReduce operations per Leaflet Finder approach");
-    println!("(measured on the 131k-class system ÷{}, Spark engine)\n", opts.scale);
+    println!(
+        "(measured on the 131k-class system ÷{}, Spark engine)\n",
+        opts.scale
+    );
     println!(
         "{:<34} {:<6} {:<38} {:>12} {:>9} | {:>14}",
         "approach", "part.", "map", "shuffle (B)", "tasks", "reduce"
     );
     let static_rows = [
-        (LfApproach::Broadcast1D, "1-D", "edges via pairwise distance", "connected components"),
-        (LfApproach::Task2D, "2-D", "edges via pairwise distance", "connected components"),
+        (
+            LfApproach::Broadcast1D,
+            "1-D",
+            "edges via pairwise distance",
+            "connected components",
+        ),
+        (
+            LfApproach::Task2D,
+            "2-D",
+            "edges via pairwise distance",
+            "connected components",
+        ),
         (
             LfApproach::ParallelCC,
             "2-D",

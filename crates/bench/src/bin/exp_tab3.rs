@@ -12,7 +12,11 @@ use mdtask_core::EngineKind;
 fn main() {
     println!("Table 3: Decision Framework — criteria and ranking");
     println!("(-: unsupported/low performance, o: minor, +: supported, ++: major)\n");
-    let engines = [EngineKind::RadicalPilot, EngineKind::Spark, EngineKind::Dask];
+    let engines = [
+        EngineKind::RadicalPilot,
+        EngineKind::Spark,
+        EngineKind::Dask,
+    ];
     println!(
         "{:<28} {:>14} {:>8} {:>8}",
         "", "RADICAL-Pilot", "Spark", "Dask"
@@ -27,12 +31,30 @@ fn main() {
     }
 
     println!("\nRecommendations (§4.4.1):");
-    let psa = Workload { embarrassingly_parallel: true, ..Default::default() };
-    println!("  PSA (embarrassingly parallel)      → {}", recommend(&psa).label());
-    let lf = Workload { needs_shuffle: true, ..Default::default() };
-    println!("  Leaflet Finder (map+reduce/shuffle) → {}", recommend(&lf).label());
-    let ensemble = Workload { mixes_mpi_tasks: true, ..Default::default() };
-    println!("  MD ensembles of MPI simulations     → {}", recommend(&ensemble).label());
+    let psa = Workload {
+        embarrassingly_parallel: true,
+        ..Default::default()
+    };
+    println!(
+        "  PSA (embarrassingly parallel)      → {}",
+        recommend(&psa).label()
+    );
+    let lf = Workload {
+        needs_shuffle: true,
+        ..Default::default()
+    };
+    println!(
+        "  Leaflet Finder (map+reduce/shuffle) → {}",
+        recommend(&lf).label()
+    );
+    let ensemble = Workload {
+        mixes_mpi_tasks: true,
+        ..Default::default()
+    };
+    println!(
+        "  MD ensembles of MPI simulations     → {}",
+        recommend(&ensemble).label()
+    );
 }
 
 fn print_row(c: Criterion, engines: &[EngineKind; 3]) {

@@ -79,7 +79,9 @@ pub fn cores_nodes_label(cores: usize, profile: &MachineProfile) -> String {
 
 /// Zero-workload tasks (the paper's `/bin/hostname`).
 pub fn zero_tasks(n: usize) -> Vec<taskframe::BagTask> {
-    (0..n).map(|i| Box::new(move |_: &taskframe::TaskCtx| i as u64) as taskframe::BagTask).collect()
+    (0..n)
+        .map(|i| Box::new(move |_: &taskframe::TaskCtx| i as u64) as taskframe::BagTask)
+        .collect()
 }
 
 #[cfg(test)]

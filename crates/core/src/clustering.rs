@@ -48,7 +48,11 @@ impl Dendrogram {
     /// Cut at a distance threshold: clusters are the components formed by
     /// merges with `height <= threshold`.
     pub fn cut_at(&self, threshold: f64) -> Vec<usize> {
-        let applied = self.merges.iter().take_while(|m| m.height <= threshold).count();
+        let applied = self
+            .merges
+            .iter()
+            .take_while(|m| m.height <= threshold)
+            .count();
         self.labels_after(applied)
     }
 
@@ -116,7 +120,11 @@ pub fn hierarchical(distances: &DistanceMatrix, linkage: Linkage) -> Dendrogram 
                 }
             }
         }
-        merges.push(Merge { a: active[bi], b: active[bj], height: best });
+        merges.push(Merge {
+            a: active[bi],
+            b: active[bj],
+            height: best,
+        });
         // Lance–Williams update into row bi; kill row bj.
         for k in 0..n {
             if !alive[k] || k == bi || k == bj {
@@ -128,9 +136,7 @@ pub fn hierarchical(distances: &DistanceMatrix, linkage: Linkage) -> Dendrogram 
             let merged = match linkage {
                 Linkage::Single => dik.min(djk),
                 Linkage::Complete => dik.max(djk),
-                Linkage::Average => {
-                    (size[bi] * dik + size[bj] * djk) / (size[bi] + size[bj])
-                }
+                Linkage::Average => (size[bi] * dik + size[bj] * djk) / (size[bi] + size[bj]),
             };
             if bi < k {
                 d[bi][k] = merged;
@@ -142,7 +148,10 @@ pub fn hierarchical(distances: &DistanceMatrix, linkage: Linkage) -> Dendrogram 
         alive[bj] = false;
         active[bi] = n + step;
     }
-    Dendrogram { n_leaves: n, merges }
+    Dendrogram {
+        n_leaves: n,
+        merges,
+    }
 }
 
 #[cfg(test)]
@@ -223,7 +232,12 @@ mod tests {
         // distances across families dwarf the within-family spread.
         use linalg::Vec3;
         use mdsim::ChainSpec;
-        let spec = ChainSpec { n_atoms: 12, n_frames: 6, stride: 1, ..ChainSpec::default() };
+        let spec = ChainSpec {
+            n_atoms: 12,
+            n_frames: 6,
+            stride: 1,
+            ..ChainSpec::default()
+        };
         let mut ensemble = mdsim::chain::generate_ensemble(&spec, 3, 1);
         let mut far = mdsim::chain::generate_ensemble(&spec, 3, 100);
         for t in &mut far {

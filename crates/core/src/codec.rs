@@ -30,7 +30,9 @@ pub fn decode_trajectories(mut data: &[u8]) -> Vec<Trajectory> {
     for _ in 0..n {
         let len = data.get_u32_le() as usize;
         let (body, rest) = data.split_at(len);
-        out.push(Trajectory { frames: mdio::mdt::decode_mdt(body).expect("valid MDT") });
+        out.push(Trajectory {
+            frames: mdio::mdt::decode_mdt(body).expect("valid MDT"),
+        });
         data = rest;
     }
     assert!(data.is_empty(), "trailing bytes after trajectories");
@@ -86,7 +88,12 @@ mod tests {
 
     #[test]
     fn trajectories_roundtrip() {
-        let spec = ChainSpec { n_atoms: 9, n_frames: 4, stride: 1, ..ChainSpec::default() };
+        let spec = ChainSpec {
+            n_atoms: 9,
+            n_frames: 4,
+            stride: 1,
+            ..ChainSpec::default()
+        };
         let e = mdsim::chain::generate_ensemble(&spec, 3, 11);
         let refs: Vec<&Trajectory> = e.iter().collect();
         let bytes = encode_trajectories(&refs);

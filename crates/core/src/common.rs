@@ -65,7 +65,9 @@ pub fn rmsd_series_dask(
 /// Sub-setting (§2): restrict a trajectory to a selection of atom indices
 /// ("isolate parts of interest of MD simulation").
 pub fn subset_trajectory(traj: &Trajectory, indices: &[usize]) -> Trajectory {
-    Trajectory { frames: traj.frames.iter().map(|f| f.subset(indices)).collect() }
+    Trajectory {
+        frames: traj.frames.iter().map(|f| f.subset(indices)).collect(),
+    }
 }
 
 #[cfg(test)]
@@ -75,7 +77,12 @@ mod tests {
     use netsim::{laptop, Cluster};
 
     fn traj() -> Trajectory {
-        let spec = ChainSpec { n_atoms: 30, n_frames: 24, stride: 1, ..ChainSpec::default() };
+        let spec = ChainSpec {
+            n_atoms: 30,
+            n_frames: 24,
+            stride: 1,
+            ..ChainSpec::default()
+        };
         mdsim::chain::generate(&spec, 8)
     }
 

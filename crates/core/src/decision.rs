@@ -196,17 +196,26 @@ pub fn framework_properties(engine: EngineKind) -> Vec<(&'static str, &'static s
             ("Resource Management", "Spark Execution Engines"),
             ("Scheduler", "Stage-oriented DAG"),
             ("Shuffle", "hash/sort-based shuffle"),
-            ("Limitations", "high overheads for Python tasks (serialization)"),
+            (
+                "Limitations",
+                "high overheads for Python tasks (serialization)",
+            ),
         ],
         EngineKind::Dask => vec![
             ("Languages", "Python"),
             ("Task Abstraction", "Delayed"),
             ("Functional Abstraction", "Bag"),
-            ("Higher-Level Abstractions", "Dataframe, Arrays for block computations"),
+            (
+                "Higher-Level Abstractions",
+                "Dataframe, Arrays for block computations",
+            ),
             ("Resource Management", "Dask Distributed Scheduler"),
             ("Scheduler", "DAG"),
             ("Shuffle", "hash/sort-based shuffle"),
-            ("Limitations", "Dask Array can not deal with dynamic output shapes"),
+            (
+                "Limitations",
+                "Dask Array can not deal with dynamic output shapes",
+            ),
         ],
         EngineKind::Mpi => vec![
             ("Languages", "C, C++, Fortran, Python (mpi4py)"),
@@ -228,10 +237,14 @@ mod tests {
     #[test]
     fn table3_headline_orderings() {
         // Throughput: Dask > Spark > RP (Fig. 2/3).
-        assert!(rank(EngineKind::Dask, Criterion::Throughput)
-            > rank(EngineKind::Spark, Criterion::Throughput));
-        assert!(rank(EngineKind::Spark, Criterion::Throughput)
-            > rank(EngineKind::RadicalPilot, Criterion::Throughput));
+        assert!(
+            rank(EngineKind::Dask, Criterion::Throughput)
+                > rank(EngineKind::Spark, Criterion::Throughput)
+        );
+        assert!(
+            rank(EngineKind::Spark, Criterion::Throughput)
+                > rank(EngineKind::RadicalPilot, Criterion::Throughput)
+        );
         // Shuffle/broadcast/caching: Spark strongest (§4.4.2).
         for c in [Criterion::Shuffle, Criterion::Broadcast, Criterion::Caching] {
             assert_eq!(rank(EngineKind::Spark, c), Support::Major);
@@ -239,8 +252,10 @@ mod tests {
             assert_eq!(rank(EngineKind::RadicalPilot, c), Support::Unsupported);
         }
         // RP leads on MPI/HPC task support.
-        assert!(rank(EngineKind::RadicalPilot, Criterion::MpiHpcTasks)
-            > rank(EngineKind::Spark, Criterion::MpiHpcTasks));
+        assert!(
+            rank(EngineKind::RadicalPilot, Criterion::MpiHpcTasks)
+                > rank(EngineKind::Spark, Criterion::MpiHpcTasks)
+        );
     }
 
     #[test]
@@ -252,23 +267,38 @@ mod tests {
     #[test]
     fn recommendations_follow_the_paper() {
         assert_eq!(
-            recommend(&Workload { mixes_mpi_tasks: true, ..Default::default() }),
+            recommend(&Workload {
+                mixes_mpi_tasks: true,
+                ..Default::default()
+            }),
             EngineKind::RadicalPilot
         );
         assert_eq!(
-            recommend(&Workload { needs_shuffle: true, ..Default::default() }),
+            recommend(&Workload {
+                needs_shuffle: true,
+                ..Default::default()
+            }),
             EngineKind::Spark
         );
         assert_eq!(
-            recommend(&Workload { iterative: true, ..Default::default() }),
+            recommend(&Workload {
+                iterative: true,
+                ..Default::default()
+            }),
             EngineKind::Spark
         );
         assert_eq!(
-            recommend(&Workload { many_short_tasks: true, ..Default::default() }),
+            recommend(&Workload {
+                many_short_tasks: true,
+                ..Default::default()
+            }),
             EngineKind::Dask
         );
         assert_eq!(
-            recommend(&Workload { embarrassingly_parallel: true, ..Default::default() }),
+            recommend(&Workload {
+                embarrassingly_parallel: true,
+                ..Default::default()
+            }),
             EngineKind::Dask
         );
         assert_eq!(recommend(&Workload::default()), EngineKind::Mpi);
@@ -285,7 +315,10 @@ mod tests {
 
     #[test]
     fn criteria_split() {
-        let tm = Criterion::ALL.iter().filter(|c| c.is_task_management()).count();
+        let tm = Criterion::ALL
+            .iter()
+            .filter(|c| c.is_task_management())
+            .count();
         assert_eq!(tm, 5);
         assert_eq!(Criterion::ALL.len() - tm, 6);
     }

@@ -29,9 +29,7 @@ pub fn lf_dask(
             let cutoff = cfg.cutoff;
             let tasks: Vec<Delayed<Vec<(u32, u32)>>> = strips
                 .iter()
-                .map(|&s| {
-                    client.delayed_after(&bc, move |all, _ctx| strip_edges(all, s, cutoff))
-                })
+                .map(|&s| client.delayed_after(&bc, move |all, _ctx| strip_edges(all, s, cutoff)))
                 .collect();
             let t0 = client.now();
             let (parts, t1) = client.gather(&tasks);
@@ -39,7 +37,14 @@ pub fn lf_dask(
             let edges: Vec<(u32, u32)> = parts.into_iter().flatten().collect();
             let shuffle_bytes = super::edge_shuffle_bytes(edges.len() as u64);
             let (sizes, count) = driver_cc(client, n, &edges);
-            Ok(finish(client, sizes, count, edges.len() as u64, shuffle_bytes, strips.len()))
+            Ok(finish(
+                client,
+                sizes,
+                count,
+                edges.len() as u64,
+                shuffle_bytes,
+                strips.len(),
+            ))
         }
         LfApproach::Task2D => {
             let blocks = plan_2d_grid(n, grid_for_tasks(cfg.partitions));
@@ -51,11 +56,22 @@ pub fn lf_dask(
             let edges: Vec<(u32, u32)> = parts.into_iter().flatten().collect();
             let shuffle_bytes = super::edge_shuffle_bytes(edges.len() as u64);
             let (sizes, count) = driver_cc(client, n, &edges);
-            Ok(finish(client, sizes, count, edges.len() as u64, shuffle_bytes, n_tasks))
+            Ok(finish(
+                client,
+                sizes,
+                count,
+                edges.len() as u64,
+                shuffle_bytes,
+                n_tasks,
+            ))
         }
         LfApproach::ParallelCC => {
-            let blocks =
-                plan_2d_mem(n, cfg.paper_atoms, cfg.partitions, task_mem_budget(client.cluster()));
+            let blocks = plan_2d_mem(
+                n,
+                cfg.paper_atoms,
+                cfg.partitions,
+                task_mem_budget(client.cluster()),
+            );
             run_partial_cc(client, &positions, blocks, cfg, false)
         }
         LfApproach::TreeSearch => {
@@ -139,8 +155,12 @@ fn run_partial_cc(
             match it.next() {
                 Some(b) => next.push(client.combine(&[&a, &b], |vals, _| {
                     merge_partials(&[
-                        PartialComponents { components: vals[0].clone() },
-                        PartialComponents { components: vals[1].clone() },
+                        PartialComponents {
+                            components: vals[0].clone(),
+                        },
+                        PartialComponents {
+                            components: vals[1].clone(),
+                        },
                     ])
                     .components
                 })),
@@ -170,7 +190,10 @@ fn run_partial_cc(
 
 fn driver_cc(client: &DaskClient, n: usize, edges: &[(u32, u32)]) -> (Vec<usize>, usize) {
     let ((sizes, count), host_s) = netsim::measure(|| driver_components(n, edges));
-    client.charge_driver("connected-components", client.cluster().scale_compute(host_s));
+    client.charge_driver(
+        "connected-components",
+        client.cluster().scale_compute(host_s),
+    );
     (sizes, count)
 }
 

@@ -112,7 +112,12 @@ mod tests {
     }
 
     fn cfg(paper_atoms: usize) -> LfConfig {
-        LfConfig { cutoff: 2.1, partitions: 1024, paper_atoms, charge_io: true }
+        LfConfig {
+            cutoff: 2.1,
+            partitions: 1024,
+            paper_atoms,
+            charge_io: true,
+        }
     }
 
     #[test]
@@ -127,8 +132,12 @@ mod tests {
     fn approach1_paper_failure_matrix() {
         let c = cluster();
         // Dask: ok at 131k/262k, OOM from 524k (paper §4.3.1).
-        for (atoms, ok) in [(131_072, true), (262_144, true), (524_288, false), (4_000_000, false)]
-        {
+        for (atoms, ok) in [
+            (131_072, true),
+            (262_144, true),
+            (524_288, false),
+            (4_000_000, false),
+        ] {
             let r = check_feasible(EngineKind::Dask, LfApproach::Broadcast1D, &cfg(atoms), &c);
             assert_eq!(r.is_ok(), ok, "dask approach1 {atoms}");
         }
@@ -144,7 +153,12 @@ mod tests {
     #[test]
     fn approach2_blocks_4m_for_everyone() {
         let c = cluster();
-        for engine in [EngineKind::Spark, EngineKind::Dask, EngineKind::Mpi, EngineKind::RadicalPilot] {
+        for engine in [
+            EngineKind::Spark,
+            EngineKind::Dask,
+            EngineKind::Mpi,
+            EngineKind::RadicalPilot,
+        ] {
             assert!(check_feasible(engine, LfApproach::Task2D, &cfg(524_288), &c).is_ok());
             assert!(check_feasible(engine, LfApproach::Task2D, &cfg(4_000_000), &c).is_err());
         }
@@ -153,10 +167,26 @@ mod tests {
     #[test]
     fn approach3_spares_spark_and_mpi_but_not_dask() {
         let c = cluster();
-        assert!(check_feasible(EngineKind::Spark, LfApproach::ParallelCC, &cfg(4_000_000), &c).is_ok());
-        assert!(check_feasible(EngineKind::Mpi, LfApproach::ParallelCC, &cfg(4_000_000), &c).is_ok());
-        assert!(check_feasible(EngineKind::Dask, LfApproach::ParallelCC, &cfg(4_000_000), &c).is_err());
-        assert!(check_feasible(EngineKind::Dask, LfApproach::ParallelCC, &cfg(524_288), &c).is_ok());
+        assert!(check_feasible(
+            EngineKind::Spark,
+            LfApproach::ParallelCC,
+            &cfg(4_000_000),
+            &c
+        )
+        .is_ok());
+        assert!(
+            check_feasible(EngineKind::Mpi, LfApproach::ParallelCC, &cfg(4_000_000), &c).is_ok()
+        );
+        assert!(check_feasible(
+            EngineKind::Dask,
+            LfApproach::ParallelCC,
+            &cfg(4_000_000),
+            &c
+        )
+        .is_err());
+        assert!(
+            check_feasible(EngineKind::Dask, LfApproach::ParallelCC, &cfg(524_288), &c).is_ok()
+        );
     }
 
     #[test]

@@ -87,7 +87,11 @@ pub fn strip_edges(positions: &[Vec3], strip: Range, cutoff: f32) -> Vec<(u32, u
 /// slices, 12 bytes per atom).
 pub fn block_input_bytes(b: Block) -> u64 {
     let r = (b.row.1 - b.row.0) as u64;
-    let c = if b.is_diagonal() { 0 } else { (b.col.1 - b.col.0) as u64 };
+    let c = if b.is_diagonal() {
+        0
+    } else {
+        (b.col.1 - b.col.0) as u64
+    };
     (r + c) * 12
 }
 
@@ -98,7 +102,13 @@ mod tests {
     use mdsim::{bilayer, BilayerSpec};
 
     fn system() -> (Vec<Vec3>, f32) {
-        let b = bilayer::generate(&BilayerSpec { n_atoms: 120, ..Default::default() }, 3);
+        let b = bilayer::generate(
+            &BilayerSpec {
+                n_atoms: 120,
+                ..Default::default()
+            },
+            3,
+        );
         (b.positions, b.suggested_cutoff)
     }
 
@@ -158,7 +168,19 @@ mod tests {
     #[test]
     fn input_bytes() {
         use crate::partition::Block;
-        assert_eq!(block_input_bytes(Block { row: (0, 10), col: (10, 30) }), 30 * 12);
-        assert_eq!(block_input_bytes(Block { row: (0, 10), col: (0, 10) }), 10 * 12);
+        assert_eq!(
+            block_input_bytes(Block {
+                row: (0, 10),
+                col: (10, 30)
+            }),
+            30 * 12
+        );
+        assert_eq!(
+            block_input_bytes(Block {
+                row: (0, 10),
+                col: (0, 10)
+            }),
+            10 * 12
+        );
     }
 }

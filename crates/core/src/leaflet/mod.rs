@@ -82,7 +82,12 @@ pub struct LfConfig {
 impl LfConfig {
     /// Unscaled configuration with the paper's 1024 partitions.
     pub fn paper(n_atoms: usize, cutoff: f32) -> Self {
-        LfConfig { cutoff, partitions: 1024, paper_atoms: n_atoms, charge_io: true }
+        LfConfig {
+            cutoff,
+            partitions: 1024,
+            paper_atoms: n_atoms,
+            charge_io: true,
+        }
     }
 }
 
@@ -108,9 +113,7 @@ pub struct LfOutput {
 pub fn lf_serial(positions: &[Vec3], cutoff: f32) -> LfOutput {
     let edges = linalg::edges_within_cutoff(positions, positions, cutoff, true);
     let comps = connected_components_uf(positions.len(), &edges);
-    let (sizes, count) = sizes_of_groups(
-        comps.groups().into_iter().filter(|g| g.len() >= 2),
-    );
+    let (sizes, count) = sizes_of_groups(comps.groups().into_iter().filter(|g| g.len() >= 2));
     LfOutput {
         leaflet_sizes: sizes,
         n_components: count,
@@ -153,7 +156,13 @@ mod tests {
     use mdsim::{bilayer, BilayerSpec};
 
     fn system(n: usize) -> (Vec<Vec3>, f32) {
-        let b = bilayer::generate(&BilayerSpec { n_atoms: n, ..Default::default() }, 5);
+        let b = bilayer::generate(
+            &BilayerSpec {
+                n_atoms: n,
+                ..Default::default()
+            },
+            5,
+        );
         (b.positions, b.suggested_cutoff)
     }
 
@@ -163,7 +172,10 @@ mod tests {
         let out = lf_serial(&pos, cutoff);
         assert_eq!(out.n_components, 2);
         assert_eq!(out.leaflet_sizes.iter().sum::<usize>(), 256);
-        assert!(out.edges_found > 256, "dense bilayer should have many edges");
+        assert!(
+            out.edges_found > 256,
+            "dense bilayer should have many edges"
+        );
     }
 
     #[test]
@@ -198,7 +210,13 @@ mod engine_tests {
     use std::sync::Arc;
 
     fn system() -> (Arc<Vec<Vec3>>, LfConfig) {
-        let b = bilayer::generate(&BilayerSpec { n_atoms: 300, ..Default::default() }, 17);
+        let b = bilayer::generate(
+            &BilayerSpec {
+                n_atoms: 300,
+                ..Default::default()
+            },
+            17,
+        );
         let cfg = LfConfig {
             cutoff: b.suggested_cutoff,
             partitions: 16,
@@ -298,7 +316,10 @@ mod engine_tests {
 
     #[test]
     fn ground_truth_leaflet_sizes_recovered() {
-        let spec = BilayerSpec { n_atoms: 400, ..Default::default() };
+        let spec = BilayerSpec {
+            n_atoms: 400,
+            ..Default::default()
+        };
         let b = bilayer::generate(&spec, 23);
         let (up, lo) = b.leaflet_sizes();
         let cfg = LfConfig {
@@ -308,8 +329,7 @@ mod engine_tests {
             charge_io: false,
         };
         let sc = SparkContext::new(cluster());
-        let out =
-            lf_spark(&sc, Arc::new(b.positions), LfApproach::TreeSearch, &cfg).unwrap();
+        let out = lf_spark(&sc, Arc::new(b.positions), LfApproach::TreeSearch, &cfg).unwrap();
         let mut expect = vec![up, lo];
         expect.sort_unstable_by(|a, b| b.cmp(a));
         assert_eq!(out.leaflet_sizes, expect);

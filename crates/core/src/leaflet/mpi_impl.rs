@@ -33,21 +33,32 @@ pub fn lf_mpi(
         LfApproach::Task2D | LfApproach::TreeSearch => {
             plan_2d_grid(n, grid_for_tasks(cfg.partitions))
         }
-        LfApproach::ParallelCC => {
-            plan_2d_mem(n, cfg.paper_atoms, cfg.partitions, task_mem_budget(&cluster))
-        }
+        LfApproach::ParallelCC => plan_2d_mem(
+            n,
+            cfg.paper_atoms,
+            cfg.partitions,
+            task_mem_budget(&cluster),
+        ),
     };
     let strips = plan_1d(n, cfg.partitions);
-    let n_tasks = if approach == LfApproach::Broadcast1D { strips.len() } else { blocks.len() };
+    let n_tasks = if approach == LfApproach::Broadcast1D {
+        strips.len()
+    } else {
+        blocks.len()
+    };
     let net = cluster.profile.network;
     let scale = cluster.profile.core_efficiency;
 
-    let out = mpilike::run(cluster.clone(), world, |comm| {
+    let out = mpilike::try_run(cluster.clone(), world, |comm| {
         let t_start = comm.clock();
         // Approach 1 broadcasts the whole system; the others ship only the
         // per-rank block slices (charged as I/O below).
         let local_positions: Vec<Vec3> = if approach == LfApproach::Broadcast1D {
-            let v = if comm.rank() == 0 { Some(positions.to_vec()) } else { None };
+            let v = if comm.rank() == 0 {
+                Some(positions.to_vec())
+            } else {
+                None
+            };
             comm.bcast(0, v)
         } else {
             positions.to_vec() // pre-partitioned: ranks read their slices
@@ -56,8 +67,12 @@ pub fn lf_mpi(
 
         let (edges, partials, found): RankOut = match approach {
             LfApproach::Broadcast1D => {
-                let mine: Vec<_> =
-                    strips.iter().copied().skip(comm.rank()).step_by(comm.world()).collect();
+                let mine: Vec<_> = strips
+                    .iter()
+                    .copied()
+                    .skip(comm.rank())
+                    .step_by(comm.world())
+                    .collect();
                 let edges: Vec<(u32, u32)> = comm.compute(|| {
                     mine.iter()
                         .flat_map(|&s| strip_edges(&local_positions, s, cfg.cutoff))
@@ -67,8 +82,12 @@ pub fn lf_mpi(
                 (edges, Vec::new(), found)
             }
             LfApproach::Task2D => {
-                let mine: Vec<_> =
-                    blocks.iter().copied().skip(comm.rank()).step_by(comm.world()).collect();
+                let mine: Vec<_> = blocks
+                    .iter()
+                    .copied()
+                    .skip(comm.rank())
+                    .step_by(comm.world())
+                    .collect();
                 if cfg.charge_io {
                     let bytes: u64 = mine.iter().map(|&b| block_input_bytes(b)).sum();
                     comm.charge(net.transfer_time(bytes, false));
@@ -82,8 +101,12 @@ pub fn lf_mpi(
                 (edges, Vec::new(), found)
             }
             LfApproach::ParallelCC | LfApproach::TreeSearch => {
-                let mine: Vec<_> =
-                    blocks.iter().copied().skip(comm.rank()).step_by(comm.world()).collect();
+                let mine: Vec<_> = blocks
+                    .iter()
+                    .copied()
+                    .skip(comm.rank())
+                    .step_by(comm.world())
+                    .collect();
                 if cfg.charge_io {
                     let bytes: u64 = mine.iter().map(|&b| block_input_bytes(b)).sum();
                     comm.charge(net.transfer_time(bytes, false));
@@ -110,7 +133,7 @@ pub fn lf_mpi(
         let t_edges = comm.clock();
         let gathered = comm.gather(0, (edges, partials, found));
         (gathered, t_start, t_bcast, t_edges)
-    });
+    })?;
 
     // Rank 0 reduces; rank order is stable so the result is deterministic.
     let mut all_edges: Vec<(u32, u32)> = Vec::new();
@@ -127,9 +150,14 @@ pub fn lf_mpi(
         if let Some(rank_outs) = gathered {
             for (edges, partials, found) in rank_outs {
                 shuffle_bytes += super::edge_shuffle_bytes(edges.len() as u64)
-                    + PartialComponents { components: partials.clone() }.wire_bytes();
+                    + PartialComponents {
+                        components: partials.clone(),
+                    }
+                    .wire_bytes();
                 all_edges.extend_from_slice(edges);
-                all_partials.push(PartialComponents { components: partials.clone() });
+                all_partials.push(PartialComponents {
+                    components: partials.clone(),
+                });
                 edges_found += found;
             }
         }
@@ -148,7 +176,11 @@ pub fn lf_mpi(
     }
     report.push_phase("edge-discovery", t_bcast_max, t_edges_max);
     let cc_s = host_s / scale;
-    report.push_phase("connected-components", report.makespan_s, report.makespan_s + cc_s);
+    report.push_phase(
+        "connected-components",
+        report.makespan_s,
+        report.makespan_s + cc_s,
+    );
     report.makespan_s += cc_s;
 
     Ok(LfOutput {

@@ -46,7 +46,14 @@ pub fn lf_pilot(
                 let mut joined = rows;
                 joined.extend_from_slice(&cols);
                 let edges = if b.is_diagonal() {
-                    block_edges(&joined, Block { row: local.row, col: local.row }, cutoff)
+                    block_edges(
+                        &joined,
+                        Block {
+                            row: local.row,
+                            col: local.row,
+                        },
+                        cutoff,
+                    )
                 } else {
                     block_edges(&joined, local, cutoff)
                 };
@@ -71,7 +78,11 @@ pub fn lf_pilot(
     let ((sizes, count), host_s) = netsim::measure(|| driver_components(n, &edges));
     let mut report = out.report;
     let cc_s = session.cluster().scale_compute(host_s);
-    report.push_phase("connected-components", report.makespan_s, report.makespan_s + cc_s);
+    report.push_phase(
+        "connected-components",
+        report.makespan_s,
+        report.makespan_s + cc_s,
+    );
     report.makespan_s += cc_s;
     Ok(LfOutput {
         leaflet_sizes: sizes,

@@ -36,7 +36,14 @@ pub fn lf_spark(
             });
             let (edges, shuffle_bytes) = collect_edges(sc, &rdd);
             let (sizes, count) = driver_cc(sc, n, &edges);
-            Ok(finish(sc, sizes, count, edge_count.load(Ordering::Relaxed), shuffle_bytes, n_tasks))
+            Ok(finish(
+                sc,
+                sizes,
+                count,
+                edge_count.load(Ordering::Relaxed),
+                shuffle_bytes,
+                n_tasks,
+            ))
         }
         LfApproach::Task2D => {
             let blocks = plan_2d_grid(n, grid_for_tasks(cfg.partitions));
@@ -46,7 +53,12 @@ pub fn lf_spark(
             Ok(finish(sc, sizes, count, edge_count, shuffle_bytes, n_tasks))
         }
         LfApproach::ParallelCC => {
-            let blocks = plan_2d_mem(n, cfg.paper_atoms, cfg.partitions, task_mem_budget(sc.cluster()));
+            let blocks = plan_2d_mem(
+                n,
+                cfg.paper_atoms,
+                cfg.partitions,
+                task_mem_budget(sc.cluster()),
+            );
             run_partial_cc(sc, &positions, blocks, cfg, false)
         }
         LfApproach::TreeSearch => {
@@ -118,8 +130,11 @@ fn run_partial_cc(
         if charge_io {
             ctx.charge(net.transfer_time(block_input_bytes(b), false));
         }
-        let edges =
-            if tree { block_edges_tree(&pos, b, cutoff) } else { block_edges(&pos, b, cutoff) };
+        let edges = if tree {
+            block_edges_tree(&pos, b, cutoff)
+        } else {
+            block_edges(&pos, b, cutoff)
+        };
         ec.fetch_add(edges.len() as u64, Ordering::Relaxed);
         let partial = partial_components(&edges);
         sb.fetch_add(partial.wire_bytes(), Ordering::Relaxed);

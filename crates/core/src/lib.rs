@@ -44,8 +44,12 @@ pub enum EngineKind {
 }
 
 impl EngineKind {
-    pub const ALL: [EngineKind; 4] =
-        [EngineKind::Spark, EngineKind::Dask, EngineKind::RadicalPilot, EngineKind::Mpi];
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::Spark,
+        EngineKind::Dask,
+        EngineKind::RadicalPilot,
+        EngineKind::Mpi,
+    ];
 
     pub fn label(self) -> &'static str {
         match self {

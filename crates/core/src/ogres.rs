@@ -36,29 +36,56 @@ pub enum Application {
 pub fn facets(app: Application) -> Vec<Facet> {
     match app {
         Application::PathSimilarityAnalysis => vec![
-            Facet { view: View::ProblemArchitecture, facet: "embarrassingly parallel" },
-            Facet { view: View::Processing, facet: "linear algebra kernels" },
-            Facet { view: View::Processing, facet: "O(n^2) complexity" },
+            Facet {
+                view: View::ProblemArchitecture,
+                facet: "embarrassingly parallel",
+            },
+            Facet {
+                view: View::Processing,
+                facet: "linear algebra kernels",
+            },
+            Facet {
+                view: View::Processing,
+                facet: "O(n^2) complexity",
+            },
             Facet {
                 view: View::Execution,
                 facet: "medium-to-large input volume, small output",
             },
-            Facet { view: View::Execution, facet: "HPC nodes, NumPy-class arithmetic libraries" },
+            Facet {
+                view: View::Execution,
+                facet: "HPC nodes, NumPy-class arithmetic libraries",
+            },
             Facet {
                 view: View::DataSourceAndStyle,
                 facet: "HPC simulation output on parallel filesystems (Lustre)",
             },
         ],
         Application::LeafletFinder => vec![
-            Facet { view: View::ProblemArchitecture, facet: "MapReduce" },
-            Facet { view: View::Processing, facet: "graph algorithms (connected components)" },
-            Facet { view: View::Processing, facet: "linear algebra kernels (pairwise distances)" },
+            Facet {
+                view: View::ProblemArchitecture,
+                facet: "MapReduce",
+            },
+            Facet {
+                view: View::Processing,
+                facet: "graph algorithms (connected components)",
+            },
+            Facet {
+                view: View::Processing,
+                facet: "linear algebra kernels (pairwise distances)",
+            },
             Facet {
                 view: View::Processing,
                 facet: "edge discovery O(n^2) or O(n log n) with trees",
             },
-            Facet { view: View::Execution, facet: "medium input, smaller output; graph output" },
-            Facet { view: View::Execution, facet: "HPC nodes, NumPy arrays" },
+            Facet {
+                view: View::Execution,
+                facet: "medium input, smaller output; graph output",
+            },
+            Facet {
+                view: View::Execution,
+                facet: "HPC nodes, NumPy arrays",
+            },
             Facet {
                 view: View::DataSourceAndStyle,
                 facet: "HPC simulation output on parallel filesystems (Lustre)",
@@ -82,7 +109,9 @@ mod tests {
     #[test]
     fn psa_is_embarrassingly_parallel_not_mapreduce() {
         let f = facets(Application::PathSimilarityAnalysis);
-        assert!(f.iter().any(|x| x.facet.contains("embarrassingly parallel")));
+        assert!(f
+            .iter()
+            .any(|x| x.facet.contains("embarrassingly parallel")));
         assert!(!is_mapreduce_shaped(Application::PathSimilarityAnalysis));
     }
 
@@ -95,9 +124,17 @@ mod tests {
 
     #[test]
     fn both_apps_cover_all_views_except_where_stated() {
-        for app in [Application::PathSimilarityAnalysis, Application::LeafletFinder] {
+        for app in [
+            Application::PathSimilarityAnalysis,
+            Application::LeafletFinder,
+        ] {
             let f = facets(app);
-            for view in [View::Execution, View::DataSourceAndStyle, View::Processing, View::ProblemArchitecture] {
+            for view in [
+                View::Execution,
+                View::DataSourceAndStyle,
+                View::Processing,
+                View::ProblemArchitecture,
+            ] {
                 assert!(f.iter().any(|x| x.view == view), "{app:?} missing {view:?}");
             }
         }

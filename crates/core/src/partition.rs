@@ -50,7 +50,10 @@ pub fn plan_1d(n: usize, parts: usize) -> Vec<Range> {
 /// ordered group pair becomes one task comparing `n/k × n/k` trajectory
 /// pairs serially. Returns the `k²` blocks of the paper's formulation.
 pub fn plan_psa_2d(n: usize, k: usize) -> Vec<Block> {
-    assert!(k >= 1 && k <= n, "group count {k} out of range for {n} trajectories");
+    assert!(
+        k >= 1 && k <= n,
+        "group count {k} out of range for {n} trajectories"
+    );
     let ranges = plan_1d(n, k);
     let mut out = Vec::with_capacity(k * k);
     for &row in &ranges {
@@ -69,7 +72,10 @@ pub fn plan_2d_grid(n: usize, g: usize) -> Vec<Block> {
     let mut out = Vec::with_capacity(g * (g + 1) / 2);
     for i in 0..g {
         for j in i..g {
-            out.push(Block { row: ranges[i], col: ranges[j] });
+            out.push(Block {
+                row: ranges[i],
+                col: ranges[j],
+            });
         }
     }
     out
@@ -94,7 +100,12 @@ pub fn grid_for_tasks(target_tasks: usize) -> usize {
 ///
 /// This reproduces §4.3's "data partitioning of the 4M atom dataset
 /// resulted to 42k tasks … due to memory limitations from using cdist".
-pub fn plan_2d_mem(n: usize, paper_n: usize, target_tasks: usize, task_mem_budget: u64) -> Vec<Block> {
+pub fn plan_2d_mem(
+    n: usize,
+    paper_n: usize,
+    target_tasks: usize,
+    task_mem_budget: u64,
+) -> Vec<Block> {
     assert!(task_mem_budget > 0, "need a positive memory budget");
     let mut g = grid_for_tasks(target_tasks);
     // Paper-scale block edge for grid g is ceil(paper_n / g).
@@ -134,7 +145,9 @@ mod tests {
         let blocks = plan_psa_2d(8, 4);
         assert_eq!(blocks.len(), 16);
         // Paper example: N² distances mapped to k² tasks of n1×n1 each.
-        assert!(blocks.iter().all(|b| b.row.1 - b.row.0 == 2 && b.col.1 - b.col.0 == 2));
+        assert!(blocks
+            .iter()
+            .all(|b| b.row.1 - b.row.0 == 2 && b.col.1 - b.col.0 == 2));
     }
 
     #[test]
@@ -167,9 +180,9 @@ mod tests {
                 }
             }
         }
-        for i in 0..n {
-            for j in i + 1..n {
-                assert_eq!(cover[i][j], 1, "pair ({i},{j}) covered {} times", cover[i][j]);
+        for (i, row) in cover.iter().enumerate() {
+            for (j, &count) in row.iter().enumerate().skip(i + 1) {
+                assert_eq!(count, 1, "pair ({i},{j}) covered {count} times");
             }
         }
     }
@@ -203,10 +216,17 @@ mod tests {
 
     #[test]
     fn cdist_bytes() {
-        let b = Block { row: (0, 100), col: (100, 300) };
+        let b = Block {
+            row: (0, 100),
+            col: (100, 300),
+        };
         assert_eq!(b.cdist_bytes(), 100 * 200 * 8);
         assert!(!b.is_diagonal());
-        assert!(Block { row: (0, 5), col: (0, 5) }.is_diagonal());
+        assert!(Block {
+            row: (0, 5),
+            col: (0, 5)
+        }
+        .is_diagonal());
     }
 
     proptest! {

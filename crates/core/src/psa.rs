@@ -41,7 +41,10 @@ impl PsaConfig {
         while k * k < cores {
             k += 1;
         }
-        PsaConfig { groups: k, charge_io: true }
+        PsaConfig {
+            groups: k,
+            charge_io: true,
+        }
     }
 }
 
@@ -58,7 +61,11 @@ pub fn psa_serial(ensemble: &[Trajectory]) -> DistanceMatrix {
     let mut d = DistanceMatrix::zeros(n, n);
     for i in 0..n {
         for j in 0..n {
-            d.set(i, j, hausdorff_naive(&ensemble[i].frames, &ensemble[j].frames, linalg::frame_rmsd));
+            d.set(
+                i,
+                j,
+                hausdorff_naive(&ensemble[i].frames, &ensemble[j].frames, linalg::frame_rmsd),
+            );
         }
     }
     d
@@ -83,8 +90,12 @@ fn block_distances(ensemble: &[Trajectory], b: Block) -> Vec<(u32, u32, f64)> {
 
 /// Bytes a task must read from storage for block `b`.
 fn block_input_bytes(ensemble: &[Trajectory], b: Block) -> u64 {
-    let row: u64 = (b.row.0..b.row.1).map(|i| ensemble[i as usize].size_bytes()).sum();
-    let col: u64 = (b.col.0..b.col.1).map(|j| ensemble[j as usize].size_bytes()).sum();
+    let row: u64 = (b.row.0..b.row.1)
+        .map(|i| ensemble[i as usize].size_bytes())
+        .sum();
+    let col: u64 = (b.col.0..b.col.1)
+        .map(|j| ensemble[j as usize].size_bytes())
+        .sum();
     row + col
 }
 
@@ -111,7 +122,10 @@ pub fn psa_spark(sc: &SparkContext, ensemble: Arc<Vec<Trajectory>>, cfg: &PsaCon
         block_distances(&ens, b)
     });
     let triples = rdd.collect();
-    PsaOutput { distances: assemble(n, triples), report: sc.report() }
+    PsaOutput {
+        distances: assemble(n, triples),
+        report: sc.report(),
+    }
 }
 
 /// PSA on Dask: one delayed function per task.
@@ -193,19 +207,28 @@ pub fn psa_mpi(
     let net = cluster.profile.network;
     let charge_io = cfg.charge_io;
     let out = mpilike::run(cluster, world, |comm| {
-        let mine: Vec<Block> =
-            blocks.iter().copied().skip(comm.rank()).step_by(comm.world()).collect();
+        let mine: Vec<Block> = blocks
+            .iter()
+            .copied()
+            .skip(comm.rank())
+            .step_by(comm.world())
+            .collect();
         if charge_io {
             let bytes: u64 = mine.iter().map(|&b| block_input_bytes(ensemble, b)).sum();
             comm.charge(net.transfer_time(bytes, false));
         }
         let local: Vec<(u32, u32, f64)> = comm.compute(|| {
-            mine.iter().flat_map(|&b| block_distances(ensemble, b)).collect()
+            mine.iter()
+                .flat_map(|&b| block_distances(ensemble, b))
+                .collect()
         });
         comm.gather(0, local)
     });
     let triples = out.results.into_iter().flatten().flatten().flatten();
-    PsaOutput { distances: assemble(n, triples), report: out.report }
+    PsaOutput {
+        distances: assemble(n, triples),
+        report: out.report,
+    }
 }
 
 #[cfg(test)]
@@ -215,7 +238,12 @@ mod tests {
     use netsim::{comet, laptop};
 
     fn ensemble(count: usize) -> Vec<Trajectory> {
-        let spec = ChainSpec { n_atoms: 10, n_frames: 5, stride: 1, ..ChainSpec::default() };
+        let spec = ChainSpec {
+            n_atoms: 10,
+            n_frames: 5,
+            stride: 1,
+            ..ChainSpec::default()
+        };
         mdsim::chain::generate_ensemble(&spec, count, 42)
     }
 
@@ -251,19 +279,27 @@ mod tests {
     fn all_engines_match_serial() {
         let e = ensemble(6);
         let reference = psa_serial(&e);
-        let cfg = PsaConfig { groups: 3, charge_io: true };
+        let cfg = PsaConfig {
+            groups: 3,
+            charge_io: true,
+        };
         let cluster = || Cluster::new(laptop(), 2);
         let arc = Arc::new(e.clone());
 
         let spark = psa_spark(&SparkContext::new(cluster()), Arc::clone(&arc), &cfg);
-        assert!(matrices_equal(&spark.distances, &reference), "spark mismatch");
+        assert!(
+            matrices_equal(&spark.distances, &reference),
+            "spark mismatch"
+        );
 
         let dask = psa_dask(&DaskClient::new(cluster()), Arc::clone(&arc), &cfg);
         assert!(matrices_equal(&dask.distances, &reference), "dask mismatch");
 
-        let pilot_out =
-            psa_pilot(&Session::new(cluster()).unwrap(), &e, &cfg).expect("pilot runs");
-        assert!(matrices_equal(&pilot_out.distances, &reference), "pilot mismatch");
+        let pilot_out = psa_pilot(&Session::new(cluster()).unwrap(), &e, &cfg).expect("pilot runs");
+        assert!(
+            matrices_equal(&pilot_out.distances, &reference),
+            "pilot mismatch"
+        );
 
         let mpi = psa_mpi(cluster(), 4, &e, &cfg);
         assert!(matrices_equal(&mpi.distances, &reference), "mpi mismatch");
@@ -272,7 +308,10 @@ mod tests {
     #[test]
     fn task_counts_are_k_squared() {
         let e = ensemble(4);
-        let cfg = PsaConfig { groups: 2, charge_io: false };
+        let cfg = PsaConfig {
+            groups: 2,
+            charge_io: false,
+        };
         let sc = SparkContext::new(Cluster::new(laptop(), 1));
         psa_spark(&sc, Arc::new(e), &cfg);
         assert_eq!(sc.report().tasks, 4);
@@ -284,9 +323,15 @@ mod tests {
         // and column trajectories of its block.
         let e = ensemble(4); // 4 trajectories × 5 frames × 10 atoms
         let per_traj = 5 * 10 * 12;
-        let diag = Block { row: (0, 2), col: (0, 2) };
+        let diag = Block {
+            row: (0, 2),
+            col: (0, 2),
+        };
         assert_eq!(block_input_bytes(&e, diag), 4 * per_traj);
-        let off = Block { row: (0, 1), col: (2, 4) };
+        let off = Block {
+            row: (0, 1),
+            col: (2, 4),
+        };
         assert_eq!(block_input_bytes(&e, off), 3 * per_traj);
     }
 
@@ -307,7 +352,18 @@ mod tests {
     fn pilot_stages_real_bytes() {
         let e = ensemble(2);
         let session = Session::new(Cluster::new(laptop(), 1)).unwrap();
-        let out = psa_pilot(&session, &e, &PsaConfig { groups: 1, charge_io: true }).unwrap();
-        assert!(out.report.bytes_staged > 0, "pilot must stage trajectory bytes");
+        let out = psa_pilot(
+            &session,
+            &e,
+            &PsaConfig {
+                groups: 1,
+                charge_io: true,
+            },
+        )
+        .unwrap();
+        assert!(
+            out.report.bytes_staged > 0,
+            "pilot must stage trajectory bytes"
+        );
     }
 }

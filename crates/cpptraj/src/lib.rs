@@ -123,7 +123,10 @@ pub fn ensemble_psa(
             distances.set(j as usize, i as usize, h);
         }
     }
-    CppTrajOutput { distances, report: out.report }
+    CppTrajOutput {
+        distances,
+        report: out.report,
+    }
 }
 
 #[cfg(test)]
@@ -135,7 +138,12 @@ mod tests {
     use proptest::prelude::*;
 
     fn small_ensemble(count: usize) -> Vec<Trajectory> {
-        let spec = ChainSpec { n_atoms: 12, n_frames: 6, stride: 1, ..ChainSpec::default() };
+        let spec = ChainSpec {
+            n_atoms: 12,
+            n_frames: 6,
+            stride: 1,
+            ..ChainSpec::default()
+        };
         mdsim::chain::generate_ensemble(&spec, count, 7)
     }
 
@@ -168,7 +176,10 @@ mod tests {
         for i in 0..4 {
             for j in 0..4 {
                 let (g, o) = (gnu.distances.get(i, j), intel.distances.get(i, j));
-                assert!((g - o).abs() < 1e-5 * (1.0 + o.abs()), "mismatch at ({i},{j})");
+                assert!(
+                    (g - o).abs() < 1e-5 * (1.0 + o.abs()),
+                    "mismatch at ({i},{j})"
+                );
             }
         }
     }
@@ -191,11 +202,8 @@ mod tests {
         let out = ensemble_psa(cluster(), 2, KernelBuild::IntelO3, &e);
         for i in 0..3 {
             for j in 0..3 {
-                let direct = linalg::hausdorff_naive(
-                    &e[i].frames,
-                    &e[j].frames,
-                    linalg::frame_rmsd,
-                );
+                let direct =
+                    linalg::hausdorff_naive(&e[i].frames, &e[j].frames, linalg::frame_rmsd);
                 assert!(
                     (out.distances.get(i, j) - direct).abs() < 1e-9,
                     "pair ({i},{j})"
@@ -214,10 +222,19 @@ mod tests {
 
     #[test]
     fn more_ranks_reduce_virtual_time() {
-        let spec = ChainSpec { n_atoms: 60, n_frames: 12, stride: 1, ..ChainSpec::default() };
+        let spec = ChainSpec {
+            n_atoms: 60,
+            n_frames: 12,
+            stride: 1,
+            ..ChainSpec::default()
+        };
         let e = mdsim::chain::generate_ensemble(&spec, 8, 3);
-        let t1 = ensemble_psa(cluster(), 1, KernelBuild::IntelO3, &e).report.makespan_s;
-        let t8 = ensemble_psa(cluster(), 8, KernelBuild::IntelO3, &e).report.makespan_s;
+        let t1 = ensemble_psa(cluster(), 1, KernelBuild::IntelO3, &e)
+            .report
+            .makespan_s;
+        let t8 = ensemble_psa(cluster(), 8, KernelBuild::IntelO3, &e)
+            .report
+            .makespan_s;
         // Discount the fixed 0.5 s mpirun startup before comparing.
         assert!(
             t8 - 0.5 < (t1 - 0.5) * 0.5,

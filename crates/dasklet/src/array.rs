@@ -55,7 +55,10 @@ impl DaskArray {
     ) -> Self {
         assert_eq!(data.len(), rows * cols, "shape mismatch");
         assert!(grid_rows >= 1 && grid_cols >= 1);
-        assert!(grid_rows <= rows.max(1) && grid_cols <= cols.max(1), "more blocks than elements");
+        assert!(
+            grid_rows <= rows.max(1) && grid_cols <= cols.max(1),
+            "more blocks than elements"
+        );
         let row_bounds = bounds(rows, grid_rows);
         let col_bounds = bounds(cols, grid_cols);
         let mut chunks = Vec::with_capacity(grid_rows * grid_cols);
@@ -65,11 +68,20 @@ impl DaskArray {
                 for r in r0..r1 {
                     block.extend_from_slice(&data[r * cols + c0..r * cols + c1]);
                 }
-                let chunk = Chunk { rows: r1 - r0, cols: c1 - c0, data: block };
+                let chunk = Chunk {
+                    rows: r1 - r0,
+                    cols: c1 - c0,
+                    data: block,
+                };
                 chunks.push(client.delayed(move |_: &TaskCtx| chunk));
             }
         }
-        DaskArray { client: client.clone(), grid_rows, grid_cols, chunks }
+        DaskArray {
+            client: client.clone(),
+            grid_rows,
+            grid_cols,
+            chunks,
+        }
     }
 
     pub fn grid_shape(&self) -> (usize, usize) {
@@ -142,7 +154,9 @@ impl DaskArray {
             .iter()
             .map(|d| {
                 let f = f.clone();
-                d.then(&self.client, move |chunk, _| chunk.data.iter().copied().reduce(&f))
+                d.then(&self.client, move |chunk, _| {
+                    chunk.data.iter().copied().reduce(&f)
+                })
             })
             .collect();
         while level.len() > 1 {
@@ -245,7 +259,11 @@ mod tests {
         let a = DaskArray::from_dense(&c, 4, 4, iota(4, 4), 2, 2);
         // Shrinking a chunk (e.g. returning only the edges found in it) is
         // exactly what the Leaflet Finder would need — and cannot have.
-        a.map_blocks(|ch| Chunk { rows: 1, cols: 1, data: vec![ch.data[0]] });
+        a.map_blocks(|ch| Chunk {
+            rows: 1,
+            cols: 1,
+            data: vec![ch.data[0]],
+        });
     }
 
     #[test]

@@ -33,13 +33,19 @@ where
             let chunk: Vec<T> = it.by_ref().take(take).collect();
             partitions.push(client.delayed(move |_| chunk));
         }
-        Bag { client: client.clone(), partitions }
+        Bag {
+            client: client.clone(),
+            partitions,
+        }
     }
 
     /// Build a bag from already-delayed partitions (used by the analysis
     /// pipelines to make one task per pre-partitioned block).
     pub fn from_delayed(client: &DaskClient, partitions: Vec<Delayed<Vec<T>>>) -> Self {
-        Bag { client: client.clone(), partitions }
+        Bag {
+            client: client.clone(),
+            partitions,
+        }
     }
 
     pub fn n_partitions(&self) -> usize {
@@ -71,7 +77,10 @@ where
                 d.then(&self.client, move |part, _| f(part))
             })
             .collect();
-        Bag { client: self.client.clone(), partitions }
+        Bag {
+            client: self.client.clone(),
+            partitions,
+        }
     }
 
     /// Reduce the bag: `per_part` folds each partition to one value, then a
@@ -100,9 +109,10 @@ where
                 match it.next() {
                     Some(b) => {
                         let c = combine.clone();
-                        next.push(self.client.combine(&[&a, &b], move |vals, _| {
-                            c(vals[0], vals[1])
-                        }));
+                        next.push(
+                            self.client
+                                .combine(&[&a, &b], move |vals, _| c(vals[0], vals[1])),
+                        );
                     }
                     None => next.push(a),
                 }
@@ -177,7 +187,9 @@ where
             all.extend(b.iter().cloned());
             select(all)
         };
-        self.fold(per_part, combine).map(Delayed::into_value).unwrap_or_default()
+        self.fold(per_part, combine)
+            .map(Delayed::into_value)
+            .unwrap_or_default()
     }
 }
 

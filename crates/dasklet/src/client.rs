@@ -67,7 +67,11 @@ impl DaskClient {
             inner: Arc::new(Inner {
                 cluster,
                 profile,
-                state: Mutex::new(DaskState { exec, sched_free: startup, next_task: 0 }),
+                state: Mutex::new(DaskState {
+                    exec,
+                    sched_free: startup,
+                    next_task: 0,
+                }),
             }),
         }
     }
@@ -104,14 +108,34 @@ impl DaskClient {
         st.next_task += 1;
         let (out, host_s) = netsim::measure(|| f(&tctx));
         // Worker overhead runs on the executing core: scale it too.
-        let dur = self.inner.cluster.scale_compute(host_s + profile.worker_overhead_s)
+        let dur = self
+            .inner
+            .cluster
+            .scale_compute(host_s + profile.worker_overhead_s)
             + tctx.charged()
             + profile.ser_time(out.wire_bytes());
-        let placement = st.exec.run_task(dispatch + fetch, dur);
+        // The dynamic scheduler reschedules a dead worker's tasks on the
+        // survivors as soon as the heartbeat loss is noticed: each killed
+        // attempt re-enters the scheduler and is dispatched again.
+        let mut release = dispatch + fetch;
+        let placement = loop {
+            match st.exec.run_task_attempt(release, dur) {
+                netsim::TaskAttempt::Done(p) => break p,
+                netsim::TaskAttempt::Killed { died_at, .. } => {
+                    let rep = st.exec.report_mut();
+                    rep.retries += 1;
+                    rep.overhead_s += profile.central_dispatch_s;
+                    release = release.max(died_at + profile.central_dispatch_s);
+                }
+            }
+        };
         let rep = st.exec.report_mut();
         rep.overhead_s += profile.worker_overhead_s + profile.central_dispatch_s;
         rep.comm_s += fetch;
-        Delayed { value: out, ready: placement.end }
+        Delayed {
+            value: out,
+            ready: placement.end,
+        }
     }
 
     /// Submit a leaf task (no dependencies) — `dask.delayed(f)()`.
@@ -187,8 +211,8 @@ impl DaskClient {
     pub fn broadcast<T: Payload>(&self, value: T) -> Result<Delayed<T>, EngineError> {
         let bytes = value.wire_bytes();
         let items = value.item_count();
-        let worker_mem =
-            self.inner.cluster.profile.mem_per_node / self.inner.cluster.profile.cores_per_node as u64;
+        let worker_mem = self.inner.cluster.profile.mem_per_node
+            / self.inner.cluster.profile.cores_per_node as u64;
         let required = bytes + items * crate::LISTWISE_STATE_BYTES_PER_ITEM;
         if required > worker_mem {
             return Err(EngineError::OutOfMemory {
@@ -258,6 +282,8 @@ impl<T: Payload> Delayed<T> {
         client: &DaskClient,
         f: impl FnOnce(&T, &TaskCtx) -> U,
     ) -> Delayed<U> {
-        client.submit_inner(self.ready, self.value.wire_bytes(), 1, |ctx| f(&self.value, ctx))
+        client.submit_inner(self.ready, self.value.wire_bytes(), 1, |ctx| {
+            f(&self.value, ctx)
+        })
     }
 }

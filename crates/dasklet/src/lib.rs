@@ -198,8 +198,10 @@ mod bag_engine {
             &mut self,
             tasks: Vec<BagTask>,
         ) -> Result<(Vec<u64>, netsim::SimReport), EngineError> {
-            let ds: Vec<Delayed<u64>> =
-                tasks.into_iter().map(|t| self.delayed(move |ctx| t(ctx))).collect();
+            let ds: Vec<Delayed<u64>> = tasks
+                .into_iter()
+                .map(|t| self.delayed(move |ctx| t(ctx)))
+                .collect();
             let (vals, _t) = self.gather(&ds);
             Ok((vals, self.report()))
         }

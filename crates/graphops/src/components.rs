@@ -50,7 +50,10 @@ pub fn connected_components_uf(n: usize, edges: &[(u32, u32)]) -> Components {
         uf.union(a, b);
     }
     let labels = uf.canonical_labels();
-    Components { count: uf.set_count(), labels }
+    Components {
+        count: uf.set_count(),
+        labels,
+    }
 }
 
 /// Connected components via BFS over an adjacency list. Reference
@@ -116,7 +119,10 @@ mod tests {
     #[test]
     fn bfs_matches_uf_small() {
         let edges = [(0, 3), (3, 7), (1, 2), (5, 6)];
-        assert_eq!(connected_components_bfs(8, &edges), connected_components_uf(8, &edges));
+        assert_eq!(
+            connected_components_bfs(8, &edges),
+            connected_components_uf(8, &edges)
+        );
     }
 
     #[test]

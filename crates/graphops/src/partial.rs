@@ -57,7 +57,10 @@ pub fn partial_components(edges: &[(u32, u32)]) -> PartialComponents {
     }
     let mut groups: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
     for l in 0..global_of.len() as u32 {
-        groups.entry(uf.find(l)).or_default().push(global_of[l as usize]);
+        groups
+            .entry(uf.find(l))
+            .or_default()
+            .push(global_of[l as usize]);
     }
     let mut components: Vec<Vec<u32>> = groups
         .into_values()
@@ -97,7 +100,10 @@ pub fn merge_partials(parts: &[PartialComponents]) -> PartialComponents {
     }
     let mut merged: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
     for (idx, comp) in flat.iter().enumerate() {
-        merged.entry(uf.find(idx as u32)).or_default().extend_from_slice(comp);
+        merged
+            .entry(uf.find(idx as u32))
+            .or_default()
+            .extend_from_slice(comp);
     }
     let mut components: Vec<Vec<u32>> = merged
         .into_values()
@@ -132,8 +138,12 @@ mod tests {
 
     #[test]
     fn merge_joins_on_shared_node() {
-        let a = PartialComponents { components: vec![vec![1, 2], vec![5, 6]] };
-        let b = PartialComponents { components: vec![vec![2, 3]] };
+        let a = PartialComponents {
+            components: vec![vec![1, 2], vec![5, 6]],
+        };
+        let b = PartialComponents {
+            components: vec![vec![2, 3]],
+        };
         let m = merge_partials(&[a, b]);
         assert_eq!(m.components, vec![vec![1, 2, 3], vec![5, 6]]);
     }
@@ -145,7 +155,9 @@ mod tests {
 
     #[test]
     fn wire_bytes_formula() {
-        let p = PartialComponents { components: vec![vec![1, 2, 3], vec![4]] };
+        let p = PartialComponents {
+            components: vec![vec![1, 2, 3], vec![4]],
+        };
         assert_eq!(p.wire_bytes(), (4 * 4 + 4 * 2 + 4) as u64);
     }
 
@@ -153,8 +165,10 @@ mod tests {
     /// merge, and compare against the global components restricted to
     /// non-isolated nodes.
     fn partition_roundtrip(n: usize, edges: &[(u32, u32)], k: usize) -> bool {
-        let chunks: Vec<PartialComponents> =
-            edges.chunks(edges.len().div_ceil(k).max(1)).map(partial_components).collect();
+        let chunks: Vec<PartialComponents> = edges
+            .chunks(edges.len().div_ceil(k).max(1))
+            .map(partial_components)
+            .collect();
         let merged = merge_partials(&chunks);
         let global = connected_components_uf(n, edges);
         // Expected: global groups filtered to nodes with at least one edge.
@@ -166,7 +180,11 @@ mod tests {
         let expected: Vec<Vec<u32>> = global
             .groups()
             .into_iter()
-            .map(|g| g.into_iter().filter(|&v| has_edge[v as usize]).collect::<Vec<_>>())
+            .map(|g| {
+                g.into_iter()
+                    .filter(|&v| has_edge[v as usize])
+                    .collect::<Vec<_>>()
+            })
             .filter(|g: &Vec<u32>| !g.is_empty())
             .collect();
         merged.components == expected

@@ -13,7 +13,10 @@ use crate::components::Components;
 pub fn connected_components_sv(n: usize, edges: &[(u32, u32)]) -> Components {
     let mut parent: Vec<u32> = (0..n as u32).collect();
     if n == 0 {
-        return Components { labels: parent, count: 0 };
+        return Components {
+            labels: parent,
+            count: 0,
+        };
     }
     loop {
         let mut changed = false;
@@ -57,7 +60,10 @@ pub fn connected_components_sv(n: usize, edges: &[(u32, u32)]) -> Components {
     let mut roots: Vec<u32> = parent.clone();
     roots.sort_unstable();
     roots.dedup();
-    Components { count: roots.len(), labels: parent }
+    Components {
+        count: roots.len(),
+        labels: parent,
+    }
 }
 
 /// Number of hook/shortcut rounds SV needs on this graph (diagnostic for
@@ -121,7 +127,10 @@ mod tests {
         let n = 1024;
         let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
         let rounds = sv_rounds(n, &edges);
-        assert!(rounds <= 2 * (n as f64).log2().ceil() as usize + 2, "rounds={rounds}");
+        assert!(
+            rounds <= 2 * (n as f64).log2().ceil() as usize + 2,
+            "rounds={rounds}"
+        );
         assert_eq!(connected_components_sv(n, &edges).count, 1);
     }
 

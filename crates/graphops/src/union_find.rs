@@ -16,8 +16,15 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets, node ids `0..n`.
     pub fn new(n: usize) -> Self {
-        assert!(n <= u32::MAX as usize, "UnionFind supports at most u32::MAX nodes");
-        UnionFind { parent: (0..n as u32).collect(), rank: vec![0; n], sets: n }
+        assert!(
+            n <= u32::MAX as usize,
+            "UnionFind supports at most u32::MAX nodes"
+        );
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
     }
 
     /// Number of nodes.
@@ -82,7 +89,9 @@ impl UnionFind {
                 min_of_root[r] = x;
             }
         }
-        (0..n as u32).map(|x| min_of_root[self.find(x) as usize]).collect()
+        (0..n as u32)
+            .map(|x| min_of_root[self.find(x) as usize])
+            .collect()
     }
 }
 

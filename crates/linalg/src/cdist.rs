@@ -23,7 +23,11 @@ pub struct DistanceMatrix {
 impl DistanceMatrix {
     /// Allocate an all-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DistanceMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DistanceMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build from parts. `data.len()` must equal `rows * cols`.

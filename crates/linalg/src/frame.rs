@@ -22,7 +22,9 @@ impl Frame {
     /// A frame with `n` atoms at the origin (useful as an accumulation
     /// target or test fixture).
     pub fn zeros(n: usize) -> Self {
-        Frame { positions: vec![Vec3::ZERO; n] }
+        Frame {
+            positions: vec![Vec3::ZERO; n],
+        }
     }
 
     /// Number of atoms.
@@ -80,7 +82,9 @@ impl Frame {
     /// # Panics
     /// Panics if any index is out of range.
     pub fn subset(&self, indices: &[usize]) -> Frame {
-        Frame { positions: indices.iter().map(|&i| self.positions[i]).collect() }
+        Frame {
+            positions: indices.iter().map(|&i| self.positions[i]).collect(),
+        }
     }
 
     /// Axis-aligned bounding box as `(min, max)` corners; `None` for an

@@ -18,7 +18,10 @@ pub type FrameMetric = fn(&Frame, &Frame) -> f64;
 /// Naive symmetric Hausdorff distance (Algorithm 1, verbatim): computes all
 /// |A|·|B| frame distances in both directions.
 pub fn hausdorff_naive(a: &[Frame], b: &[Frame], metric: FrameMetric) -> f64 {
-    assert!(!a.is_empty() && !b.is_empty(), "hausdorff: empty trajectory");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "hausdorff: empty trajectory"
+    );
     let d_ab = directed_naive(a, b, metric);
     let d_ba = directed_naive(b, a, metric);
     d_ab.max(d_ba)
@@ -46,7 +49,10 @@ fn directed_naive(a: &[Frame], b: &[Frame], metric: FrameMetric) -> f64 {
 /// row cannot raise the running maximum. Identical value to
 /// [`hausdorff_naive`], usually far fewer metric evaluations.
 pub fn hausdorff_early_break(a: &[Frame], b: &[Frame], metric: FrameMetric) -> f64 {
-    assert!(!a.is_empty() && !b.is_empty(), "hausdorff: empty trajectory");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "hausdorff: empty trajectory"
+    );
     let d_ab = directed_early_break(a, b, metric);
     let d_ba = directed_early_break(b, a, metric);
     d_ab.max(d_ba)
@@ -85,9 +91,9 @@ pub fn hausdorff_rmsd(a: &[Frame], b: &[Frame]) -> f64 {
 pub fn hausdorff_rmsd_flavored(a: &[Frame], b: &[Frame], flavor: KernelFlavor) -> f64 {
     match flavor {
         KernelFlavor::Gnu => hausdorff_naive(a, b, frame_rmsd),
-        KernelFlavor::IntelO3 => {
-            hausdorff_naive(a, b, |x, y| frame_rmsd_flavored(x, y, KernelFlavor::IntelO3))
-        }
+        KernelFlavor::IntelO3 => hausdorff_naive(a, b, |x, y| {
+            frame_rmsd_flavored(x, y, KernelFlavor::IntelO3)
+        }),
     }
 }
 
@@ -100,7 +106,9 @@ mod tests {
     /// Single-atom frames at scalar positions — lets us compute expected
     /// Hausdorff values by hand.
     fn traj(xs: &[f32]) -> Vec<Frame> {
-        xs.iter().map(|&x| Frame::new(vec![Vec3::new(x, 0.0, 0.0)])).collect()
+        xs.iter()
+            .map(|&x| Frame::new(vec![Vec3::new(x, 0.0, 0.0)]))
+            .collect()
     }
 
     #[test]

@@ -21,9 +21,7 @@ pub use frame::Frame;
 pub use hausdorff::{
     hausdorff_early_break, hausdorff_naive, hausdorff_rmsd, hausdorff_rmsd_flavored, FrameMetric,
 };
-pub use kernels::{
-    drms, frame_rmsd, frame_rmsd_blocked, frame_rmsd_flavored, KernelFlavor,
-};
+pub use kernels::{drms, frame_rmsd, frame_rmsd_blocked, frame_rmsd_flavored, KernelFlavor};
 pub use rmsd2d::{hausdorff_from_rmsd2d, rmsd2d, rmsd2d_with};
 pub use superpose::rmsd_superposed;
 pub use vec3::Vec3;

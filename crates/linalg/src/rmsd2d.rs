@@ -32,7 +32,10 @@ pub fn rmsd2d_with(a: &[Frame], b: &[Frame], flavor: KernelFlavor) -> DistanceMa
 /// [`crate::hausdorff::hausdorff_naive`] computed directly — a property
 /// test in `mdtask-core` checks that end to end.
 pub fn hausdorff_from_rmsd2d(d: &DistanceMatrix) -> f64 {
-    assert!(d.rows() > 0 && d.cols() > 0, "hausdorff_from_rmsd2d: empty matrix");
+    assert!(
+        d.rows() > 0 && d.cols() > 0,
+        "hausdorff_from_rmsd2d: empty matrix"
+    );
     let mut h_ab = 0.0f64;
     for i in 0..d.rows() {
         let row_min = d.row(i).iter().copied().fold(f64::INFINITY, f64::min);
@@ -57,7 +60,9 @@ mod tests {
     use crate::Vec3;
 
     fn traj(xs: &[f32]) -> Vec<Frame> {
-        xs.iter().map(|&x| Frame::new(vec![Vec3::new(x, 0.0, 0.0)])).collect()
+        xs.iter()
+            .map(|&x| Frame::new(vec![Vec3::new(x, 0.0, 0.0)]))
+            .collect()
     }
 
     #[test]

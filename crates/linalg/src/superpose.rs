@@ -69,8 +69,7 @@ pub fn rmsd_superposed(a: &Frame, b: &Frame) -> f64 {
     let syzszymsyyszz2 = 2.0 * (syz * szy - syy * szz);
     let sxx2syy2szz2syz2szy2 = syy2 + szz2 - sxx2 + syz2 + szy2;
 
-    let c2 = -2.0
-        * (sxx2 + syy2 + szz2 + sxy2 + syx2 + sxz2 + szx2 + syz2 + szy2);
+    let c2 = -2.0 * (sxx2 + syy2 + szz2 + sxy2 + syx2 + sxz2 + szx2 + syz2 + szy2);
     let c1 = 8.0
         * (sxx * syz * szy + syy * szx * sxz + szz * sxy * syx
             - sxx * syy * szz
@@ -78,8 +77,7 @@ pub fn rmsd_superposed(a: &Frame, b: &Frame) -> f64 {
             - szy * syx * sxz);
 
     let d = (sxy2 + sxz2 - syx2 - szx2) * (sxy2 + sxz2 - syx2 - szx2);
-    let e = (sxx2syy2szz2syz2szy2 + syzszymsyyszz2)
-        * (sxx2syy2szz2syz2szy2 - syzszymsyyszz2);
+    let e = (sxx2syy2szz2syz2szy2 + syzszymsyyszz2) * (sxx2syy2szz2syz2szy2 - syzszymsyyszz2);
     let f = (-(sxz + szx) * (syz - szy) + (sxy - syx) * (sxx - syy - szz))
         * (-(sxz - szx) * (syz + szy) + (sxy - syx) * (sxx - syy + szz));
     let g = (-(sxz + szx) * (syz + szy) - (sxy + syx) * (sxx + syy - szz))
@@ -200,7 +198,10 @@ mod tests {
     fn single_point_frames() {
         let a = Frame::new(vec![Vec3::new(1.0, 2.0, 3.0)]);
         let b = Frame::new(vec![Vec3::new(-4.0, 0.0, 9.0)]);
-        assert!(rmsd_superposed(&a, &b) < 1e-6, "single points always superpose");
+        assert!(
+            rmsd_superposed(&a, &b) < 1e-6,
+            "single points always superpose"
+        );
     }
 
     #[test]

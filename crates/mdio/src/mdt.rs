@@ -138,7 +138,10 @@ mod tests {
 
     #[test]
     fn mismatched_frames_rejected() {
-        let frames = frames_of(&[vec![(0.0, 0.0, 0.0)], vec![(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)]]);
+        let frames = frames_of(&[
+            vec![(0.0, 0.0, 0.0)],
+            vec![(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)],
+        ]);
         assert!(encode_mdt(&frames).is_err());
     }
 

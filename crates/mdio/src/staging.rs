@@ -23,17 +23,19 @@ impl StagingArea {
     pub fn new(root: impl Into<PathBuf>) -> Result<Self> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
-        Ok(StagingArea { root, bytes_written: AtomicU64::new(0), bytes_read: AtomicU64::new(0) })
+        Ok(StagingArea {
+            root,
+            bytes_written: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+        })
     }
 
     /// A unique staging area under the system temp dir.
     pub fn temp(tag: &str) -> Result<Self> {
         static NEXT: AtomicU64 = AtomicU64::new(0);
         let id = NEXT.fetch_add(1, Ordering::Relaxed);
-        let root = std::env::temp_dir().join(format!(
-            "mdtask-stage-{tag}-{}-{id}",
-            std::process::id()
-        ));
+        let root =
+            std::env::temp_dir().join(format!("mdtask-stage-{tag}-{}-{id}", std::process::id()));
         Self::new(root)
     }
 
@@ -51,14 +53,16 @@ impl StagingArea {
     pub fn stage_in(&self, task_id: usize, name: &str, data: &[u8]) -> Result<PathBuf> {
         let path = self.task_path(task_id, name);
         std::fs::write(&path, data)?;
-        self.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         Ok(path)
     }
 
     /// Read a task's staged blob back.
     pub fn stage_out(&self, task_id: usize, name: &str) -> Result<Vec<u8>> {
         let data = std::fs::read(self.task_path(task_id, name))?;
-        self.bytes_read.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.bytes_read
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         Ok(data)
     }
 

@@ -137,15 +137,15 @@ pub fn decode_xtcq(mut data: &[u8]) -> Result<Vec<Frame>> {
     let n_atoms = data.get_u32_le() as usize;
     let n_frames = data.get_u32_le() as usize;
     let inv_prec = data.get_f32_le();
-    if !(inv_prec > 0.0) {
+    if inv_prec.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return Err(IoError::Format("non-positive precision".into()));
     }
     let mut frames: Vec<Vec<[i64; 3]>> = Vec::with_capacity(n_frames);
-    for k in 0..n_frames {
+    for _ in 0..n_frames {
         let mut frame = Vec::with_capacity(n_atoms);
         let mut prev = [0i64; 3];
         for a in 0..n_atoms {
-            let reference = if k == 0 { prev } else { frames[k - 1][a] };
+            let reference = frames.last().map_or(prev, |pf| pf[a]);
             let mut atom = [0i64; 3];
             for (d, slot) in atom.iter_mut().enumerate() {
                 *slot = reference[d] + unzigzag(get_varint(&mut data)?);
@@ -165,9 +165,7 @@ pub fn decode_xtcq(mut data: &[u8]) -> Result<Vec<Frame>> {
             Frame::new(
                 frame
                     .into_iter()
-                    .map(|[x, y, z]| {
-                        Vec3::new(x as f32 * prec, y as f32 * prec, z as f32 * prec)
-                    })
+                    .map(|[x, y, z]| Vec3::new(x as f32 * prec, y as f32 * prec, z as f32 * prec))
                     .collect(),
             )
         })
@@ -192,10 +190,9 @@ mod tests {
 
     fn close(a: &Frame, b: &Frame, tol: f32) -> bool {
         a.n_atoms() == b.n_atoms()
-            && a.positions()
-                .iter()
-                .zip(b.positions())
-                .all(|(p, q)| (p.x - q.x).abs() <= tol && (p.y - q.y).abs() <= tol && (p.z - q.z).abs() <= tol)
+            && a.positions().iter().zip(b.positions()).all(|(p, q)| {
+                (p.x - q.x).abs() <= tol && (p.y - q.y).abs() <= tol && (p.z - q.z).abs() <= tol
+            })
     }
 
     #[test]
@@ -247,7 +244,9 @@ mod tests {
 
     #[test]
     fn empty_and_single_frame() {
-        assert!(decode_xtcq(&encode_xtcq(&[], 1000.0).unwrap()).unwrap().is_empty());
+        assert!(decode_xtcq(&encode_xtcq(&[], 1000.0).unwrap())
+            .unwrap()
+            .is_empty());
         let one = vec![Frame::new(vec![Vec3::new(1.2345, -2.5, 0.0)])];
         let back = decode_xtcq(&encode_xtcq(&one, 1000.0).unwrap()).unwrap();
         assert!(close(&one[0], &back[0], 6e-4));

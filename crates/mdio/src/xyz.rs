@@ -87,7 +87,10 @@ mod tests {
 
     #[test]
     fn roundtrip_two_frames() {
-        let frames = vec![frame(&[(0.0, 1.0, 2.0), (3.25, -4.5, 5.0)]), frame(&[(9.0, 8.0, 7.0), (1.0, 1.0, 1.0)])];
+        let frames = vec![
+            frame(&[(0.0, 1.0, 2.0), (3.25, -4.5, 5.0)]),
+            frame(&[(9.0, 8.0, 7.0), (1.0, 1.0, 1.0)]),
+        ];
         let text = encode_xyz(&frames);
         assert_eq!(decode_xyz(&text).unwrap(), frames);
     }

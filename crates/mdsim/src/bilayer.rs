@@ -31,7 +31,12 @@ pub struct BilayerSpec {
 
 impl Default for BilayerSpec {
     fn default() -> Self {
-        BilayerSpec { n_atoms: 1024, spacing: 1.0, gap: 5.0, jitter: 0.15 }
+        BilayerSpec {
+            n_atoms: 1024,
+            spacing: 1.0,
+            gap: 5.0,
+            jitter: 0.15,
+        }
     }
 }
 
@@ -84,7 +89,11 @@ pub fn generate(spec: &BilayerSpec, seed: u64) -> Bilayer {
     let mut positions = Vec::with_capacity(spec.n_atoms);
     let mut upper = Vec::with_capacity(spec.n_atoms);
     for (leaflet, z0, is_upper) in [(0usize, spec.gap / 2.0, true), (1, -spec.gap / 2.0, false)] {
-        let count = if leaflet == 0 { per_leaflet } else { spec.n_atoms - per_leaflet };
+        let count = if leaflet == 0 {
+            per_leaflet
+        } else {
+            spec.n_atoms - per_leaflet
+        };
         for k in 0..count {
             let ix = (k % side) as f32;
             let iy = (k / side) as f32;
@@ -104,7 +113,11 @@ pub fn generate(spec: &BilayerSpec, seed: u64) -> Bilayer {
     let positions = order.iter().map(|&i| positions[i]).collect();
     let upper = order.iter().map(|&i| upper[i]).collect();
 
-    Bilayer { positions, upper, suggested_cutoff: spec.spacing * 2.1 }
+    Bilayer {
+        positions,
+        upper,
+        suggested_cutoff: spec.spacing * 2.1,
+    }
 }
 
 #[cfg(test)]
@@ -144,7 +157,13 @@ mod tests {
 
     #[test]
     fn shape_and_ground_truth() {
-        let b = generate(&BilayerSpec { n_atoms: 200, ..Default::default() }, 1);
+        let b = generate(
+            &BilayerSpec {
+                n_atoms: 200,
+                ..Default::default()
+            },
+            1,
+        );
         assert_eq!(b.n_atoms(), 200);
         let (up, lo) = b.leaflet_sizes();
         assert_eq!(up + lo, 200);
@@ -153,7 +172,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let spec = BilayerSpec { n_atoms: 128, ..Default::default() };
+        let spec = BilayerSpec {
+            n_atoms: 128,
+            ..Default::default()
+        };
         let a = generate(&spec, 5);
         let b = generate(&spec, 5);
         assert_eq!(a.positions, b.positions);
@@ -162,13 +184,25 @@ mod tests {
 
     #[test]
     fn cutoff_graph_has_exactly_two_components() {
-        let b = generate(&BilayerSpec { n_atoms: 256, ..Default::default() }, 9);
+        let b = generate(
+            &BilayerSpec {
+                n_atoms: 256,
+                ..Default::default()
+            },
+            9,
+        );
         assert!(two_components(&b.positions, b.suggested_cutoff));
     }
 
     #[test]
     fn leaflets_are_separated_in_z() {
-        let b = generate(&BilayerSpec { n_atoms: 100, ..Default::default() }, 2);
+        let b = generate(
+            &BilayerSpec {
+                n_atoms: 100,
+                ..Default::default()
+            },
+            2,
+        );
         for (p, &u) in b.positions.iter().zip(&b.upper) {
             if u {
                 assert!(p.z > 1.0, "upper atom at z={}", p.z);
@@ -180,7 +214,13 @@ mod tests {
 
     #[test]
     fn odd_atom_counts_work() {
-        let b = generate(&BilayerSpec { n_atoms: 101, ..Default::default() }, 3);
+        let b = generate(
+            &BilayerSpec {
+                n_atoms: 101,
+                ..Default::default()
+            },
+            3,
+        );
         assert_eq!(b.n_atoms(), 101);
         let (up, lo) = b.leaflet_sizes();
         assert_eq!(up, 50);
@@ -190,6 +230,12 @@ mod tests {
     #[test]
     #[should_panic]
     fn degenerate_spec_panics() {
-        generate(&BilayerSpec { n_atoms: 1, ..Default::default() }, 0);
+        generate(
+            &BilayerSpec {
+                n_atoms: 1,
+                ..Default::default()
+            },
+            0,
+        );
     }
 }

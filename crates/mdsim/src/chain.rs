@@ -132,7 +132,9 @@ fn step(pos: &mut [Vec3], spec: &ChainSpec, rng: &mut StdRng) {
 /// Generate an ensemble of `count` trajectories with distinct seeds —
 /// the paper's PSA input is an ensemble of 128 or 256 trajectories.
 pub fn generate_ensemble(spec: &ChainSpec, count: usize, base_seed: u64) -> Vec<Trajectory> {
-    (0..count).map(|i| generate(spec, base_seed.wrapping_add(i as u64))).collect()
+    (0..count)
+        .map(|i| generate(spec, base_seed.wrapping_add(i as u64)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -140,7 +142,12 @@ mod tests {
     use super::*;
 
     fn small_spec() -> ChainSpec {
-        ChainSpec { n_atoms: 20, n_frames: 5, stride: 2, ..ChainSpec::default() }
+        ChainSpec {
+            n_atoms: 20,
+            n_frames: 5,
+            stride: 2,
+            ..ChainSpec::default()
+        }
     }
 
     #[test]
@@ -182,7 +189,13 @@ mod tests {
     #[test]
     fn bonds_stay_near_equilibrium() {
         // Stiffness should keep bonds from wandering arbitrarily.
-        let t = generate(&ChainSpec { n_frames: 30, ..small_spec() }, 5);
+        let t = generate(
+            &ChainSpec {
+                n_frames: 30,
+                ..small_spec()
+            },
+            5,
+        );
         let p = t.frames.last().unwrap().positions();
         for i in 1..p.len() {
             let d = p[i].dist(p[i - 1]);
@@ -201,6 +214,12 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_atoms_panics() {
-        generate(&ChainSpec { n_atoms: 0, ..small_spec() }, 0);
+        generate(
+            &ChainSpec {
+                n_atoms: 0,
+                ..small_spec()
+            },
+            0,
+        );
     }
 }

@@ -103,7 +103,12 @@ impl LfDatasetId {
 pub fn psa_ensemble(size: PsaSize, count: usize, scale: usize, seed: u64) -> Vec<Trajectory> {
     assert!(scale >= 1, "scale must be >= 1");
     let n_atoms = (size.paper_atoms() / scale).max(8);
-    let spec = ChainSpec { n_atoms, n_frames: PSA_PAPER_FRAMES, stride: 1, ..ChainSpec::default() };
+    let spec = ChainSpec {
+        n_atoms,
+        n_frames: PSA_PAPER_FRAMES,
+        stride: 1,
+        ..ChainSpec::default()
+    };
     chain::generate_ensemble(&spec, count, seed)
 }
 
@@ -121,7 +126,11 @@ pub fn lf_dataset(id: LfDatasetId, scale: usize, seed: u64) -> Bilayer {
         // ≈ 22 edges/atom for the 4M system (44.6M/4M ≈ 11 ⇒ degree ≈ 22).
         LfDatasetId::Atoms4M => 0.79,
     };
-    let spec = BilayerSpec { n_atoms, spacing, ..BilayerSpec::default() };
+    let spec = BilayerSpec {
+        n_atoms,
+        spacing,
+        ..BilayerSpec::default()
+    };
     let mut b = bilayer::generate(&spec, seed);
     // The cutoff is fixed by the physics (leaflet assignment threshold),
     // not by the lattice; keep it constant across datasets.
@@ -143,8 +152,14 @@ mod tests {
 
     #[test]
     fn psa_paper_scale_constants() {
-        assert_eq!(PsaSize::Medium.paper_atoms(), 2 * PsaSize::Small.paper_atoms());
-        assert_eq!(PsaSize::Large.paper_atoms(), 4 * PsaSize::Small.paper_atoms());
+        assert_eq!(
+            PsaSize::Medium.paper_atoms(),
+            2 * PsaSize::Small.paper_atoms()
+        );
+        assert_eq!(
+            PsaSize::Large.paper_atoms(),
+            4 * PsaSize::Small.paper_atoms()
+        );
     }
 
     #[test]
@@ -160,12 +175,8 @@ mod tests {
         // Generated edge/atom ratio should be within 40% of the paper's.
         for id in [LfDatasetId::Atoms131k, LfDatasetId::Atoms4M] {
             let b = lf_dataset(id, 256, 7);
-            let edges = linalg::edges_within_cutoff(
-                &b.positions,
-                &b.positions,
-                b.suggested_cutoff,
-                true,
-            );
+            let edges =
+                linalg::edges_within_cutoff(&b.positions, &b.positions, b.suggested_cutoff, true);
             let got = edges.len() as f64 / b.n_atoms() as f64;
             let want = id.paper_edges() as f64 / id.paper_atoms() as f64;
             let ratio = got / want;

@@ -24,8 +24,8 @@ pub mod lj;
 
 pub use bilayer::{Bilayer, BilayerSpec};
 pub use chain::{ChainSpec, Trajectory};
-pub use lj::{LjSpec, LjSystem};
 pub use datasets::{
     lf_dataset, psa_ensemble, LfDatasetId, PsaSize, LF_PAPER_ATOMS, PSA_PAPER_ATOMS,
     PSA_PAPER_FRAMES,
 };
+pub use lj::{LjSpec, LjSystem};

@@ -107,7 +107,11 @@ impl LjSystem {
                 v[d] -= mean[d];
             }
         }
-        LjSystem { positions, velocities, spec }
+        LjSystem {
+            positions,
+            velocities,
+            spec,
+        }
     }
 
     /// Forces (and total potential energy) with a cell-list neighbour scan.
@@ -141,8 +145,8 @@ impl LjSystem {
         let dt = self.spec.dt;
         // Half kick + drift.
         for (i, p) in self.positions.iter_mut().enumerate() {
-            for d in 0..3 {
-                self.velocities[i][d] += 0.5 * dt * forces[i][d];
+            for (v, fd) in self.velocities[i].iter_mut().zip(forces[i]) {
+                *v += 0.5 * dt * fd;
             }
             p.x += (dt * self.velocities[i][0]) as f32;
             p.y += (dt * self.velocities[i][1]) as f32;
@@ -153,9 +157,9 @@ impl LjSystem {
         *forces = new_f;
         let mut kin = 0.0;
         for (i, v) in self.velocities.iter_mut().enumerate() {
-            for d in 0..3 {
-                v[d] += 0.5 * dt * forces[i][d];
-                kin += 0.5 * v[d] * v[d];
+            for (vd, fd) in v.iter_mut().zip(forces[i]) {
+                *vd += 0.5 * dt * fd;
+                kin += 0.5 * *vd * *vd;
             }
         }
         (kin, pot)
@@ -163,9 +167,9 @@ impl LjSystem {
 
     /// Total linear momentum (conserved by Newton's third law).
     pub fn momentum(&self) -> [f64; 3] {
-        self.velocities.iter().fold([0.0; 3], |m, v| {
-            [m[0] + v[0], m[1] + v[1], m[2] + v[2]]
-        })
+        self.velocities
+            .iter()
+            .fold([0.0; 3], |m, v| [m[0] + v[0], m[1] + v[1], m[2] + v[2]])
     }
 }
 
@@ -205,7 +209,13 @@ mod tests {
 
     #[test]
     fn forces_are_pairwise_antisymmetric() {
-        let sys = LjSystem::new(LjSpec { n_atoms: 27, ..Default::default() }, 3);
+        let sys = LjSystem::new(
+            LjSpec {
+                n_atoms: 27,
+                ..Default::default()
+            },
+            3,
+        );
         let (f, _) = sys.forces();
         let total = f.iter().fold([0.0f64; 3], |m, fi| {
             [m[0] + fi[0], m[1] + fi[1], m[2] + fi[2]]
@@ -217,7 +227,12 @@ mod tests {
 
     #[test]
     fn momentum_conserved_over_dynamics() {
-        let spec = LjSpec { n_atoms: 32, n_frames: 4, stride: 20, ..Default::default() };
+        let spec = LjSpec {
+            n_atoms: 32,
+            n_frames: 4,
+            stride: 20,
+            ..Default::default()
+        };
         let mut sys = LjSystem::new(spec, 7);
         let p0 = sys.momentum();
         let (mut f, _) = sys.forces();
@@ -226,13 +241,20 @@ mod tests {
         }
         let p1 = sys.momentum();
         for d in 0..3 {
-            assert!((p1[d] - p0[d]).abs() < 1e-9, "momentum drift: {p0:?} -> {p1:?}");
+            assert!(
+                (p1[d] - p0[d]).abs() < 1e-9,
+                "momentum drift: {p0:?} -> {p1:?}"
+            );
         }
     }
 
     #[test]
     fn energy_drift_is_small() {
-        let spec = LjSpec { n_atoms: 27, dt: 0.002, ..Default::default() };
+        let spec = LjSpec {
+            n_atoms: 27,
+            dt: 0.002,
+            ..Default::default()
+        };
         let mut sys = LjSystem::new(spec, 11);
         let (mut f, pot0) = sys.forces();
         let kin0: f64 = sys.velocities.iter().flatten().map(|v| 0.5 * v * v).sum();
@@ -251,7 +273,12 @@ mod tests {
 
     #[test]
     fn trajectory_shape_and_determinism() {
-        let spec = LjSpec { n_atoms: 20, n_frames: 5, stride: 5, ..Default::default() };
+        let spec = LjSpec {
+            n_atoms: 20,
+            n_frames: 5,
+            stride: 5,
+            ..Default::default()
+        };
         let a = generate(&spec, 9);
         let b = generate(&spec, 9);
         assert_eq!(a, b);

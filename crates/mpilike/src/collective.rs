@@ -76,7 +76,14 @@ impl Rendezvous {
     /// # Panics
     /// Panics if ranks disagree on the payload type for the same `seq`
     /// (an SPMD programming error).
-    pub fn exchange<T, R, F>(&self, seq: u64, rank: usize, clock: f64, input: T, finish: F) -> (R, f64)
+    pub fn exchange<T, R, F>(
+        &self,
+        seq: u64,
+        rank: usize,
+        clock: f64,
+        input: T,
+        finish: F,
+    ) -> (R, f64)
     where
         T: Send + 'static,
         R: Send + 'static,
@@ -85,7 +92,10 @@ impl Rendezvous {
         let mut g = self.state.lock();
         {
             let round = g.entry(seq).or_insert_with(|| Round::new(self.world));
-            assert!(round.inputs[rank].is_none(), "rank {rank} entered collective {seq} twice");
+            assert!(
+                round.inputs[rank].is_none(),
+                "rank {rank} entered collective {seq} twice"
+            );
             round.clocks[rank] = clock;
             round.inputs[rank] = Some(Box::new(input));
             round.arrived += 1;
@@ -106,8 +116,16 @@ impl Rendezvous {
                 })
                 .collect();
             let (outs, completion) = finish(&clocks, inputs);
-            assert_eq!(outs.len(), self.world, "finish must return one result per rank");
-            assert_eq!(completion.len(), self.world, "finish must return one clock per rank");
+            assert_eq!(
+                outs.len(),
+                self.world,
+                "finish must return one result per rank"
+            );
+            assert_eq!(
+                completion.len(),
+                self.world,
+                "finish must return one clock per rank"
+            );
             let max_arrival = clocks.iter().copied().fold(0.0, f64::max);
             let max_completion = completion.iter().copied().fold(0.0, f64::max);
             *self.comm_s.lock() += (max_completion - max_arrival).max(0.0);
@@ -118,7 +136,7 @@ impl Rendezvous {
             round.done = true;
             self.cv.notify_all();
         } else {
-            while !g.get(&seq).map_or(false, |r| r.done) {
+            while !g.get(&seq).is_some_and(|r| r.done) {
                 self.cv.wait(&mut g);
             }
         }

@@ -106,7 +106,11 @@ impl<'a> Comm<'a> {
                     seen[p] = true;
                 }
             }
-            let max_bytes = inputs.iter().map(|(_, v)| v.wire_bytes()).max().unwrap_or(0);
+            let max_bytes = inputs
+                .iter()
+                .map(|(_, v)| v.wire_bytes())
+                .max()
+                .unwrap_or(0);
             let _ = (my_node, peer_node);
             let t = t0 + net.transfer_time(max_bytes, false);
             // outs[dst] = the value sent by the rank whose peer is dst.
@@ -115,8 +119,10 @@ impl<'a> Comm<'a> {
                 let _ = src;
                 slots[dst] = Some(v);
             }
-            let outs: Vec<T> =
-                slots.into_iter().map(|s| s.expect("permutation covers all ranks")).collect();
+            let outs: Vec<T> = slots
+                .into_iter()
+                .map(|s| s.expect("permutation covers all ranks"))
+                .collect();
             (outs, vec![t; world])
         })
     }
@@ -153,7 +159,9 @@ mod tests {
 
     #[test]
     fn reduce_to_root() {
-        let out = run(cluster(5), 5, |comm| comm.reduce(2, comm.rank() as u64 + 1, |a, b| a * b));
+        let out = run(cluster(5), 5, |comm| {
+            comm.reduce(2, comm.rank() as u64 + 1, |a, b| a * b)
+        });
         for (rank, v) in out.results.into_iter().enumerate() {
             if rank == 2 {
                 assert_eq!(v, Some(120), "5! at the root");

@@ -4,7 +4,7 @@ use crate::collective::Rendezvous;
 use netsim::{Cluster, SimReport};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use taskframe::{mpi_profile, Payload};
+use taskframe::{mpi_profile, EngineError, Payload};
 
 struct Shared {
     rendezvous: Rendezvous,
@@ -34,8 +34,22 @@ pub struct MpiRunOutput<T> {
 }
 
 /// Launch `world` ranks running `f`, one rank per simulated core, and
-/// collect their results. Panics in any rank propagate.
+/// collect their results. Panics in any rank propagate, and a node death
+/// scripted before the job's end aborts the whole run (use
+/// [`try_run`] to observe the abort as an error).
 pub fn run<T, F>(cluster: Cluster, world: usize, f: F) -> MpiRunOutput<T>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Send + Sync,
+{
+    try_run(cluster, world, f).expect("MPI job aborted")
+}
+
+/// Fallible variant of [`run`]: SPMD has no task-level recovery, so if the
+/// fault plan kills a node hosting any rank before the job would have
+/// finished, the whole communicator aborts with
+/// [`EngineError::WorkerLost`] — `mpirun` tears everything down.
+pub fn try_run<T, F>(cluster: Cluster, world: usize, f: F) -> Result<MpiRunOutput<T>, EngineError>
 where
     T: Send,
     F: Fn(&mut Comm) -> T + Send + Sync,
@@ -77,7 +91,10 @@ where
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
         });
         for (i, (out, clock)) in slots.into_iter().enumerate() {
             results.push(out);
@@ -85,19 +102,38 @@ where
         }
     }
 
-    let mut report = SimReport {
-        makespan_s: final_clocks.iter().copied().fold(0.0, f64::max),
+    let job_end = final_clocks
+        .iter()
+        .copied()
+        .fold(0.0, f64::max)
+        .max(profile.startup_s);
+    // SPMD abort semantics: a node death anywhere before the job's end
+    // takes the whole communicator down — there is nothing to retry.
+    for rank in 0..world {
+        let node = shared.cluster.node_of_core(rank);
+        if let Some(at_s) = shared.cluster.faults().node_death(node) {
+            if at_s < job_end {
+                return Err(EngineError::WorkerLost { node, at_s });
+            }
+        }
+    }
+    let report = SimReport {
+        makespan_s: job_end,
         tasks: world,
         compute_s: *shared.compute_s.lock(),
         overhead_s: profile.startup_s,
         comm_s: shared.rendezvous.comm_seconds(),
         bytes_broadcast: shared.bytes_broadcast.load(Ordering::Relaxed),
         bytes_shuffled: shared.bytes_shuffled.load(Ordering::Relaxed),
-        bytes_staged: 0,
-        phases: Vec::new(),
+        ..Default::default()
     };
-    report.makespan_s = report.makespan_s.max(profile.startup_s);
-    MpiRunOutput { results: results.into_iter().map(|o| o.expect("rank result")).collect(), report }
+    Ok(MpiRunOutput {
+        results: results
+            .into_iter()
+            .map(|o| o.expect("rank result"))
+            .collect(),
+        report,
+    })
 }
 
 impl<'a> Comm<'a> {
@@ -133,7 +169,10 @@ impl<'a> Comm<'a> {
     pub fn compute<R>(&mut self, f: impl FnOnce() -> R) -> R {
         let _token = self.shared.compute_token.lock();
         let (out, host_s) = netsim::measure(f);
-        let sim_s = self.shared.cluster.scale_compute(host_s);
+        // A straggler core stretches this rank's compute (and, through the
+        // collectives, everyone waiting on it — SPMD has no mitigation).
+        let sim_s = self.shared.cluster.scale_compute(host_s)
+            * self.shared.cluster.faults().slowdown(self.rank);
         self.clock += sim_s;
         *self.shared.compute_s.lock() += sim_s;
         out
@@ -161,8 +200,10 @@ impl<'a> Comm<'a> {
         F: FnOnce(&[f64], Vec<T>) -> (Vec<R>, Vec<f64>),
     {
         self.seq += 1;
-        let (out, t) =
-            self.shared.rendezvous.exchange(self.seq, self.rank, self.clock, input, finish);
+        let (out, t) = self
+            .shared
+            .rendezvous
+            .exchange(self.seq, self.rank, self.clock, input, finish);
         self.clock = t;
         out
     }
@@ -192,7 +233,9 @@ impl<'a> Comm<'a> {
         let nodes: Vec<usize> = (0..world).map(|r| self.node_of_rank(r)).collect();
         let bytes_counter = &self.shared.bytes_broadcast;
         self.collective(value, move |clocks, mut inputs: Vec<Option<T>>| {
-            let v = inputs[root].take().unwrap_or_else(|| panic!("rank {root} must provide the bcast value"));
+            let v = inputs[root]
+                .take()
+                .unwrap_or_else(|| panic!("rank {root} must provide the bcast value"));
             let t0 = clocks.iter().copied().fold(0.0, f64::max);
             let bytes = v.wire_bytes();
             let mut completion = vec![0.0; world];
@@ -224,7 +267,9 @@ impl<'a> Comm<'a> {
         let nodes: Vec<usize> = (0..world).map(|r| self.node_of_rank(r)).collect();
         let bytes_counter = &self.shared.bytes_shuffled;
         self.collective(parts, move |clocks, mut inputs: Vec<Option<Vec<T>>>| {
-            let parts = inputs[root].take().unwrap_or_else(|| panic!("rank {root} must provide scatter parts"));
+            let parts = inputs[root]
+                .take()
+                .unwrap_or_else(|| panic!("rank {root} must provide scatter parts"));
             assert_eq!(parts.len(), world, "scatter needs one part per rank");
             let t0 = clocks.iter().copied().fold(0.0, f64::max);
             let mut completion = vec![t0; world];

@@ -23,7 +23,7 @@ mod collective;
 mod collectives_ext;
 mod comm;
 
-pub use comm::{run, Comm, MpiRunOutput};
+pub use comm::{run, try_run, Comm, MpiRunOutput};
 
 #[cfg(test)]
 mod tests {
@@ -48,7 +48,11 @@ mod tests {
     #[test]
     fn bcast_delivers_root_value() {
         let out = run(cluster(6), 6, |comm| {
-            let v = if comm.rank() == 0 { Some(vec![7u32, 8, 9]) } else { None };
+            let v = if comm.rank() == 0 {
+                Some(vec![7u32, 8, 9])
+            } else {
+                None
+            };
             comm.bcast(0, v)
         });
         for r in out.results {
@@ -134,7 +138,11 @@ mod tests {
         let t = |world: usize| {
             let p = payload.clone();
             let out = run(cluster(world), world, move |comm| {
-                let v = if comm.rank() == 0 { Some(p.clone()) } else { None };
+                let v = if comm.rank() == 0 {
+                    Some(p.clone())
+                } else {
+                    None
+                };
                 comm.bcast(0, v);
                 comm.clock()
             });
@@ -165,6 +173,9 @@ mod tests {
             assert_eq!(data.wire_bytes(), 404);
             comm.gather(0, data);
         });
-        assert!(out.report.bytes_shuffled >= 3 * 404, "gather moves non-root payloads");
+        assert!(
+            out.report.bytes_shuffled >= 3 * 404,
+            "gather moves non-root payloads"
+        );
     }
 }

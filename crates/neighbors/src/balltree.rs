@@ -79,7 +79,8 @@ impl BallTree {
             self.indices[start..end].select_nth_unstable_by(mid - start, |&a, &b| {
                 let pa = self.points[a as usize].axis(axis);
                 let pb = self.points[b as usize].axis(axis);
-                pa.partial_cmp(&pb).expect("NaN coordinate in BallTree input")
+                pa.partial_cmp(&pb)
+                    .expect("NaN coordinate in BallTree input")
             });
             let left = self.build_node(start, mid, leaf_size);
             let right = self.build_node(mid, end, leaf_size);

@@ -31,9 +31,16 @@ impl CellList {
             .unwrap_or(Vec3::ZERO);
         let mut cells: HashMap<(i32, i32, i32), Vec<u32>> = HashMap::new();
         for (i, &p) in points.iter().enumerate() {
-            cells.entry(Self::key(p, origin, cutoff)).or_default().push(i as u32);
+            cells
+                .entry(Self::key(p, origin, cutoff))
+                .or_default()
+                .push(i as u32);
         }
-        CellList { cell_edge: cutoff, origin, cells }
+        CellList {
+            cell_edge: cutoff,
+            origin,
+            cells,
+        }
     }
 
     #[inline]
@@ -98,7 +105,10 @@ impl CellList {
     /// Indices of all points within `radius` of `query` (radius must not
     /// exceed the grid cell edge), ascending.
     pub fn query_radius(&self, points: &[Vec3], query: Vec3, radius: f32) -> Vec<u32> {
-        assert!(radius <= self.cell_edge, "query radius exceeds grid cell edge");
+        assert!(
+            radius <= self.cell_edge,
+            "query radius exceeds grid cell edge"
+        );
         let r2 = radius * radius;
         let (cx, cy, cz) = Self::key(query, self.origin, self.cell_edge);
         let mut out = Vec::new();
@@ -125,7 +135,9 @@ mod tests {
     use super::*;
 
     fn line(n: usize, spacing: f32) -> Vec<Vec3> {
-        (0..n).map(|i| Vec3::new(i as f32 * spacing, 0.0, 0.0)).collect()
+        (0..n)
+            .map(|i| Vec3::new(i as f32 * spacing, 0.0, 0.0))
+            .collect()
     }
 
     #[test]

@@ -66,7 +66,10 @@ impl KdTree {
         }
         // Split along the widest axis (better than round-robin for
         // anisotropic clouds like bilayers).
-        let (mut lo, mut hi) = (self.points[self.indices[start] as usize], self.points[self.indices[start] as usize]);
+        let (mut lo, mut hi) = (
+            self.points[self.indices[start] as usize],
+            self.points[self.indices[start] as usize],
+        );
         for &i in &self.indices[start..end] {
             lo = lo.min(self.points[i as usize]);
             hi = hi.max(self.points[i as usize]);

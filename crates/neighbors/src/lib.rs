@@ -46,9 +46,7 @@ pub enum SearchStrategy {
 /// task-parallel pipelines in `mdtask-core` apply it per 2-D block.
 pub fn neighbor_pairs(points: &[Vec3], cutoff: f32, strategy: SearchStrategy) -> Vec<(u32, u32)> {
     match strategy {
-        SearchStrategy::BruteForce => {
-            linalg::edges_within_cutoff(points, points, cutoff, true)
-        }
+        SearchStrategy::BruteForce => linalg::edges_within_cutoff(points, points, cutoff, true),
         SearchStrategy::BallTree => {
             let tree = BallTree::build(points, 16);
             let mut edges = Vec::new();

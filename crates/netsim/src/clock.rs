@@ -40,7 +40,9 @@ mod tests {
     #[test]
     fn scaled_divides_by_efficiency() {
         let (_, t1) = measure(|| std::thread::sleep(std::time::Duration::from_millis(10)));
-        let (_, t2) = measure_scaled(0.5, || std::thread::sleep(std::time::Duration::from_millis(10)));
+        let (_, t2) = measure_scaled(0.5, || {
+            std::thread::sleep(std::time::Duration::from_millis(10))
+        });
         // t2 measures the same sleep but reports ~2x the virtual time.
         assert!(t2 > t1 * 1.5, "t1={t1} t2={t2}");
     }

@@ -1,11 +1,11 @@
 //! Machines, networks and clusters.
 
-use serde::{Deserialize, Serialize};
+use crate::fault::FaultPlan;
 
 /// Point-to-point communication cost model: a transfer of `b` bytes costs
 /// `latency + b / bandwidth`, with cheaper constants for intra-node
 /// (shared-memory) transfers.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NetworkModel {
     /// Inter-node message latency (seconds).
     pub latency_s: f64,
@@ -41,7 +41,7 @@ impl NetworkModel {
 
 /// A named machine configuration — node shape, relative per-core speed, and
 /// network. Mirrors the two XSEDE systems the paper used.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MachineProfile {
     pub name: String,
     /// Cores per node presented to the scheduler.
@@ -107,6 +107,8 @@ pub struct Cluster {
     pub nodes: usize,
     /// Schedulable cores (≤ `nodes × cores_per_node`).
     cores: usize,
+    /// Scripted failures this allocation will suffer (empty by default).
+    faults: FaultPlan,
 }
 
 impl Cluster {
@@ -114,7 +116,12 @@ impl Cluster {
     pub fn new(profile: MachineProfile, nodes: usize) -> Self {
         assert!(nodes >= 1, "cluster needs at least one node");
         let cores = nodes * profile.cores_per_node;
-        Cluster { profile, nodes, cores }
+        Cluster {
+            profile,
+            nodes,
+            cores,
+            faults: FaultPlan::none(),
+        }
     }
 
     /// Allocate by total core count, mirroring the paper's "Cores/Nodes"
@@ -123,7 +130,24 @@ impl Cluster {
     pub fn with_cores(profile: MachineProfile, cores: usize) -> Self {
         assert!(cores >= 1, "need at least one core");
         let nodes = cores.div_ceil(profile.cores_per_node);
-        Cluster { profile, nodes, cores }
+        Cluster {
+            profile,
+            nodes,
+            cores,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Attach a fault plan to this allocation: engines running on it will
+    /// observe (and must recover from) the scripted failures.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The failures scripted for this allocation.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     pub fn total_cores(&self) -> usize {

@@ -12,6 +12,35 @@ pub struct TaskPlacement {
     pub end: f64,
 }
 
+/// Outcome of placing one task *attempt* against the cluster's fault plan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TaskAttempt {
+    /// The attempt ran to completion.
+    Done(TaskPlacement),
+    /// The attempt's node died mid-task: the work from `start` to
+    /// `died_at` is lost and the caller must decide how to recover
+    /// (retry, recompute from lineage, re-enqueue, or abort).
+    Killed {
+        core: usize,
+        start: f64,
+        died_at: f64,
+    },
+}
+
+/// Per-attempt placement options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TaskOpts {
+    /// Never place on this core (a speculative backup avoids the core the
+    /// original attempt runs on).
+    pub avoid_core: Option<usize>,
+    /// Speculative-execution bound: if the chosen core's straggler
+    /// slowdown would push the effective duration past
+    /// `cap + dur` (detection at `cap`, then a fresh backup run of `dur`
+    /// elsewhere), the backup wins and the effective duration becomes
+    /// `cap + dur`. Counted as a retry.
+    pub speculation_cap: Option<f64>,
+}
+
 /// Greedy list scheduler over the cluster's simulated cores.
 ///
 /// Each core tracks the virtual time at which it becomes free. A task with
@@ -20,6 +49,11 @@ pub struct TaskPlacement {
 /// — the behaviour of a work-conserving task scheduler with an idle worker
 /// pool, which is what Spark executors, Dask workers and pilot agents all
 /// approximate.
+///
+/// The cluster's [`FaultPlan`](crate::FaultPlan) is consulted at placement
+/// time: cores on a node that has already died are never chosen, straggler
+/// cores stretch task durations, and an attempt whose interval crosses its
+/// node's death time comes back as [`TaskAttempt::Killed`].
 #[derive(Clone, Debug)]
 pub struct SimExecutor {
     cluster: Cluster,
@@ -57,30 +91,132 @@ impl SimExecutor {
         &self.cluster
     }
 
-    /// Schedule a task on the best core. `dur` is in simulated seconds
-    /// (already scaled by the machine profile).
-    pub fn run_task(&mut self, ready: f64, dur: f64) -> TaskPlacement {
-        assert!(dur >= 0.0 && ready >= 0.0, "negative time");
-        let mut best_core = 0usize;
-        let mut best_start = f64::INFINITY;
+    /// Death time of the node hosting `core`, if the fault plan kills it.
+    fn death_of(&self, core: usize) -> Option<f64> {
+        self.cluster
+            .faults()
+            .node_death(self.cluster.node_of_core(core))
+    }
+
+    /// Greedy core choice: earliest start, ties to the lowest id, skipping
+    /// cores whose node is dead by the time the task could start.
+    fn pick_core(&self, ready: f64, avoid: Option<usize>) -> (usize, f64) {
+        let mut best: Option<(usize, f64)> = None;
         for (c, &free) in self.core_free.iter().enumerate() {
+            if Some(c) == avoid {
+                continue;
+            }
             let start = free.max(ready);
-            if start < best_start {
-                best_start = start;
-                best_core = c;
+            if let Some(died_at) = self.death_of(c) {
+                if start >= died_at {
+                    continue; // node gone before the task could begin
+                }
+            }
+            if best.is_none_or(|(_, s)| start < s) {
+                best = Some((c, start));
                 if start <= ready {
                     break; // cannot start earlier than the release time
                 }
             }
         }
-        self.place(best_core, best_start, dur)
+        best.expect("no surviving core can run the task (all nodes dead)")
     }
 
-    /// Schedule a task on a specific core (SPMD rank pinning).
+    /// Schedule a task on the best core, retrying transparently until an
+    /// attempt survives. `dur` is in simulated seconds (already scaled by
+    /// the machine profile). Engines with their own recovery semantics use
+    /// [`Self::run_task_attempt`] instead; this wrapper counts each rerun
+    /// as a retry.
+    pub fn run_task(&mut self, ready: f64, dur: f64) -> TaskPlacement {
+        let mut release = ready;
+        loop {
+            match self.run_task_attempt(release, dur) {
+                TaskAttempt::Done(p) => return p,
+                TaskAttempt::Killed { died_at, .. } => {
+                    self.report.retries += 1;
+                    release = release.max(died_at);
+                }
+            }
+        }
+    }
+
+    /// Place a single task attempt (no automatic recovery).
+    pub fn run_task_attempt(&mut self, ready: f64, dur: f64) -> TaskAttempt {
+        self.run_task_attempt_with(ready, dur, TaskOpts::default())
+    }
+
+    /// Place a single task attempt with placement options.
+    pub fn run_task_attempt_with(&mut self, ready: f64, dur: f64, opts: TaskOpts) -> TaskAttempt {
+        assert!(dur >= 0.0 && ready >= 0.0, "negative time");
+        let (core, start) = self.pick_core(ready, opts.avoid_core);
+        let mut eff = dur * self.cluster.faults().slowdown(core);
+        if let Some(cap) = opts.speculation_cap {
+            // A backup attempt is launched once the task exceeds `cap`
+            // and finishes a fresh run of `dur` on another core; the
+            // earlier finisher wins (Spark kills the loser).
+            let backup_done = cap + dur;
+            if eff > backup_done {
+                eff = backup_done;
+                self.report.retries += 1;
+            }
+        }
+        if let Some(died_at) = self.death_of(core) {
+            if start + eff > died_at {
+                // Killed mid-task: the core was busy until the death and
+                // that work is lost.
+                self.core_free[core] = died_at;
+                self.report.lost_time_s += died_at - start;
+                if let Some(trace) = &mut self.trace {
+                    let id = self.next_trace_id;
+                    self.next_trace_id += 1;
+                    trace.push_killed(id, core, start, died_at);
+                }
+                return TaskAttempt::Killed {
+                    core,
+                    start,
+                    died_at,
+                };
+            }
+        }
+        TaskAttempt::Done(self.place(core, start, eff))
+    }
+
+    /// Schedule a task on a specific core (SPMD rank pinning). Straggler
+    /// slowdowns apply; a pinned task has nowhere to retry, so placing it
+    /// on a core whose node dies mid-task is a panic (SPMD jobs abort —
+    /// engines with that semantic check the plan themselves first).
     pub fn run_task_on(&mut self, core: usize, ready: f64, dur: f64) -> TaskPlacement {
         assert!(core < self.core_free.len(), "core {core} out of range");
         let start = self.core_free[core].max(ready);
-        self.place(core, start, dur)
+        let eff = dur * self.cluster.faults().slowdown(core);
+        if let Some(died_at) = self.death_of(core) {
+            assert!(
+                start + eff <= died_at,
+                "pinned core {core} dies at {died_at}s mid-task"
+            );
+        }
+        self.place(core, start, eff)
+    }
+
+    /// The core the `k`-th task of a batch released at time `at` will land
+    /// on, assuming all surviving cores are idle by `at` (the post-barrier
+    /// dispatch pattern): surviving cores ordered by (free time, id),
+    /// wrapping if the batch exceeds the core count. Engines use this to
+    /// predict reduce-task placement for locality attribution.
+    pub fn nth_free_core(&self, at: f64, k: usize) -> usize {
+        let mut order: Vec<(f64, usize)> = self
+            .core_free
+            .iter()
+            .enumerate()
+            .filter(|&(c, &free)| {
+                self.death_of(c)
+                    .is_none_or(|died_at| free.max(at) < died_at)
+            })
+            .map(|(c, &free)| (free.max(at), c))
+            .collect();
+        assert!(!order.is_empty(), "no surviving cores");
+        order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        order[k % order.len()].1
     }
 
     fn place(&mut self, core: usize, start: f64, dur: f64) -> TaskPlacement {
@@ -133,11 +269,19 @@ impl SimExecutor {
 mod tests {
     use super::*;
     use crate::cluster::{laptop, Cluster};
+    use crate::fault::FaultPlan;
 
     fn exec(cores: usize) -> SimExecutor {
         let mut profile = laptop();
         profile.cores_per_node = cores;
         SimExecutor::new(Cluster::new(profile, 1))
+    }
+
+    /// `nodes` nodes of `cores` cores each, with a fault plan.
+    fn faulty(cores: usize, nodes: usize, plan: FaultPlan) -> SimExecutor {
+        let mut profile = laptop();
+        profile.cores_per_node = cores;
+        SimExecutor::new(Cluster::new(profile, nodes).with_faults(plan))
     }
 
     #[test]
@@ -217,5 +361,140 @@ mod tests {
         assert_eq!(e.report().makespan_s, 2.0);
         e.advance_makespan(3.0);
         assert_eq!(e.report().makespan_s, 3.0);
+    }
+
+    // ---- fault injection ----
+
+    #[test]
+    fn attempt_crossing_node_death_is_killed() {
+        // 2 nodes × 1 core; node 0 dies at t=1, task needs [0, 2).
+        let mut e = faulty(1, 2, FaultPlan::none().kill_node(0, 1.0));
+        match e.run_task_attempt(0.0, 2.0) {
+            TaskAttempt::Killed {
+                core,
+                start,
+                died_at,
+            } => {
+                assert_eq!(core, 0);
+                assert_eq!(start, 0.0);
+                assert_eq!(died_at, 1.0);
+            }
+            other => panic!("expected a kill, got {other:?}"),
+        }
+        assert_eq!(e.report().lost_time_s, 1.0);
+        assert_eq!(
+            e.report().tasks,
+            0,
+            "killed attempts are not completed tasks"
+        );
+        // The dead node accepts no further placements: the retry wrapper
+        // lands the rerun on node 1.
+        let p = e.run_task(1.0, 2.0);
+        assert_eq!(p.core, 1);
+    }
+
+    #[test]
+    fn run_task_retries_until_done_and_counts() {
+        let mut e = faulty(1, 2, FaultPlan::none().kill_node(0, 1.0));
+        let p = e.run_task(0.0, 2.0);
+        assert_eq!(p.core, 1, "rerun lands on the surviving node");
+        assert_eq!(p.start, 1.0, "rerun starts when the death is observed");
+        assert_eq!(e.report().retries, 1);
+        assert_eq!(e.report().lost_time_s, 1.0);
+        assert_eq!(e.report().tasks, 1);
+    }
+
+    #[test]
+    fn dead_node_is_never_chosen_after_death() {
+        let mut e = faulty(2, 2, FaultPlan::none().kill_node(0, 5.0));
+        for _ in 0..6 {
+            let p = e.run_task(6.0, 1.0);
+            assert_eq!(e.cluster().node_of_core(p.core), 1);
+        }
+    }
+
+    #[test]
+    fn straggler_core_stretches_tasks() {
+        let mut e = faulty(2, 1, FaultPlan::none().slow_core(0, 4.0));
+        let a = e.run_task(0.0, 1.0); // core 0: 4× slower
+        let b = e.run_task(0.0, 1.0); // core 1: nominal
+        assert_eq!(a.end - a.start, 4.0);
+        assert_eq!(b.end - b.start, 1.0);
+    }
+
+    #[test]
+    fn speculation_cap_bounds_straggler_and_counts_retry() {
+        let plan = FaultPlan::none().slow_core(0, 10.0);
+        let mut capped = faulty(1, 1, plan.clone());
+        let got = capped.run_task_attempt_with(
+            0.0,
+            1.0,
+            TaskOpts {
+                speculation_cap: Some(2.0),
+                ..Default::default()
+            },
+        );
+        match got {
+            TaskAttempt::Done(p) => {
+                // Detected at 2.0, backup reruns 1.0 elsewhere: done at 3.0
+                // instead of the straggler's 10.0.
+                assert_eq!(p.end, 3.0);
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        assert_eq!(capped.report().retries, 1, "the backup attempt is a retry");
+
+        let mut uncapped = faulty(1, 1, plan);
+        let p = uncapped.run_task(0.0, 1.0);
+        assert_eq!(p.end, 10.0);
+        assert_eq!(uncapped.report().retries, 0);
+    }
+
+    #[test]
+    fn avoid_core_places_elsewhere() {
+        let mut e = exec(2);
+        let got = e.run_task_attempt_with(
+            0.0,
+            1.0,
+            TaskOpts {
+                avoid_core: Some(0),
+                ..Default::default()
+            },
+        );
+        match got {
+            TaskAttempt::Done(p) => assert_eq!(p.core, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nth_free_core_orders_survivors() {
+        // 2 nodes × 2 cores, node 1 (cores 2-3) dead at t=1.
+        let e = faulty(2, 2, FaultPlan::none().kill_node(1, 1.0));
+        // Before the death every core is available in id order.
+        assert_eq!(e.nth_free_core(0.0, 0), 0);
+        assert_eq!(e.nth_free_core(0.0, 2), 2);
+        // After the death only cores 0-1 remain, and the batch wraps.
+        assert_eq!(e.nth_free_core(2.0, 0), 0);
+        assert_eq!(e.nth_free_core(2.0, 1), 1);
+        assert_eq!(e.nth_free_core(2.0, 2), 0);
+    }
+
+    #[test]
+    fn killed_attempts_appear_in_trace() {
+        let mut e = faulty(1, 2, FaultPlan::none().kill_node(0, 1.0));
+        e.enable_trace();
+        e.run_task(0.0, 2.0);
+        let t = e.trace().unwrap();
+        assert_eq!(t.events.len(), 2);
+        assert!(t.events[0].killed);
+        assert!(!t.events[1].killed);
+    }
+
+    #[test]
+    #[should_panic]
+    fn all_nodes_dead_panics() {
+        let mut e = faulty(1, 1, FaultPlan::none().kill_node(0, 1.0));
+        e.run_task(2.0, 1.0);
     }
 }

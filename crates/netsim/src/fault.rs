@@ -1,0 +1,167 @@
+//! Deterministic fault-injection plans.
+//!
+//! A [`FaultPlan`] scripts the failures a simulated run must survive:
+//! nodes dying at a virtual time, cores running slow (stragglers), and
+//! shuffle fetches lost on the wire. The plan is attached to a
+//! [`Cluster`](crate::Cluster) and consulted by
+//! [`SimExecutor`](crate::SimExecutor) at placement time, so every engine
+//! sees the same failure script without any engine-API changes — each
+//! engine then applies its own recovery semantics (lineage recompute,
+//! rescheduling, DB re-enqueue, or whole-job abort).
+//!
+//! Everything is deterministic: deaths and slowdowns are explicit, and
+//! lost fetches are decided by a seeded hash of `(map, reduce, attempt)`,
+//! so two runs with the same plan observe identical failures.
+
+/// A node that disappears at a virtual time: every core it hosts kills its
+/// running task at `at_s` and accepts no further placements.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeDeath {
+    pub node: usize,
+    pub at_s: f64,
+}
+
+/// A persistently slow core: task durations on it are multiplied by
+/// `factor` (≥ 1) — the straggler pattern PMDA reports dominating variance
+/// at scale.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Straggler {
+    pub core: usize,
+    pub factor: f64,
+}
+
+/// A scripted set of failures for one simulated run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    deaths: Vec<NodeDeath>,
+    stragglers: Vec<Straggler>,
+    lost_fetch_prob: f64,
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// The empty plan: no failures (what `Cluster`s carry by default).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True if this plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.deaths.is_empty() && self.stragglers.is_empty() && self.lost_fetch_prob <= 0.0
+    }
+
+    /// Kill `node` (all its cores) at virtual time `at_s`.
+    pub fn kill_node(mut self, node: usize, at_s: f64) -> Self {
+        assert!(at_s >= 0.0, "death time must be non-negative");
+        self.deaths.push(NodeDeath { node, at_s });
+        self
+    }
+
+    /// Slow every task on `core` by `factor` (≥ 1).
+    pub fn slow_core(mut self, core: usize, factor: f64) -> Self {
+        assert!(factor >= 1.0, "straggler factor must be >= 1");
+        self.stragglers.push(Straggler { core, factor });
+        self
+    }
+
+    /// Make each shuffle fetch attempt fail independently with probability
+    /// `prob`, decided deterministically from `seed`.
+    pub fn lose_fetches(mut self, prob: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability must be in [0, 1]");
+        self.lost_fetch_prob = prob;
+        self.seed = seed;
+        self
+    }
+
+    /// Earliest death time of `node`, if the plan kills it.
+    pub fn node_death(&self, node: usize) -> Option<f64> {
+        self.deaths
+            .iter()
+            .filter(|d| d.node == node)
+            .map(|d| d.at_s)
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.min(t))))
+    }
+
+    /// Duration multiplier for tasks on `core` (1.0 if not a straggler;
+    /// factors compose multiplicatively if listed twice).
+    pub fn slowdown(&self, core: usize) -> f64 {
+        self.stragglers
+            .iter()
+            .filter(|s| s.core == core)
+            .map(|s| s.factor)
+            .product()
+    }
+
+    /// Whether the `attempt`-th fetch of map output `map_part` by reducer
+    /// `reduce_part` is lost. Deterministic in the plan's seed.
+    pub fn fetch_lost(&self, map_part: usize, reduce_part: usize, attempt: usize) -> bool {
+        if self.lost_fetch_prob <= 0.0 {
+            return false;
+        }
+        let key = mix(self.seed)
+            ^ mix(map_part as u64)
+            ^ mix((reduce_part as u64) << 20)
+            ^ mix((attempt as u64) << 40);
+        let u = (mix(key) >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.lost_fetch_prob
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mixer.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert_eq!(p.node_death(0), None);
+        assert_eq!(p.slowdown(3), 1.0);
+        assert!(!p.fetch_lost(0, 0, 0));
+    }
+
+    #[test]
+    fn builders_accumulate() {
+        let p = FaultPlan::none()
+            .kill_node(1, 5.0)
+            .kill_node(1, 3.0)
+            .slow_core(2, 4.0)
+            .slow_core(2, 2.0);
+        assert!(!p.is_empty());
+        assert_eq!(p.node_death(1), Some(3.0), "earliest death wins");
+        assert_eq!(p.node_death(0), None);
+        assert_eq!(p.slowdown(2), 8.0, "factors compose");
+        assert_eq!(p.slowdown(0), 1.0);
+    }
+
+    #[test]
+    fn lost_fetches_are_deterministic_and_roughly_calibrated() {
+        let p = FaultPlan::none().lose_fetches(0.25, 42);
+        let q = FaultPlan::none().lose_fetches(0.25, 42);
+        let mut lost = 0;
+        let n = 4000;
+        for i in 0..n {
+            let a = p.fetch_lost(i, i / 7, 0);
+            assert_eq!(a, q.fetch_lost(i, i / 7, 0), "same seed, same outcome");
+            lost += usize::from(a);
+        }
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.05, "loss rate {rate} far from 0.25");
+        // Retry attempts are independent coin flips, not a replay.
+        assert!((0..64).any(|i| p.fetch_lost(i, 0, 0) != p.fetch_lost(i, 0, 1)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn sub_unit_straggler_rejected() {
+        FaultPlan::none().slow_core(0, 0.5);
+    }
+}

@@ -18,12 +18,14 @@ pub mod broadcast;
 pub mod clock;
 pub mod cluster;
 pub mod executor;
+pub mod fault;
 pub mod report;
 pub mod trace;
 
 pub use broadcast::{broadcast_time, BroadcastAlgo};
 pub use clock::{measure, measure_scaled};
 pub use cluster::{comet, laptop, wrangler, Cluster, MachineProfile, NetworkModel};
-pub use executor::{SimExecutor, TaskPlacement};
+pub use executor::{SimExecutor, TaskAttempt, TaskOpts, TaskPlacement};
+pub use fault::{FaultPlan, NodeDeath, Straggler};
 pub use report::{Phase, SimReport};
 pub use trace::{Trace, TraceEvent};

@@ -1,11 +1,9 @@
 //! Execution reports: what an experiment run measures.
 
-use serde::{Deserialize, Serialize};
-
 /// A named interval of the simulated run (e.g. "broadcast",
 /// "edge-discovery", "connected-components"). Fig. 8's broadcast/runtime
 /// breakdown is a two-phase report.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Phase {
     pub name: String,
     pub start_s: f64,
@@ -19,7 +17,7 @@ impl Phase {
 }
 
 /// Aggregate metrics of one simulated framework run.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimReport {
     /// Virtual wall-clock of the whole job.
     pub makespan_s: f64,
@@ -36,6 +34,15 @@ pub struct SimReport {
     pub bytes_broadcast: u64,
     pub bytes_shuffled: u64,
     pub bytes_staged: u64,
+    /// Task attempts beyond the first: reruns after a worker death,
+    /// speculative backups that won, re-sent shuffle fetches.
+    pub retries: usize,
+    /// Map partitions recomputed from lineage because the node holding
+    /// their shuffle output died (Spark's recovery path).
+    pub recomputed_partitions: usize,
+    /// Virtual core-time thrown away by failures: partial work of killed
+    /// task attempts.
+    pub lost_time_s: f64,
     pub phases: Vec<Phase>,
 }
 
@@ -43,12 +50,35 @@ impl SimReport {
     /// Record a phase interval.
     pub fn push_phase(&mut self, name: impl Into<String>, start_s: f64, end_s: f64) {
         assert!(end_s >= start_s, "phase ends before it starts");
-        self.phases.push(Phase { name: name.into(), start_s, end_s });
+        self.phases.push(Phase {
+            name: name.into(),
+            start_s,
+            end_s,
+        });
     }
 
-    /// Duration of the first phase with this name, if recorded.
+    /// Duration of the first phase with this name, if recorded. Prefer
+    /// [`Self::phase_total`] when the name can recur (e.g. one `"shuffle"`
+    /// per wide op): this returns only the first occurrence.
     pub fn phase_duration(&self, name: &str) -> Option<f64> {
-        self.phases.iter().find(|p| p.name == name).map(Phase::duration)
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map(Phase::duration)
+    }
+
+    /// Total duration across *all* phases with this name (`None` if the
+    /// name was never recorded). Engines push one phase per occurrence —
+    /// one `"shuffle"` per wide op, one `"recovery"` per failure — so
+    /// summing is the right aggregate for share-of-runtime questions.
+    pub fn phase_total(&self, name: &str) -> Option<f64> {
+        let mut found = false;
+        let mut sum = 0.0;
+        for p in self.phases.iter().filter(|p| p.name == name) {
+            found = true;
+            sum += p.duration();
+        }
+        found.then_some(sum)
     }
 
     /// Throughput in tasks per simulated second (0 for an empty run).
@@ -76,8 +106,26 @@ mod tests {
     }
 
     #[test]
+    fn phase_total_sums_all_occurrences() {
+        let mut r = SimReport::default();
+        r.push_phase("shuffle", 0.0, 1.0);
+        r.push_phase("map", 1.0, 2.0);
+        r.push_phase("shuffle", 2.0, 2.5);
+        // phase_duration sees only the first occurrence — the bug
+        // phase_total exists to fix.
+        assert_eq!(r.phase_duration("shuffle"), Some(1.0));
+        assert_eq!(r.phase_total("shuffle"), Some(1.5));
+        assert_eq!(r.phase_total("map"), Some(1.0));
+        assert_eq!(r.phase_total("reduce"), None);
+    }
+
+    #[test]
     fn throughput() {
-        let r = SimReport { makespan_s: 2.0, tasks: 100, ..Default::default() };
+        let r = SimReport {
+            makespan_s: 2.0,
+            tasks: 100,
+            ..Default::default()
+        };
         assert_eq!(r.throughput(), 50.0);
         assert_eq!(SimReport::default().throughput(), 0.0);
     }

@@ -3,19 +3,20 @@
 //! debugging framework scheduling behaviour (stage barriers, stragglers,
 //! dispatch serialization).
 
-use serde::{Deserialize, Serialize};
-
 /// One scheduled task instance.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TraceEvent {
     pub task: usize,
     pub core: usize,
     pub start_s: f64,
     pub end_s: f64,
+    /// True if this attempt was cut short by a node death (its interval
+    /// ends at the death time, and the work was lost).
+    pub killed: bool,
 }
 
 /// A recorded schedule.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Trace {
     pub events: Vec<TraceEvent>,
 }
@@ -23,7 +24,25 @@ pub struct Trace {
 impl Trace {
     pub fn push(&mut self, task: usize, core: usize, start_s: f64, end_s: f64) {
         debug_assert!(end_s >= start_s);
-        self.events.push(TraceEvent { task, core, start_s, end_s });
+        self.events.push(TraceEvent {
+            task,
+            core,
+            start_s,
+            end_s,
+            killed: false,
+        });
+    }
+
+    /// Record a task attempt killed by a node death at `died_at`.
+    pub fn push_killed(&mut self, task: usize, core: usize, start_s: f64, died_at: f64) {
+        debug_assert!(died_at >= start_s);
+        self.events.push(TraceEvent {
+            task,
+            core,
+            start_s,
+            end_s: died_at,
+            killed: true,
+        });
     }
 
     pub fn is_empty(&self) -> bool {
@@ -46,7 +65,7 @@ impl Trace {
     }
 
     /// Render a text Gantt chart: one row per core, `width` columns of
-    /// virtual time, `#` for busy, `.` for idle.
+    /// virtual time, `#` for busy, `x` for a killed attempt, `.` for idle.
     pub fn gantt(&self, n_cores: usize, width: usize) -> String {
         assert!(width >= 1);
         let span = self.span().max(f64::MIN_POSITIVE);
@@ -57,8 +76,9 @@ impl Trace {
             }
             let a = ((e.start_s / span) * width as f64).floor() as usize;
             let b = (((e.end_s / span) * width as f64).ceil() as usize).clamp(a + 1, width);
+            let mark = if e.killed { b'x' } else { b'#' };
             for cell in &mut rows[e.core][a.min(width - 1)..b] {
-                *cell = b'#';
+                *cell = mark;
             }
         }
         let mut out = String::new();
@@ -71,11 +91,15 @@ impl Trace {
         out
     }
 
-    /// Serialize as CSV (`task,core,start_s,end_s`), for external plotting.
+    /// Serialize as CSV (`task,core,start_s,end_s,killed`), for external
+    /// plotting.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("task,core,start_s,end_s\n");
+        let mut out = String::from("task,core,start_s,end_s,killed\n");
         for e in &self.events {
-            out.push_str(&format!("{},{},{},{}\n", e.task, e.core, e.start_s, e.end_s));
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                e.task, e.core, e.start_s, e.end_s, e.killed
+            ));
         }
         out
     }
@@ -115,7 +139,18 @@ mod tests {
     #[test]
     fn csv_has_header_and_rows() {
         let csv = trace().to_csv();
-        assert!(csv.starts_with("task,core,start_s,end_s\n"));
+        assert!(csv.starts_with("task,core,start_s,end_s,killed\n"));
         assert_eq!(csv.lines().count(), 4);
+    }
+
+    #[test]
+    fn killed_attempts_render_distinctly() {
+        let mut t = Trace::default();
+        t.push(0, 0, 0.0, 1.0);
+        t.push_killed(1, 1, 0.0, 0.5);
+        assert!(t.events[1].killed);
+        let g = t.gantt(2, 8);
+        assert!(g.contains('x'), "killed attempt must render as x:\n{g}");
+        assert!(t.to_csv().contains("true"));
     }
 }

@@ -21,7 +21,10 @@ pub struct Stage<T> {
 
 impl<T> Stage<T> {
     pub fn new(name: impl Into<String>) -> Self {
-        Stage { name: name.into(), tasks: Vec::new() }
+        Stage {
+            name: name.into(),
+            tasks: Vec::new(),
+        }
     }
 
     /// Add a compute-only task.
@@ -49,7 +52,10 @@ pub struct Pipeline<T> {
 
 impl<T: Payload> Pipeline<T> {
     pub fn new(name: impl Into<String>) -> Self {
-        Pipeline { name: name.into(), stages: Vec::new() }
+        Pipeline {
+            name: name.into(),
+            stages: Vec::new(),
+        }
     }
 
     pub fn stage(mut self, stage: Stage<T>) -> Self {
@@ -78,7 +84,10 @@ impl<T: Payload> Pipeline<T> {
         for (name, start, end) in phases {
             report.push_phase(name, start, end);
         }
-        Ok(PipelineOutput { stages: stage_results, report })
+        Ok(PipelineOutput {
+            stages: stage_results,
+            report,
+        })
     }
 }
 
@@ -108,8 +117,8 @@ mod tests {
         assert_eq!(out.stages.len(), 2);
         assert_eq!(out.stages[0].1, vec![1, 2]);
         assert_eq!(out.stages[1].1, vec![3]);
-        let sim = out.report.phase_duration("simulate").unwrap();
-        let ana = out.report.phase_duration("analyze").unwrap();
+        let sim = out.report.phase_total("simulate").unwrap();
+        let ana = out.report.phase_total("analyze").unwrap();
         assert!(sim > 0.0 && ana > 0.0);
         assert_eq!(out.report.tasks, 3);
     }
@@ -125,9 +134,24 @@ mod tests {
             .stage(Stage::new("b").task(|_, _| 0u64))
             .run(&s)
             .unwrap();
-        let a_end = out.report.phases.iter().find(|p| p.name == "a").unwrap().end_s;
-        let b_start = out.report.phases.iter().find(|p| p.name == "b").unwrap().start_s;
-        assert!(b_start >= a_end, "stage b started at {b_start} before a ended at {a_end}");
+        let a_end = out
+            .report
+            .phases
+            .iter()
+            .find(|p| p.name == "a")
+            .unwrap()
+            .end_s;
+        let b_start = out
+            .report
+            .phases
+            .iter()
+            .find(|p| p.name == "b")
+            .unwrap()
+            .start_s;
+        assert!(
+            b_start >= a_end,
+            "stage b started at {b_start} before a ended at {a_end}"
+        );
     }
 
     #[test]

@@ -60,7 +60,11 @@ pub struct SimDb {
 impl SimDb {
     pub fn new(roundtrip_s: f64) -> Self {
         assert!(roundtrip_s > 0.0);
-        SimDb { free_at: 0.0, roundtrip_s, ops: 0 }
+        SimDb {
+            free_at: 0.0,
+            roundtrip_s,
+            ops: 0,
+        }
     }
 
     /// Perform one round-trip that becomes possible at virtual time `at`;
@@ -80,14 +84,20 @@ impl SimDb {
 /// Description of one Compute-Unit: staged-in input bytes plus the
 /// executable. The closure receives the staged input exactly as read back
 /// from the filesystem.
+/// The staged executable of a Compute-Unit.
+pub type UnitTask<T> = Box<dyn FnOnce(&TaskCtx, &[u8]) -> T + Send>;
+
 pub struct UnitDescription<T> {
     pub input: Vec<u8>,
-    pub task: Box<dyn FnOnce(&TaskCtx, &[u8]) -> T + Send>,
+    pub task: UnitTask<T>,
 }
 
 impl<T> UnitDescription<T> {
     pub fn new(input: Vec<u8>, task: impl FnOnce(&TaskCtx, &[u8]) -> T + Send + 'static) -> Self {
-        UnitDescription { input, task: Box::new(task) }
+        UnitDescription {
+            input,
+            task: Box::new(task),
+        }
     }
 
     /// A unit with no staged input.
@@ -133,9 +143,8 @@ impl Session {
     }
 
     pub fn with_profile(cluster: Cluster, profile: FrameworkProfile) -> Result<Self, EngineError> {
-        let staging = StagingArea::temp("pilot").map_err(|e| {
-            EngineError::Unsupported(format!("cannot create staging area: {e}"))
-        })?;
+        let staging = StagingArea::temp("pilot")
+            .map_err(|e| EngineError::Unsupported(format!("cannot create staging area: {e}")))?;
         let mut exec = SimExecutor::new(cluster.clone());
         exec.report_mut().overhead_s += profile.startup_s;
         exec.advance_makespan(profile.startup_s);
@@ -144,7 +153,11 @@ impl Session {
             cluster,
             profile,
             staging,
-            state: Mutex::new(SessionState { exec, db, next_unit: 0 }),
+            state: Mutex::new(SessionState {
+                exec,
+                db,
+                next_unit: 0,
+            }),
         })
     }
 
@@ -207,8 +220,22 @@ impl Session {
             let tctx = TaskCtx::new(*unit_id, *unit_id);
             let (out, host_s) = netsim::measure(move || task(&tctx, &staged));
             // Agent spawn overhead runs on the core too.
-            let dur = self.cluster.scale_compute(host_s + self.profile.worker_overhead_s);
-            let placement = st.exec.run_task(t_sched, dur);
+            let dur = self
+                .cluster
+                .scale_compute(host_s + self.profile.worker_overhead_s);
+            // A unit whose node dies goes back to FAILED in the database;
+            // the client re-enqueues it, paying the scheduling round-trip
+            // again before the agent picks it up on a surviving core.
+            let mut t_sched = t_sched;
+            let placement = loop {
+                match st.exec.run_task_attempt(t_sched, dur) {
+                    netsim::TaskAttempt::Done(p) => break p,
+                    netsim::TaskAttempt::Killed { died_at, .. } => {
+                        st.exec.report_mut().retries += 1;
+                        t_sched = st.db.roundtrip(died_at);
+                    }
+                }
+            };
             let out_bytes = out.wire_bytes();
             let t_out = placement.end
                 + net.transfer_time(out_bytes, false)
@@ -252,8 +279,9 @@ mod tests {
     #[test]
     fn units_execute_and_return_in_order() {
         let s = session();
-        let units: Vec<UnitDescription<u64>> =
-            (0..10).map(|i| UnitDescription::compute_only(move |_, _| i * i)).collect();
+        let units: Vec<UnitDescription<u64>> = (0..10)
+            .map(|i| UnitDescription::compute_only(move |_, _| i * i))
+            .collect();
         let out = s.submit_and_wait(units).unwrap();
         assert_eq!(out.results, (0..10).map(|i| i * i).collect::<Vec<_>>());
         assert_eq!(out.report.tasks, 10);
@@ -275,10 +303,11 @@ mod tests {
     fn db_serializes_transitions() {
         let s = session();
         let n = 50;
-        let units: Vec<UnitDescription<u64>> =
-            (0..n).map(|i| UnitDescription::compute_only(move |_, _| i)).collect();
+        let units: Vec<UnitDescription<u64>> = (0..n)
+            .map(|i| UnitDescription::compute_only(move |_, _| i))
+            .collect();
         let out = s.submit_and_wait(units).unwrap();
-        assert_eq!(s.db_ops(), (n as u64) * DB_TRANSITIONS as u64);
+        assert_eq!(s.db_ops(), n * DB_TRANSITIONS as u64);
         // Even with zero-work tasks, the DB floor bounds the makespan:
         // n tasks × 4 trips × 3 ms each (beyond the 35 s bootstrap).
         let floor = 35.0 + n as f64 * 0.012;
@@ -293,19 +322,24 @@ mod tests {
     fn throughput_plateaus_under_100_tasks_per_sec() {
         let s = session();
         let n = 200;
-        let units: Vec<UnitDescription<u64>> =
-            (0..n).map(|_| UnitDescription::compute_only(|_, _| 0)).collect();
+        let units: Vec<UnitDescription<u64>> = (0..n)
+            .map(|_| UnitDescription::compute_only(|_, _| 0))
+            .collect();
         let out = s.submit_and_wait(units).unwrap();
         let active = out.report.makespan_s - 35.0; // discount bootstrap
         let throughput = n as f64 / active;
-        assert!(throughput < 100.0, "RP throughput {throughput} should plateau < 100/s");
+        assert!(
+            throughput < 100.0,
+            "RP throughput {throughput} should plateau < 100/s"
+        );
     }
 
     #[test]
     fn refuses_more_than_16k_units() {
         let s = session();
-        let units: Vec<UnitDescription<u64>> =
-            (0..MAX_UNITS + 1).map(|_| UnitDescription::compute_only(|_, _| 0)).collect();
+        let units: Vec<UnitDescription<u64>> = (0..MAX_UNITS + 1)
+            .map(|_| UnitDescription::compute_only(|_, _| 0))
+            .collect();
         match s.submit_and_wait(units) {
             Err(EngineError::Unsupported(msg)) => assert!(msg.contains("16384")),
             _ => panic!("must refuse 16k+1 units"),
@@ -327,8 +361,11 @@ mod tests {
     #[test]
     fn multiple_submissions_share_the_session() {
         let s = session();
-        s.submit_and_wait(vec![UnitDescription::<u64>::compute_only(|_, _| 1)]).unwrap();
-        let out = s.submit_and_wait(vec![UnitDescription::compute_only(|_, _| 2)]).unwrap();
+        s.submit_and_wait(vec![UnitDescription::<u64>::compute_only(|_, _| 1)])
+            .unwrap();
+        let out = s
+            .submit_and_wait(vec![UnitDescription::compute_only(|_, _| 2)])
+            .unwrap();
         assert_eq!(out.report.tasks, 2, "report accumulates across submissions");
     }
 }
@@ -351,7 +388,9 @@ mod bag_engine {
         ) -> Result<(Vec<u64>, netsim::SimReport), EngineError> {
             let units: Vec<UnitDescription<u64>> = tasks
                 .into_iter()
-                .map(|t| UnitDescription::compute_only(move |ctx: &taskframe::TaskCtx, _: &[u8]| t(ctx)))
+                .map(|t| {
+                    UnitDescription::compute_only(move |ctx: &taskframe::TaskCtx, _: &[u8]| t(ctx))
+                })
                 .collect();
             let out = self.submit_and_wait(units)?;
             Ok((out.results, out.report))

@@ -97,7 +97,10 @@ where
         })
         .collect();
     let reduce_out = session.submit_and_wait(reduce_units)?;
-    Ok((reduce_out.results.into_iter().flatten().collect(), reduce_out.report))
+    Ok((
+        reduce_out.results.into_iter().flatten().collect(),
+        reduce_out.report,
+    ))
 }
 
 #[cfg(test)]
@@ -124,7 +127,10 @@ mod tests {
         out.sort_unstable();
         assert_eq!(out, vec![(1, 2), (2, 3), (3, 4)]);
         assert_eq!(report.tasks, 3 + 2, "3 map units + 2 reduce units");
-        assert!(report.bytes_staged > 0, "shuffle goes through the filesystem");
+        assert!(
+            report.bytes_staged > 0,
+            "shuffle goes through the filesystem"
+        );
     }
 
     #[test]

@@ -15,6 +15,13 @@ pub(crate) struct JobState {
     /// to have a speculative backup launched on another core, capping its
     /// effective duration at that bound.
     pub speculation: Option<f64>,
+    /// Core each partition of the most recent stage actually ran on —
+    /// the shuffle layer uses this for map-output locality instead of
+    /// assuming a `p % cores` placement.
+    pub last_stage_cores: Vec<usize>,
+    /// Simulated duration of each task in the most recent stage; a lineage
+    /// recompute of a lost map partition replays this cost.
+    pub last_stage_durs: Vec<f64>,
 }
 
 pub(crate) struct CtxInner {
@@ -50,6 +57,8 @@ impl SparkContext {
                     frontier: startup,
                     next_task: 0,
                     speculation: None,
+                    last_stage_cores: Vec::new(),
+                    last_stage_durs: Vec::new(),
                 }),
             }),
         }
@@ -103,7 +112,9 @@ impl SparkContext {
         r.comm_s += t;
         r.bytes_broadcast += bytes * dests.max(1) as u64;
         r.push_phase("broadcast", start, end);
-        Ok(Broadcast { value: Arc::new(value) })
+        Ok(Broadcast {
+            value: Arc::new(value),
+        })
     }
 
     /// Enable speculative execution: tasks exceeding `threshold ×` the
@@ -156,7 +167,9 @@ pub struct Broadcast<T> {
 
 impl<T> Clone for Broadcast<T> {
     fn clone(&self) -> Self {
-        Broadcast { value: Arc::clone(&self.value) }
+        Broadcast {
+            value: Arc::clone(&self.value),
+        }
     }
 }
 

@@ -84,7 +84,9 @@ mod tests {
     #[test]
     fn reduce_action() {
         let sc = ctx();
-        let total = sc.parallelize((1..=10u64).collect(), 4).reduce(|a, b| a + b);
+        let total = sc
+            .parallelize((1..=10u64).collect(), 4)
+            .reduce(|a, b| a + b);
         assert_eq!(total, Some(55));
         let empty = sc.parallelize(Vec::<u64>::new(), 2).reduce(|a, b| a + b);
         assert_eq!(empty, None);
@@ -111,7 +113,10 @@ mod tests {
     fn reduce_by_key_combines() {
         let sc = ctx();
         let pairs: Vec<(u32, u64)> = (1..=20).map(|i| (i % 2, i as u64)).collect();
-        let mut out = sc.parallelize(pairs, 5).reduce_by_key(2, |a, b| a + b).collect();
+        let mut out = sc
+            .parallelize(pairs, 5)
+            .reduce_by_key(2, |a, b| a + b)
+            .collect();
         out.sort_by_key(|(k, _)| *k);
         assert_eq!(out, vec![(0, 110), (1, 100)]);
     }
@@ -146,7 +151,11 @@ mod tests {
         let a = rdd.collect();
         let b = rdd.collect();
         assert_eq!(a, b);
-        assert_eq!(hits.load(Ordering::Relaxed), 12, "second action served from cache");
+        assert_eq!(
+            hits.load(Ordering::Relaxed),
+            12,
+            "second action served from cache"
+        );
     }
 
     #[test]
@@ -162,7 +171,11 @@ mod tests {
         });
         rdd.collect();
         rdd.collect();
-        assert_eq!(hits.load(Ordering::Relaxed), 24, "lineage recomputed per action");
+        assert_eq!(
+            hits.load(Ordering::Relaxed),
+            24,
+            "lineage recomputed per action"
+        );
     }
 
     #[test]
@@ -248,9 +261,8 @@ mod bag_engine {
             }
             let n = tasks.len();
             let tasks = Arc::new(tasks);
-            let rdd = crate::Rdd::from_partitions(self.clone(), n, move |p, ctx| {
-                vec![tasks[p](ctx)]
-            });
+            let rdd =
+                crate::Rdd::from_partitions(self.clone(), n, move |p, ctx| vec![tasks[p](ctx)]);
             let out = rdd.collect();
             Ok((out, self.report()))
         }
@@ -291,7 +303,10 @@ mod speculation_tests {
     fn speculation_keeps_results_identical() {
         let sc = SparkContext::new(Cluster::new(laptop(), 1));
         sc.enable_speculation(2.0);
-        let out = sc.parallelize((0..32u32).collect(), 8).map(|x| x * 3).collect();
+        let out = sc
+            .parallelize((0..32u32).collect(), 8)
+            .map(|x| x * 3)
+            .collect();
         assert_eq!(out, (0..32).map(|x| x * 3).collect::<Vec<_>>());
     }
 

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use taskframe::{Payload, TaskCtx};
 
 type Compute<T> = Arc<dyn Fn(usize, &TaskCtx) -> Vec<T> + Send + Sync>;
-type Prepare = Arc<dyn Fn(&mut JobState) -> Vec<f64> + Send + Sync>;
+pub(crate) type Prepare = Arc<dyn Fn(&mut JobState) -> Vec<f64> + Send + Sync>;
 
 /// A distributed collection with lazy lineage.
 ///
@@ -172,7 +172,10 @@ where
             results.push(out);
         }
         // Speculative execution: cap stragglers at threshold × median, as
-        // if a backup attempt had been scheduled on an idle core.
+        // if a backup attempt had been scheduled on an idle core. The same
+        // cap is handed to the executor so injected straggler slowdowns
+        // (fault plans) are bounded too.
+        let mut spec_cap = None;
         if let Some(threshold) = state.speculation {
             let mut sorted = durs.clone();
             sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
@@ -183,18 +186,55 @@ where
                     *d = cap;
                 }
             }
+            spec_cap = Some(cap);
         }
-        // Pass 2: place tasks on the simulated cores.
+        // Pass 2: place tasks on the simulated cores. An attempt killed by
+        // a node death is re-dispatched by the driver (lineage makes the
+        // rerun possible) up to `max_attempts` total tries.
         let mut stage_end = state.frontier;
-        for (p, dur) in durs.into_iter().enumerate() {
+        let mut cores = Vec::with_capacity(durs.len());
+        for (p, &dur) in durs.iter().enumerate() {
             // Central dispatch: the driver releases tasks one at a time.
-            let release =
+            let mut release =
                 ready[p].max(dispatch_base + (p + 1) as f64 * profile.central_dispatch_s);
-            let placement = state.exec.run_task(release, dur);
+            let mut attempts = 1;
+            let mut first_died: Option<f64> = None;
+            let placement = loop {
+                let opts = netsim::TaskOpts {
+                    speculation_cap: spec_cap,
+                    ..Default::default()
+                };
+                match state.exec.run_task_attempt_with(release, dur, opts) {
+                    netsim::TaskAttempt::Done(pl) => break pl,
+                    netsim::TaskAttempt::Killed { died_at, .. } => {
+                        attempts += 1;
+                        assert!(
+                            attempts <= profile.max_attempts,
+                            "task {p} failed {} times (max_attempts)",
+                            attempts - 1
+                        );
+                        first_died.get_or_insert(died_at);
+                        let rep = state.exec.report_mut();
+                        rep.retries += 1;
+                        rep.overhead_s += profile.central_dispatch_s;
+                        // The driver notices the loss and re-dispatches.
+                        release = release.max(died_at + profile.central_dispatch_s);
+                    }
+                }
+            };
+            if let Some(died_at) = first_died {
+                state
+                    .exec
+                    .report_mut()
+                    .push_phase("recovery", died_at, placement.end);
+            }
+            cores.push(placement.core);
             stage_end = stage_end.max(placement.end);
             state.exec.report_mut().overhead_s +=
                 profile.worker_overhead_s + profile.central_dispatch_s;
         }
+        state.last_stage_cores = cores;
+        state.last_stage_durs = durs;
         // Stage-oriented scheduler: nothing downstream starts earlier.
         state.frontier = stage_end;
         if self.persisted {
@@ -220,7 +260,11 @@ where
     {
         let parent = self.clone();
         self.derive(move |p, ctx| {
-            parent.partition_input(p, ctx).into_iter().filter(|x| f(x)).collect()
+            parent
+                .partition_input(p, ctx)
+                .into_iter()
+                .filter(|x| f(x))
+                .collect()
         })
     }
 
@@ -232,7 +276,11 @@ where
     {
         let parent = self.clone();
         self.derive(move |p, ctx| {
-            parent.partition_input(p, ctx).into_iter().flat_map(&f).collect()
+            parent
+                .partition_input(p, ctx)
+                .into_iter()
+                .flat_map(&f)
+                .collect()
         })
     }
 
@@ -247,7 +295,10 @@ where
         self.derive(move |p, ctx| f(parent.partition_input(p, ctx)))
     }
 
-    fn derive<U>(&self, compute: impl Fn(usize, &TaskCtx) -> Vec<U> + Send + Sync + 'static) -> Rdd<U>
+    fn derive<U>(
+        &self,
+        compute: impl Fn(usize, &TaskCtx) -> Vec<U> + Send + Sync + 'static,
+    ) -> Rdd<U>
     where
         U: Payload + Clone + Send + Sync + 'static,
     {
@@ -273,7 +324,14 @@ where
         let net = self.ctx.inner.cluster.profile.network;
         let mut gather = 0.0;
         for (p, part) in parts.iter().enumerate() {
-            let same = self.ctx.inner.cluster.node_of_core(p % self.ctx.inner.cluster.total_cores()) == 0;
+            // Results come back from the core each task actually ran on
+            // (cached RDDs skip placement, hence the length guard).
+            let core = if st.last_stage_cores.len() == parts.len() {
+                st.last_stage_cores[p]
+            } else {
+                p % self.ctx.inner.cluster.total_cores()
+            };
+            let same = self.ctx.inner.cluster.node_of_core(core) == 0;
             gather += net.transfer_time(part.wire_bytes(), same) + profile.per_transfer_overhead_s;
         }
         st.frontier += gather;

@@ -51,7 +51,10 @@ where
         // offsets, then the map tags elements.
         let counts: Vec<u64> = {
             let mut st = self.context().inner.state.lock();
-            self.run_stage(&mut st).iter().map(|p| p.len() as u64).collect()
+            self.run_stage(&mut st)
+                .iter()
+                .map(|p| p.len() as u64)
+                .collect()
         };
         let mut offsets = Vec::with_capacity(counts.len());
         let mut acc = 0u64;
@@ -128,25 +131,27 @@ where
         // Tag sides, union, group, emit the cross product per key.
         let left = self.map(|(k, v)| (k, (Some(v), None::<W>)));
         let right = other.map(|(k, w)| (k, (None::<V>, Some(w))));
-        left.union(&right).group_by_key(n_out).flat_map(|(k, pairs)| {
-            let mut vs = Vec::new();
-            let mut ws = Vec::new();
-            for (v, w) in pairs {
-                if let Some(v) = v {
-                    vs.push(v);
+        left.union(&right)
+            .group_by_key(n_out)
+            .flat_map(|(k, pairs)| {
+                let mut vs = Vec::new();
+                let mut ws = Vec::new();
+                for (v, w) in pairs {
+                    if let Some(v) = v {
+                        vs.push(v);
+                    }
+                    if let Some(w) = w {
+                        ws.push(w);
+                    }
                 }
-                if let Some(w) = w {
-                    ws.push(w);
+                let mut out = Vec::with_capacity(vs.len() * ws.len());
+                for v in &vs {
+                    for w in &ws {
+                        out.push((k.clone(), (v.clone(), w.clone())));
+                    }
                 }
-            }
-            let mut out = Vec::with_capacity(vs.len() * ws.len());
-            for v in &vs {
-                for w in &ws {
-                    out.push((k.clone(), (v.clone(), w.clone())));
-                }
-            }
-            out
-        })
+                out
+            })
     }
 }
 

@@ -51,10 +51,13 @@ where
                     })
                     .push(v.clone());
             }
-            order.into_iter().map(|k| {
-                let vs = groups.remove(&k).expect("key present");
-                (k, vs)
-            }).collect()
+            order
+                .into_iter()
+                .map(|k| {
+                    let vs = groups.remove(&k).expect("key present");
+                    (k, vs)
+                })
+                .collect()
         })
     }
 
@@ -107,7 +110,24 @@ where
             let n_map = parts.len();
             let map_end = state.frontier;
             let total_cores = cluster.total_cores();
-            let node_of_part = |p: usize| cluster.node_of_core(p % total_cores);
+            // Map outputs live on the core each map task actually ran on
+            // (run_stage records placements; a cached parent skips
+            // placement, hence the length guard).
+            let map_cores: Vec<usize> = if state.last_stage_cores.len() == n_map {
+                state.last_stage_cores.clone()
+            } else {
+                (0..n_map).map(|p| p % total_cores).collect()
+            };
+            let map_durs: Vec<f64> = if state.last_stage_durs.len() == n_map {
+                state.last_stage_durs.clone()
+            } else {
+                vec![0.0; n_map]
+            };
+            // The stage barrier drains every surviving core by `map_end`,
+            // so reducer q lands on the q-th free core in id order.
+            let reduce_nodes: Vec<usize> = (0..n_out)
+                .map(|q| cluster.node_of_core(state.exec.nth_free_core(map_end, q)))
+                .collect();
             // Hash-partition, tracking per (map, reduce) byte volumes.
             let mut buckets: Vec<Vec<(K, V)>> = (0..n_out).map(|_| Vec::new()).collect();
             let mut bytes_pq = vec![vec![0u64; n_out]; n_map];
@@ -118,30 +138,85 @@ where
                     buckets[q].push(kv);
                 }
             }
-            // Each reducer fetches its slice from every map output.
             let net = cluster.profile.network;
+            let faults = cluster.faults().clone();
+            let mut map_node: Vec<usize> =
+                map_cores.iter().map(|&c| cluster.node_of_core(c)).collect();
+            let cost_once = |b: u64, same: bool| {
+                net.transfer_time(b, same) + profile.per_transfer_overhead_s + profile.ser_time(b)
+            };
+            // Nominal (fault-free) fetch schedule bounds the window during
+            // which every map output must stay reachable.
+            let mut nominal_max = 0.0f64;
+            for q in 0..n_out {
+                let mut fetch = 0.0;
+                for (p, row) in bytes_pq.iter().enumerate() {
+                    if row[q] > 0 {
+                        fetch += cost_once(row[q], map_node[p] == reduce_nodes[q]);
+                    }
+                }
+                nominal_max = nominal_max.max(fetch);
+            }
+            let horizon = map_end + nominal_max;
+            // Lineage recovery: a map output whose node dies before the
+            // fetches complete is recomputed on a surviving core, and its
+            // slice becomes available only when the rerun finishes.
+            let mut avail = vec![map_end; n_map];
+            for p in 0..n_map {
+                let Some(died_at) = faults.node_death(map_node[p]) else {
+                    continue;
+                };
+                if died_at >= horizon || bytes_pq[p].iter().all(|&b| b == 0) {
+                    continue;
+                }
+                // Reducers discover the loss when their fetch fails.
+                let detect = died_at.max(map_end);
+                let placement = state
+                    .exec
+                    .run_task(detect + profile.central_dispatch_s, map_durs[p]);
+                map_node[p] = cluster.node_of_core(placement.core);
+                avail[p] = placement.end;
+                let rep = state.exec.report_mut();
+                rep.retries += 1;
+                rep.recomputed_partitions += 1;
+                rep.overhead_s += profile.central_dispatch_s + profile.worker_overhead_s;
+                rep.push_phase("recovery", detect, placement.end);
+            }
+            // Each reducer fetches its slice from every map output; a
+            // fetch lost on the wire is paid for and re-sent (the bytes
+            // count once — it is the same logical data).
             let mut ready = vec![map_end; n_out];
             let mut total_bytes = 0u64;
             let mut max_fetch = 0.0f64;
+            let mut shuffle_end = map_end;
+            let mut resent = 0usize;
             for (q, r) in ready.iter_mut().enumerate() {
                 let mut fetch = 0.0;
+                let mut start = map_end;
                 for (p, row) in bytes_pq.iter().enumerate() {
                     let b = row[q];
                     if b > 0 {
-                        let same = node_of_part(p) == node_of_part(q);
-                        fetch += net.transfer_time(b, same)
-                            + profile.per_transfer_overhead_s
-                            + profile.ser_time(b);
+                        start = start.max(avail[p]);
+                        let once = cost_once(b, map_node[p] == reduce_nodes[q]);
+                        let mut attempt = 0;
+                        while faults.fetch_lost(p, q, attempt) {
+                            fetch += once;
+                            resent += 1;
+                            attempt += 1;
+                        }
+                        fetch += once;
                         total_bytes += b;
                     }
                 }
-                *r = map_end + fetch;
+                *r = start + fetch;
                 max_fetch = max_fetch.max(fetch);
+                shuffle_end = shuffle_end.max(*r);
             }
             let rep = state.exec.report_mut();
+            rep.retries += resent;
             rep.bytes_shuffled += total_bytes;
             rep.comm_s += max_fetch;
-            rep.push_phase("shuffle", map_end, map_end + max_fetch);
+            rep.push_phase("shuffle", map_end, shuffle_end);
             *guard = Some(buckets);
             ready
         });
@@ -184,7 +259,7 @@ where
     pub(crate) fn shuffled(
         ctx: crate::SparkContext,
         n_partitions: usize,
-        prepare: Arc<dyn Fn(&mut JobState) -> Vec<f64> + Send + Sync>,
+        prepare: crate::rdd::Prepare,
         compute: impl Fn(usize, &taskframe::TaskCtx) -> Vec<T> + Send + Sync + 'static,
     ) -> Self {
         Rdd::assemble(ctx, n_partitions, prepare, Arc::new(compute))

@@ -1,0 +1,60 @@
+//! Regression test for shuffle locality attribution.
+//!
+//! The shuffle layer used to place map output `p` on core `p % cores` for
+//! *both* endpoints of every fetch. The greedy scheduler routinely puts
+//! partitions elsewhere (any skewed stage re-uses the early-freed cores),
+//! so same-node transfers were charged at cross-node cost and vice versa.
+//! Shuffle time must be computed from the cores the map tasks actually ran
+//! on and the cores the reducers will run on.
+
+use netsim::{laptop, Cluster};
+use sparklet::{Rdd, SparkContext};
+use taskframe::spark_profile;
+
+/// Per-map-partition compute charges, chosen so the greedy scheduler's
+/// placement diverges from the `p % cores` formula: partition 4 is released
+/// last and lands on core 2 (earliest-free), not core 0.
+const CHARGES: [f64; 5] = [100.0, 50.0, 1.0, 2.0, 0.5];
+
+#[test]
+fn shuffle_cost_uses_actual_task_placement() {
+    // 2 nodes × 2 cores: cores {0,1} on node 0, cores {2,3} on node 1.
+    let mut profile = laptop();
+    profile.cores_per_node = 2;
+    let cluster = Cluster::new(profile, 2);
+    let net = cluster.profile.network;
+
+    let sc = SparkContext::new(cluster);
+    let rdd = Rdd::from_partitions(sc.clone(), CHARGES.len(), |p, tctx| {
+        tctx.charge(CHARGES[p]);
+        vec![(0u32, 1u32)] // one 8-byte record per map partition
+    });
+    let n = rdd.reduce_by_key(1, |a, b| a + b).count();
+    assert_eq!(n, 1);
+    let report = sc.report();
+
+    // Greedy placement with the charges above: tasks 0-3 take cores 0-3 in
+    // release order, task 4 lands on core 2 (free at ~1.1s, earliest). The
+    // single reducer runs on core 0 (all cores idle at the barrier, lowest
+    // id first). The stale `p % 4` formula would put partition 4's output
+    // on core 0 — same node as the reducer instead of remote.
+    let spark = spark_profile();
+    let fetch =
+        |same: bool| net.transfer_time(8, same) + spark.per_transfer_overhead_s + spark.ser_time(8);
+    let actual_map_nodes = [0usize, 0, 1, 1, 1];
+    let formula_map_nodes = [0usize, 0, 1, 1, 0];
+    let expected: f64 = actual_map_nodes.iter().map(|&node| fetch(node == 0)).sum();
+    let stale: f64 = formula_map_nodes.iter().map(|&node| fetch(node == 0)).sum();
+
+    let got = report
+        .phase_total("shuffle")
+        .expect("shuffle phase recorded");
+    assert!(
+        (got - expected).abs() < 1e-9,
+        "shuffle time {got} != expected {expected} from actual placement"
+    );
+    assert!(
+        (got - stale).abs() > 1e-6,
+        "shuffle time {got} indistinguishable from the stale formula {stale}"
+    );
+}

@@ -16,7 +16,11 @@ pub struct TaskCtx {
 
 impl TaskCtx {
     pub fn new(task_id: usize, partition: usize) -> Self {
-        TaskCtx { task_id, partition, extra_s: Cell::new(0.0) }
+        TaskCtx {
+            task_id,
+            partition,
+            extra_s: Cell::new(0.0),
+        }
     }
 
     /// Charge `secs` of modelled (not measured) time to this task — I/O

@@ -27,16 +27,27 @@ pub enum EngineError {
     /// tasks, §4.1: "we were not able to scale RADICAL-Pilot to 32k or
     /// more tasks").
     Unsupported(String),
+    /// A worker/node died and the engine could not (or by design does not)
+    /// recover — MPI aborts the communicator; task engines surface this
+    /// only after exhausting `max_attempts`.
+    WorkerLost { node: usize, at_s: f64 },
 }
 
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            EngineError::OutOfMemory { node_mem, required, what } => write!(
+            EngineError::OutOfMemory {
+                node_mem,
+                required,
+                what,
+            } => write!(
                 f,
                 "out of memory: {what} needs {required} bytes, node has {node_mem}"
             ),
             EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            EngineError::WorkerLost { node, at_s } => {
+                write!(f, "worker lost: node {node} died at {at_s}s")
+            }
         }
     }
 }
@@ -59,7 +70,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = EngineError::OutOfMemory { node_mem: 10, required: 20, what: "cdist".into() };
+        let e = EngineError::OutOfMemory {
+            node_mem: 10,
+            required: 20,
+            what: "cdist".into(),
+        };
         assert!(e.to_string().contains("cdist"));
         let u = EngineError::Unsupported("too many tasks".into());
         assert!(u.to_string().contains("too many tasks"));

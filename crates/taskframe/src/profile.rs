@@ -49,6 +49,10 @@ pub struct FrameworkProfile {
     pub per_transfer_overhead_s: f64,
     /// Broadcast algorithm (Fig. 8).
     pub broadcast: BroadcastAlgo,
+    /// Maximum times a failed task is attempted before the engine gives up
+    /// on the job (Spark's `spark.task.maxFailures`, Dask/RP retry loops;
+    /// 1 for MPI — any rank failure aborts the communicator).
+    pub max_attempts: usize,
 }
 
 impl FrameworkProfile {
@@ -63,11 +67,12 @@ pub fn spark_profile() -> FrameworkProfile {
     FrameworkProfile {
         name: "spark",
         startup_s: 1.0,
-        central_dispatch_s: 5e-4,  // stage-oriented DAGScheduler: ~2k tasks/s cap
-        worker_overhead_s: 0.10,   // executor JVM->Python worker round trip
+        central_dispatch_s: 5e-4, // stage-oriented DAGScheduler: ~2k tasks/s cap
+        worker_overhead_s: 0.10,  // executor JVM->Python worker round trip
         result_ser_s_per_byte: 8e-9, // ~125 MB/s pickle + JVM copy
         per_transfer_overhead_s: 5e-5, // netty-based block transfer service
         broadcast: BroadcastAlgo::Tree,
+        max_attempts: 4, // spark.task.maxFailures default
     }
 }
 
@@ -76,8 +81,8 @@ pub fn dask_profile() -> FrameworkProfile {
     FrameworkProfile {
         name: "dask",
         startup_s: 0.2,
-        central_dispatch_s: 5e-5,  // lightweight scheduler: ~20k tasks/s cap
-        worker_overhead_s: 0.010,  // pure-Python direct dispatch
+        central_dispatch_s: 5e-5, // lightweight scheduler: ~20k tasks/s cap
+        worker_overhead_s: 0.010, // pure-Python direct dispatch
         result_ser_s_per_byte: 1e-9,
         per_transfer_overhead_s: 1e-4, // tornado event loop, per-message python framing
         // Dask's scatter(broadcast=True) in this era tracked every list
@@ -85,6 +90,7 @@ pub fn dask_profile() -> FrameworkProfile {
         // is what makes its broadcast 40–65% of edge-discovery time in
         // Fig. 8 (vs 3–15% for Spark's torrent broadcast).
         broadcast: BroadcastAlgo::ListWise { per_item_s: 5e-5 },
+        max_attempts: 3,
     }
 }
 
@@ -95,12 +101,13 @@ pub fn dask_profile() -> FrameworkProfile {
 pub fn pilot_profile() -> FrameworkProfile {
     FrameworkProfile {
         name: "radical-pilot",
-        startup_s: 35.0,          // pilot bootstrap on the allocation
-        central_dispatch_s: 12e-3, // ≈4 DB round-trips × ~3 ms each
-        worker_overhead_s: 0.15,  // agent exec spawn (fork/exec per CU)
-        result_ser_s_per_byte: 0.0, // exchanges data via files, not sockets
-        per_transfer_overhead_s: 2e-3, // shared-filesystem open/close per blob
+        startup_s: 35.0,                  // pilot bootstrap on the allocation
+        central_dispatch_s: 12e-3,        // ≈4 DB round-trips × ~3 ms each
+        worker_overhead_s: 0.15,          // agent exec spawn (fork/exec per CU)
+        result_ser_s_per_byte: 0.0,       // exchanges data via files, not sockets
+        per_transfer_overhead_s: 2e-3,    // shared-filesystem open/close per blob
         broadcast: BroadcastAlgo::Linear, // no broadcast primitive; unused
+        max_attempts: 3,                  // CU retry via DB re-enqueue
     }
 }
 
@@ -115,6 +122,7 @@ pub fn mpi_profile() -> FrameworkProfile {
         result_ser_s_per_byte: 1e-9, // mpi4py pickles non-buffer objects
         per_transfer_overhead_s: 0.0,
         broadcast: BroadcastAlgo::Linear,
+        max_attempts: 1, // SPMD: a lost rank aborts the whole job
     }
 }
 

@@ -12,9 +12,17 @@ use mdtask::prelude::*;
 use std::sync::Arc;
 
 fn main() {
-    let spec = ChainSpec { n_atoms: 150, n_frames: 50, stride: 1, ..ChainSpec::default() };
+    let spec = ChainSpec {
+        n_atoms: 150,
+        n_frames: 50,
+        stride: 1,
+        ..ChainSpec::default()
+    };
     let ensemble = Arc::new(mdtask::sim::chain::generate_ensemble(&spec, 8, 99));
-    let cfg = PsaConfig { groups: 4, charge_io: true };
+    let cfg = PsaConfig {
+        groups: 4,
+        charge_io: true,
+    };
     let cluster = || Cluster::new(comet(), 2);
 
     let reference = psa_serial(&ensemble);
@@ -29,7 +37,10 @@ fn main() {
         }
     };
 
-    println!("{:<16} {:>10} {:>12} {:>12}", "engine", "makespan", "overhead", "comm");
+    println!(
+        "{:<16} {:>10} {:>12} {:>12}",
+        "engine", "makespan", "overhead", "comm"
+    );
 
     let sc = SparkContext::new(cluster());
     let spark = psa_spark(&sc, Arc::clone(&ensemble), &cfg);
@@ -53,12 +64,18 @@ fn main() {
     println!("\nAll four engines computed identical distance matrices.");
 
     // What would the paper recommend for this workload?
-    let workload = Workload { embarrassingly_parallel: true, ..Default::default() };
+    let workload = Workload {
+        embarrassingly_parallel: true,
+        ..Default::default()
+    };
     println!(
         "decision framework says: {} (embarrassingly parallel → programmability wins)",
         decision::recommend(&workload).label()
     );
-    let coupled = Workload { needs_shuffle: true, ..Default::default() };
+    let coupled = Workload {
+        needs_shuffle: true,
+        ..Default::default()
+    };
     println!(
         "…and for shuffle-coupled analyses: {}",
         decision::recommend(&coupled).label()

@@ -16,7 +16,12 @@ fn main() {
 
     // Stage 1: an ensemble of short MD "simulations" (each task runs a
     // real Brownian-dynamics integrator and reports its end-to-end RMSD).
-    let spec = ChainSpec { n_atoms: 64, n_frames: 40, stride: 2, ..ChainSpec::default() };
+    let spec = ChainSpec {
+        n_atoms: 64,
+        n_frames: 40,
+        stride: 2,
+        ..ChainSpec::default()
+    };
     let mut simulate = Stage::new("simulate");
     for seed in 0..8u64 {
         let spec = spec.clone();
@@ -30,12 +35,16 @@ fn main() {
     // Stage 2: a quick analysis pass over the ensemble outputs.
     let analyze = Stage::new("analyze").task(|_, _| 0u64);
 
-    let out = Pipeline::new("campaign").stage(simulate).stage(analyze).run(&session).unwrap();
+    let out = Pipeline::new("campaign")
+        .stage(simulate)
+        .stage(analyze)
+        .run(&session)
+        .unwrap();
     println!("per-replica drift (mÅ): {:?}", out.stages[0].1);
     println!(
         "pipeline: simulate {:.1}s, analyze {:.1}s (virtual)",
-        out.report.phase_duration("simulate").unwrap(),
-        out.report.phase_duration("analyze").unwrap()
+        out.report.phase_total("simulate").unwrap(),
+        out.report.phase_total("analyze").unwrap()
     );
 
     // Aggregate with Pilot-MapReduce: bucket replicas by drift decile.

@@ -9,15 +9,22 @@
 
 use mdtask::prelude::*;
 
+type ZeroTask = Box<dyn Fn(&TaskCtx) -> u64 + Send + Sync>;
+
 /// Zero-workload task (`/bin/hostname` in the paper): returns a token.
-fn zero_tasks(n: usize) -> Vec<Box<dyn Fn(&TaskCtx) -> u64 + Send + Sync>> {
-    (0..n).map(|i| Box::new(move |_: &TaskCtx| i as u64) as _).collect()
+fn zero_tasks(n: usize) -> Vec<ZeroTask> {
+    (0..n)
+        .map(|i| Box::new(move |_: &TaskCtx| i as u64) as _)
+        .collect()
 }
 
 fn main() {
     let cluster = || Cluster::new(wrangler(), 1); // single node, like Fig. 2
 
-    println!("{:>8} {:>14} {:>14} {:>14}", "tasks", "spark (t/s)", "dask (t/s)", "rp (t/s)");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "tasks", "spark (t/s)", "dask (t/s)", "rp (t/s)"
+    );
     for n in [64usize, 256, 1024, 4096] {
         let mut spark = SparkContext::new(cluster());
         let (_, spark_rep) = spark.run_bag(zero_tasks(n)).unwrap();

@@ -13,8 +13,13 @@ use std::sync::Arc;
 fn main() {
     // A 4096-atom bilayer (1/32-scale stand-in for the 131k system). The
     // generator guarantees exactly two leaflets as ground truth.
-    let bilayer =
-        mdtask::sim::bilayer::generate(&BilayerSpec { n_atoms: 4096, ..Default::default() }, 7);
+    let bilayer = mdtask::sim::bilayer::generate(
+        &BilayerSpec {
+            n_atoms: 4096,
+            ..Default::default()
+        },
+        7,
+    );
     let (up, lo) = bilayer.leaflet_sizes();
     println!(
         "bilayer: {} atoms, ground truth leaflets {up}/{lo}, cutoff {:.2} Å",

@@ -18,7 +18,12 @@ fn main() {
     // Two families exploring different regions of conformation space:
     // the second one is displaced far from the first, so cross-family
     // Hausdorff distances dwarf the within-family spread.
-    let spec = ChainSpec { n_atoms: 80, n_frames: 40, stride: 1, ..ChainSpec::default() };
+    let spec = ChainSpec {
+        n_atoms: 80,
+        n_frames: 40,
+        stride: 1,
+        ..ChainSpec::default()
+    };
     let mut ensemble = mdtask::sim::chain::generate_ensemble(&spec, 5, 1);
     let mut displaced = mdtask::sim::chain::generate_ensemble(&spec, 5, 500);
     for t in &mut displaced {
@@ -32,7 +37,14 @@ fn main() {
 
     // PSA on Spark over a simulated 2-node cluster.
     let sc = SparkContext::new(Cluster::new(comet(), 2));
-    let out = psa_spark(&sc, Arc::new(ensemble), &PsaConfig { groups: 5, charge_io: true });
+    let out = psa_spark(
+        &sc,
+        Arc::new(ensemble),
+        &PsaConfig {
+            groups: 5,
+            charge_io: true,
+        },
+    );
     println!(
         "Hausdorff matrix computed: {} tasks, {:.2} virtual s",
         out.report.tasks, out.report.makespan_s

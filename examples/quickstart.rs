@@ -14,7 +14,12 @@ fn main() {
     // 1. A synthetic ensemble: 8 protein-like trajectories, 102 frames of
     //    200 atoms each (a 1/16-scale stand-in for the paper's "small"
     //    3341-atom trajectories).
-    let spec = ChainSpec { n_atoms: 200, n_frames: 102, stride: 1, ..ChainSpec::default() };
+    let spec = ChainSpec {
+        n_atoms: 200,
+        n_frames: 102,
+        stride: 1,
+        ..ChainSpec::default()
+    };
     let ensemble = Arc::new(mdtask::sim::chain::generate_ensemble(&spec, 8, 2024));
     println!(
         "ensemble: {} trajectories × {} frames × {} atoms",
@@ -27,14 +32,18 @@ fn main() {
     let client = DaskClient::new(Cluster::new(laptop(), 2));
 
     // 3. PSA with Algorithm 2's 2-D partitioning: 4 groups → 16 tasks.
-    let cfg = PsaConfig { groups: 4, charge_io: true };
+    let cfg = PsaConfig {
+        groups: 4,
+        charge_io: true,
+    };
     let out = mdtask::analysis::psa::psa_dask(&client, Arc::clone(&ensemble), &cfg);
 
     // 4. The distance matrix is real — inspect a few entries.
     println!("\nHausdorff distance matrix (Å):");
     for i in 0..ensemble.len() {
-        let row: Vec<String> =
-            (0..ensemble.len()).map(|j| format!("{:6.2}", out.distances.get(i, j))).collect();
+        let row: Vec<String> = (0..ensemble.len())
+            .map(|j| format!("{:6.2}", out.distances.get(i, j)))
+            .collect();
         println!("  {}", row.join(" "));
     }
 

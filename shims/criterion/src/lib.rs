@@ -1,0 +1,240 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the `bench` crate uses — `Criterion`,
+//! `benchmark_group`, `bench_with_input` / `bench_function`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple wall-clock measurement loop
+//! (warmup + `sample_size` timed samples, median reported). No statistical
+//! analysis, plots, or baseline comparison.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export so `use criterion::black_box` keeps working.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Declared throughput of a benchmark, used to derive rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Measurement driver handed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call.
+    last_median: Duration,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            last_median: Duration::ZERO,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup: one untimed call, also used to pick an inner batch count
+        // so short routines are timed over enough iterations to be visible.
+        let t0 = Instant::now();
+        hint::black_box(routine());
+        let once = t0.elapsed();
+        let batch = if once < Duration::from_micros(50) {
+            (Duration::from_micros(200).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000)
+                as usize
+        } else {
+            1
+        };
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(routine());
+            }
+            samples.push(start.elapsed() / batch as u32);
+        }
+        samples.sort_unstable();
+        self.last_median = samples[samples.len() / 2];
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.to_string(), |b| f(b))
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.to_string(), |b| f(b, input))
+    }
+
+    fn run(&mut self, label: String, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        let per_iter = bencher.last_median;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(b)) if per_iter > Duration::ZERO => {
+                format!(
+                    "  {:>10.1} MiB/s",
+                    b as f64 / per_iter.as_secs_f64() / (1u64 << 20) as f64
+                )
+            }
+            Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+                format!("  {:>10.1} elem/s", n as f64 / per_iter.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!("{}/{:<40} {:>12.3?}{}", self.name, label, per_iter, rate);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    fn new() -> Self {
+        Criterion { sample_size: 10 }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).bench_function("", f);
+        self
+    }
+}
+
+/// Hidden entry point used by [`criterion_main!`].
+#[doc(hidden)]
+pub fn run_group(fns: &[fn(&mut Criterion)]) {
+    let mut c = Criterion::new();
+    for f in fns {
+        f(&mut c);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            $crate::run_group(&[$($target),+]);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(64));
+        g.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        run_group(&[trivial_bench]);
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("naive", 42).to_string(), "naive/42");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

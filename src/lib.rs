@@ -61,7 +61,9 @@ pub mod prelude {
     pub use crate::analysis::leaflet::{lf_dask, lf_mpi, lf_pilot, lf_serial, lf_spark};
     pub use crate::analysis::psa::{psa_dask, psa_mpi, psa_pilot, psa_serial, psa_spark};
     pub use crate::analysis::{EngineKind, LfApproach, LfConfig, LfOutput, PsaConfig, PsaOutput};
-    pub use crate::cluster::{comet, laptop, wrangler, Cluster, MachineProfile, SimReport};
+    pub use crate::cluster::{
+        comet, laptop, wrangler, Cluster, FaultPlan, MachineProfile, SimReport,
+    };
     pub use crate::dask::{Bag, DaskClient, Delayed};
     pub use crate::frame::{BagEngine, EngineError, FrameworkProfile, Payload, TaskCtx};
     pub use crate::math::{DistanceMatrix, Frame, Vec3};

@@ -14,7 +14,10 @@ struct System {
 
 fn system() -> System {
     let b = mdtask::sim::bilayer::generate(
-        &BilayerSpec { n_atoms: 500, ..Default::default() },
+        &BilayerSpec {
+            n_atoms: 500,
+            ..Default::default()
+        },
         77,
     );
     let (up, lo) = b.leaflet_sizes();
@@ -71,7 +74,11 @@ fn paper_scale_memory_failures_reproduce() {
     let s = system();
     let c = Cluster::new(wrangler(), 8);
     // Paper-scale runs used 1024 partitions; the gates assume that layout.
-    let at = |paper_atoms: usize| LfConfig { paper_atoms, partitions: 1024, ..s.cfg.clone() };
+    let at = |paper_atoms: usize| LfConfig {
+        paper_atoms,
+        partitions: 1024,
+        ..s.cfg.clone()
+    };
 
     use mdtask::analysis::EngineKind::*;
     // Approach 1: Dask dies at 524k; Spark/MPI at 4M.
@@ -85,7 +92,10 @@ fn paper_scale_memory_failures_reproduce() {
     assert!(leaflet::check_feasible(Dask, LfApproach::TreeSearch, &at(4_000_000), &c).is_ok());
 
     // And the gates actually fire through the public entry points.
-    let big = LfConfig { paper_atoms: 4_000_000, ..s.cfg.clone() };
+    let big = LfConfig {
+        paper_atoms: 4_000_000,
+        ..s.cfg.clone()
+    };
     let err = lf_spark(
         &SparkContext::new(c.clone()),
         Arc::clone(&s.positions),
@@ -100,7 +110,11 @@ fn memory_splitting_increases_task_count() {
     // ParallelCC on a "4M-atom" system must run far more tasks than the
     // target partition count (the paper's 1024 → 42k explosion).
     let s = system();
-    let big = LfConfig { paper_atoms: 4_000_000, partitions: 64, ..s.cfg.clone() };
+    let big = LfConfig {
+        paper_atoms: 4_000_000,
+        partitions: 64,
+        ..s.cfg.clone()
+    };
     let out = lf_spark(
         &SparkContext::new(cluster()),
         Arc::clone(&s.positions),
@@ -121,7 +135,10 @@ fn memory_splitting_increases_task_count() {
 fn search_strategies_are_interchangeable() {
     // The neighbors crate's three strategies feed the same pipeline.
     let b = mdtask::sim::bilayer::generate(
-        &BilayerSpec { n_atoms: 200, ..Default::default() },
+        &BilayerSpec {
+            n_atoms: 200,
+            ..Default::default()
+        },
         3,
     );
     use mdtask::search::{neighbor_pairs, SearchStrategy};

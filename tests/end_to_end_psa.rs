@@ -6,7 +6,12 @@ use mdtask::prelude::*;
 use std::sync::Arc;
 
 fn ensemble() -> Vec<Trajectory> {
-    let spec = ChainSpec { n_atoms: 24, n_frames: 12, stride: 1, ..ChainSpec::default() };
+    let spec = ChainSpec {
+        n_atoms: 24,
+        n_frames: 12,
+        stride: 1,
+        ..ChainSpec::default()
+    };
     mdtask::sim::chain::generate_ensemble(&spec, 6, 1234)
 }
 
@@ -17,7 +22,9 @@ fn write_and_reload(e: &[Trajectory], dir: &std::path::Path) -> Vec<Trajectory> 
         .map(|(i, t)| {
             let path = dir.join(format!("traj-{i:03}.mdt"));
             mdtask::io::write_mdt(&path, &t.frames).unwrap();
-            Trajectory { frames: mdtask::io::read_mdt(&path).unwrap() }
+            Trajectory {
+                frames: mdtask::io::read_mdt(&path).unwrap(),
+            }
         })
         .collect()
 }
@@ -30,14 +37,28 @@ fn psa_from_files_identical_across_engines() {
     assert_eq!(original, reloaded, "MDT round-trip must be lossless");
 
     let reference = psa_serial(&reloaded);
-    let cfg = PsaConfig { groups: 3, charge_io: true };
+    let cfg = PsaConfig {
+        groups: 3,
+        charge_io: true,
+    };
     let arc = Arc::new(reloaded.clone());
     let cluster = || Cluster::new(wrangler(), 2);
 
     let outs = vec![
-        ("spark", psa_spark(&SparkContext::new(cluster()), Arc::clone(&arc), &cfg).distances),
-        ("dask", psa_dask(&DaskClient::new(cluster()), Arc::clone(&arc), &cfg).distances),
-        ("pilot", psa_pilot(&Session::new(cluster()).unwrap(), &reloaded, &cfg).unwrap().distances),
+        (
+            "spark",
+            psa_spark(&SparkContext::new(cluster()), Arc::clone(&arc), &cfg).distances,
+        ),
+        (
+            "dask",
+            psa_dask(&DaskClient::new(cluster()), Arc::clone(&arc), &cfg).distances,
+        ),
+        (
+            "pilot",
+            psa_pilot(&Session::new(cluster()).unwrap(), &reloaded, &cfg)
+                .unwrap()
+                .distances,
+        ),
         ("mpi", psa_mpi(cluster(), 8, &reloaded, &cfg).distances),
     ];
     for (name, d) in outs {

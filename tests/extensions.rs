@@ -9,7 +9,12 @@ fn entk_pipeline_runs_md_then_analysis() {
     // The classic EnTK shape: a "simulation" stage producing trajectories,
     // then an "analysis" stage computing RMSD series — on one pilot.
     let session = Session::new(Cluster::new(comet(), 1)).unwrap();
-    let spec = ChainSpec { n_atoms: 12, n_frames: 6, stride: 1, ..ChainSpec::default() };
+    let spec = ChainSpec {
+        n_atoms: 12,
+        n_frames: 6,
+        stride: 1,
+        ..ChainSpec::default()
+    };
 
     let mut simulate = Stage::new("simulate");
     for seed in 0..4u64 {
@@ -20,12 +25,27 @@ fn entk_pipeline_runs_md_then_analysis() {
         });
     }
     let analyze = Stage::new("analyze").task(|_, _| 1u64);
-    let out = Pipeline::new("md-campaign").stage(simulate).stage(analyze).run(&session).unwrap();
+    let out = Pipeline::new("md-campaign")
+        .stage(simulate)
+        .stage(analyze)
+        .run(&session)
+        .unwrap();
     assert_eq!(out.stages[0].1, vec![6, 6, 6, 6]);
-    assert!(out.report.phase_duration("simulate").unwrap() > 0.0);
+    assert!(out.report.phase_total("simulate").unwrap() > 0.0);
     assert!(
-        out.report.phases.iter().find(|p| p.name == "analyze").unwrap().start_s
-            >= out.report.phases.iter().find(|p| p.name == "simulate").unwrap().end_s
+        out.report
+            .phases
+            .iter()
+            .find(|p| p.name == "analyze")
+            .unwrap()
+            .start_s
+            >= out
+                .report
+                .phases
+                .iter()
+                .find(|p| p.name == "simulate")
+                .unwrap()
+                .end_s
     );
 }
 
@@ -50,7 +70,12 @@ fn pilot_mapreduce_word_count() {
 #[test]
 fn rmsd_series_parallel_equals_serial() {
     use mdtask::analysis::common::*;
-    let spec = ChainSpec { n_atoms: 18, n_frames: 30, stride: 1, ..ChainSpec::default() };
+    let spec = ChainSpec {
+        n_atoms: 18,
+        n_frames: 30,
+        stride: 1,
+        ..ChainSpec::default()
+    };
     let t = mdtask::sim::chain::generate(&spec, 3);
     let reference = rmsd_series_serial(&t, &t.frames[0], RmsdMode::Superposed);
     let sc = SparkContext::new(Cluster::new(laptop(), 2));

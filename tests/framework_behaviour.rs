@@ -3,8 +3,12 @@
 
 use mdtask::prelude::*;
 
-fn zero_tasks(n: usize) -> Vec<Box<dyn Fn(&TaskCtx) -> u64 + Send + Sync>> {
-    (0..n).map(|i| Box::new(move |_: &TaskCtx| i as u64) as _).collect()
+type ZeroTask = Box<dyn Fn(&TaskCtx) -> u64 + Send + Sync>;
+
+fn zero_tasks(n: usize) -> Vec<ZeroTask> {
+    (0..n)
+        .map(|i| Box::new(move |_: &TaskCtx| i as u64) as _)
+        .collect()
 }
 
 /// Fig. 2: single-node task throughput ordering Dask > Spark > RP.
@@ -23,10 +27,19 @@ fn single_node_throughput_ordering() {
     let mut rp = Session::new(cluster()).unwrap();
     let (_, rp_rep) = rp.run_bag(zero_tasks(n)).unwrap();
 
-    let (ts, td, tr) =
-        (spark_rep.throughput(), dask_rep.throughput(), rp_rep.throughput());
-    assert!(td > 3.0 * ts, "Dask ({td:.0}/s) should dwarf Spark ({ts:.0}/s)");
-    assert!(ts > 2.0 * tr, "Spark ({ts:.0}/s) should dwarf RP ({tr:.0}/s)");
+    let (ts, td, tr) = (
+        spark_rep.throughput(),
+        dask_rep.throughput(),
+        rp_rep.throughput(),
+    );
+    assert!(
+        td > 3.0 * ts,
+        "Dask ({td:.0}/s) should dwarf Spark ({ts:.0}/s)"
+    );
+    assert!(
+        ts > 2.0 * tr,
+        "Spark ({ts:.0}/s) should dwarf RP ({tr:.0}/s)"
+    );
     assert!(tr < 100.0, "RP must stay under 100 tasks/s (DB bound)");
 }
 
@@ -83,12 +96,22 @@ fn rp_scale_ceiling() {
 /// (hyper-threaded cores), at equal core counts.
 #[test]
 fn comet_outruns_wrangler() {
-    let spec = ChainSpec { n_atoms: 60, n_frames: 20, stride: 1, ..ChainSpec::default() };
+    let spec = ChainSpec {
+        n_atoms: 60,
+        n_frames: 20,
+        stride: 1,
+        ..ChainSpec::default()
+    };
     let e = std::sync::Arc::new(mdtask::sim::chain::generate_ensemble(&spec, 8, 5));
-    let cfg = PsaConfig { groups: 4, charge_io: true };
+    let cfg = PsaConfig {
+        groups: 4,
+        charge_io: true,
+    };
     let run = |profile: MachineProfile| {
         let sc = SparkContext::new(Cluster::with_cores(profile, 48));
-        psa_spark(&sc, std::sync::Arc::clone(&e), &cfg).report.makespan_s
+        psa_spark(&sc, std::sync::Arc::clone(&e), &cfg)
+            .report
+            .makespan_s
     };
     let t_comet = run(comet());
     let t_wrangler = run(wrangler());
@@ -102,7 +125,10 @@ fn comet_outruns_wrangler() {
 #[test]
 fn shuffle_volume_ordering_across_engines() {
     let b = mdtask::sim::bilayer::generate(
-        &BilayerSpec { n_atoms: 600, ..Default::default() },
+        &BilayerSpec {
+            n_atoms: 600,
+            ..Default::default()
+        },
         11,
     );
     let pos = std::sync::Arc::new(b.positions);
@@ -113,8 +139,20 @@ fn shuffle_volume_ordering_across_engines() {
         charge_io: false,
     };
     let c = || Cluster::new(comet(), 2);
-    let s2 = lf_spark(&SparkContext::new(c()), pos.clone(), LfApproach::Task2D, &cfg).unwrap();
-    let s3 = lf_spark(&SparkContext::new(c()), pos.clone(), LfApproach::ParallelCC, &cfg).unwrap();
+    let s2 = lf_spark(
+        &SparkContext::new(c()),
+        pos.clone(),
+        LfApproach::Task2D,
+        &cfg,
+    )
+    .unwrap();
+    let s3 = lf_spark(
+        &SparkContext::new(c()),
+        pos.clone(),
+        LfApproach::ParallelCC,
+        &cfg,
+    )
+    .unwrap();
     assert!(s3.shuffle_bytes < s2.shuffle_bytes);
 
     let m2 = lf_mpi(c(), 8, &pos, LfApproach::Task2D, &cfg).unwrap();
@@ -127,7 +165,10 @@ fn shuffle_volume_ordering_across_engines() {
 #[test]
 fn broadcast_share_dask_exceeds_spark() {
     let b = mdtask::sim::bilayer::generate(
-        &BilayerSpec { n_atoms: 2048, ..Default::default() },
+        &BilayerSpec {
+            n_atoms: 2048,
+            ..Default::default()
+        },
         13,
     );
     let pos = std::sync::Arc::new(b.positions);
@@ -140,14 +181,25 @@ fn broadcast_share_dask_exceeds_spark() {
     let c = || Cluster::new(wrangler(), 2);
 
     let share = |report: &SimReport| {
-        let bcast = report.phase_duration("broadcast").unwrap();
-        let edges = report.phase_duration("edge-discovery").unwrap();
+        // phase_total: all occurrences count, not just the first recorded.
+        let bcast = report.phase_total("broadcast").unwrap();
+        let edges = report.phase_total("edge-discovery").unwrap();
         bcast / edges
     };
-    let spark =
-        lf_spark(&SparkContext::new(c()), pos.clone(), LfApproach::Broadcast1D, &cfg).unwrap();
-    let dask =
-        lf_dask(&DaskClient::new(c()), pos.clone(), LfApproach::Broadcast1D, &cfg).unwrap();
+    let spark = lf_spark(
+        &SparkContext::new(c()),
+        pos.clone(),
+        LfApproach::Broadcast1D,
+        &cfg,
+    )
+    .unwrap();
+    let dask = lf_dask(
+        &DaskClient::new(c()),
+        pos.clone(),
+        LfApproach::Broadcast1D,
+        &cfg,
+    )
+    .unwrap();
     let (ss, ds) = (share(&spark.report), share(&dask.report));
     assert!(
         ds > 3.0 * ss,

@@ -1,0 +1,80 @@
+//! Shuffle byte accounting properties: the reported `bytes_shuffled` must
+//! equal the logical volume actually crossing the wire, and re-running an
+//! action on an already-shuffled RDD must not re-charge the shuffle.
+
+use mdtask::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Conservation: `group_by_key` moves every record exactly once, so
+    /// `bytes_shuffled` equals the wire size of the whole dataset — one
+    /// 8-byte `(u32, u32)` record at a time — regardless of how the input
+    /// is partitioned or how many reducers there are.
+    #[test]
+    fn group_by_key_conserves_bytes(
+        pairs in prop::collection::vec((any::<u32>(), any::<u32>()), 1..120),
+        in_parts in 1usize..7,
+        out_parts in 1usize..5,
+    ) {
+        let sc = SparkContext::new(Cluster::new(laptop(), 2));
+        let grouped = sc.parallelize(pairs.clone(), in_parts).group_by_key(out_parts);
+        let counted: usize = grouped.count();
+        prop_assert!(counted >= 1);
+        let report = sc.report();
+        let expected = 8 * pairs.len() as u64;
+        prop_assert_eq!(
+            report.bytes_shuffled, expected,
+            "per-(map,reduce) wire bytes must sum to the dataset size"
+        );
+    }
+
+    /// Map-side combining (`reduce_by_key`) can only shrink the shuffled
+    /// volume, never grow it.
+    #[test]
+    fn map_side_combine_never_inflates_shuffle(
+        pairs in prop::collection::vec((0u32..16, any::<u32>()), 1..120),
+        in_parts in 1usize..7,
+        out_parts in 1usize..5,
+    ) {
+        let grouped = SparkContext::new(Cluster::new(laptop(), 2));
+        let _ = grouped.parallelize(pairs.clone(), in_parts).group_by_key(out_parts).count();
+        let full = grouped.report().bytes_shuffled;
+
+        let reduced = SparkContext::new(Cluster::new(laptop(), 2));
+        let _ = reduced
+            .parallelize(pairs, in_parts)
+            .reduce_by_key(out_parts, |a, b| a.wrapping_add(b))
+            .count();
+        let combined = reduced.report().bytes_shuffled;
+        prop_assert!(combined <= full, "combine shuffled {combined} > {full}");
+    }
+
+    /// Shuffle files persist (Spark keeps them on disk): a second action on
+    /// the shuffled RDD re-reads them and must not re-charge shuffle bytes
+    /// or communication time.
+    #[test]
+    fn second_action_does_not_recharge_shuffle(
+        pairs in prop::collection::vec((0u32..8, any::<u32>()), 1..80),
+        in_parts in 1usize..5,
+        out_parts in 1usize..4,
+    ) {
+        let sc = SparkContext::new(Cluster::new(laptop(), 2));
+        let grouped = sc.parallelize(pairs, in_parts).group_by_key(out_parts);
+        let first = grouped.count();
+        let (bytes, comm, retries) = {
+            let r = sc.report();
+            (r.bytes_shuffled, r.comm_s, r.retries)
+        };
+        let second = grouped.count();
+        prop_assert_eq!(first, second);
+        let r = sc.report();
+        prop_assert_eq!(r.bytes_shuffled, bytes, "shuffle bytes re-charged");
+        prop_assert!(
+            (r.comm_s - comm).abs() < 1e-12,
+            "shuffle comm time re-charged: {} vs {}", r.comm_s, comm
+        );
+        prop_assert_eq!(r.retries, retries);
+    }
+}
