@@ -57,4 +57,15 @@ fn main() {
         "\npaper shape: Dask fastest and ~10x Spark; RP slowest, plateauing and\n\
          failing beyond 16k tasks (it refuses 32k+ submissions outright)."
     );
+
+    if opts.wants_observability() {
+        // A traced zero-workload run for the requested artifacts.
+        let mut sc = SparkContext::new(cluster());
+        sc.enable_trace();
+        sc.set_phase("zero-workload");
+        let (_, report) = sc
+            .run_bag(zero_tasks(256.min(max_tasks)))
+            .expect("traced spark run");
+        bench::write_observability(&opts, &report, sc.cluster().total_cores());
+    }
 }

@@ -86,6 +86,32 @@ fn main() {
          (<1–10%, but growing linearly with process count) and dominant for\n\
          Dask (40–65% of edge-discovery time)."
     );
+
+    if opts.wants_observability() {
+        // Traced Dask run of the broadcast-heavy approach: the critical
+        // path shows *why* broadcast dominates (Fig. 8's mechanism).
+        let system = lf_dataset(LfDatasetId::Atoms131k, opts.scale, 7);
+        let cfg = LfConfig {
+            cutoff: system.suggested_cutoff,
+            partitions: 1024,
+            paper_atoms: LfDatasetId::Atoms131k.paper_atoms(),
+            charge_io: true,
+        };
+        let cores = 64;
+        let client = DaskClient::new(Cluster::with_cores(opts.machine.clone(), cores));
+        client.enable_trace();
+        let d = lf_dask(
+            &client,
+            Arc::new(system.positions),
+            LfApproach::Broadcast1D,
+            &cfg,
+        )
+        .expect("traced dask run");
+        let trace = d.report.trace.as_ref().expect("trace enabled");
+        println!("\ncritical path (dask, approach 1, {cores} cores):");
+        print!("{}", netsim::CriticalPath::from_trace(trace).render());
+        bench::write_observability(&opts, &d.report, cores);
+    }
 }
 
 fn push_cells(cells: &mut Vec<String>, report: &netsim::SimReport) {

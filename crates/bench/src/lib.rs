@@ -12,14 +12,20 @@
 //! * `--full` — paper-sized datasets (`scale = 1`). Expect hours.
 //! * `--machine comet|wrangler` — machine profile where the paper varies
 //!   it.
+//! * `--trace-out PATH` — write a Chrome-trace JSON (open in Perfetto) of
+//!   a traced run to `PATH`.
+//! * `--metrics-out PATH` — write the run's metrics summary JSON to
+//!   `PATH`.
 
-use netsim::{comet, wrangler, MachineProfile};
+use netsim::{comet, wrangler, MachineProfile, Metrics, SimReport};
 
 /// Parsed command-line options.
 #[derive(Clone, Debug)]
 pub struct Opts {
     pub scale: usize,
     pub machine: MachineProfile,
+    pub trace_out: Option<String>,
+    pub metrics_out: Option<String>,
 }
 
 impl Opts {
@@ -27,6 +33,8 @@ impl Opts {
     pub fn parse(default_scale: usize) -> Opts {
         let mut scale = default_scale;
         let mut machine = wrangler();
+        let mut trace_out = None;
+        let mut metrics_out = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -45,15 +53,59 @@ impl Opts {
                         other => panic!("unknown machine {other:?}"),
                     };
                 }
+                "--trace-out" => {
+                    trace_out = Some(args.next().expect("--trace-out needs a path"));
+                }
+                "--metrics-out" => {
+                    metrics_out = Some(args.next().expect("--metrics-out needs a path"));
+                }
                 "--help" | "-h" => {
-                    eprintln!("flags: --scale N | --full | --machine comet|wrangler");
+                    eprintln!(
+                        "flags: --scale N | --full | --machine comet|wrangler \
+                         | --trace-out PATH | --metrics-out PATH"
+                    );
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag {other}"),
             }
         }
-        Opts { scale, machine }
+        Opts {
+            scale,
+            machine,
+            trace_out,
+            metrics_out,
+        }
     }
+
+    /// Did the user ask for any observability artifact?
+    pub fn wants_observability(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some()
+    }
+}
+
+/// Write the artifacts requested by `--trace-out` / `--metrics-out` from a
+/// traced run's report, creating parent directories as needed.
+pub fn write_observability(opts: &Opts, report: &SimReport, n_cores: usize) {
+    if let Some(path) = &opts.trace_out {
+        let trace = report
+            .trace
+            .as_ref()
+            .expect("--trace-out needs a traced run (enable_trace)");
+        write_artifact(path, &trace.to_chrome_json());
+    }
+    if let Some(path) = &opts.metrics_out {
+        write_artifact(path, &Metrics::from_report(report, n_cores).to_json());
+    }
+}
+
+fn write_artifact(path: &str, contents: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create artifact directory");
+        }
+    }
+    std::fs::write(path, contents).expect("write artifact");
+    eprintln!("wrote {path}");
 }
 
 /// Print a section header.

@@ -24,9 +24,11 @@ pub fn lf_dask(
         LfApproach::Broadcast1D => {
             // Dask's list-wise scatter(broadcast=True): the expensive path
             // Fig. 8 measures.
+            client.set_phase("broadcast");
             let bc = client.broadcast((*positions).clone())?;
             let strips = plan_1d(n, cfg.partitions);
             let cutoff = cfg.cutoff;
+            client.set_phase("edge-discovery");
             let tasks: Vec<Delayed<Vec<(u32, u32)>>> = strips
                 .iter()
                 .map(|&s| client.delayed_after(&bc, move |all, _ctx| strip_edges(all, s, cutoff)))
@@ -49,6 +51,7 @@ pub fn lf_dask(
         LfApproach::Task2D => {
             let blocks = plan_2d_grid(n, grid_for_tasks(cfg.partitions));
             let n_tasks = blocks.len();
+            client.set_phase("edge-discovery");
             let tasks = edge_tasks(client, &positions, &blocks, cfg, false);
             let t0 = client.now();
             let (parts, t1) = client.gather(&tasks);
@@ -123,6 +126,7 @@ fn run_partial_cc(
     let net = client.cluster().profile.network;
     let edges_found = Arc::new(std::sync::atomic::AtomicU64::new(0));
     let shuffle_bytes = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    client.set_phase("edge-discovery+partial-cc");
     let t0 = client.now();
     let mut level: Vec<Delayed<Vec<Vec<u32>>>> = blocks
         .iter()

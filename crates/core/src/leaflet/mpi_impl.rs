@@ -54,6 +54,7 @@ pub fn lf_mpi(
         // Approach 1 broadcasts the whole system; the others ship only the
         // per-rank block slices (charged as I/O below).
         let local_positions: Vec<Vec3> = if approach == LfApproach::Broadcast1D {
+            comm.set_phase("broadcast");
             let v = if comm.rank() == 0 {
                 Some(positions.to_vec())
             } else {
@@ -64,6 +65,7 @@ pub fn lf_mpi(
             positions.to_vec() // pre-partitioned: ranks read their slices
         };
         let t_bcast = comm.clock();
+        comm.set_phase("edge-discovery");
 
         let (edges, partials, found): RankOut = match approach {
             LfApproach::Broadcast1D => {
@@ -131,6 +133,7 @@ pub fn lf_mpi(
             }
         };
         let t_edges = comm.clock();
+        comm.set_phase("gather");
         let gathered = comm.gather(0, (edges, partials, found));
         (gathered, t_start, t_bcast, t_edges)
     })?;

@@ -23,6 +23,7 @@ pub fn lf_spark(
     let n = positions.len();
     match approach {
         LfApproach::Broadcast1D => {
+            sc.set_phase("broadcast");
             let bc = sc.broadcast((*positions).clone())?;
             let strips = plan_1d(n, cfg.partitions);
             let n_tasks = strips.len();
@@ -99,6 +100,7 @@ fn run_edge_blocks(
 }
 
 fn collect_edges(sc: &SparkContext, rdd: &Rdd<(u32, u32)>) -> (Vec<(u32, u32)>, u64) {
+    sc.set_phase("edge-discovery");
     let t0 = sc.now();
     let edges = rdd.collect();
     let t1 = sc.now();
@@ -140,6 +142,7 @@ fn run_partial_cc(
         sb.fetch_add(partial.wire_bytes(), Ordering::Relaxed);
         vec![partial.components]
     });
+    sc.set_phase("edge-discovery+partial-cc");
     let t0 = sc.now();
     let merged = rdd.reduce(|a, b| {
         merge_partials(&[

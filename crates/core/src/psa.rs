@@ -121,6 +121,7 @@ pub fn psa_spark(sc: &SparkContext, ensemble: Arc<Vec<Trajectory>>, cfg: &PsaCon
         }
         block_distances(&ens, b)
     });
+    sc.set_phase("psa-map");
     let triples = rdd.collect();
     PsaOutput {
         distances: assemble(n, triples),
@@ -133,6 +134,7 @@ pub fn psa_dask(client: &DaskClient, ensemble: Arc<Vec<Trajectory>>, cfg: &PsaCo
     let n = ensemble.len();
     let blocks = plan_psa_2d(n, cfg.groups);
     let net = client.cluster().profile.network;
+    client.set_phase("psa-map");
     let tasks: Vec<Delayed<Vec<(u32, u32, f64)>>> = blocks
         .iter()
         .map(|&b| {
@@ -207,6 +209,7 @@ pub fn psa_mpi(
     let net = cluster.profile.network;
     let charge_io = cfg.charge_io;
     let out = mpilike::run(cluster, world, |comm| {
+        comm.set_phase("psa-map");
         let mine: Vec<Block> = blocks
             .iter()
             .copied()
@@ -222,6 +225,7 @@ pub fn psa_mpi(
                 .flat_map(|&b| block_distances(ensemble, b))
                 .collect()
         });
+        comm.set_phase("gather");
         comm.gather(0, local)
     });
     let triples = out.results.into_iter().flatten().flatten().flatten();

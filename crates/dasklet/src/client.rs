@@ -129,6 +129,13 @@ impl DaskClient {
                 }
             }
         };
+        if fetch > 0.0 {
+            // Inputs stream from wherever the deps live — approximated as
+            // node 0 — to the node the task actually landed on.
+            let to_node = self.inner.cluster.node_of_core(placement.core);
+            st.exec
+                .record_fetch(0, to_node, dep_transfer_bytes, dispatch, dispatch + fetch);
+        }
         let rep = st.exec.report_mut();
         rep.overhead_s += profile.worker_overhead_s + profile.central_dispatch_s;
         rep.comm_s += fetch;
@@ -234,6 +241,7 @@ impl DaskClient {
         st.sched_free += t;
         let end = st.sched_free;
         st.exec.advance_makespan(end);
+        st.exec.record_broadcast(bytes, dests, start, end);
         let rep = st.exec.report_mut();
         rep.comm_s += t;
         rep.bytes_broadcast += bytes * dests.max(1) as u64;
@@ -259,6 +267,19 @@ impl DaskClient {
     pub fn note_phase(&self, phase: &str, start: f64, end: f64) {
         let mut st = self.inner.state.lock();
         st.exec.report_mut().push_phase(phase, start, end);
+    }
+
+    /// Start recording a typed event trace (carried in [`Self::report`]).
+    pub fn enable_trace(&self) {
+        self.inner.state.lock().exec.enable_trace();
+    }
+
+    /// Name the phase (and default task label) stamped onto subsequently
+    /// traced events.
+    pub fn set_phase(&self, phase: &str) {
+        let mut st = self.inner.state.lock();
+        st.exec.set_phase(phase);
+        st.exec.set_task_label(phase);
     }
 
     /// Current virtual frontier.

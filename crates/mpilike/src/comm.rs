@@ -1,7 +1,7 @@
 //! The SPMD communicator and runner.
 
 use crate::collective::Rendezvous;
-use netsim::{Cluster, SimReport};
+use netsim::{Cluster, EventKind, SimReport, Trace, TraceEvent};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use taskframe::{mpi_profile, EngineError, Payload};
@@ -15,6 +15,27 @@ struct Shared {
     compute_s: Mutex<f64>,
     bytes_broadcast: AtomicU64,
     bytes_shuffled: AtomicU64,
+    /// Typed event record. SPMD runs have few events (ranks × collectives),
+    /// so the trace is always on; it is sorted into virtual-time order
+    /// after the threads join and attached to the report.
+    trace: Mutex<Trace>,
+}
+
+impl Shared {
+    fn record(&self, core: usize, start_s: f64, end_s: f64, phase: &str, kind: EventKind) {
+        let mut trace = self.trace.lock();
+        let task = trace.next_id();
+        trace.record(TraceEvent {
+            task,
+            core,
+            start_s,
+            end_s: end_s.max(start_s),
+            killed: false,
+            ready_s: start_s,
+            phase: phase.to_string(),
+            kind,
+        });
+    }
 }
 
 /// Per-rank communicator handle.
@@ -23,6 +44,7 @@ pub struct Comm<'a> {
     world: usize,
     clock: f64,
     seq: u64,
+    phase: String,
     shared: &'a Shared,
 }
 
@@ -68,6 +90,7 @@ where
         compute_s: Mutex::new(0.0),
         bytes_broadcast: AtomicU64::new(0),
         bytes_shuffled: AtomicU64::new(0),
+        trace: Mutex::new(Trace::default()),
     };
 
     let mut results: Vec<Option<T>> = Vec::with_capacity(world);
@@ -84,6 +107,7 @@ where
                             world,
                             clock: profile.startup_s,
                             seq: 0,
+                            phase: String::new(),
                             shared,
                         };
                         let out = f(&mut comm);
@@ -117,6 +141,19 @@ where
             }
         }
     }
+    // Threads record trace events in host-scheduling order; sort into
+    // virtual-time order and renumber so runs are reproducible.
+    let mut trace = shared.trace.into_inner();
+    trace.events.sort_by(|a, b| {
+        a.start_s
+            .total_cmp(&b.start_s)
+            .then(a.end_s.total_cmp(&b.end_s))
+            .then(a.core.cmp(&b.core))
+            .then(a.kind.label().cmp(b.kind.label()))
+    });
+    for (i, e) in trace.events.iter_mut().enumerate() {
+        e.task = i;
+    }
     let report = SimReport {
         makespan_s: job_end,
         tasks: world,
@@ -125,6 +162,7 @@ where
         comm_s: shared.rendezvous.comm_seconds(),
         bytes_broadcast: shared.bytes_broadcast.load(Ordering::Relaxed),
         bytes_shuffled: shared.bytes_shuffled.load(Ordering::Relaxed),
+        trace: Some(trace),
         ..Default::default()
     };
     Ok(MpiRunOutput {
@@ -150,6 +188,11 @@ impl<'a> Comm<'a> {
         self.clock
     }
 
+    /// Name the phase stamped onto this rank's subsequent trace events.
+    pub fn set_phase(&mut self, phase: &str) {
+        self.phase = phase.to_string();
+    }
+
     fn node_of_rank(&self, rank: usize) -> usize {
         self.shared.cluster.node_of_core(rank)
     }
@@ -173,8 +216,19 @@ impl<'a> Comm<'a> {
         // collectives, everyone waiting on it — SPMD has no mitigation).
         let sim_s = self.shared.cluster.scale_compute(host_s)
             * self.shared.cluster.faults().slowdown(self.rank);
+        let start = self.clock;
         self.clock += sim_s;
         *self.shared.compute_s.lock() += sim_s;
+        self.shared.record(
+            self.rank,
+            start,
+            self.clock,
+            &self.phase,
+            EventKind::Task {
+                label: "compute".to_string(),
+                speculative: false,
+            },
+        );
         out
     }
 
@@ -232,6 +286,8 @@ impl<'a> Comm<'a> {
         let net = self.shared.cluster.profile.network;
         let nodes: Vec<usize> = (0..world).map(|r| self.node_of_rank(r)).collect();
         let bytes_counter = &self.shared.bytes_broadcast;
+        let shared = self.shared;
+        let phase = self.phase.clone();
         self.collective(value, move |clocks, mut inputs: Vec<Option<T>>| {
             let v = inputs[root]
                 .take()
@@ -244,13 +300,35 @@ impl<'a> Comm<'a> {
                 if r == root {
                     completion[r] = t0;
                 } else {
+                    let leg_start = t0 + elapsed;
                     elapsed += net.transfer_time(bytes, nodes[r] == nodes[root]);
                     completion[r] = t0 + elapsed;
                     bytes_counter.fetch_add(bytes, Ordering::Relaxed);
+                    shared.record(
+                        r,
+                        leg_start,
+                        completion[r],
+                        &phase,
+                        EventKind::Fetch {
+                            from_node: nodes[root],
+                            to_node: nodes[r],
+                            bytes,
+                        },
+                    );
                 }
             }
             // The root is done once its last send completes.
             completion[root] = t0 + elapsed;
+            shared.record(
+                root,
+                t0,
+                completion[root],
+                &phase,
+                EventKind::Broadcast {
+                    bytes,
+                    dest_nodes: world.saturating_sub(1),
+                },
+            );
             ((0..world).map(|_| v.clone()).collect(), completion)
         })
     }
@@ -266,6 +344,8 @@ impl<'a> Comm<'a> {
         let net = self.shared.cluster.profile.network;
         let nodes: Vec<usize> = (0..world).map(|r| self.node_of_rank(r)).collect();
         let bytes_counter = &self.shared.bytes_shuffled;
+        let shared = self.shared;
+        let phase = self.phase.clone();
         self.collective(parts, move |clocks, mut inputs: Vec<Option<Vec<T>>>| {
             let parts = inputs[root]
                 .take()
@@ -277,9 +357,21 @@ impl<'a> Comm<'a> {
             for (r, part) in parts.iter().enumerate() {
                 if r != root {
                     let bytes = part.wire_bytes();
+                    let leg_start = t0 + elapsed;
                     elapsed += net.transfer_time(bytes, nodes[r] == nodes[root]);
                     completion[r] = t0 + elapsed;
                     bytes_counter.fetch_add(bytes, Ordering::Relaxed);
+                    shared.record(
+                        r,
+                        leg_start,
+                        completion[r],
+                        &phase,
+                        EventKind::Fetch {
+                            from_node: nodes[root],
+                            to_node: nodes[r],
+                            bytes,
+                        },
+                    );
                 }
             }
             completion[root] = t0 + elapsed;
@@ -299,6 +391,8 @@ impl<'a> Comm<'a> {
         let net = self.shared.cluster.profile.network;
         let nodes: Vec<usize> = (0..world).map(|r| self.node_of_rank(r)).collect();
         let bytes_counter = &self.shared.bytes_shuffled;
+        let shared = self.shared;
+        let phase = self.phase.clone();
         self.collective(value, move |clocks, inputs: Vec<T>| {
             let t0 = clocks.iter().copied().fold(0.0, f64::max);
             let mut completion = vec![0.0; world];
@@ -306,9 +400,21 @@ impl<'a> Comm<'a> {
             for r in 0..world {
                 if r != root {
                     let bytes = inputs[r].wire_bytes();
+                    let leg_start = t0 + elapsed;
                     elapsed += net.transfer_time(bytes, nodes[r] == nodes[root]);
                     completion[r] = t0 + elapsed;
                     bytes_counter.fetch_add(bytes, Ordering::Relaxed);
+                    shared.record(
+                        r,
+                        leg_start,
+                        completion[r],
+                        &phase,
+                        EventKind::Fetch {
+                            from_node: nodes[r],
+                            to_node: nodes[root],
+                            bytes,
+                        },
+                    );
                 }
             }
             completion[root] = t0 + elapsed;

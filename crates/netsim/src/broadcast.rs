@@ -22,9 +22,14 @@ pub enum BroadcastAlgo {
     /// Binomial/torrent tree: ⌈log₂(dests+1)⌉ rounds of full transfers.
     Tree,
     /// Dask-style list-wise scatter: tree distribution of the payload plus
-    /// a fixed per-element handling cost at every destination.
+    /// a per-element handling cost. Every destination pays the tax, but
+    /// the destinations unpack *concurrently*, so the wall-clock charge is
+    /// the per-destination maximum — `items × per_item_s` counted once,
+    /// independent of `dest_nodes` (the destination count shows up in the
+    /// distribution term instead).
     ListWise {
-        /// Seconds of per-element overhead charged at each destination.
+        /// Seconds of per-element overhead charged at each destination
+        /// (concurrent across destinations — charged once in wall-clock).
         per_item_s: f64,
     },
 }
@@ -65,6 +70,9 @@ pub fn broadcast_time(
             } else {
                 ((dest_nodes + 1) as f64).log2().ceil() * one
             };
+            // Per-element handling happens at every destination, but the
+            // destinations unpack in parallel: the wall-clock cost is the
+            // max over destinations, i.e. one `items × per_item_s` term.
             distribute + items as f64 * per_item_s
         }
     }
@@ -108,6 +116,24 @@ mod tests {
         // For large element counts the per-item tax dominates the wire time:
         let tree = broadcast_time(&net(), BroadcastAlgo::Tree, 1 << 20, 1_000_000, 2);
         assert!(many > 5.0 * tree);
+    }
+
+    #[test]
+    fn listwise_per_item_tax_is_wall_clock_not_per_destination() {
+        // Destinations unpack concurrently: adding destinations grows only
+        // the (log-shaped) distribution term, never the per-item term.
+        let per_item_s = 1e-3;
+        let algo = BroadcastAlgo::ListWise { per_item_s };
+        let items = 10_000u64;
+        let tax = items as f64 * per_item_s;
+        for dest_nodes in [1usize, 3, 7, 15] {
+            let listwise = broadcast_time(&net(), algo, 1 << 20, items, dest_nodes);
+            let tree = broadcast_time(&net(), BroadcastAlgo::Tree, 1 << 20, items, dest_nodes);
+            assert!(
+                (listwise - tree - tax).abs() < 1e-9,
+                "per-item tax must be charged exactly once at {dest_nodes} dests"
+            );
+        }
     }
 
     #[test]

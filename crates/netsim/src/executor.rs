@@ -2,7 +2,7 @@
 
 use crate::cluster::Cluster;
 use crate::report::SimReport;
-use crate::trace::Trace;
+use crate::trace::{EventKind, Trace, TraceEvent};
 
 /// Where and when a simulated task ran.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -33,11 +33,13 @@ pub struct TaskOpts {
     /// Never place on this core (a speculative backup avoids the core the
     /// original attempt runs on).
     pub avoid_core: Option<usize>,
-    /// Speculative-execution bound: if the chosen core's straggler
-    /// slowdown would push the effective duration past
-    /// `cap + dur` (detection at `cap`, then a fresh backup run of `dur`
-    /// elsewhere), the backup wins and the effective duration becomes
-    /// `cap + dur`. Counted as a retry.
+    /// Speculative-execution bound: an attempt observed still running at
+    /// `start + cap` gets a backup copy launched on another core (chosen
+    /// by the scheduler, avoiding the straggler's core). The backup
+    /// *occupies* that core; the earlier finisher wins and the loser is
+    /// killed (and shows in the trace as a killed attempt). If no other
+    /// core is free — or the backup would not finish earlier — no backup
+    /// is launched and the straggler runs to completion.
     pub speculation_cap: Option<f64>,
 }
 
@@ -54,13 +56,20 @@ pub struct TaskOpts {
 /// time: cores on a node that has already died are never chosen, straggler
 /// cores stretch task durations, and an attempt whose interval crosses its
 /// node's death time comes back as [`TaskAttempt::Killed`].
+///
+/// When tracing is enabled ([`Self::enable_trace`]) every placement is
+/// recorded as a typed [`TraceEvent`] stamped with the current phase
+/// ([`Self::set_phase`]) and task label ([`Self::set_task_label`]); engines
+/// additionally record network-side events via [`Self::record_fetch`],
+/// [`Self::record_broadcast`] and [`Self::record_recovery`]. The trace
+/// lives inside the [`SimReport`] so it survives `report()` clones.
 #[derive(Clone, Debug)]
 pub struct SimExecutor {
     cluster: Cluster,
     core_free: Vec<f64>,
     report: SimReport,
-    trace: Option<Trace>,
-    next_trace_id: usize,
+    phase: String,
+    task_label: String,
 }
 
 impl SimExecutor {
@@ -70,21 +79,36 @@ impl SimExecutor {
             cluster,
             core_free: vec![0.0; cores],
             report: SimReport::default(),
-            trace: None,
-            next_trace_id: 0,
+            phase: String::new(),
+            task_label: "task".into(),
         }
     }
 
-    /// Start recording a schedule trace (per-task placements).
+    /// Start recording a schedule trace (typed per-event records).
     pub fn enable_trace(&mut self) {
-        if self.trace.is_none() {
-            self.trace = Some(Trace::default());
+        if self.report.trace.is_none() {
+            self.report.trace = Some(Trace::default());
         }
     }
 
     /// The recorded trace, if tracing was enabled.
     pub fn trace(&self) -> Option<&Trace> {
-        self.trace.as_ref()
+        self.report.trace.as_ref()
+    }
+
+    /// Set the phase name stamped onto subsequently recorded events.
+    pub fn set_phase(&mut self, phase: &str) {
+        self.phase = phase.to_string();
+    }
+
+    /// Set the label stamped onto subsequently placed task attempts.
+    pub fn set_task_label(&mut self, label: &str) {
+        self.task_label = label.to_string();
+    }
+
+    /// The label currently stamped onto placed task attempts.
+    pub fn task_label(&self) -> &str {
+        &self.task_label
     }
 
     pub fn cluster(&self) -> &Cluster {
@@ -99,8 +123,9 @@ impl SimExecutor {
     }
 
     /// Greedy core choice: earliest start, ties to the lowest id, skipping
-    /// cores whose node is dead by the time the task could start.
-    fn pick_core(&self, ready: f64, avoid: Option<usize>) -> (usize, f64) {
+    /// cores whose node is dead by the time the task could start. `None`
+    /// when no eligible core survives.
+    fn try_pick_core(&self, ready: f64, avoid: Option<usize>) -> Option<(usize, f64)> {
         let mut best: Option<(usize, f64)> = None;
         for (c, &free) in self.core_free.iter().enumerate() {
             if Some(c) == avoid {
@@ -119,7 +144,12 @@ impl SimExecutor {
                 }
             }
         }
-        best.expect("no surviving core can run the task (all nodes dead)")
+        best
+    }
+
+    fn pick_core(&self, ready: f64, avoid: Option<usize>) -> (usize, f64) {
+        self.try_pick_core(ready, avoid)
+            .expect("no surviving core can run the task (all nodes dead)")
     }
 
     /// Schedule a task on the best core, retrying transparently until an
@@ -149,36 +179,53 @@ impl SimExecutor {
     pub fn run_task_attempt_with(&mut self, ready: f64, dur: f64, opts: TaskOpts) -> TaskAttempt {
         assert!(dur >= 0.0 && ready >= 0.0, "negative time");
         let (core, start) = self.pick_core(ready, opts.avoid_core);
-        let mut eff = dur * self.cluster.faults().slowdown(core);
+        let eff = dur * self.cluster.faults().slowdown(core);
+        let orig_end = start + eff;
+        let death = self.death_of(core).filter(|&d| orig_end > d);
+
+        // Speculative execution: the scheduler notices the attempt still
+        // running at `start + cap` and launches a fresh copy of `dur` on
+        // another core — which it genuinely occupies. The earlier finisher
+        // wins; the loser is killed where it stands. A backup only
+        // launches if the original is still alive at detection time and a
+        // core exists on which the copy would finish earlier.
         if let Some(cap) = opts.speculation_cap {
-            // A backup attempt is launched once the task exceeds `cap`
-            // and finishes a fresh run of `dur` on another core; the
-            // earlier finisher wins (Spark kills the loser).
-            let backup_done = cap + dur;
-            if eff > backup_done {
-                eff = backup_done;
-                self.report.retries += 1;
-            }
-        }
-        if let Some(died_at) = self.death_of(core) {
-            if start + eff > died_at {
-                // Killed mid-task: the core was busy until the death and
-                // that work is lost.
-                self.core_free[core] = died_at;
-                self.report.lost_time_s += died_at - start;
-                if let Some(trace) = &mut self.trace {
-                    let id = self.next_trace_id;
-                    self.next_trace_id += 1;
-                    trace.push_killed(id, core, start, died_at);
+            let detect = start + cap;
+            let alive_at_detect = death.is_none_or(|d| d > detect);
+            if eff > cap && alive_at_detect {
+                if let Some((bcore, bstart)) = self.try_pick_core(detect, Some(core)) {
+                    let bdur = dur * self.cluster.faults().slowdown(bcore);
+                    let bend = bstart + bdur;
+                    let backup_survives = self.death_of(bcore).is_none_or(|d| bend <= d);
+                    if backup_survives && bend < orig_end {
+                        // Original killed when the backup finishes (or its
+                        // node dies first — whichever comes sooner).
+                        let orig_stop = death.map_or(bend, |d| d.min(bend));
+                        self.core_free[core] = orig_stop;
+                        self.report.lost_time_s += orig_stop - start;
+                        self.report.retries += 1;
+                        self.record_task_event(core, ready, start, orig_stop, true, false);
+                        return TaskAttempt::Done(
+                            self.place_attempt(bcore, detect, bstart, bdur, true),
+                        );
+                    }
                 }
-                return TaskAttempt::Killed {
-                    core,
-                    start,
-                    died_at,
-                };
             }
         }
-        TaskAttempt::Done(self.place(core, start, eff))
+
+        if let Some(died_at) = death {
+            // Killed mid-task: the core was busy until the death and
+            // that work is lost.
+            self.core_free[core] = died_at;
+            self.report.lost_time_s += died_at - start;
+            self.record_task_event(core, ready, start, died_at, true, false);
+            return TaskAttempt::Killed {
+                core,
+                start,
+                died_at,
+            };
+        }
+        TaskAttempt::Done(self.place(core, ready, start, eff))
     }
 
     /// Schedule a task on a specific core (SPMD rank pinning). Straggler
@@ -195,7 +242,7 @@ impl SimExecutor {
                 "pinned core {core} dies at {died_at}s mid-task"
             );
         }
-        self.place(core, start, eff)
+        self.place(core, ready, start, eff)
     }
 
     /// The core the `k`-th task of a batch released at time `at` will land
@@ -219,18 +266,143 @@ impl SimExecutor {
         order[k % order.len()].1
     }
 
-    fn place(&mut self, core: usize, start: f64, dur: f64) -> TaskPlacement {
+    fn place(&mut self, core: usize, ready: f64, start: f64, dur: f64) -> TaskPlacement {
+        self.place_attempt(core, ready, start, dur, false)
+    }
+
+    fn place_attempt(
+        &mut self,
+        core: usize,
+        ready: f64,
+        start: f64,
+        dur: f64,
+        speculative: bool,
+    ) -> TaskPlacement {
         let end = start + dur;
         self.core_free[core] = end;
-        if let Some(trace) = &mut self.trace {
-            let id = self.next_trace_id;
-            self.next_trace_id += 1;
-            trace.push(id, core, start, end);
-        }
+        self.record_task_event(core, ready, start, end, false, speculative);
         self.report.tasks += 1;
         self.report.compute_s += dur;
         self.report.makespan_s = self.report.makespan_s.max(end);
         TaskPlacement { core, start, end }
+    }
+
+    fn record_task_event(
+        &mut self,
+        core: usize,
+        ready: f64,
+        start: f64,
+        end: f64,
+        killed: bool,
+        speculative: bool,
+    ) {
+        if let Some(trace) = &mut self.report.trace {
+            trace.record(TraceEvent {
+                task: trace.next_id(),
+                core,
+                start_s: start,
+                end_s: end,
+                killed,
+                ready_s: ready.min(start),
+                phase: self.phase.clone(),
+                kind: EventKind::Task {
+                    label: self.task_label.clone(),
+                    speculative,
+                },
+            });
+        }
+    }
+
+    fn record_network_event(
+        &mut self,
+        kind: EventKind,
+        track: usize,
+        start_s: f64,
+        end_s: f64,
+        killed: bool,
+    ) {
+        if let Some(trace) = &mut self.report.trace {
+            trace.record(TraceEvent {
+                task: trace.next_id(),
+                core: track,
+                start_s,
+                end_s: end_s.max(start_s),
+                killed,
+                ready_s: start_s,
+                phase: self.phase.clone(),
+                kind,
+            });
+        }
+    }
+
+    /// Record a point-to-point transfer (shuffle fetch, staging, gather
+    /// leg). No core is occupied. No-op unless tracing is enabled.
+    pub fn record_fetch(
+        &mut self,
+        from_node: usize,
+        to_node: usize,
+        bytes: u64,
+        start_s: f64,
+        end_s: f64,
+    ) {
+        self.record_network_event(
+            EventKind::Fetch {
+                from_node,
+                to_node,
+                bytes,
+            },
+            to_node,
+            start_s,
+            end_s,
+            false,
+        );
+    }
+
+    /// Record a transfer lost on the wire (paid for, then re-sent).
+    pub fn record_fetch_lost(
+        &mut self,
+        from_node: usize,
+        to_node: usize,
+        bytes: u64,
+        start_s: f64,
+        end_s: f64,
+    ) {
+        self.record_network_event(
+            EventKind::Fetch {
+                from_node,
+                to_node,
+                bytes,
+            },
+            to_node,
+            start_s,
+            end_s,
+            true,
+        );
+    }
+
+    /// Record one broadcast round to `dest_nodes` destinations.
+    pub fn record_broadcast(&mut self, bytes: u64, dest_nodes: usize, start_s: f64, end_s: f64) {
+        self.record_network_event(
+            EventKind::Broadcast { bytes, dest_nodes },
+            0,
+            start_s,
+            end_s,
+            false,
+        );
+    }
+
+    /// Record a recovery window (failure detection, re-enqueue, recompute
+    /// dispatch) labelled for critical-path attribution.
+    pub fn record_recovery(&mut self, label: &str, start_s: f64, end_s: f64) {
+        self.record_network_event(
+            EventKind::Recovery {
+                label: label.to_string(),
+            },
+            0,
+            start_s,
+            end_s,
+            false,
+        );
     }
 
     /// Virtual time when every core is idle again.
@@ -354,6 +526,34 @@ mod tests {
     }
 
     #[test]
+    fn trace_events_carry_phase_and_label() {
+        let mut e = exec(1);
+        e.enable_trace();
+        e.set_phase("edge-discovery");
+        e.set_task_label("strip");
+        e.run_task(0.5, 1.0);
+        let ev = &e.trace().unwrap().events[0];
+        assert_eq!(ev.phase, "edge-discovery");
+        assert_eq!(ev.kind.label(), "strip");
+        assert_eq!(ev.ready_s, 0.5);
+    }
+
+    #[test]
+    fn network_events_record_without_occupying_cores() {
+        let mut e = exec(1);
+        e.enable_trace();
+        e.run_task(0.0, 1.0);
+        e.record_fetch(0, 1, 4096, 1.0, 1.5);
+        e.record_broadcast(1024, 2, 0.0, 0.25);
+        e.record_recovery("recompute", 1.0, 1.25);
+        let t = e.trace().unwrap();
+        assert_eq!(t.events.len(), 4);
+        assert_eq!(e.core_free_at(0), 1.0, "network events hold no core");
+        // The trace lives in the report, so clones keep it.
+        assert!(e.report().trace.is_some());
+    }
+
+    #[test]
     fn advance_makespan_only_grows() {
         let mut e = exec(1);
         e.run_task(0.0, 2.0);
@@ -423,9 +623,12 @@ mod tests {
     }
 
     #[test]
-    fn speculation_cap_bounds_straggler_and_counts_retry() {
+    fn speculative_backup_occupies_its_core_and_kills_the_straggler() {
+        // 2 cores, core 0 slowed 10×. Cap 2.0: detected at t=2, backup
+        // runs [2, 3) on core 1 and wins; the original is killed at t=3.
         let plan = FaultPlan::none().slow_core(0, 10.0);
-        let mut capped = faulty(1, 1, plan.clone());
+        let mut capped = faulty(2, 1, plan.clone());
+        capped.enable_trace();
         let got = capped.run_task_attempt_with(
             0.0,
             1.0,
@@ -436,18 +639,76 @@ mod tests {
         );
         match got {
             TaskAttempt::Done(p) => {
-                // Detected at 2.0, backup reruns 1.0 elsewhere: done at 3.0
-                // instead of the straggler's 10.0.
+                assert_eq!(p.core, 1, "backup avoids the straggler core");
+                assert_eq!(p.start, 2.0, "backup launches at detection time");
                 assert_eq!(p.end, 3.0);
             }
             other => panic!("expected completion, got {other:?}"),
         }
         assert_eq!(capped.report().retries, 1, "the backup attempt is a retry");
+        // Both cores were genuinely occupied: the straggler until its kill,
+        // the backup until it finished.
+        assert_eq!(capped.core_free_at(0), 3.0);
+        assert_eq!(capped.core_free_at(1), 3.0);
+        assert_eq!(capped.report().lost_time_s, 3.0);
+        let t = capped.trace().unwrap();
+        assert_eq!(t.events.len(), 2, "both attempts appear in the trace");
+        assert!(t.events[0].killed, "the losing original is killed");
+        let EventKind::Task { speculative, .. } = &t.events[1].kind else {
+            panic!("expected a task event");
+        };
+        assert!(*speculative, "the winner is marked speculative");
 
-        let mut uncapped = faulty(1, 1, plan);
+        let mut uncapped = faulty(2, 1, plan);
         let p = uncapped.run_task(0.0, 1.0);
         assert_eq!(p.end, 10.0);
         assert_eq!(uncapped.report().retries, 0);
+    }
+
+    #[test]
+    fn speculation_without_a_spare_core_runs_to_completion() {
+        // Single core: there is nowhere to launch a backup, so the
+        // straggler finishes at its stretched duration and no phantom
+        // retry is counted.
+        let mut e = faulty(1, 1, FaultPlan::none().slow_core(0, 10.0));
+        let got = e.run_task_attempt_with(
+            0.0,
+            1.0,
+            TaskOpts {
+                speculation_cap: Some(2.0),
+                ..Default::default()
+            },
+        );
+        match got {
+            TaskAttempt::Done(p) => assert_eq!(p.end, 10.0),
+            other => panic!("expected completion, got {other:?}"),
+        }
+        assert_eq!(e.report().retries, 0);
+    }
+
+    #[test]
+    fn backup_only_launches_when_it_would_finish_earlier() {
+        // Core 1 is slower than the remaining straggler time: launching a
+        // backup there would lose, so none launches.
+        let plan = FaultPlan::none().slow_core(0, 3.0).slow_core(1, 10.0);
+        let mut e = faulty(2, 1, plan);
+        let got = e.run_task_attempt_with(
+            0.0,
+            1.0,
+            TaskOpts {
+                speculation_cap: Some(2.0),
+                ..Default::default()
+            },
+        );
+        match got {
+            TaskAttempt::Done(p) => {
+                assert_eq!(p.core, 0);
+                assert_eq!(p.end, 3.0);
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        assert_eq!(e.report().retries, 0);
+        assert_eq!(e.core_free_at(1), 0.0, "no phantom backup occupancy");
     }
 
     #[test]

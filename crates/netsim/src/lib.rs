@@ -15,17 +15,22 @@
 //! cleanly to 256 virtual cores regardless of host core count.
 
 pub mod broadcast;
+pub mod chrome;
 pub mod clock;
 pub mod cluster;
+pub mod critical;
 pub mod executor;
 pub mod fault;
+pub mod metrics;
 pub mod report;
 pub mod trace;
 
 pub use broadcast::{broadcast_time, BroadcastAlgo};
 pub use clock::{measure, measure_scaled};
 pub use cluster::{comet, laptop, wrangler, Cluster, MachineProfile, NetworkModel};
+pub use critical::{CpSegment, CriticalPath};
 pub use executor::{SimExecutor, TaskAttempt, TaskOpts, TaskPlacement};
 pub use fault::{FaultPlan, NodeDeath, Straggler};
+pub use metrics::{Histogram, Metrics, NodeTraffic, PhaseShare};
 pub use report::{Phase, SimReport};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{EventKind, Trace, TraceEvent};

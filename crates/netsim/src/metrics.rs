@@ -1,0 +1,420 @@
+//! Post-run metric summaries derived from a [`SimReport`] and its trace.
+//!
+//! Where [`SimReport`] accumulates totals *during* a run, [`Metrics`] is
+//! computed *after* one: per-phase time shares, per-node traffic, and
+//! latency histograms — the numbers a performance investigation reaches
+//! for first (cf. the per-rank compute/I-O/communication breakdowns in
+//! Khoshlessan et al., arXiv:1907.00097).
+
+use crate::report::SimReport;
+use crate::trace::EventKind;
+
+/// Fixed-bucket log₂ histogram for virtual-time latencies. Buckets are
+/// powers of two starting at 1 µs (bucket 0 holds everything below);
+/// recording is O(1) and quantiles are bucket-upper-bound approximations —
+/// exact enough to tell a 50 µs dispatch gap from a 5 ms one.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+const HIST_BASE_S: f64 = 1e-6;
+const HIST_BUCKETS: usize = 40; // up to ~5.5e5 s in the last regular bucket
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: 0.0,
+        }
+    }
+}
+
+impl Histogram {
+    pub fn record(&mut self, v: f64) {
+        let v = v.max(0.0);
+        let b = if v < HIST_BASE_S {
+            0
+        } else {
+            ((v / HIST_BASE_S).log2().floor() as usize + 1).min(HIST_BUCKETS - 1)
+        };
+        self.counts[b] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Approximate quantile: the upper bound of the first bucket at which
+    /// the cumulative count reaches `q × count` (clamped to the observed
+    /// max).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let upper = HIST_BASE_S * 2f64.powi(b as i32);
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean_s\":{},\"min_s\":{},\"max_s\":{},\"p50_s\":{},\"p90_s\":{},\"p99_s\":{}}}",
+            self.count,
+            json_num(self.mean()),
+            json_num(self.min()),
+            json_num(self.max()),
+            json_num(self.quantile(0.50)),
+            json_num(self.quantile(0.90)),
+            json_num(self.quantile(0.99)),
+        )
+    }
+}
+
+/// Total time and share-of-makespan of one named phase.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseShare {
+    pub name: String,
+    pub total_s: f64,
+    /// `total_s / makespan_s` — shares can exceed 1.0 summed, since phases
+    /// overlap (a shuffle runs inside a stage).
+    pub share: f64,
+}
+
+/// Bytes entering and leaving one node over the network, from the trace's
+/// fetch and broadcast events. Broadcast payloads are counted as egress
+/// from the root only (destination fan-out is algorithm-internal).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NodeTraffic {
+    pub node: usize,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+}
+
+/// Post-run summary of one [`SimReport`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metrics {
+    pub makespan_s: f64,
+    pub tasks: usize,
+    /// Useful (non-killed) task time / (cores × makespan); falls back to
+    /// `compute_s` when no trace was recorded.
+    pub utilization: f64,
+    /// Occupied core time including killed attempts (trace only; equals
+    /// `utilization` without a trace).
+    pub busy_fraction: f64,
+    /// Phase totals in first-appearance order.
+    pub phases: Vec<PhaseShare>,
+    /// Per-node traffic, for nodes that moved any bytes.
+    pub nodes: Vec<NodeTraffic>,
+    /// Task queue wait: `start_s - ready_s` per completed task attempt.
+    pub queue_wait: Histogram,
+    /// Driver/scheduler dispatch cadence: gaps between consecutive task
+    /// release times — a serialized dispatcher shows its per-task cost
+    /// here (Fig. 2's throughput caps, seen per-task).
+    pub dispatch_latency: Histogram,
+}
+
+impl Metrics {
+    pub fn from_report(report: &SimReport, n_cores: usize) -> Metrics {
+        let makespan = report.makespan_s;
+        // Phase totals, first-appearance order.
+        let mut order: Vec<String> = Vec::new();
+        for p in &report.phases {
+            if !order.contains(&p.name) {
+                order.push(p.name.clone());
+            }
+        }
+        let phases = order
+            .into_iter()
+            .map(|name| {
+                let total_s = report.phase_total(&name).unwrap_or(0.0);
+                PhaseShare {
+                    share: if makespan > 0.0 {
+                        total_s / makespan
+                    } else {
+                        0.0
+                    },
+                    name,
+                    total_s,
+                }
+            })
+            .collect();
+
+        let mut queue_wait = Histogram::default();
+        let mut dispatch_latency = Histogram::default();
+        let mut traffic: Vec<NodeTraffic> = Vec::new();
+        let bump = |node: usize, inb: u64, outb: u64, traffic: &mut Vec<NodeTraffic>| {
+            if let Some(t) = traffic.iter_mut().find(|t| t.node == node) {
+                t.bytes_in += inb;
+                t.bytes_out += outb;
+            } else {
+                traffic.push(NodeTraffic {
+                    node,
+                    bytes_in: inb,
+                    bytes_out: outb,
+                });
+            }
+        };
+        let (utilization, busy_fraction) = match &report.trace {
+            Some(trace) => {
+                let mut releases: Vec<f64> = Vec::new();
+                for e in &trace.events {
+                    match &e.kind {
+                        EventKind::Task { .. } => {
+                            if !e.killed {
+                                queue_wait.record(e.start_s - e.ready_s);
+                                releases.push(e.ready_s);
+                            }
+                        }
+                        EventKind::Fetch {
+                            from_node,
+                            to_node,
+                            bytes,
+                        } => {
+                            bump(*from_node, 0, *bytes, &mut traffic);
+                            bump(*to_node, *bytes, 0, &mut traffic);
+                        }
+                        EventKind::Broadcast { bytes, .. } => {
+                            bump(0, 0, *bytes, &mut traffic);
+                        }
+                        EventKind::Recovery { .. } => {}
+                    }
+                }
+                releases.sort_by(f64::total_cmp);
+                for w in releases.windows(2) {
+                    dispatch_latency.record(w[1] - w[0]);
+                }
+                (trace.utilization(n_cores), trace.busy_fraction(n_cores))
+            }
+            None => {
+                let u = if makespan > 0.0 && n_cores > 0 {
+                    report.compute_s / (n_cores as f64 * makespan)
+                } else {
+                    0.0
+                };
+                (u, u)
+            }
+        };
+        traffic.sort_by_key(|t| t.node);
+        Metrics {
+            makespan_s: makespan,
+            tasks: report.tasks,
+            utilization,
+            busy_fraction,
+            phases,
+            nodes: traffic,
+            queue_wait,
+            dispatch_latency,
+        }
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "makespan {:.4}s · {} tasks · utilization {:.1}% (busy {:.1}%)\n",
+            self.makespan_s,
+            self.tasks,
+            100.0 * self.utilization,
+            100.0 * self.busy_fraction
+        ));
+        for p in &self.phases {
+            out.push_str(&format!(
+                "  phase {:<22} {:>9.4}s  {:>5.1}%\n",
+                p.name,
+                p.total_s,
+                100.0 * p.share
+            ));
+        }
+        for n in &self.nodes {
+            out.push_str(&format!(
+                "  node {:<3} in {:>12} B  out {:>12} B\n",
+                n.node, n.bytes_in, n.bytes_out
+            ));
+        }
+        if self.queue_wait.count() > 0 {
+            out.push_str(&format!(
+                "  queue wait      p50 {:.6}s  p90 {:.6}s  max {:.6}s\n",
+                self.queue_wait.quantile(0.5),
+                self.queue_wait.quantile(0.9),
+                self.queue_wait.max()
+            ));
+        }
+        if self.dispatch_latency.count() > 0 {
+            out.push_str(&format!(
+                "  dispatch gap    p50 {:.6}s  p90 {:.6}s  max {:.6}s\n",
+                self.dispatch_latency.quantile(0.5),
+                self.dispatch_latency.quantile(0.9),
+                self.dispatch_latency.max()
+            ));
+        }
+        out
+    }
+
+    /// JSON object (hand-rolled — the workspace carries no serde).
+    pub fn to_json(&self) -> String {
+        let phases: Vec<String> = self
+            .phases
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"name\":\"{}\",\"total_s\":{},\"share\":{}}}",
+                    escape_json(&p.name),
+                    json_num(p.total_s),
+                    json_num(p.share)
+                )
+            })
+            .collect();
+        let nodes: Vec<String> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                format!(
+                    "{{\"node\":{},\"bytes_in\":{},\"bytes_out\":{}}}",
+                    n.node, n.bytes_in, n.bytes_out
+                )
+            })
+            .collect();
+        format!(
+            "{{\"makespan_s\":{},\"tasks\":{},\"utilization\":{},\"busy_fraction\":{},\"phases\":[{}],\"nodes\":[{}],\"queue_wait\":{},\"dispatch_latency\":{}}}",
+            json_num(self.makespan_s),
+            self.tasks,
+            json_num(self.utilization),
+            json_num(self.busy_fraction),
+            phases.join(","),
+            nodes.join(","),
+            self.queue_wait.to_json(),
+            self.dispatch_latency.to_json(),
+        )
+    }
+}
+
+/// Finite JSON number (JSON has no NaN/Inf; those map to 0).
+pub(crate) fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".into()
+    }
+}
+
+/// Escape a string for a JSON literal.
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{laptop, Cluster};
+    use crate::executor::SimExecutor;
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let mut h = Histogram::default();
+        for _ in 0..90 {
+            h.record(1e-4);
+        }
+        for _ in 0..10 {
+            h.record(1e-2);
+        }
+        assert_eq!(h.count(), 100);
+        assert!(h.quantile(0.5) >= 1e-4 && h.quantile(0.5) < 1e-3);
+        assert!(h.quantile(0.99) >= 1e-2 - 1e-12);
+        assert!((h.mean() - (90.0 * 1e-4 + 10.0 * 1e-2) / 100.0).abs() < 1e-12);
+        assert_eq!(Histogram::default().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn metrics_from_traced_run() {
+        let mut profile = laptop();
+        profile.cores_per_node = 2;
+        let mut e = SimExecutor::new(Cluster::new(profile, 1));
+        e.enable_trace();
+        e.run_task(0.0, 1.0);
+        e.run_task(0.5, 1.0);
+        e.record_fetch(0, 1, 1000, 1.0, 1.25);
+        e.record_broadcast(500, 2, 0.0, 0.1);
+        e.report_mut().push_phase("map", 0.0, 1.5);
+        let m = Metrics::from_report(e.report(), 2);
+        assert_eq!(m.tasks, 2);
+        assert!((m.utilization - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.phases.len(), 1);
+        assert_eq!(m.phases[0].name, "map");
+        assert_eq!(m.queue_wait.count(), 2);
+        assert_eq!(m.dispatch_latency.count(), 1);
+        // node 0: broadcast 500 out + fetch 1000 out; node 1: 1000 in.
+        assert_eq!(m.nodes[0].bytes_out, 1500);
+        assert_eq!(m.nodes[1].bytes_in, 1000);
+        let json = m.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"phases\":[{\"name\":\"map\""));
+        assert!(m.render().contains("phase map"));
+    }
+
+    #[test]
+    fn metrics_without_trace_falls_back_to_compute_share() {
+        let mut e = SimExecutor::new(Cluster::new(laptop(), 1));
+        e.run_task(0.0, 4.0);
+        let m = Metrics::from_report(e.report(), 8);
+        assert!((m.utilization - 4.0 / (8.0 * 4.0)).abs() < 1e-12);
+        assert_eq!(m.utilization, m.busy_fraction);
+        assert_eq!(m.queue_wait.count(), 0);
+    }
+
+    #[test]
+    fn escape_json_handles_specials() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_num(f64::NAN), "0");
+    }
+}

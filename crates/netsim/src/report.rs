@@ -1,5 +1,7 @@
 //! Execution reports: what an experiment run measures.
 
+use crate::trace::Trace;
+
 /// A named interval of the simulated run (e.g. "broadcast",
 /// "edge-discovery", "connected-components"). Fig. 8's broadcast/runtime
 /// breakdown is a two-phase report.
@@ -44,6 +46,10 @@ pub struct SimReport {
     /// task attempts.
     pub lost_time_s: f64,
     pub phases: Vec<Phase>,
+    /// The recorded event schedule, when tracing was enabled on the
+    /// executor (or always, for engines whose event count is small). Lives
+    /// in the report so it survives every engine's `report()` clone path.
+    pub trace: Option<Trace>,
 }
 
 impl SimReport {

@@ -1,48 +1,142 @@
-//! Execution traces: an optional per-task record of the simulated
-//! schedule, renderable as a text Gantt chart — the visibility tool for
-//! debugging framework scheduling behaviour (stage barriers, stragglers,
-//! dispatch serialization).
+//! Execution traces: an optional typed record of the simulated schedule.
+//!
+//! Every interesting simulated occurrence — a task attempt, a shuffle
+//! fetch, a broadcast round, a lineage recompute — becomes one
+//! [`TraceEvent`] with a start/end interval in virtual time, the phase it
+//! belongs to, and a typed [`EventKind`] payload. The trace renders as a
+//! text Gantt chart, exports to CSV (round-trippable) and to
+//! Chrome-trace/Perfetto JSON (see [`crate::chrome`]), and feeds the
+//! [`crate::Metrics`] summary and [`crate::CriticalPath`] analysis — the
+//! visibility tools for debugging framework scheduling behaviour (stage
+//! barriers, stragglers, dispatch serialization, broadcast cost).
 
-/// One scheduled task instance.
+/// What a trace event records. Only `Task` events occupy a core; the
+/// other kinds live on the network/driver timelines.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// A task attempt executing on a core. `speculative` marks backup
+    /// attempts launched by speculative execution.
+    Task { label: String, speculative: bool },
+    /// A point-to-point transfer (shuffle fetch, staging, gather leg).
+    /// A `killed` fetch event is one lost on the wire and re-sent.
+    Fetch {
+        from_node: usize,
+        to_node: usize,
+        bytes: u64,
+    },
+    /// One broadcast round from the driver to `dest_nodes` destinations.
+    Broadcast { bytes: u64, dest_nodes: usize },
+    /// Recovery work outside normal task placement (lineage recompute
+    /// dispatch, DB re-enqueue, failure detection window).
+    Recovery { label: String },
+}
+
+impl EventKind {
+    /// Stable label used by the Gantt legend, CSV `kind` column,
+    /// Chrome-trace `name`, and critical-path attribution.
+    pub fn label(&self) -> &str {
+        match self {
+            EventKind::Task { label, .. } => label,
+            EventKind::Fetch { .. } => "fetch",
+            EventKind::Broadcast { .. } => "broadcast",
+            EventKind::Recovery { label } => label,
+        }
+    }
+
+    /// CSV/JSON discriminant.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            EventKind::Task { .. } => "task",
+            EventKind::Fetch { .. } => "fetch",
+            EventKind::Broadcast { .. } => "broadcast",
+            EventKind::Recovery { .. } => "recovery",
+        }
+    }
+}
+
+/// One scheduled occurrence in the simulated run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TraceEvent {
+    /// Monotonic id in record order (re-assigned to sorted order by
+    /// engines that record from several threads).
     pub task: usize,
+    /// Core id for `Task` events; a track hint (e.g. destination node or
+    /// rank) for non-task events, which do not occupy the core.
     pub core: usize,
     pub start_s: f64,
     pub end_s: f64,
-    /// True if this attempt was cut short by a node death (its interval
-    /// ends at the death time, and the work was lost).
+    /// True if this attempt was cut short (node death, speculative loser)
+    /// or, for a fetch, lost on the wire — the interval's work was wasted.
     pub killed: bool,
+    /// When the event *could* have started (task release time). The gap
+    /// `start_s - ready_s` is queue wait.
+    pub ready_s: f64,
+    /// Owning phase ("broadcast", "edge-discovery", …); empty when the
+    /// engine did not declare one.
+    pub phase: String,
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Only task attempts hold a core busy; fetches/broadcasts/recovery
+    /// windows overlap freely with task execution.
+    pub fn occupies_core(&self) -> bool {
+        matches!(self.kind, EventKind::Task { .. })
+    }
 }
 
 /// A recorded schedule.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Trace {
     pub events: Vec<TraceEvent>,
 }
 
 impl Trace {
+    /// Record a completed plain task attempt (compatibility shim around
+    /// [`Self::record`]).
     pub fn push(&mut self, task: usize, core: usize, start_s: f64, end_s: f64) {
-        debug_assert!(end_s >= start_s);
-        self.events.push(TraceEvent {
+        self.record(TraceEvent {
             task,
             core,
             start_s,
             end_s,
             killed: false,
+            ready_s: start_s,
+            phase: String::new(),
+            kind: EventKind::Task {
+                label: "task".into(),
+                speculative: false,
+            },
         });
     }
 
     /// Record a task attempt killed by a node death at `died_at`.
     pub fn push_killed(&mut self, task: usize, core: usize, start_s: f64, died_at: f64) {
-        debug_assert!(died_at >= start_s);
-        self.events.push(TraceEvent {
+        self.record(TraceEvent {
             task,
             core,
             start_s,
             end_s: died_at,
             killed: true,
+            ready_s: start_s,
+            phase: String::new(),
+            kind: EventKind::Task {
+                label: "task".into(),
+                speculative: false,
+            },
         });
+    }
+
+    /// Record an arbitrary typed event.
+    pub fn record(&mut self, e: TraceEvent) {
+        debug_assert!(e.end_s >= e.start_s, "event ends before it starts");
+        debug_assert!(e.ready_s <= e.start_s + 1e-12, "ready after start");
+        self.events.push(e);
+    }
+
+    /// Next unused event id (record order).
+    pub fn next_id(&self) -> usize {
+        self.events.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -54,30 +148,54 @@ impl Trace {
         self.events.iter().map(|e| e.end_s).fold(0.0, f64::max)
     }
 
-    /// Core utilization: busy time / (cores × makespan).
+    /// Core utilization counting *useful* work only: completed (non-killed)
+    /// task-attempt time / (cores × makespan). Killed attempts' partial
+    /// work is excluded — it was thrown away. Compare with
+    /// [`Self::busy_fraction`].
     pub fn utilization(&self, n_cores: usize) -> f64 {
+        self.occupancy(n_cores, false)
+    }
+
+    /// Fraction of core-time that was *occupied*, useful or not: includes
+    /// killed attempts (node-death victims, speculative losers). The gap
+    /// `busy_fraction - utilization` is the core-time lost to failures.
+    pub fn busy_fraction(&self, n_cores: usize) -> f64 {
+        self.occupancy(n_cores, true)
+    }
+
+    fn occupancy(&self, n_cores: usize, include_killed: bool) -> f64 {
         let span = self.span();
         if span <= 0.0 || n_cores == 0 {
             return 0.0;
         }
-        let busy: f64 = self.events.iter().map(|e| e.end_s - e.start_s).sum();
+        let busy: f64 = self
+            .events
+            .iter()
+            .filter(|e| e.occupies_core() && (include_killed || !e.killed))
+            .map(|e| e.end_s - e.start_s)
+            .sum();
         busy / (n_cores as f64 * span)
     }
 
     /// Render a text Gantt chart: one row per core, `width` columns of
     /// virtual time, `#` for busy, `x` for a killed attempt, `.` for idle.
+    /// Only core-occupying (task) events are drawn.
     pub fn gantt(&self, n_cores: usize, width: usize) -> String {
         assert!(width >= 1);
         let span = self.span().max(f64::MIN_POSITIVE);
         let mut rows = vec![vec![b'.'; width]; n_cores];
         for e in &self.events {
-            if e.core >= n_cores {
+            if e.core >= n_cores || !e.occupies_core() {
                 continue;
             }
+            // A zero-duration event at the span boundary maps to the last
+            // cell: clamp the floor into range *first*, so `a + 1 <= width`
+            // always holds and the cell range below never inverts.
             let a = ((e.start_s / span) * width as f64).floor() as usize;
+            let a = a.min(width - 1);
             let b = (((e.end_s / span) * width as f64).ceil() as usize).clamp(a + 1, width);
             let mark = if e.killed { b'x' } else { b'#' };
-            for cell in &mut rows[e.core][a.min(width - 1)..b] {
+            for cell in &mut rows[e.core][a..b] {
                 *cell = mark;
             }
         }
@@ -91,19 +209,143 @@ impl Trace {
         out
     }
 
-    /// Serialize as CSV (`task,core,start_s,end_s,killed`), for external
-    /// plotting.
+    /// Serialize as CSV, one row per event, for external plotting. The
+    /// `from_node`/`to_node`/`bytes`/`dest_nodes` columns are empty for
+    /// kinds they do not apply to. Labels and phases must not contain
+    /// commas or newlines (engine-internal identifiers never do).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("task,core,start_s,end_s,killed\n");
+        let mut out = String::from(CSV_HEADER);
+        out.push('\n');
         for e in &self.events {
+            let (label, speculative, from_node, to_node, bytes, dest_nodes) = match &e.kind {
+                EventKind::Task { label, speculative } => (
+                    label.clone(),
+                    speculative.to_string(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ),
+                EventKind::Fetch {
+                    from_node,
+                    to_node,
+                    bytes,
+                } => (
+                    "fetch".into(),
+                    String::new(),
+                    from_node.to_string(),
+                    to_node.to_string(),
+                    bytes.to_string(),
+                    String::new(),
+                ),
+                EventKind::Broadcast { bytes, dest_nodes } => (
+                    "broadcast".into(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    bytes.to_string(),
+                    dest_nodes.to_string(),
+                ),
+                EventKind::Recovery { label } => (
+                    label.clone(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ),
+            };
+            debug_assert!(!label.contains(',') && !e.phase.contains(','));
             out.push_str(&format!(
-                "{},{},{},{},{}\n",
-                e.task, e.core, e.start_s, e.end_s, e.killed
+                "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                e.task,
+                e.core,
+                e.start_s,
+                e.end_s,
+                e.killed,
+                e.kind.kind_name(),
+                label,
+                e.phase,
+                e.ready_s,
+                speculative,
+                from_node,
+                to_node,
+                if matches!(e.kind, EventKind::Broadcast { .. }) {
+                    format!("{bytes};{dest_nodes}")
+                } else {
+                    bytes.clone()
+                },
             ));
         }
         out
     }
+
+    /// Parse a trace back from [`Self::to_csv`] output (exact round-trip:
+    /// `f64` values are printed with Rust's shortest-round-trip formatting).
+    pub fn from_csv(csv: &str) -> Result<Trace, String> {
+        let mut lines = csv.lines();
+        match lines.next() {
+            Some(h) if h == CSV_HEADER => {}
+            other => return Err(format!("bad header: {other:?}")),
+        }
+        let mut t = Trace::default();
+        for (i, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let f: Vec<&str> = line.split(',').collect();
+            if f.len() != 13 {
+                return Err(format!("row {i}: expected 13 fields, got {}", f.len()));
+            }
+            let num = |s: &str, what: &str| -> Result<f64, String> {
+                s.parse().map_err(|_| format!("row {i}: bad {what}: {s}"))
+            };
+            let idx = |s: &str, what: &str| -> Result<usize, String> {
+                s.parse().map_err(|_| format!("row {i}: bad {what}: {s}"))
+            };
+            let kind = match f[5] {
+                "task" => EventKind::Task {
+                    label: f[6].to_string(),
+                    speculative: f[9] == "true",
+                },
+                "fetch" => EventKind::Fetch {
+                    from_node: idx(f[10], "from_node")?,
+                    to_node: idx(f[11], "to_node")?,
+                    bytes: f[12]
+                        .parse()
+                        .map_err(|_| format!("row {i}: bad bytes: {}", f[12]))?,
+                },
+                "broadcast" => {
+                    let (b, d) = f[12]
+                        .split_once(';')
+                        .ok_or_else(|| format!("row {i}: bad broadcast payload: {}", f[12]))?;
+                    EventKind::Broadcast {
+                        bytes: b.parse().map_err(|_| format!("row {i}: bad bytes: {b}"))?,
+                        dest_nodes: idx(d, "dest_nodes")?,
+                    }
+                }
+                "recovery" => EventKind::Recovery {
+                    label: f[6].to_string(),
+                },
+                other => return Err(format!("row {i}: unknown kind: {other}")),
+            };
+            t.record(TraceEvent {
+                task: idx(f[0], "task")?,
+                core: idx(f[1], "core")?,
+                start_s: num(f[2], "start_s")?,
+                end_s: num(f[3], "end_s")?,
+                killed: f[4] == "true",
+                ready_s: num(f[8], "ready_s")?,
+                phase: f[7].to_string(),
+                kind,
+            });
+        }
+        Ok(t)
+    }
 }
+
+const CSV_HEADER: &str =
+    "task,core,start_s,end_s,killed,kind,label,phase,ready_s,speculative,from_node,to_node,bytes";
 
 #[cfg(test)]
 mod tests {
@@ -127,6 +369,39 @@ mod tests {
     }
 
     #[test]
+    fn utilization_excludes_killed_but_busy_fraction_counts_them() {
+        let mut t = Trace::default();
+        t.push(0, 0, 0.0, 1.0); // useful
+        t.push_killed(1, 1, 0.0, 1.0); // lost work
+        t.push(2, 1, 1.0, 2.0); // useful rerun
+                                // span 2.0, 2 cores: useful = 2.0 of 4.0; occupied = 3.0 of 4.0.
+        assert!((t.utilization(2) - 0.5).abs() < 1e-12);
+        assert!((t.busy_fraction(2) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_task_events_do_not_count_as_core_time() {
+        let mut t = Trace::default();
+        t.push(0, 0, 0.0, 1.0);
+        t.record(TraceEvent {
+            task: 1,
+            core: 0,
+            start_s: 0.0,
+            end_s: 1.0,
+            killed: false,
+            ready_s: 0.0,
+            phase: "shuffle".into(),
+            kind: EventKind::Fetch {
+                from_node: 0,
+                to_node: 1,
+                bytes: 100,
+            },
+        });
+        assert!((t.utilization(1) - 1.0).abs() < 1e-12);
+        assert!(!t.gantt(1, 4).contains('x'));
+    }
+
+    #[test]
     fn gantt_renders_rows() {
         let g = trace().gantt(2, 10);
         let lines: Vec<&str> = g.lines().collect();
@@ -137,10 +412,81 @@ mod tests {
     }
 
     #[test]
+    fn gantt_zero_duration_event_at_span_boundary_does_not_panic() {
+        // Regression: an event with start_s == span produced
+        // `a + 1 > width` and the old `clamp(a + 1, width)` panicked.
+        let mut t = Trace::default();
+        t.push(0, 0, 0.0, 2.0);
+        t.push(1, 1, 2.0, 2.0); // zero-duration, exactly at the makespan
+        let g = t.gantt(2, 10);
+        assert!(g.lines().nth(1).unwrap().ends_with('#'));
+
+        // All-zero-duration trace (Fig. 2 zero-workload shape).
+        let mut z = Trace::default();
+        z.push(0, 0, 0.0, 0.0);
+        z.push(1, 0, 0.0, 0.0);
+        let _ = z.gantt(1, 5);
+    }
+
+    #[test]
     fn csv_has_header_and_rows() {
         let csv = trace().to_csv();
-        assert!(csv.starts_with("task,core,start_s,end_s,killed\n"));
+        assert!(csv.starts_with(CSV_HEADER));
         assert_eq!(csv.lines().count(), 4);
+    }
+
+    #[test]
+    fn csv_round_trips_all_kinds() {
+        let mut t = trace();
+        t.push_killed(3, 0, 1.0, 1.25);
+        t.record(TraceEvent {
+            task: 4,
+            core: 1,
+            start_s: 0.125,
+            end_s: 0.375,
+            killed: false,
+            ready_s: 0.1,
+            phase: "shuffle".into(),
+            kind: EventKind::Fetch {
+                from_node: 0,
+                to_node: 1,
+                bytes: 4096,
+            },
+        });
+        t.record(TraceEvent {
+            task: 5,
+            core: 0,
+            start_s: 0.0,
+            end_s: 0.5,
+            killed: false,
+            ready_s: 0.0,
+            phase: "broadcast".into(),
+            kind: EventKind::Broadcast {
+                bytes: 1 << 20,
+                dest_nodes: 3,
+            },
+        });
+        t.record(TraceEvent {
+            task: 6,
+            core: 2,
+            start_s: 0.5,
+            end_s: 0.75,
+            killed: false,
+            ready_s: 0.5,
+            phase: "recovery".into(),
+            kind: EventKind::Recovery {
+                label: "recompute".into(),
+            },
+        });
+        let back = Trace::from_csv(&t.to_csv()).expect("round trip");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn from_csv_rejects_garbage() {
+        assert!(Trace::from_csv("nope\n1,2,3").is_err());
+        let bad_row = format!("{CSV_HEADER}\n1,2,3\n");
+        assert!(Trace::from_csv(&bad_row).is_err());
     }
 
     #[test]

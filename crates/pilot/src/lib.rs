@@ -181,6 +181,8 @@ impl Session {
         let net = self.cluster.profile.network;
         let startup = self.profile.startup_s;
         let n = units.len();
+        st.exec.set_task_label("unit");
+        st.exec.set_phase("staging");
         // Phase 1 — client side, all units at once ("all tasks were
         // submitted simultaneously"): NEW and UMGR_SCHEDULING trips plus
         // input staging to the shared filesystem (real writes).
@@ -196,11 +198,14 @@ impl Session {
             self.staging
                 .stage_in(unit_id, "input", &desc.input)
                 .map_err(|e| EngineError::Unsupported(format!("staging failed: {e}")))?;
-            t_staged.push(
-                t_umgr
-                    + net.transfer_time(input_bytes, false)
-                    + self.profile.per_transfer_overhead_s,
-            );
+            let t_in = t_umgr
+                + net.transfer_time(input_bytes, false)
+                + self.profile.per_transfer_overhead_s;
+            if input_bytes > 0 {
+                // Client → shared filesystem (node 0 hosts the FS track).
+                st.exec.record_fetch(0, 0, input_bytes, t_umgr, t_in);
+            }
+            t_staged.push(t_in);
             st.exec.report_mut().bytes_staged += input_bytes;
             ids.push(unit_id);
             tasks.push(desc.task);
@@ -211,6 +216,7 @@ impl Session {
         // serialize.
         let mut results = Vec::with_capacity(n);
         let mut t_exec_end = Vec::with_capacity(n);
+        st.exec.set_phase("execute");
         for ((unit_id, task), ready) in ids.iter().zip(tasks).zip(&t_staged) {
             let t_sched = st.db.roundtrip(*ready);
             let staged = self
@@ -233,6 +239,7 @@ impl Session {
                     netsim::TaskAttempt::Killed { died_at, .. } => {
                         st.exec.report_mut().retries += 1;
                         t_sched = st.db.roundtrip(died_at);
+                        st.exec.record_recovery("re-enqueue", died_at, t_sched);
                     }
                 }
             };
@@ -240,6 +247,11 @@ impl Session {
             let t_out = placement.end
                 + net.transfer_time(out_bytes, false)
                 + self.profile.per_transfer_overhead_s;
+            if out_bytes > 0 {
+                let from = self.cluster.node_of_core(placement.core);
+                st.exec
+                    .record_fetch(from, 0, out_bytes, placement.end, t_out);
+            }
             let rep = st.exec.report_mut();
             rep.overhead_s += self.profile.central_dispatch_s + self.profile.worker_overhead_s;
             rep.bytes_staged += out_bytes;
@@ -254,6 +266,12 @@ impl Session {
         }
         let report = st.exec.report().clone();
         Ok(PilotRunOutput { results, report })
+    }
+
+    /// Start recording a typed event trace (carried inside the report of
+    /// subsequent submissions).
+    pub fn enable_trace(&self) {
+        self.state.lock().exec.enable_trace();
     }
 
     /// Snapshot the report (after one or more submissions).

@@ -108,6 +108,7 @@ impl SparkContext {
         st.frontier += t;
         let end = st.frontier;
         st.exec.advance_makespan(end);
+        st.exec.record_broadcast(bytes, dests, start, end);
         let r = st.exec.report_mut();
         r.comm_s += t;
         r.bytes_broadcast += bytes * dests.max(1) as u64;
@@ -143,6 +144,20 @@ impl SparkContext {
     pub fn note_phase(&self, phase: &str, start: f64, end: f64) {
         let mut st = self.inner.state.lock();
         st.exec.report_mut().push_phase(phase, start, end);
+    }
+
+    /// Start recording a typed event trace (see [`netsim::Trace`]); the
+    /// trace is carried inside [`Self::report`].
+    pub fn enable_trace(&self) {
+        self.inner.state.lock().exec.enable_trace();
+    }
+
+    /// Name the phase (and default task label) stamped onto subsequently
+    /// traced events — drivers call this at algorithm-phase boundaries.
+    pub fn set_phase(&self, phase: &str) {
+        let mut st = self.inner.state.lock();
+        st.exec.set_phase(phase);
+        st.exec.set_task_label(phase);
     }
 
     /// Current virtual frontier (end of all completed work).

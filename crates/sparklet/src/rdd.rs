@@ -225,6 +225,9 @@ where
             if let Some(died_at) = first_died {
                 state
                     .exec
+                    .record_recovery("re-dispatch", died_at, placement.end);
+                state
+                    .exec
                     .report_mut()
                     .push_phase("recovery", died_at, placement.end);
             }

@@ -171,9 +171,12 @@ where
                 }
                 // Reducers discover the loss when their fetch fails.
                 let detect = died_at.max(map_end);
+                let prev_label = state.exec.task_label().to_string();
+                state.exec.set_task_label("recompute");
                 let placement = state
                     .exec
                     .run_task(detect + profile.central_dispatch_s, map_durs[p]);
+                state.exec.set_task_label(&prev_label);
                 map_node[p] = cluster.node_of_core(placement.core);
                 avail[p] = placement.end;
                 let rep = state.exec.report_mut();
@@ -191,19 +194,39 @@ where
             let mut shuffle_end = map_end;
             let mut resent = 0usize;
             for (q, r) in ready.iter_mut().enumerate() {
-                let mut fetch = 0.0;
+                // The reducer starts fetching once every contributing map
+                // output is available, then pulls slices sequentially.
                 let mut start = map_end;
+                for (p, row) in bytes_pq.iter().enumerate() {
+                    if row[q] > 0 {
+                        start = start.max(avail[p]);
+                    }
+                }
+                let mut fetch = 0.0;
                 for (p, row) in bytes_pq.iter().enumerate() {
                     let b = row[q];
                     if b > 0 {
-                        start = start.max(avail[p]);
                         let once = cost_once(b, map_node[p] == reduce_nodes[q]);
                         let mut attempt = 0;
                         while faults.fetch_lost(p, q, attempt) {
+                            state.exec.record_fetch_lost(
+                                map_node[p],
+                                reduce_nodes[q],
+                                b,
+                                start + fetch,
+                                start + fetch + once,
+                            );
                             fetch += once;
                             resent += 1;
                             attempt += 1;
                         }
+                        state.exec.record_fetch(
+                            map_node[p],
+                            reduce_nodes[q],
+                            b,
+                            start + fetch,
+                            start + fetch + once,
+                        );
                         fetch += once;
                         total_bytes += b;
                     }

@@ -62,7 +62,8 @@ pub mod prelude {
     pub use crate::analysis::psa::{psa_dask, psa_mpi, psa_pilot, psa_serial, psa_spark};
     pub use crate::analysis::{EngineKind, LfApproach, LfConfig, LfOutput, PsaConfig, PsaOutput};
     pub use crate::cluster::{
-        comet, laptop, wrangler, Cluster, FaultPlan, MachineProfile, SimReport,
+        comet, laptop, wrangler, Cluster, CriticalPath, EventKind, FaultPlan, MachineProfile,
+        Metrics, SimReport, Trace, TraceEvent,
     };
     pub use crate::dask::{Bag, DaskClient, Delayed};
     pub use crate::frame::{BagEngine, EngineError, FrameworkProfile, Payload, TaskCtx};
