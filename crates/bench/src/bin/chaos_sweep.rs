@@ -1,0 +1,243 @@
+//! Fixed-seed chaos sweep for CI (PR-3): run every engine's Leaflet
+//! Finder under a battery of seeded random fault plans and check the
+//! invariant oracles (`netsim::chaos`). Exit code 1 on any violation.
+//!
+//! On failure the binary writes replayable artifacts under `--out-dir`:
+//!
+//! * `chaos_failures_<engine>.json` — the full `FuzzReport` (every
+//!   violation with its original and shrunk `FaultPlan`);
+//! * `chaos_failure_<engine>.trace.json` — a Chrome trace of the first
+//!   shrunk plan replayed with tracing enabled (engines that trace).
+//!
+//! Replay a shrunk plan locally with
+//! `Cluster::with_faults(FaultPlan::from_json(..))`.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin chaos_sweep
+//! cargo run -p bench --release --bin chaos_sweep -- --plans 200 --seed 7
+//! ```
+
+use dasklet::DaskClient;
+use mdsim::BilayerSpec;
+use mdtask_core::leaflet::{
+    lf_dask, lf_mpi_with_policy, lf_pilot, lf_spark, LfApproach, LfConfig, LfOutput,
+};
+use netsim::chaos::{fuzz, ChaosConfig, ChaosOutcome, Fingerprint, FuzzReport};
+use netsim::{laptop, Cluster, FaultPlan, RetryPolicy};
+use pilot::Session;
+use sparklet::SparkContext;
+use std::sync::Arc;
+
+const MPI_WORLD: usize = 16;
+
+fn lf_workload() -> (Arc<Vec<linalg::Vec3>>, LfConfig) {
+    let b = mdsim::bilayer::generate(
+        &BilayerSpec {
+            n_atoms: 200,
+            ..Default::default()
+        },
+        7,
+    );
+    (
+        Arc::new(b.positions),
+        LfConfig {
+            cutoff: b.suggested_cutoff,
+            partitions: 8,
+            paper_atoms: 200,
+            charge_io: false,
+        },
+    )
+}
+
+/// Hash the *data* an LF run produced — the oracle compares this against
+/// the fault-free baseline.
+fn fingerprint(out: &LfOutput) -> u64 {
+    let mut fp = Fingerprint::new();
+    for &s in &out.leaflet_sizes {
+        fp.write_usize(s);
+    }
+    fp.write_usize(out.n_components);
+    fp.write_u64(out.edges_found);
+    fp.finish()
+}
+
+struct Engine {
+    name: &'static str,
+    /// Deaths must land inside the engine's live window (startup + job).
+    death_window_s: (f64, f64),
+}
+
+const ENGINES: [Engine; 4] = [
+    Engine {
+        name: "spark",
+        death_window_s: (0.0, 3.0),
+    },
+    Engine {
+        name: "dask",
+        death_window_s: (0.0, 3.0),
+    },
+    Engine {
+        name: "pilot",
+        death_window_s: (0.0, 40.0),
+    },
+    Engine {
+        name: "mpi",
+        death_window_s: (0.0, 1.5),
+    },
+];
+
+/// One LF run under `plan`; `traced` turns on the event trace (for the
+/// failure-replay artifact).
+fn run_engine(
+    name: &str,
+    plan: &FaultPlan,
+    positions: &Arc<Vec<linalg::Vec3>>,
+    cfg: &LfConfig,
+    traced: bool,
+) -> Result<ChaosOutcome, String> {
+    let cluster = Cluster::new(laptop(), 2).with_faults(plan.clone());
+    let out = match name {
+        "spark" => {
+            let sc = SparkContext::new(cluster);
+            if traced {
+                sc.enable_trace();
+            }
+            lf_spark(&sc, Arc::clone(positions), LfApproach::ParallelCC, cfg)
+        }
+        "dask" => {
+            let client = DaskClient::new(cluster);
+            if traced {
+                client.enable_trace();
+            }
+            lf_dask(&client, Arc::clone(positions), LfApproach::Task2D, cfg)
+        }
+        "pilot" => Session::new(cluster).and_then(|s| {
+            if traced {
+                s.enable_trace();
+            }
+            lf_pilot(&s, positions, cfg)
+        }),
+        "mpi" => lf_mpi_with_policy(
+            cluster,
+            MPI_WORLD,
+            positions,
+            LfApproach::Broadcast1D,
+            cfg,
+            &RetryPolicy::new(4).with_detection_delay(0.25),
+            true,
+        ),
+        other => panic!("unknown engine {other}"),
+    }
+    .map_err(|e| format!("{e:?}"))?;
+    Ok(ChaosOutcome {
+        fingerprint: fingerprint(&out),
+        report: out.report,
+    })
+}
+
+fn write_artifact(path: &str, contents: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create artifact directory");
+        }
+    }
+    std::fs::write(path, contents).expect("write artifact");
+    eprintln!("wrote {path}");
+}
+
+fn dump_failure_artifacts(
+    engine: &Engine,
+    report: &FuzzReport,
+    out_dir: &str,
+    positions: &Arc<Vec<linalg::Vec3>>,
+    cfg: &LfConfig,
+) {
+    write_artifact(
+        &format!("{out_dir}/chaos_failures_{}.json", engine.name),
+        &report.to_json(),
+    );
+    // Replay the first shrunk counterexample with the event trace on, so
+    // the CI artifact shows the recovery timeline that broke the oracle.
+    if let Some(v) = report.violations.first() {
+        if let Ok(outcome) = run_engine(engine.name, &v.shrunk, positions, cfg, true) {
+            if let Some(trace) = &outcome.report.trace {
+                write_artifact(
+                    &format!("{out_dir}/chaos_failure_{}.trace.json", engine.name),
+                    &trace.to_chrome_json(),
+                );
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut plans = 200usize;
+    let mut base_seed = 0u64;
+    let mut out_dir = String::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--plans" => {
+                plans = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--plans needs a positive integer");
+            }
+            "--seed" => {
+                base_seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            "--out-dir" => out_dir = args.next().expect("--out-dir needs a path"),
+            "--help" | "-h" => {
+                eprintln!("flags: --plans N | --seed S | --out-dir PATH");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let (positions, cfg) = lf_workload();
+    println!(
+        "chaos sweep: {plans} seeded plans per engine (base seed {base_seed}), \
+         LF 200 atoms on 2 laptop nodes"
+    );
+    let mut failed = false;
+    for engine in &ENGINES {
+        let mut ccfg = ChaosConfig::new(2, 8);
+        ccfg.plans = plans;
+        ccfg.base_seed = base_seed;
+        ccfg.death_window_s = engine.death_window_s;
+        // These workloads re-measure real closure durations each run, so
+        // empty-plan reports carry µs-scale jitter; the data fingerprint
+        // still must match exactly.
+        ccfg.check_empty_plan_determinism = false;
+        let report = fuzz(&ccfg, |plan| {
+            run_engine(engine.name, plan, &positions, &cfg, false)
+        });
+        if report.passed() {
+            println!(
+                "  {:<6} {} plans, all oracles held",
+                engine.name, report.plans_run
+            );
+        } else {
+            failed = true;
+            println!(
+                "  {:<6} {} plans, {} VIOLATIONS",
+                engine.name,
+                report.plans_run,
+                report.violations.len()
+            );
+            for v in &report.violations {
+                println!("         seed {}: {}", v.seed, v.message);
+            }
+            dump_failure_artifacts(engine, &report, &out_dir, &positions, &cfg);
+        }
+    }
+    if failed {
+        eprintln!("chaos sweep FAILED — artifacts under {out_dir}/");
+        std::process::exit(1);
+    }
+    println!("chaos sweep passed.");
+}

@@ -45,9 +45,11 @@ fn main() {
 
                 let mpi = psa_mpi(cluster(), cores, &ensemble, &cfg).report.makespan_s;
                 let spark = psa_spark(&SparkContext::new(cluster()), Arc::clone(&ensemble), &cfg)
+                    .expect("fault-free")
                     .report
                     .makespan_s;
                 let dask = psa_dask(&DaskClient::new(cluster()), Arc::clone(&ensemble), &cfg)
+                    .expect("fault-free")
                     .report
                     .makespan_s;
                 let rp = Session::new(cluster())

@@ -54,11 +54,13 @@ fn run_machine(profile: MachineProfile, scale: usize, count: usize) {
             .push(psa_mpi(cluster(), cores, &ensemble, &cfg).report.makespan_s);
         series[1].runtimes.push(
             psa_spark(&SparkContext::new(cluster()), Arc::clone(&ensemble), &cfg)
+                .expect("fault-free")
                 .report
                 .makespan_s,
         );
         series[2].runtimes.push(
             psa_dask(&DaskClient::new(cluster()), Arc::clone(&ensemble), &cfg)
+                .expect("fault-free")
                 .report
                 .makespan_s,
         );

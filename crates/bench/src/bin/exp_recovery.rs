@@ -1,0 +1,430 @@
+//! Recovery-overhead sweep (PR-3): node-death time vs recovery cost for
+//! every engine, with and without checkpointing.
+//!
+//! A fixed Leaflet Finder job runs fault-free once per engine to measure
+//! its clean execution window (first recorded phase start → makespan, so
+//! the sweep skips the engine's startup floor — 1 s for Spark, 35 s for
+//! RP — where a death costs nothing), then re-runs with node 1 killed at
+//! a sweep of fractions of that window. Each point records the makespan
+//! inflation,
+//! the `"recovery"` phase time, and the engine's recovery-cost counters
+//! (`retries`, `recomputed_partitions`, `lost_time_s`). Two engines have a
+//! checkpointing axis:
+//!
+//! * **Spark** — a two-shuffle RDD pipeline with and without
+//!   `checkpoint()` on the intermediate RDD (lineage truncation);
+//! * **MPI** — `lf_mpi_with_policy` restarting from the last collective
+//!   barrier vs from scratch.
+//!
+//! Times are virtual; closures are re-measured each run, so cross-run
+//! makespan deltas carry µs-scale measurement jitter (negligible against
+//! detection delays and re-executed work, which dominate overheads).
+//!
+//! ```sh
+//! cargo run -p bench --release --bin exp_recovery
+//! cargo run -p bench --release --bin exp_recovery -- --out results/recovery.json
+//! ```
+
+use bench::secs;
+use dasklet::DaskClient;
+use mdsim::BilayerSpec;
+use mdtask_core::leaflet::{lf_dask, lf_mpi_with_policy, lf_pilot, lf_spark, LfApproach, LfConfig};
+use netsim::{laptop, Cluster, FaultPlan, RetryPolicy, SimReport};
+use pilot::Session;
+use sparklet::SparkContext;
+use std::sync::Arc;
+
+const DEATH_FRACS: [f64; 5] = [0.15, 0.35, 0.55, 0.75, 0.95];
+const MPI_WORLD: usize = 16;
+
+/// One sweep point: a node death at `t_kill_s` and what it cost.
+struct Point {
+    death_frac: f64,
+    t_kill_s: f64,
+    outcome: Outcome,
+}
+
+enum Outcome {
+    Recovered {
+        makespan_s: f64,
+        overhead_s: f64,
+        recovery_s: f64,
+        retries: usize,
+        recomputed_partitions: usize,
+        lost_time_s: f64,
+    },
+    Failed(String),
+}
+
+struct Series {
+    engine: &'static str,
+    variant: &'static str,
+    clean_makespan_s: f64,
+    points: Vec<Point>,
+}
+
+fn cluster(plan: FaultPlan) -> Cluster {
+    Cluster::new(laptop(), 2).with_faults(plan)
+}
+
+/// The window worth killing in: from the first recorded phase (i.e. after
+/// the engine's startup floor) to the end of the job.
+fn execution_window(clean: &SimReport) -> (f64, f64) {
+    let start = clean
+        .phases
+        .iter()
+        .map(|p| p.start_s)
+        .fold(f64::INFINITY, f64::min);
+    let start = if start.is_finite() { start } else { 0.0 };
+    (start, clean.makespan_s)
+}
+
+fn point(frac: f64, t_kill_s: f64, clean: f64, got: Result<&SimReport, String>) -> Point {
+    let outcome = match got {
+        Ok(rep) => Outcome::Recovered {
+            makespan_s: rep.makespan_s,
+            overhead_s: rep.makespan_s - clean,
+            recovery_s: rep.phase_total("recovery").unwrap_or(0.0),
+            retries: rep.retries,
+            recomputed_partitions: rep.recomputed_partitions,
+            lost_time_s: rep.lost_time_s,
+        },
+        Err(e) => Outcome::Failed(e),
+    };
+    Point {
+        death_frac: frac,
+        t_kill_s,
+        outcome,
+    }
+}
+
+/// The envelope of all `"shuffle"` phases: where map outputs are at risk
+/// and a checkpoint can truncate lineage recompute.
+fn shuffle_window(clean: &SimReport) -> (f64, f64) {
+    let (mut start, mut end) = (f64::INFINITY, f64::NEG_INFINITY);
+    for p in clean.phases.iter().filter(|p| p.name == "shuffle") {
+        start = start.min(p.start_s);
+        end = end.max(p.end_s);
+    }
+    if start.is_finite() {
+        (start, end)
+    } else {
+        execution_window(clean)
+    }
+}
+
+/// Sweep one engine: `run(plan)` returns the report of a faulty run.
+/// Deaths land at `DEATH_FRACS` fractions of `window`.
+fn sweep<F>(
+    engine: &'static str,
+    variant: &'static str,
+    clean: &SimReport,
+    window: (f64, f64),
+    mut run: F,
+) -> Series
+where
+    F: FnMut(FaultPlan) -> Result<SimReport, String>,
+{
+    let (win_start, win_end) = window;
+    let points = DEATH_FRACS
+        .iter()
+        .map(|&frac| {
+            let t_kill = win_start + frac * (win_end - win_start);
+            let rep = run(FaultPlan::none().kill_node(1, t_kill));
+            point(
+                frac,
+                t_kill,
+                clean.makespan_s,
+                rep.as_ref().map_err(Clone::clone),
+            )
+        })
+        .collect();
+    Series {
+        engine,
+        variant,
+        clean_makespan_s: clean.makespan_s,
+        points,
+    }
+}
+
+fn lf_workload() -> (Arc<Vec<linalg::Vec3>>, LfConfig) {
+    let b = mdsim::bilayer::generate(
+        &BilayerSpec {
+            n_atoms: 1000,
+            ..Default::default()
+        },
+        17,
+    );
+    (
+        Arc::new(b.positions),
+        LfConfig {
+            cutoff: b.suggested_cutoff,
+            partitions: 32,
+            paper_atoms: 1000,
+            charge_io: true,
+        },
+    )
+}
+
+fn spark_series(positions: &Arc<Vec<linalg::Vec3>>, cfg: &LfConfig) -> Series {
+    let clean = lf_spark(
+        &SparkContext::new(cluster(FaultPlan::none())),
+        Arc::clone(positions),
+        LfApproach::Broadcast1D,
+        cfg,
+    )
+    .expect("fault-free");
+    sweep(
+        "spark",
+        "lineage",
+        &clean.report,
+        execution_window(&clean.report),
+        |plan| {
+            lf_spark(
+                &SparkContext::new(cluster(plan)),
+                Arc::clone(positions),
+                LfApproach::Broadcast1D,
+                cfg,
+            )
+            .map(|o| o.report)
+            .map_err(|e| format!("{e:?}"))
+        },
+    )
+}
+
+fn dask_series(positions: &Arc<Vec<linalg::Vec3>>, cfg: &LfConfig) -> Series {
+    let clean = lf_dask(
+        &DaskClient::new(cluster(FaultPlan::none())),
+        Arc::clone(positions),
+        LfApproach::Broadcast1D,
+        cfg,
+    )
+    .expect("fault-free");
+    sweep(
+        "dask",
+        "reschedule",
+        &clean.report,
+        execution_window(&clean.report),
+        |plan| {
+            lf_dask(
+                &DaskClient::new(cluster(plan)),
+                Arc::clone(positions),
+                LfApproach::Broadcast1D,
+                cfg,
+            )
+            .map(|o| o.report)
+            .map_err(|e| format!("{e:?}"))
+        },
+    )
+}
+
+fn pilot_series(positions: &Arc<Vec<linalg::Vec3>>, cfg: &LfConfig) -> Series {
+    let clean = lf_pilot(
+        &Session::new(cluster(FaultPlan::none())).expect("session"),
+        positions,
+        cfg,
+    )
+    .expect("fault-free");
+    // The pilot's phase bookkeeping sits at the tail of the run; the
+    // at-risk window is the whole span after the 35 s bootstrap.
+    let window = (
+        taskframe::pilot_profile().startup_s,
+        clean.report.makespan_s,
+    );
+    sweep("pilot", "re-enqueue", &clean.report, window, |plan| {
+        Session::new(cluster(plan))
+            .and_then(|s| lf_pilot(&s, positions, cfg))
+            .map(|o| o.report)
+            .map_err(|e| format!("{e:?}"))
+    })
+}
+
+fn mpi_series(positions: &Arc<Vec<linalg::Vec3>>, cfg: &LfConfig, from_barrier: bool) -> Series {
+    let policy = RetryPolicy::new(5).with_detection_delay(0.25);
+    let clean = lf_mpi_with_policy(
+        cluster(FaultPlan::none()),
+        MPI_WORLD,
+        positions,
+        LfApproach::Broadcast1D,
+        cfg,
+        &policy,
+        from_barrier,
+    )
+    .expect("fault-free");
+    let variant = if from_barrier {
+        "barrier-checkpoint"
+    } else {
+        "from-scratch"
+    };
+    let window = execution_window(&clean.report);
+    sweep("mpi", variant, &clean.report, window, |plan| {
+        lf_mpi_with_policy(
+            cluster(plan),
+            MPI_WORLD,
+            positions,
+            LfApproach::Broadcast1D,
+            cfg,
+            &policy,
+            from_barrier,
+        )
+        .map(|o| o.report)
+        .map_err(|e| format!("{e:?}"))
+    })
+}
+
+/// The checkpoint axis for Spark: two chained shuffles over bulky records,
+/// optionally checkpointing the intermediate RDD (same pipeline the
+/// recovery-policy tests pin).
+fn spark_checkpoint_series(checkpointed: bool) -> Series {
+    let data: Vec<(u32, Vec<u32>)> = (0..64).map(|i| (i % 16, vec![i; 4096])).collect();
+    let run = |plan: FaultPlan| {
+        let sc = SparkContext::new(cluster(plan));
+        let mid = sc
+            .parallelize(data.clone(), 16)
+            .group_by_key(16)
+            .map(|(k, vs)| (k % 4, vs));
+        let mid = if checkpointed { mid.checkpoint() } else { mid };
+        mid.group_by_key(4)
+            .try_collect()
+            .map(|_| sc.report())
+            .map_err(|e| format!("{e:?}"))
+    };
+    let clean = run(FaultPlan::none()).expect("fault-free");
+    let variant = if checkpointed {
+        "two-shuffle checkpointed"
+    } else {
+        "two-shuffle lineage"
+    };
+    // Kill inside the shuffle-fetch envelope, where map outputs are lost
+    // and the checkpoint axis actually bites.
+    let window = shuffle_window(&clean);
+    sweep("spark-rdd", variant, &clean, window, run)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn to_json(series: &[Series]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"recovery-overhead sweep\",\n");
+    out.push_str("  \"machine\": \"laptop x2 nodes\",\n  \"series\": [\n");
+    for (i, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"variant\": \"{}\", \
+             \"clean_makespan_s\": {:.6}, \"points\": [\n",
+            s.engine, s.variant, s.clean_makespan_s
+        ));
+        for (j, p) in s.points.iter().enumerate() {
+            let body = match &p.outcome {
+                Outcome::Recovered {
+                    makespan_s,
+                    overhead_s,
+                    recovery_s,
+                    retries,
+                    recomputed_partitions,
+                    lost_time_s,
+                } => format!(
+                    "\"makespan_s\": {makespan_s:.6}, \"overhead_s\": {overhead_s:.6}, \
+                     \"recovery_s\": {recovery_s:.6}, \"retries\": {retries}, \
+                     \"recomputed_partitions\": {recomputed_partitions}, \
+                     \"lost_time_s\": {lost_time_s:.6}"
+                ),
+                Outcome::Failed(e) => format!("\"error\": \"{}\"", json_escape(e)),
+            };
+            out.push_str(&format!(
+                "      {{\"death_frac\": {:.2}, \"t_kill_s\": {:.6}, {body}}}{}\n",
+                p.death_frac,
+                p.t_kill_s,
+                if j + 1 < s.points.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < series.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn print_series(s: &Series) {
+    println!(
+        "\n--- {} / {} (clean {} s) ---",
+        s.engine,
+        s.variant,
+        secs(s.clean_makespan_s)
+    );
+    println!(
+        "{:>6} {:>10} | {:>10} {:>10} {:>10} {:>4} {:>7} {:>10}",
+        "frac", "t_kill", "makespan", "overhead", "recovery", "try", "recomp", "lost"
+    );
+    for p in &s.points {
+        match &p.outcome {
+            Outcome::Recovered {
+                makespan_s,
+                overhead_s,
+                recovery_s,
+                retries,
+                recomputed_partitions,
+                lost_time_s,
+            } => println!(
+                "{:>6.2} {:>10} | {:>10} {:>10} {:>10} {:>4} {:>7} {:>10}",
+                p.death_frac,
+                secs(p.t_kill_s),
+                secs(*makespan_s),
+                secs(*overhead_s),
+                secs(*recovery_s),
+                retries,
+                recomputed_partitions,
+                secs(*lost_time_s)
+            ),
+            Outcome::Failed(e) => println!(
+                "{:>6.2} {:>10} | failed: {e}",
+                p.death_frac,
+                secs(p.t_kill_s)
+            ),
+        }
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("results/recovery.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--help" | "-h" => {
+                eprintln!("flags: --out PATH (default results/recovery.json)");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    println!(
+        "Recovery sweep: node 1 killed at {DEATH_FRACS:?} of each engine's \
+         clean execution window (LF Broadcast1D, 1000 atoms, 2 laptop nodes)"
+    );
+    let (positions, cfg) = lf_workload();
+    let series = vec![
+        spark_series(&positions, &cfg),
+        dask_series(&positions, &cfg),
+        pilot_series(&positions, &cfg),
+        mpi_series(&positions, &cfg, true),
+        mpi_series(&positions, &cfg, false),
+        spark_checkpoint_series(false),
+        spark_checkpoint_series(true),
+    ];
+    for s in &series {
+        print_series(s);
+    }
+
+    let json = to_json(&series);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write recovery.json");
+    eprintln!("wrote {out_path}");
+}

@@ -34,7 +34,7 @@ pub fn lf_dask(
                 .map(|&s| client.delayed_after(&bc, move |all, _ctx| strip_edges(all, s, cutoff)))
                 .collect();
             let t0 = client.now();
-            let (parts, t1) = client.gather(&tasks);
+            let (parts, t1) = client.try_gather(&tasks)?;
             client.note_phase("edge-discovery", t0, t1);
             let edges: Vec<(u32, u32)> = parts.into_iter().flatten().collect();
             let shuffle_bytes = super::edge_shuffle_bytes(edges.len() as u64);
@@ -54,7 +54,7 @@ pub fn lf_dask(
             client.set_phase("edge-discovery");
             let tasks = edge_tasks(client, &positions, &blocks, cfg, false);
             let t0 = client.now();
-            let (parts, t1) = client.gather(&tasks);
+            let (parts, t1) = client.try_gather(&tasks)?;
             client.note_phase("edge-discovery", t0, t1);
             let edges: Vec<(u32, u32)> = parts.into_iter().flatten().collect();
             let shuffle_bytes = super::edge_shuffle_bytes(edges.len() as u64);
@@ -175,7 +175,7 @@ fn run_partial_cc(
     }
     let merged = match level.into_iter().next() {
         Some(d) => {
-            let (vals, t1) = client.gather(std::slice::from_ref(&d));
+            let (vals, t1) = client.try_gather(std::slice::from_ref(&d))?;
             client.note_phase("edge-discovery+partial-cc", t0, t1);
             vals.into_iter().next().unwrap_or_default()
         }

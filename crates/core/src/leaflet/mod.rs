@@ -24,7 +24,7 @@ mod spark_impl;
 pub use dask_impl::lf_dask;
 pub use gates::{check_feasible, task_mem_budget, worker_mem};
 pub use kernels::{block_edges, block_edges_indexed, block_edges_tree, strip_edges};
-pub use mpi_impl::lf_mpi;
+pub use mpi_impl::{lf_mpi, lf_mpi_with_policy};
 pub use pilot_impl::lf_pilot;
 pub use spark_impl::lf_spark;
 

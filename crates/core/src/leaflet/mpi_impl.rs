@@ -18,13 +18,37 @@ use taskframe::EngineError;
 /// Per-rank result shipped to rank 0.
 type RankOut = (Vec<(u32, u32)>, Vec<Vec<u32>>, u64);
 
-/// Run the Leaflet Finder on MPI with `world` ranks.
+/// Run the Leaflet Finder on MPI with `world` ranks. Default MPI posture:
+/// one attempt, so any node death aborts with `WorkerLost`.
 pub fn lf_mpi(
     cluster: Cluster,
     world: usize,
     positions: &[Vec3],
     approach: LfApproach,
     cfg: &LfConfig,
+) -> Result<LfOutput, EngineError> {
+    lf_mpi_with_policy(
+        cluster,
+        world,
+        positions,
+        approach,
+        cfg,
+        &netsim::RetryPolicy::new(1),
+        true,
+    )
+}
+
+/// Leaflet Finder on MPI under an explicit recovery policy: a node death
+/// restarts the job from the last completed collective barrier (or from
+/// startup when `restart_from_barrier` is false) instead of aborting.
+pub fn lf_mpi_with_policy(
+    cluster: Cluster,
+    world: usize,
+    positions: &[Vec3],
+    approach: LfApproach,
+    cfg: &LfConfig,
+    policy: &netsim::RetryPolicy,
+    restart_from_barrier: bool,
 ) -> Result<LfOutput, EngineError> {
     check_feasible(EngineKind::Mpi, approach, cfg, &cluster)?;
     let n = positions.len();
@@ -49,94 +73,100 @@ pub fn lf_mpi(
     let net = cluster.profile.network;
     let scale = cluster.profile.core_efficiency;
 
-    let out = mpilike::try_run(cluster.clone(), world, |comm| {
-        let t_start = comm.clock();
-        // Approach 1 broadcasts the whole system; the others ship only the
-        // per-rank block slices (charged as I/O below).
-        let local_positions: Vec<Vec3> = if approach == LfApproach::Broadcast1D {
-            comm.set_phase("broadcast");
-            let v = if comm.rank() == 0 {
-                Some(positions.to_vec())
+    let out = mpilike::try_run_with_policy(
+        cluster.clone(),
+        world,
+        policy,
+        restart_from_barrier,
+        |comm| {
+            let t_start = comm.clock();
+            // Approach 1 broadcasts the whole system; the others ship only the
+            // per-rank block slices (charged as I/O below).
+            let local_positions: Vec<Vec3> = if approach == LfApproach::Broadcast1D {
+                comm.set_phase("broadcast");
+                let v = if comm.rank() == 0 {
+                    Some(positions.to_vec())
+                } else {
+                    None
+                };
+                comm.bcast(0, v)
             } else {
-                None
+                positions.to_vec() // pre-partitioned: ranks read their slices
             };
-            comm.bcast(0, v)
-        } else {
-            positions.to_vec() // pre-partitioned: ranks read their slices
-        };
-        let t_bcast = comm.clock();
-        comm.set_phase("edge-discovery");
+            let t_bcast = comm.clock();
+            comm.set_phase("edge-discovery");
 
-        let (edges, partials, found): RankOut = match approach {
-            LfApproach::Broadcast1D => {
-                let mine: Vec<_> = strips
-                    .iter()
-                    .copied()
-                    .skip(comm.rank())
-                    .step_by(comm.world())
-                    .collect();
-                let edges: Vec<(u32, u32)> = comm.compute(|| {
-                    mine.iter()
-                        .flat_map(|&s| strip_edges(&local_positions, s, cfg.cutoff))
-                        .collect()
-                });
-                let found = edges.len() as u64;
-                (edges, Vec::new(), found)
-            }
-            LfApproach::Task2D => {
-                let mine: Vec<_> = blocks
-                    .iter()
-                    .copied()
-                    .skip(comm.rank())
-                    .step_by(comm.world())
-                    .collect();
-                if cfg.charge_io {
-                    let bytes: u64 = mine.iter().map(|&b| block_input_bytes(b)).sum();
-                    comm.charge(net.transfer_time(bytes, false));
-                }
-                let edges: Vec<(u32, u32)> = comm.compute(|| {
-                    mine.iter()
-                        .flat_map(|&b| block_edges(&local_positions, b, cfg.cutoff))
-                        .collect()
-                });
-                let found = edges.len() as u64;
-                (edges, Vec::new(), found)
-            }
-            LfApproach::ParallelCC | LfApproach::TreeSearch => {
-                let mine: Vec<_> = blocks
-                    .iter()
-                    .copied()
-                    .skip(comm.rank())
-                    .step_by(comm.world())
-                    .collect();
-                if cfg.charge_io {
-                    let bytes: u64 = mine.iter().map(|&b| block_input_bytes(b)).sum();
-                    comm.charge(net.transfer_time(bytes, false));
-                }
-                let (partial, found) = comm.compute(|| {
-                    let mut found = 0u64;
-                    let parts: Vec<PartialComponents> = mine
+            let (edges, partials, found): RankOut = match approach {
+                LfApproach::Broadcast1D => {
+                    let mine: Vec<_> = strips
                         .iter()
-                        .map(|&b| {
-                            let edges = if approach == LfApproach::TreeSearch {
-                                block_edges_tree(&local_positions, b, cfg.cutoff)
-                            } else {
-                                block_edges(&local_positions, b, cfg.cutoff)
-                            };
-                            found += edges.len() as u64;
-                            partial_components(&edges)
-                        })
+                        .copied()
+                        .skip(comm.rank())
+                        .step_by(comm.world())
                         .collect();
-                    (merge_partials(&parts).components, found)
-                });
-                (Vec::new(), partial, found)
-            }
-        };
-        let t_edges = comm.clock();
-        comm.set_phase("gather");
-        let gathered = comm.gather(0, (edges, partials, found));
-        (gathered, t_start, t_bcast, t_edges)
-    })?;
+                    let edges: Vec<(u32, u32)> = comm.compute(|| {
+                        mine.iter()
+                            .flat_map(|&s| strip_edges(&local_positions, s, cfg.cutoff))
+                            .collect()
+                    });
+                    let found = edges.len() as u64;
+                    (edges, Vec::new(), found)
+                }
+                LfApproach::Task2D => {
+                    let mine: Vec<_> = blocks
+                        .iter()
+                        .copied()
+                        .skip(comm.rank())
+                        .step_by(comm.world())
+                        .collect();
+                    if cfg.charge_io {
+                        let bytes: u64 = mine.iter().map(|&b| block_input_bytes(b)).sum();
+                        comm.charge(net.transfer_time(bytes, false));
+                    }
+                    let edges: Vec<(u32, u32)> = comm.compute(|| {
+                        mine.iter()
+                            .flat_map(|&b| block_edges(&local_positions, b, cfg.cutoff))
+                            .collect()
+                    });
+                    let found = edges.len() as u64;
+                    (edges, Vec::new(), found)
+                }
+                LfApproach::ParallelCC | LfApproach::TreeSearch => {
+                    let mine: Vec<_> = blocks
+                        .iter()
+                        .copied()
+                        .skip(comm.rank())
+                        .step_by(comm.world())
+                        .collect();
+                    if cfg.charge_io {
+                        let bytes: u64 = mine.iter().map(|&b| block_input_bytes(b)).sum();
+                        comm.charge(net.transfer_time(bytes, false));
+                    }
+                    let (partial, found) = comm.compute(|| {
+                        let mut found = 0u64;
+                        let parts: Vec<PartialComponents> = mine
+                            .iter()
+                            .map(|&b| {
+                                let edges = if approach == LfApproach::TreeSearch {
+                                    block_edges_tree(&local_positions, b, cfg.cutoff)
+                                } else {
+                                    block_edges(&local_positions, b, cfg.cutoff)
+                                };
+                                found += edges.len() as u64;
+                                partial_components(&edges)
+                            })
+                            .collect();
+                        (merge_partials(&parts).components, found)
+                    });
+                    (Vec::new(), partial, found)
+                }
+            };
+            let t_edges = comm.clock();
+            comm.set_phase("gather");
+            let gathered = comm.gather(0, (edges, partials, found));
+            (gathered, t_start, t_bcast, t_edges)
+        },
+    )?;
 
     // Rank 0 reduces; rank order is stable so the result is deterministic.
     let mut all_edges: Vec<(u32, u32)> = Vec::new();

@@ -35,7 +35,7 @@ pub fn lf_spark(
                 counter.fetch_add(edges.len() as u64, Ordering::Relaxed);
                 edges
             });
-            let (edges, shuffle_bytes) = collect_edges(sc, &rdd);
+            let (edges, shuffle_bytes) = collect_edges(sc, &rdd)?;
             let (sizes, count) = driver_cc(sc, n, &edges);
             Ok(finish(
                 sc,
@@ -49,7 +49,7 @@ pub fn lf_spark(
         LfApproach::Task2D => {
             let blocks = plan_2d_grid(n, grid_for_tasks(cfg.partitions));
             let (edges, edge_count, shuffle_bytes, n_tasks) =
-                run_edge_blocks(sc, &positions, blocks, cfg, false);
+                run_edge_blocks(sc, &positions, blocks, cfg, false)?;
             let (sizes, count) = driver_cc(sc, n, &edges);
             Ok(finish(sc, sizes, count, edge_count, shuffle_bytes, n_tasks))
         }
@@ -69,6 +69,9 @@ pub fn lf_spark(
     }
 }
 
+/// Edge-stage result: `(edges, edge count, shuffle bytes, tasks run)`.
+type EdgeStage = (Vec<(u32, u32)>, u64, u64, usize);
+
 /// Map stage returning raw edge lists (approaches 1–2), collected at the
 /// driver; the gathered edge-list volume is the shuffle cost of Table 2.
 fn run_edge_blocks(
@@ -77,7 +80,7 @@ fn run_edge_blocks(
     blocks: Vec<Block>,
     cfg: &LfConfig,
     tree: bool,
-) -> (Vec<(u32, u32)>, u64, u64, usize) {
+) -> Result<EdgeStage, EngineError> {
     let n_tasks = blocks.len();
     let cutoff = cfg.cutoff;
     let charge_io = cfg.charge_io;
@@ -94,19 +97,22 @@ fn run_edge_blocks(
             block_edges(&pos, b, cutoff)
         }
     });
-    let (edges, shuffle_bytes) = collect_edges(sc, &rdd);
+    let (edges, shuffle_bytes) = collect_edges(sc, &rdd)?;
     let count = edges.len() as u64;
-    (edges, count, shuffle_bytes, n_tasks)
+    Ok((edges, count, shuffle_bytes, n_tasks))
 }
 
-fn collect_edges(sc: &SparkContext, rdd: &Rdd<(u32, u32)>) -> (Vec<(u32, u32)>, u64) {
+fn collect_edges(
+    sc: &SparkContext,
+    rdd: &Rdd<(u32, u32)>,
+) -> Result<(Vec<(u32, u32)>, u64), EngineError> {
     sc.set_phase("edge-discovery");
     let t0 = sc.now();
-    let edges = rdd.collect();
+    let edges = rdd.try_collect()?;
     let t1 = sc.now();
     sc.note_phase("edge-discovery", t0, t1);
     let bytes = super::edge_shuffle_bytes(edges.len() as u64);
-    (edges, bytes)
+    Ok((edges, bytes))
 }
 
 /// Approaches 3–4: map computes partial components; Spark's `reduce`
@@ -144,13 +150,13 @@ fn run_partial_cc(
     });
     sc.set_phase("edge-discovery+partial-cc");
     let t0 = sc.now();
-    let merged = rdd.reduce(|a, b| {
+    let merged = rdd.try_reduce(|a, b| {
         merge_partials(&[
             PartialComponents { components: a },
             PartialComponents { components: b },
         ])
         .components
-    });
+    })?;
     let t1 = sc.now();
     sc.note_phase("edge-discovery+partial-cc", t0, t1);
     let (sizes, count) = sizes_of_groups(merged.unwrap_or_default());

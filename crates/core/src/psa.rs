@@ -107,8 +107,13 @@ fn assemble(n: usize, triples: impl IntoIterator<Item = (u32, u32, f64)>) -> Dis
     d
 }
 
-/// PSA on Spark: one RDD partition per task, map-only.
-pub fn psa_spark(sc: &SparkContext, ensemble: Arc<Vec<Trajectory>>, cfg: &PsaConfig) -> PsaOutput {
+/// PSA on Spark: one RDD partition per task, map-only. Surfaces retry
+/// exhaustion under a fault plan as a typed error.
+pub fn psa_spark(
+    sc: &SparkContext,
+    ensemble: Arc<Vec<Trajectory>>,
+    cfg: &PsaConfig,
+) -> Result<PsaOutput, EngineError> {
     let n = ensemble.len();
     let blocks = plan_psa_2d(n, cfg.groups);
     let net = sc.cluster().profile.network;
@@ -122,15 +127,20 @@ pub fn psa_spark(sc: &SparkContext, ensemble: Arc<Vec<Trajectory>>, cfg: &PsaCon
         block_distances(&ens, b)
     });
     sc.set_phase("psa-map");
-    let triples = rdd.collect();
-    PsaOutput {
+    let triples = rdd.try_collect()?;
+    Ok(PsaOutput {
         distances: assemble(n, triples),
         report: sc.report(),
-    }
+    })
 }
 
-/// PSA on Dask: one delayed function per task.
-pub fn psa_dask(client: &DaskClient, ensemble: Arc<Vec<Trajectory>>, cfg: &PsaConfig) -> PsaOutput {
+/// PSA on Dask: one delayed function per task. Surfaces retry exhaustion
+/// under a fault plan as a typed error.
+pub fn psa_dask(
+    client: &DaskClient,
+    ensemble: Arc<Vec<Trajectory>>,
+    cfg: &PsaConfig,
+) -> Result<PsaOutput, EngineError> {
     let n = ensemble.len();
     let blocks = plan_psa_2d(n, cfg.groups);
     let net = client.cluster().profile.network;
@@ -148,11 +158,11 @@ pub fn psa_dask(client: &DaskClient, ensemble: Arc<Vec<Trajectory>>, cfg: &PsaCo
             })
         })
         .collect();
-    let (parts, _t) = client.gather(&tasks);
-    PsaOutput {
+    let (parts, _t) = client.try_gather(&tasks)?;
+    Ok(PsaOutput {
         distances: assemble(n, parts.into_iter().flatten()),
         report: client.report(),
-    }
+    })
 }
 
 /// PSA on RADICAL-Pilot: one Compute-Unit per task, inputs genuinely
@@ -235,6 +245,49 @@ pub fn psa_mpi(
     }
 }
 
+/// PSA on MPI under an explicit recovery policy: a node death restarts the
+/// job from the last completed collective barrier (or from startup when
+/// `restart_from_barrier` is false) instead of aborting, up to
+/// `policy.max_attempts` total attempts.
+pub fn psa_mpi_with_policy(
+    cluster: Cluster,
+    world: usize,
+    ensemble: &[Trajectory],
+    cfg: &PsaConfig,
+    policy: &netsim::RetryPolicy,
+    restart_from_barrier: bool,
+) -> Result<PsaOutput, EngineError> {
+    let n = ensemble.len();
+    let blocks = plan_psa_2d(n, cfg.groups);
+    let net = cluster.profile.network;
+    let charge_io = cfg.charge_io;
+    let out = mpilike::try_run_with_policy(cluster, world, policy, restart_from_barrier, |comm| {
+        comm.set_phase("psa-map");
+        let mine: Vec<Block> = blocks
+            .iter()
+            .copied()
+            .skip(comm.rank())
+            .step_by(comm.world())
+            .collect();
+        if charge_io {
+            let bytes: u64 = mine.iter().map(|&b| block_input_bytes(ensemble, b)).sum();
+            comm.charge(net.transfer_time(bytes, false));
+        }
+        let local: Vec<(u32, u32, f64)> = comm.compute(|| {
+            mine.iter()
+                .flat_map(|&b| block_distances(ensemble, b))
+                .collect()
+        });
+        comm.set_phase("gather");
+        comm.gather(0, local)
+    })?;
+    let triples = out.results.into_iter().flatten().flatten().flatten();
+    Ok(PsaOutput {
+        distances: assemble(n, triples),
+        report: out.report,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,13 +343,15 @@ mod tests {
         let cluster = || Cluster::new(laptop(), 2);
         let arc = Arc::new(e.clone());
 
-        let spark = psa_spark(&SparkContext::new(cluster()), Arc::clone(&arc), &cfg);
+        let spark = psa_spark(&SparkContext::new(cluster()), Arc::clone(&arc), &cfg)
+            .expect("spark runs fault-free");
         assert!(
             matrices_equal(&spark.distances, &reference),
             "spark mismatch"
         );
 
-        let dask = psa_dask(&DaskClient::new(cluster()), Arc::clone(&arc), &cfg);
+        let dask = psa_dask(&DaskClient::new(cluster()), Arc::clone(&arc), &cfg)
+            .expect("dask runs fault-free");
         assert!(matrices_equal(&dask.distances, &reference), "dask mismatch");
 
         let pilot_out = psa_pilot(&Session::new(cluster()).unwrap(), &e, &cfg).expect("pilot runs");
@@ -317,7 +372,7 @@ mod tests {
             charge_io: false,
         };
         let sc = SparkContext::new(Cluster::new(laptop(), 1));
-        psa_spark(&sc, Arc::new(e), &cfg);
+        psa_spark(&sc, Arc::new(e), &cfg).expect("fault-free");
         assert_eq!(sc.report().tasks, 4);
     }
 

@@ -1,6 +1,6 @@
 //! The distributed client, delayed tasks and the dynamic scheduler.
 
-use netsim::{broadcast_time, Cluster, SimExecutor, SimReport};
+use netsim::{broadcast_time, Cluster, RetryPolicy, SimExecutor, SimReport};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use taskframe::{dask_profile, EngineError, FrameworkProfile, Payload, TaskCtx};
@@ -11,6 +11,9 @@ struct DaskState {
     /// through it once.
     sched_free: f64,
     next_task: usize,
+    /// Recovery policy the scheduler applies when a worker's heartbeat
+    /// stops: bounded reschedules with detection delay and backoff.
+    policy: RetryPolicy,
 }
 
 struct Inner {
@@ -33,6 +36,11 @@ pub struct DaskClient {
 pub struct Delayed<T> {
     value: T,
     ready: f64,
+    /// Poisoned futures: the simulated task (or one of its dependencies)
+    /// failed for good — the error propagates through dependents and
+    /// surfaces at [`DaskClient::try_gather`], mirroring how a dask future
+    /// holds an exception.
+    error: Option<EngineError>,
 }
 
 impl<T> Delayed<T> {
@@ -50,6 +58,11 @@ impl<T> Delayed<T> {
     pub fn ready_at(&self) -> f64 {
         self.ready
     }
+
+    /// The simulated failure this future carries, if any.
+    pub fn error(&self) -> Option<&EngineError> {
+        self.error.as_ref()
+    }
 }
 
 impl DaskClient {
@@ -63,6 +76,7 @@ impl DaskClient {
         exec.report_mut().overhead_s += profile.startup_s;
         exec.advance_makespan(profile.startup_s);
         let startup = profile.startup_s;
+        let policy = profile.retry_policy();
         DaskClient {
             inner: Arc::new(Inner {
                 cluster,
@@ -71,9 +85,21 @@ impl DaskClient {
                     exec,
                     sched_free: startup,
                     next_task: 0,
+                    policy,
                 }),
             }),
         }
+    }
+
+    /// Override the recovery policy (defaults to
+    /// [`FrameworkProfile::retry_policy`]).
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        self.inner.state.lock().policy = policy;
+    }
+
+    /// The recovery policy currently in force.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.inner.state.lock().policy
     }
 
     pub fn cluster(&self) -> &Cluster {
@@ -88,10 +114,12 @@ impl DaskClient {
         deps_ready: f64,
         dep_transfer_bytes: u64,
         n_deps: usize,
+        dep_error: Option<EngineError>,
         f: impl FnOnce(&TaskCtx) -> T,
     ) -> Delayed<T> {
         let mut st = self.inner.state.lock();
         let profile = &self.inner.profile;
+        let policy = st.policy;
         let net = self.inner.cluster.profile.network;
         // Scheduler handles this task once its deps are done.
         let dispatch = st.sched_free.max(deps_ready) + profile.central_dispatch_s;
@@ -114,21 +142,84 @@ impl DaskClient {
             .scale_compute(host_s + profile.worker_overhead_s)
             + tctx.charged()
             + profile.ser_time(out.wire_bytes());
+        // A poisoned dependency fails this task without scheduling it —
+        // the scheduler cancels dependents of a failed key.
+        if let Some(e) = dep_error {
+            return Delayed {
+                value: out,
+                ready: deps_ready,
+                error: Some(e),
+            };
+        }
         // The dynamic scheduler reschedules a dead worker's tasks on the
-        // survivors as soon as the heartbeat loss is noticed: each killed
-        // attempt re-enters the scheduler and is dispatched again.
+        // survivors once the heartbeat loss is noticed, backing off between
+        // reschedules and blacklisting the dead core, up to the policy's
+        // attempt budget.
         let mut release = dispatch + fetch;
+        let mut attempts: u32 = 1;
+        let mut first_died: Option<f64> = None;
+        let mut avoid = None;
+        let mut error = None;
         let placement = loop {
-            match st.exec.run_task_attempt(release, dur) {
-                netsim::TaskAttempt::Done(p) => break p,
-                netsim::TaskAttempt::Killed { died_at, .. } => {
+            let opts = netsim::TaskOpts {
+                avoid_core: avoid,
+                ..Default::default()
+            };
+            match st.exec.run_task_attempt_checked(release, dur, opts) {
+                Err(e) => {
+                    error = Some(EngineError::from(e));
+                    break None;
+                }
+                Ok(netsim::TaskAttempt::Done(p)) => break Some(p),
+                Ok(netsim::TaskAttempt::Killed { died_at, core, .. }) => {
+                    if attempts >= policy.max_attempts {
+                        error = Some(EngineError::RetriesExhausted {
+                            attempts,
+                            last_failure_s: died_at + policy.detection_delay_s,
+                        });
+                        break None;
+                    }
+                    attempts += 1;
+                    avoid = Some(core);
+                    first_died.get_or_insert(died_at);
                     let rep = st.exec.report_mut();
                     rep.retries += 1;
                     rep.overhead_s += profile.central_dispatch_s;
-                    release = release.max(died_at + profile.central_dispatch_s);
+                    release = release.max(
+                        died_at
+                            + policy.detection_delay_s
+                            + policy.backoff_before(attempts)
+                            + profile.central_dispatch_s,
+                    );
                 }
             }
         };
+        let Some(placement) = placement else {
+            return Delayed {
+                value: out,
+                ready: release,
+                error,
+            };
+        };
+        if let Some(deadline) = policy.deadline_s {
+            if placement.end > deadline {
+                return Delayed {
+                    value: out,
+                    ready: placement.end,
+                    error: Some(EngineError::DeadlineExceeded {
+                        deadline_s: deadline,
+                        at_s: placement.start,
+                    }),
+                };
+            }
+        }
+        if let Some(died_at) = first_died {
+            st.exec
+                .record_recovery("reschedule", died_at, placement.end);
+            st.exec
+                .report_mut()
+                .push_phase("recovery", died_at, placement.end);
+        }
         if fetch > 0.0 {
             // Inputs stream from wherever the deps live — approximated as
             // node 0 — to the node the task actually landed on.
@@ -142,12 +233,13 @@ impl DaskClient {
         Delayed {
             value: out,
             ready: placement.end,
+            error: None,
         }
     }
 
     /// Submit a leaf task (no dependencies) — `dask.delayed(f)()`.
     pub fn delayed<T: Payload>(&self, f: impl FnOnce(&TaskCtx) -> T) -> Delayed<T> {
-        self.submit_inner(0.0, 0, 0, f)
+        self.submit_inner(0.0, 0, 0, None, f)
     }
 
     /// Submit a task depending on several inputs.
@@ -159,7 +251,10 @@ impl DaskClient {
         let deps_ready = deps.iter().map(|d| d.ready).fold(0.0, f64::max);
         let bytes = deps.iter().map(|d| d.value.wire_bytes()).sum();
         let values: Vec<&T> = deps.iter().map(|d| &d.value).collect();
-        self.submit_inner(deps_ready, bytes, deps.len(), move |ctx| f(&values, ctx))
+        let dep_error = deps.iter().find_map(|d| d.error.clone());
+        self.submit_inner(deps_ready, bytes, deps.len(), dep_error, move |ctx| {
+            f(&values, ctx)
+        })
     }
 
     /// Submit a task that depends on `dep` but needs no data transfer —
@@ -170,12 +265,31 @@ impl DaskClient {
         dep: &Delayed<T>,
         f: impl FnOnce(&T, &TaskCtx) -> U,
     ) -> Delayed<U> {
-        self.submit_inner(dep.ready, 0, 0, |ctx| f(&dep.value, ctx))
+        self.submit_inner(dep.ready, 0, 0, dep.error.clone(), |ctx| f(&dep.value, ctx))
+    }
+
+    /// Pull results back to the client, in input order, surfacing the
+    /// first poisoned future's error.
+    pub fn try_gather<T: Payload + Clone>(
+        &self,
+        ds: &[Delayed<T>],
+    ) -> Result<(Vec<T>, f64), EngineError> {
+        if let Some(e) = ds.iter().find_map(|d| d.error.clone()) {
+            return Err(e);
+        }
+        Ok(self.gather_unchecked(ds))
     }
 
     /// Pull results back to the client, in input order. Returns the values
     /// and the virtual time at which the gather completed.
+    ///
+    /// Panics if any future is poisoned (use [`Self::try_gather`] under
+    /// fault plans that can exhaust the retry policy).
     pub fn gather<T: Payload + Clone>(&self, ds: &[Delayed<T>]) -> (Vec<T>, f64) {
+        self.try_gather(ds).expect("dasklet job failed")
+    }
+
+    fn gather_unchecked<T: Payload + Clone>(&self, ds: &[Delayed<T>]) -> (Vec<T>, f64) {
         let mut st = self.inner.state.lock();
         let net = self.inner.cluster.profile.network;
         let profile = &self.inner.profile;
@@ -200,7 +314,11 @@ impl DaskClient {
         for p in parts {
             t += net.transfer_time(p.wire_bytes(), self.inner.cluster.nodes == 1)
                 + profile.per_transfer_overhead_s;
-            out.push(Delayed { value: p, ready: t });
+            out.push(Delayed {
+                value: p,
+                ready: t,
+                error: None,
+            });
         }
         let base = st.sched_free;
         st.sched_free = t;
@@ -246,7 +364,11 @@ impl DaskClient {
         rep.comm_s += t;
         rep.bytes_broadcast += bytes * dests.max(1) as u64;
         rep.push_phase("broadcast", start, end);
-        Ok(Delayed { value, ready: end })
+        Ok(Delayed {
+            value,
+            ready: end,
+            error: None,
+        })
     }
 
     /// Charge client-side work (e.g. a final reduction on gathered
@@ -303,8 +425,12 @@ impl<T: Payload> Delayed<T> {
         client: &DaskClient,
         f: impl FnOnce(&T, &TaskCtx) -> U,
     ) -> Delayed<U> {
-        client.submit_inner(self.ready, self.value.wire_bytes(), 1, |ctx| {
-            f(&self.value, ctx)
-        })
+        client.submit_inner(
+            self.ready,
+            self.value.wire_bytes(),
+            1,
+            self.error.clone(),
+            |ctx| f(&self.value, ctx),
+        )
     }
 }

@@ -1,8 +1,9 @@
 //! The SPMD communicator and runner.
 
 use crate::collective::Rendezvous;
-use netsim::{Cluster, EventKind, SimReport, Trace, TraceEvent};
+use netsim::{Cluster, EventKind, RetryPolicy, SimReport, Trace, TraceEvent};
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use taskframe::{mpi_profile, EngineError, Payload};
 
@@ -19,6 +20,10 @@ struct Shared {
     /// so the trace is always on; it is sorted into virtual-time order
     /// after the threads join and attached to the report.
     trace: Mutex<Trace>,
+    /// Global completion time of each collective (max over ranks, keyed by
+    /// sequence number): the implicit checkpoints a policied restart can
+    /// resume from — every rank provably held consistent state there.
+    collective_ends: Mutex<BTreeMap<u64, f64>>,
 }
 
 impl Shared {
@@ -76,6 +81,32 @@ where
     T: Send,
     F: Fn(&mut Comm) -> T + Send + Sync,
 {
+    // One attempt: the default MPI posture (a lost rank aborts the job).
+    try_run_with_policy(cluster, world, &RetryPolicy::new(1), true, f)
+}
+
+/// Checkpoint/restart variant: instead of aborting the whole job on a node
+/// death, the runtime restarts from the **last completed collective
+/// barrier** before the death (every rank provably held consistent state
+/// there), paying failure detection, the policy's backoff, a fresh
+/// `mpirun` launch, and the re-execution of everything after the
+/// checkpoint. `restart_from_barrier: false` models plain job-level
+/// restart (from scratch) for comparison. The allocation is assumed to be
+/// refilled with a replacement node, as a resource manager would.
+///
+/// With `policy.max_attempts == 1` this is exactly [`try_run`]: the first
+/// death before the job's end surfaces as [`EngineError::WorkerLost`].
+pub fn try_run_with_policy<T, F>(
+    cluster: Cluster,
+    world: usize,
+    policy: &RetryPolicy,
+    restart_from_barrier: bool,
+    f: F,
+) -> Result<MpiRunOutput<T>, EngineError>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Send + Sync,
+{
     assert!(world >= 1, "need at least one rank");
     assert!(
         world <= cluster.total_cores(),
@@ -91,6 +122,7 @@ where
         bytes_broadcast: AtomicU64::new(0),
         bytes_shuffled: AtomicU64::new(0),
         trace: Mutex::new(Trace::default()),
+        collective_ends: Mutex::new(BTreeMap::new()),
     };
 
     let mut results: Vec<Option<T>> = Vec::with_capacity(world);
@@ -131,19 +163,96 @@ where
         .copied()
         .fold(0.0, f64::max)
         .max(profile.startup_s);
-    // SPMD abort semantics: a node death anywhere before the job's end
-    // takes the whole communicator down — there is nothing to retry.
-    for rank in 0..world {
-        let node = shared.cluster.node_of_core(rank);
-        if let Some(at_s) = shared.cluster.faults().node_death(node) {
-            if at_s < job_end {
-                return Err(EngineError::WorkerLost { node, at_s });
-            }
+    // SPMD abort-and-restart semantics, applied post hoc: the virtual
+    // timeline of the job is fixed, so a death simply shifts everything
+    // after its restart point. Walk the deaths in time order; each one
+    // hitting a node that hosts ranks before the (shifted) job end costs
+    // one attempt and a restart from the last completed collective
+    // barrier (or from scratch, without barrier checkpoints).
+    let barriers: Vec<f64> = shared.collective_ends.lock().values().copied().collect();
+    let mut deaths: Vec<(usize, f64)> = (0..world)
+        .map(|rank| shared.cluster.node_of_core(rank))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .filter_map(|node| {
+            shared
+                .cluster
+                .faults()
+                .node_death(node)
+                .map(|at_s| (node, at_s))
+        })
+        .collect();
+    deaths.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    let mut attempts: u32 = 1;
+    let mut shift = 0.0f64;
+    let mut end = job_end;
+    let mut restarts = 0usize;
+    let mut lost_time = 0.0f64;
+    let mut recovery_windows: Vec<(f64, f64)> = Vec::new();
+    for (node, at_s) in deaths {
+        if at_s >= end {
+            continue;
+        }
+        if policy.max_attempts == 1 {
+            // Plain MPI: nothing to retry, the communicator is gone.
+            return Err(EngineError::WorkerLost { node, at_s });
+        }
+        if attempts >= policy.max_attempts {
+            return Err(EngineError::RetriesExhausted {
+                attempts,
+                last_failure_s: at_s + policy.detection_delay_s,
+            });
+        }
+        attempts += 1;
+        // How far the job had progressed (in its own timeline) when the
+        // node died, and the checkpoint to resume from.
+        let progress = (at_s - shift).clamp(profile.startup_s, job_end);
+        let ckpt = if restart_from_barrier {
+            barriers
+                .iter()
+                .copied()
+                .filter(|&b| b <= progress)
+                .fold(profile.startup_s, f64::max)
+        } else {
+            profile.startup_s
+        };
+        // Every rank's work since the checkpoint is redone.
+        lost_time += (progress - ckpt) * world as f64;
+        let resume =
+            at_s + policy.detection_delay_s + policy.backoff_before(attempts) + profile.startup_s;
+        recovery_windows.push((at_s, resume));
+        end = resume + (job_end - ckpt);
+        shift = end - job_end;
+        restarts += 1;
+    }
+    if let Some(deadline) = policy.deadline_s {
+        if end > deadline {
+            return Err(EngineError::DeadlineExceeded {
+                deadline_s: deadline,
+                at_s: end,
+            });
         }
     }
     // Threads record trace events in host-scheduling order; sort into
-    // virtual-time order and renumber so runs are reproducible.
+    // virtual-time order and renumber so runs are reproducible. (Events
+    // keep the original, unshifted timeline; restarts appear as recovery
+    // events alongside it.)
     let mut trace = shared.trace.into_inner();
+    for &(start_s, end_s) in &recovery_windows {
+        let task = trace.next_id();
+        trace.record(TraceEvent {
+            task,
+            core: 0,
+            start_s,
+            end_s,
+            killed: false,
+            ready_s: start_s,
+            phase: "recovery".to_string(),
+            kind: EventKind::Recovery {
+                label: "restart".to_string(),
+            },
+        });
+    }
     trace.events.sort_by(|a, b| {
         a.start_s
             .total_cmp(&b.start_s)
@@ -154,17 +263,22 @@ where
     for (i, e) in trace.events.iter_mut().enumerate() {
         e.task = i;
     }
-    let report = SimReport {
-        makespan_s: job_end,
+    let mut report = SimReport {
+        makespan_s: end,
         tasks: world,
         compute_s: *shared.compute_s.lock(),
-        overhead_s: profile.startup_s,
+        overhead_s: profile.startup_s * (1 + restarts) as f64,
         comm_s: shared.rendezvous.comm_seconds(),
         bytes_broadcast: shared.bytes_broadcast.load(Ordering::Relaxed),
         bytes_shuffled: shared.bytes_shuffled.load(Ordering::Relaxed),
+        retries: restarts,
+        lost_time_s: lost_time,
         trace: Some(trace),
         ..Default::default()
     };
+    for (start_s, end_s) in recovery_windows {
+        report.push_phase("recovery", start_s, end_s);
+    }
     Ok(MpiRunOutput {
         results: results
             .into_iter()
@@ -259,6 +373,14 @@ impl<'a> Comm<'a> {
             .rendezvous
             .exchange(self.seq, self.rank, self.clock, input, finish);
         self.clock = t;
+        // The collective is globally complete once its slowest rank is
+        // done — that instant is a consistent restart checkpoint.
+        let mut ends = self.shared.collective_ends.lock();
+        let e = ends.entry(self.seq).or_insert(self.clock);
+        if self.clock > *e {
+            *e = self.clock;
+        }
+        drop(ends);
         out
     }
 

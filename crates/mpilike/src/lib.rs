@@ -23,7 +23,7 @@ mod collective;
 mod collectives_ext;
 mod comm;
 
-pub use comm::{run, try_run, Comm, MpiRunOutput};
+pub use comm::{run, try_run, try_run_with_policy, Comm, MpiRunOutput};
 
 #[cfg(test)]
 mod tests {

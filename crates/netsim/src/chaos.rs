@@ -1,0 +1,690 @@
+//! Deterministic chaos-fuzzing harness with invariant oracles.
+//!
+//! PR-1 scripted *point* failures by hand; this module tests recovery
+//! *adversarially*. From a base seed it generates random [`FaultPlan`]s
+//! (node deaths × straggler cores × lost fetches), runs a workload under
+//! each, and checks invariant oracles against the fault-free run:
+//!
+//! * **result equivalence** — the workload's result fingerprint must be
+//!   bit-identical to the fault-free run (or the engine must surface a
+//!   typed error; it must never silently return different data);
+//! * **shuffle byte conservation** — lost fetches are re-sent, not
+//!   re-counted, so `bytes_shuffled` matches the fault-free run;
+//! * **recovery-accounting consistency** — lost work implies a visible
+//!   recovery (`retries`, `recomputed_partitions`), and a `"recovery"`
+//!   phase never appears without lost work behind it;
+//! * **trace accounting** — completed (non-killed) task events equal the
+//!   report's task count (no task is both completed and killed) and no
+//!   two task attempts overlap on one core;
+//! * **termination** — the run returns (bounded [`RetryPolicy`]s make
+//!   this structural) with a finite makespan.
+//!
+//! On a violation the plan is *shrunk* — deaths and stragglers are
+//! greedily dropped and the fetch-loss probability zeroed while the
+//! violation still reproduces — to a minimal counterexample, and the whole
+//! [`FuzzReport`] serializes to JSON so CI can attach it as an artifact
+//! and a developer can replay it with
+//! `Cluster::with_faults(FaultPlan::from_json(..))`.
+//!
+//! Everything is deterministic: the same config and seed produce the same
+//! plans, the same violations, and the same shrunk counterexamples.
+
+use crate::fault::{mix, FaultPlan, NodeDeath, Straggler};
+use crate::report::SimReport;
+use crate::trace::EventKind;
+
+/// SplitMix64 sequence: a tiny deterministic RNG for plan generation.
+struct SeedStream(u64);
+
+impl SeedStream {
+    fn new(seed: u64) -> Self {
+        SeedStream(mix(seed))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        mix(self.0)
+    }
+
+    /// Uniform in `[0, n)`; `n == 0` yields 0.
+    fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// What the chaos generator is allowed to inject, and how the oracles
+/// judge the outcome.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Cluster shape the workload runs on (used to draw valid node/core
+    /// indices; at least one node always survives).
+    pub nodes: usize,
+    pub cores_per_node: usize,
+    /// First seed of the sweep; plan `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// Number of plans to generate and run.
+    pub plans: usize,
+    /// At most this many node deaths per plan (clamped to `nodes - 1`).
+    pub max_deaths: usize,
+    /// Death times are drawn uniformly from this window.
+    pub death_window_s: (f64, f64),
+    /// At most this many straggler cores per plan.
+    pub max_stragglers: usize,
+    /// Straggler factors are drawn from `[1, straggler_factor_max]`.
+    pub straggler_factor_max: f64,
+    /// Fetch-loss probability is drawn from `[0, lost_fetch_prob_max]`
+    /// (half of all plans keep fetches reliable).
+    pub lost_fetch_prob_max: f64,
+    /// Whether a typed error from the workload is an acceptable outcome
+    /// (bounded policies may legitimately exhaust under heavy plans).
+    /// When `false`, any error is a violation.
+    pub allow_typed_errors: bool,
+    /// Check trace-level task accounting. Disable for engines whose
+    /// report's `tasks` is not an attempt count (mpilike counts ranks).
+    pub check_trace_accounting: bool,
+    /// Require an *empty* plan to reproduce the baseline report
+    /// byte-for-byte. Holds for synthetic fixed-duration workloads;
+    /// disable for workloads that re-measure real closure durations each
+    /// run (their makespans carry µs-scale measurement jitter).
+    pub check_empty_plan_determinism: bool,
+}
+
+impl ChaosConfig {
+    pub fn new(nodes: usize, cores_per_node: usize) -> Self {
+        assert!(nodes >= 1 && cores_per_node >= 1);
+        ChaosConfig {
+            nodes,
+            cores_per_node,
+            base_seed: 0,
+            plans: 100,
+            max_deaths: 1,
+            death_window_s: (0.0, 10.0),
+            max_stragglers: 2,
+            straggler_factor_max: 8.0,
+            lost_fetch_prob_max: 0.3,
+            allow_typed_errors: true,
+            check_trace_accounting: true,
+            check_empty_plan_determinism: true,
+        }
+    }
+}
+
+/// Generate the plan for one seed: deaths on distinct nodes (always
+/// leaving a survivor), straggler cores, and an optional fetch-loss rate.
+/// Deterministic in `(cfg, seed)`.
+pub fn plan_for_seed(cfg: &ChaosConfig, seed: u64) -> FaultPlan {
+    let mut rng = SeedStream::new(seed);
+    let max_deaths = cfg.max_deaths.min(cfg.nodes.saturating_sub(1));
+    let n_deaths = rng.below(max_deaths + 1);
+    let mut nodes: Vec<usize> = (0..cfg.nodes).collect();
+    let mut deaths = Vec::with_capacity(n_deaths);
+    let (lo, hi) = cfg.death_window_s;
+    for i in 0..n_deaths {
+        // Partial Fisher–Yates: death nodes are distinct.
+        let j = i + rng.below(nodes.len() - i);
+        nodes.swap(i, j);
+        deaths.push(NodeDeath {
+            node: nodes[i],
+            at_s: lo + rng.f64() * (hi - lo),
+        });
+    }
+    let n_stragglers = rng.below(cfg.max_stragglers + 1);
+    let total_cores = cfg.nodes * cfg.cores_per_node;
+    let stragglers = (0..n_stragglers)
+        .map(|_| Straggler {
+            core: rng.below(total_cores),
+            factor: 1.0 + rng.f64() * (cfg.straggler_factor_max - 1.0).max(0.0),
+        })
+        .collect();
+    let lost_fetch_prob = if rng.f64() < 0.5 {
+        0.0
+    } else {
+        rng.f64() * cfg.lost_fetch_prob_max
+    };
+    FaultPlan::from_parts(deaths, stragglers, lost_fetch_prob, mix(seed))
+}
+
+/// What one workload run under one plan produced: a fingerprint of the
+/// *data* the workload computed (build it with [`Fingerprint`] over
+/// results only — never over timings) plus the full [`SimReport`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosOutcome {
+    pub fingerprint: u64,
+    pub report: SimReport,
+}
+
+/// Order-sensitive 64-bit fingerprint builder for workload results.
+#[derive(Clone, Copy, Debug)]
+pub struct Fingerprint(u64);
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+impl Fingerprint {
+    pub fn new() -> Self {
+        Fingerprint(0x9e37_79b9_7f4a_7c15)
+    }
+
+    pub fn write_u64(&mut self, v: u64) {
+        self.0 = mix(self.0 ^ mix(v));
+    }
+
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Bit-exact: equal fingerprints mean equal f64 bit patterns.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    pub fn finish(&self) -> u64 {
+        mix(self.0)
+    }
+}
+
+/// One invariant violation, with the original and shrunk plans.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub seed: u64,
+    pub message: String,
+    pub plan: FaultPlan,
+    pub shrunk: FaultPlan,
+}
+
+/// Outcome of a fuzz sweep.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    pub plans_run: usize,
+    pub violations: Vec<Violation>,
+}
+
+impl FuzzReport {
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// JSON artifact for CI: every violation carries its seed, message,
+    /// and both the original and minimal replayable plans.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"plans_run\":{},\"passed\":{},\"violations\":[",
+            self.plans_run,
+            self.passed()
+        );
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"seed\":{},\"message\":\"{}\",\"plan\":{},\"shrunk\":{}}}",
+                v.seed,
+                escape_json(&v.message),
+                v.plan.to_json(),
+                v.shrunk.to_json()
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Check every oracle for one run. `Ok(outcome)` means the workload
+/// completed; `Err` is a typed engine error (acceptable when
+/// `cfg.allow_typed_errors`). Returns the first violated invariant.
+pub fn check_invariants(
+    cfg: &ChaosConfig,
+    baseline: &ChaosOutcome,
+    plan: &FaultPlan,
+    result: &Result<ChaosOutcome, String>,
+) -> Option<String> {
+    let outcome = match result {
+        // Bounded failure is an acceptable outcome; the run still
+        // terminated with a typed error rather than hanging.
+        Err(_) if cfg.allow_typed_errors => return None,
+        Err(e) => return Some(format!("workload failed under plan: {e}")),
+        Ok(o) => o,
+    };
+    let r = &outcome.report;
+    if outcome.fingerprint != baseline.fingerprint {
+        return Some(format!(
+            "result diverged from fault-free run (fingerprint {:#018x} != {:#018x})",
+            outcome.fingerprint, baseline.fingerprint
+        ));
+    }
+    if !r.makespan_s.is_finite() || r.makespan_s < 0.0 {
+        return Some(format!("non-finite makespan {}", r.makespan_s));
+    }
+    if r.bytes_shuffled != baseline.report.bytes_shuffled {
+        return Some(format!(
+            "shuffle bytes not conserved: {} vs fault-free {}",
+            r.bytes_shuffled, baseline.report.bytes_shuffled
+        ));
+    }
+    if cfg.check_empty_plan_determinism && plan.is_empty() && *r != baseline.report {
+        return Some("empty plan produced a different report (non-determinism)".into());
+    }
+    if r.lost_time_s > 0.0 && r.retries == 0 && r.recomputed_partitions == 0 {
+        return Some(format!(
+            "{:.3}s of work lost but no retry or recompute recorded",
+            r.lost_time_s
+        ));
+    }
+    let recovery = r.phase_total("recovery").unwrap_or(0.0);
+    if recovery > 0.0 && r.retries == 0 && r.recomputed_partitions == 0 && r.lost_time_s == 0.0 {
+        return Some(format!(
+            "phantom recovery: {recovery:.3}s of \"recovery\" phase with nothing lost or retried"
+        ));
+    }
+    if cfg.check_trace_accounting {
+        if let Some(trace) = &r.trace {
+            let mut completed = 0usize;
+            let mut spans: Vec<(usize, f64, f64)> = Vec::new();
+            for ev in &trace.events {
+                if let EventKind::Task { .. } = ev.kind {
+                    if !ev.killed {
+                        completed += 1;
+                        spans.push((ev.core, ev.start_s, ev.end_s));
+                    } else if (ev.end_s - ev.start_s) < 0.0 {
+                        return Some("killed attempt with negative span".into());
+                    }
+                }
+            }
+            if completed != r.tasks {
+                return Some(format!(
+                    "trace has {completed} completed task attempts but the report counts {} \
+                     tasks (a task was double-counted as completed and killed, or dropped)",
+                    r.tasks
+                ));
+            }
+            spans.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+            for w in spans.windows(2) {
+                let (ca, _, ea) = w[0];
+                let (cb, sb, _) = w[1];
+                if ca == cb && sb < ea - 1e-9 {
+                    return Some(format!(
+                        "two completed attempts overlap on core {ca}: one ends at {ea:.6}, \
+                         the next starts at {sb:.6}"
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Greedily shrink `plan` to a minimal set of faults for which
+/// `still_fails` holds: drop one death at a time, then one straggler at a
+/// time, then zero the fetch-loss probability, to a fixpoint. Bounded by
+/// the plan size (each pass removes something or stops), so shrinking a
+/// plan with `d` deaths and `s` stragglers re-runs the workload
+/// `O((d + s)^2)` times.
+pub fn shrink(plan: &FaultPlan, mut still_fails: impl FnMut(&FaultPlan) -> bool) -> FaultPlan {
+    let rebuild = |deaths: Vec<NodeDeath>, stragglers: Vec<Straggler>, prob: f64, seed: u64| {
+        FaultPlan::from_parts(deaths, stragglers, prob, seed)
+    };
+    let mut cur = plan.clone();
+    loop {
+        let mut shrunk = false;
+        for i in 0..cur.deaths().len() {
+            let mut deaths = cur.deaths().to_vec();
+            deaths.remove(i);
+            let cand = rebuild(
+                deaths,
+                cur.stragglers().to_vec(),
+                cur.lost_fetch_prob(),
+                cur.seed(),
+            );
+            if still_fails(&cand) {
+                cur = cand;
+                shrunk = true;
+                break;
+            }
+        }
+        if shrunk {
+            continue;
+        }
+        for i in 0..cur.stragglers().len() {
+            let mut stragglers = cur.stragglers().to_vec();
+            stragglers.remove(i);
+            let cand = rebuild(
+                cur.deaths().to_vec(),
+                stragglers,
+                cur.lost_fetch_prob(),
+                cur.seed(),
+            );
+            if still_fails(&cand) {
+                cur = cand;
+                shrunk = true;
+                break;
+            }
+        }
+        if shrunk {
+            continue;
+        }
+        if cur.lost_fetch_prob() > 0.0 {
+            let cand = rebuild(
+                cur.deaths().to_vec(),
+                cur.stragglers().to_vec(),
+                0.0,
+                cur.seed(),
+            );
+            if still_fails(&cand) {
+                cur = cand;
+                continue;
+            }
+        }
+        return cur;
+    }
+}
+
+/// Run the full sweep: a fault-free baseline, then `cfg.plans` seeded
+/// plans, checking every oracle and shrinking each violation to a minimal
+/// counterexample. The workload closure runs the *same* job under the
+/// given plan and fingerprints its results.
+pub fn fuzz<F>(cfg: &ChaosConfig, run: F) -> FuzzReport
+where
+    F: Fn(&FaultPlan) -> Result<ChaosOutcome, String>,
+{
+    let baseline = match run(&FaultPlan::none()) {
+        Ok(o) => o,
+        Err(e) => {
+            let none = FaultPlan::none();
+            return FuzzReport {
+                plans_run: 0,
+                violations: vec![Violation {
+                    seed: cfg.base_seed,
+                    message: format!("fault-free baseline failed: {e}"),
+                    plan: none.clone(),
+                    shrunk: none,
+                }],
+            };
+        }
+    };
+    let violation_for =
+        |plan: &FaultPlan| -> Option<String> { check_invariants(cfg, &baseline, plan, &run(plan)) };
+    let mut violations = Vec::new();
+    for i in 0..cfg.plans {
+        let seed = cfg.base_seed + i as u64;
+        let plan = plan_for_seed(cfg, seed);
+        if let Some(message) = violation_for(&plan) {
+            let shrunk = shrink(&plan, |cand| violation_for(cand).is_some());
+            violations.push(Violation {
+                seed,
+                message,
+                plan,
+                shrunk,
+            });
+        }
+    }
+    FuzzReport {
+        plans_run: cfg.plans,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{laptop, Cluster};
+    use crate::executor::SimExecutor;
+    use crate::policy::RetryPolicy;
+
+    fn cfg() -> ChaosConfig {
+        let mut c = ChaosConfig::new(3, 2);
+        c.plans = 40;
+        c.death_window_s = (0.1, 4.0);
+        c.max_deaths = 2;
+        c
+    }
+
+    /// A deterministic synthetic workload: 12 fixed-duration tasks under a
+    /// bounded policy. `break_recovery` models a buggy recovery path whose
+    /// re-run produces *different data* — the canary the harness must
+    /// catch.
+    fn workload(plan: &FaultPlan, break_recovery: bool) -> Result<ChaosOutcome, String> {
+        let mut profile = laptop();
+        profile.cores_per_node = 2;
+        let mut exec = SimExecutor::new(Cluster::new(profile, 3).with_faults(plan.clone()));
+        exec.enable_trace();
+        let policy = RetryPolicy::new(4)
+            .with_detection_delay(0.2)
+            .with_backoff(0.1, 2.0, 2.0);
+        let mut fp = Fingerprint::new();
+        for i in 0..12u64 {
+            let dur = 0.5 + (i % 4) as f64 * 0.25;
+            let before = exec.report().retries;
+            exec.run_task_policied(0.0, dur, &policy)
+                .map_err(|e| e.to_string())?;
+            let retried = exec.report().retries > before;
+            // The task's "result" is pure data — unless the broken canary
+            // recovery recomputes it wrongly after a retry.
+            let result = if break_recovery && retried {
+                i + 1000
+            } else {
+                i * i
+            };
+            fp.write_u64(result);
+        }
+        Ok(ChaosOutcome {
+            fingerprint: fp.finish(),
+            report: exec.into_report(),
+        })
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_bounded() {
+        let c = cfg();
+        for i in 0..200 {
+            let seed = c.base_seed + i;
+            let p = plan_for_seed(&c, seed);
+            assert_eq!(p, plan_for_seed(&c, seed), "same seed, same plan");
+            assert!(p.deaths().len() <= 2, "at most max_deaths deaths");
+            let mut nodes: Vec<usize> = p.deaths().iter().map(|d| d.node).collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            assert_eq!(nodes.len(), p.deaths().len(), "death nodes are distinct");
+            assert!(nodes.iter().all(|&n| n < 3), "valid node ids");
+            for d in p.deaths() {
+                assert!((0.1..=4.0).contains(&d.at_s));
+            }
+            assert!(p.stragglers().len() <= 2);
+            for s in p.stragglers() {
+                assert!(s.core < 6);
+                assert!((1.0..=8.0).contains(&s.factor));
+            }
+            assert!((0.0..=0.3).contains(&p.lost_fetch_prob()));
+        }
+        // Different seeds explore different plans.
+        assert_ne!(plan_for_seed(&c, 1), plan_for_seed(&c, 2));
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_value_sensitive() {
+        let mut a = Fingerprint::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fingerprint::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Fingerprint::new();
+        c.write_f64(1.0);
+        let mut d = Fingerprint::new();
+        d.write_f64(1.0 + f64::EPSILON);
+        assert_ne!(c.finish(), d.finish(), "bit-exact, not approximate");
+        let mut e = Fingerprint::new();
+        e.write_f64(1.0);
+        assert_eq!(c.finish(), e.finish());
+    }
+
+    #[test]
+    fn correct_recovery_passes_the_sweep() {
+        let report = fuzz(&cfg(), |plan| workload(plan, false));
+        assert!(
+            report.passed(),
+            "correct workload must satisfy every oracle: {:?}",
+            report.violations.first().map(|v| &v.message)
+        );
+        assert_eq!(report.plans_run, 40);
+    }
+
+    #[test]
+    fn broken_canary_is_found_and_shrunk_to_a_minimal_plan() {
+        let report = fuzz(&cfg(), |plan| workload(plan, true));
+        assert!(
+            !report.passed(),
+            "a recovery path that corrupts data must be caught"
+        );
+        let baseline = workload(&FaultPlan::none(), true).unwrap();
+        let fails = |plan: &FaultPlan| {
+            check_invariants(&cfg(), &baseline, plan, &workload(plan, true)).is_some()
+        };
+        for v in &report.violations {
+            assert!(v.message.contains("diverged"), "oracle: {}", v.message);
+            // The broken path only fires on a retry, so a death must remain.
+            assert!(!v.shrunk.deaths().is_empty());
+            // 1-minimality: removing any remaining fault stops the
+            // reproduction (a straggler may legitimately survive shrinking
+            // when it is what stretches a task into the death window).
+            for i in 0..v.shrunk.deaths().len() {
+                let mut deaths = v.shrunk.deaths().to_vec();
+                deaths.remove(i);
+                let cand = FaultPlan::from_parts(
+                    deaths,
+                    v.shrunk.stragglers().to_vec(),
+                    v.shrunk.lost_fetch_prob(),
+                    v.shrunk.seed(),
+                );
+                assert!(!fails(&cand), "death {i} is redundant in the shrunk plan");
+            }
+            for i in 0..v.shrunk.stragglers().len() {
+                let mut stragglers = v.shrunk.stragglers().to_vec();
+                stragglers.remove(i);
+                let cand = FaultPlan::from_parts(
+                    v.shrunk.deaths().to_vec(),
+                    stragglers,
+                    v.shrunk.lost_fetch_prob(),
+                    v.shrunk.seed(),
+                );
+                assert!(
+                    !fails(&cand),
+                    "straggler {i} is redundant in the shrunk plan"
+                );
+            }
+            // The shrunk plan still reproduces, and round-trips through the
+            // JSON artifact to an identical replay.
+            let replayed = FaultPlan::from_json(&v.shrunk.to_json()).unwrap();
+            assert_eq!(replayed, v.shrunk);
+            assert!(fails(&replayed), "replayed shrunk plan reproduces");
+        }
+        // At least one counterexample boils down to a single death with
+        // nothing else — the canonical minimal trigger for the canary.
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.shrunk.deaths().len() == 1
+                    && v.shrunk.stragglers().is_empty()
+                    && v.shrunk.lost_fetch_prob() == 0.0),
+            "some violation shrinks to exactly one death"
+        );
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = fuzz(&cfg(), |plan| workload(plan, true));
+        let b = fuzz(&cfg(), |plan| workload(plan, true));
+        assert_eq!(a.to_json(), b.to_json(), "byte-identical fuzz reports");
+        let run = |plan: &FaultPlan| workload(plan, false).unwrap().report;
+        let p = plan_for_seed(&cfg(), 17);
+        assert_eq!(run(&p), run(&p), "byte-identical SimReport per plan");
+    }
+
+    #[test]
+    fn oracles_catch_phantom_recovery_and_lost_work() {
+        let c = cfg();
+        let base = workload(&FaultPlan::none(), false).unwrap();
+        // Phantom recovery: a "recovery" phase with nothing lost.
+        let mut phantom = base.clone();
+        phantom.report.push_phase("recovery", 0.0, 1.0);
+        let plan = plan_for_seed(&c, 3);
+        let got = check_invariants(&c, &base, &plan, &Ok(phantom));
+        assert!(got.is_some_and(|m| m.contains("phantom")));
+        // Lost work with no recovery recorded.
+        let mut silent = base.clone();
+        silent.report.lost_time_s = 2.0;
+        let got = check_invariants(&c, &base, &plan, &Ok(silent));
+        assert!(got.is_some_and(|m| m.contains("lost")));
+        // Byte conservation.
+        let mut leaky = base.clone();
+        leaky.report.bytes_shuffled += 4096;
+        let got = check_invariants(&c, &base, &plan, &Ok(leaky));
+        assert!(got.is_some_and(|m| m.contains("conserved")));
+    }
+
+    #[test]
+    fn typed_errors_are_acceptable_only_when_allowed() {
+        let mut c = cfg();
+        let base = workload(&FaultPlan::none(), false).unwrap();
+        let plan = plan_for_seed(&c, 5);
+        let failed: Result<ChaosOutcome, String> = Err("task failed after 3 attempts".into());
+        assert!(check_invariants(&c, &base, &plan, &failed).is_none());
+        c.allow_typed_errors = false;
+        assert!(check_invariants(&c, &base, &plan, &failed).is_some());
+    }
+
+    #[test]
+    fn shrink_reaches_a_fixpoint_without_oracle_calls_blowing_up() {
+        // A violation that only needs one specific death: shrink must strip
+        // everything else and keep exactly that death.
+        let plan = FaultPlan::from_parts(
+            vec![
+                NodeDeath { node: 0, at_s: 1.0 },
+                NodeDeath { node: 1, at_s: 2.0 },
+            ],
+            vec![Straggler {
+                core: 3,
+                factor: 5.0,
+            }],
+            0.25,
+            9,
+        );
+        let mut calls = 0;
+        let shrunk = shrink(&plan, |cand| {
+            calls += 1;
+            cand.deaths().iter().any(|d| d.node == 1)
+        });
+        assert_eq!(shrunk.deaths().len(), 1);
+        assert_eq!(shrunk.deaths()[0].node, 1);
+        assert!(shrunk.stragglers().is_empty());
+        assert_eq!(shrunk.lost_fetch_prob(), 0.0);
+        assert!(calls < 20, "greedy shrink stays quadratic, ran {calls}");
+    }
+}

@@ -1,6 +1,7 @@
 //! Simulated core timelines with list scheduling.
 
 use crate::cluster::Cluster;
+use crate::policy::{PolicyError, RetryPolicy};
 use crate::report::SimReport;
 use crate::trace::{EventKind, Trace, TraceEvent};
 
@@ -170,9 +171,120 @@ impl SimExecutor {
         }
     }
 
+    /// Schedule a task under a [`RetryPolicy`]: bounded retries with
+    /// exponential backoff in simulated time, heartbeat-delayed death
+    /// detection, a per-attempt watchdog timeout, and an optional absolute
+    /// deadline. Unlike [`Self::run_task`], this never panics and never
+    /// loops forever — exhaustion surfaces as a typed [`PolicyError`].
+    ///
+    /// Each killed attempt is charged as lost work, traced as a killed
+    /// task, and followed by a `"recovery"` phase + [`EventKind::Recovery`]
+    /// window covering detection and backoff, so the cost of the policy is
+    /// visible to the critical-path and metrics tooling.
+    pub fn run_task_policied(
+        &mut self,
+        ready: f64,
+        dur: f64,
+        policy: &RetryPolicy,
+    ) -> Result<TaskPlacement, PolicyError> {
+        assert!(dur >= 0.0 && ready >= 0.0, "negative time");
+        let mut release = ready;
+        let mut attempt: u32 = 1;
+        // After a kill the offending core is blacklisted for the next
+        // attempt (Spark-style executor blacklisting) — without this a
+        // watchdog-killed straggler core would win the tie-break again.
+        let mut avoid: Option<usize> = None;
+        loop {
+            let picked = self
+                .try_pick_core(release, avoid)
+                .or_else(|| self.try_pick_core(release, None));
+            let Some((core, start)) = picked else {
+                return Err(PolicyError::NoSurvivingCore { at_s: release });
+            };
+            let eff = dur * self.cluster.faults().slowdown(core);
+            let end = start + eff;
+            if let Some(deadline) = policy.deadline_s {
+                if end > deadline {
+                    return Err(PolicyError::DeadlineExceeded {
+                        deadline_s: deadline,
+                        at_s: start,
+                    });
+                }
+            }
+            let death = self.death_of(core).filter(|&d| end > d);
+            let watchdog = policy
+                .attempt_timeout_s
+                .filter(|&t| eff > t)
+                .map(|t| start + t);
+            // The attempt dies at the earlier of its node's death and the
+            // watchdog firing; `timed_out` records which observer won.
+            let (killed_at, timed_out) = match (death, watchdog) {
+                (None, None) => return Ok(self.place(core, release, start, eff)),
+                (Some(d), None) => (d, false),
+                (None, Some(t)) => (t, true),
+                (Some(d), Some(t)) => (d.min(t), t <= d),
+            };
+            self.core_free[core] = killed_at;
+            self.report.lost_time_s += killed_at - start;
+            self.record_task_event(core, release, start, killed_at, true, false);
+            // A watchdog kill is observed immediately (the watchdog *is*
+            // the observer); a node death is only noticed one heartbeat
+            // later.
+            let observed = if timed_out {
+                killed_at
+            } else {
+                killed_at + policy.detection_delay_s
+            };
+            if attempt >= policy.max_attempts {
+                return Err(if timed_out {
+                    PolicyError::Timeout {
+                        attempt,
+                        timeout_s: policy.attempt_timeout_s.unwrap_or(0.0),
+                        at_s: killed_at,
+                    }
+                } else {
+                    PolicyError::RetriesExhausted {
+                        attempts: attempt,
+                        last_failure_s: observed,
+                    }
+                });
+            }
+            attempt += 1;
+            avoid = Some(core);
+            let redispatch = observed + policy.backoff_before(attempt);
+            self.record_recovery(
+                if timed_out { "timeout" } else { "death-detect" },
+                killed_at,
+                redispatch,
+            );
+            self.report.push_phase("recovery", killed_at, redispatch);
+            self.report.retries += 1;
+            release = release.max(redispatch);
+        }
+    }
+
     /// Place a single task attempt (no automatic recovery).
     pub fn run_task_attempt(&mut self, ready: f64, dur: f64) -> TaskAttempt {
         self.run_task_attempt_with(ready, dur, TaskOpts::default())
+    }
+
+    /// Like [`Self::run_task_attempt_with`], but surfaces "every node is
+    /// dead" as a typed error instead of panicking — engine recovery loops
+    /// use this so a fault plan can never hang or crash a policied job.
+    pub fn run_task_attempt_checked(
+        &mut self,
+        ready: f64,
+        dur: f64,
+        opts: TaskOpts,
+    ) -> Result<TaskAttempt, PolicyError> {
+        if self
+            .try_pick_core(ready, opts.avoid_core)
+            .or_else(|| self.try_pick_core(ready, None))
+            .is_none()
+        {
+            return Err(PolicyError::NoSurvivingCore { at_s: ready });
+        }
+        Ok(self.run_task_attempt_with(ready, dur, opts))
     }
 
     /// Place a single task attempt with placement options.
@@ -757,5 +869,232 @@ mod tests {
     fn all_nodes_dead_panics() {
         let mut e = faulty(1, 1, FaultPlan::none().kill_node(0, 1.0));
         e.run_task(2.0, 1.0);
+    }
+
+    // ---- retry policies ----
+
+    use crate::policy::{PolicyError, RetryPolicy};
+
+    #[test]
+    fn policied_run_is_plain_placement_without_faults() {
+        let mut e = exec(2);
+        let p = e.run_task_policied(0.0, 1.0, &RetryPolicy::new(3)).unwrap();
+        assert_eq!(p.start, 0.0);
+        assert_eq!(p.end, 1.0);
+        assert_eq!(e.report().retries, 0);
+        assert_eq!(e.report().phase_total("recovery"), None);
+    }
+
+    #[test]
+    fn policied_run_retries_with_detection_delay_and_backoff() {
+        // Node 0 dies at t=1 mid-task; detection takes 0.5s and the first
+        // backoff is 0.25s, so the rerun releases at 1.75 on node 1.
+        let mut e = faulty(1, 2, FaultPlan::none().kill_node(0, 1.0));
+        let policy = RetryPolicy::new(3)
+            .with_detection_delay(0.5)
+            .with_backoff(0.25, 2.0, 10.0);
+        let p = e.run_task_policied(0.0, 2.0, &policy).unwrap();
+        assert_eq!(p.core, 1);
+        assert_eq!(p.start, 1.75);
+        assert_eq!(e.report().retries, 1);
+        assert_eq!(e.report().lost_time_s, 1.0);
+        // The recovery phase covers death -> re-dispatch.
+        assert!((e.report().phase_total("recovery").unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policied_exhaustion_is_a_typed_error_not_a_panic() {
+        // Node 0 dies at t=1, node 1 at t=2: both attempts of a 5s task
+        // are killed, and with max_attempts = 2 that exhausts the policy.
+        let plan = FaultPlan::none().kill_node(0, 1.0).kill_node(1, 2.0);
+        let mut e = faulty(1, 2, plan);
+        let got = e.run_task_policied(0.0, 5.0, &RetryPolicy::new(2));
+        match got {
+            Err(PolicyError::RetriesExhausted {
+                attempts,
+                last_failure_s,
+            }) => {
+                assert_eq!(attempts, 2);
+                assert_eq!(last_failure_s, 2.0);
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+        assert_eq!(e.report().retries, 1, "only the re-dispatch counts");
+    }
+
+    #[test]
+    fn policied_all_dead_is_a_typed_error() {
+        let mut e = faulty(1, 1, FaultPlan::none().kill_node(0, 1.0));
+        let got = e.run_task_policied(2.0, 1.0, &RetryPolicy::new(3));
+        assert!(matches!(got, Err(PolicyError::NoSurvivingCore { .. })));
+    }
+
+    #[test]
+    fn watchdog_kills_straggler_attempt_and_retry_succeeds() {
+        // Core 0 is 10x slow: the 1s task would take 10s, the 2s watchdog
+        // kills it at t=2 (observed immediately) and the rerun lands on
+        // core 1 at nominal speed.
+        let mut e = faulty(2, 1, FaultPlan::none().slow_core(0, 10.0));
+        let policy = RetryPolicy::new(3).with_timeout(2.0);
+        let p = e.run_task_policied(0.0, 1.0, &policy).unwrap();
+        assert_eq!(p.core, 1);
+        assert_eq!(p.start, 2.0, "watchdog kills are observed instantly");
+        assert_eq!(e.report().retries, 1);
+        assert_eq!(e.report().lost_time_s, 2.0);
+    }
+
+    #[test]
+    fn watchdog_exhaustion_surfaces_as_timeout() {
+        // Both cores 10x slow: every attempt times out.
+        let plan = FaultPlan::none().slow_core(0, 10.0).slow_core(1, 10.0);
+        let mut e = faulty(2, 1, plan);
+        let policy = RetryPolicy::new(2).with_timeout(2.0);
+        match e.run_task_policied(0.0, 1.0, &policy) {
+            Err(PolicyError::Timeout { attempt, .. }) => assert_eq!(attempt, 2),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_fails_fast_without_placing() {
+        let mut e = exec(1);
+        let policy = RetryPolicy::new(3).with_deadline(1.0);
+        let got = e.run_task_policied(0.0, 2.0, &policy);
+        assert!(matches!(got, Err(PolicyError::DeadlineExceeded { .. })));
+        assert_eq!(e.report().tasks, 0);
+        assert_eq!(e.report().lost_time_s, 0.0, "nothing ran, nothing lost");
+    }
+
+    #[test]
+    fn policied_run_is_deterministic() {
+        let plan = FaultPlan::none().kill_node(0, 1.0).slow_core(2, 3.0);
+        let run = || {
+            let mut e = faulty(2, 2, plan.clone());
+            e.enable_trace();
+            let policy = RetryPolicy::new(4)
+                .with_detection_delay(0.3)
+                .with_backoff(0.1, 2.0, 5.0);
+            for i in 0..8 {
+                e.run_task_policied(0.0, 0.5 + 0.25 * (i % 3) as f64, &policy)
+                    .unwrap();
+            }
+            e.into_report()
+        };
+        assert_eq!(run(), run(), "same plan, byte-identical report");
+    }
+
+    // ---- speculation x faults interaction audit ----
+    //
+    // ISSUE-3 satellite: pin `lost_time_s` / `retries` accounting when the
+    // speculative backup's own core is straggled or killed.
+
+    #[test]
+    fn straggled_backup_still_wins_and_accounting_is_exact() {
+        // Core 0 slowed 10x, core 1 slowed 4x. Cap 2.0: the backup runs
+        // [2, 6) on core 1 and still beats the original's t=10 finish, so
+        // the original is killed at t=6. Lost work = [0, 6), one retry.
+        let plan = FaultPlan::none().slow_core(0, 10.0).slow_core(1, 4.0);
+        let mut e = faulty(2, 1, plan);
+        let got = e.run_task_attempt_with(
+            0.0,
+            1.0,
+            TaskOpts {
+                speculation_cap: Some(2.0),
+                ..Default::default()
+            },
+        );
+        match got {
+            TaskAttempt::Done(p) => {
+                assert_eq!(p.core, 1);
+                assert_eq!(p.end, 6.0, "backup pays its own straggler factor");
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        assert_eq!(e.report().retries, 1);
+        assert_eq!(e.report().lost_time_s, 6.0, "original occupied [0, 6)");
+        assert_eq!(e.core_free_at(0), 6.0);
+        assert_eq!(e.core_free_at(1), 6.0);
+    }
+
+    #[test]
+    fn backup_on_a_dying_node_is_never_launched() {
+        // 2 nodes x 1 core; core 0 (node 0) slowed 10x, node 1 dies at
+        // t=2.5 — before the would-be backup's [2, 3) run finishes. The
+        // scheduler must not launch a backup that cannot survive: the
+        // straggler runs to completion and no phantom retry or lost work
+        // appears.
+        let plan = FaultPlan::none().slow_core(0, 10.0).kill_node(1, 2.5);
+        let mut e = faulty(1, 2, plan);
+        let got = e.run_task_attempt_with(
+            0.0,
+            1.0,
+            TaskOpts {
+                speculation_cap: Some(2.0),
+                ..Default::default()
+            },
+        );
+        match got {
+            TaskAttempt::Done(p) => {
+                assert_eq!(p.core, 0);
+                assert_eq!(p.end, 10.0);
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        assert_eq!(e.report().retries, 0, "no retry for an unlaunched backup");
+        assert_eq!(e.report().lost_time_s, 0.0);
+        assert_eq!(e.core_free_at(1), 0.0, "dying node never occupied");
+    }
+
+    #[test]
+    fn original_dying_under_a_winning_backup_charges_only_to_its_death() {
+        // Core 0 (node 0) slowed 10x and node 0 dies at t=4; backup runs
+        // [2, 3) on node 1 and wins. The original is stopped at
+        // min(death, backup end) = 3, so lost work is [0, 3) even though
+        // its node lives until t=4.
+        let plan = FaultPlan::none().slow_core(0, 10.0).kill_node(0, 4.0);
+        let mut e = faulty(1, 2, plan);
+        let got = e.run_task_attempt_with(
+            0.0,
+            1.0,
+            TaskOpts {
+                speculation_cap: Some(2.0),
+                ..Default::default()
+            },
+        );
+        match got {
+            TaskAttempt::Done(p) => {
+                assert_eq!(p.core, 1);
+                assert_eq!(p.start, 2.0);
+                assert_eq!(p.end, 3.0);
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        assert_eq!(e.report().retries, 1);
+        assert_eq!(e.report().lost_time_s, 3.0);
+        assert_eq!(e.core_free_at(0), 3.0, "straggler core freed at the kill");
+    }
+
+    #[test]
+    fn original_dying_before_backup_launch_charges_to_its_death() {
+        // Node 0 dies at t=2.5, after the t=2 detection: the backup
+        // launches (original alive at detection), the original dies at
+        // 2.5 < backup end 3.0, so lost work is [0, 2.5).
+        let plan = FaultPlan::none().slow_core(0, 10.0).kill_node(0, 2.5);
+        let mut e = faulty(1, 2, plan);
+        let got = e.run_task_attempt_with(
+            0.0,
+            1.0,
+            TaskOpts {
+                speculation_cap: Some(2.0),
+                ..Default::default()
+            },
+        );
+        match got {
+            TaskAttempt::Done(p) => assert_eq!((p.core, p.end), (1, 3.0)),
+            other => panic!("expected completion, got {other:?}"),
+        }
+        assert_eq!(e.report().retries, 1);
+        assert_eq!(e.report().lost_time_s, 2.5);
+        assert_eq!(e.core_free_at(0), 2.5);
     }
 }

@@ -92,6 +92,164 @@ impl FaultPlan {
             .product()
     }
 
+    /// The scripted node deaths, in insertion order.
+    pub fn deaths(&self) -> &[NodeDeath] {
+        &self.deaths
+    }
+
+    /// The scripted straggler cores, in insertion order.
+    pub fn stragglers(&self) -> &[Straggler] {
+        &self.stragglers
+    }
+
+    /// Per-fetch loss probability (0 when fetches are reliable).
+    pub fn lost_fetch_prob(&self) -> f64 {
+        self.lost_fetch_prob
+    }
+
+    /// Seed deciding which fetches are lost.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Assemble a plan from explicit parts — the chaos harness uses this
+    /// to rebuild shrunken candidate plans.
+    pub fn from_parts(
+        deaths: Vec<NodeDeath>,
+        stragglers: Vec<Straggler>,
+        lost_fetch_prob: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&lost_fetch_prob),
+            "probability must be in [0, 1]"
+        );
+        assert!(
+            deaths.iter().all(|d| d.at_s >= 0.0),
+            "death time must be non-negative"
+        );
+        assert!(
+            stragglers.iter().all(|s| s.factor >= 1.0),
+            "straggler factor must be >= 1"
+        );
+        FaultPlan {
+            deaths,
+            stragglers,
+            lost_fetch_prob,
+            seed,
+        }
+    }
+
+    /// Serialize to JSON so shrunk chaos counterexamples can be attached
+    /// to CI runs and replayed. The workspace deliberately carries no
+    /// serde dependency (it is built offline), so this is hand-rolled —
+    /// floats use Rust's shortest round-trip formatting.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"deaths\":[");
+        for (i, d) in self.deaths.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"node\":{},\"at_s\":{:?}}}", d.node, d.at_s));
+        }
+        out.push_str("],\"stragglers\":[");
+        for (i, s) in self.stragglers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"core\":{},\"factor\":{:?}}}",
+                s.core, s.factor
+            ));
+        }
+        out.push_str(&format!(
+            "],\"lost_fetch_prob\":{:?},\"seed\":{}}}",
+            self.lost_fetch_prob, self.seed
+        ));
+        out
+    }
+
+    /// Parse a plan previously written by [`Self::to_json`] (whitespace
+    /// and key order are flexible; unknown keys are rejected).
+    pub fn from_json(json: &str) -> Result<FaultPlan, String> {
+        let mut p = JsonScanner::new(json);
+        let mut deaths = Vec::new();
+        let mut stragglers = Vec::new();
+        let mut lost_fetch_prob = 0.0;
+        let mut seed = 0u64;
+        p.expect('{')?;
+        if !p.peek_is('}') {
+            loop {
+                let key = p.string()?;
+                p.expect(':')?;
+                match key.as_str() {
+                    "deaths" => {
+                        p.array(|p| {
+                            let (mut node, mut at_s) = (None, None);
+                            p.object(|k, v| {
+                                match k {
+                                    "node" => node = Some(v as usize),
+                                    "at_s" => at_s = Some(v),
+                                    other => return Err(format!("unknown death key {other:?}")),
+                                }
+                                Ok(())
+                            })?;
+                            deaths.push(NodeDeath {
+                                node: node.ok_or("death missing \"node\"")?,
+                                at_s: at_s.ok_or("death missing \"at_s\"")?,
+                            });
+                            Ok(())
+                        })?;
+                    }
+                    "stragglers" => {
+                        p.array(|p| {
+                            let (mut core, mut factor) = (None, None);
+                            p.object(|k, v| {
+                                match k {
+                                    "core" => core = Some(v as usize),
+                                    "factor" => factor = Some(v),
+                                    other => {
+                                        return Err(format!("unknown straggler key {other:?}"))
+                                    }
+                                }
+                                Ok(())
+                            })?;
+                            stragglers.push(Straggler {
+                                core: core.ok_or("straggler missing \"core\"")?,
+                                factor: factor.ok_or("straggler missing \"factor\"")?,
+                            });
+                            Ok(())
+                        })?;
+                    }
+                    "lost_fetch_prob" => lost_fetch_prob = p.number()?,
+                    "seed" => seed = p.integer()?,
+                    other => return Err(format!("unknown plan key {other:?}")),
+                }
+                if !p.comma_or_close('}')? {
+                    break;
+                }
+            }
+        } else {
+            p.expect('}')?;
+        }
+        p.end()?;
+        if !(0.0..=1.0).contains(&lost_fetch_prob) {
+            return Err(format!("lost_fetch_prob {lost_fetch_prob} outside [0, 1]"));
+        }
+        if let Some(d) = deaths.iter().find(|d| d.at_s < 0.0) {
+            return Err(format!("negative death time {}", d.at_s));
+        }
+        if let Some(s) = stragglers.iter().find(|s| s.factor < 1.0) {
+            return Err(format!("straggler factor {} below 1", s.factor));
+        }
+        Ok(FaultPlan {
+            deaths,
+            stragglers,
+            lost_fetch_prob,
+            seed,
+        })
+    }
+
     /// Whether the `attempt`-th fetch of map output `map_part` by reducer
     /// `reduce_part` is lost. Deterministic in the plan's seed.
     pub fn fetch_lost(&self, map_part: usize, reduce_part: usize, attempt: usize) -> bool {
@@ -107,8 +265,162 @@ impl FaultPlan {
     }
 }
 
+/// Minimal JSON scanner for the fixed [`FaultPlan`] schema: objects of
+/// string keys, arrays, flat number-valued objects, and numbers. Enough to
+/// replay a plan; not a general JSON parser.
+struct JsonScanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonScanner<'a> {
+    fn new(s: &'a str) -> Self {
+        JsonScanner {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&(c as u8)) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {c:?} at byte {}", self.pos))
+        }
+    }
+
+    fn peek_is(&mut self, c: char) -> bool {
+        self.skip_ws();
+        self.bytes.get(self.pos) == Some(&(c as u8))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\\' {
+                return Err("escape sequences are not supported".into());
+            }
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| e.to_string())?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    /// Parse a non-negative integer exactly (u64 seeds exceed f64's 53-bit
+    /// mantissa, so they must not round-trip through a float).
+    fn integer(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad integer at byte {start}"))
+    }
+
+    /// `true` if a comma was consumed (more elements follow); `false` if
+    /// the closing delimiter was.
+    fn comma_or_close(&mut self, close: char) -> Result<bool, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(&b',') => {
+                self.pos += 1;
+                Ok(true)
+            }
+            Some(&b) if b == close as u8 => {
+                self.pos += 1;
+                Ok(false)
+            }
+            _ => Err(format!("expected ',' or {close:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn array(
+        &mut self,
+        mut elem: impl FnMut(&mut Self) -> Result<(), String>,
+    ) -> Result<(), String> {
+        self.expect('[')?;
+        if self.peek_is(']') {
+            return self.expect(']');
+        }
+        loop {
+            elem(self)?;
+            if !self.comma_or_close(']')? {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Parse a flat object whose values are all numbers, feeding each
+    /// `(key, value)` pair to `field`.
+    fn object(
+        &mut self,
+        mut field: impl FnMut(&str, f64) -> Result<(), String>,
+    ) -> Result<(), String> {
+        self.expect('{')?;
+        if self.peek_is('}') {
+            return self.expect('}');
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(':')?;
+            let value = self.number()?;
+            field(&key, value)?;
+            if !self.comma_or_close('}')? {
+                return Ok(());
+            }
+        }
+    }
+
+    fn end(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing input at byte {}", self.pos))
+        }
+    }
+}
+
 /// SplitMix64 finalizer: a cheap, well-distributed 64-bit mixer.
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -163,5 +475,86 @@ mod tests {
     #[should_panic]
     fn sub_unit_straggler_rejected() {
         FaultPlan::none().slow_core(0, 0.5);
+    }
+
+    // ---- JSON round-trip ----
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let p = FaultPlan::none()
+            .kill_node(3, 1.5)
+            .kill_node(0, 0.1 + 0.2) // a value with no short decimal form
+            .slow_core(2, 4.75)
+            .lose_fetches(0.12345678901234567, 0xdead_beef);
+        let json = p.to_json();
+        let q = FaultPlan::from_json(&json).unwrap();
+        assert_eq!(p, q, "round-trip must be exact, bit-for-bit");
+        assert_eq!(q.to_json(), json, "re-serialization is stable");
+    }
+
+    #[test]
+    fn empty_plan_round_trips() {
+        let p = FaultPlan::none();
+        let q = FaultPlan::from_json(&p.to_json()).unwrap();
+        assert!(q.is_empty());
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn json_tolerates_whitespace_and_key_order() {
+        let json = r#" {
+            "seed": 7,
+            "stragglers": [ { "factor": 2.0, "core": 1 } ],
+            "lost_fetch_prob": 0.5,
+            "deaths": [ { "at_s": 3.25, "node": 0 } ]
+        } "#;
+        let p = FaultPlan::from_json(json).unwrap();
+        assert_eq!(p.seed(), 7);
+        assert_eq!(p.lost_fetch_prob(), 0.5);
+        assert_eq!(
+            p.deaths(),
+            &[NodeDeath {
+                node: 0,
+                at_s: 3.25
+            }]
+        );
+        assert_eq!(
+            p.stragglers(),
+            &[Straggler {
+                core: 1,
+                factor: 2.0
+            }]
+        );
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(FaultPlan::from_json("").is_err());
+        assert!(FaultPlan::from_json("{}").unwrap().is_empty());
+        assert!(FaultPlan::from_json("{\"bogus\":1}").is_err());
+        assert!(FaultPlan::from_json("{\"lost_fetch_prob\":2.0,\"seed\":0}").is_err());
+        assert!(
+            FaultPlan::from_json("{\"deaths\":[{\"node\":0,\"at_s\":-1.0}]}").is_err(),
+            "negative death times are invalid"
+        );
+        assert!(
+            FaultPlan::from_json("{\"seed\":1}{").is_err(),
+            "trailing input"
+        );
+    }
+
+    #[test]
+    fn from_parts_matches_builders() {
+        let built = FaultPlan::none().kill_node(1, 2.0).slow_core(0, 3.0);
+        let parts = FaultPlan::from_parts(
+            vec![NodeDeath { node: 1, at_s: 2.0 }],
+            vec![Straggler {
+                core: 0,
+                factor: 3.0,
+            }],
+            0.0,
+            0,
+        );
+        assert_eq!(built, parts);
     }
 }

@@ -15,6 +15,7 @@
 //! cleanly to 256 virtual cores regardless of host core count.
 
 pub mod broadcast;
+pub mod chaos;
 pub mod chrome;
 pub mod clock;
 pub mod cluster;
@@ -22,15 +23,18 @@ pub mod critical;
 pub mod executor;
 pub mod fault;
 pub mod metrics;
+pub mod policy;
 pub mod report;
 pub mod trace;
 
 pub use broadcast::{broadcast_time, BroadcastAlgo};
+pub use chaos::{ChaosConfig, ChaosOutcome, Fingerprint, FuzzReport, Violation};
 pub use clock::{measure, measure_scaled};
 pub use cluster::{comet, laptop, wrangler, Cluster, MachineProfile, NetworkModel};
 pub use critical::{CpSegment, CriticalPath};
 pub use executor::{SimExecutor, TaskAttempt, TaskOpts, TaskPlacement};
 pub use fault::{FaultPlan, NodeDeath, Straggler};
 pub use metrics::{Histogram, Metrics, NodeTraffic, PhaseShare};
+pub use policy::{PolicyError, RetryPolicy};
 pub use report::{Phase, SimReport};
 pub use trace::{EventKind, Trace, TraceEvent};

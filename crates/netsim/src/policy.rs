@@ -1,0 +1,208 @@
+//! Bounded recovery policies.
+//!
+//! PR-1's fault layer made engines *survive* failures, but every recovery
+//! loop was unbounded and instantaneous: a death was observed the moment it
+//! happened and the task was re-dispatched forever until it stuck. A
+//! [`RetryPolicy`] makes recovery honest and bounded:
+//!
+//! * **bounded retries** — after `max_attempts` failed attempts the task
+//!   surfaces a typed [`PolicyError`] instead of spinning;
+//! * **exponential backoff** — re-dispatch waits `base · factor^(k-1)`
+//!   simulated seconds (capped) after the `k`-th failure, the standard
+//!   thundering-herd guard;
+//! * **detection delay** — a node death is noticed one heartbeat interval
+//!   *after* it happens (Dask's worker heartbeat, a pilot agent's DB
+//!   poll), so recovery cost is modelled, not assumed free;
+//! * **per-attempt timeout and job deadline** — a watchdog kills attempts
+//!   that run longer than `attempt_timeout_s`, and an attempt that could
+//!   not finish by `deadline_s` fails fast.
+//!
+//! All engines derive their policy from
+//! `FrameworkProfile::retry_policy()` and surface exhaustion as
+//! `EngineError` values; [`SimExecutor::run_task_policied`]
+//! (crate::SimExecutor::run_task_policied) is the executor-level
+//! counterpart used by synthetic workloads and the chaos harness.
+
+use std::error::Error;
+use std::fmt;
+
+/// Bounded-retry policy, all times in simulated seconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed (first try included). Must be ≥ 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt.
+    pub backoff_base_s: f64,
+    /// Multiplier applied to the backoff for each further attempt.
+    pub backoff_factor: f64,
+    /// Upper bound on any single backoff wait.
+    pub backoff_cap_s: f64,
+    /// Heartbeat interval: how long after a node death the scheduler
+    /// *notices* it. Timeout kills are noticed immediately (the watchdog
+    /// is the observer).
+    pub detection_delay_s: f64,
+    /// Kill any attempt still running after this long.
+    pub attempt_timeout_s: Option<f64>,
+    /// Absolute virtual-time deadline: an attempt that cannot finish by
+    /// this time fails fast with [`PolicyError::DeadlineExceeded`].
+    pub deadline_s: Option<f64>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::new(3)
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_attempts` attempts and no backoff, detection
+    /// delay, timeout, or deadline.
+    pub fn new(max_attempts: u32) -> Self {
+        assert!(max_attempts >= 1, "a task gets at least one attempt");
+        RetryPolicy {
+            max_attempts,
+            backoff_base_s: 0.0,
+            backoff_factor: 2.0,
+            backoff_cap_s: f64::INFINITY,
+            detection_delay_s: 0.0,
+            attempt_timeout_s: None,
+            deadline_s: None,
+        }
+    }
+
+    /// Exponential backoff: wait `base · factor^(k-1)` (≤ `cap`) before
+    /// re-dispatching after the `k`-th failure.
+    pub fn with_backoff(mut self, base_s: f64, factor: f64, cap_s: f64) -> Self {
+        assert!(base_s >= 0.0 && factor >= 1.0 && cap_s >= 0.0);
+        self.backoff_base_s = base_s;
+        self.backoff_factor = factor;
+        self.backoff_cap_s = cap_s;
+        self
+    }
+
+    /// Heartbeat-based failure detection: deaths are observed `delay_s`
+    /// after they happen.
+    pub fn with_detection_delay(mut self, delay_s: f64) -> Self {
+        assert!(delay_s >= 0.0);
+        self.detection_delay_s = delay_s;
+        self
+    }
+
+    /// Watchdog: kill attempts still running after `timeout_s`.
+    pub fn with_timeout(mut self, timeout_s: f64) -> Self {
+        assert!(timeout_s > 0.0);
+        self.attempt_timeout_s = Some(timeout_s);
+        self
+    }
+
+    /// Absolute deadline for the whole task.
+    pub fn with_deadline(mut self, deadline_s: f64) -> Self {
+        assert!(deadline_s > 0.0);
+        self.deadline_s = Some(deadline_s);
+        self
+    }
+
+    /// Backoff wait applied before dispatching `attempt` (1-based). The
+    /// first attempt never waits; attempt `k+1` waits
+    /// `min(cap, base · factor^(k-1))`.
+    pub fn backoff_before(&self, attempt: u32) -> f64 {
+        if attempt <= 1 || self.backoff_base_s <= 0.0 {
+            return 0.0;
+        }
+        let exp = (attempt - 2).min(60); // factor^60 is already astronomical
+        (self.backoff_base_s * self.backoff_factor.powi(exp as i32)).min(self.backoff_cap_s)
+    }
+}
+
+/// Why a policied task gave up. Engines map these onto their own error
+/// types; nothing in this crate panics or hangs on a fault plan.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PolicyError {
+    /// Every allowed attempt was killed by a node death.
+    RetriesExhausted { attempts: u32, last_failure_s: f64 },
+    /// The final allowed attempt was killed by the watchdog.
+    Timeout {
+        attempt: u32,
+        timeout_s: f64,
+        at_s: f64,
+    },
+    /// No attempt could finish before the deadline.
+    DeadlineExceeded { deadline_s: f64, at_s: f64 },
+    /// Every node that could host the task is dead.
+    NoSurvivingCore { at_s: f64 },
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::RetriesExhausted {
+                attempts,
+                last_failure_s,
+            } => write!(
+                f,
+                "task failed after {attempts} attempts (last failure at {last_failure_s:.3}s)"
+            ),
+            PolicyError::Timeout {
+                attempt,
+                timeout_s,
+                at_s,
+            } => write!(
+                f,
+                "attempt {attempt} exceeded its {timeout_s:.3}s timeout at {at_s:.3}s"
+            ),
+            PolicyError::DeadlineExceeded { deadline_s, at_s } => write!(
+                f,
+                "cannot finish by the {deadline_s:.3}s deadline (checked at {at_s:.3}s)"
+            ),
+            PolicyError::NoSurvivingCore { at_s } => {
+                write!(f, "no surviving core at {at_s:.3}s (all nodes dead)")
+            }
+        }
+    }
+}
+
+impl Error for PolicyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy::new(5).with_backoff(0.5, 2.0, 3.0);
+        assert_eq!(p.backoff_before(1), 0.0, "first attempt never waits");
+        assert_eq!(p.backoff_before(2), 0.5);
+        assert_eq!(p.backoff_before(3), 1.0);
+        assert_eq!(p.backoff_before(4), 2.0);
+        assert_eq!(p.backoff_before(5), 3.0, "capped");
+    }
+
+    #[test]
+    fn zero_base_means_no_backoff() {
+        let p = RetryPolicy::new(4);
+        for k in 1..6 {
+            assert_eq!(p.backoff_before(k), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_attempts_rejected() {
+        RetryPolicy::new(0);
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = PolicyError::RetriesExhausted {
+            attempts: 3,
+            last_failure_s: 1.5,
+        };
+        assert!(e.to_string().contains("3 attempts"));
+        let t = PolicyError::Timeout {
+            attempt: 2,
+            timeout_s: 4.0,
+            at_s: 9.0,
+        };
+        assert!(t.to_string().contains("timeout"));
+    }
+}

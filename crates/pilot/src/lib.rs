@@ -25,7 +25,7 @@ pub mod entk;
 pub mod mapreduce;
 
 use mdio::StagingArea;
-use netsim::{Cluster, SimExecutor, SimReport};
+use netsim::{Cluster, RetryPolicy, SimExecutor, SimReport};
 use parking_lot::Mutex;
 use taskframe::{pilot_profile, EngineError, FrameworkProfile, Payload, TaskCtx};
 
@@ -117,6 +117,9 @@ struct SessionState {
     exec: SimExecutor,
     db: SimDb,
     next_unit: usize,
+    /// Recovery policy for failed units: bounded re-enqueues, with the
+    /// agent's database-poll interval as the detection delay.
+    policy: RetryPolicy,
 }
 
 /// A pilot session: one pilot holding `cluster`, one unit manager, one
@@ -149,6 +152,7 @@ impl Session {
         exec.report_mut().overhead_s += profile.startup_s;
         exec.advance_makespan(profile.startup_s);
         let db = SimDb::new(profile.central_dispatch_s / DB_TRANSITIONS as f64);
+        let policy = profile.retry_policy();
         Ok(Session {
             cluster,
             profile,
@@ -157,8 +161,20 @@ impl Session {
                 exec,
                 db,
                 next_unit: 0,
+                policy,
             }),
         })
+    }
+
+    /// Override the recovery policy (defaults to
+    /// [`FrameworkProfile::retry_policy`]).
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        self.state.lock().policy = policy;
+    }
+
+    /// The recovery policy currently in force.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.state.lock().policy
     }
 
     pub fn cluster(&self) -> &Cluster {
@@ -229,20 +245,54 @@ impl Session {
             let dur = self
                 .cluster
                 .scale_compute(host_s + self.profile.worker_overhead_s);
-            // A unit whose node dies goes back to FAILED in the database;
-            // the client re-enqueues it, paying the scheduling round-trip
-            // again before the agent picks it up on a surviving core.
+            // A unit whose node dies goes back to FAILED in the database.
+            // The loss is noticed one agent DB poll later; the client
+            // re-enqueues with backoff, paying the scheduling round-trip
+            // again before a surviving core picks the unit up — bounded by
+            // the policy's attempt budget.
+            let policy = st.policy;
             let mut t_sched = t_sched;
+            let mut attempts: u32 = 1;
+            let mut first_died: Option<f64> = None;
+            let mut avoid = None;
             let placement = loop {
-                match st.exec.run_task_attempt(t_sched, dur) {
+                let opts = netsim::TaskOpts {
+                    avoid_core: avoid,
+                    ..Default::default()
+                };
+                match st.exec.run_task_attempt_checked(t_sched, dur, opts)? {
                     netsim::TaskAttempt::Done(p) => break p,
-                    netsim::TaskAttempt::Killed { died_at, .. } => {
+                    netsim::TaskAttempt::Killed { died_at, core, .. } => {
+                        if attempts >= policy.max_attempts {
+                            return Err(EngineError::RetriesExhausted {
+                                attempts,
+                                last_failure_s: died_at + policy.detection_delay_s,
+                            });
+                        }
+                        attempts += 1;
+                        avoid = Some(core);
+                        first_died.get_or_insert(died_at);
                         st.exec.report_mut().retries += 1;
-                        t_sched = st.db.roundtrip(died_at);
+                        let observed =
+                            died_at + policy.detection_delay_s + policy.backoff_before(attempts);
+                        t_sched = st.db.roundtrip(observed);
                         st.exec.record_recovery("re-enqueue", died_at, t_sched);
                     }
                 }
             };
+            if let Some(deadline) = policy.deadline_s {
+                if placement.end > deadline {
+                    return Err(EngineError::DeadlineExceeded {
+                        deadline_s: deadline,
+                        at_s: placement.start,
+                    });
+                }
+            }
+            if let Some(died_at) = first_died {
+                st.exec
+                    .report_mut()
+                    .push_phase("recovery", died_at, placement.end);
+            }
             let out_bytes = out.wire_bytes();
             let t_out = placement.end
                 + net.transfer_time(out_bytes, false)

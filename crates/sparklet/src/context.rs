@@ -1,6 +1,6 @@
 //! Driver context: cluster handle, virtual-time state, broadcast variables.
 
-use netsim::{broadcast_time, Cluster, SimExecutor, SimReport};
+use netsim::{broadcast_time, Cluster, RetryPolicy, SimExecutor, SimReport};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use taskframe::{spark_profile, EngineError, FrameworkProfile, Payload};
@@ -22,6 +22,9 @@ pub(crate) struct JobState {
     /// Simulated duration of each task in the most recent stage; a lineage
     /// recompute of a lost map partition replays this cost.
     pub last_stage_durs: Vec<f64>,
+    /// Recovery policy the driver applies to every task: bounded attempts,
+    /// heartbeat detection delay, exponential re-dispatch backoff.
+    pub policy: RetryPolicy,
 }
 
 pub(crate) struct CtxInner {
@@ -47,6 +50,7 @@ impl SparkContext {
         let mut exec = SimExecutor::new(cluster.clone());
         exec.report_mut().overhead_s += profile.startup_s;
         let startup = profile.startup_s;
+        let policy = profile.retry_policy();
         exec.advance_makespan(startup);
         SparkContext {
             inner: Arc::new(CtxInner {
@@ -59,9 +63,22 @@ impl SparkContext {
                     speculation: None,
                     last_stage_cores: Vec::new(),
                     last_stage_durs: Vec::new(),
+                    policy,
                 }),
             }),
         }
+    }
+
+    /// Override the recovery policy (defaults to
+    /// [`FrameworkProfile::retry_policy`]). Applies to every task dispatched
+    /// after the call.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        self.inner.state.lock().policy = policy;
+    }
+
+    /// The recovery policy currently in force.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.inner.state.lock().policy
     }
 
     pub fn cluster(&self) -> &Cluster {

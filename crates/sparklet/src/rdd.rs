@@ -4,10 +4,10 @@ use crate::context::{JobState, SparkContext};
 use netsim::measure;
 use parking_lot::Mutex;
 use std::sync::Arc;
-use taskframe::{Payload, TaskCtx};
+use taskframe::{EngineError, Payload, TaskCtx};
 
 type Compute<T> = Arc<dyn Fn(usize, &TaskCtx) -> Vec<T> + Send + Sync>;
-pub(crate) type Prepare = Arc<dyn Fn(&mut JobState) -> Vec<f64> + Send + Sync>;
+pub(crate) type Prepare = Arc<dyn Fn(&mut JobState) -> Result<Vec<f64>, EngineError> + Send + Sync>;
 
 /// A distributed collection with lazy lineage.
 ///
@@ -26,6 +26,14 @@ pub struct Rdd<T> {
     /// Filled on first materialization iff `persisted`.
     cache: Arc<Mutex<Option<Vec<Vec<T>>>>>,
     persisted: bool,
+    /// Checkpointed RDDs write their partitions to replicated stable
+    /// storage on first materialization; from then on lineage recovery
+    /// restarts here instead of replaying upstream stages.
+    checkpointed: bool,
+    /// Static lineage depth in *stages* back to the nearest durable input
+    /// (source data or a checkpoint). Narrow transforms fuse, so they do
+    /// not deepen it; every shuffle adds one.
+    depth: usize,
 }
 
 impl<T> Clone for Rdd<T> {
@@ -37,6 +45,8 @@ impl<T> Clone for Rdd<T> {
             compute: Arc::clone(&self.compute),
             cache: Arc::clone(&self.cache),
             persisted: self.persisted,
+            checkpointed: self.checkpointed,
+            depth: self.depth,
         }
     }
 }
@@ -52,10 +62,12 @@ where
         Rdd {
             ctx,
             n_partitions,
-            prepare: Arc::new(|state: &mut JobState| vec![state.frontier; 0]),
+            prepare: Arc::new(|state: &mut JobState| Ok(vec![state.frontier; 0])),
             compute: Arc::new(move |p, _ctx| chunks[p].clone()),
             cache: Arc::new(Mutex::new(None)),
             persisted: false,
+            checkpointed: false,
+            depth: 1,
         }
     }
 
@@ -70,10 +82,12 @@ where
         Rdd {
             ctx,
             n_partitions,
-            prepare: Arc::new(|state: &mut JobState| vec![state.frontier; 0]),
+            prepare: Arc::new(|state: &mut JobState| Ok(vec![state.frontier; 0])),
             compute: Arc::new(compute),
             cache: Arc::new(Mutex::new(None)),
             persisted: false,
+            checkpointed: false,
+            depth: 1,
         }
     }
 
@@ -83,6 +97,7 @@ where
         n_partitions: usize,
         prepare: Prepare,
         compute: Compute<T>,
+        depth: usize,
     ) -> Self {
         Rdd {
             ctx,
@@ -91,6 +106,8 @@ where
             compute,
             cache: Arc::new(Mutex::new(None)),
             persisted: false,
+            checkpointed: false,
+            depth,
         }
     }
 
@@ -110,6 +127,34 @@ where
         c
     }
 
+    /// Mark for checkpointing (Spark's `RDD.checkpoint()`): the first
+    /// materialization also writes every partition to replicated stable
+    /// storage (charged as a `checkpoint` phase), and from then on this
+    /// RDD's lineage is *truncated* — a lost downstream partition replays
+    /// at most one stage instead of the whole upstream chain.
+    pub fn checkpoint(&self) -> Self {
+        let mut c = self.clone();
+        c.persisted = true;
+        c.checkpointed = true;
+        c
+    }
+
+    /// Stages a lineage recompute must replay to rebuild one partition of
+    /// this RDD: 1 once a checkpoint is materialized, the full static
+    /// lineage depth otherwise.
+    pub fn lineage_depth(&self) -> usize {
+        if self.checkpointed && self.cache.lock().is_some() {
+            1
+        } else {
+            self.depth
+        }
+    }
+
+    /// Static lineage depth (ignores any materialized checkpoint).
+    pub(crate) fn depth(&self) -> usize {
+        self.depth
+    }
+
     /// Per-partition input, honouring this RDD's cache (used by fused
     /// children).
     fn partition_input(&self, p: usize, ctx: &TaskCtx) -> Vec<T> {
@@ -122,7 +167,7 @@ where
     }
 
     /// Crate-visible accessors for operator extensions (`rdd_ext`).
-    pub(crate) fn stage_ready_public(&self, state: &mut JobState) -> Vec<f64> {
+    pub(crate) fn stage_ready_public(&self, state: &mut JobState) -> Result<Vec<f64>, EngineError> {
         self.stage_ready(state)
     }
 
@@ -132,27 +177,28 @@ where
 
     /// Ready times for this RDD's stage: skip upstream work if this RDD is
     /// already cached.
-    fn stage_ready(&self, state: &mut JobState) -> Vec<f64> {
+    fn stage_ready(&self, state: &mut JobState) -> Result<Vec<f64>, EngineError> {
         if self.persisted && self.cache.lock().is_some() {
-            return vec![state.frontier; self.n_partitions];
+            return Ok(vec![state.frontier; self.n_partitions]);
         }
-        let r = (self.prepare)(state);
-        if r.is_empty() {
+        let r = (self.prepare)(state)?;
+        Ok(if r.is_empty() {
             vec![state.frontier; self.n_partitions]
         } else {
             r
-        }
+        })
     }
 
     /// Execute this RDD's stage: one task per partition, stage barrier at
-    /// the end. Returns materialized partitions.
-    pub(crate) fn run_stage(&self, state: &mut JobState) -> Vec<Vec<T>> {
+    /// the end. Returns materialized partitions, or a typed error once the
+    /// driver's [`RetryPolicy`](netsim::RetryPolicy) gives up on a task.
+    pub(crate) fn run_stage(&self, state: &mut JobState) -> Result<Vec<Vec<T>>, EngineError> {
         if self.persisted {
             if let Some(cached) = self.cache.lock().as_ref() {
-                return cached.clone();
+                return Ok(cached.clone());
             }
         }
-        let ready = self.stage_ready(state);
+        let ready = self.stage_ready(state)?;
         let profile = self.ctx.inner.profile.clone();
         let cluster = self.ctx.inner.cluster.clone();
         let dispatch_base = state.frontier;
@@ -189,39 +235,59 @@ where
             spec_cap = Some(cap);
         }
         // Pass 2: place tasks on the simulated cores. An attempt killed by
-        // a node death is re-dispatched by the driver (lineage makes the
-        // rerun possible) up to `max_attempts` total tries.
+        // a node death is detected via heartbeat and re-dispatched by the
+        // driver (lineage makes the rerun possible) with exponential
+        // backoff, up to the policy's attempt budget.
+        let policy = state.policy;
         let mut stage_end = state.frontier;
         let mut cores = Vec::with_capacity(durs.len());
         for (p, &dur) in durs.iter().enumerate() {
             // Central dispatch: the driver releases tasks one at a time.
             let mut release =
                 ready[p].max(dispatch_base + (p + 1) as f64 * profile.central_dispatch_s);
-            let mut attempts = 1;
+            let mut attempts: u32 = 1;
             let mut first_died: Option<f64> = None;
+            let mut avoid = None;
             let placement = loop {
                 let opts = netsim::TaskOpts {
                     speculation_cap: spec_cap,
-                    ..Default::default()
+                    avoid_core: avoid,
                 };
-                match state.exec.run_task_attempt_with(release, dur, opts) {
+                match state.exec.run_task_attempt_checked(release, dur, opts)? {
                     netsim::TaskAttempt::Done(pl) => break pl,
-                    netsim::TaskAttempt::Killed { died_at, .. } => {
+                    netsim::TaskAttempt::Killed { died_at, core, .. } => {
+                        if attempts >= policy.max_attempts {
+                            return Err(EngineError::RetriesExhausted {
+                                attempts,
+                                last_failure_s: died_at + policy.detection_delay_s,
+                            });
+                        }
                         attempts += 1;
-                        assert!(
-                            attempts <= profile.max_attempts,
-                            "task {p} failed {} times (max_attempts)",
-                            attempts - 1
-                        );
+                        avoid = Some(core);
                         first_died.get_or_insert(died_at);
                         let rep = state.exec.report_mut();
                         rep.retries += 1;
                         rep.overhead_s += profile.central_dispatch_s;
-                        // The driver notices the loss and re-dispatches.
-                        release = release.max(died_at + profile.central_dispatch_s);
+                        // The heartbeat reveals the loss, the driver backs
+                        // off, then re-dispatches (blacklisting the core
+                        // the attempt just died on).
+                        release = release.max(
+                            died_at
+                                + policy.detection_delay_s
+                                + policy.backoff_before(attempts)
+                                + profile.central_dispatch_s,
+                        );
                     }
                 }
             };
+            if let Some(deadline) = policy.deadline_s {
+                if placement.end > deadline {
+                    return Err(EngineError::DeadlineExceeded {
+                        deadline_s: deadline,
+                        at_s: placement.start,
+                    });
+                }
+            }
             if let Some(died_at) = first_died {
                 state
                     .exec
@@ -242,8 +308,22 @@ where
         state.frontier = stage_end;
         if self.persisted {
             *self.cache.lock() = Some(results.clone());
+            if self.checkpointed {
+                // Synchronous write of every partition to replicated
+                // stable storage; downstream recovery restarts here.
+                let bytes: u64 = results.iter().map(|p| p.wire_bytes()).sum();
+                let net = self.ctx.inner.cluster.profile.network;
+                let t = net.transfer_time(bytes, false) + profile.per_transfer_overhead_s;
+                let start = state.frontier;
+                state.frontier += t;
+                let end = state.frontier;
+                state.exec.advance_makespan(end);
+                let rep = state.exec.report_mut();
+                rep.comm_s += t;
+                rep.push_phase("checkpoint", start, end);
+            }
         }
-        results
+        Ok(results)
     }
 
     // ---- narrow transformations (fuse into this stage) ----
@@ -313,15 +393,19 @@ where
             compute: Arc::new(compute),
             cache: Arc::new(Mutex::new(None)),
             persisted: false,
+            checkpointed: false,
+            // Narrow transforms fuse into the parent's stage.
+            depth: self.depth,
         }
     }
 
     // ---- actions ----
 
-    /// Materialize and pull all partitions to the driver.
-    pub fn collect(&self) -> Vec<T> {
+    /// Materialize and pull all partitions to the driver, surfacing
+    /// recovery-policy exhaustion as a typed error.
+    pub fn try_collect(&self) -> Result<Vec<T>, EngineError> {
         let mut st = self.ctx.inner.state.lock();
-        let parts = self.run_stage(&mut st);
+        let parts = self.run_stage(&mut st)?;
         // Driver gather: results stream back over the network.
         let profile = &self.ctx.inner.profile;
         let net = self.ctx.inner.cluster.profile.network;
@@ -341,24 +425,38 @@ where
         let f = st.frontier;
         st.exec.advance_makespan(f);
         st.exec.report_mut().comm_s += gather;
-        parts.into_iter().flatten().collect()
+        Ok(parts.into_iter().flatten().collect())
     }
 
-    /// Materialize and count elements.
-    pub fn count(&self) -> usize {
+    /// Materialize and pull all partitions to the driver.
+    ///
+    /// Panics if the job fails (use [`Self::try_collect`] under fault
+    /// plans that can exhaust the retry policy).
+    pub fn collect(&self) -> Vec<T> {
+        self.try_collect().expect("sparklet job failed")
+    }
+
+    /// Materialize and count elements, surfacing job failure.
+    pub fn try_count(&self) -> Result<usize, EngineError> {
         let mut st = self.ctx.inner.state.lock();
-        let parts = self.run_stage(&mut st);
+        let parts = self.run_stage(&mut st)?;
         st.frontier += self.ctx.inner.cluster.profile.network.latency_s;
         let f = st.frontier;
         st.exec.advance_makespan(f);
-        parts.iter().map(Vec::len).sum()
+        Ok(parts.iter().map(Vec::len).sum())
+    }
+
+    /// Materialize and count elements (panics on job failure).
+    pub fn count(&self) -> usize {
+        self.try_count().expect("sparklet job failed")
     }
 
     /// Fold all elements with an associative `f` (per-partition fold, then
-    /// driver-side combine of one value per partition).
-    pub fn reduce(&self, f: impl Fn(T, T) -> T) -> Option<T> {
+    /// driver-side combine of one value per partition), surfacing job
+    /// failure.
+    pub fn try_reduce(&self, f: impl Fn(T, T) -> T) -> Result<Option<T>, EngineError> {
         let mut st = self.ctx.inner.state.lock();
-        let parts = self.run_stage(&mut st);
+        let parts = self.run_stage(&mut st)?;
         let net = self.ctx.inner.cluster.profile.network;
         let mut gather = 0.0;
         let mut acc: Option<T> = None;
@@ -375,7 +473,12 @@ where
         let fr = st.frontier;
         st.exec.advance_makespan(fr);
         st.exec.report_mut().comm_s += gather;
-        acc
+        Ok(acc)
+    }
+
+    /// Fold all elements with an associative `f` (panics on job failure).
+    pub fn reduce(&self, f: impl Fn(T, T) -> T) -> Option<T> {
+        self.try_reduce(f).expect("sparklet job failed")
     }
 }
 

@@ -23,15 +23,16 @@ where
         let prepare_left = left.clone();
         let prepare_right = right.clone();
         let ctx = self.context().clone();
+        let depth = left.depth().max(right.depth());
         Rdd::assemble(
             ctx,
             total,
             Arc::new(move |state: &mut JobState| {
                 // Both parents' upstream stages must be ready; their ready
                 // vectors concatenate in partition order.
-                let mut ready = prepare_left.stage_ready_public(state);
-                ready.extend(prepare_right.stage_ready_public(state));
-                ready
+                let mut ready = prepare_left.stage_ready_public(state)?;
+                ready.extend(prepare_right.stage_ready_public(state)?);
+                Ok(ready)
             }),
             Arc::new(move |p, tctx: &TaskCtx| {
                 if p < split {
@@ -40,6 +41,7 @@ where
                     right.partition_input_public(p - split, tctx)
                 }
             }),
+            depth,
         )
     }
 
@@ -52,6 +54,7 @@ where
         let counts: Vec<u64> = {
             let mut st = self.context().inner.state.lock();
             self.run_stage(&mut st)
+                .expect("zip_with_index count job failed")
                 .iter()
                 .map(|p| p.len() as u64)
                 .collect()
@@ -65,6 +68,7 @@ where
         let parent = self.clone();
         let offsets = Arc::new(offsets);
         let prepare_parent = self.clone();
+        let depth = self.depth();
         Rdd::assemble(
             self.context().clone(),
             self.n_partitions(),
@@ -77,6 +81,7 @@ where
                     .map(|(i, x)| (x, offsets[p] + i as u64))
                     .collect()
             }),
+            depth,
         )
     }
 }

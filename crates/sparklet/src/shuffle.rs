@@ -15,7 +15,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
-use taskframe::Payload;
+use taskframe::{EngineError, Payload};
 
 /// Deterministic hash partitioner (SipHash with fixed keys, like Spark's
 /// default `hashCode % numPartitions`).
@@ -35,8 +35,9 @@ where
     /// Group values by key into `n_out` reduce partitions (full shuffle of
     /// every record).
     pub fn group_by_key(&self, n_out: usize) -> Rdd<(K, Vec<V>)> {
+        let depth = self.depth() + 1;
         let (store, ctx, prepare) = self.shuffle_machinery(n_out, |part| part);
-        Rdd::shuffled(ctx, n_out, prepare, move |q, _tctx| {
+        Rdd::shuffled(ctx, n_out, depth, prepare, move |q, _tctx| {
             let guard = store.lock();
             let bucket = &guard.as_ref().expect("shuffle materialized")[q];
             // Group preserving first-appearance order (deterministic).
@@ -73,8 +74,9 @@ where
             let f = f.clone();
             move |part: Vec<(K, V)>| -> Vec<(K, V)> { combine_by_key(part, &f) }
         };
+        let depth = self.depth() + 1;
         let (store, ctx, prepare) = self.shuffle_machinery(n_out, combine);
-        Rdd::shuffled(ctx, n_out, prepare, move |q, _tctx| {
+        Rdd::shuffled(ctx, n_out, depth, prepare, move |q, _tctx| {
             let guard = store.lock();
             let bucket = guard.as_ref().expect("shuffle materialized")[q].clone();
             combine_by_key(bucket, &f)
@@ -88,11 +90,7 @@ where
         &self,
         n_out: usize,
         map_side: impl Fn(Vec<(K, V)>) -> Vec<(K, V)> + Send + Sync + 'static,
-    ) -> (
-        Buckets<K, V>,
-        crate::SparkContext,
-        Arc<dyn Fn(&mut JobState) -> Vec<f64> + Send + Sync>,
-    ) {
+    ) -> (Buckets<K, V>, crate::SparkContext, crate::rdd::Prepare) {
         assert!(n_out >= 1, "need at least one reduce partition");
         let parent = self.clone();
         let ctx = self.context().clone();
@@ -100,116 +98,136 @@ where
         let prepare_store = Arc::clone(&store);
         let cluster = ctx.inner.cluster.clone();
         let profile = ctx.inner.profile.clone();
-        let prepare = Arc::new(move |state: &mut JobState| -> Vec<f64> {
-            let mut guard = prepare_store.lock();
-            if guard.is_some() {
-                // Shuffle files already on disk: reducers are ready now.
-                return vec![state.frontier; n_out];
-            }
-            let parts = parent.run_stage(state);
-            let n_map = parts.len();
-            let map_end = state.frontier;
-            let total_cores = cluster.total_cores();
-            // Map outputs live on the core each map task actually ran on
-            // (run_stage records placements; a cached parent skips
-            // placement, hence the length guard).
-            let map_cores: Vec<usize> = if state.last_stage_cores.len() == n_map {
-                state.last_stage_cores.clone()
-            } else {
-                (0..n_map).map(|p| p % total_cores).collect()
-            };
-            let map_durs: Vec<f64> = if state.last_stage_durs.len() == n_map {
-                state.last_stage_durs.clone()
-            } else {
-                vec![0.0; n_map]
-            };
-            // The stage barrier drains every surviving core by `map_end`,
-            // so reducer q lands on the q-th free core in id order.
-            let reduce_nodes: Vec<usize> = (0..n_out)
-                .map(|q| cluster.node_of_core(state.exec.nth_free_core(map_end, q)))
-                .collect();
-            // Hash-partition, tracking per (map, reduce) byte volumes.
-            let mut buckets: Vec<Vec<(K, V)>> = (0..n_out).map(|_| Vec::new()).collect();
-            let mut bytes_pq = vec![vec![0u64; n_out]; n_map];
-            for (p, part) in parts.into_iter().enumerate() {
-                for kv in map_side(part) {
-                    let q = bucket_of(&kv.0, n_out);
-                    bytes_pq[p][q] += kv.wire_bytes();
-                    buckets[q].push(kv);
+        let prepare = Arc::new(
+            move |state: &mut JobState| -> Result<Vec<f64>, EngineError> {
+                let mut guard = prepare_store.lock();
+                if guard.is_some() {
+                    // Shuffle files already on disk: reducers are ready now.
+                    return Ok(vec![state.frontier; n_out]);
                 }
-            }
-            let net = cluster.profile.network;
-            let faults = cluster.faults().clone();
-            let mut map_node: Vec<usize> =
-                map_cores.iter().map(|&c| cluster.node_of_core(c)).collect();
-            let cost_once = |b: u64, same: bool| {
-                net.transfer_time(b, same) + profile.per_transfer_overhead_s + profile.ser_time(b)
-            };
-            // Nominal (fault-free) fetch schedule bounds the window during
-            // which every map output must stay reachable.
-            let mut nominal_max = 0.0f64;
-            for q in 0..n_out {
-                let mut fetch = 0.0;
-                for (p, row) in bytes_pq.iter().enumerate() {
-                    if row[q] > 0 {
-                        fetch += cost_once(row[q], map_node[p] == reduce_nodes[q]);
-                    }
-                }
-                nominal_max = nominal_max.max(fetch);
-            }
-            let horizon = map_end + nominal_max;
-            // Lineage recovery: a map output whose node dies before the
-            // fetches complete is recomputed on a surviving core, and its
-            // slice becomes available only when the rerun finishes.
-            let mut avail = vec![map_end; n_map];
-            for p in 0..n_map {
-                let Some(died_at) = faults.node_death(map_node[p]) else {
-                    continue;
+                let parts = parent.run_stage(state)?;
+                let n_map = parts.len();
+                let map_end = state.frontier;
+                let total_cores = cluster.total_cores();
+                // Map outputs live on the core each map task actually ran on
+                // (run_stage records placements; a cached parent skips
+                // placement, hence the length guard).
+                let map_cores: Vec<usize> = if state.last_stage_cores.len() == n_map {
+                    state.last_stage_cores.clone()
+                } else {
+                    (0..n_map).map(|p| p % total_cores).collect()
                 };
-                if died_at >= horizon || bytes_pq[p].iter().all(|&b| b == 0) {
-                    continue;
-                }
-                // Reducers discover the loss when their fetch fails.
-                let detect = died_at.max(map_end);
-                let prev_label = state.exec.task_label().to_string();
-                state.exec.set_task_label("recompute");
-                let placement = state
-                    .exec
-                    .run_task(detect + profile.central_dispatch_s, map_durs[p]);
-                state.exec.set_task_label(&prev_label);
-                map_node[p] = cluster.node_of_core(placement.core);
-                avail[p] = placement.end;
-                let rep = state.exec.report_mut();
-                rep.retries += 1;
-                rep.recomputed_partitions += 1;
-                rep.overhead_s += profile.central_dispatch_s + profile.worker_overhead_s;
-                rep.push_phase("recovery", detect, placement.end);
-            }
-            // Each reducer fetches its slice from every map output; a
-            // fetch lost on the wire is paid for and re-sent (the bytes
-            // count once — it is the same logical data).
-            let mut ready = vec![map_end; n_out];
-            let mut total_bytes = 0u64;
-            let mut max_fetch = 0.0f64;
-            let mut shuffle_end = map_end;
-            let mut resent = 0usize;
-            for (q, r) in ready.iter_mut().enumerate() {
-                // The reducer starts fetching once every contributing map
-                // output is available, then pulls slices sequentially.
-                let mut start = map_end;
-                for (p, row) in bytes_pq.iter().enumerate() {
-                    if row[q] > 0 {
-                        start = start.max(avail[p]);
+                let map_durs: Vec<f64> = if state.last_stage_durs.len() == n_map {
+                    state.last_stage_durs.clone()
+                } else {
+                    vec![0.0; n_map]
+                };
+                // The stage barrier drains every surviving core by `map_end`,
+                // so reducer q lands on the q-th free core in id order.
+                let reduce_nodes: Vec<usize> = (0..n_out)
+                    .map(|q| cluster.node_of_core(state.exec.nth_free_core(map_end, q)))
+                    .collect();
+                // Hash-partition, tracking per (map, reduce) byte volumes.
+                let mut buckets: Vec<Vec<(K, V)>> = (0..n_out).map(|_| Vec::new()).collect();
+                let mut bytes_pq = vec![vec![0u64; n_out]; n_map];
+                for (p, part) in parts.into_iter().enumerate() {
+                    for kv in map_side(part) {
+                        let q = bucket_of(&kv.0, n_out);
+                        bytes_pq[p][q] += kv.wire_bytes();
+                        buckets[q].push(kv);
                     }
                 }
-                let mut fetch = 0.0;
-                for (p, row) in bytes_pq.iter().enumerate() {
-                    let b = row[q];
-                    if b > 0 {
-                        let once = cost_once(b, map_node[p] == reduce_nodes[q]);
-                        let mut attempt = 0;
-                        while faults.fetch_lost(p, q, attempt) {
-                            state.exec.record_fetch_lost(
+                let net = cluster.profile.network;
+                let faults = cluster.faults().clone();
+                let mut map_node: Vec<usize> =
+                    map_cores.iter().map(|&c| cluster.node_of_core(c)).collect();
+                let cost_once = |b: u64, same: bool| {
+                    net.transfer_time(b, same)
+                        + profile.per_transfer_overhead_s
+                        + profile.ser_time(b)
+                };
+                // Nominal (fault-free) fetch schedule bounds the window during
+                // which every map output must stay reachable.
+                let mut nominal_max = 0.0f64;
+                for q in 0..n_out {
+                    let mut fetch = 0.0;
+                    for (p, row) in bytes_pq.iter().enumerate() {
+                        if row[q] > 0 {
+                            fetch += cost_once(row[q], map_node[p] == reduce_nodes[q]);
+                        }
+                    }
+                    nominal_max = nominal_max.max(fetch);
+                }
+                let horizon = map_end + nominal_max;
+                // Lineage recovery: a map output whose node dies before the
+                // fetches complete is recomputed on a surviving core, and its
+                // slice becomes available only when the rerun finishes. The
+                // recompute replays every un-checkpointed upstream stage for
+                // that partition — `RDD::checkpoint()` truncates this to one.
+                let replays = parent.lineage_depth().max(1);
+                let policy = state.policy;
+                let mut avail = vec![map_end; n_map];
+                for p in 0..n_map {
+                    let Some(died_at) = faults.node_death(map_node[p]) else {
+                        continue;
+                    };
+                    if died_at >= horizon || bytes_pq[p].iter().all(|&b| b == 0) {
+                        continue;
+                    }
+                    // Reducers discover the loss when their fetch fails.
+                    let detect = died_at.max(map_end);
+                    let prev_label = state.exec.task_label().to_string();
+                    state.exec.set_task_label("recompute");
+                    let placement = state.exec.run_task_policied(
+                        detect + profile.central_dispatch_s,
+                        map_durs[p] * replays as f64,
+                        &policy,
+                    )?;
+                    state.exec.set_task_label(&prev_label);
+                    map_node[p] = cluster.node_of_core(placement.core);
+                    avail[p] = placement.end;
+                    let rep = state.exec.report_mut();
+                    rep.retries += 1;
+                    rep.recomputed_partitions += replays;
+                    rep.overhead_s += profile.central_dispatch_s + profile.worker_overhead_s;
+                    rep.push_phase("recovery", detect, placement.end);
+                }
+                // Each reducer fetches its slice from every map output; a
+                // fetch lost on the wire is paid for and re-sent (the bytes
+                // count once — it is the same logical data).
+                let mut ready = vec![map_end; n_out];
+                let mut total_bytes = 0u64;
+                let mut max_fetch = 0.0f64;
+                let mut shuffle_end = map_end;
+                let mut resent = 0usize;
+                for (q, r) in ready.iter_mut().enumerate() {
+                    // The reducer starts fetching once every contributing map
+                    // output is available, then pulls slices sequentially.
+                    let mut start = map_end;
+                    for (p, row) in bytes_pq.iter().enumerate() {
+                        if row[q] > 0 {
+                            start = start.max(avail[p]);
+                        }
+                    }
+                    let mut fetch = 0.0;
+                    for (p, row) in bytes_pq.iter().enumerate() {
+                        let b = row[q];
+                        if b > 0 {
+                            let once = cost_once(b, map_node[p] == reduce_nodes[q]);
+                            let mut attempt = 0;
+                            while faults.fetch_lost(p, q, attempt) {
+                                state.exec.record_fetch_lost(
+                                    map_node[p],
+                                    reduce_nodes[q],
+                                    b,
+                                    start + fetch,
+                                    start + fetch + once,
+                                );
+                                fetch += once;
+                                resent += 1;
+                                attempt += 1;
+                            }
+                            state.exec.record_fetch(
                                 map_node[p],
                                 reduce_nodes[q],
                                 b,
@@ -217,32 +235,22 @@ where
                                 start + fetch + once,
                             );
                             fetch += once;
-                            resent += 1;
-                            attempt += 1;
+                            total_bytes += b;
                         }
-                        state.exec.record_fetch(
-                            map_node[p],
-                            reduce_nodes[q],
-                            b,
-                            start + fetch,
-                            start + fetch + once,
-                        );
-                        fetch += once;
-                        total_bytes += b;
                     }
+                    *r = start + fetch;
+                    max_fetch = max_fetch.max(fetch);
+                    shuffle_end = shuffle_end.max(*r);
                 }
-                *r = start + fetch;
-                max_fetch = max_fetch.max(fetch);
-                shuffle_end = shuffle_end.max(*r);
-            }
-            let rep = state.exec.report_mut();
-            rep.retries += resent;
-            rep.bytes_shuffled += total_bytes;
-            rep.comm_s += max_fetch;
-            rep.push_phase("shuffle", map_end, shuffle_end);
-            *guard = Some(buckets);
-            ready
-        });
+                let rep = state.exec.report_mut();
+                rep.retries += resent;
+                rep.bytes_shuffled += total_bytes;
+                rep.comm_s += max_fetch;
+                rep.push_phase("shuffle", map_end, shuffle_end);
+                *guard = Some(buckets);
+                Ok(ready)
+            },
+        );
         (store, ctx, prepare)
     }
 }
@@ -278,14 +286,16 @@ impl<T> Rdd<T>
 where
     T: Payload + Clone + Send + Sync + 'static,
 {
-    /// Internal constructor for shuffle outputs.
+    /// Internal constructor for shuffle outputs. `depth` is the lineage
+    /// depth of the shuffled RDD (parent's depth + 1 for the shuffle).
     pub(crate) fn shuffled(
         ctx: crate::SparkContext,
         n_partitions: usize,
+        depth: usize,
         prepare: crate::rdd::Prepare,
         compute: impl Fn(usize, &taskframe::TaskCtx) -> Vec<T> + Send + Sync + 'static,
     ) -> Self {
-        Rdd::assemble(ctx, n_partitions, prepare, Arc::new(compute))
+        Rdd::assemble(ctx, n_partitions, prepare, Arc::new(compute), depth)
     }
 }
 

@@ -8,7 +8,7 @@
 //! framework.
 
 use crate::TaskCtx;
-use netsim::SimReport;
+use netsim::{PolicyError, SimReport};
 
 /// A task in a flat bag: runs with a context, returns a small result.
 pub type BagTask = Box<dyn Fn(&TaskCtx) -> u64 + Send + Sync>;
@@ -31,6 +31,46 @@ pub enum EngineError {
     /// recover — MPI aborts the communicator; task engines surface this
     /// only after exhausting `max_attempts`.
     WorkerLost { node: usize, at_s: f64 },
+    /// Every attempt allowed by the engine's
+    /// [`RetryPolicy`](netsim::RetryPolicy) was killed by a node death.
+    RetriesExhausted { attempts: u32, last_failure_s: f64 },
+    /// The engine's per-attempt watchdog killed the final allowed attempt.
+    TaskTimeout {
+        attempt: u32,
+        timeout_s: f64,
+        at_s: f64,
+    },
+    /// No attempt could finish before the policy's absolute deadline.
+    DeadlineExceeded { deadline_s: f64, at_s: f64 },
+    /// Every node that could host work is dead.
+    NoSurvivingWorkers { at_s: f64 },
+}
+
+impl From<PolicyError> for EngineError {
+    fn from(e: PolicyError) -> Self {
+        match e {
+            PolicyError::RetriesExhausted {
+                attempts,
+                last_failure_s,
+            } => EngineError::RetriesExhausted {
+                attempts,
+                last_failure_s,
+            },
+            PolicyError::Timeout {
+                attempt,
+                timeout_s,
+                at_s,
+            } => EngineError::TaskTimeout {
+                attempt,
+                timeout_s,
+                at_s,
+            },
+            PolicyError::DeadlineExceeded { deadline_s, at_s } => {
+                EngineError::DeadlineExceeded { deadline_s, at_s }
+            }
+            PolicyError::NoSurvivingCore { at_s } => EngineError::NoSurvivingWorkers { at_s },
+        }
+    }
 }
 
 impl std::fmt::Display for EngineError {
@@ -47,6 +87,29 @@ impl std::fmt::Display for EngineError {
             EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
             EngineError::WorkerLost { node, at_s } => {
                 write!(f, "worker lost: node {node} died at {at_s}s")
+            }
+            EngineError::RetriesExhausted {
+                attempts,
+                last_failure_s,
+            } => write!(
+                f,
+                "retries exhausted: task failed after {attempts} attempts \
+                 (last failure at {last_failure_s:.3}s)"
+            ),
+            EngineError::TaskTimeout {
+                attempt,
+                timeout_s,
+                at_s,
+            } => write!(
+                f,
+                "task timeout: attempt {attempt} exceeded {timeout_s:.3}s at {at_s:.3}s"
+            ),
+            EngineError::DeadlineExceeded { deadline_s, at_s } => write!(
+                f,
+                "deadline exceeded: cannot finish by {deadline_s:.3}s (checked at {at_s:.3}s)"
+            ),
+            EngineError::NoSurvivingWorkers { at_s } => {
+                write!(f, "no surviving workers at {at_s:.3}s (all nodes dead)")
             }
         }
     }

@@ -53,12 +53,28 @@ pub struct FrameworkProfile {
     /// on the job (Spark's `spark.task.maxFailures`, Dask/RP retry loops;
     /// 1 for MPI — any rank failure aborts the communicator).
     pub max_attempts: usize,
+    /// How long after a node dies the framework *notices*: the driver's
+    /// executor-heartbeat interval for Spark-class systems, the scheduler's
+    /// worker heartbeat for Dask, the agent's database poll interval for
+    /// RADICAL-Pilot, and the MPI runtime noticing a broken communicator.
+    /// Recovery cannot begin before detection.
+    pub detection_delay_s: f64,
 }
 
 impl FrameworkProfile {
     /// Serialization charge for a result of `bytes` bytes.
     pub fn ser_time(&self, bytes: u64) -> f64 {
         self.result_ser_s_per_byte * bytes as f64
+    }
+
+    /// The framework's default recovery policy: bounded attempts with this
+    /// profile's heartbeat detection delay and a central-dispatch-scale
+    /// exponential backoff (re-dispatch is never cheaper than going back
+    /// through the scheduler once).
+    pub fn retry_policy(&self) -> netsim::RetryPolicy {
+        netsim::RetryPolicy::new(self.max_attempts as u32)
+            .with_detection_delay(self.detection_delay_s)
+            .with_backoff(self.central_dispatch_s, 2.0, 64.0 * self.central_dispatch_s)
     }
 }
 
@@ -72,7 +88,8 @@ pub fn spark_profile() -> FrameworkProfile {
         result_ser_s_per_byte: 8e-9, // ~125 MB/s pickle + JVM copy
         per_transfer_overhead_s: 5e-5, // netty-based block transfer service
         broadcast: BroadcastAlgo::Tree,
-        max_attempts: 4, // spark.task.maxFailures default
+        max_attempts: 4,         // spark.task.maxFailures default
+        detection_delay_s: 0.25, // driver-side executor heartbeat window
     }
 }
 
@@ -91,6 +108,7 @@ pub fn dask_profile() -> FrameworkProfile {
         // Fig. 8 (vs 3–15% for Spark's torrent broadcast).
         broadcast: BroadcastAlgo::ListWise { per_item_s: 5e-5 },
         max_attempts: 3,
+        detection_delay_s: 0.25, // scheduler's worker-heartbeat interval
     }
 }
 
@@ -108,6 +126,7 @@ pub fn pilot_profile() -> FrameworkProfile {
         per_transfer_overhead_s: 2e-3,    // shared-filesystem open/close per blob
         broadcast: BroadcastAlgo::Linear, // no broadcast primitive; unused
         max_attempts: 3,                  // CU retry via DB re-enqueue
+        detection_delay_s: 2.0,           // agent heartbeat via MongoDB poll
     }
 }
 
@@ -122,7 +141,8 @@ pub fn mpi_profile() -> FrameworkProfile {
         result_ser_s_per_byte: 1e-9, // mpi4py pickles non-buffer objects
         per_transfer_overhead_s: 0.0,
         broadcast: BroadcastAlgo::Linear,
-        max_attempts: 1, // SPMD: a lost rank aborts the whole job
+        max_attempts: 1,        // SPMD: a lost rank aborts the whole job
+        detection_delay_s: 1.0, // mpirun noticing the broken communicator
     }
 }
 
@@ -163,6 +183,21 @@ mod tests {
         // §4.4.2: Spark's communication subsystem beats Dask's.
         assert!(spark_profile().per_transfer_overhead_s < dask_profile().per_transfer_overhead_s);
         assert_eq!(mpi_profile().per_transfer_overhead_s, 0.0);
+    }
+
+    #[test]
+    fn retry_policy_mirrors_the_profile() {
+        let p = spark_profile().retry_policy();
+        assert_eq!(p.max_attempts, 4);
+        assert_eq!(p.detection_delay_s, 0.25);
+        assert_eq!(p.backoff_before(2), spark_profile().central_dispatch_s);
+        // The pilot's DB poll dominates failure-detection latency.
+        assert!(
+            pilot_profile().detection_delay_s > dask_profile().detection_delay_s,
+            "a database poll is slower than a socket heartbeat"
+        );
+        // MPI gets exactly one attempt: the policy exists but never retries.
+        assert_eq!(mpi_profile().retry_policy().max_attempts, 1);
     }
 
     #[test]

@@ -43,12 +43,12 @@ fn main() {
     );
 
     let sc = SparkContext::new(cluster());
-    let spark = psa_spark(&sc, Arc::clone(&ensemble), &cfg);
+    let spark = psa_spark(&sc, Arc::clone(&ensemble), &cfg).expect("fault-free");
     check("spark", &spark.distances);
     print_row("Spark", &spark.report);
 
     let client = DaskClient::new(cluster());
-    let dask = psa_dask(&client, Arc::clone(&ensemble), &cfg);
+    let dask = psa_dask(&client, Arc::clone(&ensemble), &cfg).expect("fault-free");
     check("dask", &dask.distances);
     print_row("Dask", &dask.report);
 

@@ -44,7 +44,8 @@ fn main() {
             groups: 5,
             charge_io: true,
         },
-    );
+    )
+    .expect("fault-free");
     println!(
         "Hausdorff matrix computed: {} tasks, {:.2} virtual s",
         out.report.tasks, out.report.makespan_s

@@ -36,7 +36,8 @@ fn main() {
         groups: 4,
         charge_io: true,
     };
-    let out = mdtask::analysis::psa::psa_dask(&client, Arc::clone(&ensemble), &cfg);
+    let out =
+        mdtask::analysis::psa::psa_dask(&client, Arc::clone(&ensemble), &cfg).expect("fault-free");
 
     // 4. The distance matrix is real — inspect a few entries.
     println!("\nHausdorff distance matrix (Å):");

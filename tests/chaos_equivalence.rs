@@ -1,0 +1,270 @@
+//! Chaos equivalence sweep (PR-3 satellite): every engine, run under 100+
+//! seeded random fault plans, must produce results identical to its
+//! fault-free run — node deaths, stragglers, and lost fetches may cost
+//! virtual time but never change the data.
+//!
+//! Plans come from `netsim::chaos::plan_for_seed`, the same generator the
+//! chaos-fuzzing harness uses, so any seed that fails here is directly
+//! replayable through the harness.
+
+use mdtask::prelude::*;
+use netsim::chaos::plan_for_seed;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const CASES: u32 = 110;
+
+fn lf_system() -> (Arc<Vec<Vec3>>, LfConfig) {
+    let b = mdtask::sim::bilayer::generate(
+        &BilayerSpec {
+            n_atoms: 200,
+            ..Default::default()
+        },
+        7,
+    );
+    (
+        Arc::new(b.positions),
+        LfConfig {
+            cutoff: b.suggested_cutoff,
+            partitions: 8,
+            paper_atoms: 200,
+            charge_io: false,
+        },
+    )
+}
+
+fn psa_system() -> (Arc<Vec<Trajectory>>, PsaConfig) {
+    let spec = ChainSpec {
+        n_atoms: 10,
+        n_frames: 5,
+        stride: 1,
+        ..ChainSpec::default()
+    };
+    (
+        Arc::new(mdtask::sim::chain::generate_ensemble(&spec, 4, 42)),
+        PsaConfig {
+            groups: 2,
+            charge_io: true,
+        },
+    )
+}
+
+/// Plans whose deaths land inside a task engine's execution window
+/// (startup is ~0.2–1 s; jobs finish within a few seconds).
+fn chaos_cfg(death_window: (f64, f64)) -> ChaosConfig {
+    let mut cfg = ChaosConfig::new(2, 8);
+    cfg.death_window_s = death_window;
+    cfg
+}
+
+fn cluster(plan: FaultPlan) -> Cluster {
+    Cluster::new(laptop(), 2).with_faults(plan)
+}
+
+fn lf_matches(clean: &LfOutput, got: &LfOutput) -> Result<(), String> {
+    if got.leaflet_sizes != clean.leaflet_sizes {
+        return Err(format!(
+            "leaflet sizes diverged: {:?} vs {:?}",
+            got.leaflet_sizes, clean.leaflet_sizes
+        ));
+    }
+    if got.n_components != clean.n_components {
+        return Err("component count diverged".into());
+    }
+    if got.edges_found != clean.edges_found {
+        return Err("edge count diverged".into());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    /// Spark LF under seeded chaos matches the fault-free run.
+    #[test]
+    fn spark_lf_matches_fault_free_under_chaos(seed in 0u64..u64::MAX / 2) {
+        let (positions, cfg) = lf_system();
+        let clean = lf_spark(
+            &SparkContext::new(cluster(FaultPlan::none())),
+            Arc::clone(&positions),
+            LfApproach::ParallelCC,
+            &cfg,
+        )
+        .unwrap();
+        let plan = plan_for_seed(&chaos_cfg((0.0, 3.0)), seed);
+        let got = lf_spark(
+            &SparkContext::new(cluster(plan)),
+            Arc::clone(&positions),
+            LfApproach::ParallelCC,
+            &cfg,
+        );
+        match got {
+            Ok(out) => prop_assert!(lf_matches(&clean, &out).is_ok(),
+                "seed {seed}: {:?}", lf_matches(&clean, &out)),
+            Err(e) => prop_assert!(false, "seed {seed}: spark errored: {e:?}"),
+        }
+    }
+
+    /// Dask LF under seeded chaos matches the fault-free run.
+    #[test]
+    fn dask_lf_matches_fault_free_under_chaos(seed in 0u64..u64::MAX / 2) {
+        let (positions, cfg) = lf_system();
+        let clean = lf_dask(
+            &DaskClient::new(cluster(FaultPlan::none())),
+            Arc::clone(&positions),
+            LfApproach::Task2D,
+            &cfg,
+        )
+        .unwrap();
+        let plan = plan_for_seed(&chaos_cfg((0.0, 3.0)), seed);
+        let got = lf_dask(
+            &DaskClient::new(cluster(plan)),
+            Arc::clone(&positions),
+            LfApproach::Task2D,
+            &cfg,
+        );
+        match got {
+            Ok(out) => prop_assert!(lf_matches(&clean, &out).is_ok(),
+                "seed {seed}: {:?}", lf_matches(&clean, &out)),
+            Err(e) => prop_assert!(false, "seed {seed}: dask errored: {e:?}"),
+        }
+    }
+
+    /// MPI LF (checkpoint/restart policy) under seeded chaos matches the
+    /// fault-free run.
+    #[test]
+    fn mpi_lf_matches_fault_free_under_chaos(seed in 0u64..u64::MAX / 2) {
+        let (positions, cfg) = lf_system();
+        let clean = lf_mpi(
+            cluster(FaultPlan::none()),
+            16,
+            &positions,
+            LfApproach::Broadcast1D,
+            &cfg,
+        )
+        .unwrap();
+        let plan = plan_for_seed(&chaos_cfg((0.0, 1.5)), seed);
+        let got = lf_mpi_with_policy(
+            cluster(plan),
+            16,
+            &positions,
+            LfApproach::Broadcast1D,
+            &cfg,
+            &RetryPolicy::new(4).with_detection_delay(0.25),
+            true,
+        );
+        match got {
+            Ok(out) => prop_assert!(lf_matches(&clean, &out).is_ok(),
+                "seed {seed}: {:?}", lf_matches(&clean, &out)),
+            Err(e) => prop_assert!(false, "seed {seed}: mpi errored: {e:?}"),
+        }
+    }
+
+    /// Spark PSA under seeded chaos reproduces the Hausdorff matrix
+    /// bit-for-bit.
+    #[test]
+    fn spark_psa_matches_fault_free_under_chaos(seed in 0u64..u64::MAX / 2) {
+        let (ensemble, cfg) = psa_system();
+        let clean = psa_spark(
+            &SparkContext::new(cluster(FaultPlan::none())),
+            Arc::clone(&ensemble),
+            &cfg,
+        )
+        .unwrap();
+        let plan = plan_for_seed(&chaos_cfg((0.0, 3.0)), seed);
+        match psa_spark(&SparkContext::new(cluster(plan)), Arc::clone(&ensemble), &cfg) {
+            Ok(out) => prop_assert!(
+                out.distances.as_slice() == clean.distances.as_slice(),
+                "seed {seed}: matrix diverged"
+            ),
+            Err(e) => prop_assert!(false, "seed {seed}: spark errored: {e:?}"),
+        }
+    }
+
+    /// Dask PSA under seeded chaos reproduces the matrix bit-for-bit.
+    #[test]
+    fn dask_psa_matches_fault_free_under_chaos(seed in 0u64..u64::MAX / 2) {
+        let (ensemble, cfg) = psa_system();
+        let clean = psa_dask(
+            &DaskClient::new(cluster(FaultPlan::none())),
+            Arc::clone(&ensemble),
+            &cfg,
+        )
+        .unwrap();
+        let plan = plan_for_seed(&chaos_cfg((0.0, 3.0)), seed);
+        match psa_dask(&DaskClient::new(cluster(plan)), Arc::clone(&ensemble), &cfg) {
+            Ok(out) => prop_assert!(
+                out.distances.as_slice() == clean.distances.as_slice(),
+                "seed {seed}: matrix diverged"
+            ),
+            Err(e) => prop_assert!(false, "seed {seed}: dask errored: {e:?}"),
+        }
+    }
+
+    /// Pilot PSA under seeded chaos (deaths inside the 35 s bootstrap +
+    /// execution window) reproduces the matrix bit-for-bit.
+    #[test]
+    fn pilot_psa_matches_fault_free_under_chaos(seed in 0u64..u64::MAX / 2) {
+        let (ensemble, cfg) = psa_system();
+        let clean = psa_pilot(
+            &Session::new(cluster(FaultPlan::none())).unwrap(),
+            &ensemble,
+            &cfg,
+        )
+        .unwrap();
+        let plan = plan_for_seed(&chaos_cfg((0.0, 40.0)), seed);
+        match psa_pilot(&Session::new(cluster(plan)).unwrap(), &ensemble, &cfg) {
+            Ok(out) => prop_assert!(
+                out.distances.as_slice() == clean.distances.as_slice(),
+                "seed {seed}: matrix diverged"
+            ),
+            Err(e) => prop_assert!(false, "seed {seed}: pilot errored: {e:?}"),
+        }
+    }
+
+    /// MPI PSA (checkpoint/restart policy) under seeded chaos reproduces
+    /// the matrix bit-for-bit.
+    #[test]
+    fn mpi_psa_matches_fault_free_under_chaos(seed in 0u64..u64::MAX / 2) {
+        let (ensemble, cfg) = psa_system();
+        let clean = psa_mpi(cluster(FaultPlan::none()), 8, &ensemble, &cfg);
+        let plan = plan_for_seed(&chaos_cfg((0.0, 1.5)), seed);
+        match psa_mpi_with_policy(
+            cluster(plan),
+            8,
+            &ensemble,
+            &cfg,
+            &RetryPolicy::new(4).with_detection_delay(0.25),
+            true,
+        ) {
+            Ok(out) => prop_assert!(
+                out.distances.as_slice() == clean.distances.as_slice(),
+                "seed {seed}: matrix diverged"
+            ),
+            Err(e) => prop_assert!(false, "seed {seed}: mpi errored: {e:?}"),
+        }
+    }
+
+    /// Pilot LF under seeded chaos matches the fault-free run.
+    #[test]
+    fn pilot_lf_matches_fault_free_under_chaos(seed in 0u64..u64::MAX / 2) {
+        let (positions, cfg) = lf_system();
+        let clean = lf_pilot(
+            &Session::new(cluster(FaultPlan::none())).unwrap(),
+            &positions,
+            &cfg,
+        )
+        .unwrap();
+        let plan = plan_for_seed(&chaos_cfg((0.0, 40.0)), seed);
+        let got = lf_pilot(
+            &Session::new(cluster(plan)).unwrap(),
+            &positions,
+            &cfg,
+        );
+        match got {
+            Ok(out) => prop_assert!(lf_matches(&clean, &out).is_ok(),
+                "seed {seed}: {:?}", lf_matches(&clean, &out)),
+            Err(e) => prop_assert!(false, "seed {seed}: pilot errored: {e:?}"),
+        }
+    }
+}

@@ -47,11 +47,15 @@ fn psa_from_files_identical_across_engines() {
     let outs = vec![
         (
             "spark",
-            psa_spark(&SparkContext::new(cluster()), Arc::clone(&arc), &cfg).distances,
+            psa_spark(&SparkContext::new(cluster()), Arc::clone(&arc), &cfg)
+                .expect("fault-free")
+                .distances,
         ),
         (
             "dask",
-            psa_dask(&DaskClient::new(cluster()), Arc::clone(&arc), &cfg).distances,
+            psa_dask(&DaskClient::new(cluster()), Arc::clone(&arc), &cfg)
+                .expect("fault-free")
+                .distances,
         ),
         (
             "pilot",

@@ -110,6 +110,7 @@ fn comet_outruns_wrangler() {
     let run = |profile: MachineProfile| {
         let sc = SparkContext::new(Cluster::with_cores(profile, 48));
         psa_spark(&sc, std::sync::Arc::clone(&e), &cfg)
+            .expect("fault-free")
             .report
             .makespan_s
     };

@@ -42,9 +42,9 @@ proptest! {
         let cfg_k = PsaConfig { groups: k.min(4), charge_io: false };
         let cfg_1 = PsaConfig { groups: 1, charge_io: false };
         let sc_a = SparkContext::new(Cluster::new(laptop(), 1));
-        let a = psa_spark(&sc_a, Arc::clone(&e), &cfg_k).distances;
+        let a = psa_spark(&sc_a, Arc::clone(&e), &cfg_k).unwrap().distances;
         let sc_b = SparkContext::new(Cluster::new(laptop(), 1));
-        let b = psa_spark(&sc_b, Arc::clone(&e), &cfg_1).distances;
+        let b = psa_spark(&sc_b, Arc::clone(&e), &cfg_1).unwrap().distances;
         for i in 0..4 {
             for j in 0..4 {
                 prop_assert!((a.get(i, j) - b.get(i, j)).abs() < 1e-12);
