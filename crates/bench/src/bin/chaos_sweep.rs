@@ -1,11 +1,25 @@
-//! Fixed-seed chaos sweep for CI (PR-3): run every engine's Leaflet
-//! Finder under a battery of seeded random fault plans and check the
-//! invariant oracles (`netsim::chaos`). Exit code 1 on any violation.
+//! Fixed-seed chaos sweep for CI (PR-3, memory battery PR-4): run every
+//! engine's Leaflet Finder under a battery of seeded random fault plans
+//! and check the invariant oracles (`netsim::chaos`). Exit code 1 on any
+//! violation.
+//!
+//! Two batteries run per engine:
+//!
+//! 1. the mixed battery (deaths + stragglers + lost fetches + the odd
+//!    memory shrink against a roomy 16 GiB budget), and
+//! 2. a *memory* battery: pure mem-shrink plans scaled to the engine's
+//!    own fault-free peak footprint, so caps genuinely bite and the
+//!    spill/evict/recompute/OOM degradation paths are exercised.
+//!
+//! `--metrics-out` writes the memory battery's aggregate pressure
+//! counters (spilled/evicted bytes, recomputes, OOM kills, high-water)
+//! as JSON — CI uploads it as an artifact on every run.
 //!
 //! On failure the binary writes replayable artifacts under `--out-dir`:
 //!
-//! * `chaos_failures_<engine>.json` — the full `FuzzReport` (every
-//!   violation with its original and shrunk `FaultPlan`);
+//! * `chaos_failures_<engine>.json` / `chaos_mem_failures_<engine>.json`
+//!   — the full `FuzzReport` (every violation with its original and
+//!   shrunk `FaultPlan`);
 //! * `chaos_failure_<engine>.trace.json` — a Chrome trace of the first
 //!   shrunk plan replayed with tracing enabled (engines that trace).
 //!
@@ -14,7 +28,8 @@
 //!
 //! ```sh
 //! cargo run -p bench --release --bin chaos_sweep
-//! cargo run -p bench --release --bin chaos_sweep -- --plans 200 --seed 7
+//! cargo run -p bench --release --bin chaos_sweep -- --plans 200 --seed 7 \
+//!     --mem-plans 100 --metrics-out results/chaos_mem_metrics.json
 //! ```
 
 use dasklet::DaskClient;
@@ -23,10 +38,10 @@ use mdtask_core::leaflet::{
     lf_dask, lf_mpi_with_policy, lf_pilot, lf_spark, LfApproach, LfConfig, LfOutput,
 };
 use netsim::chaos::{fuzz, ChaosConfig, ChaosOutcome, Fingerprint, FuzzReport};
-use netsim::{laptop, Cluster, FaultPlan, RetryPolicy};
+use netsim::{laptop, Cluster, FaultPlan, RetryPolicy, SimReport};
 use pilot::Session;
 use sparklet::SparkContext;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 const MPI_WORLD: usize = 16;
 
@@ -87,13 +102,16 @@ const ENGINES: [Engine; 4] = [
 ];
 
 /// One LF run under `plan`; `traced` turns on the event trace (for the
-/// failure-replay artifact).
+/// failure-replay artifact). `mem_battery` switches spark to the
+/// Broadcast1D approach, whose per-node replica reservations actually
+/// engage the memory ledger (ParallelCC neither broadcasts nor persists).
 fn run_engine(
     name: &str,
     plan: &FaultPlan,
     positions: &Arc<Vec<linalg::Vec3>>,
     cfg: &LfConfig,
     traced: bool,
+    mem_battery: bool,
 ) -> Result<ChaosOutcome, String> {
     let cluster = Cluster::new(laptop(), 2).with_faults(plan.clone());
     let out = match name {
@@ -102,7 +120,12 @@ fn run_engine(
             if traced {
                 sc.enable_trace();
             }
-            lf_spark(&sc, Arc::clone(positions), LfApproach::ParallelCC, cfg)
+            let approach = if mem_battery {
+                LfApproach::Broadcast1D
+            } else {
+                LfApproach::ParallelCC
+            };
+            lf_spark(&sc, Arc::clone(positions), approach, cfg)
         }
         "dask" => {
             let client = DaskClient::new(cluster);
@@ -135,6 +158,65 @@ fn run_engine(
     })
 }
 
+/// Aggregate memory-pressure counters over one engine's memory battery.
+#[derive(Default)]
+struct MemAgg {
+    runs: usize,
+    typed_errors: usize,
+    bytes_spilled: u64,
+    bytes_evicted: u64,
+    recomputed_partitions: usize,
+    oom_kills: usize,
+    mem_high_water_max: u64,
+}
+
+impl MemAgg {
+    fn absorb(&mut self, report: &SimReport) {
+        self.runs += 1;
+        self.bytes_spilled += report.bytes_spilled;
+        self.bytes_evicted += report.bytes_evicted;
+        self.recomputed_partitions += report.recomputed_partitions;
+        self.oom_kills += report.oom_kills;
+        let hw = report.mem_high_water.iter().copied().max().unwrap_or(0);
+        self.mem_high_water_max = self.mem_high_water_max.max(hw);
+    }
+
+    fn to_json(&self, engine: &str, footprint: u64) -> String {
+        format!(
+            concat!(
+                "    {{\"engine\": \"{}\", \"fault_free_footprint_bytes\": {}, ",
+                "\"runs\": {}, \"typed_errors\": {}, \"bytes_spilled\": {}, ",
+                "\"bytes_evicted\": {}, \"recomputed_partitions\": {}, ",
+                "\"oom_kills\": {}, \"mem_high_water_max\": {}}}"
+            ),
+            engine,
+            footprint,
+            self.runs,
+            self.typed_errors,
+            self.bytes_spilled,
+            self.bytes_evicted,
+            self.recomputed_partitions,
+            self.oom_kills,
+            self.mem_high_water_max,
+        )
+    }
+}
+
+/// The fault-free peak footprint memory plans are scaled against. MPI
+/// keeps no resident ledger, so its proxy is the bytes its collectives
+/// move (which is what the fixed per-rank buffers must hold).
+fn fault_free_footprint(name: &str, positions: &Arc<Vec<linalg::Vec3>>, cfg: &LfConfig) -> u64 {
+    let outcome = run_engine(name, &FaultPlan::none(), positions, cfg, false, true)
+        .expect("fault-free footprint probe must succeed");
+    let r = &outcome.report;
+    let peak = r.mem_high_water.iter().copied().max().unwrap_or(0);
+    if peak > 0 {
+        peak
+    } else {
+        (r.bytes_broadcast + r.bytes_shuffled).max(64 * 1024)
+    }
+}
+
 fn write_artifact(path: &str, contents: &str) {
     if let Some(dir) = std::path::Path::new(path).parent() {
         if !dir.as_os_str().is_empty() {
@@ -159,7 +241,7 @@ fn dump_failure_artifacts(
     // Replay the first shrunk counterexample with the event trace on, so
     // the CI artifact shows the recovery timeline that broke the oracle.
     if let Some(v) = report.violations.first() {
-        if let Ok(outcome) = run_engine(engine.name, &v.shrunk, positions, cfg, true) {
+        if let Ok(outcome) = run_engine(engine.name, &v.shrunk, positions, cfg, true, false) {
             if let Some(trace) = &outcome.report.trace {
                 write_artifact(
                     &format!("{out_dir}/chaos_failure_{}.trace.json", engine.name),
@@ -172,8 +254,10 @@ fn dump_failure_artifacts(
 
 fn main() {
     let mut plans = 200usize;
+    let mut mem_plans = 100usize;
     let mut base_seed = 0u64;
     let mut out_dir = String::from("results");
+    let mut metrics_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -183,6 +267,12 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--plans needs a positive integer");
             }
+            "--mem-plans" => {
+                mem_plans = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--mem-plans needs a non-negative integer");
+            }
             "--seed" => {
                 base_seed = args
                     .next()
@@ -190,8 +280,14 @@ fn main() {
                     .expect("--seed needs an integer");
             }
             "--out-dir" => out_dir = args.next().expect("--out-dir needs a path"),
+            "--metrics-out" => {
+                metrics_out = Some(args.next().expect("--metrics-out needs a path"));
+            }
             "--help" | "-h" => {
-                eprintln!("flags: --plans N | --seed S | --out-dir PATH");
+                eprintln!(
+                    "flags: --plans N | --mem-plans N | --seed S | --out-dir PATH \
+                     | --metrics-out PATH"
+                );
                 std::process::exit(0);
             }
             other => panic!("unknown flag {other}"),
@@ -214,7 +310,7 @@ fn main() {
         // still must match exactly.
         ccfg.check_empty_plan_determinism = false;
         let report = fuzz(&ccfg, |plan| {
-            run_engine(engine.name, plan, &positions, &cfg, false)
+            run_engine(engine.name, plan, &positions, &cfg, false, false)
         });
         if report.passed() {
             println!(
@@ -235,6 +331,80 @@ fn main() {
             dump_failure_artifacts(engine, &report, &out_dir, &positions, &cfg);
         }
     }
+    // Memory battery: pure mem-shrink plans scaled to each engine's own
+    // fault-free footprint, so a 16 GiB default budget doesn't render
+    // every shrink a no-op against KB-scale CI workloads.
+    let mut metric_rows: Vec<String> = Vec::new();
+    if mem_plans > 0 {
+        println!(
+            "memory battery: {mem_plans} seeded mem-shrink plans per engine \
+             (base seed {base_seed}), caps scaled to fault-free footprints"
+        );
+        for engine in &ENGINES {
+            let footprint = fault_free_footprint(engine.name, &positions, &cfg);
+            let mut ccfg = ChaosConfig::new(2, 8);
+            ccfg.plans = mem_plans;
+            ccfg.base_seed = base_seed;
+            ccfg.max_deaths = 0;
+            ccfg.max_stragglers = 0;
+            ccfg.lost_fetch_prob_max = 0.0;
+            ccfg.max_mem_shrinks = 2;
+            // Shrinks land inside the engine's live window, like deaths.
+            ccfg.mem_shrink_window_s = engine.death_window_s;
+            ccfg.mem_per_node = footprint;
+            ccfg.mem_shrink_frac = (0.25, 1.0);
+            ccfg.check_empty_plan_determinism = false;
+            let agg = Mutex::new(MemAgg::default());
+            let report = fuzz(&ccfg, |plan| {
+                let res = run_engine(engine.name, plan, &positions, &cfg, false, true);
+                let mut a = agg.lock().unwrap();
+                match &res {
+                    Ok(outcome) => a.absorb(&outcome.report),
+                    Err(_) => a.typed_errors += 1,
+                }
+                res
+            });
+            let agg = agg.into_inner().unwrap();
+            metric_rows.push(agg.to_json(engine.name, footprint));
+            if report.passed() {
+                println!(
+                    "  {:<6} {} plans, all oracles held \
+                     (spilled {} B, evicted {} B, {} recomputes, {} OOM, {} typed errors)",
+                    engine.name,
+                    report.plans_run,
+                    agg.bytes_spilled,
+                    agg.bytes_evicted,
+                    agg.recomputed_partitions,
+                    agg.oom_kills,
+                    agg.typed_errors,
+                );
+            } else {
+                failed = true;
+                println!(
+                    "  {:<6} {} plans, {} VIOLATIONS",
+                    engine.name,
+                    report.plans_run,
+                    report.violations.len()
+                );
+                for v in &report.violations {
+                    println!("         seed {}: {}", v.seed, v.message);
+                }
+                write_artifact(
+                    &format!("{out_dir}/chaos_mem_failures_{}.json", engine.name),
+                    &report.to_json(),
+                );
+            }
+        }
+    }
+    if let Some(path) = &metrics_out {
+        let body = format!(
+            "{{\n  \"mem_plans_per_engine\": {mem_plans},\n  \"base_seed\": {base_seed},\n  \
+             \"engines\": [\n{}\n  ]\n}}\n",
+            metric_rows.join(",\n")
+        );
+        write_artifact(path, &body);
+    }
+
     if failed {
         eprintln!("chaos sweep FAILED — artifacts under {out_dir}/");
         std::process::exit(1);

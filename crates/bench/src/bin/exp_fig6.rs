@@ -21,6 +21,7 @@ fn haswell20() -> MachineProfile {
         cores_per_node: 20,
         core_efficiency: 1.0,
         mem_per_node: 128 * (1 << 30),
+        disk_bandwidth_bps: 5.0e8,
         network: NetworkModel::infiniband(),
     }
 }

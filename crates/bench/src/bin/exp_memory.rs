@@ -1,0 +1,354 @@
+//! Memory-pressure sweep (PR-4): per-node memory limit vs runtime and
+//! degradation cost for every engine.
+//!
+//! A fixed Leaflet Finder job runs fault-free once per engine to measure
+//! its peak resident footprint (the memory ledger's high-water mark; for
+//! MPI, which holds no resident state, the bytes its collectives move).
+//! The job then re-runs with both nodes capped at a sweep of fractions
+//! of that footprint, applied through `FaultPlan::shrink_memory` at t=0
+//! — the same mechanism chaos plans use for mid-run shrinks. Each point
+//! records the makespan inflation and the engine's degradation counters
+//! (`bytes_spilled`, `bytes_evicted`, `recomputed_partitions`,
+//! `oom_kills`), or the typed error once the cap leaves the engine no
+//! coping path.
+//!
+//! The expected shapes: Spark/Dask degrade smoothly (spill and recompute
+//! cost time, never correctness), Pilot serializes admission (longer
+//! makespan, no spills), MPI chunks its collectives (latency grows) and
+//! falls off a cliff into `MemoryExhausted` once a replica outgrows the
+//! fixed per-rank buffers.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin exp_memory
+//! cargo run -p bench --release --bin exp_memory -- --out results/memory.json
+//! ```
+
+use bench::secs;
+use dasklet::DaskClient;
+use mdsim::BilayerSpec;
+use mdtask_core::leaflet::{lf_dask, lf_mpi_with_policy, lf_pilot, lf_spark, LfApproach, LfConfig};
+use netsim::{laptop, Cluster, FaultPlan, RetryPolicy, SimReport};
+use pilot::Session;
+use sparklet::SparkContext;
+use std::sync::Arc;
+
+/// Caps swept, as fractions of the fault-free peak footprint.
+const MEM_FRACS: [f64; 6] = [1.0, 0.75, 0.5, 0.35, 0.25, 0.15];
+/// MPI's footprint proxy (bytes its collectives move) understates the
+/// real requirement — the node budget is sliced into per-core rank
+/// buffers, so the gather root needs cores_per_node x its inbound bytes.
+/// Sweep higher fractions so the chunking regime (complete, extra
+/// latency) is visible before the MemoryExhausted cliff.
+const MPI_MEM_FRACS: [f64; 6] = [4.0, 3.0, 2.0, 1.6, 1.0, 0.5];
+const MPI_WORLD: usize = 16;
+
+/// One sweep point: both nodes capped at `cap_bytes` and what it cost.
+struct Point {
+    mem_frac: f64,
+    cap_bytes: u64,
+    outcome: Outcome,
+}
+
+enum Outcome {
+    Completed {
+        makespan_s: f64,
+        overhead_s: f64,
+        bytes_spilled: u64,
+        bytes_evicted: u64,
+        recomputed_partitions: usize,
+        oom_kills: usize,
+        mem_high_water: u64,
+    },
+    Failed(String),
+}
+
+struct Series {
+    engine: &'static str,
+    degradation: &'static str,
+    clean_makespan_s: f64,
+    footprint_bytes: u64,
+    points: Vec<Point>,
+}
+
+fn cluster(plan: FaultPlan) -> Cluster {
+    Cluster::new(laptop(), 2).with_faults(plan)
+}
+
+/// Cap every node of the 2-node cluster to `cap` bytes from t=0.
+fn cap_plan(cap: u64) -> FaultPlan {
+    FaultPlan::none()
+        .shrink_memory(0, 0.0, cap)
+        .shrink_memory(1, 0.0, cap)
+}
+
+/// Peak resident footprint of the fault-free run; for engines that never
+/// engage the ledger (MPI), the bytes their collectives move.
+fn footprint(clean: &SimReport) -> u64 {
+    let peak = clean.mem_high_water.iter().copied().max().unwrap_or(0);
+    if peak > 0 {
+        peak
+    } else {
+        (clean.bytes_broadcast + clean.bytes_shuffled).max(64 * 1024)
+    }
+}
+
+fn high_water(rep: &SimReport) -> u64 {
+    rep.mem_high_water.iter().copied().max().unwrap_or(0)
+}
+
+/// Sweep one engine: `run(plan)` returns the report of a capped run.
+fn sweep<F>(
+    engine: &'static str,
+    degradation: &'static str,
+    clean: &SimReport,
+    fracs: &[f64],
+    mut run: F,
+) -> Series
+where
+    F: FnMut(FaultPlan) -> Result<SimReport, String>,
+{
+    let fp = footprint(clean);
+    let points = fracs
+        .iter()
+        .map(|&frac| {
+            let cap = ((fp as f64 * frac) as u64).max(1);
+            let outcome = match run(cap_plan(cap)) {
+                Ok(rep) => Outcome::Completed {
+                    makespan_s: rep.makespan_s,
+                    overhead_s: rep.makespan_s - clean.makespan_s,
+                    bytes_spilled: rep.bytes_spilled,
+                    bytes_evicted: rep.bytes_evicted,
+                    recomputed_partitions: rep.recomputed_partitions,
+                    oom_kills: rep.oom_kills,
+                    mem_high_water: high_water(&rep),
+                },
+                Err(e) => Outcome::Failed(e),
+            };
+            Point {
+                mem_frac: frac,
+                cap_bytes: cap,
+                outcome,
+            }
+        })
+        .collect();
+    Series {
+        engine,
+        degradation,
+        clean_makespan_s: clean.makespan_s,
+        footprint_bytes: fp,
+        points,
+    }
+}
+
+fn lf_workload() -> (Arc<Vec<linalg::Vec3>>, LfConfig) {
+    let b = mdsim::bilayer::generate(
+        &BilayerSpec {
+            n_atoms: 1000,
+            ..Default::default()
+        },
+        17,
+    );
+    (
+        Arc::new(b.positions),
+        LfConfig {
+            cutoff: b.suggested_cutoff,
+            partitions: 32,
+            paper_atoms: 1000,
+            charge_io: true,
+        },
+    )
+}
+
+fn spark_series(positions: &Arc<Vec<linalg::Vec3>>, cfg: &LfConfig) -> Series {
+    let run = |plan: FaultPlan| {
+        lf_spark(
+            &SparkContext::new(cluster(plan)),
+            Arc::clone(positions),
+            LfApproach::Broadcast1D,
+            cfg,
+        )
+        .map(|o| o.report)
+        .map_err(|e| format!("{e:?}"))
+    };
+    let clean = run(FaultPlan::none()).expect("fault-free");
+    sweep(
+        "spark",
+        "evict+lineage-recompute+spill",
+        &clean,
+        &MEM_FRACS,
+        run,
+    )
+}
+
+fn dask_series(positions: &Arc<Vec<linalg::Vec3>>, cfg: &LfConfig) -> Series {
+    let run = |plan: FaultPlan| {
+        lf_dask(
+            &DaskClient::new(cluster(plan)),
+            Arc::clone(positions),
+            LfApproach::Broadcast1D,
+            cfg,
+        )
+        .map(|o| o.report)
+        .map_err(|e| format!("{e:?}"))
+    };
+    let clean = run(FaultPlan::none()).expect("fault-free");
+    sweep("dask", "pause+spill", &clean, &MEM_FRACS, run)
+}
+
+fn pilot_series(positions: &Arc<Vec<linalg::Vec3>>, cfg: &LfConfig) -> Series {
+    let run = |plan: FaultPlan| {
+        Session::new(cluster(plan))
+            .and_then(|s| lf_pilot(&s, positions, cfg))
+            .map(|o| o.report)
+            .map_err(|e| format!("{e:?}"))
+    };
+    let clean = run(FaultPlan::none()).expect("fault-free");
+    sweep("pilot", "admission-control", &clean, &MEM_FRACS, run)
+}
+
+fn mpi_series(positions: &Arc<Vec<linalg::Vec3>>, cfg: &LfConfig) -> Series {
+    let policy = RetryPolicy::new(1);
+    let run = |plan: FaultPlan| {
+        lf_mpi_with_policy(
+            cluster(plan),
+            MPI_WORLD,
+            positions,
+            LfApproach::Broadcast1D,
+            cfg,
+            &policy,
+            true,
+        )
+        .map(|o| o.report)
+        .map_err(|e| format!("{e:?}"))
+    };
+    let clean = run(FaultPlan::none()).expect("fault-free");
+    sweep("mpi", "chunk-or-fail", &clean, &MPI_MEM_FRACS, run)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn to_json(series: &[Series]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"memory-pressure sweep\",\n");
+    out.push_str("  \"machine\": \"laptop x2 nodes\",\n  \"series\": [\n");
+    for (i, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"degradation\": \"{}\", \
+             \"clean_makespan_s\": {:.6}, \"footprint_bytes\": {}, \"points\": [\n",
+            s.engine, s.degradation, s.clean_makespan_s, s.footprint_bytes
+        ));
+        for (j, p) in s.points.iter().enumerate() {
+            let body = match &p.outcome {
+                Outcome::Completed {
+                    makespan_s,
+                    overhead_s,
+                    bytes_spilled,
+                    bytes_evicted,
+                    recomputed_partitions,
+                    oom_kills,
+                    mem_high_water,
+                } => format!(
+                    "\"makespan_s\": {makespan_s:.6}, \"overhead_s\": {overhead_s:.6}, \
+                     \"bytes_spilled\": {bytes_spilled}, \"bytes_evicted\": {bytes_evicted}, \
+                     \"recomputed_partitions\": {recomputed_partitions}, \
+                     \"oom_kills\": {oom_kills}, \"mem_high_water\": {mem_high_water}"
+                ),
+                Outcome::Failed(e) => format!("\"error\": \"{}\"", json_escape(e)),
+            };
+            out.push_str(&format!(
+                "      {{\"mem_frac\": {:.2}, \"cap_bytes\": {}, {body}}}{}\n",
+                p.mem_frac,
+                p.cap_bytes,
+                if j + 1 < s.points.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < series.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn print_series(s: &Series) {
+    println!(
+        "\n--- {} / {} (clean {}, footprint {} B) ---",
+        s.engine,
+        s.degradation,
+        secs(s.clean_makespan_s),
+        s.footprint_bytes
+    );
+    println!(
+        "{:>6} {:>12} | {:>10} {:>10} {:>10} {:>10} {:>7} {:>4} {:>12}",
+        "frac", "cap", "makespan", "overhead", "spilled", "evicted", "recomp", "oom", "high-water"
+    );
+    for p in &s.points {
+        match &p.outcome {
+            Outcome::Completed {
+                makespan_s,
+                overhead_s,
+                bytes_spilled,
+                bytes_evicted,
+                recomputed_partitions,
+                oom_kills,
+                mem_high_water,
+            } => println!(
+                "{:>6.2} {:>12} | {:>10} {:>10} {:>10} {:>10} {:>7} {:>4} {:>12}",
+                p.mem_frac,
+                p.cap_bytes,
+                secs(*makespan_s),
+                secs(*overhead_s),
+                bytes_spilled,
+                bytes_evicted,
+                recomputed_partitions,
+                oom_kills,
+                mem_high_water
+            ),
+            Outcome::Failed(e) => {
+                println!("{:>6.2} {:>12} | failed: {e}", p.mem_frac, p.cap_bytes)
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("results/memory.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--help" | "-h" => {
+                eprintln!("flags: --out PATH (default results/memory.json)");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    println!(
+        "Memory sweep: both nodes capped at {MEM_FRACS:?} of each engine's \
+         fault-free peak footprint ({MPI_MEM_FRACS:?} for MPI's per-rank \
+         buffers; LF, 1000 atoms, 2 laptop nodes)"
+    );
+    let (positions, cfg) = lf_workload();
+    let series = vec![
+        spark_series(&positions, &cfg),
+        dask_series(&positions, &cfg),
+        pilot_series(&positions, &cfg),
+        mpi_series(&positions, &cfg),
+    ];
+    for s in &series {
+        print_series(s);
+    }
+
+    let json = to_json(&series);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write memory.json");
+    eprintln!("wrote {out_path}");
+}

@@ -89,7 +89,12 @@ pub fn lf_mpi_with_policy(
                 } else {
                     None
                 };
-                comm.bcast(0, v)
+                // A replica too big for the fixed per-rank buffers surfaces
+                // typed on every rank instead of tearing mpirun down.
+                match comm.try_bcast(0, v) {
+                    Ok(v) => v,
+                    Err(e) => return Err(e),
+                }
             } else {
                 positions.to_vec() // pre-partitioned: ranks read their slices
             };
@@ -163,8 +168,8 @@ pub fn lf_mpi_with_policy(
             };
             let t_edges = comm.clock();
             comm.set_phase("gather");
-            let gathered = comm.gather(0, (edges, partials, found));
-            (gathered, t_start, t_bcast, t_edges)
+            let gathered = comm.try_gather(0, (edges, partials, found))?;
+            Ok((gathered, t_start, t_bcast, t_edges))
         },
     )?;
 
@@ -176,7 +181,13 @@ pub fn lf_mpi_with_policy(
     let mut t_bcast_max = 0.0f64;
     let mut t_edges_max = 0.0f64;
     let mut t_start_min = f64::INFINITY;
-    for (gathered, t_start, t_bcast, t_edges) in &out.results {
+    for rank_result in &out.results {
+        // Memory exhaustion inside a collective poisons every rank with
+        // the same typed error; surface the first one.
+        let (gathered, t_start, t_bcast, t_edges) = match rank_result {
+            Ok(r) => r,
+            Err(e) => return Err(e.clone()),
+        };
         t_start_min = t_start_min.min(*t_start);
         t_bcast_max = t_bcast_max.max(*t_bcast);
         t_edges_max = t_edges_max.max(*t_edges);

@@ -36,6 +36,10 @@ pub fn lf_pilot(
             let rows = &positions[b.row.0 as usize..b.row.1 as usize];
             let cols = &positions[b.col.0 as usize..b.col.1 as usize];
             let input = codec::encode_point_pair(rows, cols);
+            // Declared peak footprint: the staged bytes, their decoded
+            // copy, and the joined coordinate buffer. The agent's
+            // admission control bounds concurrent units per node by this.
+            let working_set = input.len() as u64 * 3;
             UnitDescription::new(input, move |_ctx, staged: &[u8]| {
                 let (rows, cols) = codec::decode_point_pair(staged);
                 // Re-derive global indices from the block ranges.
@@ -70,6 +74,7 @@ pub fn lf_pilot(
                     })
                     .collect()
             })
+            .with_working_set(working_set)
         })
         .collect();
     let out = session.submit_and_wait(units)?;

@@ -186,6 +186,9 @@ pub fn psa_pilot(
             input.extend_from_slice(&codec::encode_trajectories(&cols));
             // Remember the split point so the unit can decode both groups.
             let row_len = codec::encode_trajectories(&rows).len();
+            // Staged bytes plus their decoded trajectory copies: the
+            // declared footprint admission control schedules against.
+            let working_set = input.len() as u64 * 3;
             UnitDescription::new(input, move |_ctx, staged: &[u8]| {
                 let rows = codec::decode_trajectories(&staged[..row_len]);
                 let cols = codec::decode_trajectories(&staged[row_len..]);
@@ -198,6 +201,7 @@ pub fn psa_pilot(
                 }
                 out
             })
+            .with_working_set(working_set)
         })
         .collect();
     let out = session.submit_and_wait(units)?;
@@ -279,9 +283,15 @@ pub fn psa_mpi_with_policy(
                 .collect()
         });
         comm.set_phase("gather");
-        comm.gather(0, local)
+        // A gathered total that overflows rank 0's fixed buffer surfaces
+        // typed on every rank instead of tearing mpirun down.
+        comm.try_gather(0, local)
     })?;
-    let triples = out.results.into_iter().flatten().flatten().flatten();
+    let mut gathered = Vec::with_capacity(out.results.len());
+    for r in out.results {
+        gathered.push(r?);
+    }
+    let triples = gathered.into_iter().flatten().flatten().flatten();
     Ok(PsaOutput {
         distances: assemble(n, triples),
         report: out.report,

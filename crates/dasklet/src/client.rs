@@ -5,6 +5,16 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use taskframe::{dask_profile, EngineError, FrameworkProfile, Payload, TaskCtx};
 
+/// Dask's worker memory-manager thresholds (fractions of the node budget,
+/// mirroring `distributed.worker.memory.{target,spill,pause,terminate}`).
+/// Crossing `spill` writes managed keys to disk down to `target`; a worker
+/// above `pause` stalls new tasks behind that write; a working set no
+/// spill can make room for terminates the task with a typed error.
+const MEM_TARGET_FRAC: f64 = 0.6;
+const MEM_SPILL_FRAC: f64 = 0.7;
+const MEM_PAUSE_FRAC: f64 = 0.8;
+const MEM_TERMINATE_FRAC: f64 = 0.95;
+
 struct DaskState {
     exec: SimExecutor,
     /// The central scheduler's serial timeline: each task submission passes
@@ -14,6 +24,24 @@ struct DaskState {
     /// Recovery policy the scheduler applies when a worker's heartbeat
     /// stops: bounded reschedules with detection delay and backoff.
     policy: RetryPolicy,
+}
+
+/// Spill the node's managed memory down to the `target` fraction if it
+/// sits above the `spill` threshold. Returns the disk time the write
+/// took (0.0 when no spill was needed).
+fn spill_down(st: &mut DaskState, cluster: &Cluster, node: usize, at_s: f64) -> f64 {
+    let budget = st.exec.mem_budget(node, at_s);
+    let threshold = (budget as f64 * MEM_SPILL_FRAC) as u64;
+    let resident = st.exec.mem_resident(node);
+    if resident <= threshold {
+        return 0.0;
+    }
+    let target = (budget as f64 * MEM_TARGET_FRAC) as u64;
+    let spill = resident - target.min(resident);
+    let dt = cluster.profile.disk_time(spill);
+    st.exec.record_spill(node, spill, at_s, at_s + dt);
+    st.exec.release_memory(node, spill);
+    dt
 }
 
 struct Inner {
@@ -36,6 +64,10 @@ pub struct DaskClient {
 pub struct Delayed<T> {
     value: T,
     ready: f64,
+    /// Node holding this future's key in worker memory (its bytes stay
+    /// resident there until gathered); `None` for futures that never
+    /// landed on a worker (errors, broadcast replicas).
+    node: Option<usize>,
     /// Poisoned futures: the simulated task (or one of its dependencies)
     /// failed for good — the error propagates through dependents and
     /// surfaces at [`DaskClient::try_gather`], mirroring how a dask future
@@ -148,6 +180,7 @@ impl DaskClient {
             return Delayed {
                 value: out,
                 ready: deps_ready,
+                node: None,
                 error: Some(e),
             };
         }
@@ -198,6 +231,7 @@ impl DaskClient {
             return Delayed {
                 value: out,
                 ready: release,
+                node: None,
                 error,
             };
         };
@@ -206,6 +240,7 @@ impl DaskClient {
                 return Delayed {
                     value: out,
                     ready: placement.end,
+                    node: None,
                     error: Some(EngineError::DeadlineExceeded {
                         deadline_s: deadline,
                         at_s: placement.start,
@@ -213,6 +248,45 @@ impl DaskClient {
                 };
             }
         }
+        // --- Worker memory manager (Dask's spill/pause/terminate) ---
+        // The task's inputs plus its result form its working set on the
+        // node it landed on; the result key stays resident afterwards.
+        let node = self.inner.cluster.node_of_core(placement.core);
+        let ws = dep_transfer_bytes.saturating_add(out.wire_bytes());
+        let budget = st.exec.mem_budget(node, placement.start);
+        if ws as f64 > budget as f64 * MEM_TERMINATE_FRAC {
+            // Beyond the terminate threshold no spill can make room: the
+            // nanny kills the worker and the future holds a typed error.
+            st.exec.record_oom_kill(node, placement.end);
+            return Delayed {
+                value: out,
+                ready: placement.end,
+                node: None,
+                error: Some(EngineError::MemoryExhausted {
+                    node,
+                    budget,
+                    required: ws,
+                    at_s: placement.start,
+                    what: "task working set".into(),
+                }),
+            };
+        }
+        let paused = st.exec.mem_resident(node) as f64 >= budget as f64 * MEM_PAUSE_FRAC;
+        st.exec.force_reserve_memory(node, ws);
+        let mut ready = placement.end;
+        let spill_s = spill_down(&mut st, &self.inner.cluster, node, placement.end);
+        if spill_s > 0.0 {
+            st.exec.report_mut().overhead_s += spill_s;
+            if paused {
+                // A paused worker admits the task only once the spill has
+                // brought managed memory back under the threshold.
+                ready += spill_s;
+                st.exec.advance_makespan(ready);
+            }
+        }
+        // Transient input copies drop when the task finishes; only the
+        // result key stays resident (released at gather).
+        st.exec.release_memory(node, dep_transfer_bytes);
         if let Some(died_at) = first_died {
             st.exec
                 .record_recovery("reschedule", died_at, placement.end);
@@ -232,7 +306,8 @@ impl DaskClient {
         rep.comm_s += fetch;
         Delayed {
             value: out,
-            ready: placement.end,
+            ready,
+            node: Some(node),
             error: None,
         }
     }
@@ -301,6 +376,13 @@ impl DaskClient {
         let base = ds.iter().map(|d| d.ready).fold(0.0, f64::max);
         st.exec.report_mut().comm_s += t - base.max(st.sched_free.min(t));
         st.exec.advance_makespan(t);
+        // The gathered keys move to the client; their worker-side bytes
+        // are released.
+        for d in ds {
+            if let Some(node) = d.node {
+                st.exec.release_memory(node, d.value.wire_bytes());
+            }
+        }
         (ds.iter().map(|d| d.value.clone()).collect(), t)
     }
 
@@ -311,19 +393,32 @@ impl DaskClient {
         let net = self.inner.cluster.profile.network;
         let profile = &self.inner.profile;
         let mut t = st.sched_free;
-        for p in parts {
-            t += net.transfer_time(p.wire_bytes(), self.inner.cluster.nodes == 1)
+        for (i, p) in parts.into_iter().enumerate() {
+            let bytes = p.wire_bytes();
+            t += net.transfer_time(bytes, self.inner.cluster.nodes == 1)
                 + profile.per_transfer_overhead_s;
+            // Scattered partitions live round-robin in worker memory until
+            // a gather pulls them back.
+            let node = i % self.inner.cluster.nodes;
+            st.exec.force_reserve_memory(node, bytes);
             out.push(Delayed {
                 value: p,
                 ready: t,
+                node: Some(node),
                 error: None,
             });
         }
         let base = st.sched_free;
+        let mut spill_t = 0.0f64;
+        for node in 0..self.inner.cluster.nodes {
+            spill_t = spill_t.max(spill_down(&mut st, &self.inner.cluster, node, t));
+        }
+        t += spill_t;
         st.sched_free = t;
         st.exec.advance_makespan(t);
-        st.exec.report_mut().comm_s += t - base;
+        let rep = st.exec.report_mut();
+        rep.comm_s += t - base - spill_t;
+        rep.overhead_s += spill_t;
         Ok(out)
     }
 
@@ -357,16 +452,33 @@ impl DaskClient {
         );
         let start = st.sched_free;
         st.sched_free += t;
+        // Every worker node holds a replica; a node pushed over the spill
+        // threshold writes managed keys to disk, stretching the broadcast
+        // until the slowest node has made room.
+        let replicated_at = st.sched_free;
+        let mut spill_t = 0.0f64;
+        for node in 0..self.inner.cluster.nodes {
+            st.exec.force_reserve_memory(node, bytes);
+            spill_t = spill_t.max(spill_down(
+                &mut st,
+                &self.inner.cluster,
+                node,
+                replicated_at,
+            ));
+        }
+        st.sched_free += spill_t;
         let end = st.sched_free;
         st.exec.advance_makespan(end);
         st.exec.record_broadcast(bytes, dests, start, end);
         let rep = st.exec.report_mut();
         rep.comm_s += t;
+        rep.overhead_s += spill_t;
         rep.bytes_broadcast += bytes * dests.max(1) as u64;
         rep.push_phase("broadcast", start, end);
         Ok(Delayed {
             value,
             ready: end,
+            node: None,
             error: None,
         })
     }

@@ -161,6 +161,67 @@ mod tests {
     }
 
     #[test]
+    fn memory_pressure_spills_but_results_survive() {
+        // 64 KiB node budget, ~8 KiB results that stay resident until the
+        // gather: the worker memory manager must spill past the 70%
+        // threshold instead of failing, and the gathered values must be
+        // exactly what the tasks computed.
+        let mut p = laptop();
+        p.mem_per_node = 64 * 1024;
+        let c = DaskClient::new(Cluster::new(p, 1));
+        let xs: Vec<Delayed<Vec<u64>>> = (0..10)
+            .map(|i| c.delayed(move |_| vec![i as u64; 1024]))
+            .collect();
+        let (vals, _t) = c.try_gather(&xs).expect("spill, don't fail");
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(v, &vec![i as u64; 1024]);
+        }
+        let r = c.report();
+        assert!(r.bytes_spilled > 0, "spill threshold must have tripped");
+        assert_eq!(r.oom_kills, 0);
+        assert!(r.mem_high_water.iter().any(|&b| b > 0));
+    }
+
+    #[test]
+    fn oversized_working_set_fails_typed_not_panicking() {
+        // A single result bigger than the terminate threshold of the node
+        // budget: nothing can be spilled to make room, so the future holds
+        // a typed MemoryExhausted error (never a panic or hang).
+        let mut p = laptop();
+        p.mem_per_node = 16 * 1024;
+        let c = DaskClient::new(Cluster::new(p, 1));
+        let d = c.delayed(|_| vec![0u64; 64 * 1024]);
+        let err = c
+            .try_gather(&[d])
+            .expect_err("512 KiB cannot fit in 16 KiB");
+        assert!(err.to_string().contains("out of memory"), "{err}");
+        assert!(matches!(
+            err,
+            taskframe::EngineError::MemoryExhausted { node: 0, .. }
+        ));
+        assert!(c.report().oom_kills >= 1);
+    }
+
+    #[test]
+    fn mem_shrink_fault_pauses_and_spills_mid_run() {
+        // A fault plan shrinks node 0's budget to 32 KiB at t=0: resident
+        // results cross the shrunken pause threshold and later tasks wait
+        // behind the spill, but every value still comes back intact.
+        let mut p = laptop();
+        p.mem_per_node = 1 << 30;
+        let plan = netsim::FaultPlan::none().shrink_memory(0, 0.0, 32 * 1024);
+        let c = DaskClient::new(Cluster::new(p, 1).with_faults(plan));
+        let xs: Vec<Delayed<Vec<u64>>> = (0..12)
+            .map(|i| c.delayed(move |_| vec![i as u64; 1024]))
+            .collect();
+        let (vals, _t) = c.try_gather(&xs).expect("degrade, don't fail");
+        assert_eq!(vals.len(), 12);
+        let r = c.report();
+        assert!(r.bytes_spilled > 0);
+        assert_eq!(r.oom_kills, 0);
+    }
+
+    #[test]
     fn report_counts_tasks_and_makespan() {
         let c = client();
         let xs: Vec<Delayed<u32>> = (0..10).map(|i| c.delayed(move |_| i)).collect();

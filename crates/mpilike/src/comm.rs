@@ -7,6 +7,18 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use taskframe::{mpi_profile, EngineError, Payload};
 
+/// Payloads larger than this fraction of a rank's fixed buffer move in
+/// chunks (rendezvous pipelining), each extra chunk paying one more
+/// network latency.
+const CHUNKS_PER_BUFFER: u64 = 4;
+
+/// Transfer time for one collective leg under fixed per-rank buffers.
+fn chunked_leg(net: netsim::NetworkModel, bytes: u64, same_node: bool, buffer: u64) -> f64 {
+    let chunk = (buffer / CHUNKS_PER_BUFFER).max(1);
+    let n_chunks = bytes.div_ceil(chunk).max(1);
+    net.transfer_time(bytes, same_node) + (n_chunks - 1) as f64 * net.latency_s
+}
+
 struct Shared {
     rendezvous: Rendezvous,
     cluster: Cluster,
@@ -16,6 +28,9 @@ struct Shared {
     compute_s: Mutex<f64>,
     bytes_broadcast: AtomicU64,
     bytes_shuffled: AtomicU64,
+    /// Collectives refused because a payload could not fit any rank's
+    /// fixed buffer (MPI_ERR_NO_MEM, surfaced typed to every rank).
+    oom_kills: AtomicU64,
     /// Typed event record. SPMD runs have few events (ranks × collectives),
     /// so the trace is always on; it is sorted into virtual-time order
     /// after the threads join and attached to the report.
@@ -27,6 +42,13 @@ struct Shared {
 }
 
 impl Shared {
+    /// The fixed receive buffer of a rank on `node` at virtual time
+    /// `at_s`: the node's (possibly fault-shrunk) budget split evenly
+    /// among its cores, one rank per core.
+    fn rank_buffer(&self, node: usize, at_s: f64) -> u64 {
+        self.cluster.mem_budget(node, at_s) / self.cluster.profile.cores_per_node as u64
+    }
+
     fn record(&self, core: usize, start_s: f64, end_s: f64, phase: &str, kind: EventKind) {
         let mut trace = self.trace.lock();
         let task = trace.next_id();
@@ -121,6 +143,7 @@ where
         compute_s: Mutex::new(0.0),
         bytes_broadcast: AtomicU64::new(0),
         bytes_shuffled: AtomicU64::new(0),
+        oom_kills: AtomicU64::new(0),
         trace: Mutex::new(Trace::default()),
         collective_ends: Mutex::new(BTreeMap::new()),
     };
@@ -271,6 +294,7 @@ where
         comm_s: shared.rendezvous.comm_seconds(),
         bytes_broadcast: shared.bytes_broadcast.load(Ordering::Relaxed),
         bytes_shuffled: shared.bytes_shuffled.load(Ordering::Relaxed),
+        oom_kills: shared.oom_kills.load(Ordering::Relaxed) as usize,
         retries: restarts,
         lost_time_s: lost_time,
         trace: Some(trace),
@@ -399,7 +423,23 @@ impl<'a> Comm<'a> {
     /// Naive linear algorithm: the root sends to each rank in turn, so the
     /// completion time of the i-th destination grows linearly — the MPI
     /// behaviour the paper measures in Fig. 8.
+    ///
+    /// Panics if the replica exceeds any rank's fixed buffer (use
+    /// [`Self::try_bcast`] under memory pressure).
     pub fn bcast<T>(&mut self, root: usize, value: Option<T>) -> T
+    where
+        T: Clone + Payload + Send + 'static,
+    {
+        self.try_bcast(root, value)
+            .expect("bcast replica exceeded a fixed per-rank buffer")
+    }
+
+    /// Fallible [`Self::bcast`]: a replica larger than a quarter of a
+    /// destination's fixed buffer moves in chunks (extra latency per
+    /// chunk); one that cannot fit the buffer at all fails the collective
+    /// for every rank with a typed [`EngineError::MemoryExhausted`] —
+    /// never a panic or hang.
+    pub fn try_bcast<T>(&mut self, root: usize, value: Option<T>) -> Result<T, EngineError>
     where
         T: Clone + Payload + Send + 'static,
     {
@@ -416,6 +456,21 @@ impl<'a> Comm<'a> {
                 .unwrap_or_else(|| panic!("rank {root} must provide the bcast value"));
             let t0 = clocks.iter().copied().fold(0.0, f64::max);
             let bytes = v.wire_bytes();
+            for (r, &node) in nodes.iter().enumerate() {
+                let buffer = shared.rank_buffer(node, t0);
+                if bytes > buffer {
+                    shared.oom_kills.fetch_add(1, Ordering::Relaxed);
+                    shared.record(r, t0, t0, &phase, EventKind::OomKill { node });
+                    let err = EngineError::MemoryExhausted {
+                        node,
+                        budget: buffer,
+                        required: bytes,
+                        at_s: t0,
+                        what: "bcast replica in a fixed per-rank buffer".into(),
+                    };
+                    return (vec![Err(err); world], vec![t0; world]);
+                }
+            }
             let mut completion = vec![0.0; world];
             let mut elapsed = 0.0;
             for r in 0..world {
@@ -423,7 +478,8 @@ impl<'a> Comm<'a> {
                     completion[r] = t0;
                 } else {
                     let leg_start = t0 + elapsed;
-                    elapsed += net.transfer_time(bytes, nodes[r] == nodes[root]);
+                    let buffer = shared.rank_buffer(nodes[r], t0);
+                    elapsed += chunked_leg(net, bytes, nodes[r] == nodes[root], buffer);
                     completion[r] = t0 + elapsed;
                     bytes_counter.fetch_add(bytes, Ordering::Relaxed);
                     shared.record(
@@ -451,13 +507,27 @@ impl<'a> Comm<'a> {
                     dest_nodes: world.saturating_sub(1),
                 },
             );
-            ((0..world).map(|_| v.clone()).collect(), completion)
+            ((0..world).map(|_| Ok(v.clone())).collect(), completion)
         })
     }
 
     /// Scatter `parts[i]` to rank `i` from `root`. Sequential sends, like
     /// [`Self::bcast`].
+    ///
+    /// Panics if a part exceeds its destination rank's fixed buffer (use
+    /// [`Self::try_scatter`] under memory pressure).
     pub fn scatter<T>(&mut self, root: usize, parts: Option<Vec<T>>) -> T
+    where
+        T: Payload + Send + 'static,
+    {
+        self.try_scatter(root, parts)
+            .expect("scatter part exceeded a fixed per-rank buffer")
+    }
+
+    /// Fallible [`Self::scatter`]: oversized parts chunk; a part that
+    /// cannot fit its destination's fixed buffer fails the collective for
+    /// every rank with a typed error.
+    pub fn try_scatter<T>(&mut self, root: usize, parts: Option<Vec<T>>) -> Result<T, EngineError>
     where
         T: Payload + Send + 'static,
     {
@@ -474,13 +544,33 @@ impl<'a> Comm<'a> {
                 .unwrap_or_else(|| panic!("rank {root} must provide scatter parts"));
             assert_eq!(parts.len(), world, "scatter needs one part per rank");
             let t0 = clocks.iter().copied().fold(0.0, f64::max);
+            for (r, part) in parts.iter().enumerate() {
+                let bytes = part.wire_bytes();
+                let buffer = shared.rank_buffer(nodes[r], t0);
+                if bytes > buffer {
+                    shared.oom_kills.fetch_add(1, Ordering::Relaxed);
+                    shared.record(r, t0, t0, &phase, EventKind::OomKill { node: nodes[r] });
+                    let err = EngineError::MemoryExhausted {
+                        node: nodes[r],
+                        budget: buffer,
+                        required: bytes,
+                        at_s: t0,
+                        what: "scatter part in a fixed per-rank buffer".into(),
+                    };
+                    return (
+                        (0..world).map(|_| Err(err.clone())).collect(),
+                        vec![t0; world],
+                    );
+                }
+            }
             let mut completion = vec![t0; world];
             let mut elapsed = 0.0;
             for (r, part) in parts.iter().enumerate() {
                 if r != root {
                     let bytes = part.wire_bytes();
                     let leg_start = t0 + elapsed;
-                    elapsed += net.transfer_time(bytes, nodes[r] == nodes[root]);
+                    let buffer = shared.rank_buffer(nodes[r], t0);
+                    elapsed += chunked_leg(net, bytes, nodes[r] == nodes[root], buffer);
                     completion[r] = t0 + elapsed;
                     bytes_counter.fetch_add(bytes, Ordering::Relaxed);
                     shared.record(
@@ -497,14 +587,29 @@ impl<'a> Comm<'a> {
                 }
             }
             completion[root] = t0 + elapsed;
-            let outs: Vec<T> = parts.into_iter().collect();
+            let outs: Vec<Result<T, EngineError>> = parts.into_iter().map(Ok).collect();
             (outs, completion)
         })
     }
 
     /// Gather every rank's value at `root` (rank order). Non-root ranks
     /// return `None` and continue as soon as their send is delivered.
+    ///
+    /// Panics if the gathered total exceeds the root rank's fixed buffer
+    /// (use [`Self::try_gather`] under memory pressure).
     pub fn gather<T>(&mut self, root: usize, value: T) -> Option<Vec<T>>
+    where
+        T: Payload + Send + 'static,
+    {
+        self.try_gather(root, value)
+            .expect("gathered payloads exceeded the root's fixed buffer")
+    }
+
+    /// Fallible [`Self::gather`]: individual sends chunk against the
+    /// root's fixed buffer; a gathered total the root cannot hold fails
+    /// the collective for every rank with a typed error — the classic
+    /// root-rank gather OOM, surfaced instead of crashing `mpirun`.
+    pub fn try_gather<T>(&mut self, root: usize, value: T) -> Result<Option<Vec<T>>, EngineError>
     where
         T: Payload + Send + 'static,
     {
@@ -517,13 +622,36 @@ impl<'a> Comm<'a> {
         let phase = self.phase.clone();
         self.collective(value, move |clocks, inputs: Vec<T>| {
             let t0 = clocks.iter().copied().fold(0.0, f64::max);
+            let total: u64 = inputs.iter().map(Payload::wire_bytes).sum();
+            let root_buffer = shared.rank_buffer(nodes[root], t0);
+            if total > root_buffer {
+                shared.oom_kills.fetch_add(1, Ordering::Relaxed);
+                shared.record(
+                    root,
+                    t0,
+                    t0,
+                    &phase,
+                    EventKind::OomKill { node: nodes[root] },
+                );
+                let err = EngineError::MemoryExhausted {
+                    node: nodes[root],
+                    budget: root_buffer,
+                    required: total,
+                    at_s: t0,
+                    what: "gathered payloads in the root's fixed buffer".into(),
+                };
+                return (
+                    (0..world).map(|_| Err(err.clone())).collect(),
+                    vec![t0; world],
+                );
+            }
             let mut completion = vec![0.0; world];
             let mut elapsed = 0.0;
             for r in 0..world {
                 if r != root {
                     let bytes = inputs[r].wire_bytes();
                     let leg_start = t0 + elapsed;
-                    elapsed += net.transfer_time(bytes, nodes[r] == nodes[root]);
+                    elapsed += chunked_leg(net, bytes, nodes[r] == nodes[root], root_buffer);
                     completion[r] = t0 + elapsed;
                     bytes_counter.fetch_add(bytes, Ordering::Relaxed);
                     shared.record(
@@ -540,8 +668,9 @@ impl<'a> Comm<'a> {
                 }
             }
             completion[root] = t0 + elapsed;
-            let mut outs: Vec<Option<Vec<T>>> = (0..world).map(|_| None).collect();
-            outs[root] = Some(inputs);
+            let mut outs: Vec<Result<Option<Vec<T>>, EngineError>> =
+                (0..world).map(|_| Ok(None)).collect();
+            outs[root] = Ok(Some(inputs));
             (outs, completion)
         })
     }

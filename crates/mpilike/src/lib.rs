@@ -158,6 +158,99 @@ mod tests {
     }
 
     #[test]
+    fn oversized_bcast_fails_typed_on_every_rank() {
+        // 1 MiB node budget over 8 ranks = 128 KiB fixed buffers; a
+        // 1 MiB replica cannot fit any of them, so every rank sees the
+        // same typed error — no panic, no hang, no mpirun teardown.
+        let mut p = laptop();
+        p.cores_per_node = 8;
+        p.mem_per_node = 1 << 20;
+        let out = try_run(Cluster::new(p, 1), 4, |comm| {
+            let v = if comm.rank() == 0 {
+                Some(vec![0u8; 1 << 20])
+            } else {
+                None
+            };
+            comm.try_bcast(0, v)
+        })
+        .unwrap();
+        for r in &out.results {
+            let err = r.as_ref().expect_err("replica cannot fit a 128 KiB buffer");
+            assert!(err.to_string().contains("out of memory"), "{err}");
+        }
+        assert!(out.report.oom_kills >= 1);
+    }
+
+    #[test]
+    fn chunked_bcast_pays_latency_per_chunk() {
+        // Same payload, shrinking buffers: more chunks, more latency.
+        let t = |mem: u64| {
+            let mut p = laptop();
+            p.cores_per_node = 8;
+            p.mem_per_node = mem;
+            let out = run(Cluster::new(p, 2), 16, |comm| {
+                let v = if comm.rank() == 0 {
+                    Some(vec![0u8; 64 * 1024])
+                } else {
+                    None
+                };
+                comm.bcast(0, v);
+                comm.clock()
+            });
+            out.results.into_iter().fold(0.0, f64::max)
+        };
+        let roomy = t(1 << 30);
+        let tight = t(1 << 20); // 128 KiB buffers → 32 KiB chunks
+        assert!(
+            tight > roomy,
+            "chunked sends must cost extra latency: roomy={roomy} tight={tight}"
+        );
+    }
+
+    #[test]
+    fn gather_overflowing_root_fails_typed() {
+        // Each rank contributes 64 KiB; 16 ranks = 1 MiB at the root,
+        // which only holds a 128 KiB fixed buffer.
+        let mut p = laptop();
+        p.cores_per_node = 8;
+        p.mem_per_node = 1 << 20;
+        let out = try_run(Cluster::new(p, 2), 16, |comm| {
+            comm.try_gather(0, vec![comm.rank() as u8; 64 * 1024])
+        })
+        .unwrap();
+        for r in &out.results {
+            let err = r.as_ref().expect_err("gathered 1 MiB cannot fit 128 KiB");
+            assert!(matches!(
+                err,
+                taskframe::EngineError::MemoryExhausted { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn mem_shrink_fault_turns_fitting_bcast_into_typed_error() {
+        // Nominally the 256 KiB replica fits the 512 KiB buffers; a fault
+        // shrinking the node's budget at t=0 leaves 16 KiB buffers and the
+        // collective must fail typed mid-run.
+        let mut p = laptop();
+        p.cores_per_node = 8;
+        p.mem_per_node = 4 << 20;
+        let plan = netsim::FaultPlan::none().shrink_memory(0, 0.0, 128 * 1024);
+        let out = try_run(Cluster::new(p, 1).with_faults(plan), 4, |comm| {
+            let v = if comm.rank() == 0 {
+                Some(vec![0u8; 256 * 1024])
+            } else {
+                None
+            };
+            comm.try_bcast(0, v)
+        })
+        .unwrap();
+        for r in &out.results {
+            assert!(r.is_err(), "shrunken buffers must refuse the replica");
+        }
+    }
+
+    #[test]
     fn single_rank_world_works() {
         let out = run(cluster(1), 1, |comm| {
             let v = comm.bcast(0, Some(41u32)) + 1;

@@ -2,14 +2,22 @@
 //!
 //! PR-1 scripted *point* failures by hand; this module tests recovery
 //! *adversarially*. From a base seed it generates random [`FaultPlan`]s
-//! (node deaths × straggler cores × lost fetches), runs a workload under
-//! each, and checks invariant oracles against the fault-free run:
+//! (node deaths × straggler cores × lost fetches × mid-run memory
+//! shrinks), runs a workload under each, and checks invariant oracles
+//! against the fault-free run:
 //!
 //! * **result equivalence** — the workload's result fingerprint must be
 //!   bit-identical to the fault-free run (or the engine must surface a
 //!   typed error; it must never silently return different data);
 //! * **shuffle byte conservation** — lost fetches are re-sent, not
 //!   re-counted, so `bytes_shuffled` matches the fault-free run;
+//! * **spill byte conservation** — the report's spilled/evicted byte
+//!   totals match the sum of `Spill`/`Evict` events in the trace (and
+//!   OOM kills match their events), so memory pressure is accounted, not
+//!   estimated;
+//! * **eviction ⇔ recompute equivalence** — when cached partitions were
+//!   evicted under pressure, the lineage-recomputed results must still be
+//!   bit-identical to the never-evicted run;
 //! * **recovery-accounting consistency** — lost work implies a visible
 //!   recovery (`retries`, `recomputed_partitions`), and a `"recovery"`
 //!   phase never appears without lost work behind it;
@@ -29,7 +37,7 @@
 //! Everything is deterministic: the same config and seed produce the same
 //! plans, the same violations, and the same shrunk counterexamples.
 
-use crate::fault::{mix, FaultPlan, NodeDeath, Straggler};
+use crate::fault::{mix, FaultPlan, MemShrink, NodeDeath, Straggler};
 use crate::report::SimReport;
 use crate::trace::EventKind;
 
@@ -84,6 +92,16 @@ pub struct ChaosConfig {
     /// Fetch-loss probability is drawn from `[0, lost_fetch_prob_max]`
     /// (half of all plans keep fetches reliable).
     pub lost_fetch_prob_max: f64,
+    /// At most this many mid-run memory shrinks per plan.
+    pub max_mem_shrinks: usize,
+    /// Memory shrink times are drawn uniformly from this window.
+    pub mem_shrink_window_s: (f64, f64),
+    /// The per-node memory budget the workload's cluster declares; shrink
+    /// targets are fractions of it.
+    pub mem_per_node: u64,
+    /// Shrink targets are drawn from
+    /// `[mem_shrink_frac.0, mem_shrink_frac.1) × mem_per_node`.
+    pub mem_shrink_frac: (f64, f64),
     /// Whether a typed error from the workload is an acceptable outcome
     /// (bounded policies may legitimately exhaust under heavy plans).
     /// When `false`, any error is a violation.
@@ -111,6 +129,10 @@ impl ChaosConfig {
             max_stragglers: 2,
             straggler_factor_max: 8.0,
             lost_fetch_prob_max: 0.3,
+            max_mem_shrinks: 1,
+            mem_shrink_window_s: (0.0, 10.0),
+            mem_per_node: 16 * (1 << 30),
+            mem_shrink_frac: (0.3, 0.9),
             allow_typed_errors: true,
             check_trace_accounting: true,
             check_empty_plan_determinism: true,
@@ -119,8 +141,8 @@ impl ChaosConfig {
 }
 
 /// Generate the plan for one seed: deaths on distinct nodes (always
-/// leaving a survivor), straggler cores, and an optional fetch-loss rate.
-/// Deterministic in `(cfg, seed)`.
+/// leaving a survivor), straggler cores, mid-run memory shrinks, and an
+/// optional fetch-loss rate. Deterministic in `(cfg, seed)`.
 pub fn plan_for_seed(cfg: &ChaosConfig, seed: u64) -> FaultPlan {
     let mut rng = SeedStream::new(seed);
     let max_deaths = cfg.max_deaths.min(cfg.nodes.saturating_sub(1));
@@ -145,12 +167,25 @@ pub fn plan_for_seed(cfg: &ChaosConfig, seed: u64) -> FaultPlan {
             factor: 1.0 + rng.f64() * (cfg.straggler_factor_max - 1.0).max(0.0),
         })
         .collect();
+    let n_shrinks = rng.below(cfg.max_mem_shrinks + 1);
+    let (mlo, mhi) = cfg.mem_shrink_window_s;
+    let (flo, fhi) = cfg.mem_shrink_frac;
+    let mem_shrinks = (0..n_shrinks)
+        .map(|_| {
+            let frac = flo + rng.f64() * (fhi - flo).max(0.0);
+            MemShrink {
+                node: rng.below(cfg.nodes),
+                at_s: mlo + rng.f64() * (mhi - mlo),
+                to_bytes: (cfg.mem_per_node as f64 * frac) as u64,
+            }
+        })
+        .collect();
     let lost_fetch_prob = if rng.f64() < 0.5 {
         0.0
     } else {
         rng.f64() * cfg.lost_fetch_prob_max
     };
-    FaultPlan::from_parts(deaths, stragglers, lost_fetch_prob, mix(seed))
+    FaultPlan::from_parts(deaths, stragglers, mem_shrinks, lost_fetch_prob, mix(seed))
 }
 
 /// What one workload run under one plan produced: a fingerprint of the
@@ -273,6 +308,16 @@ pub fn check_invariants(
     };
     let r = &outcome.report;
     if outcome.fingerprint != baseline.fingerprint {
+        // Eviction ⇔ recompute equivalence: when data was evicted under
+        // memory pressure, divergence means the lineage recompute path
+        // produced different bits — name the culprit precisely.
+        if r.bytes_evicted > 0 {
+            return Some(format!(
+                "evicted partitions were recomputed to different data \
+                 (fingerprint {:#018x} != fault-free {:#018x}, {} bytes evicted)",
+                outcome.fingerprint, baseline.fingerprint, r.bytes_evicted
+            ));
+        }
         return Some(format!(
             "result diverged from fault-free run (fingerprint {:#018x} != {:#018x})",
             outcome.fingerprint, baseline.fingerprint
@@ -286,6 +331,38 @@ pub fn check_invariants(
             "shuffle bytes not conserved: {} vs fault-free {}",
             r.bytes_shuffled, baseline.report.bytes_shuffled
         ));
+    }
+    // Spill byte conservation: the report's memory-pressure totals must
+    // equal the sum of the typed events in the trace — spills and
+    // evictions are accounted where they happen, never estimated.
+    if let Some(trace) = &r.trace {
+        let (mut spilled, mut evicted, mut ooms) = (0u64, 0u64, 0usize);
+        for ev in &trace.events {
+            match ev.kind {
+                EventKind::Spill { bytes, .. } => spilled += bytes,
+                EventKind::Evict { bytes, .. } => evicted += bytes,
+                EventKind::OomKill { .. } => ooms += 1,
+                _ => {}
+            }
+        }
+        if spilled != r.bytes_spilled {
+            return Some(format!(
+                "spill bytes not conserved: trace records {spilled} but the report claims {}",
+                r.bytes_spilled
+            ));
+        }
+        if evicted != r.bytes_evicted {
+            return Some(format!(
+                "evicted bytes not conserved: trace records {evicted} but the report claims {}",
+                r.bytes_evicted
+            ));
+        }
+        if ooms != r.oom_kills {
+            return Some(format!(
+                "oom kills not conserved: trace records {ooms} but the report claims {}",
+                r.oom_kills
+            ));
+        }
     }
     if cfg.check_empty_plan_determinism && plan.is_empty() && *r != baseline.report {
         return Some("empty plan produced a different report (non-determinism)".into());
@@ -341,14 +418,17 @@ pub fn check_invariants(
 
 /// Greedily shrink `plan` to a minimal set of faults for which
 /// `still_fails` holds: drop one death at a time, then one straggler at a
-/// time, then zero the fetch-loss probability, to a fixpoint. Bounded by
-/// the plan size (each pass removes something or stops), so shrinking a
-/// plan with `d` deaths and `s` stragglers re-runs the workload
-/// `O((d + s)^2)` times.
+/// time, then one memory shrink at a time, then zero the fetch-loss
+/// probability, to a fixpoint. Bounded by the plan size (each pass removes
+/// something or stops), so shrinking a plan with `n` scripted faults
+/// re-runs the workload `O(n^2)` times.
 pub fn shrink(plan: &FaultPlan, mut still_fails: impl FnMut(&FaultPlan) -> bool) -> FaultPlan {
-    let rebuild = |deaths: Vec<NodeDeath>, stragglers: Vec<Straggler>, prob: f64, seed: u64| {
-        FaultPlan::from_parts(deaths, stragglers, prob, seed)
-    };
+    let rebuild =
+        |deaths: Vec<NodeDeath>,
+         stragglers: Vec<Straggler>,
+         mem_shrinks: Vec<MemShrink>,
+         prob: f64,
+         seed: u64| { FaultPlan::from_parts(deaths, stragglers, mem_shrinks, prob, seed) };
     let mut cur = plan.clone();
     loop {
         let mut shrunk = false;
@@ -358,6 +438,7 @@ pub fn shrink(plan: &FaultPlan, mut still_fails: impl FnMut(&FaultPlan) -> bool)
             let cand = rebuild(
                 deaths,
                 cur.stragglers().to_vec(),
+                cur.mem_shrinks().to_vec(),
                 cur.lost_fetch_prob(),
                 cur.seed(),
             );
@@ -376,6 +457,26 @@ pub fn shrink(plan: &FaultPlan, mut still_fails: impl FnMut(&FaultPlan) -> bool)
             let cand = rebuild(
                 cur.deaths().to_vec(),
                 stragglers,
+                cur.mem_shrinks().to_vec(),
+                cur.lost_fetch_prob(),
+                cur.seed(),
+            );
+            if still_fails(&cand) {
+                cur = cand;
+                shrunk = true;
+                break;
+            }
+        }
+        if shrunk {
+            continue;
+        }
+        for i in 0..cur.mem_shrinks().len() {
+            let mut mem_shrinks = cur.mem_shrinks().to_vec();
+            mem_shrinks.remove(i);
+            let cand = rebuild(
+                cur.deaths().to_vec(),
+                cur.stragglers().to_vec(),
+                mem_shrinks,
                 cur.lost_fetch_prob(),
                 cur.seed(),
             );
@@ -392,6 +493,7 @@ pub fn shrink(plan: &FaultPlan, mut still_fails: impl FnMut(&FaultPlan) -> bool)
             let cand = rebuild(
                 cur.deaths().to_vec(),
                 cur.stragglers().to_vec(),
+                cur.mem_shrinks().to_vec(),
                 0.0,
                 cur.seed(),
             );
@@ -519,6 +621,15 @@ mod tests {
                 assert!(s.core < 6);
                 assert!((1.0..=8.0).contains(&s.factor));
             }
+            assert!(p.mem_shrinks().len() <= c.max_mem_shrinks);
+            for m in p.mem_shrinks() {
+                assert!(m.node < 3, "valid shrink node");
+                let (lo, hi) = c.mem_shrink_window_s;
+                assert!((lo..=hi).contains(&m.at_s));
+                let (flo, fhi) = c.mem_shrink_frac;
+                let frac = m.to_bytes as f64 / c.mem_per_node as f64;
+                assert!(frac >= flo - 1e-9 && frac <= fhi + 1e-9);
+            }
             assert!((0.0..=0.3).contains(&p.lost_fetch_prob()));
         }
         // Different seeds explore different plans.
@@ -579,6 +690,7 @@ mod tests {
                 let cand = FaultPlan::from_parts(
                     deaths,
                     v.shrunk.stragglers().to_vec(),
+                    v.shrunk.mem_shrinks().to_vec(),
                     v.shrunk.lost_fetch_prob(),
                     v.shrunk.seed(),
                 );
@@ -590,6 +702,7 @@ mod tests {
                 let cand = FaultPlan::from_parts(
                     v.shrunk.deaths().to_vec(),
                     stragglers,
+                    v.shrunk.mem_shrinks().to_vec(),
                     v.shrunk.lost_fetch_prob(),
                     v.shrunk.seed(),
                 );
@@ -673,6 +786,11 @@ mod tests {
                 core: 3,
                 factor: 5.0,
             }],
+            vec![MemShrink {
+                node: 2,
+                at_s: 3.0,
+                to_bytes: 1 << 30,
+            }],
             0.25,
             9,
         );
@@ -684,7 +802,34 @@ mod tests {
         assert_eq!(shrunk.deaths().len(), 1);
         assert_eq!(shrunk.deaths()[0].node, 1);
         assert!(shrunk.stragglers().is_empty());
+        assert!(shrunk.mem_shrinks().is_empty());
         assert_eq!(shrunk.lost_fetch_prob(), 0.0);
-        assert!(calls < 20, "greedy shrink stays quadratic, ran {calls}");
+        assert!(calls < 25, "greedy shrink stays quadratic, ran {calls}");
+    }
+
+    #[test]
+    fn memory_oracles_catch_unaccounted_pressure() {
+        let c = cfg();
+        let base = workload(&FaultPlan::none(), false).unwrap();
+        let plan = plan_for_seed(&c, 7);
+        // Spilled bytes claimed in the report with no Spill events behind
+        // them: conservation violation.
+        let mut leaky = base.clone();
+        leaky.report.bytes_spilled += 4096;
+        let got = check_invariants(&c, &base, &plan, &Ok(leaky));
+        assert!(got.is_some_and(|m| m.contains("spill bytes not conserved")));
+        // Divergent results after eviction name the recompute path.
+        let mut diverged = base.clone();
+        diverged.fingerprint ^= 1;
+        diverged.report.bytes_evicted = 2048;
+        // Keep the conservation oracle quiet: the fingerprint check runs
+        // first, so the eviction-specific message wins.
+        let got = check_invariants(&c, &base, &plan, &Ok(diverged));
+        assert!(got.is_some_and(|m| m.contains("evicted partitions were recomputed")));
+        // A memory shrink alone is a valid plan that still satisfies every
+        // oracle for a workload that never caches.
+        let shrink_only = FaultPlan::none().shrink_memory(1, 2.0, 1 << 28);
+        let got = check_invariants(&c, &base, &shrink_only, &workload(&shrink_only, false));
+        assert!(got.is_none(), "shrink-only plan passes: {got:?}");
     }
 }

@@ -87,7 +87,12 @@ impl Trace {
                         nodes.push(e.core);
                     }
                 }
-                EventKind::Recovery { .. } => {}
+                EventKind::Spill { node, .. } | EventKind::Evict { node, .. } => {
+                    if !nodes.contains(node) {
+                        nodes.push(*node);
+                    }
+                }
+                EventKind::Recovery { .. } | EventKind::OomKill { .. } => {}
             }
         }
         cores.sort_unstable();
@@ -172,6 +177,42 @@ impl Trace {
                     let args = format!("\"phase\":\"{}\"", escape_json(&e.phase));
                     ev.push(slice(
                         PID_DRIVER, 0, label, "recovery", e.start_s, e.end_s, &args,
+                    ));
+                }
+                EventKind::Spill { node, bytes } => {
+                    let args = format!(
+                        "\"phase\":\"{}\",\"node\":{node},\"bytes\":{bytes}",
+                        escape_json(&e.phase)
+                    );
+                    ev.push(slice(
+                        PID_NETWORK,
+                        *node,
+                        "spill",
+                        "memory",
+                        e.start_s,
+                        e.end_s,
+                        &args,
+                    ));
+                }
+                EventKind::Evict { node, bytes } => {
+                    let args = format!(
+                        "\"phase\":\"{}\",\"node\":{node},\"bytes\":{bytes}",
+                        escape_json(&e.phase)
+                    );
+                    ev.push(slice(
+                        PID_NETWORK,
+                        *node,
+                        "evict",
+                        "memory",
+                        e.start_s,
+                        e.end_s,
+                        &args,
+                    ));
+                }
+                EventKind::OomKill { node } => {
+                    let args = format!("\"phase\":\"{}\",\"node\":{node}", escape_json(&e.phase));
+                    ev.push(slice(
+                        PID_DRIVER, 0, "oom-kill", "memory", e.start_s, e.end_s, &args,
                     ));
                 }
             }
@@ -284,6 +325,53 @@ mod tests {
         assert!(json.contains("\"name\":\"broadcast\",\"cat\":\"broadcast\""));
         assert!(json.contains("\"dest_nodes\":3"));
         assert!(json.contains("\"pid\":2,\"tid\":0,\"name\":\"recompute\",\"cat\":\"recovery\""));
+    }
+
+    #[test]
+    fn memory_events_render_on_their_tracks() {
+        let mut t = Trace::default();
+        t.record(TE {
+            task: 0,
+            core: 0,
+            start_s: 0.0,
+            end_s: 0.25,
+            killed: false,
+            ready_s: 0.0,
+            phase: "shuffle".into(),
+            kind: EventKind::Spill {
+                node: 1,
+                bytes: 4096,
+            },
+        });
+        t.record(TE {
+            task: 1,
+            core: 0,
+            start_s: 0.25,
+            end_s: 0.25,
+            killed: false,
+            ready_s: 0.25,
+            phase: "cache".into(),
+            kind: EventKind::Evict {
+                node: 1,
+                bytes: 256,
+            },
+        });
+        t.record(TE {
+            task: 2,
+            core: 0,
+            start_s: 0.5,
+            end_s: 0.5,
+            killed: false,
+            ready_s: 0.5,
+            phase: "memory".into(),
+            kind: EventKind::OomKill { node: 0 },
+        });
+        let json = t.to_chrome_json();
+        assert!(json.contains("\"name\":\"spill\",\"cat\":\"memory\""));
+        assert!(json.contains("\"name\":\"evict\",\"cat\":\"memory\""));
+        assert!(json.contains("\"pid\":2,\"tid\":0,\"name\":\"oom-kill\",\"cat\":\"memory\""));
+        // Spill/evict land on the node's network track.
+        assert!(json.contains("\"name\":\"node 1\""));
     }
 
     #[test]

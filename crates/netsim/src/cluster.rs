@@ -53,7 +53,19 @@ pub struct MachineProfile {
     /// walls (cdist on 4M atoms, Dask worker restarts at 95% utilization),
     /// which the engines reproduce against this limit.
     pub mem_per_node: u64,
+    /// Local-disk (scratch) bandwidth in bytes/second. Spill paths —
+    /// Spark's MEMORY_AND_DISK overflow, Dask's worker spill threshold —
+    /// charge `bytes / disk_bandwidth_bps` of virtual time per traversal.
+    pub disk_bandwidth_bps: f64,
     pub network: NetworkModel,
+}
+
+impl MachineProfile {
+    /// Virtual time for one traversal (write *or* read) of `bytes` through
+    /// local scratch disk.
+    pub fn disk_time(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.disk_bandwidth_bps
+    }
 }
 
 /// SDSC Comet: 24 Haswell cores and 128 GB per node (§4).
@@ -63,6 +75,7 @@ pub fn comet() -> MachineProfile {
         cores_per_node: 24,
         core_efficiency: 1.0,
         mem_per_node: 128 * (1 << 30),
+        disk_bandwidth_bps: 5.0e8, // node-local SSD scratch, ~500 MB/s
         network: NetworkModel::infiniband(),
     }
 }
@@ -78,6 +91,7 @@ pub fn wrangler() -> MachineProfile {
         cores_per_node: 32,
         core_efficiency: 0.72,
         mem_per_node: 128 * (1 << 30),
+        disk_bandwidth_bps: 1.0e9, // Wrangler's flash-storage tier, ~1 GB/s
         network: NetworkModel::infiniband(),
     }
 }
@@ -89,6 +103,7 @@ pub fn laptop() -> MachineProfile {
         cores_per_node: 8,
         core_efficiency: 1.0,
         mem_per_node: 16 * (1 << 30),
+        disk_bandwidth_bps: 2.0e8, // laptop SSD under contention
         network: NetworkModel {
             latency_s: 2e-5,
             bandwidth_bps: 1.2e9,
@@ -164,6 +179,16 @@ impl Cluster {
     /// machine's cores.
     pub fn scale_compute(&self, host_secs: f64) -> f64 {
         host_secs / self.profile.core_efficiency
+    }
+
+    /// Effective memory budget of `node` at virtual time `at_s`: the
+    /// machine's `mem_per_node`, further reduced by any fault-plan memory
+    /// shrink in effect by then.
+    pub fn mem_budget(&self, node: usize, at_s: f64) -> u64 {
+        match self.faults.mem_limit(node, at_s) {
+            Some(limit) => limit.min(self.profile.mem_per_node),
+            None => self.profile.mem_per_node,
+        }
     }
 }
 

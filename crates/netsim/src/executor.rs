@@ -71,17 +71,33 @@ pub struct SimExecutor {
     report: SimReport,
     phase: String,
     task_label: String,
+    /// Resident bytes per node (cached partitions, broadcast replicas,
+    /// shuffle buffers, in-flight working sets — whatever the engine
+    /// reserves). The high-water mark lives in `report.mem_high_water`.
+    mem_resident: Vec<u64>,
+    /// Usable cores per node (admission control): core `c` is schedulable
+    /// only while `c % cores_per_node < node_core_limit[node]`. Pilot-style
+    /// engines shrink this when declared working sets exceed the budget.
+    node_core_limit: Vec<usize>,
 }
 
 impl SimExecutor {
     pub fn new(cluster: Cluster) -> Self {
         let cores = cluster.total_cores();
+        let nodes = cluster.nodes;
+        let per_node = cluster.profile.cores_per_node;
+        let report = SimReport {
+            mem_high_water: vec![0; nodes],
+            ..SimReport::default()
+        };
         SimExecutor {
             cluster,
             core_free: vec![0.0; cores],
-            report: SimReport::default(),
+            report,
             phase: String::new(),
             task_label: "task".into(),
+            mem_resident: vec![0; nodes],
+            node_core_limit: vec![per_node; nodes],
         }
     }
 
@@ -123,13 +139,23 @@ impl SimExecutor {
             .node_death(self.cluster.node_of_core(core))
     }
 
+    /// Whether admission control lets core `c` accept new work: its index
+    /// within the node must fall below the node's usable-core limit.
+    fn core_admitted(&self, c: usize) -> bool {
+        let per_node = self.cluster.profile.cores_per_node;
+        self.node_core_limit
+            .get(c / per_node)
+            .is_none_or(|&limit| c % per_node < limit)
+    }
+
     /// Greedy core choice: earliest start, ties to the lowest id, skipping
-    /// cores whose node is dead by the time the task could start. `None`
-    /// when no eligible core survives.
+    /// cores whose node is dead by the time the task could start and cores
+    /// closed off by admission control. `None` when no eligible core
+    /// survives.
     fn try_pick_core(&self, ready: f64, avoid: Option<usize>) -> Option<(usize, f64)> {
         let mut best: Option<(usize, f64)> = None;
         for (c, &free) in self.core_free.iter().enumerate() {
-            if Some(c) == avoid {
+            if Some(c) == avoid || !self.core_admitted(c) {
                 continue;
             }
             let start = free.max(ready);
@@ -368,8 +394,10 @@ impl SimExecutor {
             .iter()
             .enumerate()
             .filter(|&(c, &free)| {
-                self.death_of(c)
-                    .is_none_or(|died_at| free.max(at) < died_at)
+                self.core_admitted(c)
+                    && self
+                        .death_of(c)
+                        .is_none_or(|died_at| free.max(at) < died_at)
             })
             .map(|(c, &free)| (free.max(at), c))
             .collect();
@@ -515,6 +543,94 @@ impl SimExecutor {
             end_s,
             false,
         );
+    }
+
+    // ---- per-node memory model ----
+
+    /// Resident bytes currently reserved on `node`.
+    pub fn mem_resident(&self, node: usize) -> u64 {
+        self.mem_resident[node]
+    }
+
+    /// Effective memory budget of `node` at virtual time `at_s` (profile
+    /// limit, shrunk by any fault-plan memory fault in effect by then).
+    pub fn mem_budget(&self, node: usize, at_s: f64) -> u64 {
+        self.cluster.mem_budget(node, at_s)
+    }
+
+    /// Try to reserve `bytes` of resident memory on `node` against the
+    /// budget in effect at `at_s`. On success the node's high-water mark is
+    /// advanced and `true` is returned; on failure nothing changes and the
+    /// engine must degrade (spill, evict, queue, chunk, or fail typed).
+    pub fn try_reserve_memory(&mut self, node: usize, bytes: u64, at_s: f64) -> bool {
+        let budget = self.cluster.mem_budget(node, at_s);
+        let want = self.mem_resident[node].saturating_add(bytes);
+        if want > budget {
+            return false;
+        }
+        self.mem_resident[node] = want;
+        self.note_high_water(node);
+        true
+    }
+
+    /// Reserve `bytes` on `node` unconditionally (engines that model their
+    /// own thresholds — Dask's memory manager — track overshoot and react
+    /// to it themselves). The high-water mark still advances.
+    pub fn force_reserve_memory(&mut self, node: usize, bytes: u64) {
+        self.mem_resident[node] = self.mem_resident[node].saturating_add(bytes);
+        self.note_high_water(node);
+    }
+
+    /// Release `bytes` of resident memory on `node` (saturating).
+    pub fn release_memory(&mut self, node: usize, bytes: u64) {
+        self.mem_resident[node] = self.mem_resident[node].saturating_sub(bytes);
+    }
+
+    fn note_high_water(&mut self, node: usize) {
+        if self.report.mem_high_water[node] < self.mem_resident[node] {
+            self.report.mem_high_water[node] = self.mem_resident[node];
+        }
+    }
+
+    /// Record `bytes` spilled to local disk on `node` over
+    /// `[start_s, end_s)` (the caller charges the disk time itself via
+    /// [`MachineProfile::disk_time`](crate::MachineProfile::disk_time)).
+    pub fn record_spill(&mut self, node: usize, bytes: u64, start_s: f64, end_s: f64) {
+        self.report.bytes_spilled += bytes;
+        self.record_network_event(
+            EventKind::Spill { node, bytes },
+            node,
+            start_s,
+            end_s,
+            false,
+        );
+    }
+
+    /// Record `bytes` of cached state evicted from `node` at `at_s` and
+    /// release them from the resident ledger.
+    pub fn record_evict(&mut self, node: usize, bytes: u64, at_s: f64) {
+        self.release_memory(node, bytes);
+        self.report.bytes_evicted += bytes;
+        self.record_network_event(EventKind::Evict { node, bytes }, node, at_s, at_s, false);
+    }
+
+    /// Record a worker on `node` being OOM-killed at `at_s` (Dask's
+    /// terminate threshold, a pilot agent shot by the batch system).
+    pub fn record_oom_kill(&mut self, node: usize, at_s: f64) {
+        self.report.oom_kills += 1;
+        self.record_network_event(EventKind::OomKill { node }, node, at_s, at_s, true);
+    }
+
+    /// Cap the cores on `node` that admission control lets run tasks
+    /// (pilot-style: concurrency bounded by declared working-set size).
+    /// The cap is clamped to the node's physical core count.
+    pub fn set_node_core_limit(&mut self, node: usize, limit: usize) {
+        self.node_core_limit[node] = limit.min(self.cluster.profile.cores_per_node);
+    }
+
+    /// The admission-control core cap currently set for `node`.
+    pub fn node_core_limit(&self, node: usize) -> usize {
+        self.node_core_limit[node]
     }
 
     /// Virtual time when every core is idle again.
@@ -1096,5 +1212,87 @@ mod tests {
         assert_eq!(e.report().retries, 1);
         assert_eq!(e.report().lost_time_s, 2.5);
         assert_eq!(e.core_free_at(0), 2.5);
+    }
+
+    // ---- per-node memory model ----
+
+    /// `nodes` nodes of `cores` cores, small memory, with a fault plan.
+    fn small_mem(cores: usize, nodes: usize, mem: u64, plan: FaultPlan) -> SimExecutor {
+        let mut profile = laptop();
+        profile.cores_per_node = cores;
+        profile.mem_per_node = mem;
+        SimExecutor::new(Cluster::new(profile, nodes).with_faults(plan))
+    }
+
+    #[test]
+    fn reserve_tracks_high_water_per_node() {
+        let mut e = small_mem(1, 2, 1000, FaultPlan::none());
+        assert!(e.try_reserve_memory(0, 600, 0.0));
+        assert!(e.try_reserve_memory(0, 400, 0.0));
+        assert!(!e.try_reserve_memory(0, 1, 0.0), "budget exhausted");
+        e.release_memory(0, 500);
+        assert_eq!(e.mem_resident(0), 500);
+        assert!(e.try_reserve_memory(1, 300, 0.0));
+        assert_eq!(e.report().mem_high_water, vec![1000, 300]);
+    }
+
+    #[test]
+    fn mem_shrink_fault_tightens_the_budget_mid_run() {
+        let plan = FaultPlan::none().shrink_memory(0, 5.0, 400);
+        let mut e = small_mem(1, 1, 1000, plan);
+        assert!(e.try_reserve_memory(0, 500, 0.0), "full budget before");
+        e.release_memory(0, 500);
+        assert!(!e.try_reserve_memory(0, 500, 5.0), "shrunk budget after");
+        assert!(e.try_reserve_memory(0, 400, 5.0));
+    }
+
+    #[test]
+    fn spill_evict_oom_events_hit_trace_and_report() {
+        let mut e = small_mem(1, 2, 1000, FaultPlan::none());
+        e.enable_trace();
+        e.force_reserve_memory(1, 800);
+        e.record_spill(1, 300, 1.0, 1.5);
+        e.record_evict(1, 200, 2.0);
+        e.record_oom_kill(0, 3.0);
+        assert_eq!(e.mem_resident(1), 600, "eviction releases residency");
+        assert_eq!(e.report().bytes_spilled, 300);
+        assert_eq!(e.report().bytes_evicted, 200);
+        assert_eq!(e.report().oom_kills, 1);
+        assert_eq!(e.report().mem_high_water, vec![0, 800]);
+        let t = e.trace().unwrap();
+        assert_eq!(t.events.len(), 3);
+        assert!(matches!(
+            t.events[0].kind,
+            EventKind::Spill {
+                node: 1,
+                bytes: 300
+            }
+        ));
+        assert!(matches!(
+            t.events[1].kind,
+            EventKind::Evict {
+                node: 1,
+                bytes: 200
+            }
+        ));
+        assert!(matches!(t.events[2].kind, EventKind::OomKill { node: 0 }));
+    }
+
+    #[test]
+    fn admission_limit_bounds_concurrency_per_node() {
+        // 2 nodes x 4 cores; node 0 capped to 1 usable core. Eight unit
+        // tasks: node 0 runs them serially on core 0 while node 1 runs
+        // four wide, so placements never touch cores 1-3.
+        let mut e = faulty(4, 2, FaultPlan::none());
+        e.set_node_core_limit(0, 1);
+        for _ in 0..8 {
+            let p = e.run_task(0.0, 1.0);
+            assert!(p.core == 0 || p.core >= 4, "cores 1-3 are closed");
+        }
+        assert_eq!(e.core_free_at(1), 0.0);
+        assert_eq!(e.node_core_limit(0), 1);
+        assert_eq!(e.node_core_limit(1), 4);
+        // nth_free_core sees only admitted survivors.
+        assert_eq!(e.nth_free_core(10.0, 1), 4);
     }
 }

@@ -30,11 +30,77 @@ pub struct Straggler {
     pub factor: f64,
 }
 
+/// A node whose usable memory budget drops to `to_bytes` at virtual time
+/// `at_s` — co-tenant pressure, a leaking sidecar, or an administrator
+/// capping a cgroup. Engines consult the shrunk budget through
+/// [`Cluster::mem_budget`](crate::Cluster::mem_budget) and must degrade
+/// gracefully (spill, evict + recompute, admission-control, or a typed
+/// `MemoryExhausted` error) — never panic or hang.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemShrink {
+    pub node: usize,
+    pub at_s: f64,
+    pub to_bytes: u64,
+}
+
+/// Why a serialized or assembled [`FaultPlan`] was rejected.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultPlanError {
+    /// The JSON text could not be parsed against the plan schema.
+    Parse(String),
+    /// A death, shrink, or straggler is scheduled at a negative time.
+    NegativeTime { what: &'static str, at_s: f64 },
+    /// A straggler factor below 1 (that would be a speedup).
+    SubUnitFactor { core: usize, factor: f64 },
+    /// A probability outside `[0, 1]`.
+    InvalidProbability { prob: f64 },
+    /// The same node is killed more than once — ambiguous at best,
+    /// usually a generator bug.
+    DuplicateDeath { node: usize },
+    /// A node id at or beyond the cluster's node count.
+    NodeOutOfRange {
+        what: &'static str,
+        node: usize,
+        nodes: usize,
+    },
+    /// A core id at or beyond the cluster's core count.
+    CoreOutOfRange { core: usize, cores: usize },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::Parse(msg) => write!(f, "malformed fault plan: {msg}"),
+            FaultPlanError::NegativeTime { what, at_s } => {
+                write!(f, "negative {what} time {at_s}")
+            }
+            FaultPlanError::SubUnitFactor { core, factor } => {
+                write!(f, "straggler factor {factor} on core {core} is below 1")
+            }
+            FaultPlanError::InvalidProbability { prob } => {
+                write!(f, "lost_fetch_prob {prob} outside [0, 1]")
+            }
+            FaultPlanError::DuplicateDeath { node } => {
+                write!(f, "node {node} is killed more than once")
+            }
+            FaultPlanError::NodeOutOfRange { what, node, nodes } => {
+                write!(f, "{what} node {node} out of range for {nodes} nodes")
+            }
+            FaultPlanError::CoreOutOfRange { core, cores } => {
+                write!(f, "straggler core {core} out of range for {cores} cores")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// A scripted set of failures for one simulated run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct FaultPlan {
     deaths: Vec<NodeDeath>,
     stragglers: Vec<Straggler>,
+    mem_shrinks: Vec<MemShrink>,
     lost_fetch_prob: f64,
     seed: u64,
 }
@@ -47,7 +113,10 @@ impl FaultPlan {
 
     /// True if this plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.deaths.is_empty() && self.stragglers.is_empty() && self.lost_fetch_prob <= 0.0
+        self.deaths.is_empty()
+            && self.stragglers.is_empty()
+            && self.mem_shrinks.is_empty()
+            && self.lost_fetch_prob <= 0.0
     }
 
     /// Kill `node` (all its cores) at virtual time `at_s`.
@@ -61,6 +130,19 @@ impl FaultPlan {
     pub fn slow_core(mut self, core: usize, factor: f64) -> Self {
         assert!(factor >= 1.0, "straggler factor must be >= 1");
         self.stragglers.push(Straggler { core, factor });
+        self
+    }
+
+    /// Shrink `node`'s memory budget to `to_bytes` at virtual time `at_s`.
+    /// Multiple shrinks on one node compose: the smallest budget in effect
+    /// wins (budgets only ever tighten).
+    pub fn shrink_memory(mut self, node: usize, at_s: f64, to_bytes: u64) -> Self {
+        assert!(at_s >= 0.0, "shrink time must be non-negative");
+        self.mem_shrinks.push(MemShrink {
+            node,
+            at_s,
+            to_bytes,
+        });
         self
     }
 
@@ -102,6 +184,22 @@ impl FaultPlan {
         &self.stragglers
     }
 
+    /// The scripted memory shrinks, in insertion order.
+    pub fn mem_shrinks(&self) -> &[MemShrink] {
+        &self.mem_shrinks
+    }
+
+    /// Memory budget cap in effect on `node` at time `at_s`: the smallest
+    /// `to_bytes` among shrinks that have fired by then (`None` if the
+    /// node's memory is untouched so far).
+    pub fn mem_limit(&self, node: usize, at_s: f64) -> Option<u64> {
+        self.mem_shrinks
+            .iter()
+            .filter(|m| m.node == node && m.at_s <= at_s)
+            .map(|m| m.to_bytes)
+            .min()
+    }
+
     /// Per-fetch loss probability (0 when fetches are reliable).
     pub fn lost_fetch_prob(&self) -> f64 {
         self.lost_fetch_prob
@@ -117,6 +215,7 @@ impl FaultPlan {
     pub fn from_parts(
         deaths: Vec<NodeDeath>,
         stragglers: Vec<Straggler>,
+        mem_shrinks: Vec<MemShrink>,
         lost_fetch_prob: f64,
         seed: u64,
     ) -> Self {
@@ -132,12 +231,51 @@ impl FaultPlan {
             stragglers.iter().all(|s| s.factor >= 1.0),
             "straggler factor must be >= 1"
         );
+        assert!(
+            mem_shrinks.iter().all(|m| m.at_s >= 0.0),
+            "shrink time must be non-negative"
+        );
         FaultPlan {
             deaths,
             stragglers,
+            mem_shrinks,
             lost_fetch_prob,
             seed,
         }
+    }
+
+    /// Check every node/core id against an actual cluster shape. Parsing
+    /// ([`Self::from_json`]) cannot do this — the JSON carries no cluster
+    /// size — so callers replaying external plans should validate before
+    /// attaching them.
+    pub fn validate(&self, nodes: usize, cores: usize) -> Result<(), FaultPlanError> {
+        for d in &self.deaths {
+            if d.node >= nodes {
+                return Err(FaultPlanError::NodeOutOfRange {
+                    what: "death",
+                    node: d.node,
+                    nodes,
+                });
+            }
+        }
+        for s in &self.stragglers {
+            if s.core >= cores {
+                return Err(FaultPlanError::CoreOutOfRange {
+                    core: s.core,
+                    cores,
+                });
+            }
+        }
+        for m in &self.mem_shrinks {
+            if m.node >= nodes {
+                return Err(FaultPlanError::NodeOutOfRange {
+                    what: "mem_shrink",
+                    node: m.node,
+                    nodes,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Serialize to JSON so shrunk chaos counterexamples can be attached
@@ -162,6 +300,16 @@ impl FaultPlan {
                 s.core, s.factor
             ));
         }
+        out.push_str("],\"mem_shrinks\":[");
+        for (i, m) in self.mem_shrinks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"node\":{},\"at_s\":{:?},\"to_bytes\":{}}}",
+                m.node, m.at_s, m.to_bytes
+            ));
+        }
         out.push_str(&format!(
             "],\"lost_fetch_prob\":{:?},\"seed\":{}}}",
             self.lost_fetch_prob, self.seed
@@ -170,11 +318,52 @@ impl FaultPlan {
     }
 
     /// Parse a plan previously written by [`Self::to_json`] (whitespace
-    /// and key order are flexible; unknown keys are rejected).
-    pub fn from_json(json: &str) -> Result<FaultPlan, String> {
+    /// and key order are flexible; unknown keys are rejected). Beyond the
+    /// grammar, the plan itself is validated: negative times, sub-unit
+    /// straggler factors, out-of-range probabilities and duplicate node
+    /// deaths are rejected with a typed [`FaultPlanError`] instead of being
+    /// silently accepted. Node/core *range* checks need a cluster shape —
+    /// use [`Self::validate`] for those.
+    pub fn from_json(json: &str) -> Result<FaultPlan, FaultPlanError> {
+        let plan = Self::from_json_grammar(json).map_err(FaultPlanError::Parse)?;
+        if !(0.0..=1.0).contains(&plan.lost_fetch_prob) {
+            return Err(FaultPlanError::InvalidProbability {
+                prob: plan.lost_fetch_prob,
+            });
+        }
+        if let Some(d) = plan.deaths.iter().find(|d| d.at_s < 0.0) {
+            return Err(FaultPlanError::NegativeTime {
+                what: "death",
+                at_s: d.at_s,
+            });
+        }
+        if let Some(m) = plan.mem_shrinks.iter().find(|m| m.at_s < 0.0) {
+            return Err(FaultPlanError::NegativeTime {
+                what: "mem_shrink",
+                at_s: m.at_s,
+            });
+        }
+        if let Some(s) = plan.stragglers.iter().find(|s| s.factor < 1.0) {
+            return Err(FaultPlanError::SubUnitFactor {
+                core: s.core,
+                factor: s.factor,
+            });
+        }
+        for (i, d) in plan.deaths.iter().enumerate() {
+            if plan.deaths[..i].iter().any(|e| e.node == d.node) {
+                return Err(FaultPlanError::DuplicateDeath { node: d.node });
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The grammar half of [`Self::from_json`]: structure only, no
+    /// semantic validation.
+    fn from_json_grammar(json: &str) -> Result<FaultPlan, String> {
         let mut p = JsonScanner::new(json);
         let mut deaths = Vec::new();
         let mut stragglers = Vec::new();
+        let mut mem_shrinks = Vec::new();
         let mut lost_fetch_prob = 0.0;
         let mut seed = 0u64;
         p.expect('{')?;
@@ -221,6 +410,30 @@ impl FaultPlan {
                             Ok(())
                         })?;
                     }
+                    "mem_shrinks" => {
+                        p.array(|p| {
+                            let (mut node, mut at_s, mut to_bytes) = (None, None, None);
+                            p.object(|k, v| {
+                                match k {
+                                    "node" => node = Some(v as usize),
+                                    "at_s" => at_s = Some(v),
+                                    // Budgets are well below 2^53 bytes, so
+                                    // the f64 path is exact.
+                                    "to_bytes" => to_bytes = Some(v as u64),
+                                    other => {
+                                        return Err(format!("unknown mem_shrink key {other:?}"))
+                                    }
+                                }
+                                Ok(())
+                            })?;
+                            mem_shrinks.push(MemShrink {
+                                node: node.ok_or("mem_shrink missing \"node\"")?,
+                                at_s: at_s.ok_or("mem_shrink missing \"at_s\"")?,
+                                to_bytes: to_bytes.ok_or("mem_shrink missing \"to_bytes\"")?,
+                            });
+                            Ok(())
+                        })?;
+                    }
                     "lost_fetch_prob" => lost_fetch_prob = p.number()?,
                     "seed" => seed = p.integer()?,
                     other => return Err(format!("unknown plan key {other:?}")),
@@ -233,18 +446,10 @@ impl FaultPlan {
             p.expect('}')?;
         }
         p.end()?;
-        if !(0.0..=1.0).contains(&lost_fetch_prob) {
-            return Err(format!("lost_fetch_prob {lost_fetch_prob} outside [0, 1]"));
-        }
-        if let Some(d) = deaths.iter().find(|d| d.at_s < 0.0) {
-            return Err(format!("negative death time {}", d.at_s));
-        }
-        if let Some(s) = stragglers.iter().find(|s| s.factor < 1.0) {
-            return Err(format!("straggler factor {} below 1", s.factor));
-        }
         Ok(FaultPlan {
             deaths,
             stragglers,
+            mem_shrinks,
             lost_fetch_prob,
             seed,
         })
@@ -552,9 +757,112 @@ mod tests {
                 core: 0,
                 factor: 3.0,
             }],
+            Vec::new(),
             0.0,
             0,
         );
         assert_eq!(built, parts);
+    }
+
+    // ---- memory shrinks ----
+
+    #[test]
+    fn mem_shrinks_tighten_monotonically() {
+        let p = FaultPlan::none()
+            .shrink_memory(0, 2.0, 1 << 30)
+            .shrink_memory(0, 5.0, 1 << 32) // later but *larger*: ignored
+            .shrink_memory(1, 0.0, 1 << 20);
+        assert!(!p.is_empty());
+        assert_eq!(p.mem_limit(0, 1.0), None, "before the first shrink");
+        assert_eq!(p.mem_limit(0, 2.0), Some(1 << 30));
+        assert_eq!(p.mem_limit(0, 10.0), Some(1 << 30), "smallest budget wins");
+        assert_eq!(p.mem_limit(1, 0.0), Some(1 << 20));
+        assert_eq!(p.mem_limit(2, 100.0), None);
+        assert_eq!(p.mem_shrinks().len(), 3);
+    }
+
+    #[test]
+    fn mem_shrinks_round_trip_in_json() {
+        let p = FaultPlan::none()
+            .kill_node(1, 0.5)
+            .shrink_memory(0, 1.25, 17_179_869_184); // 16 GiB
+        let json = p.to_json();
+        assert!(json.contains("\"mem_shrinks\""));
+        let q = FaultPlan::from_json(&json).unwrap();
+        assert_eq!(p, q);
+        assert_eq!(q.to_json(), json);
+    }
+
+    // ---- typed validation (hardened from_json) ----
+
+    #[test]
+    fn from_json_rejects_duplicate_node_deaths() {
+        let json = "{\"deaths\":[{\"node\":1,\"at_s\":1.0},{\"node\":1,\"at_s\":2.0}]}";
+        assert_eq!(
+            FaultPlan::from_json(json),
+            Err(FaultPlanError::DuplicateDeath { node: 1 })
+        );
+    }
+
+    #[test]
+    fn from_json_errors_are_typed() {
+        match FaultPlan::from_json("{\"deaths\":[{\"node\":0,\"at_s\":-1.0}]}") {
+            Err(FaultPlanError::NegativeTime { what: "death", .. }) => {}
+            other => panic!("expected NegativeTime, got {other:?}"),
+        }
+        match FaultPlan::from_json("{\"mem_shrinks\":[{\"node\":0,\"at_s\":-2.0,\"to_bytes\":1}]}")
+        {
+            Err(FaultPlanError::NegativeTime {
+                what: "mem_shrink", ..
+            }) => {}
+            other => panic!("expected NegativeTime, got {other:?}"),
+        }
+        match FaultPlan::from_json("{\"lost_fetch_prob\":2.0,\"seed\":0}") {
+            Err(FaultPlanError::InvalidProbability { prob }) => assert_eq!(prob, 2.0),
+            other => panic!("expected InvalidProbability, got {other:?}"),
+        }
+        match FaultPlan::from_json("{\"stragglers\":[{\"core\":3,\"factor\":0.5}]}") {
+            Err(FaultPlanError::SubUnitFactor { core: 3, .. }) => {}
+            other => panic!("expected SubUnitFactor, got {other:?}"),
+        }
+        match FaultPlan::from_json("{\"bogus\":1}") {
+            Err(FaultPlanError::Parse(msg)) => assert!(msg.contains("bogus")),
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        // Errors render through Display/Error.
+        let e = FaultPlanError::DuplicateDeath { node: 7 };
+        assert!(e.to_string().contains("node 7"));
+    }
+
+    #[test]
+    fn validate_checks_node_and_core_ranges() {
+        let p = FaultPlan::none().kill_node(2, 1.0);
+        assert!(p.validate(4, 32).is_ok());
+        assert_eq!(
+            p.validate(2, 32),
+            Err(FaultPlanError::NodeOutOfRange {
+                what: "death",
+                node: 2,
+                nodes: 2
+            })
+        );
+        let s = FaultPlan::none().slow_core(40, 2.0);
+        assert_eq!(
+            s.validate(4, 32),
+            Err(FaultPlanError::CoreOutOfRange {
+                core: 40,
+                cores: 32
+            })
+        );
+        let m = FaultPlan::none().shrink_memory(9, 0.0, 1);
+        assert_eq!(
+            m.validate(4, 32),
+            Err(FaultPlanError::NodeOutOfRange {
+                what: "mem_shrink",
+                node: 9,
+                nodes: 4
+            })
+        );
+        assert!(FaultPlan::none().validate(1, 1).is_ok());
     }
 }

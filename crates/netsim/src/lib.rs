@@ -33,8 +33,8 @@ pub use clock::{measure, measure_scaled};
 pub use cluster::{comet, laptop, wrangler, Cluster, MachineProfile, NetworkModel};
 pub use critical::{CpSegment, CriticalPath};
 pub use executor::{SimExecutor, TaskAttempt, TaskOpts, TaskPlacement};
-pub use fault::{FaultPlan, NodeDeath, Straggler};
-pub use metrics::{Histogram, Metrics, NodeTraffic, PhaseShare};
-pub use policy::{PolicyError, RetryPolicy};
+pub use fault::{FaultPlan, FaultPlanError, MemShrink, NodeDeath, Straggler};
+pub use metrics::{Histogram, Metrics, NodeMemory, NodeTraffic, PhaseShare};
+pub use policy::{PolicyError, RetryPolicy, BACKOFF_SATURATION_S};
 pub use report::{Phase, SimReport};
 pub use trace::{EventKind, Trace, TraceEvent};

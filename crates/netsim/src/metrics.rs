@@ -129,6 +129,21 @@ pub struct NodeTraffic {
     pub bytes_out: u64,
 }
 
+/// Memory-pressure activity on one node, from the trace's spill/evict/
+/// OOM-kill events plus the report's resident high-water mark.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NodeMemory {
+    pub node: usize,
+    /// Bytes that overflowed to local scratch disk.
+    pub bytes_spilled: u64,
+    /// Cached bytes dropped (recoverable by lineage recompute).
+    pub bytes_evicted: u64,
+    /// Tasks/workers killed for exceeding the budget outright.
+    pub oom_kills: usize,
+    /// Resident high-water mark (bytes); 0 if the ledger never engaged.
+    pub high_water: u64,
+}
+
 /// Post-run summary of one [`SimReport`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct Metrics {
@@ -144,6 +159,9 @@ pub struct Metrics {
     pub phases: Vec<PhaseShare>,
     /// Per-node traffic, for nodes that moved any bytes.
     pub nodes: Vec<NodeTraffic>,
+    /// Per-node memory pressure, for nodes that spilled, evicted, OOM-
+    /// killed, or recorded a high-water mark.
+    pub memory: Vec<NodeMemory>,
     /// Task queue wait: `start_s - ready_s` per completed task attempt.
     pub queue_wait: Histogram,
     /// Driver/scheduler dispatch cadence: gaps between consecutive task
@@ -181,6 +199,18 @@ impl Metrics {
         let mut queue_wait = Histogram::default();
         let mut dispatch_latency = Histogram::default();
         let mut traffic: Vec<NodeTraffic> = Vec::new();
+        let mut memory: Vec<NodeMemory> = Vec::new();
+        fn mem_entry(memory: &mut Vec<NodeMemory>, node: usize) -> &mut NodeMemory {
+            if let Some(i) = memory.iter().position(|m| m.node == node) {
+                &mut memory[i]
+            } else {
+                memory.push(NodeMemory {
+                    node,
+                    ..Default::default()
+                });
+                memory.last_mut().expect("just pushed")
+            }
+        }
         let bump = |node: usize, inb: u64, outb: u64, traffic: &mut Vec<NodeTraffic>| {
             if let Some(t) = traffic.iter_mut().find(|t| t.node == node) {
                 t.bytes_in += inb;
@@ -216,6 +246,15 @@ impl Metrics {
                             bump(0, 0, *bytes, &mut traffic);
                         }
                         EventKind::Recovery { .. } => {}
+                        EventKind::Spill { node, bytes } => {
+                            mem_entry(&mut memory, *node).bytes_spilled += bytes;
+                        }
+                        EventKind::Evict { node, bytes } => {
+                            mem_entry(&mut memory, *node).bytes_evicted += bytes;
+                        }
+                        EventKind::OomKill { node } => {
+                            mem_entry(&mut memory, *node).oom_kills += 1;
+                        }
                     }
                 }
                 releases.sort_by(f64::total_cmp);
@@ -233,7 +272,15 @@ impl Metrics {
                 (u, u)
             }
         };
+        // Merge the report's resident high-water marks (the ledger tracks
+        // them even when no spill/evict event fired).
+        for (node, &hw) in report.mem_high_water.iter().enumerate() {
+            if hw > 0 {
+                mem_entry(&mut memory, node).high_water = hw;
+            }
+        }
         traffic.sort_by_key(|t| t.node);
+        memory.sort_by_key(|m| m.node);
         Metrics {
             makespan_s: makespan,
             tasks: report.tasks,
@@ -241,6 +288,7 @@ impl Metrics {
             busy_fraction,
             phases,
             nodes: traffic,
+            memory,
             queue_wait,
             dispatch_latency,
         }
@@ -268,6 +316,12 @@ impl Metrics {
             out.push_str(&format!(
                 "  node {:<3} in {:>12} B  out {:>12} B\n",
                 n.node, n.bytes_in, n.bytes_out
+            ));
+        }
+        for m in &self.memory {
+            out.push_str(&format!(
+                "  mem  {:<3} high-water {:>12} B  spilled {:>10} B  evicted {:>10} B  oom-kills {}\n",
+                m.node, m.high_water, m.bytes_spilled, m.bytes_evicted, m.oom_kills
             ));
         }
         if self.queue_wait.count() > 0 {
@@ -313,14 +367,25 @@ impl Metrics {
                 )
             })
             .collect();
+        let memory: Vec<String> = self
+            .memory
+            .iter()
+            .map(|m| {
+                format!(
+                    "{{\"node\":{},\"high_water\":{},\"bytes_spilled\":{},\"bytes_evicted\":{},\"oom_kills\":{}}}",
+                    m.node, m.high_water, m.bytes_spilled, m.bytes_evicted, m.oom_kills
+                )
+            })
+            .collect();
         format!(
-            "{{\"makespan_s\":{},\"tasks\":{},\"utilization\":{},\"busy_fraction\":{},\"phases\":[{}],\"nodes\":[{}],\"queue_wait\":{},\"dispatch_latency\":{}}}",
+            "{{\"makespan_s\":{},\"tasks\":{},\"utilization\":{},\"busy_fraction\":{},\"phases\":[{}],\"nodes\":[{}],\"memory\":[{}],\"queue_wait\":{},\"dispatch_latency\":{}}}",
             json_num(self.makespan_s),
             self.tasks,
             json_num(self.utilization),
             json_num(self.busy_fraction),
             phases.join(","),
             nodes.join(","),
+            memory.join(","),
             self.queue_wait.to_json(),
             self.dispatch_latency.to_json(),
         )
@@ -410,6 +475,69 @@ mod tests {
         assert!((m.utilization - 4.0 / (8.0 * 4.0)).abs() < 1e-12);
         assert_eq!(m.utilization, m.busy_fraction);
         assert_eq!(m.queue_wait.count(), 0);
+    }
+
+    #[test]
+    fn metrics_summarize_memory_pressure() {
+        use crate::trace::{Trace, TraceEvent};
+        let mut trace = Trace::default();
+        trace.record(TraceEvent {
+            task: 0,
+            core: 0,
+            start_s: 0.0,
+            end_s: 0.5,
+            killed: false,
+            ready_s: 0.0,
+            phase: "shuffle".into(),
+            kind: EventKind::Spill {
+                node: 1,
+                bytes: 4096,
+            },
+        });
+        trace.record(TraceEvent {
+            task: 1,
+            core: 0,
+            start_s: 0.5,
+            end_s: 0.5,
+            killed: false,
+            ready_s: 0.5,
+            phase: "cache".into(),
+            kind: EventKind::Evict {
+                node: 1,
+                bytes: 1024,
+            },
+        });
+        trace.record(TraceEvent {
+            task: 2,
+            core: 0,
+            start_s: 1.0,
+            end_s: 1.0,
+            killed: false,
+            ready_s: 1.0,
+            phase: "memory".into(),
+            kind: EventKind::OomKill { node: 0 },
+        });
+        let report = SimReport {
+            makespan_s: 1.0,
+            bytes_spilled: 4096,
+            bytes_evicted: 1024,
+            oom_kills: 1,
+            mem_high_water: vec![100, 200],
+            trace: Some(trace),
+            ..Default::default()
+        };
+        let m = Metrics::from_report(&report, 2);
+        assert_eq!(m.memory.len(), 2);
+        assert_eq!(m.memory[0].node, 0);
+        assert_eq!(m.memory[0].oom_kills, 1);
+        assert_eq!(m.memory[0].high_water, 100);
+        assert_eq!(m.memory[1].bytes_spilled, 4096);
+        assert_eq!(m.memory[1].bytes_evicted, 1024);
+        assert_eq!(m.memory[1].high_water, 200);
+        let json = m.to_json();
+        assert!(json.contains("\"memory\":[{\"node\":0"));
+        assert!(json.contains("\"bytes_spilled\":4096"));
+        assert!(m.render().contains("high-water"));
     }
 
     #[test]

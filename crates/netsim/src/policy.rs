@@ -26,6 +26,14 @@
 use std::error::Error;
 use std::fmt;
 
+/// Hard ceiling on any single backoff wait when no finite
+/// [`RetryPolicy::backoff_cap_s`] is set. Without it, the default infinite
+/// cap lets `base · factor^k` overflow into astronomical (or infinite)
+/// waits at high attempt counts, which then poison every downstream
+/// virtual-time computation. One simulated hour is far beyond any sane
+/// re-dispatch wait.
+pub const BACKOFF_SATURATION_S: f64 = 3_600.0;
+
 /// Bounded-retry policy, all times in simulated seconds.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RetryPolicy {
@@ -104,13 +112,26 @@ impl RetryPolicy {
 
     /// Backoff wait applied before dispatching `attempt` (1-based). The
     /// first attempt never waits; attempt `k+1` waits
-    /// `min(cap, base · factor^(k-1))`.
+    /// `min(cap, base · factor^(k-1))`. The wait saturates instead of
+    /// overflowing: with an infinite (default) cap it is bounded by
+    /// [`BACKOFF_SATURATION_S`], and a non-finite intermediate product
+    /// (e.g. `factor^60` overflowing) collapses to the effective cap.
     pub fn backoff_before(&self, attempt: u32) -> f64 {
         if attempt <= 1 || self.backoff_base_s <= 0.0 {
             return 0.0;
         }
-        let exp = (attempt - 2).min(60); // factor^60 is already astronomical
-        (self.backoff_base_s * self.backoff_factor.powi(exp as i32)).min(self.backoff_cap_s)
+        let cap = if self.backoff_cap_s.is_finite() {
+            self.backoff_cap_s
+        } else {
+            BACKOFF_SATURATION_S.max(self.backoff_base_s)
+        };
+        let exp = (attempt - 2).min(60);
+        let raw = self.backoff_base_s * self.backoff_factor.powi(exp as i32);
+        if raw.is_finite() {
+            raw.min(cap)
+        } else {
+            cap
+        }
     }
 }
 
@@ -175,6 +196,30 @@ mod tests {
         assert_eq!(p.backoff_before(3), 1.0);
         assert_eq!(p.backoff_before(4), 2.0);
         assert_eq!(p.backoff_before(5), 3.0, "capped");
+    }
+
+    #[test]
+    fn backoff_saturates_at_high_attempt_counts() {
+        // Regression: with the default infinite cap, factor^k used to grow
+        // unchecked (2^60 · base ≈ 1e18 s) or overflow to infinity. Every
+        // wait must stay finite and bounded by the saturation ceiling.
+        let p = RetryPolicy::new(u32::MAX).with_backoff(1.0, 2.0, f64::INFINITY);
+        for attempt in [2, 10, 62, 1_000, u32::MAX] {
+            let w = p.backoff_before(attempt);
+            assert!(w.is_finite(), "attempt {attempt} backoff must be finite");
+            assert!(w <= BACKOFF_SATURATION_S, "attempt {attempt} wait {w}");
+        }
+        assert_eq!(p.backoff_before(u32::MAX), BACKOFF_SATURATION_S);
+        // A factor large enough to overflow f64 also saturates.
+        let q = RetryPolicy::new(u32::MAX).with_backoff(1.0, 1e300, f64::INFINITY);
+        assert_eq!(q.backoff_before(100), BACKOFF_SATURATION_S);
+        // A finite user cap still wins, even above the saturation ceiling.
+        let r = RetryPolicy::new(u32::MAX).with_backoff(1.0, 2.0, 7_200.0);
+        assert_eq!(r.backoff_before(u32::MAX), 7_200.0);
+        // Small attempt counts are unchanged by the fix.
+        assert_eq!(p.backoff_before(1), 0.0);
+        assert_eq!(p.backoff_before(2), 1.0);
+        assert_eq!(p.backoff_before(3), 2.0);
     }
 
     #[test]

@@ -45,6 +45,19 @@ pub struct SimReport {
     /// Virtual core-time thrown away by failures: partial work of killed
     /// task attempts.
     pub lost_time_s: f64,
+    /// Bytes written to local scratch disk under memory pressure (Spark's
+    /// MEMORY_AND_DISK overflow, Dask's spill threshold, shuffle spills).
+    /// Each spilled byte also costs disk bandwidth in virtual time.
+    pub bytes_spilled: u64,
+    /// Bytes of cached/resident state dropped under memory pressure; the
+    /// data is recovered by lineage recompute on next access, never lost.
+    pub bytes_evicted: u64,
+    /// Tasks or workers killed outright because a node's memory budget
+    /// could not accommodate them even after spilling/evicting.
+    pub oom_kills: usize,
+    /// Per-node resident-memory high-water marks (bytes), indexed by node.
+    /// Empty when the run never engaged the memory ledger.
+    pub mem_high_water: Vec<u64>,
     pub phases: Vec<Phase>,
     /// The recorded event schedule, when tracing was enabled on the
     /// executor (or always, for engines whose event count is small). Lives

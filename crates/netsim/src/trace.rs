@@ -29,6 +29,15 @@ pub enum EventKind {
     /// Recovery work outside normal task placement (lineage recompute
     /// dispatch, DB re-enqueue, failure detection window).
     Recovery { label: String },
+    /// Bytes written to (and later read back from) node-local scratch
+    /// disk because `node`'s memory budget could not hold them resident.
+    Spill { node: usize, bytes: u64 },
+    /// Cached/resident bytes dropped from `node` under memory pressure;
+    /// recoverable by lineage recompute, so no data is lost.
+    Evict { node: usize, bytes: u64 },
+    /// A task or worker on `node` killed outright for exceeding the memory
+    /// budget (after spill/eviction could not make room).
+    OomKill { node: usize },
 }
 
 impl EventKind {
@@ -40,6 +49,9 @@ impl EventKind {
             EventKind::Fetch { .. } => "fetch",
             EventKind::Broadcast { .. } => "broadcast",
             EventKind::Recovery { label } => label,
+            EventKind::Spill { .. } => "spill",
+            EventKind::Evict { .. } => "evict",
+            EventKind::OomKill { .. } => "oom-kill",
         }
     }
 
@@ -50,6 +62,9 @@ impl EventKind {
             EventKind::Fetch { .. } => "fetch",
             EventKind::Broadcast { .. } => "broadcast",
             EventKind::Recovery { .. } => "recovery",
+            EventKind::Spill { .. } => "spill",
+            EventKind::Evict { .. } => "evict",
+            EventKind::OomKill { .. } => "oomkill",
         }
     }
 }
@@ -254,6 +269,31 @@ impl Trace {
                     String::new(),
                     String::new(),
                 ),
+                // Memory events reuse the from_node column for their node.
+                EventKind::Spill { node, bytes } => (
+                    "spill".into(),
+                    String::new(),
+                    node.to_string(),
+                    String::new(),
+                    bytes.to_string(),
+                    String::new(),
+                ),
+                EventKind::Evict { node, bytes } => (
+                    "evict".into(),
+                    String::new(),
+                    node.to_string(),
+                    String::new(),
+                    bytes.to_string(),
+                    String::new(),
+                ),
+                EventKind::OomKill { node } => (
+                    "oom-kill".into(),
+                    String::new(),
+                    node.to_string(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ),
             };
             debug_assert!(!label.contains(',') && !e.phase.contains(','));
             out.push_str(&format!(
@@ -326,6 +366,21 @@ impl Trace {
                 }
                 "recovery" => EventKind::Recovery {
                     label: f[6].to_string(),
+                },
+                "spill" => EventKind::Spill {
+                    node: idx(f[10], "node")?,
+                    bytes: f[12]
+                        .parse()
+                        .map_err(|_| format!("row {i}: bad bytes: {}", f[12]))?,
+                },
+                "evict" => EventKind::Evict {
+                    node: idx(f[10], "node")?,
+                    bytes: f[12]
+                        .parse()
+                        .map_err(|_| format!("row {i}: bad bytes: {}", f[12]))?,
+                },
+                "oomkill" => EventKind::OomKill {
+                    node: idx(f[10], "node")?,
                 },
                 other => return Err(format!("row {i}: unknown kind: {other}")),
             };
@@ -477,6 +532,42 @@ mod tests {
             kind: EventKind::Recovery {
                 label: "recompute".into(),
             },
+        });
+        t.record(TraceEvent {
+            task: 7,
+            core: 0,
+            start_s: 0.75,
+            end_s: 1.0,
+            killed: false,
+            ready_s: 0.75,
+            phase: "shuffle".into(),
+            kind: EventKind::Spill {
+                node: 1,
+                bytes: 2048,
+            },
+        });
+        t.record(TraceEvent {
+            task: 8,
+            core: 0,
+            start_s: 1.0,
+            end_s: 1.0,
+            killed: false,
+            ready_s: 1.0,
+            phase: "cache".into(),
+            kind: EventKind::Evict {
+                node: 0,
+                bytes: 512,
+            },
+        });
+        t.record(TraceEvent {
+            task: 9,
+            core: 3,
+            start_s: 1.5,
+            end_s: 1.5,
+            killed: false,
+            ready_s: 1.5,
+            phase: "memory".into(),
+            kind: EventKind::OomKill { node: 1 },
         });
         let back = Trace::from_csv(&t.to_csv()).expect("round trip");
         assert_eq!(back, t);

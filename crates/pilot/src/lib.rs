@@ -90,6 +90,12 @@ pub type UnitTask<T> = Box<dyn FnOnce(&TaskCtx, &[u8]) -> T + Send>;
 pub struct UnitDescription<T> {
     pub input: Vec<u8>,
     pub task: UnitTask<T>,
+    /// Declared peak memory of the unit while executing (RADICAL-Pilot's
+    /// CUD `memory` attribute). The agent scheduler admits only as many
+    /// concurrent units per node as declared working sets fit the node's
+    /// memory budget; `0` declares nothing and opts out of admission
+    /// control.
+    pub working_set_bytes: u64,
 }
 
 impl<T> UnitDescription<T> {
@@ -97,12 +103,20 @@ impl<T> UnitDescription<T> {
         UnitDescription {
             input,
             task: Box::new(task),
+            working_set_bytes: 0,
         }
     }
 
     /// A unit with no staged input.
     pub fn compute_only(task: impl FnOnce(&TaskCtx, &[u8]) -> T + Send + 'static) -> Self {
         Self::new(Vec::new(), task)
+    }
+
+    /// Declare the unit's peak working-set size (enables admission
+    /// control).
+    pub fn with_working_set(mut self, bytes: u64) -> Self {
+        self.working_set_bytes = bytes;
+        self
     }
 }
 
@@ -205,7 +219,9 @@ impl Session {
         let mut t_staged = Vec::with_capacity(n);
         let mut ids = Vec::with_capacity(n);
         let mut tasks = Vec::with_capacity(n);
+        let mut wsets = Vec::with_capacity(n);
         for desc in units {
+            wsets.push(desc.working_set_bytes);
             let unit_id = st.next_unit;
             st.next_unit += 1;
             let t_new = st.db.roundtrip(startup);
@@ -232,9 +248,44 @@ impl Session {
         // serialize.
         let mut results = Vec::with_capacity(n);
         let mut t_exec_end = Vec::with_capacity(n);
+        // Working sets of currently-executing units: `(node, ends_at,
+        // bytes)`, released once the virtual clock passes their unit.
+        let mut in_flight: Vec<(usize, f64, u64)> = Vec::new();
+        let per_node = self.cluster.profile.cores_per_node;
         st.exec.set_phase("execute");
-        for ((unit_id, task), ready) in ids.iter().zip(tasks).zip(&t_staged) {
+        for (((unit_id, task), ready), ws) in ids.iter().zip(tasks).zip(&t_staged).zip(&wsets) {
+            let ws = *ws;
             let t_sched = st.db.roundtrip(*ready);
+            // Admission control: the agent scheduler admits only as many
+            // concurrent units per node as declared working sets fit the
+            // node's (possibly fault-shrunk) memory budget. A unit no node
+            // can ever host surfaces typed — it must not queue forever.
+            if ws > 0 {
+                let mut best = (0usize, 0u64);
+                let mut admitted_somewhere = false;
+                for node in 0..self.cluster.nodes {
+                    let budget = st.exec.mem_budget(node, t_sched);
+                    if budget > best.1 {
+                        best = (node, budget);
+                    }
+                    let limit = (budget.checked_div(ws).unwrap_or(0) as usize).min(per_node);
+                    st.exec.set_node_core_limit(node, limit);
+                    admitted_somewhere |= limit > 0;
+                }
+                if !admitted_somewhere {
+                    return Err(EngineError::MemoryExhausted {
+                        node: best.0,
+                        budget: best.1,
+                        required: ws,
+                        at_s: t_sched,
+                        what: "declared unit working set".into(),
+                    });
+                }
+            } else {
+                for node in 0..self.cluster.nodes {
+                    st.exec.set_node_core_limit(node, per_node);
+                }
+            }
             let staged = self
                 .staging
                 .stage_out(*unit_id, "input")
@@ -293,6 +344,22 @@ impl Session {
                     .report_mut()
                     .push_phase("recovery", died_at, placement.end);
             }
+            if ws > 0 {
+                // The unit's working set occupies its node for the
+                // execution window; units that finished before this one
+                // started have released theirs.
+                in_flight.retain(|&(node, end, bytes)| {
+                    if end <= placement.start {
+                        st.exec.release_memory(node, bytes);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                let node = self.cluster.node_of_core(placement.core);
+                st.exec.force_reserve_memory(node, ws);
+                in_flight.push((node, placement.end, ws));
+            }
             let out_bytes = out.wire_bytes();
             let t_out = placement.end
                 + net.transfer_time(out_bytes, false)
@@ -307,6 +374,14 @@ impl Session {
             rep.bytes_staged += out_bytes;
             t_exec_end.push(t_out);
             results.push(out);
+        }
+        // Execution over: working sets drain and admission limits reset
+        // for the next submission.
+        for (node, _, bytes) in in_flight.drain(..) {
+            st.exec.release_memory(node, bytes);
+        }
+        for node in 0..self.cluster.nodes {
+            st.exec.set_node_core_limit(node, per_node);
         }
         // Phase 3 — completion: DONE trips flow back through the database
         // as results land.
@@ -411,6 +486,76 @@ mod tests {
         match s.submit_and_wait(units) {
             Err(EngineError::Unsupported(msg)) => assert!(msg.contains("16384")),
             _ => panic!("must refuse 16k+1 units"),
+        }
+    }
+
+    #[test]
+    fn admission_control_serializes_fat_units() {
+        // One node, 4 cores, 1 MiB budget. Units declaring 600 KiB
+        // working sets fit only one at a time: admission caps the node at
+        // a single usable core, so the two units execute back-to-back
+        // instead of side-by-side.
+        let mut p = laptop();
+        p.cores_per_node = 4;
+        p.mem_per_node = 1 << 20;
+        let s = Session::new(Cluster::new(p, 1)).unwrap();
+        let units: Vec<UnitDescription<u64>> = (0..2)
+            .map(|i| {
+                UnitDescription::compute_only(move |_, _| {
+                    // Real work long enough to overlap if both units were
+                    // admitted side by side.
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    i
+                })
+                .with_working_set(600 * 1024)
+            })
+            .collect();
+        let out = s.submit_and_wait(units).unwrap();
+        assert_eq!(out.results, vec![0, 1]);
+        // Concurrent execution would have put 1.2 MiB on the node; the
+        // admission limit of one unit keeps the high-water at a single
+        // working set.
+        let hw = out.report.mem_high_water[0];
+        assert!(
+            (600 * 1024..=1 << 20).contains(&hw),
+            "admission must serialize fat units, high water {hw}"
+        );
+    }
+
+    #[test]
+    fn unit_too_fat_for_any_node_fails_typed() {
+        let mut p = laptop();
+        p.mem_per_node = 1 << 20;
+        let s = Session::new(Cluster::new(p, 2)).unwrap();
+        let units = vec![UnitDescription::<u64>::compute_only(|_, _| 1).with_working_set(2 << 20)];
+        match s.submit_and_wait(units) {
+            Err(EngineError::MemoryExhausted { required, .. }) => {
+                assert_eq!(required, 2 << 20);
+            }
+            other => panic!(
+                "2 MiB working set on 1 MiB nodes must fail typed, got {:?}",
+                other.map(|o| o.results)
+            ),
+        }
+    }
+
+    #[test]
+    fn mem_shrink_fault_tightens_admission_mid_run() {
+        // The budget shrinks to zero at t=0: even a modest declared
+        // working set becomes unhostable and the submission fails typed
+        // (never a hang).
+        let mut p = laptop();
+        p.mem_per_node = 1 << 20;
+        let plan = netsim::FaultPlan::none().shrink_memory(0, 0.0, 0);
+        let s = Session::new(Cluster::new(p, 1).with_faults(plan)).unwrap();
+        let units =
+            vec![UnitDescription::<u64>::compute_only(|_, _| 1).with_working_set(64 * 1024)];
+        match s.submit_and_wait(units) {
+            Err(EngineError::MemoryExhausted { budget, .. }) => assert_eq!(budget, 0),
+            other => panic!(
+                "shrunken budget must surface typed, got {:?}",
+                other.map(|o| o.results)
+            ),
         }
     }
 

@@ -5,11 +5,30 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use taskframe::{spark_profile, EngineError, FrameworkProfile, Payload};
 
+/// One cached partition registered with the driver's block manager: where
+/// it lives, how big it is, when it was last used, and how to drop it.
+pub(crate) struct CacheSlot {
+    /// `(cache identity, partition index)` — identifies the partition
+    /// across the RDD clones sharing one cache.
+    pub key: (usize, usize),
+    pub node: usize,
+    pub bytes: u64,
+    /// LRU clock value of the most recent use.
+    pub seq: u64,
+    /// Clears the partition from its RDD's cache (type-erased).
+    pub evict: Arc<dyn Fn() + Send + Sync>,
+}
+
 pub(crate) struct JobState {
     pub exec: SimExecutor,
     /// Virtual time before which no new stage may start (stage barrier).
     pub frontier: f64,
     pub next_task: usize,
+    /// Driver-side block-manager view of every cached partition, for LRU
+    /// eviction under memory pressure.
+    pub cache_slots: Vec<CacheSlot>,
+    /// Monotonic LRU clock (bumped on every cache insert or hit).
+    pub lru_clock: u64,
     /// Straggler mitigation (the paper's §6 future-work item): when set,
     /// a task running longer than `threshold × stage median` is assumed
     /// to have a speculative backup launched on another core, capping its
@@ -27,10 +46,71 @@ pub(crate) struct JobState {
     pub policy: RetryPolicy,
 }
 
+impl JobState {
+    /// Reserve `bytes` on `node`, LRU-evicting cached partitions on that
+    /// node until the reservation fits. Returns `false` when even an empty
+    /// cache leaves no room (the caller degrades further: spill, or skip
+    /// caching and rely on lineage recompute).
+    pub fn reserve_or_evict(&mut self, node: usize, bytes: u64) -> bool {
+        loop {
+            if self.exec.try_reserve_memory(node, bytes, self.frontier) {
+                return true;
+            }
+            // Oldest cached partition on this node goes first.
+            let victim = self
+                .cache_slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.node == node)
+                .min_by_key(|(_, s)| s.seq)
+                .map(|(i, _)| i);
+            let Some(i) = victim else {
+                return false;
+            };
+            let slot = self.cache_slots.swap_remove(i);
+            (slot.evict)();
+            let at = self.frontier;
+            self.exec.record_evict(slot.node, slot.bytes, at);
+        }
+    }
+
+    /// Register a cached partition with the block manager.
+    pub fn register_cache(
+        &mut self,
+        key: (usize, usize),
+        node: usize,
+        bytes: u64,
+        evict: Arc<dyn Fn() + Send + Sync>,
+    ) {
+        self.lru_clock += 1;
+        let seq = self.lru_clock;
+        self.cache_slots.push(CacheSlot {
+            key,
+            node,
+            bytes,
+            seq,
+            evict,
+        });
+    }
+
+    /// Mark a cached partition as just used (moves it to the LRU tail).
+    pub fn touch_cache(&mut self, key: (usize, usize)) {
+        self.lru_clock += 1;
+        let seq = self.lru_clock;
+        if let Some(slot) = self.cache_slots.iter_mut().find(|s| s.key == key) {
+            slot.seq = seq;
+        }
+    }
+}
+
 pub(crate) struct CtxInner {
     pub cluster: Cluster,
     pub profile: FrameworkProfile,
     pub state: Mutex<JobState>,
+    /// Evicted-partition recomputes observed inside fused task closures
+    /// (which run while the job state is locked); drained into the
+    /// report's `recomputed_partitions` at the next stage boundary.
+    pub pending_recomputes: std::sync::atomic::AtomicUsize,
 }
 
 /// The driver handle — equivalent of `pyspark.SparkContext`.
@@ -56,10 +136,13 @@ impl SparkContext {
             inner: Arc::new(CtxInner {
                 cluster,
                 profile,
+                pending_recomputes: std::sync::atomic::AtomicUsize::new(0),
                 state: Mutex::new(JobState {
                     exec,
                     frontier: startup,
                     next_task: 0,
+                    cache_slots: Vec::new(),
+                    lru_clock: 0,
                     speculation: None,
                     last_stage_cores: Vec::new(),
                     last_stage_durs: Vec::new(),
@@ -123,11 +206,27 @@ impl SparkContext {
             + self.inner.profile.per_transfer_overhead_s * dests.max(1) as f64;
         let start = st.frontier;
         st.frontier += t;
+        // Every node holds a replica. Under memory pressure a node first
+        // LRU-evicts cached partitions, then falls back to a disk-backed
+        // replica (Spark's MEMORY_AND_DISK broadcast blocks): the spill
+        // write costs disk bandwidth and stretches the broadcast until the
+        // slowest node has its copy.
+        let mut spill_t = 0.0f64;
+        for node in 0..self.inner.cluster.nodes {
+            if !st.reserve_or_evict(node, bytes) {
+                let dt = self.inner.cluster.profile.disk_time(bytes);
+                let s = st.frontier;
+                st.exec.record_spill(node, bytes, s, s + dt);
+                spill_t = spill_t.max(dt);
+            }
+        }
+        st.frontier += spill_t;
         let end = st.frontier;
         st.exec.advance_makespan(end);
         st.exec.record_broadcast(bytes, dests, start, end);
         let r = st.exec.report_mut();
         r.comm_s += t;
+        r.overhead_s += spill_t;
         r.bytes_broadcast += bytes * dests.max(1) as u64;
         r.push_phase("broadcast", start, end);
         Ok(Broadcast {
@@ -184,7 +283,12 @@ impl SparkContext {
 
     /// Snapshot of the simulated execution report so far.
     pub fn report(&self) -> SimReport {
-        let st = self.inner.state.lock();
+        let mut st = self.inner.state.lock();
+        let pending = self
+            .inner
+            .pending_recomputes
+            .swap(0, std::sync::atomic::Ordering::Relaxed);
+        st.exec.report_mut().recomputed_partitions += pending;
         let mut r = st.exec.report().clone();
         r.makespan_s = r.makespan_s.max(st.frontier);
         r

@@ -230,6 +230,63 @@ mod tests {
     }
 
     #[test]
+    fn eviction_under_memory_pressure_recomputes_identically() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        // Nodes barely big enough for one copy of the dataset: caching a
+        // second persisted RDD must LRU-evict the first, and re-collecting
+        // the first must lineage-recompute bit-identical partitions.
+        let mut profile = laptop();
+        profile.mem_per_node = 600; // bytes; each u64 partition ~8*items
+        let sc = SparkContext::new(Cluster::new(profile, 1));
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let a = sc
+            .parallelize((0..64u64).collect(), 4)
+            .map(move |x| {
+                h.fetch_add(1, Ordering::Relaxed);
+                x.wrapping_mul(0x9e3779b97f4a7c15)
+            })
+            .persist();
+        let first = a.collect();
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+        // A second persisted RDD of similar size forces eviction of `a`.
+        let b = sc.parallelize((0..64u64).collect(), 4).persist();
+        b.collect();
+        let report = sc.report();
+        assert!(report.bytes_evicted > 0, "pressure must evict: {report:?}");
+        // Re-collecting `a` recomputes the evicted partitions — same bits.
+        let second = a.collect();
+        assert_eq!(first, second, "recomputed partitions are bit-identical");
+        assert!(hits.load(Ordering::Relaxed) > 64, "recompute really ran");
+        let report = sc.report();
+        assert!(report.recomputed_partitions > 0);
+        assert!(report.mem_high_water.iter().any(|&h| h > 0));
+    }
+
+    #[test]
+    fn shrunk_memory_budget_spills_broadcast_to_disk() {
+        // A fault plan shrinks node memory below the broadcast replica
+        // size mid-run: the replica degrades to a disk-backed copy (spill)
+        // instead of failing or panicking.
+        let mut profile = laptop();
+        profile.mem_per_node = 4096;
+        let plan = netsim::FaultPlan::none().shrink_memory(1, 0.0, 128);
+        let sc = SparkContext::new(Cluster::new(profile, 2).with_faults(plan));
+        let table = sc
+            .broadcast(vec![7u64; 64])
+            .expect("broadcast degrades, not fails");
+        let out = sc
+            .parallelize(vec![0usize, 1], 2)
+            .map(move |i| table.value()[i])
+            .collect();
+        assert_eq!(out, vec![7, 7]);
+        let report = sc.report();
+        assert!(report.bytes_spilled > 0, "shrunk node spills: {report:?}");
+        assert_eq!(report.oom_kills, 0);
+    }
+
+    #[test]
     fn empty_rdd_works() {
         let sc = ctx();
         let rdd = sc.parallelize(Vec::<u32>::new(), 4);

@@ -3,6 +3,7 @@
 use crate::context::{JobState, SparkContext};
 use netsim::measure;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use taskframe::{EngineError, Payload, TaskCtx};
 
@@ -23,13 +24,19 @@ pub struct Rdd<T> {
     /// times for this stage's tasks.
     prepare: Prepare,
     compute: Compute<T>,
-    /// Filled on first materialization iff `persisted`.
-    cache: Arc<Mutex<Option<Vec<Vec<T>>>>>,
+    /// Filled on first materialization iff `persisted` — one slot per
+    /// partition (empty vec = never materialized), so the block manager
+    /// can evict individual partitions under memory pressure; an evicted
+    /// slot is `None` until lineage recomputes it.
+    cache: Arc<Mutex<Vec<Option<Vec<T>>>>>,
     persisted: bool,
     /// Checkpointed RDDs write their partitions to replicated stable
     /// storage on first materialization; from then on lineage recovery
     /// restarts here instead of replaying upstream stages.
     checkpointed: bool,
+    /// Whether the checkpoint write has happened (survives cache eviction
+    /// — stable storage is not memory).
+    ckpt_written: Arc<AtomicBool>,
     /// Static lineage depth in *stages* back to the nearest durable input
     /// (source data or a checkpoint). Narrow transforms fuse, so they do
     /// not deepen it; every shuffle adds one.
@@ -46,6 +53,7 @@ impl<T> Clone for Rdd<T> {
             cache: Arc::clone(&self.cache),
             persisted: self.persisted,
             checkpointed: self.checkpointed,
+            ckpt_written: Arc::clone(&self.ckpt_written),
             depth: self.depth,
         }
     }
@@ -64,9 +72,10 @@ where
             n_partitions,
             prepare: Arc::new(|state: &mut JobState| Ok(vec![state.frontier; 0])),
             compute: Arc::new(move |p, _ctx| chunks[p].clone()),
-            cache: Arc::new(Mutex::new(None)),
+            cache: Arc::new(Mutex::new(Vec::new())),
             persisted: false,
             checkpointed: false,
+            ckpt_written: Arc::new(AtomicBool::new(false)),
             depth: 1,
         }
     }
@@ -84,9 +93,10 @@ where
             n_partitions,
             prepare: Arc::new(|state: &mut JobState| Ok(vec![state.frontier; 0])),
             compute: Arc::new(compute),
-            cache: Arc::new(Mutex::new(None)),
+            cache: Arc::new(Mutex::new(Vec::new())),
             persisted: false,
             checkpointed: false,
+            ckpt_written: Arc::new(AtomicBool::new(false)),
             depth: 1,
         }
     }
@@ -104,9 +114,10 @@ where
             n_partitions,
             prepare,
             compute,
-            cache: Arc::new(Mutex::new(None)),
+            cache: Arc::new(Mutex::new(Vec::new())),
             persisted: false,
             checkpointed: false,
+            ckpt_written: Arc::new(AtomicBool::new(false)),
             depth,
         }
     }
@@ -143,11 +154,17 @@ where
     /// this RDD: 1 once a checkpoint is materialized, the full static
     /// lineage depth otherwise.
     pub fn lineage_depth(&self) -> usize {
-        if self.checkpointed && self.cache.lock().is_some() {
+        if self.checkpointed && self.ckpt_written.load(Ordering::Relaxed) {
             1
         } else {
             self.depth
         }
+    }
+
+    /// Block-manager identity of partition `p`'s cache slot: stable across
+    /// the RDD clones sharing one cache.
+    fn cache_key(&self, p: usize) -> (usize, usize) {
+        (Arc::as_ptr(&self.cache) as *const () as usize, p)
     }
 
     /// Static lineage depth (ignores any materialized checkpoint).
@@ -156,11 +173,26 @@ where
     }
 
     /// Per-partition input, honouring this RDD's cache (used by fused
-    /// children).
+    /// children). A partition evicted under memory pressure is recomputed
+    /// from lineage right here — inside the child's measured closure, so
+    /// the recompute's cost lands on the task that needed the data, and
+    /// the recomputed bits are definitionally identical (same pure
+    /// closure, same input).
     fn partition_input(&self, p: usize, ctx: &TaskCtx) -> Vec<T> {
         if self.persisted {
-            if let Some(cached) = self.cache.lock().as_ref() {
-                return cached[p].clone();
+            let cached = self.cache.lock();
+            match cached.get(p) {
+                Some(Some(part)) => return part.clone(),
+                Some(None) => {
+                    // Materialized once, evicted since: count the lineage
+                    // recompute (drained into the report at the next stage
+                    // boundary — the job state is locked right now).
+                    self.ctx
+                        .inner
+                        .pending_recomputes
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                None => {}
             }
         }
         (self.compute)(p, ctx)
@@ -176,10 +208,13 @@ where
     }
 
     /// Ready times for this RDD's stage: skip upstream work if this RDD is
-    /// already cached.
+    /// already fully cached.
     fn stage_ready(&self, state: &mut JobState) -> Result<Vec<f64>, EngineError> {
-        if self.persisted && self.cache.lock().is_some() {
-            return Ok(vec![state.frontier; self.n_partitions]);
+        if self.persisted {
+            let cached = self.cache.lock();
+            if !cached.is_empty() && cached.iter().all(Option::is_some) {
+                return Ok(vec![state.frontier; self.n_partitions]);
+            }
         }
         let r = (self.prepare)(state)?;
         Ok(if r.is_empty() {
@@ -193,19 +228,39 @@ where
     /// the end. Returns materialized partitions, or a typed error once the
     /// driver's [`RetryPolicy`](netsim::RetryPolicy) gives up on a task.
     pub(crate) fn run_stage(&self, state: &mut JobState) -> Result<Vec<Vec<T>>, EngineError> {
+        // Cached view of this RDD: a full hit is served from memory; a
+        // partial hit (some partitions evicted under memory pressure)
+        // recomputes only the missing partitions from lineage.
+        let mut have: Vec<Option<Vec<T>>> = Vec::new();
+        let mut materialized = false;
         if self.persisted {
-            if let Some(cached) = self.cache.lock().as_ref() {
-                return Ok(cached.clone());
+            let cached = self.cache.lock();
+            materialized = !cached.is_empty();
+            if materialized && cached.iter().all(Option::is_some) {
+                let parts: Vec<Vec<T>> = cached.iter().map(|p| p.clone().unwrap()).collect();
+                drop(cached);
+                for p in 0..self.n_partitions {
+                    state.touch_cache(self.cache_key(p));
+                }
+                return Ok(parts);
             }
+            have = cached.clone();
         }
+        if have.len() != self.n_partitions {
+            have = (0..self.n_partitions).map(|_| None).collect();
+        }
+        let todo: Vec<usize> = (0..self.n_partitions)
+            .filter(|&p| have[p].is_none())
+            .collect();
         let ready = self.stage_ready(state)?;
         let profile = self.ctx.inner.profile.clone();
         let cluster = self.ctx.inner.cluster.clone();
         let dispatch_base = state.frontier;
-        let mut results = Vec::with_capacity(self.n_partitions);
-        // Pass 1: execute every task for real and record its duration.
-        let mut durs = Vec::with_capacity(self.n_partitions);
-        for p in 0..self.n_partitions {
+        let mut results = Vec::with_capacity(todo.len());
+        // Pass 1: execute every (not-cached) task for real and record its
+        // duration.
+        let mut durs = Vec::with_capacity(todo.len());
+        for &p in &todo {
             let tctx = TaskCtx::new(state.next_task, p);
             state.next_task += 1;
             let (out, host_s) = measure(|| (self.compute)(p, &tctx));
@@ -241,10 +296,11 @@ where
         let policy = state.policy;
         let mut stage_end = state.frontier;
         let mut cores = Vec::with_capacity(durs.len());
-        for (p, &dur) in durs.iter().enumerate() {
+        for (i, &dur) in durs.iter().enumerate() {
+            let p = todo[i];
             // Central dispatch: the driver releases tasks one at a time.
             let mut release =
-                ready[p].max(dispatch_base + (p + 1) as f64 * profile.central_dispatch_s);
+                ready[p].max(dispatch_base + (i + 1) as f64 * profile.central_dispatch_s);
             let mut attempts: u32 = 1;
             let mut first_died: Option<f64> = None;
             let mut avoid = None;
@@ -302,16 +358,61 @@ where
             state.exec.report_mut().overhead_s +=
                 profile.worker_overhead_s + profile.central_dispatch_s;
         }
-        state.last_stage_cores = cores;
-        state.last_stage_durs = durs;
         // Stage-oriented scheduler: nothing downstream starts earlier.
         state.frontier = stage_end;
+        // Evicted-then-recomputed partitions (plus any recomputes fused
+        // parents performed inside task closures) are visible recovery.
+        if materialized {
+            state.exec.report_mut().recomputed_partitions += todo.len();
+        }
+        let pending = self
+            .ctx
+            .inner
+            .pending_recomputes
+            .swap(0, std::sync::atomic::Ordering::Relaxed);
+        state.exec.report_mut().recomputed_partitions += pending;
+        for (i, &p) in todo.iter().enumerate() {
+            have[p] = Some(std::mem::take(&mut results[i]));
+        }
         if self.persisted {
-            *self.cache.lock() = Some(results.clone());
-            if self.checkpointed {
+            // Insert the newly computed partitions into the block
+            // manager, reserving node memory where each task ran. Under
+            // pressure the LRU cached partitions are evicted first; if the
+            // budget still cannot hold a partition it simply stays
+            // uncached (MEMORY_ONLY semantics — the next access recomputes
+            // it from lineage).
+            for (i, &p) in todo.iter().enumerate() {
+                let part = have[p].as_ref().expect("just computed");
+                let bytes = part.wire_bytes();
+                let node = cluster.node_of_core(cores[i]);
+                if state.reserve_or_evict(node, bytes) {
+                    {
+                        let mut guard = self.cache.lock();
+                        if guard.len() != self.n_partitions {
+                            guard.resize_with(self.n_partitions, || None);
+                        }
+                        guard[p] = Some(part.clone());
+                    }
+                    let evict_cache = Arc::clone(&self.cache);
+                    state.register_cache(
+                        self.cache_key(p),
+                        node,
+                        bytes,
+                        Arc::new(move || {
+                            if let Some(slot) = evict_cache.lock().get_mut(p) {
+                                *slot = None;
+                            }
+                        }),
+                    );
+                }
+            }
+            if self.checkpointed && !self.ckpt_written.load(Ordering::Relaxed) {
                 // Synchronous write of every partition to replicated
                 // stable storage; downstream recovery restarts here.
-                let bytes: u64 = results.iter().map(|p| p.wire_bytes()).sum();
+                let bytes: u64 = have
+                    .iter()
+                    .map(|p| p.as_ref().expect("materialized").wire_bytes())
+                    .sum();
                 let net = self.ctx.inner.cluster.profile.network;
                 let t = net.transfer_time(bytes, false) + profile.per_transfer_overhead_s;
                 let start = state.frontier;
@@ -321,9 +422,15 @@ where
                 let rep = state.exec.report_mut();
                 rep.comm_s += t;
                 rep.push_phase("checkpoint", start, end);
+                self.ckpt_written.store(true, Ordering::Relaxed);
             }
         }
-        Ok(results)
+        state.last_stage_cores = cores;
+        state.last_stage_durs = durs;
+        Ok(have
+            .into_iter()
+            .map(|p| p.expect("all partitions materialized"))
+            .collect())
     }
 
     // ---- narrow transformations (fuse into this stage) ----
@@ -391,9 +498,10 @@ where
             n_partitions: self.n_partitions,
             prepare: Arc::new(move |state| parent.stage_ready(state)),
             compute: Arc::new(compute),
-            cache: Arc::new(Mutex::new(None)),
+            cache: Arc::new(Mutex::new(Vec::new())),
             persisted: false,
             checkpointed: false,
+            ckpt_written: Arc::new(AtomicBool::new(false)),
             // Narrow transforms fuse into the parent's stage.
             depth: self.depth,
         }

@@ -200,6 +200,9 @@ where
                 let mut max_fetch = 0.0f64;
                 let mut shuffle_end = map_end;
                 let mut resent = 0usize;
+                // Transient per-reducer shuffle buffers, released once the
+                // fetched data is handed to the reduce tasks.
+                let mut reservations: Vec<(usize, u64)> = Vec::new();
                 for (q, r) in ready.iter_mut().enumerate() {
                     // The reducer starts fetching once every contributing map
                     // output is available, then pulls slices sequentially.
@@ -207,6 +210,28 @@ where
                     for (p, row) in bytes_pq.iter().enumerate() {
                         if row[q] > 0 {
                             start = start.max(avail[p]);
+                        }
+                    }
+                    // Reserve the reducer's inbound buffer on its node;
+                    // whatever the budget cannot hold (even after LRU
+                    // eviction of cached partitions) spills to local disk
+                    // — one write as slices arrive, one read back for the
+                    // reduce — delaying this reducer by the disk time.
+                    let node = reduce_nodes[q];
+                    let inbound: u64 = bytes_pq.iter().map(|row| row[q]).sum();
+                    let mut spilled = 0u64;
+                    if inbound > 0 {
+                        if state.reserve_or_evict(node, inbound) {
+                            reservations.push((node, inbound));
+                        } else {
+                            let budget = state.exec.mem_budget(node, start);
+                            let free = budget.saturating_sub(state.exec.mem_resident(node));
+                            let reserved = free.min(inbound);
+                            if reserved > 0 {
+                                state.exec.force_reserve_memory(node, reserved);
+                                reservations.push((node, reserved));
+                            }
+                            spilled = inbound - reserved;
                         }
                     }
                     let mut fetch = 0.0;
@@ -238,9 +263,19 @@ where
                             total_bytes += b;
                         }
                     }
+                    if spilled > 0 {
+                        let dt = 2.0 * cluster.profile.disk_time(spilled);
+                        state
+                            .exec
+                            .record_spill(node, spilled, start + fetch, start + fetch + dt);
+                        fetch += dt;
+                    }
                     *r = start + fetch;
                     max_fetch = max_fetch.max(fetch);
                     shuffle_end = shuffle_end.max(*r);
+                }
+                for (node, bytes) in reservations {
+                    state.exec.release_memory(node, bytes);
                 }
                 let rep = state.exec.report_mut();
                 rep.retries += resent;

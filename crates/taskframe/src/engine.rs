@@ -23,6 +23,19 @@ pub enum EngineError {
         required: u64,
         what: String,
     },
+    /// A per-node memory budget (possibly shrunk mid-run by a fault plan)
+    /// left the engine no degradation path: nothing further to spill,
+    /// evict, chunk, or queue. Unlike [`EngineError::OutOfMemory`] — a
+    /// single structure that never fits — this is pressure exhausting the
+    /// engine's coping machinery, and it must surface typed, never as a
+    /// panic or hang.
+    MemoryExhausted {
+        node: usize,
+        budget: u64,
+        required: u64,
+        at_s: f64,
+        what: String,
+    },
     /// The engine refused the workload (e.g. RADICAL-Pilot beyond 16k
     /// tasks, §4.1: "we were not able to scale RADICAL-Pilot to 32k or
     /// more tasks").
@@ -84,6 +97,17 @@ impl std::fmt::Display for EngineError {
                 f,
                 "out of memory: {what} needs {required} bytes, node has {node_mem}"
             ),
+            EngineError::MemoryExhausted {
+                node,
+                budget,
+                required,
+                at_s,
+                what,
+            } => write!(
+                f,
+                "memory exhausted (out of memory): {what} needs {required} bytes on node \
+                 {node} but only {budget} remain at {at_s:.3}s"
+            ),
             EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
             EngineError::WorkerLost { node, at_s } => {
                 write!(f, "worker lost: node {node} died at {at_s}s")
@@ -141,5 +165,16 @@ mod tests {
         assert!(e.to_string().contains("cdist"));
         let u = EngineError::Unsupported("too many tasks".into());
         assert!(u.to_string().contains("too many tasks"));
+        let m = EngineError::MemoryExhausted {
+            node: 1,
+            budget: 512,
+            required: 1024,
+            at_s: 2.5,
+            what: "collective buffer".into(),
+        };
+        let shown = m.to_string();
+        assert!(shown.contains("memory exhausted"));
+        assert!(shown.contains("out of memory"));
+        assert!(shown.contains("collective buffer"));
     }
 }

@@ -1,0 +1,519 @@
+//! Memory-pressure equivalence sweep (PR-4 satellite): cap every node's
+//! memory budget below the fault-free peak footprint and re-run LF and
+//! PSA on all four engines. Each engine must take its paper-faithful
+//! degradation path — Spark evicts cache and recomputes from lineage,
+//! Dask pauses and spills, Pilot serializes admission, MPI chunks its
+//! collectives — and either complete **bit-identical** to the uncapped
+//! run or surface a typed memory error. Never a panic, never a hang,
+//! never silently different data.
+//!
+//! Caps are applied through `FaultPlan::shrink_memory` at t=0, so the
+//! same machinery that models mid-run memory faults enforces the static
+//! budget here.
+
+use mdtask::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const CASES: u32 = 48;
+
+/// When a clean run never engaged the memory ledger (MPI tracks no
+/// high-water), pressure is derived from this stand-in footprint.
+const FALLBACK_FOOTPRINT: u64 = 64 * 1024;
+
+fn lf_system() -> (Arc<Vec<Vec3>>, LfConfig) {
+    let b = mdtask::sim::bilayer::generate(
+        &BilayerSpec {
+            n_atoms: 200,
+            ..Default::default()
+        },
+        7,
+    );
+    (
+        Arc::new(b.positions),
+        LfConfig {
+            cutoff: b.suggested_cutoff,
+            partitions: 8,
+            paper_atoms: 200,
+            charge_io: false,
+        },
+    )
+}
+
+fn psa_system() -> (Arc<Vec<Trajectory>>, PsaConfig) {
+    let spec = ChainSpec {
+        n_atoms: 10,
+        n_frames: 5,
+        stride: 1,
+        ..ChainSpec::default()
+    };
+    (
+        Arc::new(mdtask::sim::chain::generate_ensemble(&spec, 4, 42)),
+        PsaConfig {
+            groups: 2,
+            charge_io: true,
+        },
+    )
+}
+
+fn cluster(plan: FaultPlan) -> Cluster {
+    Cluster::new(laptop(), 2).with_faults(plan)
+}
+
+/// Shrink every node of the 2-node cluster to `cap` bytes at t=0.
+fn memory_cap_plan(cap: u64) -> FaultPlan {
+    FaultPlan::none()
+        .shrink_memory(0, 0.0, cap)
+        .shrink_memory(1, 0.0, cap)
+}
+
+/// Peak resident footprint of a fault-free run, per its memory ledger.
+fn peak_footprint(report: &SimReport) -> u64 {
+    report
+        .mem_high_water
+        .iter()
+        .copied()
+        .max()
+        .filter(|&p| p > 0)
+        .unwrap_or(FALLBACK_FOOTPRINT)
+}
+
+/// The only acceptable failure mode under memory pressure.
+fn is_typed_memory_error(e: &EngineError) -> bool {
+    matches!(
+        e,
+        EngineError::MemoryExhausted { .. } | EngineError::OutOfMemory { .. }
+    )
+}
+
+fn lf_matches(clean: &LfOutput, got: &LfOutput) -> Result<(), String> {
+    if got.leaflet_sizes != clean.leaflet_sizes {
+        return Err(format!(
+            "leaflet sizes diverged: {:?} vs {:?}",
+            got.leaflet_sizes, clean.leaflet_sizes
+        ));
+    }
+    if got.n_components != clean.n_components {
+        return Err("component count diverged".into());
+    }
+    if got.edges_found != clean.edges_found {
+        return Err("edge count diverged".into());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    /// Spark LF under a memory cap: evicted partitions are recomputed
+    /// from lineage and the answer is unchanged.
+    #[test]
+    fn spark_lf_survives_memory_cap_bit_identical(frac in 0.25f64..1.0) {
+        let (positions, cfg) = lf_system();
+        let clean = lf_spark(
+            &SparkContext::new(cluster(FaultPlan::none())),
+            Arc::clone(&positions),
+            LfApproach::ParallelCC,
+            &cfg,
+        )
+        .unwrap();
+        let cap = ((peak_footprint(&clean.report) as f64 * frac) as u64).max(1);
+        let got = lf_spark(
+            &SparkContext::new(cluster(memory_cap_plan(cap))),
+            Arc::clone(&positions),
+            LfApproach::ParallelCC,
+            &cfg,
+        );
+        match got {
+            Ok(out) => prop_assert!(lf_matches(&clean, &out).is_ok(),
+                "cap {cap}: {:?}", lf_matches(&clean, &out)),
+            Err(e) => prop_assert!(is_typed_memory_error(&e),
+                "cap {cap}: spark failed non-typed: {e:?}"),
+        }
+    }
+
+    /// Dask LF under a memory cap: paused/spilled workers still deliver
+    /// identical results, or the run fails typed.
+    #[test]
+    fn dask_lf_survives_memory_cap_bit_identical(frac in 0.25f64..1.0) {
+        let (positions, cfg) = lf_system();
+        let clean = lf_dask(
+            &DaskClient::new(cluster(FaultPlan::none())),
+            Arc::clone(&positions),
+            LfApproach::Task2D,
+            &cfg,
+        )
+        .unwrap();
+        let cap = ((peak_footprint(&clean.report) as f64 * frac) as u64).max(1);
+        let got = lf_dask(
+            &DaskClient::new(cluster(memory_cap_plan(cap))),
+            Arc::clone(&positions),
+            LfApproach::Task2D,
+            &cfg,
+        );
+        match got {
+            Ok(out) => prop_assert!(lf_matches(&clean, &out).is_ok(),
+                "cap {cap}: {:?}", lf_matches(&clean, &out)),
+            Err(e) => prop_assert!(is_typed_memory_error(&e),
+                "cap {cap}: dask failed non-typed: {e:?}"),
+        }
+    }
+
+    /// Pilot LF under a memory cap: admission control serializes fat
+    /// units; results match or the unit is refused typed.
+    #[test]
+    fn pilot_lf_survives_memory_cap_bit_identical(frac in 0.25f64..1.0) {
+        let (positions, cfg) = lf_system();
+        let clean = lf_pilot(
+            &Session::new(cluster(FaultPlan::none())).unwrap(),
+            &positions,
+            &cfg,
+        )
+        .unwrap();
+        let cap = ((peak_footprint(&clean.report) as f64 * frac) as u64).max(1);
+        let got = lf_pilot(
+            &Session::new(cluster(memory_cap_plan(cap))).unwrap(),
+            &positions,
+            &cfg,
+        );
+        match got {
+            Ok(out) => prop_assert!(lf_matches(&clean, &out).is_ok(),
+                "cap {cap}: {:?}", lf_matches(&clean, &out)),
+            Err(e) => prop_assert!(is_typed_memory_error(&e),
+                "cap {cap}: pilot failed non-typed: {e:?}"),
+        }
+    }
+
+    /// MPI LF under a memory cap: fixed per-rank buffers chunk the
+    /// broadcast (identical results, more latency) or refuse it typed.
+    /// MPI keeps no resident ledger, so pressure scales off the bytes
+    /// its collectives actually move.
+    #[test]
+    fn mpi_lf_survives_memory_cap_bit_identical(frac in 0.2f64..4.0) {
+        let (positions, cfg) = lf_system();
+        let clean = lf_mpi(
+            cluster(FaultPlan::none()),
+            16,
+            &positions,
+            LfApproach::Broadcast1D,
+            &cfg,
+        )
+        .unwrap();
+        let moved = (clean.report.bytes_broadcast + clean.report.bytes_shuffled)
+            .max(FALLBACK_FOOTPRINT);
+        let cap = ((moved as f64 * frac) as u64).max(1);
+        let got = lf_mpi(
+            cluster(memory_cap_plan(cap)),
+            16,
+            &positions,
+            LfApproach::Broadcast1D,
+            &cfg,
+        );
+        match got {
+            Ok(out) => prop_assert!(lf_matches(&clean, &out).is_ok(),
+                "cap {cap}: {:?}", lf_matches(&clean, &out)),
+            Err(e) => prop_assert!(is_typed_memory_error(&e),
+                "cap {cap}: mpi failed non-typed: {e:?}"),
+        }
+    }
+
+    /// Spark PSA under a memory cap reproduces the Hausdorff matrix
+    /// bit-for-bit (lineage recompute), or fails typed.
+    #[test]
+    fn spark_psa_survives_memory_cap_bit_identical(frac in 0.25f64..1.0) {
+        let (ensemble, cfg) = psa_system();
+        let clean = psa_spark(
+            &SparkContext::new(cluster(FaultPlan::none())),
+            Arc::clone(&ensemble),
+            &cfg,
+        )
+        .unwrap();
+        let cap = ((peak_footprint(&clean.report) as f64 * frac) as u64).max(1);
+        match psa_spark(
+            &SparkContext::new(cluster(memory_cap_plan(cap))),
+            Arc::clone(&ensemble),
+            &cfg,
+        ) {
+            Ok(out) => prop_assert!(
+                out.distances.as_slice() == clean.distances.as_slice(),
+                "cap {cap}: matrix diverged"
+            ),
+            Err(e) => prop_assert!(is_typed_memory_error(&e),
+                "cap {cap}: spark failed non-typed: {e:?}"),
+        }
+    }
+
+    /// Dask PSA under a memory cap reproduces the matrix bit-for-bit,
+    /// or fails typed.
+    #[test]
+    fn dask_psa_survives_memory_cap_bit_identical(frac in 0.25f64..1.0) {
+        let (ensemble, cfg) = psa_system();
+        let clean = psa_dask(
+            &DaskClient::new(cluster(FaultPlan::none())),
+            Arc::clone(&ensemble),
+            &cfg,
+        )
+        .unwrap();
+        let cap = ((peak_footprint(&clean.report) as f64 * frac) as u64).max(1);
+        match psa_dask(
+            &DaskClient::new(cluster(memory_cap_plan(cap))),
+            Arc::clone(&ensemble),
+            &cfg,
+        ) {
+            Ok(out) => prop_assert!(
+                out.distances.as_slice() == clean.distances.as_slice(),
+                "cap {cap}: matrix diverged"
+            ),
+            Err(e) => prop_assert!(is_typed_memory_error(&e),
+                "cap {cap}: dask failed non-typed: {e:?}"),
+        }
+    }
+
+    /// Pilot PSA under a memory cap reproduces the matrix bit-for-bit,
+    /// or the units are refused typed.
+    #[test]
+    fn pilot_psa_survives_memory_cap_bit_identical(frac in 0.25f64..1.0) {
+        let (ensemble, cfg) = psa_system();
+        let clean = psa_pilot(
+            &Session::new(cluster(FaultPlan::none())).unwrap(),
+            &ensemble,
+            &cfg,
+        )
+        .unwrap();
+        let cap = ((peak_footprint(&clean.report) as f64 * frac) as u64).max(1);
+        match psa_pilot(
+            &Session::new(cluster(memory_cap_plan(cap))).unwrap(),
+            &ensemble,
+            &cfg,
+        ) {
+            Ok(out) => prop_assert!(
+                out.distances.as_slice() == clean.distances.as_slice(),
+                "cap {cap}: matrix diverged"
+            ),
+            Err(e) => prop_assert!(is_typed_memory_error(&e),
+                "cap {cap}: pilot failed non-typed: {e:?}"),
+        }
+    }
+
+    /// MPI PSA under a memory cap reproduces the matrix bit-for-bit
+    /// (chunked gather), or every rank fails with the same typed error.
+    #[test]
+    fn mpi_psa_survives_memory_cap_bit_identical(frac in 0.2f64..4.0) {
+        let (ensemble, cfg) = psa_system();
+        let clean = psa_mpi(cluster(FaultPlan::none()), 8, &ensemble, &cfg);
+        let moved = (clean.report.bytes_broadcast + clean.report.bytes_shuffled)
+            .max(FALLBACK_FOOTPRINT);
+        let cap = ((moved as f64 * frac) as u64).max(1);
+        match psa_mpi_with_policy(
+            cluster(memory_cap_plan(cap)),
+            8,
+            &ensemble,
+            &cfg,
+            &RetryPolicy::new(1),
+            true,
+        ) {
+            Ok(out) => prop_assert!(
+                out.distances.as_slice() == clean.distances.as_slice(),
+                "cap {cap}: matrix diverged"
+            ),
+            Err(e) => prop_assert!(is_typed_memory_error(&e),
+                "cap {cap}: mpi failed non-typed: {e:?}"),
+        }
+    }
+}
+
+/// The PR's headline acceptance criterion, run deterministically: cap
+/// every node at 50% of the fault-free peak footprint and check all
+/// four engines on both workloads complete bit-identical or fail with
+/// a typed memory error — and that the caps actually bite (some spill,
+/// evict, recompute, or OOM shows up across the task engines).
+#[test]
+fn half_peak_cap_completes_bit_identical_or_typed() {
+    let (positions, lf_cfg) = lf_system();
+    let (ensemble, psa_cfg) = psa_system();
+    let mut pressure_engaged = false;
+    let mut note_pressure = |r: &SimReport| {
+        pressure_engaged |= r.bytes_spilled > 0
+            || r.bytes_evicted > 0
+            || r.recomputed_partitions > 0
+            || r.oom_kills > 0;
+    };
+
+    // Spark LF.
+    let clean = lf_spark(
+        &SparkContext::new(cluster(FaultPlan::none())),
+        Arc::clone(&positions),
+        LfApproach::ParallelCC,
+        &lf_cfg,
+    )
+    .unwrap();
+    let cap = (peak_footprint(&clean.report) / 2).max(1);
+    match lf_spark(
+        &SparkContext::new(cluster(memory_cap_plan(cap))),
+        Arc::clone(&positions),
+        LfApproach::ParallelCC,
+        &lf_cfg,
+    ) {
+        Ok(out) => {
+            assert!(lf_matches(&clean, &out).is_ok(), "spark lf diverged");
+            note_pressure(&out.report);
+        }
+        Err(e) => assert!(is_typed_memory_error(&e), "spark lf: {e:?}"),
+    }
+
+    // Spark PSA.
+    let clean = psa_spark(
+        &SparkContext::new(cluster(FaultPlan::none())),
+        Arc::clone(&ensemble),
+        &psa_cfg,
+    )
+    .unwrap();
+    let cap = (peak_footprint(&clean.report) / 2).max(1);
+    match psa_spark(
+        &SparkContext::new(cluster(memory_cap_plan(cap))),
+        Arc::clone(&ensemble),
+        &psa_cfg,
+    ) {
+        Ok(out) => {
+            assert_eq!(
+                out.distances.as_slice(),
+                clean.distances.as_slice(),
+                "spark psa diverged"
+            );
+            note_pressure(&out.report);
+        }
+        Err(e) => assert!(is_typed_memory_error(&e), "spark psa: {e:?}"),
+    }
+
+    // Dask LF.
+    let clean = lf_dask(
+        &DaskClient::new(cluster(FaultPlan::none())),
+        Arc::clone(&positions),
+        LfApproach::Task2D,
+        &lf_cfg,
+    )
+    .unwrap();
+    let cap = (peak_footprint(&clean.report) / 2).max(1);
+    match lf_dask(
+        &DaskClient::new(cluster(memory_cap_plan(cap))),
+        Arc::clone(&positions),
+        LfApproach::Task2D,
+        &lf_cfg,
+    ) {
+        Ok(out) => {
+            assert!(lf_matches(&clean, &out).is_ok(), "dask lf diverged");
+            note_pressure(&out.report);
+        }
+        Err(e) => assert!(is_typed_memory_error(&e), "dask lf: {e:?}"),
+    }
+
+    // Dask PSA.
+    let clean = psa_dask(
+        &DaskClient::new(cluster(FaultPlan::none())),
+        Arc::clone(&ensemble),
+        &psa_cfg,
+    )
+    .unwrap();
+    let cap = (peak_footprint(&clean.report) / 2).max(1);
+    match psa_dask(
+        &DaskClient::new(cluster(memory_cap_plan(cap))),
+        Arc::clone(&ensemble),
+        &psa_cfg,
+    ) {
+        Ok(out) => {
+            assert_eq!(
+                out.distances.as_slice(),
+                clean.distances.as_slice(),
+                "dask psa diverged"
+            );
+            note_pressure(&out.report);
+        }
+        Err(e) => assert!(is_typed_memory_error(&e), "dask psa: {e:?}"),
+    }
+
+    // Pilot LF.
+    let clean = lf_pilot(
+        &Session::new(cluster(FaultPlan::none())).unwrap(),
+        &positions,
+        &lf_cfg,
+    )
+    .unwrap();
+    let cap = (peak_footprint(&clean.report) / 2).max(1);
+    match lf_pilot(
+        &Session::new(cluster(memory_cap_plan(cap))).unwrap(),
+        &positions,
+        &lf_cfg,
+    ) {
+        Ok(out) => assert!(lf_matches(&clean, &out).is_ok(), "pilot lf diverged"),
+        Err(e) => assert!(is_typed_memory_error(&e), "pilot lf: {e:?}"),
+    }
+
+    // Pilot PSA.
+    let clean = psa_pilot(
+        &Session::new(cluster(FaultPlan::none())).unwrap(),
+        &ensemble,
+        &psa_cfg,
+    )
+    .unwrap();
+    let cap = (peak_footprint(&clean.report) / 2).max(1);
+    match psa_pilot(
+        &Session::new(cluster(memory_cap_plan(cap))).unwrap(),
+        &ensemble,
+        &psa_cfg,
+    ) {
+        Ok(out) => assert_eq!(
+            out.distances.as_slice(),
+            clean.distances.as_slice(),
+            "pilot psa diverged"
+        ),
+        Err(e) => assert!(is_typed_memory_error(&e), "pilot psa: {e:?}"),
+    }
+
+    // MPI LF and PSA: no resident ledger, so "peak footprint" is the
+    // bytes its collectives move; halving it forces chunking at least.
+    let clean = lf_mpi(
+        cluster(FaultPlan::none()),
+        16,
+        &positions,
+        LfApproach::Broadcast1D,
+        &lf_cfg,
+    )
+    .unwrap();
+    let moved =
+        (clean.report.bytes_broadcast + clean.report.bytes_shuffled).max(FALLBACK_FOOTPRINT);
+    match lf_mpi(
+        cluster(memory_cap_plan(moved / 2)),
+        16,
+        &positions,
+        LfApproach::Broadcast1D,
+        &lf_cfg,
+    ) {
+        Ok(out) => assert!(lf_matches(&clean, &out).is_ok(), "mpi lf diverged"),
+        Err(e) => assert!(is_typed_memory_error(&e), "mpi lf: {e:?}"),
+    }
+
+    let clean = psa_mpi(cluster(FaultPlan::none()), 8, &ensemble, &psa_cfg);
+    let moved =
+        (clean.report.bytes_broadcast + clean.report.bytes_shuffled).max(FALLBACK_FOOTPRINT);
+    match psa_mpi_with_policy(
+        cluster(memory_cap_plan(moved / 2)),
+        8,
+        &ensemble,
+        &psa_cfg,
+        &RetryPolicy::new(1),
+        true,
+    ) {
+        Ok(out) => assert_eq!(
+            out.distances.as_slice(),
+            clean.distances.as_slice(),
+            "mpi psa diverged"
+        ),
+        Err(e) => assert!(is_typed_memory_error(&e), "mpi psa: {e:?}"),
+    }
+
+    assert!(
+        pressure_engaged,
+        "a 50% cap should make at least one task engine spill, evict, \
+         recompute, or OOM — the memory model never engaged"
+    );
+}
