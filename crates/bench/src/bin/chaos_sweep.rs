@@ -32,16 +32,13 @@
 //!     --mem-plans 100 --metrics-out results/chaos_mem_metrics.json
 //! ```
 
-use dasklet::DaskClient;
 use mdsim::BilayerSpec;
-use mdtask_core::leaflet::{
-    lf_dask, lf_mpi_with_policy, lf_pilot, lf_spark, LfApproach, LfConfig, LfOutput,
-};
+use mdtask_core::leaflet::{LfApproach, LfConfig, LfOutput};
+use mdtask_core::run::{run_lf, RunConfig};
 use netsim::chaos::{fuzz, ChaosConfig, ChaosOutcome, Fingerprint, FuzzReport};
 use netsim::{laptop, Cluster, FaultPlan, RetryPolicy, SimReport};
-use pilot::Session;
-use sparklet::SparkContext;
 use std::sync::{Arc, Mutex};
+use taskframe::Engine;
 
 const MPI_WORLD: usize = 16;
 
@@ -76,37 +73,21 @@ fn fingerprint(out: &LfOutput) -> u64 {
     fp.finish()
 }
 
-struct Engine {
-    name: &'static str,
-    /// Deaths must land inside the engine's live window (startup + job).
-    death_window_s: (f64, f64),
+/// Deaths must land inside the engine's live window (startup + job).
+fn death_window(engine: Engine) -> (f64, f64) {
+    match engine {
+        Engine::Spark | Engine::Dask => (0.0, 3.0),
+        Engine::Pilot => (0.0, 40.0),
+        Engine::Mpi => (0.0, 1.5),
+    }
 }
-
-const ENGINES: [Engine; 4] = [
-    Engine {
-        name: "spark",
-        death_window_s: (0.0, 3.0),
-    },
-    Engine {
-        name: "dask",
-        death_window_s: (0.0, 3.0),
-    },
-    Engine {
-        name: "pilot",
-        death_window_s: (0.0, 40.0),
-    },
-    Engine {
-        name: "mpi",
-        death_window_s: (0.0, 1.5),
-    },
-];
 
 /// One LF run under `plan`; `traced` turns on the event trace (for the
 /// failure-replay artifact). `mem_battery` switches spark to the
 /// Broadcast1D approach, whose per-node replica reservations actually
 /// engage the memory ledger (ParallelCC neither broadcasts nor persists).
 fn run_engine(
-    name: &str,
+    engine: Engine,
     plan: &FaultPlan,
     positions: &Arc<Vec<linalg::Vec3>>,
     cfg: &LfConfig,
@@ -114,44 +95,19 @@ fn run_engine(
     mem_battery: bool,
 ) -> Result<ChaosOutcome, String> {
     let cluster = Cluster::new(laptop(), 2).with_faults(plan.clone());
-    let out = match name {
-        "spark" => {
-            let sc = SparkContext::new(cluster);
-            if traced {
-                sc.enable_trace();
-            }
-            let approach = if mem_battery {
-                LfApproach::Broadcast1D
-            } else {
-                LfApproach::ParallelCC
-            };
-            lf_spark(&sc, Arc::clone(positions), approach, cfg)
-        }
-        "dask" => {
-            let client = DaskClient::new(cluster);
-            if traced {
-                client.enable_trace();
-            }
-            lf_dask(&client, Arc::clone(positions), LfApproach::Task2D, cfg)
-        }
-        "pilot" => Session::new(cluster).and_then(|s| {
-            if traced {
-                s.enable_trace();
-            }
-            lf_pilot(&s, positions, cfg)
-        }),
-        "mpi" => lf_mpi_with_policy(
-            cluster,
-            MPI_WORLD,
-            positions,
-            LfApproach::Broadcast1D,
-            cfg,
-            &RetryPolicy::new(4).with_detection_delay(0.25),
-            true,
-        ),
-        other => panic!("unknown engine {other}"),
+    let approach = match engine {
+        Engine::Spark if !mem_battery => LfApproach::ParallelCC,
+        Engine::Dask => LfApproach::Task2D,
+        _ => LfApproach::Broadcast1D,
+    };
+    let mut rc = RunConfig::new(cluster, engine)
+        .approach(approach)
+        .trace(traced)
+        .mpi_world(MPI_WORLD);
+    if engine == Engine::Mpi {
+        rc = rc.retry_policy(RetryPolicy::new(4).with_detection_delay(0.25));
     }
-    .map_err(|e| format!("{e:?}"))?;
+    let out = run_lf(&rc, Arc::clone(positions), cfg).map_err(|e| format!("{e:?}"))?;
     Ok(ChaosOutcome {
         fingerprint: fingerprint(&out),
         report: out.report,
@@ -205,8 +161,8 @@ impl MemAgg {
 /// The fault-free peak footprint memory plans are scaled against. MPI
 /// keeps no resident ledger, so its proxy is the bytes its collectives
 /// move (which is what the fixed per-rank buffers must hold).
-fn fault_free_footprint(name: &str, positions: &Arc<Vec<linalg::Vec3>>, cfg: &LfConfig) -> u64 {
-    let outcome = run_engine(name, &FaultPlan::none(), positions, cfg, false, true)
+fn fault_free_footprint(engine: Engine, positions: &Arc<Vec<linalg::Vec3>>, cfg: &LfConfig) -> u64 {
+    let outcome = run_engine(engine, &FaultPlan::none(), positions, cfg, false, true)
         .expect("fault-free footprint probe must succeed");
     let r = &outcome.report;
     let peak = r.mem_high_water.iter().copied().max().unwrap_or(0);
@@ -228,23 +184,23 @@ fn write_artifact(path: &str, contents: &str) {
 }
 
 fn dump_failure_artifacts(
-    engine: &Engine,
+    engine: Engine,
     report: &FuzzReport,
     out_dir: &str,
     positions: &Arc<Vec<linalg::Vec3>>,
     cfg: &LfConfig,
 ) {
     write_artifact(
-        &format!("{out_dir}/chaos_failures_{}.json", engine.name),
+        &format!("{out_dir}/chaos_failures_{}.json", engine.label()),
         &report.to_json(),
     );
     // Replay the first shrunk counterexample with the event trace on, so
     // the CI artifact shows the recovery timeline that broke the oracle.
     if let Some(v) = report.violations.first() {
-        if let Ok(outcome) = run_engine(engine.name, &v.shrunk, positions, cfg, true, false) {
+        if let Ok(outcome) = run_engine(engine, &v.shrunk, positions, cfg, true, false) {
             if let Some(trace) = &outcome.report.trace {
                 write_artifact(
-                    &format!("{out_dir}/chaos_failure_{}.trace.json", engine.name),
+                    &format!("{out_dir}/chaos_failure_{}.trace.json", engine.label()),
                     &trace.to_chrome_json(),
                 );
             }
@@ -253,75 +209,62 @@ fn dump_failure_artifacts(
 }
 
 fn main() {
-    let mut plans = 200usize;
-    let mut mem_plans = 100usize;
-    let mut base_seed = 0u64;
-    let mut out_dir = String::from("results");
-    let mut metrics_out: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--plans" => {
-                plans = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--plans needs a positive integer");
-            }
-            "--mem-plans" => {
-                mem_plans = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--mem-plans needs a non-negative integer");
-            }
-            "--seed" => {
-                base_seed = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--seed needs an integer");
-            }
-            "--out-dir" => out_dir = args.next().expect("--out-dir needs a path"),
-            "--metrics-out" => {
-                metrics_out = Some(args.next().expect("--metrics-out needs a path"));
-            }
-            "--help" | "-h" => {
-                eprintln!(
-                    "flags: --plans N | --mem-plans N | --seed S | --out-dir PATH \
-                     | --metrics-out PATH"
-                );
-                std::process::exit(0);
-            }
-            other => panic!("unknown flag {other}"),
-        }
-    }
+    let args = bench::cli::Cli::new()
+        .value(
+            "--plans",
+            "N",
+            "mixed-battery plans per engine (default 200)",
+        )
+        .value(
+            "--mem-plans",
+            "N",
+            "memory-battery plans per engine (default 100)",
+        )
+        .value("--seed", "S", "base seed (default 0)")
+        .value(
+            "--out-dir",
+            "PATH",
+            "failure-artifact directory (default results)",
+        )
+        .parse();
+    let plans = args.usize_or("--plans", 200);
+    let mem_plans = args.usize_or("--mem-plans", 100);
+    let base_seed = args.u64_or("--seed", 0);
+    let out_dir = args.str_or("--out-dir", "results");
+    let metrics_out = args.metrics_out.clone();
+    let engines = args.engines();
 
     let (positions, cfg) = lf_workload();
     println!(
         "chaos sweep: {plans} seeded plans per engine (base seed {base_seed}), \
-         LF 200 atoms on 2 laptop nodes"
+         LF 200 atoms on 2 laptop nodes, {} host threads",
+        netsim::parallel::current_degree()
     );
     let mut failed = false;
-    for engine in &ENGINES {
+    for &engine in &engines {
         let mut ccfg = ChaosConfig::new(2, 8);
         ccfg.plans = plans;
         ccfg.base_seed = base_seed;
-        ccfg.death_window_s = engine.death_window_s;
+        ccfg.death_window_s = death_window(engine);
         // These workloads re-measure real closure durations each run, so
         // empty-plan reports carry µs-scale jitter; the data fingerprint
         // still must match exactly.
         ccfg.check_empty_plan_determinism = false;
+        // `fuzz` fans the plans out across host threads internally.
         let report = fuzz(&ccfg, |plan| {
-            run_engine(engine.name, plan, &positions, &cfg, false, false)
+            run_engine(engine, plan, &positions, &cfg, false, false)
         });
         if report.passed() {
             println!(
                 "  {:<6} {} plans, all oracles held",
-                engine.name, report.plans_run
+                engine.label(),
+                report.plans_run
             );
         } else {
             failed = true;
             println!(
                 "  {:<6} {} plans, {} VIOLATIONS",
-                engine.name,
+                engine.label(),
                 report.plans_run,
                 report.violations.len()
             );
@@ -340,8 +283,8 @@ fn main() {
             "memory battery: {mem_plans} seeded mem-shrink plans per engine \
              (base seed {base_seed}), caps scaled to fault-free footprints"
         );
-        for engine in &ENGINES {
-            let footprint = fault_free_footprint(engine.name, &positions, &cfg);
+        for &engine in &engines {
+            let footprint = fault_free_footprint(engine, &positions, &cfg);
             let mut ccfg = ChaosConfig::new(2, 8);
             ccfg.plans = mem_plans;
             ccfg.base_seed = base_seed;
@@ -350,13 +293,13 @@ fn main() {
             ccfg.lost_fetch_prob_max = 0.0;
             ccfg.max_mem_shrinks = 2;
             // Shrinks land inside the engine's live window, like deaths.
-            ccfg.mem_shrink_window_s = engine.death_window_s;
+            ccfg.mem_shrink_window_s = death_window(engine);
             ccfg.mem_per_node = footprint;
             ccfg.mem_shrink_frac = (0.25, 1.0);
             ccfg.check_empty_plan_determinism = false;
             let agg = Mutex::new(MemAgg::default());
             let report = fuzz(&ccfg, |plan| {
-                let res = run_engine(engine.name, plan, &positions, &cfg, false, true);
+                let res = run_engine(engine, plan, &positions, &cfg, false, true);
                 let mut a = agg.lock().unwrap();
                 match &res {
                     Ok(outcome) => a.absorb(&outcome.report),
@@ -365,12 +308,12 @@ fn main() {
                 res
             });
             let agg = agg.into_inner().unwrap();
-            metric_rows.push(agg.to_json(engine.name, footprint));
+            metric_rows.push(agg.to_json(engine.label(), footprint));
             if report.passed() {
                 println!(
                     "  {:<6} {} plans, all oracles held \
                      (spilled {} B, evicted {} B, {} recomputes, {} OOM, {} typed errors)",
-                    engine.name,
+                    engine.label(),
                     report.plans_run,
                     agg.bytes_spilled,
                     agg.bytes_evicted,
@@ -382,7 +325,7 @@ fn main() {
                 failed = true;
                 println!(
                     "  {:<6} {} plans, {} VIOLATIONS",
-                    engine.name,
+                    engine.label(),
                     report.plans_run,
                     report.violations.len()
                 );
@@ -390,7 +333,7 @@ fn main() {
                     println!("         seed {}: {}", v.seed, v.message);
                 }
                 write_artifact(
-                    &format!("{out_dir}/chaos_mem_failures_{}.json", engine.name),
+                    &format!("{out_dir}/chaos_mem_failures_{}.json", engine.label()),
                     &report.to_json(),
                 );
             }

@@ -13,13 +13,12 @@
 //! ```
 
 use bench::{cores_nodes_label, secs, Opts};
-use dasklet::DaskClient;
 use mdsim::{psa_ensemble, PsaSize};
-use mdtask_core::psa::{psa_dask, psa_mpi, psa_pilot, psa_spark, PsaConfig};
+use mdtask_core::psa::PsaConfig;
+use mdtask_core::run::{run_psa, RunConfig};
 use netsim::Cluster;
-use pilot::Session;
-use sparklet::SparkContext;
 use std::sync::Arc;
+use taskframe::Engine;
 
 fn main() {
     let opts = Opts::parse(16);
@@ -41,21 +40,16 @@ fn main() {
             let ensemble = Arc::new(psa_ensemble(size, count, opts.scale, 42));
             for &cores in &cores_axis {
                 let cfg = PsaConfig::for_cores(cores);
-                let cluster = || Cluster::with_cores(opts.machine.clone(), cores);
-
-                let mpi = psa_mpi(cluster(), cores, &ensemble, &cfg).report.makespan_s;
-                let spark = psa_spark(&SparkContext::new(cluster()), Arc::clone(&ensemble), &cfg)
-                    .expect("fault-free")
-                    .report
-                    .makespan_s;
-                let dask = psa_dask(&DaskClient::new(cluster()), Arc::clone(&ensemble), &cfg)
-                    .expect("fault-free")
-                    .report
-                    .makespan_s;
-                let rp = Session::new(cluster())
-                    .and_then(|s| psa_pilot(&s, &ensemble, &cfg))
-                    .map(|o| o.report.makespan_s);
-                let rp = rp.map(secs).unwrap_or_else(|_| "-".into());
+                let time = |engine| {
+                    let rc =
+                        RunConfig::new(Cluster::with_cores(opts.machine.clone(), cores), engine)
+                            .mpi_world(cores);
+                    run_psa(&rc, Arc::clone(&ensemble), &cfg).map(|o| o.report.makespan_s)
+                };
+                let mpi = time(Engine::Mpi).expect("fault-free");
+                let spark = time(Engine::Spark).expect("fault-free");
+                let dask = time(Engine::Dask).expect("fault-free");
+                let rp = time(Engine::Pilot).map(secs).unwrap_or_else(|_| "-".into());
 
                 println!(
                     "{:<8} {:<7} {:>9} | {:>10} {:>10} {:>10} {:>10}",

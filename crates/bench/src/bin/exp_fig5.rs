@@ -9,13 +9,12 @@
 //! ```
 
 use bench::{cores_nodes_label, secs, Opts};
-use dasklet::DaskClient;
 use mdsim::{psa_ensemble, PsaSize};
-use mdtask_core::psa::{psa_dask, psa_mpi, psa_pilot, psa_spark, PsaConfig};
+use mdtask_core::psa::PsaConfig;
+use mdtask_core::run::{run_psa, RunConfig};
 use netsim::{comet, wrangler, Cluster, MachineProfile};
-use pilot::Session;
-use sparklet::SparkContext;
 use std::sync::Arc;
+use taskframe::Engine;
 
 struct Series {
     name: &'static str,
@@ -48,28 +47,17 @@ fn run_machine(profile: MachineProfile, scale: usize, count: usize) {
         let mut cfg = PsaConfig::for_cores(cores);
         // Cannot have more groups than ensemble members (Algorithm 2).
         cfg.groups = cfg.groups.min(count);
-        let cluster = || Cluster::with_cores(profile.clone(), cores);
-        series[0]
-            .runtimes
-            .push(psa_mpi(cluster(), cores, &ensemble, &cfg).report.makespan_s);
-        series[1].runtimes.push(
-            psa_spark(&SparkContext::new(cluster()), Arc::clone(&ensemble), &cfg)
-                .expect("fault-free")
-                .report
-                .makespan_s,
-        );
-        series[2].runtimes.push(
-            psa_dask(&DaskClient::new(cluster()), Arc::clone(&ensemble), &cfg)
-                .expect("fault-free")
-                .report
-                .makespan_s,
-        );
-        series[3].runtimes.push(
-            Session::new(cluster())
-                .and_then(|s| psa_pilot(&s, &ensemble, &cfg))
+        let time = |engine| {
+            let rc = RunConfig::new(Cluster::with_cores(profile.clone(), cores), engine)
+                .mpi_world(cores);
+            run_psa(&rc, Arc::clone(&ensemble), &cfg)
                 .map(|o| o.report.makespan_s)
-                .unwrap_or(f64::NAN),
-        );
+                .unwrap_or(f64::NAN)
+        };
+        series[0].runtimes.push(time(Engine::Mpi));
+        series[1].runtimes.push(time(Engine::Spark));
+        series[2].runtimes.push(time(Engine::Dask));
+        series[3].runtimes.push(time(Engine::Pilot));
     }
 
     println!("\n--- {} ---", profile.name);

@@ -40,8 +40,10 @@ fn main() {
         "\n{:>6} | {:>12} {:>9} | {:>12} {:>9}",
         "cores", "GNU (s)", "speedup", "IntelO3 (s)", "speedup"
     );
-    let mut base: [f64; 2] = [0.0, 0.0];
-    for &cores in &cores_axis {
+    // Sweep points are independent simulations, so they fan out across
+    // host threads (`--threads`); results come back in axis order.
+    let rows = netsim::parallel::run_indexed(cores_axis.len(), |i| {
+        let cores = cores_axis[i];
         let run = |build: KernelBuild| {
             ensemble_psa(
                 Cluster::with_cores(haswell20(), cores),
@@ -52,18 +54,17 @@ fn main() {
             .report
             .makespan_s
         };
-        let gnu = run(KernelBuild::GnuNoOpt);
-        let intel = run(KernelBuild::IntelO3);
-        if cores == 1 {
-            base = [gnu, intel];
-        }
+        (run(KernelBuild::GnuNoOpt), run(KernelBuild::IntelO3))
+    });
+    let base = rows[0];
+    for (&cores, &(gnu, intel)) in cores_axis.iter().zip(&rows) {
         println!(
             "{:>6} | {:>12} {:>9.1} | {:>12} {:>9.1}",
             cores,
             secs(gnu),
-            base[0] / gnu,
+            base.0 / gnu,
             secs(intel),
-            base[1] / intel
+            base.1 / intel
         );
     }
     println!(

@@ -16,12 +16,12 @@
 //! ```
 
 use bench::{cores_nodes_label, secs, Opts};
-use dasklet::DaskClient;
 use mdsim::{lf_dataset, LfDatasetId};
-use mdtask_core::leaflet::{lf_dask, lf_mpi, lf_spark, LfApproach, LfConfig};
+use mdtask_core::leaflet::{LfApproach, LfConfig};
+use mdtask_core::run::{run_lf, RunConfig};
 use netsim::Cluster;
-use sparklet::SparkContext;
 use std::sync::Arc;
+use taskframe::Engine;
 
 fn main() {
     let opts = Opts::parse(32);
@@ -47,27 +47,18 @@ fn main() {
                 charge_io: true,
             };
             for &cores in &cores_axis {
-                let cluster = || Cluster::with_cores(opts.machine.clone(), cores);
-
-                let spark = lf_spark(
-                    &SparkContext::new(cluster()),
-                    Arc::clone(&positions),
-                    approach,
-                    &cfg,
-                )
-                .map(|o| secs(o.report.makespan_s))
-                .unwrap_or_else(|_| "OOM".into());
-                let dask = lf_dask(
-                    &DaskClient::new(cluster()),
-                    Arc::clone(&positions),
-                    approach,
-                    &cfg,
-                )
-                .map(|o| secs(o.report.makespan_s))
-                .unwrap_or_else(|_| "OOM".into());
-                let mpi = lf_mpi(cluster(), cores, &positions, approach, &cfg)
-                    .map(|o| secs(o.report.makespan_s))
-                    .unwrap_or_else(|_| "OOM".into());
+                let time = |engine| {
+                    let rc =
+                        RunConfig::new(Cluster::with_cores(opts.machine.clone(), cores), engine)
+                            .approach(approach)
+                            .mpi_world(cores);
+                    run_lf(&rc, Arc::clone(&positions), &cfg)
+                        .map(|o| secs(o.report.makespan_s))
+                        .unwrap_or_else(|_| "OOM".into())
+                };
+                let spark = time(Engine::Spark);
+                let dask = time(Engine::Dask);
+                let mpi = time(Engine::Mpi);
 
                 println!(
                     "{:<6} {:>9} | {:>12} {:>12} {:>12}",

@@ -11,12 +11,12 @@
 //! ```
 
 use bench::{cores_nodes_label, secs, Opts};
-use dasklet::DaskClient;
 use mdsim::{lf_dataset, LfDatasetId};
-use mdtask_core::leaflet::{lf_dask, lf_mpi, lf_spark, LfApproach, LfConfig};
+use mdtask_core::leaflet::{LfApproach, LfConfig};
+use mdtask_core::run::{run_lf, RunConfig};
 use netsim::Cluster;
-use sparklet::SparkContext;
 use std::sync::Arc;
+use taskframe::Engine;
 
 fn main() {
     let opts = Opts::parse(32);
@@ -41,30 +41,15 @@ fn main() {
             "cores/nd", "spark", "bcast", "%", "dask", "bcast", "%", "mpi", "bcast", "%"
         );
         for &cores in &cores_axis {
-            let cluster = || Cluster::with_cores(opts.machine.clone(), cores);
             let mut cells: Vec<String> = Vec::new();
-            // Spark
-            let s = lf_spark(
-                &SparkContext::new(cluster()),
-                Arc::clone(&positions),
-                LfApproach::Broadcast1D,
-                &cfg,
-            )
-            .expect("spark approach1 fits these sizes");
-            push_cells(&mut cells, &s.report);
-            // Dask
-            let d = lf_dask(
-                &DaskClient::new(cluster()),
-                Arc::clone(&positions),
-                LfApproach::Broadcast1D,
-                &cfg,
-            )
-            .expect("dask approach1 fits 131k/262k");
-            push_cells(&mut cells, &d.report);
-            // MPI
-            let m = lf_mpi(cluster(), cores, &positions, LfApproach::Broadcast1D, &cfg)
-                .expect("mpi approach1 fits these sizes");
-            push_cells(&mut cells, &m.report);
+            for engine in [Engine::Spark, Engine::Dask, Engine::Mpi] {
+                let rc = RunConfig::new(Cluster::with_cores(opts.machine.clone(), cores), engine)
+                    .approach(LfApproach::Broadcast1D)
+                    .mpi_world(cores);
+                let out =
+                    run_lf(&rc, Arc::clone(&positions), &cfg).expect("approach1 fits 131k/262k");
+                push_cells(&mut cells, &out.report);
+            }
 
             println!(
                 "{:>9} | {:>10} {:>10} {:>6} | {:>10} {:>10} {:>6} | {:>10} {:>10} {:>6}",
@@ -98,15 +83,13 @@ fn main() {
             charge_io: true,
         };
         let cores = 64;
-        let client = DaskClient::new(Cluster::with_cores(opts.machine.clone(), cores));
-        client.enable_trace();
-        let d = lf_dask(
-            &client,
-            Arc::new(system.positions),
-            LfApproach::Broadcast1D,
-            &cfg,
+        let rc = RunConfig::new(
+            Cluster::with_cores(opts.machine.clone(), cores),
+            Engine::Dask,
         )
-        .expect("traced dask run");
+        .approach(LfApproach::Broadcast1D)
+        .trace(true);
+        let d = run_lf(&rc, Arc::new(system.positions), &cfg).expect("traced dask run");
         let trace = d.report.trace.as_ref().expect("trace enabled");
         println!("\ncritical path (dask, approach 1, {cores} cores):");
         print!("{}", netsim::CriticalPath::from_trace(trace).render());

@@ -12,10 +12,11 @@
 
 use bench::{cores_nodes_label, secs, Opts};
 use mdsim::{lf_dataset, LfDatasetId};
-use mdtask_core::leaflet::{lf_pilot, LfConfig};
+use mdtask_core::leaflet::LfConfig;
+use mdtask_core::run::{run_lf, RunConfig};
 use netsim::Cluster;
-use pilot::Session;
 use std::sync::Arc;
+use taskframe::Engine;
 
 fn main() {
     let opts = Opts::parse(32);
@@ -50,9 +51,11 @@ fn main() {
     for &cores in &cores_axis {
         let mut row: Vec<String> = Vec::new();
         for (positions, cfg) in &datasets {
-            let session = Session::new(Cluster::with_cores(opts.machine.clone(), cores))
-                .expect("session boots");
-            let out = lf_pilot(&session, positions, cfg).expect("RP runs approach 2");
+            let rc = RunConfig::new(
+                Cluster::with_cores(opts.machine.clone(), cores),
+                Engine::Pilot,
+            );
+            let out = run_lf(&rc, Arc::clone(positions), cfg).expect("RP runs approach 2");
             row.push(secs(out.report.makespan_s));
         }
         println!(

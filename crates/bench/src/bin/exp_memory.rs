@@ -24,13 +24,12 @@
 //! ```
 
 use bench::secs;
-use dasklet::DaskClient;
 use mdsim::BilayerSpec;
-use mdtask_core::leaflet::{lf_dask, lf_mpi_with_policy, lf_pilot, lf_spark, LfApproach, LfConfig};
-use netsim::{laptop, Cluster, FaultPlan, RetryPolicy, SimReport};
-use pilot::Session;
-use sparklet::SparkContext;
+use mdtask_core::leaflet::{LfApproach, LfConfig};
+use mdtask_core::run::{run_lf, RunConfig};
+use netsim::{laptop, Cluster, FaultPlan, SimReport};
 use std::sync::Arc;
+use taskframe::Engine;
 
 /// Caps swept, as fractions of the fault-free peak footprint.
 const MEM_FRACS: [f64; 6] = [1.0, 0.75, 0.5, 0.35, 0.25, 0.15];
@@ -97,40 +96,40 @@ fn high_water(rep: &SimReport) -> u64 {
 }
 
 /// Sweep one engine: `run(plan)` returns the report of a capped run.
+/// Sweep points are independent, so they fan out across host threads
+/// (`--threads`); results come back in frac order regardless of degree.
 fn sweep<F>(
     engine: &'static str,
     degradation: &'static str,
     clean: &SimReport,
     fracs: &[f64],
-    mut run: F,
+    run: F,
 ) -> Series
 where
-    F: FnMut(FaultPlan) -> Result<SimReport, String>,
+    F: Fn(FaultPlan) -> Result<SimReport, String> + Sync,
 {
     let fp = footprint(clean);
-    let points = fracs
-        .iter()
-        .map(|&frac| {
-            let cap = ((fp as f64 * frac) as u64).max(1);
-            let outcome = match run(cap_plan(cap)) {
-                Ok(rep) => Outcome::Completed {
-                    makespan_s: rep.makespan_s,
-                    overhead_s: rep.makespan_s - clean.makespan_s,
-                    bytes_spilled: rep.bytes_spilled,
-                    bytes_evicted: rep.bytes_evicted,
-                    recomputed_partitions: rep.recomputed_partitions,
-                    oom_kills: rep.oom_kills,
-                    mem_high_water: high_water(&rep),
-                },
-                Err(e) => Outcome::Failed(e),
-            };
-            Point {
-                mem_frac: frac,
-                cap_bytes: cap,
-                outcome,
-            }
-        })
-        .collect();
+    let points = netsim::parallel::run_indexed(fracs.len(), |i| {
+        let frac = fracs[i];
+        let cap = ((fp as f64 * frac) as u64).max(1);
+        let outcome = match run(cap_plan(cap)) {
+            Ok(rep) => Outcome::Completed {
+                makespan_s: rep.makespan_s,
+                overhead_s: rep.makespan_s - clean.makespan_s,
+                bytes_spilled: rep.bytes_spilled,
+                bytes_evicted: rep.bytes_evicted,
+                recomputed_partitions: rep.recomputed_partitions,
+                oom_kills: rep.oom_kills,
+                mem_high_water: high_water(&rep),
+            },
+            Err(e) => Outcome::Failed(e),
+        };
+        Point {
+            mem_frac: frac,
+            cap_bytes: cap,
+            outcome,
+        }
+    });
     Series {
         engine,
         degradation,
@@ -159,70 +158,32 @@ fn lf_workload() -> (Arc<Vec<linalg::Vec3>>, LfConfig) {
     )
 }
 
-fn spark_series(positions: &Arc<Vec<linalg::Vec3>>, cfg: &LfConfig) -> Series {
-    let run = |plan: FaultPlan| {
-        lf_spark(
-            &SparkContext::new(cluster(plan)),
-            Arc::clone(positions),
-            LfApproach::Broadcast1D,
-            cfg,
-        )
-        .map(|o| o.report)
-        .map_err(|e| format!("{e:?}"))
-    };
-    let clean = run(FaultPlan::none()).expect("fault-free");
-    sweep(
-        "spark",
-        "evict+lineage-recompute+spill",
-        &clean,
-        &MEM_FRACS,
-        run,
-    )
+/// The paper-faithful degradation path each engine takes under pressure.
+fn degradation(engine: Engine) -> &'static str {
+    match engine {
+        Engine::Spark => "evict+lineage-recompute+spill",
+        Engine::Dask => "pause+spill",
+        Engine::Pilot => "admission-control",
+        Engine::Mpi => "chunk-or-fail",
+    }
 }
 
-fn dask_series(positions: &Arc<Vec<linalg::Vec3>>, cfg: &LfConfig) -> Series {
+fn engine_series(engine: Engine, positions: &Arc<Vec<linalg::Vec3>>, cfg: &LfConfig) -> Series {
     let run = |plan: FaultPlan| {
-        lf_dask(
-            &DaskClient::new(cluster(plan)),
-            Arc::clone(positions),
-            LfApproach::Broadcast1D,
-            cfg,
-        )
-        .map(|o| o.report)
-        .map_err(|e| format!("{e:?}"))
-    };
-    let clean = run(FaultPlan::none()).expect("fault-free");
-    sweep("dask", "pause+spill", &clean, &MEM_FRACS, run)
-}
-
-fn pilot_series(positions: &Arc<Vec<linalg::Vec3>>, cfg: &LfConfig) -> Series {
-    let run = |plan: FaultPlan| {
-        Session::new(cluster(plan))
-            .and_then(|s| lf_pilot(&s, positions, cfg))
+        let rc = RunConfig::new(cluster(plan), engine)
+            .approach(LfApproach::Broadcast1D)
+            .mpi_world(MPI_WORLD);
+        run_lf(&rc, Arc::clone(positions), cfg)
             .map(|o| o.report)
             .map_err(|e| format!("{e:?}"))
     };
     let clean = run(FaultPlan::none()).expect("fault-free");
-    sweep("pilot", "admission-control", &clean, &MEM_FRACS, run)
-}
-
-fn mpi_series(positions: &Arc<Vec<linalg::Vec3>>, cfg: &LfConfig) -> Series {
-    let policy = RetryPolicy::new(1);
-    let run = |plan: FaultPlan| {
-        lf_mpi_with_policy(
-            cluster(plan),
-            MPI_WORLD,
-            positions,
-            LfApproach::Broadcast1D,
-            cfg,
-            &policy,
-            true,
-        )
-        .map(|o| o.report)
-        .map_err(|e| format!("{e:?}"))
+    let fracs: &[f64] = if engine == Engine::Mpi {
+        &MPI_MEM_FRACS
+    } else {
+        &MEM_FRACS
     };
-    let clean = run(FaultPlan::none()).expect("fault-free");
-    sweep("mpi", "chunk-or-fail", &clean, &MPI_MEM_FRACS, run)
+    sweep(engine.label(), degradation(engine), &clean, fracs, run)
 }
 
 fn json_escape(s: &str) -> String {
@@ -314,18 +275,10 @@ fn print_series(s: &Series) {
 }
 
 fn main() {
-    let mut out_path = String::from("results/memory.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--out" => out_path = args.next().expect("--out needs a path"),
-            "--help" | "-h" => {
-                eprintln!("flags: --out PATH (default results/memory.json)");
-                std::process::exit(0);
-            }
-            other => panic!("unknown flag {other}"),
-        }
-    }
+    let args = bench::cli::Cli::new()
+        .value("--out", "PATH", "output path (default results/memory.json)")
+        .parse();
+    let out_path = args.str_or("--out", "results/memory.json");
 
     println!(
         "Memory sweep: both nodes capped at {MEM_FRACS:?} of each engine's \
@@ -333,12 +286,11 @@ fn main() {
          buffers; LF, 1000 atoms, 2 laptop nodes)"
     );
     let (positions, cfg) = lf_workload();
-    let series = vec![
-        spark_series(&positions, &cfg),
-        dask_series(&positions, &cfg),
-        pilot_series(&positions, &cfg),
-        mpi_series(&positions, &cfg),
-    ];
+    let series: Vec<Series> = args
+        .engines()
+        .into_iter()
+        .map(|engine| engine_series(engine, &positions, &cfg))
+        .collect();
     for s in &series {
         print_series(s);
     }

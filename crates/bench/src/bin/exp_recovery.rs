@@ -13,8 +13,8 @@
 //!
 //! * **Spark** — a two-shuffle RDD pipeline with and without
 //!   `checkpoint()` on the intermediate RDD (lineage truncation);
-//! * **MPI** — `lf_mpi_with_policy` restarting from the last collective
-//!   barrier vs from scratch.
+//! * **MPI** — `run_lf` with `.checkpoint_restart(true)` restarting from
+//!   the last collective barrier vs from scratch.
 //!
 //! Times are virtual; closures are re-measured each run, so cross-run
 //! makespan deltas carry µs-scale measurement jitter (negligible against
@@ -26,13 +26,13 @@
 //! ```
 
 use bench::secs;
-use dasklet::DaskClient;
 use mdsim::BilayerSpec;
-use mdtask_core::leaflet::{lf_dask, lf_mpi_with_policy, lf_pilot, lf_spark, LfApproach, LfConfig};
+use mdtask_core::leaflet::{LfApproach, LfConfig};
+use mdtask_core::run::{run_lf, RunConfig};
 use netsim::{laptop, Cluster, FaultPlan, RetryPolicy, SimReport};
-use pilot::Session;
 use sparklet::SparkContext;
 use std::sync::Arc;
+use taskframe::Engine;
 
 const DEATH_FRACS: [f64; 5] = [0.15, 0.35, 0.55, 0.75, 0.95];
 const MPI_WORLD: usize = 16;
@@ -114,31 +114,30 @@ fn shuffle_window(clean: &SimReport) -> (f64, f64) {
 }
 
 /// Sweep one engine: `run(plan)` returns the report of a faulty run.
-/// Deaths land at `DEATH_FRACS` fractions of `window`.
+/// Deaths land at `DEATH_FRACS` fractions of `window`. Sweep points are
+/// independent, so they fan out across host threads (`--threads`).
 fn sweep<F>(
     engine: &'static str,
     variant: &'static str,
     clean: &SimReport,
     window: (f64, f64),
-    mut run: F,
+    run: F,
 ) -> Series
 where
-    F: FnMut(FaultPlan) -> Result<SimReport, String>,
+    F: Fn(FaultPlan) -> Result<SimReport, String> + Sync,
 {
     let (win_start, win_end) = window;
-    let points = DEATH_FRACS
-        .iter()
-        .map(|&frac| {
-            let t_kill = win_start + frac * (win_end - win_start);
-            let rep = run(FaultPlan::none().kill_node(1, t_kill));
-            point(
-                frac,
-                t_kill,
-                clean.makespan_s,
-                rep.as_ref().map_err(Clone::clone),
-            )
-        })
-        .collect();
+    let points = netsim::parallel::run_indexed(DEATH_FRACS.len(), |i| {
+        let frac = DEATH_FRACS[i];
+        let t_kill = win_start + frac * (win_end - win_start);
+        let rep = run(FaultPlan::none().kill_node(1, t_kill));
+        point(
+            frac,
+            t_kill,
+            clean.makespan_s,
+            rep.as_ref().map_err(Clone::clone),
+        )
+    });
     Series {
         engine,
         variant,
@@ -166,110 +165,42 @@ fn lf_workload() -> (Arc<Vec<linalg::Vec3>>, LfConfig) {
     )
 }
 
-fn spark_series(positions: &Arc<Vec<linalg::Vec3>>, cfg: &LfConfig) -> Series {
-    let clean = lf_spark(
-        &SparkContext::new(cluster(FaultPlan::none())),
-        Arc::clone(positions),
-        LfApproach::Broadcast1D,
-        cfg,
-    )
-    .expect("fault-free");
-    sweep(
-        "spark",
-        "lineage",
-        &clean.report,
-        execution_window(&clean.report),
-        |plan| {
-            lf_spark(
-                &SparkContext::new(cluster(plan)),
-                Arc::clone(positions),
-                LfApproach::Broadcast1D,
-                cfg,
-            )
+/// One engine's recovery series. MPI gets a checkpointing axis
+/// (`from_barrier`), which the task engines ignore.
+fn engine_series(
+    engine: Engine,
+    positions: &Arc<Vec<linalg::Vec3>>,
+    cfg: &LfConfig,
+    from_barrier: bool,
+) -> Series {
+    let run = |plan: FaultPlan| {
+        let mut rc = RunConfig::new(cluster(plan), engine)
+            .approach(LfApproach::Broadcast1D)
+            .mpi_world(MPI_WORLD)
+            .checkpoint_restart(from_barrier);
+        if engine == Engine::Mpi {
+            rc = rc.retry_policy(RetryPolicy::new(5).with_detection_delay(0.25));
+        }
+        run_lf(&rc, Arc::clone(positions), cfg)
             .map(|o| o.report)
             .map_err(|e| format!("{e:?}"))
-        },
-    )
-}
-
-fn dask_series(positions: &Arc<Vec<linalg::Vec3>>, cfg: &LfConfig) -> Series {
-    let clean = lf_dask(
-        &DaskClient::new(cluster(FaultPlan::none())),
-        Arc::clone(positions),
-        LfApproach::Broadcast1D,
-        cfg,
-    )
-    .expect("fault-free");
-    sweep(
-        "dask",
-        "reschedule",
-        &clean.report,
-        execution_window(&clean.report),
-        |plan| {
-            lf_dask(
-                &DaskClient::new(cluster(plan)),
-                Arc::clone(positions),
-                LfApproach::Broadcast1D,
-                cfg,
-            )
-            .map(|o| o.report)
-            .map_err(|e| format!("{e:?}"))
-        },
-    )
-}
-
-fn pilot_series(positions: &Arc<Vec<linalg::Vec3>>, cfg: &LfConfig) -> Series {
-    let clean = lf_pilot(
-        &Session::new(cluster(FaultPlan::none())).expect("session"),
-        positions,
-        cfg,
-    )
-    .expect("fault-free");
+    };
+    let clean = run(FaultPlan::none()).expect("fault-free");
+    let variant = match engine {
+        Engine::Spark => "lineage",
+        Engine::Dask => "reschedule",
+        Engine::Pilot => "re-enqueue",
+        Engine::Mpi if from_barrier => "barrier-checkpoint",
+        Engine::Mpi => "from-scratch",
+    };
     // The pilot's phase bookkeeping sits at the tail of the run; the
     // at-risk window is the whole span after the 35 s bootstrap.
-    let window = (
-        taskframe::pilot_profile().startup_s,
-        clean.report.makespan_s,
-    );
-    sweep("pilot", "re-enqueue", &clean.report, window, |plan| {
-        Session::new(cluster(plan))
-            .and_then(|s| lf_pilot(&s, positions, cfg))
-            .map(|o| o.report)
-            .map_err(|e| format!("{e:?}"))
-    })
-}
-
-fn mpi_series(positions: &Arc<Vec<linalg::Vec3>>, cfg: &LfConfig, from_barrier: bool) -> Series {
-    let policy = RetryPolicy::new(5).with_detection_delay(0.25);
-    let clean = lf_mpi_with_policy(
-        cluster(FaultPlan::none()),
-        MPI_WORLD,
-        positions,
-        LfApproach::Broadcast1D,
-        cfg,
-        &policy,
-        from_barrier,
-    )
-    .expect("fault-free");
-    let variant = if from_barrier {
-        "barrier-checkpoint"
+    let window = if engine == Engine::Pilot {
+        (taskframe::pilot_profile().startup_s, clean.makespan_s)
     } else {
-        "from-scratch"
+        execution_window(&clean)
     };
-    let window = execution_window(&clean.report);
-    sweep("mpi", variant, &clean.report, window, |plan| {
-        lf_mpi_with_policy(
-            cluster(plan),
-            MPI_WORLD,
-            positions,
-            LfApproach::Broadcast1D,
-            cfg,
-            &policy,
-            from_barrier,
-        )
-        .map(|o| o.report)
-        .map_err(|e| format!("{e:?}"))
-    })
+    sweep(engine.label(), variant, &clean, window, run)
 }
 
 /// The checkpoint axis for Spark: two chained shuffles over bulky records,
@@ -388,33 +319,32 @@ fn print_series(s: &Series) {
 }
 
 fn main() {
-    let mut out_path = String::from("results/recovery.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--out" => out_path = args.next().expect("--out needs a path"),
-            "--help" | "-h" => {
-                eprintln!("flags: --out PATH (default results/recovery.json)");
-                std::process::exit(0);
-            }
-            other => panic!("unknown flag {other}"),
-        }
-    }
+    let args = bench::cli::Cli::new()
+        .value(
+            "--out",
+            "PATH",
+            "output path (default results/recovery.json)",
+        )
+        .parse();
+    let out_path = args.str_or("--out", "results/recovery.json");
 
     println!(
         "Recovery sweep: node 1 killed at {DEATH_FRACS:?} of each engine's \
          clean execution window (LF Broadcast1D, 1000 atoms, 2 laptop nodes)"
     );
     let (positions, cfg) = lf_workload();
-    let series = vec![
-        spark_series(&positions, &cfg),
-        dask_series(&positions, &cfg),
-        pilot_series(&positions, &cfg),
-        mpi_series(&positions, &cfg, true),
-        mpi_series(&positions, &cfg, false),
-        spark_checkpoint_series(false),
-        spark_checkpoint_series(true),
-    ];
+    let mut series = Vec::new();
+    for engine in args.engines() {
+        series.push(engine_series(engine, &positions, &cfg, true));
+        if engine == Engine::Mpi {
+            // MPI's checkpointing axis: restart from scratch as well.
+            series.push(engine_series(engine, &positions, &cfg, false));
+        }
+    }
+    if args.engine.is_none() || args.engine == Some(Engine::Spark) {
+        series.push(spark_checkpoint_series(false));
+        series.push(spark_checkpoint_series(true));
+    }
     for s in &series {
         print_series(s);
     }

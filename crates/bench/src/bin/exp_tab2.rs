@@ -8,10 +8,11 @@
 
 use bench::Opts;
 use mdsim::{lf_dataset, LfDatasetId};
-use mdtask_core::leaflet::{lf_spark, LfApproach, LfConfig};
+use mdtask_core::leaflet::{LfApproach, LfConfig};
+use mdtask_core::run::{run_lf, RunConfig};
 use netsim::Cluster;
-use sparklet::SparkContext;
 use std::sync::Arc;
+use taskframe::Engine;
 
 fn main() {
     let opts = Opts::parse(32);
@@ -60,8 +61,9 @@ fn main() {
         ),
     ];
     for (approach, part, map, reduce) in static_rows {
-        let sc = SparkContext::new(Cluster::new(opts.machine.clone(), 4));
-        match lf_spark(&sc, Arc::clone(&positions), approach, &cfg) {
+        let rc =
+            RunConfig::new(Cluster::new(opts.machine.clone(), 4), Engine::Spark).approach(approach);
+        match run_lf(&rc, Arc::clone(&positions), &cfg) {
             Ok(out) => println!(
                 "{:<34} {:<6} {:<38} {:>12} {:>9} | {:>14}",
                 approach.label(),

@@ -1,0 +1,288 @@
+//! Host-parallel speedup measurement (PR-5 tentpole): wall-clock of the
+//! chaos battery and a PSA block sweep, serial vs parallel, with the
+//! determinism oracle checked in both modes.
+//!
+//! Two batteries:
+//!
+//! 1. **chaos**: the chaos-fuzzing harness (`netsim::chaos::fuzz`, which
+//!    fans its plans out across host threads) runs `--plans` seeded fault
+//!    plans against every engine's Leaflet Finder, once with the pool
+//!    forced serial and once at `--threads` (default: one per host core).
+//! 2. **psa-blocks**: a sweep of independent PSA runs (group-count ×
+//!    seed grid) fanned out with `netsim::parallel::run_indexed`; the
+//!    per-point Hausdorff fingerprints must be identical in both modes.
+//!
+//! Results land in `--out` (default `results/host_parallel.json`) with
+//! the host core count, per-battery wall-clocks and speedups. With
+//! `--min-speedup X` the binary exits 1 if the combined speedup falls
+//! below X — the CI smoke runs it on the full battery with X = 1.0 to
+//! assert parallel execution actually beats serial.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin host_parallel
+//! cargo run -p bench --release --bin host_parallel -- \
+//!     --plans 200 --min-speedup 1.0 --out results/host_parallel.json
+//! ```
+
+use mdsim::{BilayerSpec, ChainSpec};
+use mdtask_core::leaflet::{LfApproach, LfConfig, LfOutput};
+use mdtask_core::psa::PsaConfig;
+use mdtask_core::run::{run_lf, run_psa, RunConfig};
+use netsim::chaos::{fuzz, ChaosConfig, ChaosOutcome, Fingerprint};
+use netsim::parallel::with_degree;
+use netsim::{laptop, Cluster, RetryPolicy, Threads};
+use std::sync::Arc;
+use std::time::Instant;
+use taskframe::Engine;
+
+const MPI_WORLD: usize = 16;
+
+fn lf_workload() -> (Arc<Vec<linalg::Vec3>>, LfConfig) {
+    let b = mdsim::bilayer::generate(
+        &BilayerSpec {
+            n_atoms: 200,
+            ..Default::default()
+        },
+        7,
+    );
+    (
+        Arc::new(b.positions),
+        LfConfig {
+            cutoff: b.suggested_cutoff,
+            partitions: 8,
+            paper_atoms: 200,
+            charge_io: false,
+        },
+    )
+}
+
+fn fingerprint(out: &LfOutput) -> u64 {
+    let mut fp = Fingerprint::new();
+    for &s in &out.leaflet_sizes {
+        fp.write_usize(s);
+    }
+    fp.write_usize(out.n_components);
+    fp.write_u64(out.edges_found);
+    fp.finish()
+}
+
+fn death_window(engine: Engine) -> (f64, f64) {
+    match engine {
+        Engine::Spark | Engine::Dask => (0.0, 3.0),
+        Engine::Pilot => (0.0, 40.0),
+        Engine::Mpi => (0.0, 1.5),
+    }
+}
+
+/// The chaos battery: `plans` seeded fault plans against each engine.
+/// Returns the number of fuzz violations (must be 0 in both modes).
+fn chaos_battery(
+    engines: &[Engine],
+    plans: usize,
+    positions: &Arc<Vec<linalg::Vec3>>,
+    cfg: &LfConfig,
+) -> usize {
+    let mut violations = 0;
+    for &engine in engines {
+        let mut ccfg = ChaosConfig::new(2, 8);
+        ccfg.plans = plans;
+        ccfg.death_window_s = death_window(engine);
+        ccfg.check_empty_plan_determinism = false;
+        let report = fuzz(&ccfg, |plan| {
+            let cluster = Cluster::new(laptop(), 2).with_faults(plan.clone());
+            let approach = match engine {
+                Engine::Spark => LfApproach::ParallelCC,
+                Engine::Dask => LfApproach::Task2D,
+                _ => LfApproach::Broadcast1D,
+            };
+            let mut rc = RunConfig::new(cluster, engine)
+                .approach(approach)
+                .mpi_world(MPI_WORLD);
+            if engine == Engine::Mpi {
+                rc = rc.retry_policy(RetryPolicy::new(4).with_detection_delay(0.25));
+            }
+            let out = run_lf(&rc, Arc::clone(positions), cfg).map_err(|e| format!("{e:?}"))?;
+            Ok(ChaosOutcome {
+                fingerprint: fingerprint(&out),
+                report: out.report,
+            })
+        });
+        violations += report.violations.len();
+    }
+    violations
+}
+
+/// The PSA block sweep: a grid of independent (groups, seed) runs fanned
+/// out with `run_indexed`. Returns per-point data fingerprints.
+fn psa_block_sweep(points: usize) -> Vec<u64> {
+    let spec = ChainSpec {
+        n_atoms: 10,
+        n_frames: 5,
+        stride: 1,
+        ..ChainSpec::default()
+    };
+    netsim::parallel::run_indexed(points, |i| {
+        let groups = 1 + i % 4;
+        let seed = (i / 4) as u64;
+        let ensemble = Arc::new(mdsim::chain::generate_ensemble(&spec, 4, seed));
+        let cfg = PsaConfig {
+            groups,
+            charge_io: true,
+        };
+        let rc = RunConfig::new(Cluster::new(laptop(), 2), Engine::Spark);
+        let out = run_psa(&rc, ensemble, &cfg).expect("fault-free");
+        let mut fp = Fingerprint::new();
+        for &d in out.distances.as_slice() {
+            fp.write_f64(d);
+        }
+        fp.finish()
+    })
+}
+
+struct Battery {
+    name: &'static str,
+    serial_s: f64,
+    parallel_s: f64,
+}
+
+impl Battery {
+    fn speedup(&self) -> f64 {
+        self.serial_s / self.parallel_s
+    }
+}
+
+fn main() {
+    let args = bench::cli::Cli::new()
+        .value("--plans", "N", "chaos plans per engine (default 200)")
+        .value("--psa-points", "N", "PSA sweep points (default 64)")
+        .value(
+            "--min-speedup",
+            "X",
+            "fail unless combined speedup >= X (default: record only)",
+        )
+        .value(
+            "--out",
+            "PATH",
+            "output path (default results/host_parallel.json)",
+        )
+        .parse();
+    let plans = args.usize_or("--plans", 200);
+    let psa_points = args.usize_or("--psa-points", 64);
+    let min_speedup = args.f64_or("--min-speedup", 0.0);
+    let out_path = args.str_or("--out", "results/host_parallel.json");
+    let engines = args.engines();
+
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let parallel_threads = args.threads.unwrap_or(Threads::Auto);
+    let degree = parallel_threads.resolve();
+    // The modelled virtual time must not depend on the pool: keep the
+    // measured host durations out of the task-cost feedback so both legs
+    // simulate the identical schedule and the fuzz oracles stay exact.
+    netsim::set_deterministic_timing(true);
+    println!(
+        "host-parallel benchmark: {host_cores} host cores, parallel leg at \
+         {degree} threads; chaos {plans} plans x {} engines, PSA {psa_points} points",
+        engines.len()
+    );
+
+    let (positions, cfg) = lf_workload();
+    let mut batteries = Vec::new();
+
+    let t = Instant::now();
+    let serial_viol = with_degree(Threads::Serial, || {
+        chaos_battery(&engines, plans, &positions, &cfg)
+    });
+    let serial_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let par_viol = with_degree(parallel_threads, || {
+        chaos_battery(&engines, plans, &positions, &cfg)
+    });
+    let parallel_s = t.elapsed().as_secs_f64();
+    assert_eq!(
+        serial_viol, 0,
+        "chaos battery must pass its oracles serially"
+    );
+    assert_eq!(
+        par_viol, 0,
+        "chaos battery must pass its oracles in parallel"
+    );
+    batteries.push(Battery {
+        name: "chaos_sweep",
+        serial_s,
+        parallel_s,
+    });
+
+    let t = Instant::now();
+    let serial_fps = with_degree(Threads::Serial, || psa_block_sweep(psa_points));
+    let serial_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let par_fps = with_degree(parallel_threads, || psa_block_sweep(psa_points));
+    let parallel_s = t.elapsed().as_secs_f64();
+    assert_eq!(
+        serial_fps, par_fps,
+        "PSA sweep fingerprints must be identical serial vs parallel"
+    );
+    batteries.push(Battery {
+        name: "psa_block_sweep",
+        serial_s,
+        parallel_s,
+    });
+
+    let total_serial: f64 = batteries.iter().map(|b| b.serial_s).sum();
+    let total_parallel: f64 = batteries.iter().map(|b| b.parallel_s).sum();
+    let combined = total_serial / total_parallel;
+
+    println!(
+        "\n{:<16} {:>10} {:>10} {:>8}",
+        "battery", "serial", "parallel", "speedup"
+    );
+    for b in &batteries {
+        println!(
+            "{:<16} {:>9.2}s {:>9.2}s {:>7.2}x",
+            b.name,
+            b.serial_s,
+            b.parallel_s,
+            b.speedup()
+        );
+    }
+    println!(
+        "{:<16} {total_serial:>9.2}s {total_parallel:>9.2}s {combined:>7.2}x",
+        "combined"
+    );
+
+    let mut json = format!(
+        "{{\n  \"host_cores\": {host_cores},\n  \"parallel_threads\": {degree},\n  \
+         \"chaos_plans_per_engine\": {plans},\n  \"engines\": {},\n  \
+         \"psa_points\": {psa_points},\n  \"determinism_checked\": true,\n  \"batteries\": [\n",
+        engines.len()
+    );
+    for (i, b) in batteries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"serial_s\": {:.3}, \"parallel_s\": {:.3}, \
+             \"speedup\": {:.3}}}{}\n",
+            b.name,
+            b.serial_s,
+            b.parallel_s,
+            b.speedup(),
+            if i + 1 < batteries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"combined_speedup\": {combined:.3},\n  \"min_speedup_required\": {min_speedup}\n}}\n"
+    ));
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write host_parallel.json");
+    eprintln!("wrote {out_path}");
+
+    if combined < min_speedup {
+        eprintln!(
+            "FAILED: combined speedup {combined:.2}x below required {min_speedup:.2}x \
+             ({host_cores} host cores)"
+        );
+        std::process::exit(1);
+    }
+}

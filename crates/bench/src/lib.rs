@@ -19,6 +19,8 @@
 
 use netsim::{comet, wrangler, MachineProfile, Metrics, SimReport};
 
+pub mod cli;
+
 /// Parsed command-line options.
 #[derive(Clone, Debug)]
 pub struct Opts {
@@ -26,54 +28,39 @@ pub struct Opts {
     pub machine: MachineProfile,
     pub trace_out: Option<String>,
     pub metrics_out: Option<String>,
+    /// `--engine` filter: `None` means every engine the binary covers.
+    pub engine: Option<taskframe::Engine>,
+    /// `--threads` as given (already installed as the process default).
+    pub threads: Option<netsim::Threads>,
 }
 
 impl Opts {
     /// Parse `std::env::args`, with a default scale divisor.
     pub fn parse(default_scale: usize) -> Opts {
-        let mut scale = default_scale;
-        let mut machine = wrangler();
-        let mut trace_out = None;
-        let mut metrics_out = None;
-        let mut args = std::env::args().skip(1);
-        while let Some(a) = args.next() {
-            match a.as_str() {
-                "--scale" => {
-                    scale = args
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--scale needs a positive integer");
-                    assert!(scale >= 1, "--scale must be >= 1");
-                }
-                "--full" => scale = 1,
-                "--machine" => {
-                    machine = match args.next().as_deref() {
-                        Some("comet") => comet(),
-                        Some("wrangler") => wrangler(),
-                        other => panic!("unknown machine {other:?}"),
-                    };
-                }
-                "--trace-out" => {
-                    trace_out = Some(args.next().expect("--trace-out needs a path"));
-                }
-                "--metrics-out" => {
-                    metrics_out = Some(args.next().expect("--metrics-out needs a path"));
-                }
-                "--help" | "-h" => {
-                    eprintln!(
-                        "flags: --scale N | --full | --machine comet|wrangler \
-                         | --trace-out PATH | --metrics-out PATH"
-                    );
-                    std::process::exit(0);
-                }
-                other => panic!("unknown flag {other}"),
-            }
-        }
+        let args = cli::Cli::new()
+            .value("--scale", "N", "divide dataset sizes by N")
+            .switch("--full", "paper-sized datasets (scale = 1)")
+            .value("--machine", "comet|wrangler", "machine profile")
+            .parse();
+        let scale = if args.has("--full") {
+            1
+        } else {
+            let s = args.usize_or("--scale", default_scale);
+            assert!(s >= 1, "--scale must be >= 1");
+            s
+        };
+        let machine = match args.get("--machine") {
+            None | Some("wrangler") => wrangler(),
+            Some("comet") => comet(),
+            Some(other) => panic!("unknown machine {other:?}"),
+        };
         Opts {
             scale,
             machine,
-            trace_out,
-            metrics_out,
+            trace_out: args.trace_out.clone(),
+            metrics_out: args.metrics_out.clone(),
+            engine: args.engine,
+            threads: args.threads,
         }
     }
 

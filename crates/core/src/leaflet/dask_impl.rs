@@ -12,7 +12,17 @@ use std::sync::Arc;
 use taskframe::{EngineError, TaskCtx};
 
 /// Run the Leaflet Finder on Dask with the chosen approach.
+#[deprecated(note = "use mdtask_core::run::{RunConfig, run_lf} instead")]
 pub fn lf_dask(
+    client: &DaskClient,
+    positions: Arc<Vec<Vec3>>,
+    approach: LfApproach,
+    cfg: &LfConfig,
+) -> Result<LfOutput, EngineError> {
+    lf_dask_impl(client, positions, approach, cfg)
+}
+
+pub(crate) fn lf_dask_impl(
     client: &DaskClient,
     positions: Arc<Vec<Vec3>>,
     approach: LfApproach,
@@ -29,10 +39,11 @@ pub fn lf_dask(
             let strips = plan_1d(n, cfg.partitions);
             let cutoff = cfg.cutoff;
             client.set_phase("edge-discovery");
-            let tasks: Vec<Delayed<Vec<(u32, u32)>>> = strips
+            let fs: Vec<_> = strips
                 .iter()
-                .map(|&s| client.delayed_after(&bc, move |all, _ctx| strip_edges(all, s, cutoff)))
+                .map(|&s| move |all: &Vec<Vec3>, _ctx: &TaskCtx| strip_edges(all, s, cutoff))
                 .collect();
+            let tasks: Vec<Delayed<Vec<(u32, u32)>>> = client.delayed_after_many(&bc, fs);
             let t0 = client.now();
             let (parts, t1) = client.try_gather(&tasks)?;
             client.note_phase("edge-discovery", t0, t1);
@@ -93,13 +104,13 @@ fn edge_tasks(
     tree: bool,
 ) -> Vec<Delayed<Vec<(u32, u32)>>> {
     let net = client.cluster().profile.network;
-    blocks
+    let fs: Vec<_> = blocks
         .iter()
         .map(|&b| {
             let pos = Arc::clone(positions);
             let cutoff = cfg.cutoff;
             let charge_io = cfg.charge_io;
-            client.delayed(move |ctx: &TaskCtx| {
+            move |ctx: &TaskCtx| {
                 if charge_io {
                     ctx.charge(net.transfer_time(block_input_bytes(b), false));
                 }
@@ -108,9 +119,10 @@ fn edge_tasks(
                 } else {
                     block_edges(&pos, b, cutoff)
                 }
-            })
+            }
         })
-        .collect()
+        .collect();
+    client.delayed_many(fs)
 }
 
 /// Approaches 3–4: per-block partial components merged by a binary
@@ -128,7 +140,7 @@ fn run_partial_cc(
     let shuffle_bytes = Arc::new(std::sync::atomic::AtomicU64::new(0));
     client.set_phase("edge-discovery+partial-cc");
     let t0 = client.now();
-    let mut level: Vec<Delayed<Vec<Vec<u32>>>> = blocks
+    let fs: Vec<_> = blocks
         .iter()
         .map(|&b| {
             let pos = Arc::clone(positions);
@@ -136,7 +148,7 @@ fn run_partial_cc(
             let charge_io = cfg.charge_io;
             let ec = Arc::clone(&edges_found);
             let sb = Arc::clone(&shuffle_bytes);
-            client.delayed(move |ctx: &TaskCtx| {
+            move |ctx: &TaskCtx| {
                 if charge_io {
                     ctx.charge(net.transfer_time(block_input_bytes(b), false));
                 }
@@ -149,9 +161,10 @@ fn run_partial_cc(
                 let partial = partial_components(&edges);
                 sb.fetch_add(partial.wire_bytes(), std::sync::atomic::Ordering::Relaxed);
                 partial.components
-            })
+            }
         })
         .collect();
+    let mut level: Vec<Delayed<Vec<Vec<u32>>>> = client.delayed_many(fs);
     while level.len() > 1 {
         let mut next = Vec::with_capacity(level.len().div_ceil(2));
         let mut it = level.into_iter();

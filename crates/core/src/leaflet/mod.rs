@@ -21,12 +21,21 @@ mod mpi_impl;
 mod pilot_impl;
 mod spark_impl;
 
+#[allow(deprecated)]
 pub use dask_impl::lf_dask;
 pub use gates::{check_feasible, task_mem_budget, worker_mem};
 pub use kernels::{block_edges, block_edges_indexed, block_edges_tree, strip_edges};
+#[allow(deprecated)]
 pub use mpi_impl::{lf_mpi, lf_mpi_with_policy};
+#[allow(deprecated)]
 pub use pilot_impl::lf_pilot;
+#[allow(deprecated)]
 pub use spark_impl::lf_spark;
+
+pub(crate) use dask_impl::lf_dask_impl;
+pub(crate) use mpi_impl::lf_mpi_with_policy_impl;
+pub(crate) use pilot_impl::lf_pilot_impl;
+pub(crate) use spark_impl::lf_spark_impl;
 
 use graphops::connected_components_uf;
 use linalg::Vec3;
@@ -202,12 +211,11 @@ mod tests {
 #[cfg(test)]
 mod engine_tests {
     use super::*;
-    use dasklet::DaskClient;
+    use crate::run::{run_lf, RunConfig};
     use mdsim::{bilayer, BilayerSpec};
     use netsim::{laptop, Cluster};
-    use pilot::Session;
-    use sparklet::SparkContext;
     use std::sync::Arc;
+    use taskframe::Engine;
 
     fn system() -> (Arc<Vec<Vec3>>, LfConfig) {
         let b = bilayer::generate(
@@ -235,9 +243,9 @@ mod engine_tests {
         let (pos, cfg) = system();
         let reference = lf_serial(&pos, cfg.cutoff);
         for approach in LfApproach::ALL {
-            let sc = SparkContext::new(cluster());
-            let out = lf_spark(&sc, Arc::clone(&pos), approach, &cfg)
-                .unwrap_or_else(|e| panic!("{approach:?}: {e}"));
+            let rc = RunConfig::new(cluster(), Engine::Spark).approach(approach);
+            let out =
+                run_lf(&rc, Arc::clone(&pos), &cfg).unwrap_or_else(|e| panic!("{approach:?}: {e}"));
             assert_eq!(out.leaflet_sizes, reference.leaflet_sizes, "{approach:?}");
             assert_eq!(out.n_components, 2, "{approach:?}");
             assert_eq!(out.edges_found, reference.edges_found, "{approach:?}");
@@ -250,9 +258,9 @@ mod engine_tests {
         let (pos, cfg) = system();
         let reference = lf_serial(&pos, cfg.cutoff);
         for approach in LfApproach::ALL {
-            let client = DaskClient::new(cluster());
-            let out = lf_dask(&client, Arc::clone(&pos), approach, &cfg)
-                .unwrap_or_else(|e| panic!("{approach:?}: {e}"));
+            let rc = RunConfig::new(cluster(), Engine::Dask).approach(approach);
+            let out =
+                run_lf(&rc, Arc::clone(&pos), &cfg).unwrap_or_else(|e| panic!("{approach:?}: {e}"));
             assert_eq!(out.leaflet_sizes, reference.leaflet_sizes, "{approach:?}");
             assert_eq!(out.edges_found, reference.edges_found, "{approach:?}");
         }
@@ -263,8 +271,11 @@ mod engine_tests {
         let (pos, cfg) = system();
         let reference = lf_serial(&pos, cfg.cutoff);
         for approach in LfApproach::ALL {
-            let out = lf_mpi(cluster(), 4, &pos, approach, &cfg)
-                .unwrap_or_else(|e| panic!("{approach:?}: {e}"));
+            let rc = RunConfig::new(cluster(), Engine::Mpi)
+                .approach(approach)
+                .mpi_world(4);
+            let out =
+                run_lf(&rc, Arc::clone(&pos), &cfg).unwrap_or_else(|e| panic!("{approach:?}: {e}"));
             assert_eq!(out.leaflet_sizes, reference.leaflet_sizes, "{approach:?}");
             assert_eq!(out.edges_found, reference.edges_found, "{approach:?}");
         }
@@ -274,8 +285,8 @@ mod engine_tests {
     fn pilot_approach2_matches_serial() {
         let (pos, cfg) = system();
         let reference = lf_serial(&pos, cfg.cutoff);
-        let session = Session::new(cluster()).unwrap();
-        let out = lf_pilot(&session, &pos, &cfg).unwrap();
+        let rc = RunConfig::new(cluster(), Engine::Pilot);
+        let out = run_lf(&rc, Arc::clone(&pos), &cfg).unwrap();
         assert_eq!(out.leaflet_sizes, reference.leaflet_sizes);
         assert_eq!(out.edges_found, reference.edges_found);
         assert!(out.report.bytes_staged > 0, "pilot stages block slices");
@@ -286,10 +297,10 @@ mod engine_tests {
         // Table 2 / §4.3.3: shuffling partial components moves less data
         // than shuffling the edge list.
         let (pos, cfg) = system();
-        let sc2 = SparkContext::new(cluster());
-        let a2 = lf_spark(&sc2, Arc::clone(&pos), LfApproach::Task2D, &cfg).unwrap();
-        let sc3 = SparkContext::new(cluster());
-        let a3 = lf_spark(&sc3, Arc::clone(&pos), LfApproach::ParallelCC, &cfg).unwrap();
+        let rc2 = RunConfig::new(cluster(), Engine::Spark).approach(LfApproach::Task2D);
+        let a2 = run_lf(&rc2, Arc::clone(&pos), &cfg).unwrap();
+        let rc3 = RunConfig::new(cluster(), Engine::Spark).approach(LfApproach::ParallelCC);
+        let a3 = run_lf(&rc3, Arc::clone(&pos), &cfg).unwrap();
         // The paper reports >50% with pickled Python tuples (~28 B/edge);
         // our compact 8 B/edge encoding shrinks the baseline, so the
         // reduction is smaller but must still be real.
@@ -304,13 +315,16 @@ mod engine_tests {
     #[test]
     fn broadcast_phase_recorded_for_approach1() {
         let (pos, cfg) = system();
-        let sc = SparkContext::new(cluster());
-        let out = lf_spark(&sc, Arc::clone(&pos), LfApproach::Broadcast1D, &cfg).unwrap();
+        let rc = RunConfig::new(cluster(), Engine::Spark).approach(LfApproach::Broadcast1D);
+        let out = run_lf(&rc, Arc::clone(&pos), &cfg).unwrap();
         assert!(out.report.phase_duration("broadcast").is_some());
         assert!(out.report.phase_duration("edge-discovery").is_some());
         assert!(out.report.phase_duration("connected-components").is_some());
 
-        let out = lf_mpi(cluster(), 4, &pos, LfApproach::Broadcast1D, &cfg).unwrap();
+        let rc = RunConfig::new(cluster(), Engine::Mpi)
+            .approach(LfApproach::Broadcast1D)
+            .mpi_world(4);
+        let out = run_lf(&rc, Arc::clone(&pos), &cfg).unwrap();
         assert!(out.report.phase_duration("broadcast").is_some());
     }
 
@@ -328,8 +342,8 @@ mod engine_tests {
             paper_atoms: 400,
             charge_io: false,
         };
-        let sc = SparkContext::new(cluster());
-        let out = lf_spark(&sc, Arc::new(b.positions), LfApproach::TreeSearch, &cfg).unwrap();
+        let rc = RunConfig::new(cluster(), Engine::Spark).approach(LfApproach::TreeSearch);
+        let out = run_lf(&rc, Arc::new(b.positions), &cfg).unwrap();
         let mut expect = vec![up, lo];
         expect.sort_unstable_by(|a, b| b.cmp(a));
         assert_eq!(out.leaflet_sizes, expect);

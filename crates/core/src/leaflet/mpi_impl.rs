@@ -20,6 +20,7 @@ type RankOut = (Vec<(u32, u32)>, Vec<Vec<u32>>, u64);
 
 /// Run the Leaflet Finder on MPI with `world` ranks. Default MPI posture:
 /// one attempt, so any node death aborts with `WorkerLost`.
+#[deprecated(note = "use mdtask_core::run::{RunConfig, run_lf} instead")]
 pub fn lf_mpi(
     cluster: Cluster,
     world: usize,
@@ -27,7 +28,17 @@ pub fn lf_mpi(
     approach: LfApproach,
     cfg: &LfConfig,
 ) -> Result<LfOutput, EngineError> {
-    lf_mpi_with_policy(
+    lf_mpi_impl(cluster, world, positions, approach, cfg)
+}
+
+pub(crate) fn lf_mpi_impl(
+    cluster: Cluster,
+    world: usize,
+    positions: &[Vec3],
+    approach: LfApproach,
+    cfg: &LfConfig,
+) -> Result<LfOutput, EngineError> {
+    lf_mpi_with_policy_impl(
         cluster,
         world,
         positions,
@@ -41,7 +52,28 @@ pub fn lf_mpi(
 /// Leaflet Finder on MPI under an explicit recovery policy: a node death
 /// restarts the job from the last completed collective barrier (or from
 /// startup when `restart_from_barrier` is false) instead of aborting.
+#[deprecated(note = "use mdtask_core::run::{RunConfig, run_lf} with a retry policy instead")]
 pub fn lf_mpi_with_policy(
+    cluster: Cluster,
+    world: usize,
+    positions: &[Vec3],
+    approach: LfApproach,
+    cfg: &LfConfig,
+    policy: &netsim::RetryPolicy,
+    restart_from_barrier: bool,
+) -> Result<LfOutput, EngineError> {
+    lf_mpi_with_policy_impl(
+        cluster,
+        world,
+        positions,
+        approach,
+        cfg,
+        policy,
+        restart_from_barrier,
+    )
+}
+
+pub(crate) fn lf_mpi_with_policy_impl(
     cluster: Cluster,
     world: usize,
     positions: &[Vec3],

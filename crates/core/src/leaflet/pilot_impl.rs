@@ -15,7 +15,16 @@ use taskframe::EngineError;
 
 /// Run the Leaflet Finder (Approach 2, "Task API and 2-D Partitioning")
 /// on a pilot session.
+#[deprecated(note = "use mdtask_core::run::{RunConfig, run_lf} instead")]
 pub fn lf_pilot(
+    session: &Session,
+    positions: &[Vec3],
+    cfg: &LfConfig,
+) -> Result<LfOutput, EngineError> {
+    lf_pilot_impl(session, positions, cfg)
+}
+
+pub(crate) fn lf_pilot_impl(
     session: &Session,
     positions: &[Vec3],
     cfg: &LfConfig,

@@ -13,7 +13,20 @@ use std::sync::Arc;
 use taskframe::{EngineError, TaskCtx};
 
 /// Run the Leaflet Finder on Spark with the chosen approach.
+///
+/// Deprecated free-function surface; prefer
+/// [`run_lf`](crate::run::run_lf) with a [`RunConfig`](crate::run::RunConfig).
+#[deprecated(note = "use mdtask_core::run::{RunConfig, run_lf} instead")]
 pub fn lf_spark(
+    sc: &SparkContext,
+    positions: Arc<Vec<Vec3>>,
+    approach: LfApproach,
+    cfg: &LfConfig,
+) -> Result<LfOutput, EngineError> {
+    lf_spark_impl(sc, positions, approach, cfg)
+}
+
+pub(crate) fn lf_spark_impl(
     sc: &SparkContext,
     positions: Arc<Vec<Vec3>>,
     approach: LfApproach,

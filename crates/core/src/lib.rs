@@ -30,9 +30,12 @@ pub mod leaflet;
 pub mod ogres;
 pub mod partition;
 pub mod psa;
+pub mod run;
 
 pub use leaflet::{LfApproach, LfConfig, LfOutput};
 pub use psa::{PsaConfig, PsaOutput};
+pub use run::{run_lf, run_psa, LfRun, PsaRun, RunConfig};
+pub use taskframe::Engine;
 
 /// Which task-parallel engine executes an analysis.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

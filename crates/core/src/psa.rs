@@ -109,7 +109,16 @@ fn assemble(n: usize, triples: impl IntoIterator<Item = (u32, u32, f64)>) -> Dis
 
 /// PSA on Spark: one RDD partition per task, map-only. Surfaces retry
 /// exhaustion under a fault plan as a typed error.
+#[deprecated(note = "use mdtask_core::run::{RunConfig, run_psa} instead")]
 pub fn psa_spark(
+    sc: &SparkContext,
+    ensemble: Arc<Vec<Trajectory>>,
+    cfg: &PsaConfig,
+) -> Result<PsaOutput, EngineError> {
+    psa_spark_impl(sc, ensemble, cfg)
+}
+
+pub(crate) fn psa_spark_impl(
     sc: &SparkContext,
     ensemble: Arc<Vec<Trajectory>>,
     cfg: &PsaConfig,
@@ -136,7 +145,16 @@ pub fn psa_spark(
 
 /// PSA on Dask: one delayed function per task. Surfaces retry exhaustion
 /// under a fault plan as a typed error.
+#[deprecated(note = "use mdtask_core::run::{RunConfig, run_psa} instead")]
 pub fn psa_dask(
+    client: &DaskClient,
+    ensemble: Arc<Vec<Trajectory>>,
+    cfg: &PsaConfig,
+) -> Result<PsaOutput, EngineError> {
+    psa_dask_impl(client, ensemble, cfg)
+}
+
+pub(crate) fn psa_dask_impl(
     client: &DaskClient,
     ensemble: Arc<Vec<Trajectory>>,
     cfg: &PsaConfig,
@@ -145,19 +163,20 @@ pub fn psa_dask(
     let blocks = plan_psa_2d(n, cfg.groups);
     let net = client.cluster().profile.network;
     client.set_phase("psa-map");
-    let tasks: Vec<Delayed<Vec<(u32, u32, f64)>>> = blocks
+    let fs: Vec<_> = blocks
         .iter()
         .map(|&b| {
             let ens = Arc::clone(&ensemble);
             let charge_io = cfg.charge_io;
-            client.delayed(move |ctx: &TaskCtx| {
+            move |ctx: &TaskCtx| {
                 if charge_io {
                     ctx.charge(net.transfer_time(block_input_bytes(&ens, b), false));
                 }
                 block_distances(&ens, b)
-            })
+            }
         })
         .collect();
+    let tasks: Vec<Delayed<Vec<(u32, u32, f64)>>> = client.delayed_many(fs);
     let (parts, _t) = client.try_gather(&tasks)?;
     Ok(PsaOutput {
         distances: assemble(n, parts.into_iter().flatten()),
@@ -168,7 +187,16 @@ pub fn psa_dask(
 /// PSA on RADICAL-Pilot: one Compute-Unit per task, inputs genuinely
 /// staged through the filesystem (encoded trajectories written to and read
 /// back from the staging area).
+#[deprecated(note = "use mdtask_core::run::{RunConfig, run_psa} instead")]
 pub fn psa_pilot(
+    session: &Session,
+    ensemble: &[Trajectory],
+    cfg: &PsaConfig,
+) -> Result<PsaOutput, EngineError> {
+    psa_pilot_impl(session, ensemble, cfg)
+}
+
+pub(crate) fn psa_pilot_impl(
     session: &Session,
     ensemble: &[Trajectory],
     cfg: &PsaConfig,
@@ -212,7 +240,17 @@ pub fn psa_pilot(
 }
 
 /// PSA on MPI: blocks round-robin over ranks, gather at rank 0.
+#[deprecated(note = "use mdtask_core::run::{RunConfig, run_psa} instead")]
 pub fn psa_mpi(
+    cluster: Cluster,
+    world: usize,
+    ensemble: &[Trajectory],
+    cfg: &PsaConfig,
+) -> PsaOutput {
+    psa_mpi_impl(cluster, world, ensemble, cfg)
+}
+
+pub(crate) fn psa_mpi_impl(
     cluster: Cluster,
     world: usize,
     ensemble: &[Trajectory],
@@ -253,7 +291,19 @@ pub fn psa_mpi(
 /// job from the last completed collective barrier (or from startup when
 /// `restart_from_barrier` is false) instead of aborting, up to
 /// `policy.max_attempts` total attempts.
+#[deprecated(note = "use mdtask_core::run::{RunConfig, run_psa} with a retry policy instead")]
 pub fn psa_mpi_with_policy(
+    cluster: Cluster,
+    world: usize,
+    ensemble: &[Trajectory],
+    cfg: &PsaConfig,
+    policy: &netsim::RetryPolicy,
+    restart_from_barrier: bool,
+) -> Result<PsaOutput, EngineError> {
+    psa_mpi_with_policy_impl(cluster, world, ensemble, cfg, policy, restart_from_barrier)
+}
+
+pub(crate) fn psa_mpi_with_policy_impl(
     cluster: Cluster,
     world: usize,
     ensemble: &[Trajectory],
@@ -301,8 +351,10 @@ pub fn psa_mpi_with_policy(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::run::{run_psa, RunConfig};
     use mdsim::ChainSpec;
     use netsim::{comet, laptop};
+    use taskframe::Engine;
 
     fn ensemble(count: usize) -> Vec<Trajectory> {
         let spec = ChainSpec {
@@ -353,25 +405,15 @@ mod tests {
         let cluster = || Cluster::new(laptop(), 2);
         let arc = Arc::new(e.clone());
 
-        let spark = psa_spark(&SparkContext::new(cluster()), Arc::clone(&arc), &cfg)
-            .expect("spark runs fault-free");
-        assert!(
-            matrices_equal(&spark.distances, &reference),
-            "spark mismatch"
-        );
-
-        let dask = psa_dask(&DaskClient::new(cluster()), Arc::clone(&arc), &cfg)
-            .expect("dask runs fault-free");
-        assert!(matrices_equal(&dask.distances, &reference), "dask mismatch");
-
-        let pilot_out = psa_pilot(&Session::new(cluster()).unwrap(), &e, &cfg).expect("pilot runs");
-        assert!(
-            matrices_equal(&pilot_out.distances, &reference),
-            "pilot mismatch"
-        );
-
-        let mpi = psa_mpi(cluster(), 4, &e, &cfg);
-        assert!(matrices_equal(&mpi.distances, &reference), "mpi mismatch");
+        for engine in Engine::ALL {
+            let rc = RunConfig::new(cluster(), engine).mpi_world(4);
+            let out = run_psa(&rc, Arc::clone(&arc), &cfg)
+                .unwrap_or_else(|e| panic!("{engine:?} runs fault-free: {e}"));
+            assert!(
+                matrices_equal(&out.distances, &reference),
+                "{engine:?} mismatch"
+            );
+        }
     }
 
     #[test]
@@ -381,9 +423,9 @@ mod tests {
             groups: 2,
             charge_io: false,
         };
-        let sc = SparkContext::new(Cluster::new(laptop(), 1));
-        psa_spark(&sc, Arc::new(e), &cfg).expect("fault-free");
-        assert_eq!(sc.report().tasks, 4);
+        let rc = RunConfig::new(Cluster::new(laptop(), 1), Engine::Spark);
+        let out = run_psa(&rc, Arc::new(e), &cfg).expect("fault-free");
+        assert_eq!(out.report.tasks, 4);
     }
 
     #[test]
@@ -420,10 +462,10 @@ mod tests {
     #[test]
     fn pilot_stages_real_bytes() {
         let e = ensemble(2);
-        let session = Session::new(Cluster::new(laptop(), 1)).unwrap();
-        let out = psa_pilot(
-            &session,
-            &e,
+        let rc = RunConfig::new(Cluster::new(laptop(), 1), Engine::Pilot);
+        let out = run_psa(
+            &rc,
+            Arc::new(e),
             &PsaConfig {
                 groups: 1,
                 charge_io: true,

@@ -1,0 +1,270 @@
+//! The unified run API: pick an engine, configure the run once, execute.
+//!
+//! [`RunConfig`] folds everything the old free-function zoo spread over
+//! positional arguments and `*_with_policy` variants into one builder:
+//! engine choice ([`taskframe::Engine`]), Leaflet-Finder approach,
+//! [`RetryPolicy`], MPI checkpoint/restart posture, Spark speculative
+//! execution, tracing, MPI world size, per-node memory budget and the
+//! host-parallelism degree ([`netsim::Threads`]). [`run_lf`] and
+//! [`run_psa`] construct the engine handle internally, apply the
+//! configuration, and dispatch — the legacy free functions remain as
+//! `#[deprecated]` wrappers and produce bit-identical results (see
+//! `tests/api_surface.rs`).
+//!
+//! ```
+//! use mdtask_core::run::{run_lf, RunConfig};
+//! use mdtask_core::{LfApproach, LfConfig};
+//! use netsim::{laptop, Cluster};
+//! use std::sync::Arc;
+//! use taskframe::Engine;
+//!
+//! let b = mdsim::bilayer::generate(
+//!     &mdsim::BilayerSpec { n_atoms: 200, ..Default::default() }, 7);
+//! let cfg = RunConfig::new(Cluster::new(laptop(), 2), Engine::Spark)
+//!     .approach(LfApproach::TreeSearch)
+//!     .trace(true);
+//! let lf = LfConfig { cutoff: b.suggested_cutoff, partitions: 8,
+//!                     paper_atoms: 200, charge_io: true };
+//! let out = run_lf(&cfg, Arc::new(b.positions), &lf).unwrap();
+//! assert_eq!(out.n_components, 2);
+//! assert!(out.report.trace.is_some());
+//! ```
+
+use crate::leaflet::{
+    lf_dask_impl, lf_mpi_with_policy_impl, lf_pilot_impl, lf_spark_impl, LfApproach, LfConfig,
+    LfOutput,
+};
+use crate::psa::{
+    psa_dask_impl, psa_mpi_with_policy_impl, psa_pilot_impl, psa_spark_impl, PsaConfig, PsaOutput,
+};
+use dasklet::DaskClient;
+use linalg::Vec3;
+use mdsim::Trajectory;
+use netsim::{parallel, Cluster, RetryPolicy, Threads};
+use pilot::Session;
+use sparklet::SparkContext;
+use std::sync::Arc;
+use taskframe::{Engine, EngineError};
+
+/// Result of a configured Leaflet-Finder run.
+pub type LfRun = LfOutput;
+/// Result of a configured PSA run.
+pub type PsaRun = PsaOutput;
+
+/// Everything a run needs besides the data and the algorithm parameters.
+///
+/// Defaults: [`LfApproach::Task2D`], no retry policy (each engine's
+/// native single-attempt posture), MPI restart-from-barrier on, no
+/// speculation, no tracing, one MPI rank per simulated core, and the
+/// process-wide host-parallelism degree.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    cluster: Cluster,
+    engine: Engine,
+    approach: LfApproach,
+    policy: Option<RetryPolicy>,
+    checkpoint_restart: bool,
+    speculation: Option<f64>,
+    trace: bool,
+    mpi_world: usize,
+    threads: Option<Threads>,
+}
+
+impl RunConfig {
+    /// A run on `engine` over `cluster`, with the defaults above.
+    pub fn new(cluster: Cluster, engine: Engine) -> Self {
+        let mpi_world = cluster.total_cores();
+        RunConfig {
+            cluster,
+            engine,
+            approach: LfApproach::Task2D,
+            policy: None,
+            checkpoint_restart: true,
+            speculation: None,
+            trace: false,
+            mpi_world,
+            threads: None,
+        }
+    }
+
+    /// Leaflet-Finder architectural approach (Table 2). Ignored by PSA
+    /// and by the pilot engine (which implements Approach 2 only).
+    pub fn approach(mut self, approach: LfApproach) -> Self {
+        self.approach = approach;
+        self
+    }
+
+    /// Retry policy applied to the engine (task retries on Spark/Dask/
+    /// Pilot; job restart attempts on MPI).
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// MPI recovery posture: `true` (default) restarts from the last
+    /// completed collective barrier, `false` from scratch. Only observable
+    /// with a retry policy allowing more than one attempt; ignored by the
+    /// task-parallel engines, which recover per task.
+    pub fn checkpoint_restart(mut self, on: bool) -> Self {
+        self.checkpoint_restart = on;
+        self
+    }
+
+    /// Enable Spark speculative execution with the given stragglers
+    /// threshold (> 1.0). Ignored by the other engines.
+    pub fn speculation(mut self, threshold: f64) -> Self {
+        self.speculation = Some(threshold);
+        self
+    }
+
+    /// Record the event trace into `report.trace`.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// MPI world size (default: one rank per simulated core).
+    pub fn mpi_world(mut self, world: usize) -> Self {
+        self.mpi_world = world;
+        self
+    }
+
+    /// Host-parallelism degree for the real compute closures. `None`
+    /// (default) inherits the process-wide setting
+    /// ([`netsim::parallel::set_default_threads`] / `MDTASK_THREADS`).
+    pub fn threads(mut self, threads: Threads) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Override the per-node memory budget (bytes) of the cluster profile.
+    pub fn mem_budget(mut self, bytes: u64) -> Self {
+        self.cluster.profile.mem_per_node = bytes;
+        self
+    }
+
+    /// The cluster this run executes on.
+    pub fn cluster_ref(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The engine this run dispatches to.
+    pub fn engine_kind(&self) -> Engine {
+        self.engine
+    }
+
+    fn scoped<T>(&self, f: impl FnOnce() -> T) -> T {
+        match self.threads {
+            Some(t) => parallel::with_degree(t, f),
+            None => f(),
+        }
+    }
+}
+
+/// Run the Leaflet Finder as configured.
+pub fn run_lf(
+    cfg: &RunConfig,
+    positions: Arc<Vec<Vec3>>,
+    lf: &LfConfig,
+) -> Result<LfRun, EngineError> {
+    cfg.scoped(|| match cfg.engine {
+        Engine::Spark => {
+            let sc = spark_handle(cfg);
+            lf_spark_impl(&sc, positions, cfg.approach, lf)
+        }
+        Engine::Dask => {
+            let client = dask_handle(cfg);
+            lf_dask_impl(&client, positions, cfg.approach, lf)
+        }
+        Engine::Pilot => {
+            let session = pilot_handle(cfg)?;
+            lf_pilot_impl(&session, &positions, lf)
+        }
+        Engine::Mpi => {
+            let policy = mpi_policy(cfg);
+            lf_mpi_with_policy_impl(
+                cfg.cluster.clone(),
+                cfg.mpi_world,
+                &positions,
+                cfg.approach,
+                lf,
+                &policy,
+                cfg.checkpoint_restart,
+            )
+        }
+    })
+}
+
+/// Run Path Similarity Analysis as configured.
+pub fn run_psa(
+    cfg: &RunConfig,
+    ensemble: Arc<Vec<Trajectory>>,
+    psa: &PsaConfig,
+) -> Result<PsaRun, EngineError> {
+    cfg.scoped(|| match cfg.engine {
+        Engine::Spark => {
+            let sc = spark_handle(cfg);
+            psa_spark_impl(&sc, ensemble, psa)
+        }
+        Engine::Dask => {
+            let client = dask_handle(cfg);
+            psa_dask_impl(&client, ensemble, psa)
+        }
+        Engine::Pilot => {
+            let session = pilot_handle(cfg)?;
+            psa_pilot_impl(&session, &ensemble, psa)
+        }
+        Engine::Mpi => {
+            let policy = mpi_policy(cfg);
+            psa_mpi_with_policy_impl(
+                cfg.cluster.clone(),
+                cfg.mpi_world,
+                &ensemble,
+                psa,
+                &policy,
+                cfg.checkpoint_restart,
+            )
+        }
+    })
+}
+
+fn spark_handle(cfg: &RunConfig) -> SparkContext {
+    let sc = SparkContext::new(cfg.cluster.clone());
+    if let Some(p) = &cfg.policy {
+        sc.set_retry_policy(*p);
+    }
+    if let Some(t) = cfg.speculation {
+        sc.enable_speculation(t);
+    }
+    if cfg.trace {
+        sc.enable_trace();
+    }
+    sc
+}
+
+fn dask_handle(cfg: &RunConfig) -> DaskClient {
+    let client = DaskClient::new(cfg.cluster.clone());
+    if let Some(p) = &cfg.policy {
+        client.set_retry_policy(*p);
+    }
+    if cfg.trace {
+        client.enable_trace();
+    }
+    client
+}
+
+fn pilot_handle(cfg: &RunConfig) -> Result<Session, EngineError> {
+    let session = Session::new(cfg.cluster.clone())?;
+    if let Some(p) = &cfg.policy {
+        session.set_retry_policy(*p);
+    }
+    if cfg.trace {
+        session.enable_trace();
+    }
+    Ok(session)
+}
+
+/// MPI folds the single-attempt default into the policy knob.
+fn mpi_policy(cfg: &RunConfig) -> RetryPolicy {
+    cfg.policy.unwrap_or_else(|| RetryPolicy::new(1))
+}

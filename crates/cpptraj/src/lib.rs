@@ -229,12 +229,16 @@ mod tests {
             ..ChainSpec::default()
         };
         let e = mdsim::chain::generate_ensemble(&spec, 8, 3);
-        let t1 = ensemble_psa(cluster(), 1, KernelBuild::IntelO3, &e)
-            .report
-            .makespan_s;
-        let t8 = ensemble_psa(cluster(), 8, KernelBuild::IntelO3, &e)
-            .report
-            .makespan_s;
+        // Pin host execution serial: this test compares *measured* closure
+        // durations across world sizes, and an oversubscribed host pool
+        // (MDTASK_THREADS > host cores) would pollute them with contention.
+        let serial = |world| {
+            netsim::parallel::with_degree(netsim::parallel::Threads::Serial, || {
+                ensemble_psa(cluster(), world, KernelBuild::IntelO3, &e)
+            })
+        };
+        let t1 = serial(1).report.makespan_s;
+        let t8 = serial(8).report.makespan_s;
         // Discount the fixed 0.5 s mpirun startup before comparing.
         assert!(
             t8 - 0.5 < (t1 - 0.5) * 0.5,

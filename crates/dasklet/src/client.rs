@@ -150,6 +150,42 @@ impl DaskClient {
         f: impl FnOnce(&TaskCtx) -> T,
     ) -> Delayed<T> {
         let mut st = self.inner.state.lock();
+        let tctx = TaskCtx::new(st.next_task, st.next_task);
+        st.next_task += 1;
+        let (out, host_s) = netsim::measure(|| f(&tctx));
+        let charged = tctx.charged();
+        self.schedule_measured(
+            &mut st,
+            deps_ready,
+            dep_transfer_bytes,
+            n_deps,
+            dep_error,
+            out,
+            host_s,
+            charged,
+        )
+    }
+
+    /// The scheduling half of [`Self::submit_inner`]: consumes a task whose
+    /// real closure already executed (result `out`, measured `host_s`,
+    /// virtual-time charges `charged`) and walks it through the serial
+    /// scheduler timeline, placement, retries and the worker memory
+    /// manager. Splitting execution from scheduling lets
+    /// [`Self::delayed_many`] run closures across host threads while this
+    /// pass — the one that touches every piece of shared virtual-time
+    /// state — stays serial, in submission order.
+    #[allow(clippy::too_many_arguments)]
+    fn schedule_measured<T: Payload>(
+        &self,
+        st: &mut DaskState,
+        deps_ready: f64,
+        dep_transfer_bytes: u64,
+        n_deps: usize,
+        dep_error: Option<EngineError>,
+        out: T,
+        host_s: f64,
+        charged: f64,
+    ) -> Delayed<T> {
         let profile = &self.inner.profile;
         let policy = st.policy;
         let net = self.inner.cluster.profile.network;
@@ -164,15 +200,12 @@ impl DaskClient {
         } else {
             0.0
         };
-        let tctx = TaskCtx::new(st.next_task, st.next_task);
-        st.next_task += 1;
-        let (out, host_s) = netsim::measure(|| f(&tctx));
         // Worker overhead runs on the executing core: scale it too.
         let dur = self
             .inner
             .cluster
             .scale_compute(host_s + profile.worker_overhead_s)
-            + tctx.charged()
+            + charged
             + profile.ser_time(out.wire_bytes());
         // A poisoned dependency fails this task without scheduling it —
         // the scheduler cancels dependents of a failed key.
@@ -274,7 +307,7 @@ impl DaskClient {
         let paused = st.exec.mem_resident(node) as f64 >= budget as f64 * MEM_PAUSE_FRAC;
         st.exec.force_reserve_memory(node, ws);
         let mut ready = placement.end;
-        let spill_s = spill_down(&mut st, &self.inner.cluster, node, placement.end);
+        let spill_s = spill_down(st, &self.inner.cluster, node, placement.end);
         if spill_s > 0.0 {
             st.exec.report_mut().overhead_s += spill_s;
             if paused {
@@ -317,6 +350,38 @@ impl DaskClient {
         self.submit_inner(0.0, 0, 0, None, f)
     }
 
+    /// Submit a batch of independent leaf tasks — semantically identical to
+    /// calling [`Self::delayed`] in a loop (same task ids, same scheduler
+    /// timeline, same memory-manager decisions, all in input order), but
+    /// the real closures execute across host threads
+    /// ([`SimExecutor::host_threads`] of them) before the serial
+    /// scheduling pass consumes the measurements in submission order.
+    pub fn delayed_many<T, F>(&self, fs: Vec<F>) -> Vec<Delayed<T>>
+    where
+        T: Payload + Send,
+        F: FnOnce(&TaskCtx) -> T + Send,
+    {
+        let (base, host_threads) = {
+            let mut st = self.inner.state.lock();
+            let base = st.next_task;
+            st.next_task += fs.len();
+            (base, st.exec.host_threads())
+        };
+        let measured = netsim::parallel::run_owned_with(host_threads, fs, |i, f| {
+            let tctx = TaskCtx::new(base + i, base + i);
+            let (out, host_s) = netsim::measure(|| f(&tctx));
+            let charged = tctx.charged();
+            (out, host_s, charged)
+        });
+        let mut st = self.inner.state.lock();
+        measured
+            .into_iter()
+            .map(|(out, host_s, charged)| {
+                self.schedule_measured(&mut st, 0.0, 0, 0, None, out, host_s, charged)
+            })
+            .collect()
+    }
+
     /// Submit a task depending on several inputs.
     pub fn combine<T: Payload, U: Payload>(
         &self,
@@ -341,6 +406,48 @@ impl DaskClient {
         f: impl FnOnce(&T, &TaskCtx) -> U,
     ) -> Delayed<U> {
         self.submit_inner(dep.ready, 0, 0, dep.error.clone(), |ctx| f(&dep.value, ctx))
+    }
+
+    /// Batch form of [`Self::delayed_after`]: every task reads the same
+    /// broadcast dependency. Task ids, scheduler timeline and
+    /// memory-manager decisions match a serial loop of `delayed_after`
+    /// calls; only the real closure execution fans out across host
+    /// threads.
+    pub fn delayed_after_many<T, U, F>(&self, dep: &Delayed<T>, fs: Vec<F>) -> Vec<Delayed<U>>
+    where
+        T: Payload + Sync,
+        U: Payload + Send,
+        F: FnOnce(&T, &TaskCtx) -> U + Send,
+    {
+        let (base, host_threads) = {
+            let mut st = self.inner.state.lock();
+            let base = st.next_task;
+            st.next_task += fs.len();
+            (base, st.exec.host_threads())
+        };
+        let value = &dep.value;
+        let measured = netsim::parallel::run_owned_with(host_threads, fs, |i, f| {
+            let tctx = TaskCtx::new(base + i, base + i);
+            let (out, host_s) = netsim::measure(|| f(value, &tctx));
+            let charged = tctx.charged();
+            (out, host_s, charged)
+        });
+        let mut st = self.inner.state.lock();
+        measured
+            .into_iter()
+            .map(|(out, host_s, charged)| {
+                self.schedule_measured(
+                    &mut st,
+                    dep.ready,
+                    0,
+                    0,
+                    dep.error.clone(),
+                    out,
+                    host_s,
+                    charged,
+                )
+            })
+            .collect()
     }
 
     /// Pull results back to the client, in input order, surfacing the

@@ -149,10 +149,13 @@ mod tests {
     fn oversized_broadcast_fails_like_524k_atoms() {
         // 600k elements × 10 KiB scheduler state ≈ 6 GB > a 2 GiB-worker
         // budget: the paper's 524k-atom failure mode.
-        let mut p = laptop();
-        p.mem_per_node = 16 * (1 << 30);
-        p.cores_per_node = 8; // worker budget = 2 GiB
-        let c = DaskClient::new(Cluster::new(p, 1));
+        // 8 workers on a 16 GiB node: worker budget = 2 GiB
+        let c = DaskClient::new(
+            Cluster::builder()
+                .cores_per_node(8)
+                .mem_budget(16 * (1 << 30))
+                .build(),
+        );
         let res = c.broadcast(vec![0u32; 600_000]);
         match res {
             Err(e) => assert!(e.to_string().contains("out of memory")),
@@ -166,9 +169,7 @@ mod tests {
         // gather: the worker memory manager must spill past the 70%
         // threshold instead of failing, and the gathered values must be
         // exactly what the tasks computed.
-        let mut p = laptop();
-        p.mem_per_node = 64 * 1024;
-        let c = DaskClient::new(Cluster::new(p, 1));
+        let c = DaskClient::new(Cluster::builder().mem_budget(64 * 1024).build());
         let xs: Vec<Delayed<Vec<u64>>> = (0..10)
             .map(|i| c.delayed(move |_| vec![i as u64; 1024]))
             .collect();
@@ -187,9 +188,7 @@ mod tests {
         // A single result bigger than the terminate threshold of the node
         // budget: nothing can be spilled to make room, so the future holds
         // a typed MemoryExhausted error (never a panic or hang).
-        let mut p = laptop();
-        p.mem_per_node = 16 * 1024;
-        let c = DaskClient::new(Cluster::new(p, 1));
+        let c = DaskClient::new(Cluster::builder().mem_budget(16 * 1024).build());
         let d = c.delayed(|_| vec![0u64; 64 * 1024]);
         let err = c
             .try_gather(&[d])
@@ -207,10 +206,13 @@ mod tests {
         // A fault plan shrinks node 0's budget to 32 KiB at t=0: resident
         // results cross the shrunken pause threshold and later tasks wait
         // behind the spill, but every value still comes back intact.
-        let mut p = laptop();
-        p.mem_per_node = 1 << 30;
         let plan = netsim::FaultPlan::none().shrink_memory(0, 0.0, 32 * 1024);
-        let c = DaskClient::new(Cluster::new(p, 1).with_faults(plan));
+        let c = DaskClient::new(
+            Cluster::builder()
+                .mem_budget(1 << 30)
+                .fault_plan(plan)
+                .build(),
+        );
         let xs: Vec<Delayed<Vec<u64>>> = (0..12)
             .map(|i| c.delayed(move |_| vec![i as u64; 1024]))
             .collect();

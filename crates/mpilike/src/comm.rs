@@ -22,9 +22,15 @@ fn chunked_leg(net: netsim::NetworkModel, bytes: u64, same_node: bool, buffer: u
 struct Shared {
     rendezvous: Rendezvous,
     cluster: Cluster,
-    /// Serializes *real* execution so host-core contention cannot inflate
-    /// measurements; parallelism lives in virtual time only.
-    compute_token: Mutex<()>,
+    /// Bounds how many ranks execute *real* work concurrently. At the
+    /// default capacity 1 this is the historical global compute token:
+    /// strict serialization, so host-core contention cannot inflate
+    /// measurements and parallelism lives in virtual time only. A higher
+    /// host-parallelism degree (`netsim::parallel::current_degree` at run
+    /// entry) admits that many ranks at once — measurements may then
+    /// contend, but results and (under deterministic timing) the whole
+    /// report stay identical because virtual-time accounting is per-rank.
+    compute_token: netsim::parallel::Semaphore,
     compute_s: Mutex<f64>,
     bytes_broadcast: AtomicU64,
     bytes_shuffled: AtomicU64,
@@ -139,7 +145,7 @@ where
     let shared = Shared {
         rendezvous: Rendezvous::new(world),
         cluster,
-        compute_token: Mutex::new(()),
+        compute_token: netsim::parallel::Semaphore::new(netsim::parallel::current_degree()),
         compute_s: Mutex::new(0.0),
         bytes_broadcast: AtomicU64::new(0),
         bytes_shuffled: AtomicU64::new(0),
@@ -348,7 +354,7 @@ impl<'a> Comm<'a> {
     /// Execute real work; its measured time (scaled to the machine profile)
     /// advances this rank's virtual clock.
     pub fn compute<R>(&mut self, f: impl FnOnce() -> R) -> R {
-        let _token = self.shared.compute_token.lock();
+        let _token = self.shared.compute_token.acquire();
         let (out, host_s) = netsim::measure(f);
         // A straggler core stretches this rank's compute (and, through the
         // collectives, everyone waiting on it — SPMD has no mitigation).

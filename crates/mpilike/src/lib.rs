@@ -8,8 +8,11 @@
 //!
 //! * [`Comm::compute`] runs real work, measures it, scales it by the
 //!   machine profile and advances the rank's clock. Real execution is
-//!   serialized through a global token so host-core contention never
-//!   pollutes measurements — concurrency exists only in virtual time.
+//!   bounded by a compute semaphore whose capacity is the host-parallelism
+//!   degree (`netsim::parallel`) at run entry. At the default degree 1
+//!   this is a global token: host-core contention never pollutes
+//!   measurements and concurrency exists only in virtual time. Higher
+//!   degrees let ranks really compute in parallel on the host.
 //! * Collectives synchronize clocks: the operation completes at
 //!   `max(arrival clocks) + communication cost`, with costs from the
 //!   cluster's [`netsim::NetworkModel`] (naive linear broadcast/gather,
@@ -28,13 +31,14 @@ pub use comm::{run, try_run, try_run_with_policy, Comm, MpiRunOutput};
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsim::{laptop, Cluster};
+    use netsim::Cluster;
     use taskframe::Payload;
 
     fn cluster(ranks: usize) -> Cluster {
-        let mut p = laptop();
-        p.cores_per_node = 8;
-        Cluster::new(p, ranks.div_ceil(8))
+        Cluster::builder()
+            .cores_per_node(8)
+            .nodes(ranks.div_ceil(8))
+            .build()
     }
 
     #[test]
@@ -162,10 +166,11 @@ mod tests {
         // 1 MiB node budget over 8 ranks = 128 KiB fixed buffers; a
         // 1 MiB replica cannot fit any of them, so every rank sees the
         // same typed error — no panic, no hang, no mpirun teardown.
-        let mut p = laptop();
-        p.cores_per_node = 8;
-        p.mem_per_node = 1 << 20;
-        let out = try_run(Cluster::new(p, 1), 4, |comm| {
+        let cluster = Cluster::builder()
+            .cores_per_node(8)
+            .mem_budget(1 << 20)
+            .build();
+        let out = try_run(cluster, 4, |comm| {
             let v = if comm.rank() == 0 {
                 Some(vec![0u8; 1 << 20])
             } else {
@@ -185,10 +190,12 @@ mod tests {
     fn chunked_bcast_pays_latency_per_chunk() {
         // Same payload, shrinking buffers: more chunks, more latency.
         let t = |mem: u64| {
-            let mut p = laptop();
-            p.cores_per_node = 8;
-            p.mem_per_node = mem;
-            let out = run(Cluster::new(p, 2), 16, |comm| {
+            let cluster = Cluster::builder()
+                .nodes(2)
+                .cores_per_node(8)
+                .mem_budget(mem)
+                .build();
+            let out = run(cluster, 16, |comm| {
                 let v = if comm.rank() == 0 {
                     Some(vec![0u8; 64 * 1024])
                 } else {
@@ -211,10 +218,12 @@ mod tests {
     fn gather_overflowing_root_fails_typed() {
         // Each rank contributes 64 KiB; 16 ranks = 1 MiB at the root,
         // which only holds a 128 KiB fixed buffer.
-        let mut p = laptop();
-        p.cores_per_node = 8;
-        p.mem_per_node = 1 << 20;
-        let out = try_run(Cluster::new(p, 2), 16, |comm| {
+        let cluster = Cluster::builder()
+            .nodes(2)
+            .cores_per_node(8)
+            .mem_budget(1 << 20)
+            .build();
+        let out = try_run(cluster, 16, |comm| {
             comm.try_gather(0, vec![comm.rank() as u8; 64 * 1024])
         })
         .unwrap();
@@ -232,11 +241,13 @@ mod tests {
         // Nominally the 256 KiB replica fits the 512 KiB buffers; a fault
         // shrinking the node's budget at t=0 leaves 16 KiB buffers and the
         // collective must fail typed mid-run.
-        let mut p = laptop();
-        p.cores_per_node = 8;
-        p.mem_per_node = 4 << 20;
         let plan = netsim::FaultPlan::none().shrink_memory(0, 0.0, 128 * 1024);
-        let out = try_run(Cluster::new(p, 1).with_faults(plan), 4, |comm| {
+        let cluster = Cluster::builder()
+            .cores_per_node(8)
+            .mem_budget(4 << 20)
+            .fault_plan(plan)
+            .build();
+        let out = try_run(cluster, 4, |comm| {
             let v = if comm.rank() == 0 {
                 Some(vec![0u8; 256 * 1024])
             } else {

@@ -512,7 +512,7 @@ pub fn shrink(plan: &FaultPlan, mut still_fails: impl FnMut(&FaultPlan) -> bool)
 /// given plan and fingerprints its results.
 pub fn fuzz<F>(cfg: &ChaosConfig, run: F) -> FuzzReport
 where
-    F: Fn(&FaultPlan) -> Result<ChaosOutcome, String>,
+    F: Fn(&FaultPlan) -> Result<ChaosOutcome, String> + Sync,
 {
     let baseline = match run(&FaultPlan::none()) {
         Ok(o) => o,
@@ -531,19 +531,25 @@ where
     };
     let violation_for =
         |plan: &FaultPlan| -> Option<String> { check_invariants(cfg, &baseline, plan, &run(plan)) };
-    let mut violations = Vec::new();
-    for i in 0..cfg.plans {
+    // The seeded plans are independent of each other, so detection fans
+    // out across host threads (`netsim::parallel::current_degree()` of
+    // them); the pool returns per-seed outcomes in seed order, keeping the
+    // report identical to the serial sweep. Shrinking — an inherently
+    // sequential search — stays serial, and violations are rare.
+    let flagged = crate::parallel::run_indexed(cfg.plans, |i| {
         let seed = cfg.base_seed + i as u64;
         let plan = plan_for_seed(cfg, seed);
-        if let Some(message) = violation_for(&plan) {
-            let shrunk = shrink(&plan, |cand| violation_for(cand).is_some());
-            violations.push(Violation {
-                seed,
-                message,
-                plan,
-                shrunk,
-            });
-        }
+        violation_for(&plan).map(|message| (seed, plan, message))
+    });
+    let mut violations = Vec::new();
+    for (seed, plan, message) in flagged.into_iter().flatten() {
+        let shrunk = shrink(&plan, |cand| violation_for(cand).is_some());
+        violations.push(Violation {
+            seed,
+            message,
+            plan,
+            shrunk,
+        });
     }
     FuzzReport {
         plans_run: cfg.plans,
@@ -554,7 +560,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cluster::{laptop, Cluster};
+    use crate::cluster::Cluster;
     use crate::executor::SimExecutor;
     use crate::policy::RetryPolicy;
 
@@ -571,9 +577,13 @@ mod tests {
     /// re-run produces *different data* — the canary the harness must
     /// catch.
     fn workload(plan: &FaultPlan, break_recovery: bool) -> Result<ChaosOutcome, String> {
-        let mut profile = laptop();
-        profile.cores_per_node = 2;
-        let mut exec = SimExecutor::new(Cluster::new(profile, 3).with_faults(plan.clone()));
+        let mut exec = SimExecutor::new(
+            Cluster::builder()
+                .nodes(3)
+                .cores_per_node(2)
+                .fault_plan(plan.clone())
+                .build(),
+        );
         exec.enable_trace();
         let policy = RetryPolicy::new(4)
             .with_detection_delay(0.2)

@@ -1,6 +1,28 @@
 //! Measuring real kernel time for simulated placement.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
+
+/// When set, [`measure`] still runs its closure but reports `0.0` host
+/// seconds, so every simulated duration reduces to the *modelled* charges
+/// (framework overheads, `TaskCtx` charges, serialization, network) — which
+/// are pure functions of the workload. That makes whole runs bit-identical
+/// across repeats and across host thread counts, which is what the
+/// host-parallel determinism suite asserts. Off by default: real runs keep
+/// real measurements.
+static DETERMINISTIC_TIMING: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable deterministic timing for this process (see
+/// [`measure`]). Intended for determinism tests; flip it before any engine
+/// handle is created.
+pub fn set_deterministic_timing(on: bool) {
+    DETERMINISTIC_TIMING.store(on, Ordering::Relaxed);
+}
+
+/// Whether [`measure`] is currently reporting zero host seconds.
+pub fn deterministic_timing() -> bool {
+    DETERMINISTIC_TIMING.load(Ordering::Relaxed)
+}
 
 /// Run `f` and return its result together with measured host wall-clock
 /// seconds. This is the boundary between real execution and virtual time:
@@ -8,7 +30,12 @@ use std::time::Instant;
 pub fn measure<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
     let out = f();
-    (out, start.elapsed().as_secs_f64())
+    let host_s = if deterministic_timing() {
+        0.0
+    } else {
+        start.elapsed().as_secs_f64()
+    };
+    (out, host_s)
 }
 
 /// [`measure`], scaling the measured time by `1 / efficiency` — converts a

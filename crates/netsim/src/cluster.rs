@@ -126,7 +126,111 @@ pub struct Cluster {
     faults: FaultPlan,
 }
 
+/// Fluent construction of a [`Cluster`]: start from a machine profile
+/// (default [`laptop`]), tweak its shape, attach a fault plan.
+///
+/// ```
+/// use netsim::{wrangler, Cluster, FaultPlan};
+/// let c = Cluster::builder()
+///     .profile(wrangler())
+///     .nodes(8)
+///     .cores_per_node(32)
+///     .mem_budget(64 * (1 << 30))
+///     .fault_plan(FaultPlan::none().kill_node(1, 5.0))
+///     .build();
+/// assert_eq!(c.total_cores(), 256);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ClusterBuilder {
+    profile: MachineProfile,
+    nodes: usize,
+    /// Total-core override (`with_cores`-style ragged allocation).
+    cores: Option<usize>,
+    faults: FaultPlan,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder {
+            profile: laptop(),
+            nodes: 1,
+            cores: None,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+impl ClusterBuilder {
+    /// Start from a named machine profile (replaces any prior shape tweaks).
+    pub fn profile(mut self, profile: MachineProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Number of whole nodes to allocate.
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        assert!(nodes >= 1, "cluster needs at least one node");
+        self.nodes = nodes;
+        self
+    }
+
+    /// Schedulable cores per node.
+    pub fn cores_per_node(mut self, cores: usize) -> Self {
+        assert!(cores >= 1, "need at least one core per node");
+        self.profile.cores_per_node = cores;
+        self
+    }
+
+    /// Total schedulable cores (the paper's "Cores/Nodes" axis); the last
+    /// node may be partially used. Overrides [`Self::nodes`].
+    pub fn total_cores(mut self, cores: usize) -> Self {
+        assert!(cores >= 1, "need at least one core");
+        self.cores = Some(cores);
+        self
+    }
+
+    /// Relative per-core throughput (see
+    /// [`MachineProfile::core_efficiency`]).
+    pub fn core_efficiency(mut self, efficiency: f64) -> Self {
+        assert!(efficiency > 0.0, "core efficiency must be positive");
+        self.profile.core_efficiency = efficiency;
+        self
+    }
+
+    /// Usable memory per node, in bytes.
+    pub fn mem_budget(mut self, bytes: u64) -> Self {
+        self.profile.mem_per_node = bytes;
+        self
+    }
+
+    /// Local scratch-disk bandwidth, bytes/second (spill cost).
+    pub fn disk_bandwidth(mut self, bps: f64) -> Self {
+        assert!(bps > 0.0, "disk bandwidth must be positive");
+        self.profile.disk_bandwidth_bps = bps;
+        self
+    }
+
+    /// Scripted failures this allocation will suffer.
+    pub fn fault_plan(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    pub fn build(self) -> Cluster {
+        let c = match self.cores {
+            Some(cores) => Cluster::with_cores(self.profile, cores),
+            None => Cluster::new(self.profile, self.nodes),
+        };
+        c.with_faults(self.faults)
+    }
+}
+
 impl Cluster {
+    /// Fluent builder: `Cluster::builder().nodes(8).cores_per_node(32)…`.
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::default()
+    }
+
     /// Allocate `nodes` whole nodes.
     pub fn new(profile: MachineProfile, nodes: usize) -> Self {
         assert!(nodes >= 1, "cluster needs at least one node");
@@ -247,5 +351,43 @@ mod tests {
     #[should_panic]
     fn out_of_range_core_panics() {
         Cluster::new(laptop(), 1).node_of_core(8);
+    }
+
+    #[test]
+    fn builder_matches_positional() {
+        let a = Cluster::builder().profile(comet()).nodes(4).build();
+        let b = Cluster::new(comet(), 4);
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.total_cores(), b.total_cores());
+        assert_eq!(a.profile.name, b.profile.name);
+    }
+
+    #[test]
+    fn builder_shape_overrides() {
+        let c = Cluster::builder()
+            .nodes(2)
+            .cores_per_node(4)
+            .mem_budget(1 << 20)
+            .core_efficiency(0.5)
+            .build();
+        assert_eq!(c.total_cores(), 8);
+        assert_eq!(c.profile.mem_per_node, 1 << 20);
+        assert_eq!(c.scale_compute(1.0), 2.0);
+    }
+
+    #[test]
+    fn builder_total_cores_ragged() {
+        let c = Cluster::builder().profile(comet()).total_cores(36).build();
+        assert_eq!(c.nodes, 2);
+        assert_eq!(c.total_cores(), 36);
+    }
+
+    #[test]
+    fn builder_attaches_faults() {
+        let c = Cluster::builder()
+            .nodes(2)
+            .fault_plan(FaultPlan::none().kill_node(1, 3.0))
+            .build();
+        assert!(!c.faults().is_empty());
     }
 }

@@ -79,6 +79,12 @@ pub struct SimExecutor {
     /// only while `c % cores_per_node < node_core_limit[node]`. Pilot-style
     /// engines shrink this when declared working sets exceed the budget.
     node_core_limit: Vec<usize>,
+    /// Host-parallelism degree captured from
+    /// [`parallel::current_degree`](crate::parallel::current_degree) when
+    /// this executor was created: how many host threads the owning engine
+    /// may use to run real task closures. Purely a host-side knob — it
+    /// never affects virtual-time placement.
+    host_threads: usize,
 }
 
 impl SimExecutor {
@@ -98,7 +104,14 @@ impl SimExecutor {
             task_label: "task".into(),
             mem_resident: vec![0; nodes],
             node_core_limit: vec![per_node; nodes],
+            host_threads: crate::parallel::current_degree(),
         }
+    }
+
+    /// How many host threads the owning engine may use for real closure
+    /// execution (≥ 1; 1 = serial, the historical behavior).
+    pub fn host_threads(&self) -> usize {
+        self.host_threads
     }
 
     /// Start recording a schedule trace (typed per-event records).
@@ -668,20 +681,22 @@ impl SimExecutor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cluster::{laptop, Cluster};
+    use crate::cluster::Cluster;
     use crate::fault::FaultPlan;
 
     fn exec(cores: usize) -> SimExecutor {
-        let mut profile = laptop();
-        profile.cores_per_node = cores;
-        SimExecutor::new(Cluster::new(profile, 1))
+        SimExecutor::new(Cluster::builder().cores_per_node(cores).build())
     }
 
     /// `nodes` nodes of `cores` cores each, with a fault plan.
     fn faulty(cores: usize, nodes: usize, plan: FaultPlan) -> SimExecutor {
-        let mut profile = laptop();
-        profile.cores_per_node = cores;
-        SimExecutor::new(Cluster::new(profile, nodes).with_faults(plan))
+        SimExecutor::new(
+            Cluster::builder()
+                .nodes(nodes)
+                .cores_per_node(cores)
+                .fault_plan(plan)
+                .build(),
+        )
     }
 
     #[test]
@@ -1218,10 +1233,14 @@ mod tests {
 
     /// `nodes` nodes of `cores` cores, small memory, with a fault plan.
     fn small_mem(cores: usize, nodes: usize, mem: u64, plan: FaultPlan) -> SimExecutor {
-        let mut profile = laptop();
-        profile.cores_per_node = cores;
-        profile.mem_per_node = mem;
-        SimExecutor::new(Cluster::new(profile, nodes).with_faults(plan))
+        SimExecutor::new(
+            Cluster::builder()
+                .nodes(nodes)
+                .cores_per_node(cores)
+                .mem_budget(mem)
+                .fault_plan(plan)
+                .build(),
+        )
     }
 
     #[test]

@@ -23,18 +23,20 @@ pub mod critical;
 pub mod executor;
 pub mod fault;
 pub mod metrics;
+pub mod parallel;
 pub mod policy;
 pub mod report;
 pub mod trace;
 
 pub use broadcast::{broadcast_time, BroadcastAlgo};
 pub use chaos::{ChaosConfig, ChaosOutcome, Fingerprint, FuzzReport, Violation};
-pub use clock::{measure, measure_scaled};
-pub use cluster::{comet, laptop, wrangler, Cluster, MachineProfile, NetworkModel};
+pub use clock::{deterministic_timing, measure, measure_scaled, set_deterministic_timing};
+pub use cluster::{comet, laptop, wrangler, Cluster, ClusterBuilder, MachineProfile, NetworkModel};
 pub use critical::{CpSegment, CriticalPath};
 pub use executor::{SimExecutor, TaskAttempt, TaskOpts, TaskPlacement};
 pub use fault::{FaultPlan, FaultPlanError, MemShrink, NodeDeath, Straggler};
 pub use metrics::{Histogram, Metrics, NodeMemory, NodeTraffic, PhaseShare};
+pub use parallel::Threads;
 pub use policy::{PolicyError, RetryPolicy, BACKOFF_SATURATION_S};
 pub use report::{Phase, SimReport};
 pub use trace::{EventKind, Trace, TraceEvent};

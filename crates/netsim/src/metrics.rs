@@ -442,9 +442,7 @@ mod tests {
 
     #[test]
     fn metrics_from_traced_run() {
-        let mut profile = laptop();
-        profile.cores_per_node = 2;
-        let mut e = SimExecutor::new(Cluster::new(profile, 1));
+        let mut e = SimExecutor::new(Cluster::builder().cores_per_node(2).build());
         e.enable_trace();
         e.run_task(0.0, 1.0);
         e.run_task(0.5, 1.0);

@@ -50,7 +50,7 @@ pub struct Pipeline<T> {
     pub stages: Vec<Stage<T>>,
 }
 
-impl<T: Payload> Pipeline<T> {
+impl<T: Payload + Send> Pipeline<T> {
     pub fn new(name: impl Into<String>) -> Self {
         Pipeline {
             name: name.into(),

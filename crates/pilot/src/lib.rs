@@ -197,7 +197,7 @@ impl Session {
 
     /// Submit units and wait for completion (the paper's usage mode: "all
     /// tasks were submitted simultaneously", §4.1).
-    pub fn submit_and_wait<T: Payload>(
+    pub fn submit_and_wait<T: Payload + Send>(
         &self,
         units: Vec<UnitDescription<T>>,
     ) -> Result<PilotRunOutput<T>, EngineError> {
@@ -242,6 +242,26 @@ impl Session {
             ids.push(unit_id);
             tasks.push(desc.task);
         }
+        // The units' real work — staged-input read-back plus the task
+        // closure — is independent across units, so it executes across
+        // host threads up front. The serial agent loop below consumes the
+        // measurements in submission order, keeping DB trips, admission
+        // control and placement identical to the serial run; a staging
+        // error surfaces at the same per-unit point it would have serially.
+        let host_threads = st.exec.host_threads();
+        let computed: Vec<Result<(T, f64), EngineError>> = {
+            let staging = &self.staging;
+            let ids = &ids;
+            netsim::parallel::run_owned_with(host_threads, tasks, |i, task| {
+                let unit_id = ids[i];
+                let staged = staging
+                    .stage_out(unit_id, "input")
+                    .map_err(|e| EngineError::Unsupported(format!("staging failed: {e}")))?;
+                let tctx = TaskCtx::new(unit_id, unit_id);
+                let (out, host_s) = netsim::measure(move || task(&tctx, &staged));
+                Ok((out, host_s))
+            })
+        };
         // Phase 2 — agent side: AGENT_SCHEDULING trip per unit, then
         // execution on the pilot's cores (the staged file is really read
         // back). Executions overlap in virtual time; only DB trips
@@ -253,7 +273,7 @@ impl Session {
         let mut in_flight: Vec<(usize, f64, u64)> = Vec::new();
         let per_node = self.cluster.profile.cores_per_node;
         st.exec.set_phase("execute");
-        for (((unit_id, task), ready), ws) in ids.iter().zip(tasks).zip(&t_staged).zip(&wsets) {
+        for (((_unit_id, comp), ready), ws) in ids.iter().zip(computed).zip(&t_staged).zip(&wsets) {
             let ws = *ws;
             let t_sched = st.db.roundtrip(*ready);
             // Admission control: the agent scheduler admits only as many
@@ -286,12 +306,7 @@ impl Session {
                     st.exec.set_node_core_limit(node, per_node);
                 }
             }
-            let staged = self
-                .staging
-                .stage_out(*unit_id, "input")
-                .map_err(|e| EngineError::Unsupported(format!("staging failed: {e}")))?;
-            let tctx = TaskCtx::new(*unit_id, *unit_id);
-            let (out, host_s) = netsim::measure(move || task(&tctx, &staged));
+            let (out, host_s) = comp?;
             // Agent spawn overhead runs on the core too.
             let dur = self
                 .cluster
@@ -495,10 +510,11 @@ mod tests {
         // working sets fit only one at a time: admission caps the node at
         // a single usable core, so the two units execute back-to-back
         // instead of side-by-side.
-        let mut p = laptop();
-        p.cores_per_node = 4;
-        p.mem_per_node = 1 << 20;
-        let s = Session::new(Cluster::new(p, 1)).unwrap();
+        let cluster = Cluster::builder()
+            .cores_per_node(4)
+            .mem_budget(1 << 20)
+            .build();
+        let s = Session::new(cluster).unwrap();
         let units: Vec<UnitDescription<u64>> = (0..2)
             .map(|i| {
                 UnitDescription::compute_only(move |_, _| {
@@ -524,9 +540,7 @@ mod tests {
 
     #[test]
     fn unit_too_fat_for_any_node_fails_typed() {
-        let mut p = laptop();
-        p.mem_per_node = 1 << 20;
-        let s = Session::new(Cluster::new(p, 2)).unwrap();
+        let s = Session::new(Cluster::builder().nodes(2).mem_budget(1 << 20).build()).unwrap();
         let units = vec![UnitDescription::<u64>::compute_only(|_, _| 1).with_working_set(2 << 20)];
         match s.submit_and_wait(units) {
             Err(EngineError::MemoryExhausted { required, .. }) => {
@@ -544,10 +558,14 @@ mod tests {
         // The budget shrinks to zero at t=0: even a modest declared
         // working set becomes unhostable and the submission fails typed
         // (never a hang).
-        let mut p = laptop();
-        p.mem_per_node = 1 << 20;
         let plan = netsim::FaultPlan::none().shrink_memory(0, 0.0, 0);
-        let s = Session::new(Cluster::new(p, 1).with_faults(plan)).unwrap();
+        let s = Session::new(
+            Cluster::builder()
+                .mem_budget(1 << 20)
+                .fault_plan(plan)
+                .build(),
+        )
+        .unwrap();
         let units =
             vec![UnitDescription::<u64>::compute_only(|_, _| 1).with_working_set(64 * 1024)];
         match s.submit_and_wait(units) {

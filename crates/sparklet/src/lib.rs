@@ -193,9 +193,8 @@ mod tests {
 
     #[test]
     fn broadcast_larger_than_node_memory_fails() {
-        let mut profile = laptop();
-        profile.mem_per_node = 1024; // 1 KiB nodes
-        let sc = SparkContext::new(Cluster::new(profile, 2));
+        // 1 KiB nodes
+        let sc = SparkContext::new(Cluster::builder().nodes(2).mem_budget(1024).build());
         let msg = match sc.broadcast(vec![0u64; 1024]) {
             Err(e) => e.to_string(),
             Ok(_) => panic!("8 KiB broadcast must not fit in 1 KiB nodes"),
@@ -206,9 +205,7 @@ mod tests {
     #[test]
     fn more_cores_shrink_virtual_makespan() {
         let run = |cores: usize| {
-            let mut p = laptop();
-            p.cores_per_node = cores;
-            let sc = SparkContext::new(Cluster::new(p, 1));
+            let sc = SparkContext::new(Cluster::builder().cores_per_node(cores).build());
             sc.parallelize((0..64u64).collect(), 64)
                 .map(|x| {
                     // ~0.2ms of real work per task
@@ -236,9 +233,8 @@ mod tests {
         // Nodes barely big enough for one copy of the dataset: caching a
         // second persisted RDD must LRU-evict the first, and re-collecting
         // the first must lineage-recompute bit-identical partitions.
-        let mut profile = laptop();
-        profile.mem_per_node = 600; // bytes; each u64 partition ~8*items
-        let sc = SparkContext::new(Cluster::new(profile, 1));
+        // 600-byte nodes; each u64 partition ~8*items
+        let sc = SparkContext::new(Cluster::builder().mem_budget(600).build());
         let hits = Arc::new(AtomicUsize::new(0));
         let h = Arc::clone(&hits);
         let a = sc
@@ -269,10 +265,14 @@ mod tests {
         // A fault plan shrinks node memory below the broadcast replica
         // size mid-run: the replica degrades to a disk-backed copy (spill)
         // instead of failing or panicking.
-        let mut profile = laptop();
-        profile.mem_per_node = 4096;
         let plan = netsim::FaultPlan::none().shrink_memory(1, 0.0, 128);
-        let sc = SparkContext::new(Cluster::new(profile, 2).with_faults(plan));
+        let sc = SparkContext::new(
+            Cluster::builder()
+                .nodes(2)
+                .mem_budget(4096)
+                .fault_plan(plan)
+                .build(),
+        );
         let table = sc
             .broadcast(vec![7u64; 64])
             .expect("broadcast degrades, not fails");
@@ -334,9 +334,7 @@ mod speculation_tests {
     /// One straggler charging 100 virtual seconds among uniform 1-second
     /// tasks: speculation caps the stage near the healthy duration.
     fn straggler_makespan(speculate: bool) -> f64 {
-        let mut p = laptop();
-        p.cores_per_node = 8;
-        let sc = SparkContext::new(Cluster::new(p, 1));
+        let sc = SparkContext::new(Cluster::builder().cores_per_node(8).build());
         if speculate {
             sc.enable_speculation(1.5);
         }

@@ -256,18 +256,27 @@ where
         let profile = self.ctx.inner.profile.clone();
         let cluster = self.ctx.inner.cluster.clone();
         let dispatch_base = state.frontier;
-        let mut results = Vec::with_capacity(todo.len());
         // Pass 1: execute every (not-cached) task for real and record its
-        // duration.
-        let mut durs = Vec::with_capacity(todo.len());
-        for &p in &todo {
-            let tctx = TaskCtx::new(state.next_task, p);
-            state.next_task += 1;
+        // measurement. Task ids are reserved up front and closures run
+        // across host threads (`SimExecutor::host_threads`); the pool
+        // returns results in `todo` order, so everything downstream —
+        // durations, placement, caching — sees exactly the serial order.
+        let base_task = state.next_task;
+        state.next_task += todo.len();
+        let host_threads = state.exec.host_threads();
+        let measured = netsim::parallel::run_indexed_with(host_threads, todo.len(), |i| {
+            let p = todo[i];
+            let tctx = TaskCtx::new(base_task + i, p);
             let (out, host_s) = measure(|| (self.compute)(p, &tctx));
+            (out, host_s, tctx.charged())
+        });
+        let mut results = Vec::with_capacity(todo.len());
+        let mut durs = Vec::with_capacity(todo.len());
+        for (out, host_s, charged) in measured {
             // Worker overhead is CPU work on the executing core, so it is
             // subject to the same per-core efficiency as the kernel.
             let dur = cluster.scale_compute(host_s + profile.worker_overhead_s)
-                + tctx.charged()
+                + charged
                 + profile.ser_time(out.wire_bytes());
             durs.push(dur);
             results.push(out);

@@ -7,7 +7,7 @@
 //! Shuffle time must be computed from the cores the map tasks actually ran
 //! on and the cores the reducers will run on.
 
-use netsim::{laptop, Cluster};
+use netsim::Cluster;
 use sparklet::{Rdd, SparkContext};
 use taskframe::spark_profile;
 
@@ -19,9 +19,7 @@ const CHARGES: [f64; 5] = [100.0, 50.0, 1.0, 2.0, 0.5];
 #[test]
 fn shuffle_cost_uses_actual_task_placement() {
     // 2 nodes × 2 cores: cores {0,1} on node 0, cores {2,3} on node 1.
-    let mut profile = laptop();
-    profile.cores_per_node = 2;
-    let cluster = Cluster::new(profile, 2);
+    let cluster = Cluster::builder().nodes(2).cores_per_node(2).build();
     let net = cluster.profile.network;
 
     let sc = SparkContext::new(cluster);

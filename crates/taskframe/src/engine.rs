@@ -10,6 +10,59 @@
 use crate::TaskCtx;
 use netsim::{PolicyError, SimReport};
 
+/// The four reproduced execution frameworks, as data — what a
+/// `RunConfig`-style API selects between (the paper's §4 comparison axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// `sparklet`: RDDs, lineage, torrent broadcast (PySpark).
+    Spark,
+    /// `dasklet`: eager delayed graphs, distributed memory manager
+    /// (Dask-distributed).
+    Dask,
+    /// `pilot`: Compute-Units through a MongoDB-coordinated pilot agent
+    /// (RADICAL-Pilot).
+    Pilot,
+    /// `mpilike`: rank threads + collectives (mpi4py).
+    Mpi,
+}
+
+impl Engine {
+    /// All engines, in the paper's presentation order.
+    pub const ALL: [Engine; 4] = [Engine::Spark, Engine::Dask, Engine::Pilot, Engine::Mpi];
+
+    /// Short lowercase name (CLI values, JSON keys, trace labels).
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::Spark => "spark",
+            Engine::Dask => "dask",
+            Engine::Pilot => "pilot",
+            Engine::Mpi => "mpi",
+        }
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "spark" | "sparklet" => Ok(Engine::Spark),
+            "dask" | "dasklet" => Ok(Engine::Dask),
+            "pilot" | "rp" => Ok(Engine::Pilot),
+            "mpi" | "mpilike" => Ok(Engine::Mpi),
+            other => Err(format!(
+                "unknown engine {other:?} (want spark|dask|pilot|mpi)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// A task in a flat bag: runs with a context, returns a small result.
 pub type BagTask = Box<dyn Fn(&TaskCtx) -> u64 + Send + Sync>;
 
@@ -154,6 +207,16 @@ pub trait BagEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn engine_labels_round_trip() {
+        for e in Engine::ALL {
+            assert_eq!(e.label().parse::<Engine>().unwrap(), e);
+            assert_eq!(e.to_string(), e.label());
+        }
+        assert_eq!("mpilike".parse::<Engine>().unwrap(), Engine::Mpi);
+        assert!("ray".parse::<Engine>().is_err());
+    }
 
     #[test]
     fn error_display() {

@@ -18,6 +18,6 @@ pub mod payload;
 pub mod profile;
 
 pub use ctx::TaskCtx;
-pub use engine::{BagEngine, BagTask, EngineError};
+pub use engine::{BagEngine, BagTask, Engine, EngineError};
 pub use payload::Payload;
 pub use profile::{dask_profile, mpi_profile, pilot_profile, spark_profile, FrameworkProfile};

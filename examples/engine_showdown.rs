@@ -42,24 +42,12 @@ fn main() {
         "engine", "makespan", "overhead", "comm"
     );
 
-    let sc = SparkContext::new(cluster());
-    let spark = psa_spark(&sc, Arc::clone(&ensemble), &cfg).expect("fault-free");
-    check("spark", &spark.distances);
-    print_row("Spark", &spark.report);
-
-    let client = DaskClient::new(cluster());
-    let dask = psa_dask(&client, Arc::clone(&ensemble), &cfg).expect("fault-free");
-    check("dask", &dask.distances);
-    print_row("Dask", &dask.report);
-
-    let session = Session::new(cluster()).unwrap();
-    let rp = psa_pilot(&session, &ensemble, &cfg).unwrap();
-    check("pilot", &rp.distances);
-    print_row("RADICAL-Pilot", &rp.report);
-
-    let mpi = psa_mpi(cluster(), 16, &ensemble, &cfg);
-    check("mpi", &mpi.distances);
-    print_row("MPI4py", &mpi.report);
+    for engine in Engine::ALL {
+        let rc = RunConfig::new(cluster(), engine).mpi_world(16);
+        let out = run_psa(&rc, Arc::clone(&ensemble), &cfg).expect("fault-free");
+        check(engine.label(), &out.distances);
+        print_row(engine.label(), &out.report);
+    }
 
     println!("\nAll four engines computed identical distance matrices.");
 

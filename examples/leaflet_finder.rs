@@ -40,9 +40,8 @@ fn main() {
         "approach", "tasks", "edges", "shuffle (B)", "time (s)"
     );
     for approach in LfApproach::ALL {
-        // Fresh context per run: reports are per-job.
-        let sc = SparkContext::new(Cluster::new(wrangler(), 2));
-        match lf_spark(&sc, Arc::clone(&positions), approach, &cfg) {
+        let rc = RunConfig::new(Cluster::new(wrangler(), 2), Engine::Spark).approach(approach);
+        match run_lf(&rc, Arc::clone(&positions), &cfg) {
             Ok(out) => {
                 assert_eq!(out.n_components, 2, "must find exactly two leaflets");
                 assert_eq!(out.leaflet_sizes.iter().sum::<usize>(), positions.len());
@@ -60,9 +59,9 @@ fn main() {
     }
 
     // The broadcast approach's phase breakdown (the subject of Fig. 8).
-    let sc = SparkContext::new(Cluster::new(wrangler(), 2));
-    let out = lf_spark(&sc, Arc::clone(&positions), LfApproach::Broadcast1D, &cfg)
-        .expect("131k-class system broadcasts fine");
+    let rc = RunConfig::new(Cluster::new(wrangler(), 2), Engine::Spark)
+        .approach(LfApproach::Broadcast1D);
+    let out = run_lf(&rc, Arc::clone(&positions), &cfg).expect("131k-class system broadcasts fine");
     println!("\nApproach 1 phase breakdown:");
     for p in &out.report.phases {
         println!("  {:<24} {:>8.4} s", p.name, p.duration());

@@ -36,9 +36,9 @@ fn main() {
     println!("ensemble: {n} trajectories (5 native + 5 displaced)");
 
     // PSA on Spark over a simulated 2-node cluster.
-    let sc = SparkContext::new(Cluster::new(comet(), 2));
-    let out = psa_spark(
-        &sc,
+    let rc = RunConfig::new(Cluster::new(comet(), 2), Engine::Spark);
+    let out = run_psa(
+        &rc,
         Arc::new(ensemble),
         &PsaConfig {
             groups: 5,

@@ -28,16 +28,16 @@ fn main() {
         ensemble[0].n_atoms()
     );
 
-    // 2. A simulated cluster: 2 laptop-profile nodes (8 cores each).
-    let client = DaskClient::new(Cluster::new(laptop(), 2));
+    // 2. A simulated cluster: 2 laptop-profile nodes (8 cores each),
+    //    driven through a Dask-like engine.
+    let rc = RunConfig::new(Cluster::new(laptop(), 2), Engine::Dask);
 
     // 3. PSA with Algorithm 2's 2-D partitioning: 4 groups → 16 tasks.
     let cfg = PsaConfig {
         groups: 4,
         charge_io: true,
     };
-    let out =
-        mdtask::analysis::psa::psa_dask(&client, Arc::clone(&ensemble), &cfg).expect("fault-free");
+    let out = run_psa(&rc, Arc::clone(&ensemble), &cfg).expect("fault-free");
 
     // 4. The distance matrix is real — inspect a few entries.
     println!("\nHausdorff distance matrix (Å):");

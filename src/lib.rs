@@ -35,9 +35,9 @@
 //! let ensemble = Arc::new(mdtask::sim::chain::generate_ensemble(&spec, 4, 42));
 //!
 //! // …analysed with PSA on a Dask-like engine over a simulated cluster.
-//! let client = DaskClient::new(Cluster::new(laptop(), 2));
+//! let run = RunConfig::new(Cluster::new(laptop(), 2), Engine::Dask);
 //! let cfg = PsaConfig { groups: 2, charge_io: true };
-//! let out = mdtask::analysis::psa::psa_dask(&client, ensemble, &cfg).expect("fault-free");
+//! let out = run_psa(&run, ensemble, &cfg).expect("fault-free");
 //! assert_eq!(out.distances.rows(), 4);
 //! assert!(out.report.makespan_s > 0.0);
 //! ```
@@ -58,16 +58,21 @@ pub use taskframe as frame;
 
 /// The most common imports in one place.
 pub mod prelude {
+    #[allow(deprecated)]
     pub use crate::analysis::leaflet::{
         lf_dask, lf_mpi, lf_mpi_with_policy, lf_pilot, lf_serial, lf_spark,
     };
+    #[allow(deprecated)]
     pub use crate::analysis::psa::{
         psa_dask, psa_mpi, psa_mpi_with_policy, psa_pilot, psa_serial, psa_spark,
     };
-    pub use crate::analysis::{EngineKind, LfApproach, LfConfig, LfOutput, PsaConfig, PsaOutput};
+    pub use crate::analysis::{
+        run_lf, run_psa, Engine, EngineKind, LfApproach, LfConfig, LfOutput, LfRun, PsaConfig,
+        PsaOutput, PsaRun, RunConfig,
+    };
     pub use crate::cluster::{
         comet, laptop, wrangler, ChaosConfig, Cluster, CriticalPath, EventKind, FaultPlan,
-        MachineProfile, Metrics, RetryPolicy, SimReport, Trace, TraceEvent,
+        MachineProfile, Metrics, RetryPolicy, SimReport, Threads, Trace, TraceEvent,
     };
     pub use crate::dask::{Bag, DaskClient, Delayed};
     pub use crate::frame::{BagEngine, EngineError, FrameworkProfile, Payload, TaskCtx};

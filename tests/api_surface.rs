@@ -1,0 +1,222 @@
+//! API-surface regression (PR-5 satellite): the deprecated free-function
+//! entry points and the [`RunConfig`] + `run_lf`/`run_psa` API must
+//! produce bit-identical outputs for every engine × workload combination,
+//! including the `*_with_policy` variants the builder folded in.
+//!
+//! `netsim::set_deterministic_timing(true)` zeroes the host-time
+//! component of task costs, so full `SimReport` equality (makespan,
+//! bytes, retries, phases, trace) is exact, not approximate.
+#![allow(deprecated)]
+
+use mdtask::prelude::*;
+use std::sync::Arc;
+
+fn lf_system() -> (Arc<Vec<Vec3>>, LfConfig) {
+    let b = mdtask::sim::bilayer::generate(
+        &BilayerSpec {
+            n_atoms: 240,
+            ..Default::default()
+        },
+        11,
+    );
+    (
+        Arc::new(b.positions),
+        LfConfig {
+            cutoff: b.suggested_cutoff,
+            partitions: 8,
+            paper_atoms: 240,
+            charge_io: true,
+        },
+    )
+}
+
+fn psa_system() -> (Arc<Vec<Trajectory>>, PsaConfig) {
+    let spec = ChainSpec {
+        n_atoms: 12,
+        n_frames: 6,
+        stride: 1,
+        ..ChainSpec::default()
+    };
+    (
+        Arc::new(mdtask::sim::chain::generate_ensemble(&spec, 5, 42)),
+        PsaConfig {
+            groups: 2,
+            charge_io: true,
+        },
+    )
+}
+
+fn cluster() -> Cluster {
+    Cluster::new(laptop(), 2)
+}
+
+fn assert_lf_identical(what: &str, old: &LfOutput, new: &LfOutput) {
+    assert_eq!(
+        old.leaflet_sizes, new.leaflet_sizes,
+        "{what}: leaflet sizes"
+    );
+    assert_eq!(old.n_components, new.n_components, "{what}: components");
+    assert_eq!(old.edges_found, new.edges_found, "{what}: edges");
+    assert_eq!(
+        old.shuffle_bytes, new.shuffle_bytes,
+        "{what}: shuffle bytes"
+    );
+    assert_eq!(old.tasks, new.tasks, "{what}: tasks");
+    assert_eq!(old.report, new.report, "{what}: SimReport");
+}
+
+fn assert_psa_identical(what: &str, old: &PsaOutput, new: &PsaOutput) {
+    assert_eq!(
+        old.distances.as_slice(),
+        new.distances.as_slice(),
+        "{what}: distance matrix"
+    );
+    assert_eq!(old.report, new.report, "{what}: SimReport");
+}
+
+#[test]
+fn lf_free_functions_match_run_lf_for_every_engine_and_approach() {
+    mdtask::cluster::set_deterministic_timing(true);
+    let (positions, cfg) = lf_system();
+    for approach in LfApproach::ALL {
+        let old = lf_spark(
+            &SparkContext::new(cluster()),
+            Arc::clone(&positions),
+            approach,
+            &cfg,
+        )
+        .unwrap();
+        let rc = RunConfig::new(cluster(), Engine::Spark).approach(approach);
+        let new = run_lf(&rc, Arc::clone(&positions), &cfg).unwrap();
+        assert_lf_identical(&format!("spark/{}", approach.label()), &old, &new);
+
+        let old = lf_dask(
+            &DaskClient::new(cluster()),
+            Arc::clone(&positions),
+            approach,
+            &cfg,
+        )
+        .unwrap();
+        let rc = RunConfig::new(cluster(), Engine::Dask).approach(approach);
+        let new = run_lf(&rc, Arc::clone(&positions), &cfg).unwrap();
+        assert_lf_identical(&format!("dask/{}", approach.label()), &old, &new);
+
+        let old = lf_mpi(cluster(), 8, &positions, approach, &cfg).unwrap();
+        let rc = RunConfig::new(cluster(), Engine::Mpi)
+            .approach(approach)
+            .mpi_world(8);
+        let new = run_lf(&rc, Arc::clone(&positions), &cfg).unwrap();
+        assert_lf_identical(&format!("mpi/{}", approach.label()), &old, &new);
+    }
+
+    // Pilot implements Approach 2 only; the free function takes no
+    // approach argument and run_lf ignores the knob for it.
+    let session = Session::new(cluster()).unwrap();
+    let old = lf_pilot(&session, &positions, &cfg).unwrap();
+    let rc = RunConfig::new(cluster(), Engine::Pilot);
+    let new = run_lf(&rc, Arc::clone(&positions), &cfg).unwrap();
+    assert_lf_identical("pilot", &old, &new);
+}
+
+#[test]
+fn lf_mpi_with_policy_matches_configured_run_lf_under_faults() {
+    mdtask::cluster::set_deterministic_timing(true);
+    let (positions, cfg) = lf_system();
+    let plan = FaultPlan::none().kill_node(1, 0.4);
+    let policy = RetryPolicy::new(4).with_detection_delay(0.25);
+    for restart_from_barrier in [true, false] {
+        let faulty = || cluster().with_faults(plan.clone());
+        let old = lf_mpi_with_policy(
+            faulty(),
+            8,
+            &positions,
+            LfApproach::Broadcast1D,
+            &cfg,
+            &policy,
+            restart_from_barrier,
+        )
+        .unwrap();
+        let rc = RunConfig::new(faulty(), Engine::Mpi)
+            .approach(LfApproach::Broadcast1D)
+            .mpi_world(8)
+            .retry_policy(policy)
+            .checkpoint_restart(restart_from_barrier);
+        let new = run_lf(&rc, Arc::clone(&positions), &cfg).unwrap();
+        assert_lf_identical(
+            &format!("mpi policy restart={restart_from_barrier}"),
+            &old,
+            &new,
+        );
+    }
+}
+
+#[test]
+fn psa_free_functions_match_run_psa_for_every_engine() {
+    mdtask::cluster::set_deterministic_timing(true);
+    let (ensemble, cfg) = psa_system();
+
+    let old = psa_spark(&SparkContext::new(cluster()), Arc::clone(&ensemble), &cfg).unwrap();
+    let rc = RunConfig::new(cluster(), Engine::Spark);
+    let new = run_psa(&rc, Arc::clone(&ensemble), &cfg).unwrap();
+    assert_psa_identical("spark", &old, &new);
+
+    let old = psa_dask(&DaskClient::new(cluster()), Arc::clone(&ensemble), &cfg).unwrap();
+    let rc = RunConfig::new(cluster(), Engine::Dask);
+    let new = run_psa(&rc, Arc::clone(&ensemble), &cfg).unwrap();
+    assert_psa_identical("dask", &old, &new);
+
+    let session = Session::new(cluster()).unwrap();
+    let old = psa_pilot(&session, &ensemble, &cfg).unwrap();
+    let rc = RunConfig::new(cluster(), Engine::Pilot);
+    let new = run_psa(&rc, Arc::clone(&ensemble), &cfg).unwrap();
+    assert_psa_identical("pilot", &old, &new);
+
+    // The legacy psa_mpi is infallible single-attempt; RunConfig's MPI
+    // default (no policy = one attempt, restart-from-barrier on) must be
+    // bit-identical to it.
+    let old = psa_mpi(cluster(), 8, &ensemble, &cfg);
+    let rc = RunConfig::new(cluster(), Engine::Mpi).mpi_world(8);
+    let new = run_psa(&rc, Arc::clone(&ensemble), &cfg).unwrap();
+    assert_psa_identical("mpi", &old, &new);
+}
+
+#[test]
+fn psa_mpi_with_policy_matches_configured_run_psa_under_faults() {
+    mdtask::cluster::set_deterministic_timing(true);
+    let (ensemble, cfg) = psa_system();
+    let plan = FaultPlan::none().kill_node(0, 0.3);
+    let policy = RetryPolicy::new(5).with_detection_delay(0.25);
+    for restart_from_barrier in [true, false] {
+        let faulty = || cluster().with_faults(plan.clone());
+        let old = psa_mpi_with_policy(faulty(), 8, &ensemble, &cfg, &policy, restart_from_barrier)
+            .unwrap();
+        let rc = RunConfig::new(faulty(), Engine::Mpi)
+            .mpi_world(8)
+            .retry_policy(policy)
+            .checkpoint_restart(restart_from_barrier);
+        let new = run_psa(&rc, Arc::clone(&ensemble), &cfg).unwrap();
+        assert_psa_identical(
+            &format!("mpi policy restart={restart_from_barrier}"),
+            &old,
+            &new,
+        );
+    }
+}
+
+#[test]
+fn traced_runs_are_identical_across_apis() {
+    mdtask::cluster::set_deterministic_timing(true);
+    let (positions, cfg) = lf_system();
+    let sc = SparkContext::new(cluster());
+    sc.enable_trace();
+    let old = lf_spark(&sc, Arc::clone(&positions), LfApproach::TreeSearch, &cfg).unwrap();
+    let rc = RunConfig::new(cluster(), Engine::Spark)
+        .approach(LfApproach::TreeSearch)
+        .trace(true);
+    let new = run_lf(&rc, Arc::clone(&positions), &cfg).unwrap();
+    assert!(
+        new.report.trace.is_some(),
+        "RunConfig::trace records a trace"
+    );
+    assert_lf_identical("spark traced", &old, &new);
+}

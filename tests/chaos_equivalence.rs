@@ -77,6 +77,11 @@ fn lf_matches(clean: &LfOutput, got: &LfOutput) -> Result<(), String> {
     Ok(())
 }
 
+/// The policy the MPI chaos runs recover under.
+fn mpi_chaos_policy() -> RetryPolicy {
+    RetryPolicy::new(4).with_detection_delay(0.25)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(CASES))]
 
@@ -84,21 +89,11 @@ proptest! {
     #[test]
     fn spark_lf_matches_fault_free_under_chaos(seed in 0u64..u64::MAX / 2) {
         let (positions, cfg) = lf_system();
-        let clean = lf_spark(
-            &SparkContext::new(cluster(FaultPlan::none())),
-            Arc::clone(&positions),
-            LfApproach::ParallelCC,
-            &cfg,
-        )
-        .unwrap();
+        let rc = |plan| RunConfig::new(cluster(plan), Engine::Spark)
+            .approach(LfApproach::ParallelCC);
+        let clean = run_lf(&rc(FaultPlan::none()), Arc::clone(&positions), &cfg).unwrap();
         let plan = plan_for_seed(&chaos_cfg((0.0, 3.0)), seed);
-        let got = lf_spark(
-            &SparkContext::new(cluster(plan)),
-            Arc::clone(&positions),
-            LfApproach::ParallelCC,
-            &cfg,
-        );
-        match got {
+        match run_lf(&rc(plan), Arc::clone(&positions), &cfg) {
             Ok(out) => prop_assert!(lf_matches(&clean, &out).is_ok(),
                 "seed {seed}: {:?}", lf_matches(&clean, &out)),
             Err(e) => prop_assert!(false, "seed {seed}: spark errored: {e:?}"),
@@ -109,21 +104,11 @@ proptest! {
     #[test]
     fn dask_lf_matches_fault_free_under_chaos(seed in 0u64..u64::MAX / 2) {
         let (positions, cfg) = lf_system();
-        let clean = lf_dask(
-            &DaskClient::new(cluster(FaultPlan::none())),
-            Arc::clone(&positions),
-            LfApproach::Task2D,
-            &cfg,
-        )
-        .unwrap();
+        let rc = |plan| RunConfig::new(cluster(plan), Engine::Dask)
+            .approach(LfApproach::Task2D);
+        let clean = run_lf(&rc(FaultPlan::none()), Arc::clone(&positions), &cfg).unwrap();
         let plan = plan_for_seed(&chaos_cfg((0.0, 3.0)), seed);
-        let got = lf_dask(
-            &DaskClient::new(cluster(plan)),
-            Arc::clone(&positions),
-            LfApproach::Task2D,
-            &cfg,
-        );
-        match got {
+        match run_lf(&rc(plan), Arc::clone(&positions), &cfg) {
             Ok(out) => prop_assert!(lf_matches(&clean, &out).is_ok(),
                 "seed {seed}: {:?}", lf_matches(&clean, &out)),
             Err(e) => prop_assert!(false, "seed {seed}: dask errored: {e:?}"),
@@ -135,23 +120,15 @@ proptest! {
     #[test]
     fn mpi_lf_matches_fault_free_under_chaos(seed in 0u64..u64::MAX / 2) {
         let (positions, cfg) = lf_system();
-        let clean = lf_mpi(
-            cluster(FaultPlan::none()),
-            16,
-            &positions,
-            LfApproach::Broadcast1D,
-            &cfg,
-        )
-        .unwrap();
+        let base = |plan| RunConfig::new(cluster(plan), Engine::Mpi)
+            .approach(LfApproach::Broadcast1D)
+            .mpi_world(16);
+        let clean = run_lf(&base(FaultPlan::none()), Arc::clone(&positions), &cfg).unwrap();
         let plan = plan_for_seed(&chaos_cfg((0.0, 1.5)), seed);
-        let got = lf_mpi_with_policy(
-            cluster(plan),
-            16,
-            &positions,
-            LfApproach::Broadcast1D,
+        let got = run_lf(
+            &base(plan).retry_policy(mpi_chaos_policy()),
+            Arc::clone(&positions),
             &cfg,
-            &RetryPolicy::new(4).with_detection_delay(0.25),
-            true,
         );
         match got {
             Ok(out) => prop_assert!(lf_matches(&clean, &out).is_ok(),
@@ -165,14 +142,10 @@ proptest! {
     #[test]
     fn spark_psa_matches_fault_free_under_chaos(seed in 0u64..u64::MAX / 2) {
         let (ensemble, cfg) = psa_system();
-        let clean = psa_spark(
-            &SparkContext::new(cluster(FaultPlan::none())),
-            Arc::clone(&ensemble),
-            &cfg,
-        )
-        .unwrap();
+        let rc = |plan| RunConfig::new(cluster(plan), Engine::Spark);
+        let clean = run_psa(&rc(FaultPlan::none()), Arc::clone(&ensemble), &cfg).unwrap();
         let plan = plan_for_seed(&chaos_cfg((0.0, 3.0)), seed);
-        match psa_spark(&SparkContext::new(cluster(plan)), Arc::clone(&ensemble), &cfg) {
+        match run_psa(&rc(plan), Arc::clone(&ensemble), &cfg) {
             Ok(out) => prop_assert!(
                 out.distances.as_slice() == clean.distances.as_slice(),
                 "seed {seed}: matrix diverged"
@@ -185,14 +158,10 @@ proptest! {
     #[test]
     fn dask_psa_matches_fault_free_under_chaos(seed in 0u64..u64::MAX / 2) {
         let (ensemble, cfg) = psa_system();
-        let clean = psa_dask(
-            &DaskClient::new(cluster(FaultPlan::none())),
-            Arc::clone(&ensemble),
-            &cfg,
-        )
-        .unwrap();
+        let rc = |plan| RunConfig::new(cluster(plan), Engine::Dask);
+        let clean = run_psa(&rc(FaultPlan::none()), Arc::clone(&ensemble), &cfg).unwrap();
         let plan = plan_for_seed(&chaos_cfg((0.0, 3.0)), seed);
-        match psa_dask(&DaskClient::new(cluster(plan)), Arc::clone(&ensemble), &cfg) {
+        match run_psa(&rc(plan), Arc::clone(&ensemble), &cfg) {
             Ok(out) => prop_assert!(
                 out.distances.as_slice() == clean.distances.as_slice(),
                 "seed {seed}: matrix diverged"
@@ -206,14 +175,10 @@ proptest! {
     #[test]
     fn pilot_psa_matches_fault_free_under_chaos(seed in 0u64..u64::MAX / 2) {
         let (ensemble, cfg) = psa_system();
-        let clean = psa_pilot(
-            &Session::new(cluster(FaultPlan::none())).unwrap(),
-            &ensemble,
-            &cfg,
-        )
-        .unwrap();
+        let rc = |plan| RunConfig::new(cluster(plan), Engine::Pilot);
+        let clean = run_psa(&rc(FaultPlan::none()), Arc::clone(&ensemble), &cfg).unwrap();
         let plan = plan_for_seed(&chaos_cfg((0.0, 40.0)), seed);
-        match psa_pilot(&Session::new(cluster(plan)).unwrap(), &ensemble, &cfg) {
+        match run_psa(&rc(plan), Arc::clone(&ensemble), &cfg) {
             Ok(out) => prop_assert!(
                 out.distances.as_slice() == clean.distances.as_slice(),
                 "seed {seed}: matrix diverged"
@@ -227,15 +192,13 @@ proptest! {
     #[test]
     fn mpi_psa_matches_fault_free_under_chaos(seed in 0u64..u64::MAX / 2) {
         let (ensemble, cfg) = psa_system();
-        let clean = psa_mpi(cluster(FaultPlan::none()), 8, &ensemble, &cfg);
+        let base = |plan| RunConfig::new(cluster(plan), Engine::Mpi).mpi_world(8);
+        let clean = run_psa(&base(FaultPlan::none()), Arc::clone(&ensemble), &cfg).unwrap();
         let plan = plan_for_seed(&chaos_cfg((0.0, 1.5)), seed);
-        match psa_mpi_with_policy(
-            cluster(plan),
-            8,
-            &ensemble,
+        match run_psa(
+            &base(plan).retry_policy(mpi_chaos_policy()),
+            Arc::clone(&ensemble),
             &cfg,
-            &RetryPolicy::new(4).with_detection_delay(0.25),
-            true,
         ) {
             Ok(out) => prop_assert!(
                 out.distances.as_slice() == clean.distances.as_slice(),
@@ -249,19 +212,10 @@ proptest! {
     #[test]
     fn pilot_lf_matches_fault_free_under_chaos(seed in 0u64..u64::MAX / 2) {
         let (positions, cfg) = lf_system();
-        let clean = lf_pilot(
-            &Session::new(cluster(FaultPlan::none())).unwrap(),
-            &positions,
-            &cfg,
-        )
-        .unwrap();
+        let rc = |plan| RunConfig::new(cluster(plan), Engine::Pilot);
+        let clean = run_lf(&rc(FaultPlan::none()), Arc::clone(&positions), &cfg).unwrap();
         let plan = plan_for_seed(&chaos_cfg((0.0, 40.0)), seed);
-        let got = lf_pilot(
-            &Session::new(cluster(plan)).unwrap(),
-            &positions,
-            &cfg,
-        );
-        match got {
+        match run_lf(&rc(plan), Arc::clone(&positions), &cfg) {
             Ok(out) => prop_assert!(lf_matches(&clean, &out).is_ok(),
                 "seed {seed}: {:?}", lf_matches(&clean, &out)),
             Err(e) => prop_assert!(false, "seed {seed}: pilot errored: {e:?}"),

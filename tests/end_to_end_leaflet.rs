@@ -43,28 +43,19 @@ fn cluster() -> Cluster {
 fn every_engine_and_approach_recovers_ground_truth() {
     let s = system();
     for approach in LfApproach::ALL {
-        let spark = lf_spark(
-            &SparkContext::new(cluster()),
-            Arc::clone(&s.positions),
-            approach,
-            &s.cfg,
-        )
-        .unwrap();
-        assert_eq!(spark.leaflet_sizes, s.truth, "spark {approach:?}");
-
-        let dask = lf_dask(
-            &DaskClient::new(cluster()),
-            Arc::clone(&s.positions),
-            approach,
-            &s.cfg,
-        )
-        .unwrap();
-        assert_eq!(dask.leaflet_sizes, s.truth, "dask {approach:?}");
-
-        let mpi = lf_mpi(cluster(), 6, &s.positions, approach, &s.cfg).unwrap();
+        for engine in [Engine::Spark, Engine::Dask] {
+            let rc = RunConfig::new(cluster(), engine).approach(approach);
+            let out = run_lf(&rc, Arc::clone(&s.positions), &s.cfg).unwrap();
+            assert_eq!(out.leaflet_sizes, s.truth, "{engine:?} {approach:?}");
+        }
+        let rc = RunConfig::new(cluster(), Engine::Mpi)
+            .approach(approach)
+            .mpi_world(6);
+        let mpi = run_lf(&rc, Arc::clone(&s.positions), &s.cfg).unwrap();
         assert_eq!(mpi.leaflet_sizes, s.truth, "mpi {approach:?}");
     }
-    let rp = lf_pilot(&Session::new(cluster()).unwrap(), &s.positions, &s.cfg).unwrap();
+    let rc = RunConfig::new(cluster(), Engine::Pilot);
+    let rp = run_lf(&rc, Arc::clone(&s.positions), &s.cfg).unwrap();
     assert_eq!(rp.leaflet_sizes, s.truth, "pilot approach 2");
 }
 
@@ -96,12 +87,8 @@ fn paper_scale_memory_failures_reproduce() {
         paper_atoms: 4_000_000,
         ..s.cfg.clone()
     };
-    let err = lf_spark(
-        &SparkContext::new(c.clone()),
-        Arc::clone(&s.positions),
-        LfApproach::Task2D,
-        &big,
-    );
+    let rc = RunConfig::new(c.clone(), Engine::Spark).approach(LfApproach::Task2D);
+    let err = run_lf(&rc, Arc::clone(&s.positions), &big);
     assert!(err.is_err(), "approach 2 at 4M paper-scale must refuse");
 }
 
@@ -115,13 +102,8 @@ fn memory_splitting_increases_task_count() {
         partitions: 64,
         ..s.cfg.clone()
     };
-    let out = lf_spark(
-        &SparkContext::new(cluster()),
-        Arc::clone(&s.positions),
-        LfApproach::ParallelCC,
-        &big,
-    )
-    .unwrap();
+    let rc = RunConfig::new(cluster(), Engine::Spark).approach(LfApproach::ParallelCC);
+    let out = run_lf(&rc, Arc::clone(&s.positions), &big).unwrap();
     assert!(
         out.tasks > 64 * 10,
         "expected task explosion from memory splitting, got {}",

@@ -44,28 +44,16 @@ fn psa_from_files_identical_across_engines() {
     let arc = Arc::new(reloaded.clone());
     let cluster = || Cluster::new(wrangler(), 2);
 
-    let outs = vec![
-        (
-            "spark",
-            psa_spark(&SparkContext::new(cluster()), Arc::clone(&arc), &cfg)
-                .expect("fault-free")
-                .distances,
-        ),
-        (
-            "dask",
-            psa_dask(&DaskClient::new(cluster()), Arc::clone(&arc), &cfg)
-                .expect("fault-free")
-                .distances,
-        ),
-        (
-            "pilot",
-            psa_pilot(&Session::new(cluster()).unwrap(), &reloaded, &cfg)
-                .unwrap()
-                .distances,
-        ),
-        ("mpi", psa_mpi(cluster(), 8, &reloaded, &cfg).distances),
-    ];
+    let outs: Vec<(Engine, DistanceMatrix)> = Engine::ALL
+        .into_iter()
+        .map(|engine| {
+            let rc = RunConfig::new(cluster(), engine).mpi_world(8);
+            let out = run_psa(&rc, Arc::clone(&arc), &cfg).expect("fault-free");
+            (engine, out.distances)
+        })
+        .collect();
     for (name, d) in outs {
+        let name = name.label();
         for i in 0..reference.rows() {
             for j in 0..reference.cols() {
                 assert!(

@@ -51,25 +51,16 @@ fn phase_midpoint(report: &SimReport, name: &str) -> f64 {
 #[test]
 fn spark_survives_worker_death_with_identical_results() {
     let s = system();
-    let clean = lf_spark(
-        &SparkContext::new(cluster()),
-        Arc::clone(&s.positions),
-        LfApproach::Broadcast1D,
-        &s.cfg,
-    )
-    .unwrap();
+    let rc = RunConfig::new(cluster(), Engine::Spark).approach(LfApproach::Broadcast1D);
+    let clean = run_lf(&rc, Arc::clone(&s.positions), &s.cfg).unwrap();
     assert_eq!(clean.report.retries, 0);
     assert_eq!(clean.report.lost_time_s, 0.0);
 
     let t_kill = phase_midpoint(&clean.report, "edge-discovery");
     let plan = FaultPlan::none().kill_node(1, t_kill);
-    let faulty = lf_spark(
-        &SparkContext::new(cluster().with_faults(plan)),
-        Arc::clone(&s.positions),
-        LfApproach::Broadcast1D,
-        &s.cfg,
-    )
-    .unwrap();
+    let rc = RunConfig::new(cluster().with_faults(plan), Engine::Spark)
+        .approach(LfApproach::Broadcast1D);
+    let faulty = run_lf(&rc, Arc::clone(&s.positions), &s.cfg).unwrap();
 
     assert_eq!(faulty.leaflet_sizes, clean.leaflet_sizes);
     assert_eq!(faulty.n_components, clean.n_components);
@@ -99,24 +90,15 @@ fn spark_survives_worker_death_with_identical_results() {
 #[test]
 fn dask_survives_worker_death_with_identical_results() {
     let s = system();
-    let clean = lf_dask(
-        &DaskClient::new(cluster()),
-        Arc::clone(&s.positions),
-        LfApproach::Broadcast1D,
-        &s.cfg,
-    )
-    .unwrap();
+    let rc = RunConfig::new(cluster(), Engine::Dask).approach(LfApproach::Broadcast1D);
+    let clean = run_lf(&rc, Arc::clone(&s.positions), &s.cfg).unwrap();
     assert_eq!(clean.report.retries, 0);
 
     let t_kill = phase_midpoint(&clean.report, "edge-discovery");
     let plan = FaultPlan::none().kill_node(1, t_kill);
-    let faulty = lf_dask(
-        &DaskClient::new(cluster().with_faults(plan)),
-        Arc::clone(&s.positions),
-        LfApproach::Broadcast1D,
-        &s.cfg,
-    )
-    .unwrap();
+    let rc =
+        RunConfig::new(cluster().with_faults(plan), Engine::Dask).approach(LfApproach::Broadcast1D);
+    let faulty = run_lf(&rc, Arc::clone(&s.positions), &s.cfg).unwrap();
 
     assert_eq!(faulty.leaflet_sizes, clean.leaflet_sizes);
     assert_eq!(faulty.n_components, clean.n_components);
@@ -176,14 +158,10 @@ fn mpi_aborts_on_worker_death() {
     // 0.4 s is before mpirun even finishes startup (0.5 s), so the death
     // always lands inside the job window.
     let plan = FaultPlan::none().kill_node(1, 0.4);
-    let got = lf_mpi(
-        cluster().with_faults(plan),
-        16,
-        &s.positions,
-        LfApproach::Broadcast1D,
-        &s.cfg,
-    );
-    match got {
+    let rc = RunConfig::new(cluster().with_faults(plan), Engine::Mpi)
+        .approach(LfApproach::Broadcast1D)
+        .mpi_world(16);
+    match run_lf(&rc, Arc::clone(&s.positions), &s.cfg) {
         Err(EngineError::WorkerLost { node, at_s }) => {
             assert_eq!(node, 1);
             assert!((at_s - 0.4).abs() < 1e-12);
@@ -193,13 +171,10 @@ fn mpi_aborts_on_worker_death() {
 
     // A death scripted *after* the job would finish leaves it untouched.
     let late = FaultPlan::none().kill_node(1, 1e6);
-    let ok = lf_mpi(
-        cluster().with_faults(late),
-        16,
-        &s.positions,
-        LfApproach::Broadcast1D,
-        &s.cfg,
-    );
+    let rc = RunConfig::new(cluster().with_faults(late), Engine::Mpi)
+        .approach(LfApproach::Broadcast1D)
+        .mpi_world(16);
+    let ok = run_lf(&rc, Arc::clone(&s.positions), &s.cfg);
     assert!(ok.is_ok(), "a post-job death must not abort: {ok:?}");
 }
 

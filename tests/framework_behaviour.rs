@@ -108,8 +108,8 @@ fn comet_outruns_wrangler() {
         charge_io: true,
     };
     let run = |profile: MachineProfile| {
-        let sc = SparkContext::new(Cluster::with_cores(profile, 48));
-        psa_spark(&sc, std::sync::Arc::clone(&e), &cfg)
+        let rc = RunConfig::new(Cluster::with_cores(profile, 48), Engine::Spark);
+        run_psa(&rc, std::sync::Arc::clone(&e), &cfg)
             .expect("fault-free")
             .report
             .makespan_s
@@ -140,24 +140,22 @@ fn shuffle_volume_ordering_across_engines() {
         charge_io: false,
     };
     let c = || Cluster::new(comet(), 2);
-    let s2 = lf_spark(
-        &SparkContext::new(c()),
-        pos.clone(),
-        LfApproach::Task2D,
-        &cfg,
-    )
-    .unwrap();
-    let s3 = lf_spark(
-        &SparkContext::new(c()),
-        pos.clone(),
-        LfApproach::ParallelCC,
-        &cfg,
-    )
-    .unwrap();
+    let spark = |approach| {
+        let rc = RunConfig::new(c(), Engine::Spark).approach(approach);
+        run_lf(&rc, pos.clone(), &cfg).unwrap()
+    };
+    let s2 = spark(LfApproach::Task2D);
+    let s3 = spark(LfApproach::ParallelCC);
     assert!(s3.shuffle_bytes < s2.shuffle_bytes);
 
-    let m2 = lf_mpi(c(), 8, &pos, LfApproach::Task2D, &cfg).unwrap();
-    let m3 = lf_mpi(c(), 8, &pos, LfApproach::ParallelCC, &cfg).unwrap();
+    let mpi = |approach| {
+        let rc = RunConfig::new(c(), Engine::Mpi)
+            .approach(approach)
+            .mpi_world(8);
+        run_lf(&rc, pos.clone(), &cfg).unwrap()
+    };
+    let m2 = mpi(LfApproach::Task2D);
+    let m3 = mpi(LfApproach::ParallelCC);
     assert!(m3.shuffle_bytes < m2.shuffle_bytes);
 }
 
@@ -187,17 +185,15 @@ fn broadcast_share_dask_exceeds_spark() {
         let edges = report.phase_total("edge-discovery").unwrap();
         bcast / edges
     };
-    let spark = lf_spark(
-        &SparkContext::new(c()),
+    let spark = run_lf(
+        &RunConfig::new(c(), Engine::Spark).approach(LfApproach::Broadcast1D),
         pos.clone(),
-        LfApproach::Broadcast1D,
         &cfg,
     )
     .unwrap();
-    let dask = lf_dask(
-        &DaskClient::new(c()),
+    let dask = run_lf(
+        &RunConfig::new(c(), Engine::Dask).approach(LfApproach::Broadcast1D),
         pos.clone(),
-        LfApproach::Broadcast1D,
         &cfg,
     )
     .unwrap();

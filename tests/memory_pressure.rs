@@ -102,6 +102,23 @@ fn lf_matches(clean: &LfOutput, got: &LfOutput) -> Result<(), String> {
     Ok(())
 }
 
+/// LF `RunConfig` for an engine with its canonical degradation-path
+/// approach, over the given fault plan.
+fn lf_rc(engine: Engine, plan: FaultPlan) -> RunConfig {
+    let approach = match engine {
+        Engine::Spark => LfApproach::ParallelCC,
+        Engine::Dask => LfApproach::Task2D,
+        _ => LfApproach::Broadcast1D,
+    };
+    RunConfig::new(cluster(plan), engine)
+        .approach(approach)
+        .mpi_world(16)
+}
+
+fn psa_rc(engine: Engine, plan: FaultPlan) -> RunConfig {
+    RunConfig::new(cluster(plan), engine).mpi_world(8)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(CASES))]
 
@@ -110,20 +127,11 @@ proptest! {
     #[test]
     fn spark_lf_survives_memory_cap_bit_identical(frac in 0.25f64..1.0) {
         let (positions, cfg) = lf_system();
-        let clean = lf_spark(
-            &SparkContext::new(cluster(FaultPlan::none())),
-            Arc::clone(&positions),
-            LfApproach::ParallelCC,
-            &cfg,
-        )
-        .unwrap();
+        let clean = run_lf(&lf_rc(Engine::Spark, FaultPlan::none()),
+            Arc::clone(&positions), &cfg).unwrap();
         let cap = ((peak_footprint(&clean.report) as f64 * frac) as u64).max(1);
-        let got = lf_spark(
-            &SparkContext::new(cluster(memory_cap_plan(cap))),
-            Arc::clone(&positions),
-            LfApproach::ParallelCC,
-            &cfg,
-        );
+        let got = run_lf(&lf_rc(Engine::Spark, memory_cap_plan(cap)),
+            Arc::clone(&positions), &cfg);
         match got {
             Ok(out) => prop_assert!(lf_matches(&clean, &out).is_ok(),
                 "cap {cap}: {:?}", lf_matches(&clean, &out)),
@@ -137,20 +145,11 @@ proptest! {
     #[test]
     fn dask_lf_survives_memory_cap_bit_identical(frac in 0.25f64..1.0) {
         let (positions, cfg) = lf_system();
-        let clean = lf_dask(
-            &DaskClient::new(cluster(FaultPlan::none())),
-            Arc::clone(&positions),
-            LfApproach::Task2D,
-            &cfg,
-        )
-        .unwrap();
+        let clean = run_lf(&lf_rc(Engine::Dask, FaultPlan::none()),
+            Arc::clone(&positions), &cfg).unwrap();
         let cap = ((peak_footprint(&clean.report) as f64 * frac) as u64).max(1);
-        let got = lf_dask(
-            &DaskClient::new(cluster(memory_cap_plan(cap))),
-            Arc::clone(&positions),
-            LfApproach::Task2D,
-            &cfg,
-        );
+        let got = run_lf(&lf_rc(Engine::Dask, memory_cap_plan(cap)),
+            Arc::clone(&positions), &cfg);
         match got {
             Ok(out) => prop_assert!(lf_matches(&clean, &out).is_ok(),
                 "cap {cap}: {:?}", lf_matches(&clean, &out)),
@@ -164,18 +163,11 @@ proptest! {
     #[test]
     fn pilot_lf_survives_memory_cap_bit_identical(frac in 0.25f64..1.0) {
         let (positions, cfg) = lf_system();
-        let clean = lf_pilot(
-            &Session::new(cluster(FaultPlan::none())).unwrap(),
-            &positions,
-            &cfg,
-        )
-        .unwrap();
+        let clean = run_lf(&lf_rc(Engine::Pilot, FaultPlan::none()),
+            Arc::clone(&positions), &cfg).unwrap();
         let cap = ((peak_footprint(&clean.report) as f64 * frac) as u64).max(1);
-        let got = lf_pilot(
-            &Session::new(cluster(memory_cap_plan(cap))).unwrap(),
-            &positions,
-            &cfg,
-        );
+        let got = run_lf(&lf_rc(Engine::Pilot, memory_cap_plan(cap)),
+            Arc::clone(&positions), &cfg);
         match got {
             Ok(out) => prop_assert!(lf_matches(&clean, &out).is_ok(),
                 "cap {cap}: {:?}", lf_matches(&clean, &out)),
@@ -191,24 +183,13 @@ proptest! {
     #[test]
     fn mpi_lf_survives_memory_cap_bit_identical(frac in 0.2f64..4.0) {
         let (positions, cfg) = lf_system();
-        let clean = lf_mpi(
-            cluster(FaultPlan::none()),
-            16,
-            &positions,
-            LfApproach::Broadcast1D,
-            &cfg,
-        )
-        .unwrap();
+        let clean = run_lf(&lf_rc(Engine::Mpi, FaultPlan::none()),
+            Arc::clone(&positions), &cfg).unwrap();
         let moved = (clean.report.bytes_broadcast + clean.report.bytes_shuffled)
             .max(FALLBACK_FOOTPRINT);
         let cap = ((moved as f64 * frac) as u64).max(1);
-        let got = lf_mpi(
-            cluster(memory_cap_plan(cap)),
-            16,
-            &positions,
-            LfApproach::Broadcast1D,
-            &cfg,
-        );
+        let got = run_lf(&lf_rc(Engine::Mpi, memory_cap_plan(cap)),
+            Arc::clone(&positions), &cfg);
         match got {
             Ok(out) => prop_assert!(lf_matches(&clean, &out).is_ok(),
                 "cap {cap}: {:?}", lf_matches(&clean, &out)),
@@ -222,18 +203,11 @@ proptest! {
     #[test]
     fn spark_psa_survives_memory_cap_bit_identical(frac in 0.25f64..1.0) {
         let (ensemble, cfg) = psa_system();
-        let clean = psa_spark(
-            &SparkContext::new(cluster(FaultPlan::none())),
-            Arc::clone(&ensemble),
-            &cfg,
-        )
-        .unwrap();
+        let clean = run_psa(&psa_rc(Engine::Spark, FaultPlan::none()),
+            Arc::clone(&ensemble), &cfg).unwrap();
         let cap = ((peak_footprint(&clean.report) as f64 * frac) as u64).max(1);
-        match psa_spark(
-            &SparkContext::new(cluster(memory_cap_plan(cap))),
-            Arc::clone(&ensemble),
-            &cfg,
-        ) {
+        match run_psa(&psa_rc(Engine::Spark, memory_cap_plan(cap)),
+            Arc::clone(&ensemble), &cfg) {
             Ok(out) => prop_assert!(
                 out.distances.as_slice() == clean.distances.as_slice(),
                 "cap {cap}: matrix diverged"
@@ -248,18 +222,11 @@ proptest! {
     #[test]
     fn dask_psa_survives_memory_cap_bit_identical(frac in 0.25f64..1.0) {
         let (ensemble, cfg) = psa_system();
-        let clean = psa_dask(
-            &DaskClient::new(cluster(FaultPlan::none())),
-            Arc::clone(&ensemble),
-            &cfg,
-        )
-        .unwrap();
+        let clean = run_psa(&psa_rc(Engine::Dask, FaultPlan::none()),
+            Arc::clone(&ensemble), &cfg).unwrap();
         let cap = ((peak_footprint(&clean.report) as f64 * frac) as u64).max(1);
-        match psa_dask(
-            &DaskClient::new(cluster(memory_cap_plan(cap))),
-            Arc::clone(&ensemble),
-            &cfg,
-        ) {
+        match run_psa(&psa_rc(Engine::Dask, memory_cap_plan(cap)),
+            Arc::clone(&ensemble), &cfg) {
             Ok(out) => prop_assert!(
                 out.distances.as_slice() == clean.distances.as_slice(),
                 "cap {cap}: matrix diverged"
@@ -274,18 +241,11 @@ proptest! {
     #[test]
     fn pilot_psa_survives_memory_cap_bit_identical(frac in 0.25f64..1.0) {
         let (ensemble, cfg) = psa_system();
-        let clean = psa_pilot(
-            &Session::new(cluster(FaultPlan::none())).unwrap(),
-            &ensemble,
-            &cfg,
-        )
-        .unwrap();
+        let clean = run_psa(&psa_rc(Engine::Pilot, FaultPlan::none()),
+            Arc::clone(&ensemble), &cfg).unwrap();
         let cap = ((peak_footprint(&clean.report) as f64 * frac) as u64).max(1);
-        match psa_pilot(
-            &Session::new(cluster(memory_cap_plan(cap))).unwrap(),
-            &ensemble,
-            &cfg,
-        ) {
+        match run_psa(&psa_rc(Engine::Pilot, memory_cap_plan(cap)),
+            Arc::clone(&ensemble), &cfg) {
             Ok(out) => prop_assert!(
                 out.distances.as_slice() == clean.distances.as_slice(),
                 "cap {cap}: matrix diverged"
@@ -300,18 +260,13 @@ proptest! {
     #[test]
     fn mpi_psa_survives_memory_cap_bit_identical(frac in 0.2f64..4.0) {
         let (ensemble, cfg) = psa_system();
-        let clean = psa_mpi(cluster(FaultPlan::none()), 8, &ensemble, &cfg);
+        let clean = run_psa(&psa_rc(Engine::Mpi, FaultPlan::none()),
+            Arc::clone(&ensemble), &cfg).unwrap();
         let moved = (clean.report.bytes_broadcast + clean.report.bytes_shuffled)
             .max(FALLBACK_FOOTPRINT);
         let cap = ((moved as f64 * frac) as u64).max(1);
-        match psa_mpi_with_policy(
-            cluster(memory_cap_plan(cap)),
-            8,
-            &ensemble,
-            &cfg,
-            &RetryPolicy::new(1),
-            true,
-        ) {
+        match run_psa(&psa_rc(Engine::Mpi, memory_cap_plan(cap)),
+            Arc::clone(&ensemble), &cfg) {
             Ok(out) => prop_assert!(
                 out.distances.as_slice() == clean.distances.as_slice(),
                 "cap {cap}: matrix diverged"
@@ -332,183 +287,76 @@ fn half_peak_cap_completes_bit_identical_or_typed() {
     let (positions, lf_cfg) = lf_system();
     let (ensemble, psa_cfg) = psa_system();
     let mut pressure_engaged = false;
-    let mut note_pressure = |r: &SimReport| {
-        pressure_engaged |= r.bytes_spilled > 0
-            || r.bytes_evicted > 0
-            || r.recomputed_partitions > 0
-            || r.oom_kills > 0;
-    };
 
-    // Spark LF.
-    let clean = lf_spark(
-        &SparkContext::new(cluster(FaultPlan::none())),
-        Arc::clone(&positions),
-        LfApproach::ParallelCC,
-        &lf_cfg,
-    )
-    .unwrap();
-    let cap = (peak_footprint(&clean.report) / 2).max(1);
-    match lf_spark(
-        &SparkContext::new(cluster(memory_cap_plan(cap))),
-        Arc::clone(&positions),
-        LfApproach::ParallelCC,
-        &lf_cfg,
-    ) {
-        Ok(out) => {
-            assert!(lf_matches(&clean, &out).is_ok(), "spark lf diverged");
-            note_pressure(&out.report);
+    for engine in [Engine::Spark, Engine::Dask, Engine::Pilot, Engine::Mpi] {
+        // LF.
+        let clean = run_lf(
+            &lf_rc(engine, FaultPlan::none()),
+            Arc::clone(&positions),
+            &lf_cfg,
+        )
+        .unwrap();
+        let cap = match engine {
+            // MPI keeps no resident ledger, so "peak footprint" is the
+            // bytes its collectives move; halving it forces chunking.
+            Engine::Mpi => {
+                (clean.report.bytes_broadcast + clean.report.bytes_shuffled).max(FALLBACK_FOOTPRINT)
+                    / 2
+            }
+            _ => (peak_footprint(&clean.report) / 2).max(1),
+        };
+        match run_lf(
+            &lf_rc(engine, memory_cap_plan(cap)),
+            Arc::clone(&positions),
+            &lf_cfg,
+        ) {
+            Ok(out) => {
+                assert!(
+                    lf_matches(&clean, &out).is_ok(),
+                    "{} lf diverged",
+                    engine.label()
+                );
+                pressure_engaged |= out.report.bytes_spilled > 0
+                    || out.report.bytes_evicted > 0
+                    || out.report.recomputed_partitions > 0
+                    || out.report.oom_kills > 0;
+            }
+            Err(e) => assert!(is_typed_memory_error(&e), "{} lf: {e:?}", engine.label()),
         }
-        Err(e) => assert!(is_typed_memory_error(&e), "spark lf: {e:?}"),
-    }
 
-    // Spark PSA.
-    let clean = psa_spark(
-        &SparkContext::new(cluster(FaultPlan::none())),
-        Arc::clone(&ensemble),
-        &psa_cfg,
-    )
-    .unwrap();
-    let cap = (peak_footprint(&clean.report) / 2).max(1);
-    match psa_spark(
-        &SparkContext::new(cluster(memory_cap_plan(cap))),
-        Arc::clone(&ensemble),
-        &psa_cfg,
-    ) {
-        Ok(out) => {
-            assert_eq!(
-                out.distances.as_slice(),
-                clean.distances.as_slice(),
-                "spark psa diverged"
-            );
-            note_pressure(&out.report);
+        // PSA.
+        let clean = run_psa(
+            &psa_rc(engine, FaultPlan::none()),
+            Arc::clone(&ensemble),
+            &psa_cfg,
+        )
+        .unwrap();
+        let cap = match engine {
+            Engine::Mpi => {
+                (clean.report.bytes_broadcast + clean.report.bytes_shuffled).max(FALLBACK_FOOTPRINT)
+                    / 2
+            }
+            _ => (peak_footprint(&clean.report) / 2).max(1),
+        };
+        match run_psa(
+            &psa_rc(engine, memory_cap_plan(cap)),
+            Arc::clone(&ensemble),
+            &psa_cfg,
+        ) {
+            Ok(out) => {
+                assert_eq!(
+                    out.distances.as_slice(),
+                    clean.distances.as_slice(),
+                    "{} psa diverged",
+                    engine.label()
+                );
+                pressure_engaged |= out.report.bytes_spilled > 0
+                    || out.report.bytes_evicted > 0
+                    || out.report.recomputed_partitions > 0
+                    || out.report.oom_kills > 0;
+            }
+            Err(e) => assert!(is_typed_memory_error(&e), "{} psa: {e:?}", engine.label()),
         }
-        Err(e) => assert!(is_typed_memory_error(&e), "spark psa: {e:?}"),
-    }
-
-    // Dask LF.
-    let clean = lf_dask(
-        &DaskClient::new(cluster(FaultPlan::none())),
-        Arc::clone(&positions),
-        LfApproach::Task2D,
-        &lf_cfg,
-    )
-    .unwrap();
-    let cap = (peak_footprint(&clean.report) / 2).max(1);
-    match lf_dask(
-        &DaskClient::new(cluster(memory_cap_plan(cap))),
-        Arc::clone(&positions),
-        LfApproach::Task2D,
-        &lf_cfg,
-    ) {
-        Ok(out) => {
-            assert!(lf_matches(&clean, &out).is_ok(), "dask lf diverged");
-            note_pressure(&out.report);
-        }
-        Err(e) => assert!(is_typed_memory_error(&e), "dask lf: {e:?}"),
-    }
-
-    // Dask PSA.
-    let clean = psa_dask(
-        &DaskClient::new(cluster(FaultPlan::none())),
-        Arc::clone(&ensemble),
-        &psa_cfg,
-    )
-    .unwrap();
-    let cap = (peak_footprint(&clean.report) / 2).max(1);
-    match psa_dask(
-        &DaskClient::new(cluster(memory_cap_plan(cap))),
-        Arc::clone(&ensemble),
-        &psa_cfg,
-    ) {
-        Ok(out) => {
-            assert_eq!(
-                out.distances.as_slice(),
-                clean.distances.as_slice(),
-                "dask psa diverged"
-            );
-            note_pressure(&out.report);
-        }
-        Err(e) => assert!(is_typed_memory_error(&e), "dask psa: {e:?}"),
-    }
-
-    // Pilot LF.
-    let clean = lf_pilot(
-        &Session::new(cluster(FaultPlan::none())).unwrap(),
-        &positions,
-        &lf_cfg,
-    )
-    .unwrap();
-    let cap = (peak_footprint(&clean.report) / 2).max(1);
-    match lf_pilot(
-        &Session::new(cluster(memory_cap_plan(cap))).unwrap(),
-        &positions,
-        &lf_cfg,
-    ) {
-        Ok(out) => assert!(lf_matches(&clean, &out).is_ok(), "pilot lf diverged"),
-        Err(e) => assert!(is_typed_memory_error(&e), "pilot lf: {e:?}"),
-    }
-
-    // Pilot PSA.
-    let clean = psa_pilot(
-        &Session::new(cluster(FaultPlan::none())).unwrap(),
-        &ensemble,
-        &psa_cfg,
-    )
-    .unwrap();
-    let cap = (peak_footprint(&clean.report) / 2).max(1);
-    match psa_pilot(
-        &Session::new(cluster(memory_cap_plan(cap))).unwrap(),
-        &ensemble,
-        &psa_cfg,
-    ) {
-        Ok(out) => assert_eq!(
-            out.distances.as_slice(),
-            clean.distances.as_slice(),
-            "pilot psa diverged"
-        ),
-        Err(e) => assert!(is_typed_memory_error(&e), "pilot psa: {e:?}"),
-    }
-
-    // MPI LF and PSA: no resident ledger, so "peak footprint" is the
-    // bytes its collectives move; halving it forces chunking at least.
-    let clean = lf_mpi(
-        cluster(FaultPlan::none()),
-        16,
-        &positions,
-        LfApproach::Broadcast1D,
-        &lf_cfg,
-    )
-    .unwrap();
-    let moved =
-        (clean.report.bytes_broadcast + clean.report.bytes_shuffled).max(FALLBACK_FOOTPRINT);
-    match lf_mpi(
-        cluster(memory_cap_plan(moved / 2)),
-        16,
-        &positions,
-        LfApproach::Broadcast1D,
-        &lf_cfg,
-    ) {
-        Ok(out) => assert!(lf_matches(&clean, &out).is_ok(), "mpi lf diverged"),
-        Err(e) => assert!(is_typed_memory_error(&e), "mpi lf: {e:?}"),
-    }
-
-    let clean = psa_mpi(cluster(FaultPlan::none()), 8, &ensemble, &psa_cfg);
-    let moved =
-        (clean.report.bytes_broadcast + clean.report.bytes_shuffled).max(FALLBACK_FOOTPRINT);
-    match psa_mpi_with_policy(
-        cluster(memory_cap_plan(moved / 2)),
-        8,
-        &ensemble,
-        &psa_cfg,
-        &RetryPolicy::new(1),
-        true,
-    ) {
-        Ok(out) => assert_eq!(
-            out.distances.as_slice(),
-            clean.distances.as_slice(),
-            "mpi psa diverged"
-        ),
-        Err(e) => assert!(is_typed_memory_error(&e), "mpi psa: {e:?}"),
     }
 
     assert!(

@@ -75,9 +75,10 @@ fn traced_zero_workload_run_completes() {
 #[test]
 fn chrome_export_of_lf_run_is_structurally_valid() {
     let (cluster, cfg, positions) = traced_lf_clients();
-    let sc = SparkContext::new(cluster);
-    sc.enable_trace();
-    let out = lf_spark(&sc, positions, LfApproach::Broadcast1D, &cfg).expect("spark LF runs");
+    let rc = RunConfig::new(cluster, Engine::Spark)
+        .approach(LfApproach::Broadcast1D)
+        .trace(true);
+    let out = run_lf(&rc, positions, &cfg).expect("spark LF runs");
     let trace = out.report.trace.as_ref().expect("trace enabled");
     let json = trace.to_chrome_json();
     assert_structurally_valid_json(&json);
@@ -93,9 +94,10 @@ fn chrome_export_of_lf_run_is_structurally_valid() {
 #[test]
 fn csv_round_trips_a_real_engine_trace() {
     let (cluster, cfg, positions) = traced_lf_clients();
-    let client = DaskClient::new(cluster);
-    client.enable_trace();
-    let out = lf_dask(&client, positions, LfApproach::Broadcast1D, &cfg).expect("dask LF runs");
+    let rc = RunConfig::new(cluster, Engine::Dask)
+        .approach(LfApproach::Broadcast1D)
+        .trace(true);
+    let out = run_lf(&rc, positions, &cfg).expect("dask LF runs");
     let trace = out.report.trace.as_ref().expect("trace enabled");
     assert!(!trace.is_empty());
     let parsed = Trace::from_csv(&trace.to_csv()).expect("export parses back");
@@ -108,9 +110,10 @@ fn critical_path_attributes_dask_edge_discovery_to_broadcast() {
     // approach-1 edge discovery. The critical path derives it from the
     // event graph rather than from phase bookkeeping.
     let (cluster, cfg, positions) = traced_lf_clients();
-    let client = DaskClient::new(cluster);
-    client.enable_trace();
-    let out = lf_dask(&client, positions, LfApproach::Broadcast1D, &cfg).expect("dask LF runs");
+    let rc = RunConfig::new(cluster, Engine::Dask)
+        .approach(LfApproach::Broadcast1D)
+        .trace(true);
+    let out = run_lf(&rc, positions, &cfg).expect("dask LF runs");
     let trace = out.report.trace.as_ref().expect("trace enabled");
     let cp = CriticalPath::from_trace(trace);
     let edge = out
@@ -128,9 +131,10 @@ fn critical_path_attributes_dask_edge_discovery_to_broadcast() {
 #[test]
 fn critical_path_keeps_spark_broadcast_marginal() {
     let (cluster, cfg, positions) = traced_lf_clients();
-    let sc = SparkContext::new(cluster);
-    sc.enable_trace();
-    let out = lf_spark(&sc, positions, LfApproach::Broadcast1D, &cfg).expect("spark LF runs");
+    let rc = RunConfig::new(cluster, Engine::Spark)
+        .approach(LfApproach::Broadcast1D)
+        .trace(true);
+    let out = run_lf(&rc, positions, &cfg).expect("spark LF runs");
     let trace = out.report.trace.as_ref().expect("trace enabled");
     let cp = CriticalPath::from_trace(trace);
     let edge = out

@@ -41,10 +41,9 @@ proptest! {
         let e = Arc::new(mdtask::sim::chain::generate_ensemble(&spec, 4, seed));
         let cfg_k = PsaConfig { groups: k.min(4), charge_io: false };
         let cfg_1 = PsaConfig { groups: 1, charge_io: false };
-        let sc_a = SparkContext::new(Cluster::new(laptop(), 1));
-        let a = psa_spark(&sc_a, Arc::clone(&e), &cfg_k).unwrap().distances;
-        let sc_b = SparkContext::new(Cluster::new(laptop(), 1));
-        let b = psa_spark(&sc_b, Arc::clone(&e), &cfg_1).unwrap().distances;
+        let rc = RunConfig::new(Cluster::new(laptop(), 1), Engine::Spark);
+        let a = run_psa(&rc, Arc::clone(&e), &cfg_k).unwrap().distances;
+        let b = run_psa(&rc, Arc::clone(&e), &cfg_1).unwrap().distances;
         for i in 0..4 {
             for j in 0..4 {
                 prop_assert!((a.get(i, j) - b.get(i, j)).abs() < 1e-12);
@@ -66,10 +65,9 @@ proptest! {
             charge_io: false,
         };
         for approach in LfApproach::ALL {
-            let sc_a = SparkContext::new(Cluster::new(laptop(), 1));
-            let a = lf_spark(&sc_a, Arc::clone(&pos), approach, &mk(parts)).unwrap();
-            let sc_b = SparkContext::new(Cluster::new(laptop(), 1));
-            let c = lf_spark(&sc_b, Arc::clone(&pos), approach, &mk(3)).unwrap();
+            let rc = RunConfig::new(Cluster::new(laptop(), 1), Engine::Spark).approach(approach);
+            let a = run_lf(&rc, Arc::clone(&pos), &mk(parts)).unwrap();
+            let c = run_lf(&rc, Arc::clone(&pos), &mk(3)).unwrap();
             prop_assert_eq!(&a.leaflet_sizes, &c.leaflet_sizes, "{:?}", approach);
             prop_assert_eq!(a.edges_found, c.edges_found, "{:?}", approach);
         }
@@ -80,10 +78,11 @@ proptest! {
     #[test]
     fn mpi_world_size_invariance(world in 1usize..9, seed in 0u64..20) {
         let spec = ChainSpec { n_atoms: 6, n_frames: 3, stride: 1, ..ChainSpec::default() };
-        let e = mdtask::sim::chain::generate_ensemble(&spec, 3, seed);
+        let e = Arc::new(mdtask::sim::chain::generate_ensemble(&spec, 3, seed));
         let cfg = PsaConfig { groups: 3, charge_io: false };
-        let base = psa_mpi(Cluster::new(laptop(), 2), 1, &e, &cfg);
-        let out = psa_mpi(Cluster::new(laptop(), 2), world, &e, &cfg);
+        let rc = |w| RunConfig::new(Cluster::new(laptop(), 2), Engine::Mpi).mpi_world(w);
+        let base = run_psa(&rc(1), Arc::clone(&e), &cfg).unwrap();
+        let out = run_psa(&rc(world), Arc::clone(&e), &cfg).unwrap();
         for i in 0..3 {
             for j in 0..3 {
                 prop_assert!((out.distances.get(i, j) - base.distances.get(i, j)).abs() < 1e-12);

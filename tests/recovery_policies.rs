@@ -49,24 +49,17 @@ fn phase_midpoint(report: &SimReport, name: &str) -> f64 {
 #[test]
 fn spark_retry_exhaustion_is_typed_error() {
     let s = system();
-    let sc = SparkContext::new(cluster());
-    let clean = lf_spark(
-        &sc,
-        Arc::clone(&s.positions),
-        LfApproach::Broadcast1D,
-        &s.cfg,
-    )
-    .unwrap();
+    let rc = RunConfig::new(cluster(), Engine::Spark).approach(LfApproach::Broadcast1D);
+    let clean = run_lf(&rc, Arc::clone(&s.positions), &s.cfg).unwrap();
 
     let t_kill = phase_midpoint(&clean.report, "edge-discovery");
-    let sc = SparkContext::new(cluster().with_faults(FaultPlan::none().kill_node(1, t_kill)));
-    sc.set_retry_policy(RetryPolicy::new(1));
-    let got = lf_spark(
-        &sc,
-        Arc::clone(&s.positions),
-        LfApproach::Broadcast1D,
-        &s.cfg,
-    );
+    let rc = RunConfig::new(
+        cluster().with_faults(FaultPlan::none().kill_node(1, t_kill)),
+        Engine::Spark,
+    )
+    .approach(LfApproach::Broadcast1D)
+    .retry_policy(RetryPolicy::new(1));
+    let got = run_lf(&rc, Arc::clone(&s.positions), &s.cfg);
     match got {
         Err(EngineError::RetriesExhausted { attempts, .. }) => assert_eq!(attempts, 1),
         other => panic!("expected RetriesExhausted, got {other:?}"),
@@ -78,23 +71,17 @@ fn spark_retry_exhaustion_is_typed_error() {
 #[test]
 fn dask_retry_exhaustion_is_typed_error() {
     let s = system();
-    let clean = lf_dask(
-        &DaskClient::new(cluster()),
-        Arc::clone(&s.positions),
-        LfApproach::Broadcast1D,
-        &s.cfg,
-    )
-    .unwrap();
+    let rc = RunConfig::new(cluster(), Engine::Dask).approach(LfApproach::Broadcast1D);
+    let clean = run_lf(&rc, Arc::clone(&s.positions), &s.cfg).unwrap();
 
     let t_kill = phase_midpoint(&clean.report, "edge-discovery");
-    let client = DaskClient::new(cluster().with_faults(FaultPlan::none().kill_node(1, t_kill)));
-    client.set_retry_policy(RetryPolicy::new(1));
-    let got = lf_dask(
-        &client,
-        Arc::clone(&s.positions),
-        LfApproach::Broadcast1D,
-        &s.cfg,
-    );
+    let rc = RunConfig::new(
+        cluster().with_faults(FaultPlan::none().kill_node(1, t_kill)),
+        Engine::Dask,
+    )
+    .approach(LfApproach::Broadcast1D)
+    .retry_policy(RetryPolicy::new(1));
+    let got = run_lf(&rc, Arc::clone(&s.positions), &s.cfg);
     match got {
         Err(EngineError::RetriesExhausted { attempts, .. }) => assert_eq!(attempts, 1),
         other => panic!("expected RetriesExhausted, got {other:?}"),
@@ -132,26 +119,13 @@ fn all_nodes_dead_fails_fast_not_hangs() {
     let s = system();
     let plan = || FaultPlan::none().kill_node(0, 1e-4).kill_node(1, 1e-4);
 
-    let sc = SparkContext::new(cluster().with_faults(plan()));
-    match lf_spark(
-        &sc,
-        Arc::clone(&s.positions),
-        LfApproach::Broadcast1D,
-        &s.cfg,
-    ) {
-        Err(EngineError::NoSurvivingWorkers { .. }) => {}
-        other => panic!("spark: expected NoSurvivingWorkers, got {other:?}"),
-    }
-
-    let client = DaskClient::new(cluster().with_faults(plan()));
-    match lf_dask(
-        &client,
-        Arc::clone(&s.positions),
-        LfApproach::Broadcast1D,
-        &s.cfg,
-    ) {
-        Err(EngineError::NoSurvivingWorkers { .. }) => {}
-        other => panic!("dask: expected NoSurvivingWorkers, got {other:?}"),
+    for engine in [Engine::Spark, Engine::Dask] {
+        let rc =
+            RunConfig::new(cluster().with_faults(plan()), engine).approach(LfApproach::Broadcast1D);
+        match run_lf(&rc, Arc::clone(&s.positions), &s.cfg) {
+            Err(EngineError::NoSurvivingWorkers { .. }) => {}
+            other => panic!("{engine:?}: expected NoSurvivingWorkers, got {other:?}"),
+        }
     }
 }
 
@@ -175,24 +149,17 @@ fn deadline_exceeded_is_typed_error() {
 #[test]
 fn detection_delay_is_paid_in_virtual_time() {
     let s = system();
-    let clean = lf_dask(
-        &DaskClient::new(cluster()),
-        Arc::clone(&s.positions),
-        LfApproach::Broadcast1D,
-        &s.cfg,
-    )
-    .unwrap();
+    let rc = RunConfig::new(cluster(), Engine::Dask).approach(LfApproach::Broadcast1D);
+    let clean = run_lf(&rc, Arc::clone(&s.positions), &s.cfg).unwrap();
     let t_kill = phase_midpoint(&clean.report, "edge-discovery");
     let run = |delay: f64| {
-        let client = DaskClient::new(cluster().with_faults(FaultPlan::none().kill_node(1, t_kill)));
-        client.set_retry_policy(RetryPolicy::new(5).with_detection_delay(delay));
-        lf_dask(
-            &client,
-            Arc::clone(&s.positions),
-            LfApproach::Broadcast1D,
-            &s.cfg,
+        let rc = RunConfig::new(
+            cluster().with_faults(FaultPlan::none().kill_node(1, t_kill)),
+            Engine::Dask,
         )
-        .unwrap()
+        .approach(LfApproach::Broadcast1D)
+        .retry_policy(RetryPolicy::new(5).with_detection_delay(delay));
+        run_lf(&rc, Arc::clone(&s.positions), &s.cfg).unwrap()
     };
     let instant = run(0.0);
     let delayed = run(2.0);
@@ -271,20 +238,22 @@ fn checkpoint_truncates_lineage_recompute() {
 #[test]
 fn mpi_restarts_from_last_collective_barrier() {
     let s = system();
-    let clean = lf_mpi(cluster(), 16, &s.positions, LfApproach::Broadcast1D, &s.cfg).unwrap();
+    let rc = RunConfig::new(cluster(), Engine::Mpi)
+        .approach(LfApproach::Broadcast1D)
+        .mpi_world(16);
+    let clean = run_lf(&rc, Arc::clone(&s.positions), &s.cfg).unwrap();
     let t_kill = phase_midpoint(&clean.report, "edge-discovery");
     let policy = RetryPolicy::new(3).with_detection_delay(1.0);
     let run = |from_barrier: bool| {
-        lf_mpi_with_policy(
+        let rc = RunConfig::new(
             cluster().with_faults(FaultPlan::none().kill_node(1, t_kill)),
-            16,
-            &s.positions,
-            LfApproach::Broadcast1D,
-            &s.cfg,
-            &policy,
-            from_barrier,
+            Engine::Mpi,
         )
-        .expect("policied MPI job must recover")
+        .approach(LfApproach::Broadcast1D)
+        .mpi_world(16)
+        .retry_policy(policy)
+        .checkpoint_restart(from_barrier);
+        run_lf(&rc, Arc::clone(&s.positions), &s.cfg).expect("policied MPI job must recover")
     };
     let barrier = run(true);
     let scratch = run(false);
@@ -321,27 +290,22 @@ fn mpi_policy_exhaustion_and_default_abort() {
     // Both deaths land inside the 0.5 s mpirun startup window, so they are
     // always before the job's end regardless of measured task durations.
     let plan = FaultPlan::none().kill_node(1, 0.3).kill_node(0, 0.4);
-    let got = lf_mpi_with_policy(
-        cluster().with_faults(plan.clone()),
-        16,
-        &s.positions,
-        LfApproach::Broadcast1D,
-        &s.cfg,
-        &RetryPolicy::new(2),
-        true,
-    );
-    match got {
+    let rc = RunConfig::new(cluster().with_faults(plan.clone()), Engine::Mpi)
+        .approach(LfApproach::Broadcast1D)
+        .mpi_world(16)
+        .retry_policy(RetryPolicy::new(2));
+    match run_lf(&rc, Arc::clone(&s.positions), &s.cfg) {
         Err(EngineError::RetriesExhausted { attempts, .. }) => assert_eq!(attempts, 2),
         other => panic!("expected RetriesExhausted, got {other:?}"),
     }
 
-    match lf_mpi(
+    let rc = RunConfig::new(
         cluster().with_faults(FaultPlan::none().kill_node(1, 0.4)),
-        16,
-        &s.positions,
-        LfApproach::Broadcast1D,
-        &s.cfg,
-    ) {
+        Engine::Mpi,
+    )
+    .approach(LfApproach::Broadcast1D)
+    .mpi_world(16);
+    match run_lf(&rc, Arc::clone(&s.positions), &s.cfg) {
         Err(EngineError::WorkerLost { node, .. }) => assert_eq!(node, 1),
         other => panic!("expected WorkerLost, got {other:?}"),
     }
@@ -362,19 +326,19 @@ fn psa_mpi_with_policy_matches_fault_free() {
         groups: 3,
         charge_io: true,
     };
-    let clean = psa_mpi(cluster(), 4, &e, &cfg);
+    let e = Arc::new(e);
+    let rc = RunConfig::new(cluster(), Engine::Mpi).mpi_world(4);
+    let clean = run_psa(&rc, Arc::clone(&e), &cfg).unwrap();
     // A death during startup always precedes the job's end, whatever the
     // measured kernel durations turn out to be. All 4 ranks sit on node 0,
     // so that is the node whose death the communicator observes.
-    let faulty = psa_mpi_with_policy(
+    let rc = RunConfig::new(
         cluster().with_faults(FaultPlan::none().kill_node(0, 0.4)),
-        4,
-        &e,
-        &cfg,
-        &RetryPolicy::new(3),
-        true,
+        Engine::Mpi,
     )
-    .expect("policied PSA must recover");
+    .mpi_world(4)
+    .retry_policy(RetryPolicy::new(3));
+    let faulty = run_psa(&rc, Arc::clone(&e), &cfg).expect("policied PSA must recover");
     assert_eq!(
         faulty.distances.as_slice(),
         clean.distances.as_slice(),
