@@ -66,6 +66,7 @@ pub struct RunConfig {
     checkpoint_restart: bool,
     speculation: Option<f64>,
     trace: bool,
+    trace_stride: u32,
     mpi_world: usize,
     threads: Option<Threads>,
 }
@@ -82,6 +83,7 @@ impl RunConfig {
             checkpoint_restart: true,
             speculation: None,
             trace: false,
+            trace_stride: 1,
             mpi_world,
             threads: None,
         }
@@ -120,6 +122,20 @@ impl RunConfig {
     /// Record the event trace into `report.trace`.
     pub fn trace(mut self, on: bool) -> Self {
         self.trace = on;
+        self
+    }
+
+    /// Record a *sampled* event trace: only every `stride`-th task attempt
+    /// is kept (network/memory events are always complete, so conservation
+    /// oracles still hold). Implies [`Self::trace`]; a stride of 1 records
+    /// everything. Use for paper-scale runs where a full trace would
+    /// dominate memory. The stride is stamped on the trace
+    /// ([`netsim::Trace::sample_stride`]) so consumers know counts are
+    /// partial. Ignored by the MPI engine, whose traces are always small
+    /// (ranks × collectives) and recorded in full.
+    pub fn trace_sampled(mut self, stride: u32) -> Self {
+        self.trace = true;
+        self.trace_stride = stride.max(1);
         self
     }
 
@@ -237,7 +253,7 @@ fn spark_handle(cfg: &RunConfig) -> SparkContext {
         sc.enable_speculation(t);
     }
     if cfg.trace {
-        sc.enable_trace();
+        sc.enable_trace_sampled(cfg.trace_stride);
     }
     sc
 }
@@ -248,7 +264,7 @@ fn dask_handle(cfg: &RunConfig) -> DaskClient {
         client.set_retry_policy(*p);
     }
     if cfg.trace {
-        client.enable_trace();
+        client.enable_trace_sampled(cfg.trace_stride);
     }
     client
 }
@@ -259,7 +275,7 @@ fn pilot_handle(cfg: &RunConfig) -> Result<Session, EngineError> {
         session.set_retry_policy(*p);
     }
     if cfg.trace {
-        session.enable_trace();
+        session.enable_trace_sampled(cfg.trace_stride);
     }
     Ok(session)
 }

@@ -615,6 +615,13 @@ impl DaskClient {
         self.inner.state.lock().exec.enable_trace();
     }
 
+    /// Start recording a *sampled* trace: keep only every `stride`-th task
+    /// attempt (network/memory events stay complete). See
+    /// [`netsim::SimExecutor::enable_trace_sampled`].
+    pub fn enable_trace_sampled(&self, stride: u32) {
+        self.inner.state.lock().exec.enable_trace_sampled(stride);
+    }
+
     /// Name the phase (and default task label) stamped onto subsequently
     /// traced events.
     pub fn set_phase(&self, phase: &str) {

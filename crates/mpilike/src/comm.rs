@@ -58,6 +58,7 @@ impl Shared {
     fn record(&self, core: usize, start_s: f64, end_s: f64, phase: &str, kind: EventKind) {
         let mut trace = self.trace.lock();
         let task = trace.next_id();
+        let phase = trace.intern(phase);
         trace.record(TraceEvent {
             task,
             core,
@@ -65,8 +66,31 @@ impl Shared {
             end_s: end_s.max(start_s),
             killed: false,
             ready_s: start_s,
-            phase: phase.to_string(),
+            phase,
             kind,
+        });
+    }
+
+    /// Record a labelled task attempt (labels are interned under the
+    /// trace lock, so ranks can record concurrently without allocating
+    /// shared strings).
+    fn record_task(&self, core: usize, start_s: f64, end_s: f64, phase: &str, label: &str) {
+        let mut trace = self.trace.lock();
+        let task = trace.next_id();
+        let phase = trace.intern(phase);
+        let label = trace.intern(label);
+        trace.record(TraceEvent {
+            task,
+            core,
+            start_s,
+            end_s: end_s.max(start_s),
+            killed: false,
+            ready_s: start_s,
+            phase,
+            kind: EventKind::Task {
+                label,
+                speculative: false,
+            },
         });
     }
 }
@@ -269,6 +293,8 @@ where
     let mut trace = shared.trace.into_inner();
     for &(start_s, end_s) in &recovery_windows {
         let task = trace.next_id();
+        let phase = trace.intern("recovery");
+        let label = trace.intern("restart");
         trace.record(TraceEvent {
             task,
             core: 0,
@@ -276,22 +302,11 @@ where
             end_s,
             killed: false,
             ready_s: start_s,
-            phase: "recovery".to_string(),
-            kind: EventKind::Recovery {
-                label: "restart".to_string(),
-            },
+            phase,
+            kind: EventKind::Recovery { label },
         });
     }
-    trace.events.sort_by(|a, b| {
-        a.start_s
-            .total_cmp(&b.start_s)
-            .then(a.end_s.total_cmp(&b.end_s))
-            .then(a.core.cmp(&b.core))
-            .then(a.kind.label().cmp(b.kind.label()))
-    });
-    for (i, e) in trace.events.iter_mut().enumerate() {
-        e.task = i;
-    }
+    trace.sort_for_determinism();
     let mut report = SimReport {
         makespan_s: end,
         tasks: world,
@@ -363,16 +378,8 @@ impl<'a> Comm<'a> {
         let start = self.clock;
         self.clock += sim_s;
         *self.shared.compute_s.lock() += sim_s;
-        self.shared.record(
-            self.rank,
-            start,
-            self.clock,
-            &self.phase,
-            EventKind::Task {
-                label: "compute".to_string(),
-                speculative: false,
-            },
-        );
+        self.shared
+            .record_task(self.rank, start, self.clock, &self.phase, "compute");
         out
     }
 

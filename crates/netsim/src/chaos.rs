@@ -338,6 +338,30 @@ pub fn check_invariants(
     if let Some(trace) = &r.trace {
         let (mut spilled, mut evicted, mut ooms) = (0u64, 0u64, 0usize);
         for ev in &trace.events {
+            // Per-event well-formedness. `Trace::record` checks these as
+            // debug_assert!s only, which release/CI chaos runs never
+            // execute — so the oracle re-checks them on every battery run
+            // (same 1e-12 ready-time epsilon as the recorder).
+            if ev.end_s < ev.start_s {
+                return Some(format!(
+                    "trace event {} ({} in phase {:?}) ends at {} before its start {}",
+                    ev.task,
+                    ev.kind.kind_name(),
+                    trace.phase_of(ev),
+                    ev.end_s,
+                    ev.start_s
+                ));
+            }
+            if ev.ready_s > ev.start_s + 1e-12 {
+                return Some(format!(
+                    "trace event {} ({} in phase {:?}) became ready at {}, after its start {}",
+                    ev.task,
+                    ev.kind.kind_name(),
+                    trace.phase_of(ev),
+                    ev.ready_s,
+                    ev.start_s
+                ));
+            }
             match ev.kind {
                 EventKind::Spill { bytes, .. } => spilled += bytes,
                 EventKind::Evict { bytes, .. } => evicted += bytes,
@@ -393,7 +417,11 @@ pub fn check_invariants(
                     }
                 }
             }
-            if completed != r.tasks {
+            // A sampled trace (stride > 1) is deliberately partial:
+            // counts cannot be reconciled against report totals, but the
+            // overlap check below is still valid (dropping events never
+            // creates an overlap).
+            if !trace.is_sampled() && completed != r.tasks {
                 return Some(format!(
                     "trace has {completed} completed task attempts but the report counts {} \
                      tasks (a task was double-counted as completed and killed, or dropped)",
@@ -770,6 +798,89 @@ mod tests {
         leaky.report.bytes_shuffled += 4096;
         let got = check_invariants(&c, &base, &plan, &Ok(leaky));
         assert!(got.is_some_and(|m| m.contains("conserved")));
+    }
+
+    #[test]
+    fn oracles_catch_malformed_trace_events() {
+        // `Trace::record` only debug_asserts these invariants, so a buggy
+        // engine shipping a malformed event would sail through release/CI
+        // runs — the oracle must catch it. Events are pushed directly onto
+        // the trace to bypass the recorder's debug checks.
+        use crate::trace::TraceEvent;
+        let c = cfg();
+        let base = workload(&FaultPlan::none(), false).unwrap();
+        let plan = plan_for_seed(&c, 7);
+        let event = |start_s: f64, end_s: f64, ready_s: f64| TraceEvent {
+            task: 0,
+            core: 0,
+            start_s,
+            end_s,
+            killed: false,
+            ready_s,
+            phase: 0,
+            kind: EventKind::Recovery { label: 0 },
+        };
+        // Ends before it starts.
+        let mut inverted = base.clone();
+        let trace = inverted.report.trace.as_mut().unwrap();
+        trace.events.push(event(2.0, 1.0, 2.0));
+        let got = check_invariants(&c, &base, &plan, &Ok(inverted));
+        assert!(
+            got.as_ref().is_some_and(|m| m.contains("before its start")),
+            "{got:?}"
+        );
+        // Ready after start (beyond the recorder's 1e-12 epsilon).
+        let mut unready = base.clone();
+        let trace = unready.report.trace.as_mut().unwrap();
+        trace.events.push(event(1.0, 2.0, 1.5));
+        let got = check_invariants(&c, &base, &plan, &Ok(unready));
+        assert!(
+            got.as_ref().is_some_and(|m| m.contains("after its start")),
+            "{got:?}"
+        );
+        // A ready time within the epsilon is legitimate float jitter, and
+        // these probes must not trip the other oracles.
+        let mut jitter = base.clone();
+        let trace = jitter.report.trace.as_mut().unwrap();
+        trace.events.push(event(1.0, 2.0, 1.0 + 1e-13));
+        assert_eq!(check_invariants(&c, &base, &plan, &Ok(jitter)), None);
+    }
+
+    #[test]
+    fn sampled_traces_skip_task_count_reconciliation() {
+        // A sampled trace records only a subset of task events, so the
+        // completed-count oracle must not fire on the mismatch — but the
+        // other trace oracles (well-formedness, overlap) still apply.
+        let c = cfg();
+        let base = workload(&FaultPlan::none(), false).unwrap();
+        let plan = plan_for_seed(&c, 9);
+        let mut sampled = base.clone();
+        {
+            let trace = sampled.report.trace.as_mut().unwrap();
+            trace.set_sample_stride(4);
+            let keep: Vec<_> = trace
+                .events
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % 4 == 0)
+                .map(|(_, e)| *e)
+                .collect();
+            trace.events = keep;
+        }
+        // The baseline comparison sees a different trace, so compare the
+        // sampled run against itself (empty-plan determinism is off for
+        // this probe).
+        let mut c2 = c.clone();
+        c2.check_empty_plan_determinism = false;
+        let self_base = ChaosOutcome {
+            fingerprint: base.fingerprint,
+            report: sampled.report.clone(),
+        };
+        assert_eq!(
+            check_invariants(&c2, &self_base, &plan, &Ok(sampled)),
+            None,
+            "sampled trace must not trip the count reconciliation"
+        );
     }
 
     #[test]

@@ -109,13 +109,19 @@ impl Trace {
                 EventKind::Task { label, speculative } => {
                     let args = format!(
                         "\"phase\":\"{}\",\"killed\":{},\"speculative\":{},\"ready_us\":{}",
-                        escape_json(&e.phase),
+                        escape_json(self.phase_of(e)),
                         e.killed,
                         speculative,
                         us(e.ready_s)
                     );
                     ev.push(slice(
-                        PID_CORES, e.core, label, "task", e.start_s, e.end_s, &args,
+                        PID_CORES,
+                        e.core,
+                        self.resolve(*label),
+                        "task",
+                        e.start_s,
+                        e.end_s,
+                        &args,
                     ));
                 }
                 EventKind::Fetch {
@@ -125,7 +131,7 @@ impl Trace {
                 } => {
                     let args = format!(
                         "\"phase\":\"{}\",\"from_node\":{from_node},\"to_node\":{to_node},\"bytes\":{bytes},\"lost\":{}",
-                        escape_json(&e.phase),
+                        escape_json(self.phase_of(e)),
                         e.killed
                     );
                     // The fetch occupies the destination's network track…
@@ -161,7 +167,7 @@ impl Trace {
                 EventKind::Broadcast { bytes, dest_nodes } => {
                     let args = format!(
                         "\"phase\":\"{}\",\"bytes\":{bytes},\"dest_nodes\":{dest_nodes}",
-                        escape_json(&e.phase)
+                        escape_json(self.phase_of(e))
                     );
                     ev.push(slice(
                         PID_NETWORK,
@@ -174,15 +180,21 @@ impl Trace {
                     ));
                 }
                 EventKind::Recovery { label } => {
-                    let args = format!("\"phase\":\"{}\"", escape_json(&e.phase));
+                    let args = format!("\"phase\":\"{}\"", escape_json(self.phase_of(e)));
                     ev.push(slice(
-                        PID_DRIVER, 0, label, "recovery", e.start_s, e.end_s, &args,
+                        PID_DRIVER,
+                        0,
+                        self.resolve(*label),
+                        "recovery",
+                        e.start_s,
+                        e.end_s,
+                        &args,
                     ));
                 }
                 EventKind::Spill { node, bytes } => {
                     let args = format!(
                         "\"phase\":\"{}\",\"node\":{node},\"bytes\":{bytes}",
-                        escape_json(&e.phase)
+                        escape_json(self.phase_of(e))
                     );
                     ev.push(slice(
                         PID_NETWORK,
@@ -197,7 +209,7 @@ impl Trace {
                 EventKind::Evict { node, bytes } => {
                     let args = format!(
                         "\"phase\":\"{}\",\"node\":{node},\"bytes\":{bytes}",
-                        escape_json(&e.phase)
+                        escape_json(self.phase_of(e))
                     );
                     ev.push(slice(
                         PID_NETWORK,
@@ -210,7 +222,10 @@ impl Trace {
                     ));
                 }
                 EventKind::OomKill { node } => {
-                    let args = format!("\"phase\":\"{}\",\"node\":{node}", escape_json(&e.phase));
+                    let args = format!(
+                        "\"phase\":\"{}\",\"node\":{node}",
+                        escape_json(self.phase_of(e))
+                    );
                     ev.push(slice(
                         PID_DRIVER, 0, "oom-kill", "memory", e.start_s, e.end_s, &args,
                     ));
@@ -229,20 +244,44 @@ mod tests {
     use super::*;
     use crate::trace::TraceEvent as TE;
 
-    fn task(id: usize, core: usize, start: f64, end: f64, label: &str, phase: &str) -> TE {
-        TE {
+    fn task(t: &mut Trace, id: usize, core: usize, start: f64, end: f64, label: &str, phase: &str) {
+        let label = t.intern(label);
+        let phase = t.intern(phase);
+        t.record(TE {
             task: id,
             core,
             start_s: start,
             end_s: end,
             killed: false,
             ready_s: start,
-            phase: phase.into(),
+            phase,
             kind: EventKind::Task {
-                label: label.into(),
+                label,
                 speculative: false,
             },
-        }
+        });
+    }
+
+    /// Record a non-task event, interning the phase.
+    fn other(
+        t: &mut Trace,
+        id: usize,
+        core: usize,
+        span: (f64, f64),
+        phase: &str,
+        kind: EventKind,
+    ) {
+        let phase = t.intern(phase);
+        t.record(TE {
+            task: id,
+            core,
+            start_s: span.0,
+            end_s: span.1,
+            killed: false,
+            ready_s: span.0,
+            phase,
+            kind,
+        });
     }
 
     /// A two-stage shuffle job, pinned byte-for-byte: two map tasks, one
@@ -251,23 +290,21 @@ mod tests {
     #[test]
     fn golden_two_stage_shuffle() {
         let mut t = Trace::default();
-        t.record(task(0, 0, 0.0, 1.0, "map", "stage-0"));
-        t.record(task(1, 1, 0.0, 1.5, "map", "stage-0"));
-        t.record(TE {
-            task: 2,
-            core: 1,
-            start_s: 1.5,
-            end_s: 2.0,
-            killed: false,
-            ready_s: 1.5,
-            phase: "shuffle".into(),
-            kind: EventKind::Fetch {
+        task(&mut t, 0, 0, 0.0, 1.0, "map", "stage-0");
+        task(&mut t, 1, 1, 0.0, 1.5, "map", "stage-0");
+        other(
+            &mut t,
+            2,
+            1,
+            (1.5, 2.0),
+            "shuffle",
+            EventKind::Fetch {
                 from_node: 0,
                 to_node: 1,
                 bytes: 4096,
             },
-        });
-        t.record(task(3, 2, 2.0, 3.0, "reduce", "stage-1"));
+        );
+        task(&mut t, 3, 2, 2.0, 3.0, "reduce", "stage-1");
         let expected = concat!(
             "{\"traceEvents\":[\n",
             "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"cores\"}},\n",
@@ -296,31 +333,26 @@ mod tests {
     #[test]
     fn broadcast_and_recovery_tracks() {
         let mut t = Trace::default();
-        t.record(TE {
-            task: 0,
-            core: 0,
-            start_s: 0.0,
-            end_s: 0.5,
-            killed: false,
-            ready_s: 0.0,
-            phase: "broadcast".into(),
-            kind: EventKind::Broadcast {
+        other(
+            &mut t,
+            0,
+            0,
+            (0.0, 0.5),
+            "broadcast",
+            EventKind::Broadcast {
                 bytes: 1024,
                 dest_nodes: 3,
             },
-        });
-        t.record(TE {
-            task: 1,
-            core: 0,
-            start_s: 0.5,
-            end_s: 0.75,
-            killed: false,
-            ready_s: 0.5,
-            phase: "recovery".into(),
-            kind: EventKind::Recovery {
-                label: "recompute".into(),
-            },
-        });
+        );
+        let recompute = t.intern("recompute");
+        other(
+            &mut t,
+            1,
+            0,
+            (0.5, 0.75),
+            "recovery",
+            EventKind::Recovery { label: recompute },
+        );
         let json = t.to_chrome_json();
         assert!(json.contains("\"name\":\"broadcast\",\"cat\":\"broadcast\""));
         assert!(json.contains("\"dest_nodes\":3"));
@@ -330,42 +362,36 @@ mod tests {
     #[test]
     fn memory_events_render_on_their_tracks() {
         let mut t = Trace::default();
-        t.record(TE {
-            task: 0,
-            core: 0,
-            start_s: 0.0,
-            end_s: 0.25,
-            killed: false,
-            ready_s: 0.0,
-            phase: "shuffle".into(),
-            kind: EventKind::Spill {
+        other(
+            &mut t,
+            0,
+            0,
+            (0.0, 0.25),
+            "shuffle",
+            EventKind::Spill {
                 node: 1,
                 bytes: 4096,
             },
-        });
-        t.record(TE {
-            task: 1,
-            core: 0,
-            start_s: 0.25,
-            end_s: 0.25,
-            killed: false,
-            ready_s: 0.25,
-            phase: "cache".into(),
-            kind: EventKind::Evict {
+        );
+        other(
+            &mut t,
+            1,
+            0,
+            (0.25, 0.25),
+            "cache",
+            EventKind::Evict {
                 node: 1,
                 bytes: 256,
             },
-        });
-        t.record(TE {
-            task: 2,
-            core: 0,
-            start_s: 0.5,
-            end_s: 0.5,
-            killed: false,
-            ready_s: 0.5,
-            phase: "memory".into(),
-            kind: EventKind::OomKill { node: 0 },
-        });
+        );
+        other(
+            &mut t,
+            2,
+            0,
+            (0.5, 0.5),
+            "memory",
+            EventKind::OomKill { node: 0 },
+        );
         let json = t.to_chrome_json();
         assert!(json.contains("\"name\":\"spill\",\"cat\":\"memory\""));
         assert!(json.contains("\"name\":\"evict\",\"cat\":\"memory\""));

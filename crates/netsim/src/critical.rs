@@ -18,7 +18,7 @@ use crate::trace::Trace;
 /// One link in the makespan chain.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CpSegment {
-    /// Event label ([`crate::EventKind::label`]), or `"wait"` for an idle
+    /// Event label ([`Trace::label_of`]), or `"wait"` for an idle
     /// gap between an event and its predecessor.
     pub label: String,
     /// Owning phase of the event (empty for `wait` gaps).
@@ -64,8 +64,8 @@ impl CriticalPath {
             visited[cur] = true;
             let e = &events[cur];
             chain.push(CpSegment {
-                label: e.kind.label().to_string(),
-                phase: e.phase.clone(),
+                label: trace.label_of(e).to_string(),
+                phase: trace.phase_of(e).to_string(),
                 start_s: e.start_s,
                 end_s: e.end_s,
             });
@@ -166,20 +166,21 @@ mod tests {
     use super::*;
     use crate::trace::{EventKind, TraceEvent};
 
-    fn task(core: usize, start: f64, end: f64, label: &str) -> TraceEvent {
-        TraceEvent {
+    fn task(t: &mut Trace, core: usize, start: f64, end: f64, label: &str) {
+        let label = t.intern(label);
+        t.record(TraceEvent {
             task: 0,
             core,
             start_s: start,
             end_s: end,
             killed: false,
             ready_s: start,
-            phase: String::new(),
+            phase: 0,
             kind: EventKind::Task {
-                label: label.into(),
+                label,
                 speculative: false,
             },
-        }
+        });
     }
 
     #[test]
@@ -188,6 +189,7 @@ mod tests {
         // Broadcast [0,1] feeds two tasks; the long one on core 0 sets the
         // makespan. A short unrelated task on core 1 must stay off the
         // path.
+        let phase = t.intern("broadcast");
         t.record(TraceEvent {
             task: 0,
             core: 0,
@@ -195,14 +197,14 @@ mod tests {
             end_s: 1.0,
             killed: false,
             ready_s: 0.0,
-            phase: "broadcast".into(),
+            phase,
             kind: EventKind::Broadcast {
                 bytes: 10,
                 dest_nodes: 1,
             },
         });
-        t.record(task(0, 1.0, 4.0, "strip"));
-        t.record(task(1, 1.0, 1.5, "strip"));
+        task(&mut t, 0, 1.0, 4.0, "strip");
+        task(&mut t, 1, 1.0, 1.5, "strip");
         let cp = CriticalPath::from_trace(&t);
         let labels: Vec<&str> = cp.segments.iter().map(|s| s.label.as_str()).collect();
         assert_eq!(labels, vec!["broadcast", "strip"]);
@@ -215,8 +217,8 @@ mod tests {
     #[test]
     fn gaps_become_wait_segments() {
         let mut t = Trace::default();
-        t.record(task(0, 0.0, 1.0, "a"));
-        t.record(task(0, 2.0, 3.0, "b")); // released late: 1s idle gap
+        task(&mut t, 0, 0.0, 1.0, "a");
+        task(&mut t, 0, 2.0, 3.0, "b"); // released late: 1s idle gap
         let cp = CriticalPath::from_trace(&t);
         let labels: Vec<&str> = cp.segments.iter().map(|s| s.label.as_str()).collect();
         assert_eq!(labels, vec!["a", "wait", "b"]);
@@ -226,9 +228,9 @@ mod tests {
     #[test]
     fn same_core_handover_preferred_on_ties() {
         let mut t = Trace::default();
-        t.record(task(0, 0.0, 1.0, "other"));
-        t.record(task(1, 0.0, 1.0, "mine"));
-        t.record(task(1, 1.0, 2.0, "tail"));
+        task(&mut t, 0, 0.0, 1.0, "other");
+        task(&mut t, 1, 0.0, 1.0, "mine");
+        task(&mut t, 1, 1.0, 2.0, "tail");
         let cp = CriticalPath::from_trace(&t);
         assert_eq!(cp.segments[0].label, "mine");
     }
@@ -237,9 +239,9 @@ mod tests {
     fn zero_duration_chains_terminate() {
         let mut t = Trace::default();
         for i in 0..5 {
-            t.record(task(0, 1.0, 1.0, &format!("z{i}")));
+            task(&mut t, 0, 1.0, 1.0, &format!("z{i}"));
         }
-        t.record(task(0, 0.0, 1.0, "base"));
+        task(&mut t, 0, 0.0, 1.0, "base");
         let cp = CriticalPath::from_trace(&t);
         assert!(cp.segments.len() <= 6);
         assert_eq!(cp.segments[0].label, "base");

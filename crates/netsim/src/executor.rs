@@ -3,7 +3,7 @@
 use crate::cluster::Cluster;
 use crate::policy::{PolicyError, RetryPolicy};
 use crate::report::SimReport;
-use crate::trace::{EventKind, Trace, TraceEvent};
+use crate::trace::{EventKind, Sym, Trace, TraceEvent};
 
 /// Where and when a simulated task ran.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -44,6 +44,97 @@ pub struct TaskOpts {
     pub speculation_cap: Option<f64>,
 }
 
+/// Tournament tree over per-core free times: the earliest-free-core index
+/// that replaces the linear scan on the placement hot path.
+///
+/// A complete binary tree over `leaves` (next power of two ≥ core count)
+/// slots. Each leaf holds its core's *key* — the core's free time while the
+/// core is admitted, `+∞` while admission control has it closed (and for
+/// padding slots) — and its *cap*, the node's scripted death time (`+∞`
+/// when the node never dies, `-∞` for padding). Internal nodes hold
+/// `min(key)` and `max(cap)` of their subtrees.
+///
+/// [`Self::pick`] descends left-first with branch-and-bound pruning:
+/// * a subtree whose `min_key` is `+∞` holds no admitted core;
+/// * a subtree whose `max_cap ≤ ready` is entirely dead by the release;
+/// * a subtree whose optimistic bound `max(min_key, ready)` is not
+///   *strictly* earlier than the incumbent cannot win (left-first descent
+///   therefore reproduces the linear scan's lowest-id tie-break exactly).
+///
+/// A leaf survives only if it can start before its cap
+/// (`max(free, ready) < died_at`) — the same "node gone before the task
+/// could begin" rule the linear scan applies. Typical picks touch
+/// O(log cores) tree nodes.
+#[derive(Clone, Debug)]
+struct CoreIndex {
+    leaves: usize,
+    min_key: Vec<f64>,
+    max_cap: Vec<f64>,
+}
+
+impl CoreIndex {
+    fn new(core_free: &[f64], caps: impl Fn(usize) -> f64) -> CoreIndex {
+        let leaves = core_free.len().next_power_of_two().max(1);
+        let mut idx = CoreIndex {
+            leaves,
+            min_key: vec![f64::INFINITY; 2 * leaves],
+            max_cap: vec![f64::NEG_INFINITY; 2 * leaves],
+        };
+        for (c, &free) in core_free.iter().enumerate() {
+            idx.min_key[leaves + c] = free;
+            idx.max_cap[leaves + c] = caps(c);
+        }
+        for n in (1..leaves).rev() {
+            idx.min_key[n] = idx.min_key[2 * n].min(idx.min_key[2 * n + 1]);
+            idx.max_cap[n] = idx.max_cap[2 * n].max(idx.max_cap[2 * n + 1]);
+        }
+        idx
+    }
+
+    /// Update core `c`'s key (`+∞` closes the core to placement) and
+    /// re-aggregate its ancestors.
+    fn set_key(&mut self, c: usize, key: f64) {
+        let mut n = self.leaves + c;
+        self.min_key[n] = key;
+        while n > 1 {
+            n /= 2;
+            let m = self.min_key[2 * n].min(self.min_key[2 * n + 1]);
+            if self.min_key[n] == m {
+                break;
+            }
+            self.min_key[n] = m;
+        }
+    }
+
+    fn pick(&self, ready: f64, avoid: Option<usize>) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        self.descend(1, ready, avoid, &mut best);
+        best
+    }
+
+    fn descend(&self, n: usize, ready: f64, avoid: Option<usize>, best: &mut Option<(usize, f64)>) {
+        let key = self.min_key[n];
+        if key == f64::INFINITY || self.max_cap[n] <= ready {
+            return; // no admitted core below, or all dead by the release
+        }
+        let bound = if key > ready { key } else { ready };
+        if let Some((_, incumbent)) = *best {
+            if bound >= incumbent {
+                return; // cannot start strictly earlier than the incumbent
+            }
+        }
+        if n >= self.leaves {
+            let c = n - self.leaves;
+            if Some(c) != avoid && bound < self.max_cap[n] {
+                *best = Some((c, bound));
+            }
+            return;
+        }
+        self.descend(2 * n, ready, avoid, best);
+        self.descend(2 * n + 1, ready, avoid, best);
+    }
+}
+
 /// Greedy list scheduler over the cluster's simulated cores.
 ///
 /// Each core tracks the virtual time at which it becomes free. A task with
@@ -63,14 +154,36 @@ pub struct TaskOpts {
 /// ([`Self::set_phase`]) and task label ([`Self::set_task_label`]); engines
 /// additionally record network-side events via [`Self::record_fetch`],
 /// [`Self::record_broadcast`] and [`Self::record_recovery`]. The trace
-/// lives inside the [`SimReport`] so it survives `report()` clones.
+/// lives inside the [`SimReport`] so it survives `report()` clones. Phase
+/// and label strings are interned once per [`Self::set_phase`] /
+/// [`Self::set_task_label`] call, so recording an event allocates nothing.
 #[derive(Clone, Debug)]
 pub struct SimExecutor {
     cluster: Cluster,
     core_free: Vec<f64>,
+    /// Earliest-free-core tournament tree kept in lockstep with
+    /// `core_free` (and admission limits) by [`Self::set_core_free`] /
+    /// [`Self::set_node_core_limit`].
+    index: CoreIndex,
+    /// Incrementally maintained `max(core_free)`: every write to a core's
+    /// free time is monotone non-decreasing, so the running max equals the
+    /// fold the old O(cores) [`Self::all_idle_at`] computed.
+    max_free: f64,
+    /// Differential-testing escape hatch: route picks through the retired
+    /// linear scan instead of the index (see [`Self::set_linear_pick`]).
+    use_linear_pick: bool,
     report: SimReport,
     phase: String,
     task_label: String,
+    /// Interned ids of `phase` / `task_label` in the report's trace;
+    /// meaningful only while tracing is enabled.
+    phase_sym: Sym,
+    label_sym: Sym,
+    /// Count of task-event record opportunities, for trace sampling.
+    trace_seq: u64,
+    /// Record every n-th task event (1 = all; network/memory events are
+    /// never sampled so byte-conservation oracles stay exact).
+    trace_stride: u32,
     /// Resident bytes per node (cached partitions, broadcast replicas,
     /// shuffle buffers, in-flight working sets — whatever the engine
     /// reserves). The high-water mark lives in `report.mem_high_water`.
@@ -96,12 +209,26 @@ impl SimExecutor {
             mem_high_water: vec![0; nodes],
             ..SimReport::default()
         };
+        let core_free = vec![0.0; cores];
+        let index = CoreIndex::new(&core_free, |c| {
+            cluster
+                .faults()
+                .node_death(cluster.node_of_core(c))
+                .unwrap_or(f64::INFINITY)
+        });
         SimExecutor {
             cluster,
-            core_free: vec![0.0; cores],
+            core_free,
+            index,
+            max_free: 0.0,
+            use_linear_pick: false,
             report,
             phase: String::new(),
             task_label: "task".into(),
+            phase_sym: 0,
+            label_sym: 0,
+            trace_seq: 0,
+            trace_stride: 1,
             mem_resident: vec![0; nodes],
             node_core_limit: vec![per_node; nodes],
             host_threads: crate::parallel::current_degree(),
@@ -116,9 +243,26 @@ impl SimExecutor {
 
     /// Start recording a schedule trace (typed per-event records).
     pub fn enable_trace(&mut self) {
+        self.enable_trace_sampled(1);
+    }
+
+    /// Start recording a schedule trace keeping only every `stride`-th
+    /// task attempt (clamped to ≥ 1; 1 = record everything, the
+    /// [`Self::enable_trace`] behaviour). Network and memory events are
+    /// always recorded — byte-conservation oracles need all of them — so
+    /// sampling bounds trace memory on task-dominated runs without
+    /// breaking accounting. The stride is stamped onto the trace
+    /// ([`Trace::sample_stride`]) so consumers know counts are partial.
+    pub fn enable_trace_sampled(&mut self, stride: u32) {
+        let stride = stride.max(1);
         if self.report.trace.is_none() {
             self.report.trace = Some(Trace::default());
         }
+        let trace = self.report.trace.as_mut().expect("just created");
+        trace.set_sample_stride(stride);
+        self.trace_stride = stride;
+        self.phase_sym = trace.intern(&self.phase);
+        self.label_sym = trace.intern(&self.task_label);
     }
 
     /// The recorded trace, if tracing was enabled.
@@ -128,12 +272,24 @@ impl SimExecutor {
 
     /// Set the phase name stamped onto subsequently recorded events.
     pub fn set_phase(&mut self, phase: &str) {
-        self.phase = phase.to_string();
+        if phase != self.phase {
+            self.phase.clear();
+            self.phase.push_str(phase);
+            if let Some(trace) = &mut self.report.trace {
+                self.phase_sym = trace.intern(phase);
+            }
+        }
     }
 
     /// Set the label stamped onto subsequently placed task attempts.
     pub fn set_task_label(&mut self, label: &str) {
-        self.task_label = label.to_string();
+        if label != self.task_label {
+            self.task_label.clear();
+            self.task_label.push_str(label);
+            if let Some(trace) = &mut self.report.trace {
+                self.label_sym = trace.intern(label);
+            }
+        }
     }
 
     /// The label currently stamped onto placed task attempts.
@@ -161,11 +317,39 @@ impl SimExecutor {
             .is_none_or(|&limit| c % per_node < limit)
     }
 
+    /// Advance core `c`'s free time. Every placement/kill writes through
+    /// here so the earliest-free-core index and the `max_free` cache stay
+    /// in lockstep with `core_free`. Writes are monotone non-decreasing
+    /// (a core is never un-busied), which is what makes the running max
+    /// valid.
+    fn set_core_free(&mut self, c: usize, t: f64) {
+        debug_assert!(t >= self.core_free[c], "core free time moved backwards");
+        self.core_free[c] = t;
+        if self.core_admitted(c) {
+            self.index.set_key(c, t);
+        }
+        if t > self.max_free {
+            self.max_free = t;
+        }
+    }
+
     /// Greedy core choice: earliest start, ties to the lowest id, skipping
     /// cores whose node is dead by the time the task could start and cores
     /// closed off by admission control. `None` when no eligible core
     /// survives.
     fn try_pick_core(&self, ready: f64, avoid: Option<usize>) -> Option<(usize, f64)> {
+        if self.use_linear_pick {
+            return self.try_pick_core_linear(ready, avoid);
+        }
+        self.index.pick(ready, avoid)
+    }
+
+    /// The retired O(cores) scan, kept verbatim as the differential-testing
+    /// oracle for the tournament-tree index (see the `index_matches_*`
+    /// tests) and as the baseline leg of the `sim_throughput` bench. Not
+    /// for production use — enable via [`Self::set_linear_pick`].
+    #[doc(hidden)]
+    pub fn try_pick_core_linear(&self, ready: f64, avoid: Option<usize>) -> Option<(usize, f64)> {
         let mut best: Option<(usize, f64)> = None;
         for (c, &free) in self.core_free.iter().enumerate() {
             if Some(c) == avoid || !self.core_admitted(c) {
@@ -185,6 +369,14 @@ impl SimExecutor {
             }
         }
         best
+    }
+
+    /// Route core picks through the retired linear scan instead of the
+    /// index. Benchmarking/differential-testing knob only: both paths pick
+    /// identical `(core, start)` pairs, the linear one in O(cores).
+    #[doc(hidden)]
+    pub fn set_linear_pick(&mut self, on: bool) {
+        self.use_linear_pick = on;
     }
 
     fn pick_core(&self, ready: f64, avoid: Option<usize>) -> (usize, f64) {
@@ -234,9 +426,21 @@ impl SimExecutor {
         // watchdog-killed straggler core would win the tie-break again.
         let mut avoid: Option<usize> = None;
         loop {
-            let picked = self
-                .try_pick_core(release, avoid)
-                .or_else(|| self.try_pick_core(release, None));
+            // The blacklist is advisory, not fatal: when the blacklisted
+            // core is the *only* survivor, scheduling on nothing would
+            // deadlock the job, so the scheduler re-admits it — and traces
+            // that decision so the concession is visible, rather than
+            // silently re-picking the core it just blamed.
+            let picked = match self.try_pick_core(release, avoid) {
+                some @ Some(_) => some,
+                None => match avoid.and_then(|_| self.try_pick_core(release, None)) {
+                    Some((core, start)) => {
+                        self.record_recovery("blacklist-fallback", release, release.max(start));
+                        Some((core, start))
+                    }
+                    None => None,
+                },
+            };
             let Some((core, start)) = picked else {
                 return Err(PolicyError::NoSurvivingCore { at_s: release });
             };
@@ -263,7 +467,7 @@ impl SimExecutor {
                 (None, Some(t)) => (t, true),
                 (Some(d), Some(t)) => (d.min(t), t <= d),
             };
-            self.core_free[core] = killed_at;
+            self.set_core_free(core, killed_at);
             self.report.lost_time_s += killed_at - start;
             self.record_task_event(core, release, start, killed_at, true, false);
             // A watchdog kill is observed immediately (the watchdog *is*
@@ -352,7 +556,7 @@ impl SimExecutor {
                         // Original killed when the backup finishes (or its
                         // node dies first — whichever comes sooner).
                         let orig_stop = death.map_or(bend, |d| d.min(bend));
-                        self.core_free[core] = orig_stop;
+                        self.set_core_free(core, orig_stop);
                         self.report.lost_time_s += orig_stop - start;
                         self.report.retries += 1;
                         self.record_task_event(core, ready, start, orig_stop, true, false);
@@ -367,7 +571,7 @@ impl SimExecutor {
         if let Some(died_at) = death {
             // Killed mid-task: the core was busy until the death and
             // that work is lost.
-            self.core_free[core] = died_at;
+            self.set_core_free(core, died_at);
             self.report.lost_time_s += died_at - start;
             self.record_task_event(core, ready, start, died_at, true, false);
             return TaskAttempt::Killed {
@@ -432,7 +636,7 @@ impl SimExecutor {
         speculative: bool,
     ) -> TaskPlacement {
         let end = start + dur;
-        self.core_free[core] = end;
+        self.set_core_free(core, end);
         self.record_task_event(core, ready, start, end, false, speculative);
         self.report.tasks += 1;
         self.report.compute_s += dur;
@@ -449,21 +653,27 @@ impl SimExecutor {
         killed: bool,
         speculative: bool,
     ) {
-        if let Some(trace) = &mut self.report.trace {
-            trace.record(TraceEvent {
-                task: trace.next_id(),
-                core,
-                start_s: start,
-                end_s: end,
-                killed,
-                ready_s: ready.min(start),
-                phase: self.phase.clone(),
-                kind: EventKind::Task {
-                    label: self.task_label.clone(),
-                    speculative,
-                },
-            });
+        let Some(trace) = &mut self.report.trace else {
+            return;
+        };
+        let seq = self.trace_seq;
+        self.trace_seq += 1;
+        if self.trace_stride > 1 && !seq.is_multiple_of(self.trace_stride as u64) {
+            return;
         }
+        trace.record(TraceEvent {
+            task: trace.next_id(),
+            core,
+            start_s: start,
+            end_s: end,
+            killed,
+            ready_s: ready.min(start),
+            phase: self.phase_sym,
+            kind: EventKind::Task {
+                label: self.label_sym,
+                speculative,
+            },
+        });
     }
 
     fn record_network_event(
@@ -482,7 +692,7 @@ impl SimExecutor {
                 end_s: end_s.max(start_s),
                 killed,
                 ready_s: start_s,
-                phase: self.phase.clone(),
+                phase: self.phase_sym,
                 kind,
             });
         }
@@ -547,15 +757,11 @@ impl SimExecutor {
     /// Record a recovery window (failure detection, re-enqueue, recompute
     /// dispatch) labelled for critical-path attribution.
     pub fn record_recovery(&mut self, label: &str, start_s: f64, end_s: f64) {
-        self.record_network_event(
-            EventKind::Recovery {
-                label: label.to_string(),
-            },
-            0,
-            start_s,
-            end_s,
-            false,
-        );
+        let Some(trace) = &mut self.report.trace else {
+            return;
+        };
+        let label = trace.intern(label);
+        self.record_network_event(EventKind::Recovery { label }, 0, start_s, end_s, false);
     }
 
     // ---- per-node memory model ----
@@ -638,7 +844,24 @@ impl SimExecutor {
     /// (pilot-style: concurrency bounded by declared working-set size).
     /// The cap is clamped to the node's physical core count.
     pub fn set_node_core_limit(&mut self, node: usize, limit: usize) {
-        self.node_core_limit[node] = limit.min(self.cluster.profile.cores_per_node);
+        let per_node = self.cluster.profile.cores_per_node;
+        let limit = limit.min(per_node);
+        self.node_core_limit[node] = limit;
+        // Re-key the node's cores in the index: closed cores read +∞ (never
+        // picked), re-opened ones resume at their tracked free time.
+        let base = node * per_node;
+        for i in 0..per_node {
+            let c = base + i;
+            if c >= self.core_free.len() {
+                break;
+            }
+            let key = if i < limit {
+                self.core_free[c]
+            } else {
+                f64::INFINITY
+            };
+            self.index.set_key(c, key);
+        }
     }
 
     /// The admission-control core cap currently set for `node`.
@@ -646,9 +869,10 @@ impl SimExecutor {
         self.node_core_limit[node]
     }
 
-    /// Virtual time when every core is idle again.
+    /// Virtual time when every core is idle again (O(1): maintained
+    /// incrementally by [`Self::set_core_free`]).
     pub fn all_idle_at(&self) -> f64 {
-        self.core_free.iter().copied().fold(0.0, f64::max)
+        self.max_free
     }
 
     /// Virtual time when core `c` is next free.
@@ -775,10 +999,55 @@ mod tests {
         e.set_phase("edge-discovery");
         e.set_task_label("strip");
         e.run_task(0.5, 1.0);
-        let ev = &e.trace().unwrap().events[0];
-        assert_eq!(ev.phase, "edge-discovery");
-        assert_eq!(ev.kind.label(), "strip");
+        let t = e.trace().unwrap();
+        let ev = &t.events[0];
+        assert_eq!(t.phase_of(ev), "edge-discovery");
+        assert_eq!(t.label_of(ev), "strip");
         assert_eq!(ev.ready_s, 0.5);
+    }
+
+    #[test]
+    fn phase_and_label_set_before_tracing_survive_enable() {
+        let mut e = exec(1);
+        e.set_phase("warmup");
+        e.set_task_label("probe");
+        e.enable_trace();
+        e.run_task(0.0, 1.0);
+        let t = e.trace().unwrap();
+        assert_eq!(t.phase_of(&t.events[0]), "warmup");
+        assert_eq!(t.label_of(&t.events[0]), "probe");
+    }
+
+    #[test]
+    fn sampled_trace_keeps_every_nth_task_but_all_network_events() {
+        let mut e = exec(4);
+        e.enable_trace_sampled(4);
+        for _ in 0..16 {
+            e.run_task(0.0, 1.0);
+        }
+        e.record_fetch(0, 0, 64, 0.0, 0.5);
+        e.record_broadcast(32, 1, 0.0, 0.25);
+        let t = e.trace().unwrap();
+        assert!(t.is_sampled());
+        assert_eq!(t.sample_stride(), 4);
+        let tasks = t.events.iter().filter(|ev| ev.occupies_core()).count();
+        assert_eq!(tasks, 4, "every 4th of 16 attempts");
+        let network = t.events.iter().filter(|ev| !ev.occupies_core()).count();
+        assert_eq!(network, 2, "network events are never sampled");
+        // The report still counts everything.
+        assert_eq!(e.report().tasks, 16);
+    }
+
+    #[test]
+    fn untraced_run_still_counts_everything() {
+        let mut e = exec(2);
+        for _ in 0..8 {
+            e.run_task(0.0, 1.0);
+        }
+        e.record_fetch(0, 0, 64, 0.0, 0.5);
+        assert!(e.trace().is_none());
+        assert_eq!(e.report().tasks, 8);
+        assert_eq!(e.report().makespan_s, 4.0);
     }
 
     #[test]
@@ -1002,6 +1271,116 @@ mod tests {
         e.run_task(2.0, 1.0);
     }
 
+    // ---- earliest-free-core index vs. linear-scan oracle ----
+    //
+    // ISSUE-6 satellite: the tournament tree must pick the *identical*
+    // (core, start) pair as the retired linear scan in every reachable
+    // state — randomized free times, node deaths, admission limits, and
+    // avoid sets. The linear scan is kept in-tree as the oracle.
+
+    /// Deterministic splitmix64, the same generator the chaos harness
+    /// seeds its plans with.
+    fn mix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn unit(state: &mut u64) -> f64 {
+        (mix(state) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    #[test]
+    fn index_matches_linear_scan_on_randomized_states() {
+        for seed in 0..40u64 {
+            let mut rng = seed.wrapping_mul(0x5851f42d4c957f2d) + 1;
+            let nodes = 1 + (mix(&mut rng) % 5) as usize;
+            let per_node = 1 + (mix(&mut rng) % 7) as usize;
+            let mut plan = FaultPlan::none();
+            for node in 0..nodes {
+                if unit(&mut rng) < 0.4 {
+                    plan = plan.kill_node(node, unit(&mut rng) * 8.0);
+                }
+            }
+            for c in 0..nodes * per_node {
+                if unit(&mut rng) < 0.2 {
+                    plan = plan.slow_core(c, 1.0 + unit(&mut rng) * 4.0);
+                }
+            }
+            let mut e = faulty(per_node, nodes, plan);
+            // Random admission limits on some nodes.
+            for node in 0..nodes {
+                if unit(&mut rng) < 0.3 {
+                    e.set_node_core_limit(node, (mix(&mut rng) % (per_node as u64 + 1)) as usize);
+                }
+            }
+            // Random busy state, written through the tracked path.
+            let cores = nodes * per_node;
+            for _ in 0..cores * 2 {
+                let c = (mix(&mut rng) % cores as u64) as usize;
+                let bump = e.core_free_at(c) + unit(&mut rng) * 6.0;
+                e.set_core_free(c, bump);
+            }
+            // Compare picks across a grid of release times and avoid sets.
+            for _ in 0..64 {
+                let ready = unit(&mut rng) * 10.0;
+                let avoid = if unit(&mut rng) < 0.5 {
+                    Some((mix(&mut rng) % cores as u64) as usize)
+                } else {
+                    None
+                };
+                let fast = e.try_pick_core(ready, avoid);
+                let slow = e.try_pick_core_linear(ready, avoid);
+                assert_eq!(
+                    fast, slow,
+                    "seed {seed}: index and linear scan disagree at \
+                     ready={ready}, avoid={avoid:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn index_tracks_admission_limit_changes() {
+        let mut e = exec(4);
+        e.set_core_free(0, 5.0);
+        e.set_node_core_limit(0, 1); // only core 0 admitted, busy until 5
+        assert_eq!(e.try_pick_core(0.0, None), Some((0, 5.0)));
+        assert_eq!(e.try_pick_core(0.0, Some(0)), None, "sole core avoided");
+        e.set_node_core_limit(0, 2); // core 1 re-opens, idle
+        assert_eq!(e.try_pick_core(0.0, None), Some((1, 0.0)));
+        e.set_node_core_limit(0, 0); // everything closed
+        assert_eq!(e.try_pick_core(0.0, None), None);
+    }
+
+    #[test]
+    fn linear_pick_mode_is_behaviorally_identical() {
+        let plan = FaultPlan::none().kill_node(0, 2.0).slow_core(3, 3.0);
+        let run = |linear: bool| {
+            let mut e = faulty(2, 2, plan.clone());
+            e.set_linear_pick(linear);
+            e.enable_trace();
+            for i in 0..12 {
+                e.run_task(0.25 * (i % 4) as f64, 0.5 + 0.125 * (i % 3) as f64);
+            }
+            e.into_report()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn all_idle_at_matches_fold_over_core_free() {
+        let mut e = faulty(2, 2, FaultPlan::none().kill_node(1, 3.0));
+        assert_eq!(e.all_idle_at(), 0.0);
+        for i in 0..10 {
+            e.run_task(0.0, 0.5 + (i % 4) as f64 * 0.25);
+            let fold = (0..4).map(|c| e.core_free_at(c)).fold(0.0, f64::max);
+            assert_eq!(e.all_idle_at(), fold);
+        }
+    }
+
     // ---- retry policies ----
 
     use crate::policy::{PolicyError, RetryPolicy};
@@ -1084,6 +1463,64 @@ mod tests {
             Err(PolicyError::Timeout { attempt, .. }) => assert_eq!(attempt, 2),
             other => panic!("expected timeout, got {other:?}"),
         }
+    }
+
+    // ---- blacklist fallback audit (ISSUE-6 satellite) ----
+
+    #[test]
+    fn blacklisted_sole_survivor_is_readmitted_not_starved() {
+        // 2 nodes × 1 core; node 1 dies at t=0 so core 0 — a 3× straggler
+        // — is the only survivor. The watchdog kills attempt 1 and
+        // blacklists core 0; with nowhere else to go, the scheduler must
+        // fall back to it (and keep timing out) instead of failing with
+        // NoSurvivingCore.
+        let plan = FaultPlan::none().slow_core(0, 3.0).kill_node(1, 0.0);
+        let mut e = faulty(1, 2, plan);
+        e.enable_trace();
+        let policy = RetryPolicy::new(3).with_timeout(2.0);
+        match e.run_task_policied(0.0, 1.0, &policy) {
+            Err(PolicyError::Timeout { attempt, .. }) => {
+                assert_eq!(attempt, 3, "all attempts ran on the sole survivor");
+            }
+            other => panic!("expected a timeout on the sole survivor, got {other:?}"),
+        }
+        assert_eq!(e.report().retries, 2);
+        // The concession is visible: one fallback record per re-pick of
+        // the blacklisted core (attempts 2 and 3).
+        let t = e.trace().unwrap();
+        let fallbacks = t
+            .events
+            .iter()
+            .filter(|ev| {
+                matches!(ev.kind, EventKind::Recovery { .. })
+                    && t.label_of(ev) == "blacklist-fallback"
+            })
+            .count();
+        assert_eq!(fallbacks, 2);
+    }
+
+    #[test]
+    fn blacklisted_sole_survivor_can_still_finish_the_job() {
+        // Same sole-survivor shape, but the attempt dies to a *node death*
+        // (core 0's node dies at t=1.5 under a 4s task) and the rerun —
+        // after fallback — fits before... no second death, so it completes.
+        // 2 nodes × 2 cores: node 1 dead at t=0; node 0 healthy. Core 0
+        // straggles 5×, watchdog 2s. Attempt 1 → core 0 (earliest id),
+        // killed at t=2, blacklisted. Attempt 2 → core 1 (no fallback
+        // needed, a sibling survives) finishes at 3.
+        let plan = FaultPlan::none().slow_core(0, 5.0).kill_node(1, 0.0);
+        let mut e = faulty(2, 2, plan);
+        e.enable_trace();
+        let policy = RetryPolicy::new(3).with_timeout(2.0);
+        let p = e.run_task_policied(0.0, 1.0, &policy).unwrap();
+        assert_eq!(p.core, 1, "sibling survivor preferred over fallback");
+        let t = e.trace().unwrap();
+        assert!(
+            !t.events
+                .iter()
+                .any(|ev| t.label_of(ev) == "blacklist-fallback"),
+            "no fallback is recorded when a non-blacklisted core survives"
+        );
     }
 
     #[test]

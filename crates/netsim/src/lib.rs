@@ -39,4 +39,4 @@ pub use metrics::{Histogram, Metrics, NodeMemory, NodeTraffic, PhaseShare};
 pub use parallel::Threads;
 pub use policy::{PolicyError, RetryPolicy, BACKOFF_SATURATION_S};
 pub use report::{Phase, SimReport};
-pub use trace::{EventKind, Trace, TraceEvent};
+pub use trace::{EventKind, Interner, Sym, Trace, TraceEvent};

@@ -479,6 +479,9 @@ mod tests {
     fn metrics_summarize_memory_pressure() {
         use crate::trace::{Trace, TraceEvent};
         let mut trace = Trace::default();
+        let shuffle = trace.intern("shuffle");
+        let cache = trace.intern("cache");
+        let memory = trace.intern("memory");
         trace.record(TraceEvent {
             task: 0,
             core: 0,
@@ -486,7 +489,7 @@ mod tests {
             end_s: 0.5,
             killed: false,
             ready_s: 0.0,
-            phase: "shuffle".into(),
+            phase: shuffle,
             kind: EventKind::Spill {
                 node: 1,
                 bytes: 4096,
@@ -499,7 +502,7 @@ mod tests {
             end_s: 0.5,
             killed: false,
             ready_s: 0.5,
-            phase: "cache".into(),
+            phase: cache,
             kind: EventKind::Evict {
                 node: 1,
                 bytes: 1024,
@@ -512,7 +515,7 @@ mod tests {
             end_s: 1.0,
             killed: false,
             ready_s: 1.0,
-            phase: "memory".into(),
+            phase: memory,
             kind: EventKind::OomKill { node: 0 },
         });
         let report = SimReport {

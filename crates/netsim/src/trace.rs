@@ -9,14 +9,69 @@
 //! [`crate::Metrics`] summary and [`crate::CriticalPath`] analysis — the
 //! visibility tools for debugging framework scheduling behaviour (stage
 //! barriers, stragglers, dispatch serialization, broadcast cost).
+//!
+//! ## Interned labels
+//!
+//! Phase and label strings are *interned*: events carry `u32` [`Sym`]
+//! handles into the trace's [`Interner`], so recording an event on the
+//! simulator hot path allocates nothing ([`TraceEvent`] is `Copy`).
+//! Strings materialise only at export boundaries (CSV, Chrome JSON, the
+//! Gantt legend, critical-path attribution) via [`Trace::resolve`] /
+//! [`Trace::phase_of`] / [`Trace::label_of`]. Because symbol ids depend on
+//! first-use order (which varies across e.g. CSV round-trips or
+//! multi-threaded recording), trace equality compares *resolved strings*,
+//! never raw ids.
+
+use std::collections::HashMap;
+
+/// Interned-string handle. `Sym(0)` is always the empty string.
+pub type Sym = u32;
+
+/// String interner owned by a [`Trace`]: maps phase/label strings to dense
+/// `u32` ids so hot-path event records don't allocate. The empty string is
+/// pre-interned as id 0.
+#[derive(Clone, Debug, Default)]
+pub struct Interner {
+    strings: Vec<String>,
+    index: HashMap<String, Sym>,
+}
+
+impl Interner {
+    pub fn new() -> Interner {
+        let mut i = Interner {
+            strings: Vec::new(),
+            index: HashMap::new(),
+        };
+        i.intern("");
+        i
+    }
+
+    /// Id for `s`, allocating one on first sight.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.index.get(s) {
+            return sym;
+        }
+        let sym = self.strings.len() as Sym;
+        self.strings.push(s.to_string());
+        self.index.insert(s.to_string(), sym);
+        sym
+    }
+
+    /// The string behind `sym` (empty for an id this interner never
+    /// issued — only possible for events smuggled in from another trace).
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.strings.get(sym as usize).map_or("", String::as_str)
+    }
+}
 
 /// What a trace event records. Only `Task` events occupy a core; the
-/// other kinds live on the network/driver timelines.
-#[derive(Clone, Debug, PartialEq)]
+/// other kinds live on the network/driver timelines. Label-carrying kinds
+/// hold interned [`Sym`]s — resolve through the owning trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum EventKind {
     /// A task attempt executing on a core. `speculative` marks backup
     /// attempts launched by speculative execution.
-    Task { label: String, speculative: bool },
+    Task { label: Sym, speculative: bool },
     /// A point-to-point transfer (shuffle fetch, staging, gather leg).
     /// A `killed` fetch event is one lost on the wire and re-sent.
     Fetch {
@@ -28,7 +83,7 @@ pub enum EventKind {
     Broadcast { bytes: u64, dest_nodes: usize },
     /// Recovery work outside normal task placement (lineage recompute
     /// dispatch, DB re-enqueue, failure detection window).
-    Recovery { label: String },
+    Recovery { label: Sym },
     /// Bytes written to (and later read back from) node-local scratch
     /// disk because `node`'s memory budget could not hold them resident.
     Spill { node: usize, bytes: u64 },
@@ -41,20 +96,6 @@ pub enum EventKind {
 }
 
 impl EventKind {
-    /// Stable label used by the Gantt legend, CSV `kind` column,
-    /// Chrome-trace `name`, and critical-path attribution.
-    pub fn label(&self) -> &str {
-        match self {
-            EventKind::Task { label, .. } => label,
-            EventKind::Fetch { .. } => "fetch",
-            EventKind::Broadcast { .. } => "broadcast",
-            EventKind::Recovery { label } => label,
-            EventKind::Spill { .. } => "spill",
-            EventKind::Evict { .. } => "evict",
-            EventKind::OomKill { .. } => "oom-kill",
-        }
-    }
-
     /// CSV/JSON discriminant.
     pub fn kind_name(&self) -> &'static str {
         match self {
@@ -67,10 +108,19 @@ impl EventKind {
             EventKind::OomKill { .. } => "oomkill",
         }
     }
+
+    /// The label symbol for kinds that carry one (`Task`, `Recovery`).
+    fn label_sym(&self) -> Option<Sym> {
+        match self {
+            EventKind::Task { label, .. } | EventKind::Recovery { label } => Some(*label),
+            _ => None,
+        }
+    }
 }
 
-/// One scheduled occurrence in the simulated run.
-#[derive(Clone, Debug, PartialEq)]
+/// One scheduled occurrence in the simulated run. `Copy`: all strings are
+/// interned [`Sym`]s resolved through the owning [`Trace`].
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TraceEvent {
     /// Monotonic id in record order (re-assigned to sorted order by
     /// engines that record from several threads).
@@ -86,9 +136,9 @@ pub struct TraceEvent {
     /// When the event *could* have started (task release time). The gap
     /// `start_s - ready_s` is queue wait.
     pub ready_s: f64,
-    /// Owning phase ("broadcast", "edge-discovery", …); empty when the
-    /// engine did not declare one.
-    pub phase: String,
+    /// Owning phase ("broadcast", "edge-discovery", …); [`Sym`] 0 (the
+    /// empty string) when the engine did not declare one.
+    pub phase: Sym,
     pub kind: EventKind,
 }
 
@@ -101,15 +151,111 @@ impl TraceEvent {
 }
 
 /// A recorded schedule.
-#[derive(Clone, Debug, Default, PartialEq)]
+///
+/// Equality is *semantic*: two traces are equal when their events match
+/// with phases/labels compared as resolved strings, regardless of the
+/// symbol ids behind them (ids depend on first-use order, which differs
+/// across CSV round-trips and multi-threaded recording).
+#[derive(Clone, Debug)]
 pub struct Trace {
     pub events: Vec<TraceEvent>,
+    interner: Interner,
+    /// Cached `max(end_s)` over all events, maintained by [`Self::record`]
+    /// so [`Self::span`] is O(1) instead of re-folding the event vector.
+    span_s: f64,
+    /// Task-event sampling stride the recording executor used: 1 = every
+    /// task attempt was recorded (the default), `n` = only every n-th.
+    /// Oracles that reconcile the trace against report counters must skip
+    /// a sampled trace (see [`Self::is_sampled`]).
+    sample_stride: u32,
+}
+
+impl Default for Trace {
+    fn default() -> Trace {
+        Trace {
+            events: Vec::new(),
+            interner: Interner::new(),
+            span_s: 0.0,
+            sample_stride: 1,
+        }
+    }
+}
+
+impl PartialEq for Trace {
+    fn eq(&self, other: &Trace) -> bool {
+        self.events.len() == other.events.len()
+            && self
+                .events
+                .iter()
+                .zip(&other.events)
+                .all(|(a, b)| self.event_eq(a, other, b))
+    }
 }
 
 impl Trace {
+    /// Compare one event of `self` against one of `other`, resolving
+    /// label/phase symbols through each trace's own interner.
+    fn event_eq(&self, a: &TraceEvent, other: &Trace, b: &TraceEvent) -> bool {
+        let payload_eq = match (&a.kind, &b.kind) {
+            (
+                EventKind::Task {
+                    speculative: sa, ..
+                },
+                EventKind::Task {
+                    speculative: sb, ..
+                },
+            ) => sa == sb,
+            (EventKind::Recovery { .. }, EventKind::Recovery { .. }) => true,
+            (ka, kb) => ka == kb,
+        };
+        payload_eq
+            && a.kind.kind_name() == b.kind.kind_name()
+            && self.label_of(a) == other.label_of(b)
+            && a.task == b.task
+            && a.core == b.core
+            && a.start_s == b.start_s
+            && a.end_s == b.end_s
+            && a.killed == b.killed
+            && a.ready_s == b.ready_s
+            && self.resolve(a.phase) == other.resolve(b.phase)
+    }
+
+    /// Intern a phase/label string, returning its [`Sym`].
+    pub fn intern(&mut self, s: &str) -> Sym {
+        self.interner.intern(s)
+    }
+
+    /// The string behind `sym`.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// Resolved phase name of an event recorded in this trace.
+    pub fn phase_of(&self, e: &TraceEvent) -> &str {
+        self.interner.resolve(e.phase)
+    }
+
+    /// Stable display label of an event recorded in this trace: the
+    /// interned label for `Task`/`Recovery` kinds, a fixed name otherwise.
+    /// Used by the Gantt legend, CSV `label` column, Chrome-trace `name`,
+    /// and critical-path attribution.
+    pub fn label_of(&self, e: &TraceEvent) -> &str {
+        match &e.kind {
+            EventKind::Task { label, .. } | EventKind::Recovery { label } => {
+                self.interner.resolve(*label)
+            }
+            EventKind::Fetch { .. } => "fetch",
+            EventKind::Broadcast { .. } => "broadcast",
+            EventKind::Spill { .. } => "spill",
+            EventKind::Evict { .. } => "evict",
+            EventKind::OomKill { .. } => "oom-kill",
+        }
+    }
+
     /// Record a completed plain task attempt (compatibility shim around
     /// [`Self::record`]).
     pub fn push(&mut self, task: usize, core: usize, start_s: f64, end_s: f64) {
+        let label = self.intern("task");
         self.record(TraceEvent {
             task,
             core,
@@ -117,9 +263,9 @@ impl Trace {
             end_s,
             killed: false,
             ready_s: start_s,
-            phase: String::new(),
+            phase: 0,
             kind: EventKind::Task {
-                label: "task".into(),
+                label,
                 speculative: false,
             },
         });
@@ -127,6 +273,7 @@ impl Trace {
 
     /// Record a task attempt killed by a node death at `died_at`.
     pub fn push_killed(&mut self, task: usize, core: usize, start_s: f64, died_at: f64) {
+        let label = self.intern("task");
         self.record(TraceEvent {
             task,
             core,
@@ -134,18 +281,22 @@ impl Trace {
             end_s: died_at,
             killed: true,
             ready_s: start_s,
-            phase: String::new(),
+            phase: 0,
             kind: EventKind::Task {
-                label: "task".into(),
+                label,
                 speculative: false,
             },
         });
     }
 
-    /// Record an arbitrary typed event.
+    /// Record an arbitrary typed event. Label/phase symbols must come from
+    /// this trace's [`Self::intern`].
     pub fn record(&mut self, e: TraceEvent) {
         debug_assert!(e.end_s >= e.start_s, "event ends before it starts");
         debug_assert!(e.ready_s <= e.start_s + 1e-12, "ready after start");
+        if e.end_s > self.span_s {
+            self.span_s = e.end_s;
+        }
         self.events.push(e);
     }
 
@@ -158,9 +309,52 @@ impl Trace {
         self.events.is_empty()
     }
 
-    /// Makespan covered by the trace.
+    /// Makespan covered by the trace (cached, O(1)).
     pub fn span(&self) -> f64 {
-        self.events.iter().map(|e| e.end_s).fold(0.0, f64::max)
+        self.span_s
+    }
+
+    /// Mark this trace as sampled: only every `stride`-th task attempt was
+    /// recorded. Network/memory events are never sampled (byte-conservation
+    /// oracles need all of them).
+    pub fn set_sample_stride(&mut self, stride: u32) {
+        self.sample_stride = stride.max(1);
+    }
+
+    /// The task-event sampling stride (1 = complete trace).
+    pub fn sample_stride(&self) -> u32 {
+        self.sample_stride
+    }
+
+    /// True when task events were sampled, i.e. the trace is *not* a
+    /// complete record and event counts cannot be reconciled against
+    /// report counters.
+    pub fn is_sampled(&self) -> bool {
+        self.sample_stride > 1
+    }
+
+    /// Sort events into virtual-time order — (start, end, core, label) —
+    /// and renumber ids to the sorted order. Engines that record from
+    /// several threads (SPMD ranks) call this after the join so runs are
+    /// reproducible regardless of host scheduling. Labels compare as
+    /// resolved strings, so the order is independent of symbol ids.
+    pub fn sort_for_determinism(&mut self) {
+        let interner = std::mem::take(&mut self.interner);
+        self.events.sort_by(|a, b| {
+            a.start_s
+                .total_cmp(&b.start_s)
+                .then(a.end_s.total_cmp(&b.end_s))
+                .then(a.core.cmp(&b.core))
+                .then_with(|| {
+                    let la = a.kind.label_sym().map_or("", |s| interner.resolve(s));
+                    let lb = b.kind.label_sym().map_or("", |s| interner.resolve(s));
+                    la.cmp(lb)
+                })
+        });
+        self.interner = interner;
+        for (i, e) in self.events.iter_mut().enumerate() {
+            e.task = i;
+        }
     }
 
     /// Core utilization counting *useful* work only: completed (non-killed)
@@ -234,7 +428,7 @@ impl Trace {
         for e in &self.events {
             let (label, speculative, from_node, to_node, bytes, dest_nodes) = match &e.kind {
                 EventKind::Task { label, speculative } => (
-                    label.clone(),
+                    self.resolve(*label).to_string(),
                     speculative.to_string(),
                     String::new(),
                     String::new(),
@@ -262,7 +456,7 @@ impl Trace {
                     dest_nodes.to_string(),
                 ),
                 EventKind::Recovery { label } => (
-                    label.clone(),
+                    self.resolve(*label).to_string(),
                     String::new(),
                     String::new(),
                     String::new(),
@@ -295,7 +489,8 @@ impl Trace {
                     String::new(),
                 ),
             };
-            debug_assert!(!label.contains(',') && !e.phase.contains(','));
+            let phase = self.phase_of(e);
+            debug_assert!(!label.contains(',') && !phase.contains(','));
             out.push_str(&format!(
                 "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 e.task,
@@ -305,7 +500,7 @@ impl Trace {
                 e.killed,
                 e.kind.kind_name(),
                 label,
-                e.phase,
+                phase,
                 e.ready_s,
                 speculative,
                 from_node,
@@ -321,7 +516,9 @@ impl Trace {
     }
 
     /// Parse a trace back from [`Self::to_csv`] output (exact round-trip:
-    /// `f64` values are printed with Rust's shortest-round-trip formatting).
+    /// `f64` values are printed with Rust's shortest-round-trip formatting;
+    /// symbol ids may differ from the source trace but equality compares
+    /// resolved strings).
     pub fn from_csv(csv: &str) -> Result<Trace, String> {
         let mut lines = csv.lines();
         match lines.next() {
@@ -345,7 +542,7 @@ impl Trace {
             };
             let kind = match f[5] {
                 "task" => EventKind::Task {
-                    label: f[6].to_string(),
+                    label: t.intern(f[6]),
                     speculative: f[9] == "true",
                 },
                 "fetch" => EventKind::Fetch {
@@ -365,7 +562,7 @@ impl Trace {
                     }
                 }
                 "recovery" => EventKind::Recovery {
-                    label: f[6].to_string(),
+                    label: t.intern(f[6]),
                 },
                 "spill" => EventKind::Spill {
                     node: idx(f[10], "node")?,
@@ -384,6 +581,7 @@ impl Trace {
                 },
                 other => return Err(format!("row {i}: unknown kind: {other}")),
             };
+            let phase = t.intern(f[7]);
             t.record(TraceEvent {
                 task: idx(f[0], "task")?,
                 core: idx(f[1], "core")?,
@@ -391,7 +589,7 @@ impl Trace {
                 end_s: num(f[3], "end_s")?,
                 killed: f[4] == "true",
                 ready_s: num(f[8], "ready_s")?,
-                phase: f[7].to_string(),
+                phase,
                 kind,
             });
         }
@@ -414,6 +612,28 @@ mod tests {
         t
     }
 
+    /// Test helper: record a typed event, interning the phase string.
+    fn rec(
+        t: &mut Trace,
+        task: usize,
+        core: usize,
+        span: (f64, f64),
+        phase: &str,
+        kind: EventKind,
+    ) {
+        let phase = t.intern(phase);
+        t.record(TraceEvent {
+            task,
+            core,
+            start_s: span.0,
+            end_s: span.1,
+            killed: false,
+            ready_s: span.0,
+            phase,
+            kind,
+        });
+    }
+
     #[test]
     fn span_and_utilization() {
         let t = trace();
@@ -421,6 +641,150 @@ mod tests {
         // busy = 1.0 + 0.5 + 1.5 = 3.0 over 2 cores × 2.0s.
         assert!((t.utilization(2) - 0.75).abs() < 1e-12);
         assert_eq!(Trace::default().utilization(2), 0.0);
+    }
+
+    #[test]
+    fn span_is_maintained_incrementally() {
+        let mut t = Trace::default();
+        assert_eq!(t.span(), 0.0);
+        t.push(0, 0, 0.0, 3.0);
+        t.push(1, 1, 0.0, 1.0); // earlier end must not shrink the span
+        assert_eq!(t.span(), 3.0);
+        t.push(2, 0, 3.0, 4.5);
+        assert_eq!(t.span(), 4.5);
+    }
+
+    #[test]
+    fn interning_is_stable_and_resolves() {
+        let mut t = Trace::default();
+        assert_eq!(t.intern(""), 0, "empty string is pre-interned as 0");
+        let a = t.intern("map");
+        let b = t.intern("reduce");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("map"), a, "same string, same sym");
+        assert_eq!(t.resolve(a), "map");
+        assert_eq!(t.resolve(b), "reduce");
+        assert_eq!(t.resolve(999), "", "unknown syms resolve to empty");
+    }
+
+    #[test]
+    fn equality_is_by_resolved_strings_not_sym_ids() {
+        // Same events, interned in different orders → different ids, but
+        // the traces must still compare equal.
+        let mut a = Trace::default();
+        let (m, s0) = (a.intern("map"), a.intern("stage-0"));
+        rec(
+            &mut a,
+            0,
+            0,
+            (0.0, 1.0),
+            "stage-0",
+            EventKind::Task {
+                label: m,
+                speculative: false,
+            },
+        );
+        let _ = (m, s0);
+        let mut b = Trace::default();
+        let _decoy = b.intern("reduce"); // shifts ids
+        let m2 = b.intern("map");
+        rec(
+            &mut b,
+            0,
+            0,
+            (0.0, 1.0),
+            "stage-0",
+            EventKind::Task {
+                label: m2,
+                speculative: false,
+            },
+        );
+        assert_eq!(a, b);
+        // Differing labels break equality even with equal ids.
+        let mut c = Trace::default();
+        let r = c.intern("reduce");
+        rec(
+            &mut c,
+            0,
+            0,
+            (0.0, 1.0),
+            "stage-0",
+            EventKind::Task {
+                label: r,
+                speculative: false,
+            },
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sort_for_determinism_orders_and_renumbers() {
+        let mut t = Trace::default();
+        let b = t.intern("beta");
+        let a = t.intern("alpha");
+        rec(
+            &mut t,
+            7,
+            1,
+            (1.0, 2.0),
+            "",
+            EventKind::Task {
+                label: b,
+                speculative: false,
+            },
+        );
+        rec(
+            &mut t,
+            9,
+            0,
+            (0.0, 1.0),
+            "",
+            EventKind::Task {
+                label: a,
+                speculative: false,
+            },
+        );
+        // Same (start, end, core): resolved-label order decides, so
+        // "alpha" must come before "beta" even though its sym id is larger.
+        rec(
+            &mut t,
+            3,
+            2,
+            (0.0, 1.0),
+            "",
+            EventKind::Task {
+                label: b,
+                speculative: false,
+            },
+        );
+        rec(
+            &mut t,
+            4,
+            2,
+            (0.0, 1.0),
+            "",
+            EventKind::Task {
+                label: a,
+                speculative: false,
+            },
+        );
+        t.sort_for_determinism();
+        let labels: Vec<&str> = t.events.iter().map(|e| t.label_of(e)).collect();
+        assert_eq!(labels, vec!["alpha", "alpha", "beta", "beta"]);
+        let ids: Vec<usize> = t.events.iter().map(|e| e.task).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert_eq!(t.events[0].core, 0, "time order before label order");
+    }
+
+    #[test]
+    fn sampled_traces_declare_themselves() {
+        let mut t = Trace::default();
+        assert!(!t.is_sampled());
+        assert_eq!(t.sample_stride(), 1);
+        t.set_sample_stride(16);
+        assert!(t.is_sampled());
+        t.set_sample_stride(0); // clamped: stride 0 means "record all"
+        assert_eq!(t.sample_stride(), 1);
     }
 
     #[test]
@@ -438,20 +802,18 @@ mod tests {
     fn non_task_events_do_not_count_as_core_time() {
         let mut t = Trace::default();
         t.push(0, 0, 0.0, 1.0);
-        t.record(TraceEvent {
-            task: 1,
-            core: 0,
-            start_s: 0.0,
-            end_s: 1.0,
-            killed: false,
-            ready_s: 0.0,
-            phase: "shuffle".into(),
-            kind: EventKind::Fetch {
+        rec(
+            &mut t,
+            1,
+            0,
+            (0.0, 1.0),
+            "shuffle",
+            EventKind::Fetch {
                 from_node: 0,
                 to_node: 1,
                 bytes: 100,
             },
-        });
+        );
         assert!((t.utilization(1) - 1.0).abs() < 1e-12);
         assert!(!t.gantt(1, 4).contains('x'));
     }
@@ -494,81 +856,70 @@ mod tests {
     fn csv_round_trips_all_kinds() {
         let mut t = trace();
         t.push_killed(3, 0, 1.0, 1.25);
-        t.record(TraceEvent {
-            task: 4,
-            core: 1,
-            start_s: 0.125,
-            end_s: 0.375,
-            killed: false,
-            ready_s: 0.1,
-            phase: "shuffle".into(),
-            kind: EventKind::Fetch {
+        rec(
+            &mut t,
+            4,
+            1,
+            (0.125, 0.375),
+            "shuffle",
+            EventKind::Fetch {
                 from_node: 0,
                 to_node: 1,
                 bytes: 4096,
             },
-        });
-        t.record(TraceEvent {
-            task: 5,
-            core: 0,
-            start_s: 0.0,
-            end_s: 0.5,
-            killed: false,
-            ready_s: 0.0,
-            phase: "broadcast".into(),
-            kind: EventKind::Broadcast {
+        );
+        // ready_s < start_s on this one: patch it after the helper.
+        t.events.last_mut().unwrap().ready_s = 0.1;
+        rec(
+            &mut t,
+            5,
+            0,
+            (0.0, 0.5),
+            "broadcast",
+            EventKind::Broadcast {
                 bytes: 1 << 20,
                 dest_nodes: 3,
             },
-        });
-        t.record(TraceEvent {
-            task: 6,
-            core: 2,
-            start_s: 0.5,
-            end_s: 0.75,
-            killed: false,
-            ready_s: 0.5,
-            phase: "recovery".into(),
-            kind: EventKind::Recovery {
-                label: "recompute".into(),
-            },
-        });
-        t.record(TraceEvent {
-            task: 7,
-            core: 0,
-            start_s: 0.75,
-            end_s: 1.0,
-            killed: false,
-            ready_s: 0.75,
-            phase: "shuffle".into(),
-            kind: EventKind::Spill {
+        );
+        let recompute = t.intern("recompute");
+        rec(
+            &mut t,
+            6,
+            2,
+            (0.5, 0.75),
+            "recovery",
+            EventKind::Recovery { label: recompute },
+        );
+        rec(
+            &mut t,
+            7,
+            0,
+            (0.75, 1.0),
+            "shuffle",
+            EventKind::Spill {
                 node: 1,
                 bytes: 2048,
             },
-        });
-        t.record(TraceEvent {
-            task: 8,
-            core: 0,
-            start_s: 1.0,
-            end_s: 1.0,
-            killed: false,
-            ready_s: 1.0,
-            phase: "cache".into(),
-            kind: EventKind::Evict {
+        );
+        rec(
+            &mut t,
+            8,
+            0,
+            (1.0, 1.0),
+            "cache",
+            EventKind::Evict {
                 node: 0,
                 bytes: 512,
             },
-        });
-        t.record(TraceEvent {
-            task: 9,
-            core: 3,
-            start_s: 1.5,
-            end_s: 1.5,
-            killed: false,
-            ready_s: 1.5,
-            phase: "memory".into(),
-            kind: EventKind::OomKill { node: 1 },
-        });
+        );
+        rec(
+            &mut t,
+            9,
+            3,
+            (1.5, 1.5),
+            "memory",
+            EventKind::OomKill { node: 1 },
+        );
         let back = Trace::from_csv(&t.to_csv()).expect("round trip");
         assert_eq!(back, t);
     }

@@ -414,6 +414,13 @@ impl Session {
         self.state.lock().exec.enable_trace();
     }
 
+    /// Start recording a *sampled* trace: keep only every `stride`-th task
+    /// attempt (network/memory events stay complete). See
+    /// [`netsim::SimExecutor::enable_trace_sampled`].
+    pub fn enable_trace_sampled(&self, stride: u32) {
+        self.state.lock().exec.enable_trace_sampled(stride);
+    }
+
     /// Snapshot the report (after one or more submissions).
     pub fn report(&self) -> SimReport {
         self.state.lock().exec.report().clone()
