@@ -284,3 +284,153 @@ fn pilot_handle(cfg: &RunConfig) -> Result<Session, EngineError> {
 fn mpi_policy(cfg: &RunConfig) -> RetryPolicy {
     cfg.policy.unwrap_or_else(|| RetryPolicy::new(1))
 }
+
+/// A self-contained job descriptor for service-style submission: which
+/// analysis to run plus the synthetic-input parameters and seed needed to
+/// materialize its data at dispatch time.
+///
+/// The direct entry points ([`run_lf`], [`run_psa`]) take the input data
+/// itself (`Arc`'d positions, ensembles); a service holding thousands of
+/// queued jobs cannot afford that, so a `Workload` stores only the
+/// *recipe* — a few machine words, `Clone` + `PartialEq` + `Send` — and
+/// [`run_workload`] generates the inputs when the job finally dispatches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Leaflet-Finder over a generated bilayer.
+    Lf {
+        n_atoms: usize,
+        partitions: usize,
+        seed: u64,
+    },
+    /// Path Similarity Analysis over a generated chain ensemble.
+    Psa {
+        n_traj: usize,
+        n_frames: usize,
+        groups: usize,
+        seed: u64,
+    },
+    /// CPPTraj-style ensemble 2-D RMSD (the paper's MPI baseline);
+    /// `optimized` picks the Intel `-O3` kernel build over GNU `-O0`.
+    Rmsd2d {
+        n_traj: usize,
+        n_frames: usize,
+        optimized: bool,
+        seed: u64,
+    },
+}
+
+impl Workload {
+    /// Short lowercase name (trace labels, JSON keys).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Workload::Lf { .. } => "lf",
+            Workload::Psa { .. } => "psa",
+            Workload::Rmsd2d { .. } => "rmsd2d",
+        }
+    }
+}
+
+/// Result of a [`Workload`] run: a bit-exact fingerprint of the analysis
+/// output (for determinism oracles) and the simulated execution report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadRun {
+    pub fingerprint: u64,
+    pub report: netsim::SimReport,
+}
+
+/// Run a [`Workload`] as configured — the unified front door job
+/// descriptors dispatch through. LF and PSA honor the full `RunConfig`
+/// (engine choice, policy, tracing); the 2-D RMSD baseline is inherently
+/// MPI and runs under `mpilike` regardless of `cfg`'s engine, using
+/// `cfg.mpi_world` ranks.
+pub fn run_workload(cfg: &RunConfig, w: &Workload) -> Result<WorkloadRun, EngineError> {
+    match *w {
+        Workload::Lf {
+            n_atoms,
+            partitions,
+            seed,
+        } => {
+            let b = mdsim::bilayer::generate(
+                &mdsim::BilayerSpec {
+                    n_atoms,
+                    ..Default::default()
+                },
+                seed,
+            );
+            let lf = LfConfig {
+                cutoff: b.suggested_cutoff,
+                partitions,
+                paper_atoms: n_atoms,
+                charge_io: true,
+            };
+            let out = run_lf(cfg, Arc::new(b.positions), &lf)?;
+            let mut fp = netsim::Fingerprint::new();
+            fp.write_usize(out.n_components);
+            for sz in &out.leaflet_sizes {
+                fp.write_usize(*sz);
+            }
+            fp.write_u64(out.edges_found);
+            Ok(WorkloadRun {
+                fingerprint: fp.finish(),
+                report: out.report,
+            })
+        }
+        Workload::Psa {
+            n_traj,
+            n_frames,
+            groups,
+            seed,
+        } => {
+            let spec = mdsim::ChainSpec {
+                n_atoms: 10,
+                n_frames,
+                stride: 1,
+                ..Default::default()
+            };
+            let ensemble = Arc::new(mdsim::chain::generate_ensemble(&spec, n_traj, seed));
+            let psa = PsaConfig {
+                groups,
+                charge_io: true,
+            };
+            let out = run_psa(cfg, ensemble, &psa)?;
+            let mut fp = netsim::Fingerprint::new();
+            for &d in out.distances.as_slice() {
+                fp.write_f64(d);
+            }
+            Ok(WorkloadRun {
+                fingerprint: fp.finish(),
+                report: out.report,
+            })
+        }
+        Workload::Rmsd2d {
+            n_traj,
+            n_frames,
+            optimized,
+            seed,
+        } => {
+            let spec = mdsim::ChainSpec {
+                n_atoms: 10,
+                n_frames,
+                stride: 1,
+                ..Default::default()
+            };
+            let ensemble = mdsim::chain::generate_ensemble(&spec, n_traj, seed);
+            let build = if optimized {
+                cpptraj::KernelBuild::IntelO3
+            } else {
+                cpptraj::KernelBuild::GnuNoOpt
+            };
+            let out = cfg.scoped(|| {
+                cpptraj::ensemble_psa(cfg.cluster.clone(), cfg.mpi_world, build, &ensemble)
+            });
+            let mut fp = netsim::Fingerprint::new();
+            for &d in out.distances.as_slice() {
+                fp.write_f64(d);
+            }
+            Ok(WorkloadRun {
+                fingerprint: fp.finish(),
+                report: out.report,
+            })
+        }
+    }
+}

@@ -245,18 +245,25 @@ impl DaskClient {
                         });
                         break None;
                     }
+                    // Gate the reschedule against the deadline *before*
+                    // the backoff sleep: a re-dispatch that would land
+                    // past the deadline fails now, typed, instead of
+                    // burning virtual time on a doomed attempt.
+                    let observed = died_at + policy.detection_delay_s;
+                    let redispatch = release.max(
+                        observed + policy.backoff_before(attempts + 1) + profile.central_dispatch_s,
+                    );
+                    if let Err(e) = policy.deadline_gate(observed, redispatch) {
+                        error = Some(EngineError::from(e));
+                        break None;
+                    }
                     attempts += 1;
                     avoid = Some(core);
                     first_died.get_or_insert(died_at);
                     let rep = st.exec.report_mut();
                     rep.retries += 1;
                     rep.overhead_s += profile.central_dispatch_s;
-                    release = release.max(
-                        died_at
-                            + policy.detection_delay_s
-                            + policy.backoff_before(attempts)
-                            + profile.central_dispatch_s,
-                    );
+                    release = redispatch;
                 }
             }
         };

@@ -1,0 +1,1230 @@
+//! `mdtaskd`: multi-tenant analysis-as-a-service in virtual time.
+//!
+//! The paper evaluates one analysis job at a time; the service shape the
+//! roadmap aims at is different — *thousands* of concurrent LF / PSA /
+//! 2-D-RMSD jobs from many tenants sharing simulated clusters, where (as
+//! "Parallel Performance of Molecular Dynamics Trajectory Analysis"
+//! observes) contention and stragglers dominate, not kernel speed. This
+//! crate is that admission/fair-share layer:
+//!
+//! * **job descriptors** — a [`JobRequest`] wraps a
+//!   [`Workload`](mdtask_core::run::Workload) recipe (not its data) plus
+//!   tenant, priority, declared working set and an optional
+//!   [`RetryPolicy`] whose `deadline_s` both orders the queue and bounds
+//!   the job;
+//! * **per-tenant quotas** — enforced through the PR-4 memory ledger:
+//!   a tenant's resident working sets never exceed its
+//!   [`TenantSpec::quota_bytes`], and per-node reservations go through
+//!   [`SimExecutor::try_reserve_memory`];
+//! * **weighted fair share** — stride scheduling over tenants
+//!   ([`TenantSpec::weight`]), priority-then-deadline-then-FIFO within a
+//!   tenant;
+//! * **admission control** — generalized from the pilot's working-set
+//!   scheme: a job no node can host *now* waits for the next scripted
+//!   budget change; only a job no budget can *ever* host is refused;
+//! * **backpressure** — bounded per-tenant queues surface
+//!   [`EngineError::Rejected`] instead of queueing without bound;
+//! * **fault tolerance** — scripted node deaths and budget shrinks kill
+//!   or evict resident jobs, which re-enqueue under their own policy
+//!   (prompt deadline gate, bounded attempts, typed exhaustion).
+//!
+//! Everything runs in virtual time on a serial, deterministic event loop;
+//! the real analysis kernels execute once per distinct
+//! (workload × cluster) pair — fanned across host threads — and the
+//! measured virtual makespans drive the schedule, so a service run is
+//! bit-identical at any host-thread count when deterministic timing is on
+//! (the default).
+
+use mdtask_core::run::{run_workload, RunConfig, Workload};
+use netsim::trace::TraceEvent;
+use netsim::{parallel, Cluster, EventKind, FaultPlan, RetryPolicy, SimExecutor, SimReport};
+use std::collections::HashMap;
+use std::sync::Mutex;
+use taskframe::{Engine, EngineError};
+
+pub mod chaos;
+
+/// Floor on a job's virtual duration so zero-cost measurements still make
+/// progress on the event loop.
+const MIN_JOB_S: f64 = 1e-6;
+
+/// Stride-scheduling numerator: a tenant of weight `w` advances its pass
+/// by `STRIDE_K / w` per admission, so long-run admission counts are
+/// proportional to weights.
+const STRIDE_K: u64 = 1 << 20;
+
+/// One tenant of the service.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantSpec {
+    /// Display name (trace/CSV labels).
+    pub name: String,
+    /// Fair-share weight (≥ 1): long-run admissions are proportional.
+    pub weight: u32,
+    /// Ledger quota: the tenant's resident working sets, summed across
+    /// all clusters, never exceed this.
+    pub quota_bytes: u64,
+    /// Queue bound: submissions beyond this many queued jobs are refused
+    /// with [`EngineError::Rejected`] (backpressure, not buffering).
+    pub max_pending: usize,
+}
+
+impl TenantSpec {
+    pub fn new(name: &str, weight: u32, quota_bytes: u64, max_pending: usize) -> Self {
+        assert!(weight >= 1, "fair-share weight must be >= 1");
+        assert!(max_pending >= 1, "a tenant must be able to queue one job");
+        TenantSpec {
+            name: name.to_string(),
+            weight,
+            quota_bytes,
+            max_pending,
+        }
+    }
+}
+
+/// One job submission.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobRequest {
+    /// Index into the tenant list passed to [`Service::run`].
+    pub tenant: usize,
+    /// Virtual submission time.
+    pub submit_s: f64,
+    /// Higher runs first within the tenant's queue.
+    pub priority: u8,
+    /// Declared working set, reserved on the hosting node's ledger for
+    /// the job's whole execution and counted against the tenant quota.
+    pub working_set_bytes: u64,
+    /// What to run.
+    pub workload: Workload,
+    /// Retry/deadline policy; `deadline_s` also sharpens queue order.
+    pub policy: RetryPolicy,
+}
+
+impl JobRequest {
+    pub fn new(tenant: usize, submit_s: f64, workload: Workload) -> Self {
+        JobRequest {
+            tenant,
+            submit_s,
+            priority: 0,
+            working_set_bytes: 0,
+            workload,
+            policy: RetryPolicy::new(1),
+        }
+    }
+
+    pub fn priority(mut self, p: u8) -> Self {
+        self.priority = p;
+        self
+    }
+
+    pub fn working_set(mut self, bytes: u64) -> Self {
+        self.working_set_bytes = bytes;
+        self
+    }
+
+    pub fn policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// How one job ended.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobOutcome {
+    pub job: usize,
+    pub tenant: usize,
+    pub submit_s: f64,
+    /// First admission time (queue wait = `admit_s - submit_s`); `None`
+    /// when the job was refused before ever running.
+    pub admit_s: Option<f64>,
+    /// Completion (or terminal failure) time.
+    pub end_s: Option<f64>,
+    /// Cluster that ran the successful attempt.
+    pub cluster: Option<usize>,
+    /// Attempts beyond the first (deaths, evictions).
+    pub retries: u32,
+    /// Analysis-output fingerprint on success, typed error otherwise.
+    pub result: Result<u64, EngineError>,
+}
+
+impl JobOutcome {
+    /// Submit-to-completion latency of a successful job.
+    pub fn latency_s(&self) -> Option<f64> {
+        match (&self.result, self.end_s) {
+            (Ok(_), Some(end)) => Some(end - self.submit_s),
+            _ => None,
+        }
+    }
+}
+
+/// Per-tenant accounting.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TenantStats {
+    pub submitted: usize,
+    pub completed: usize,
+    /// Refused before running ([`EngineError::Rejected`]).
+    pub rejected: usize,
+    /// Admitted but ended in a typed failure.
+    pub failed: usize,
+    /// Peak of the tenant's simultaneously-resident working sets — the
+    /// quota enforcement witness (`<= quota_bytes` always).
+    pub mem_high_water: u64,
+    /// Total queue wait across first admissions.
+    pub queue_wait_s: f64,
+}
+
+/// Result of a [`Service::run`]: full `PartialEq` so determinism tests
+/// compare entire service runs, control-plane and data-plane included.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceReport {
+    /// Control-plane report: enqueue/admit/reject trace events, recovery
+    /// (requeue) windows, retry counters.
+    pub control: SimReport,
+    /// One data-plane report per cluster: memory ledger high-water,
+    /// per-job task events, lost time from killed attempts.
+    pub clusters: Vec<SimReport>,
+    /// Per-job outcomes, indexed like the submitted batch.
+    pub jobs: Vec<JobOutcome>,
+    pub tenants: Vec<TenantStats>,
+    /// Virtual time when the last job left the system.
+    pub makespan_s: f64,
+    /// Peak number of simultaneously-executing jobs across all clusters.
+    pub peak_concurrent: usize,
+}
+
+impl ServiceReport {
+    /// Exact p-quantile of successful-job latencies (0 ≤ p ≤ 1), or
+    /// `None` when nothing completed.
+    pub fn latency_quantile(&self, p: f64) -> Option<f64> {
+        let mut lat: Vec<f64> = self.jobs.iter().filter_map(JobOutcome::latency_s).collect();
+        if lat.is_empty() {
+            return None;
+        }
+        lat.sort_by(f64::total_cmp);
+        let idx = ((lat.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+        Some(lat[idx])
+    }
+
+    /// Completed jobs per virtual second.
+    pub fn throughput_jobs_per_s(&self) -> f64 {
+        let done = self.jobs.iter().filter(|j| j.result.is_ok()).count();
+        if self.makespan_s > 0.0 {
+            done as f64 / self.makespan_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The service: shared clusters + scheduling configuration. Build one,
+/// then [`Service::run`] a batch of submissions through it.
+#[derive(Clone, Debug)]
+pub struct Service {
+    clusters: Vec<Cluster>,
+    engine: Engine,
+    deterministic: bool,
+    trace: bool,
+}
+
+impl Service {
+    /// A service over `clusters`, dispatching jobs to `engine`
+    /// (the 2-D-RMSD workload always runs its MPI baseline).
+    pub fn new(clusters: Vec<Cluster>, engine: Engine) -> Self {
+        assert!(!clusters.is_empty(), "a service needs at least one cluster");
+        Service {
+            clusters,
+            engine,
+            deterministic: true,
+            trace: false,
+        }
+    }
+
+    /// Deterministic timing for the workload measurements (default on):
+    /// virtual durations come from modelled costs only, so service runs
+    /// are bit-identical across hosts and host-thread counts. Turn off to
+    /// let measured host time shape the schedule.
+    pub fn deterministic(mut self, on: bool) -> Self {
+        self.deterministic = on;
+        self
+    }
+
+    /// Record control-plane (enqueue/admit/reject) and data-plane (task)
+    /// traces into the reports.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Run a batch of submissions to completion in virtual time.
+    ///
+    /// Every submission ends resolved: completed with a fingerprint, or
+    /// failed with a typed [`EngineError`] — never silently dropped,
+    /// never queued forever (the no-starvation contract).
+    pub fn run(
+        &self,
+        tenants: &[TenantSpec],
+        jobs: &[JobRequest],
+    ) -> Result<ServiceReport, EngineError> {
+        for (i, j) in jobs.iter().enumerate() {
+            if j.tenant >= tenants.len() {
+                return Err(EngineError::Unsupported(format!(
+                    "job {i} names tenant {} but only {} tenants exist",
+                    j.tenant,
+                    tenants.len()
+                )));
+            }
+            if j.submit_s.is_nan() || j.submit_s < 0.0 {
+                return Err(EngineError::Unsupported(format!(
+                    "job {i} has invalid submit time {}",
+                    j.submit_s
+                )));
+            }
+        }
+        let measured = self.measure_workloads(jobs)?;
+        Ok(self.schedule(tenants, jobs, &measured))
+    }
+
+    /// Execute each distinct (workload, cluster) pair once — the real
+    /// kernels, fanned across host threads in deterministic order — and
+    /// return virtual duration + output fingerprint per pair.
+    #[allow(clippy::type_complexity)]
+    fn measure_workloads(
+        &self,
+        jobs: &[JobRequest],
+    ) -> Result<HashMap<(Workload, usize), (f64, u64)>, EngineError> {
+        let mut distinct: Vec<Workload> = Vec::new();
+        for j in jobs {
+            if !distinct.contains(&j.workload) {
+                distinct.push(j.workload);
+            }
+        }
+        let pairs: Vec<(Workload, usize)> = distinct
+            .iter()
+            .flat_map(|w| (0..self.clusters.len()).map(move |c| (*w, c)))
+            .collect();
+        // The deterministic-timing toggle is process-global; serialize
+        // measurement phases so concurrent `Service::run`s (tests, a
+        // driver fanning out services) cannot flip it under each other.
+        static MEASURE_LOCK: Mutex<()> = Mutex::new(());
+        let _guard = MEASURE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = netsim::deterministic_timing();
+        netsim::set_deterministic_timing(self.deterministic);
+        let outs: Vec<Result<(f64, u64), EngineError>> = parallel::run_indexed(pairs.len(), |i| {
+            let (w, c) = pairs[i];
+            // Faults are the *service's* concern (deaths kill resident
+            // jobs, shrinks evict them); the inner run sees a clean
+            // cluster. Serial inner threads: the fan-out above is the
+            // parallelism.
+            let cluster = self.clusters[c].clone().with_faults(FaultPlan::none());
+            let world = cluster.total_cores().min(4);
+            let cfg = RunConfig::new(cluster, self.engine)
+                .threads(netsim::Threads::Serial)
+                .mpi_world(world);
+            run_workload(&cfg, &w)
+                .map(|out| (out.report.makespan_s.max(MIN_JOB_S), out.fingerprint))
+        });
+        netsim::set_deterministic_timing(prev);
+        let mut measured = HashMap::new();
+        for (pair, out) in pairs.into_iter().zip(outs) {
+            measured.insert(pair, out?);
+        }
+        Ok(measured)
+    }
+
+    /// The deterministic virtual-time event loop.
+    fn schedule(
+        &self,
+        tenants: &[TenantSpec],
+        jobs: &[JobRequest],
+        measured: &HashMap<(Workload, usize), (f64, u64)>,
+    ) -> ServiceReport {
+        let mut st = SchedState::new(self, tenants, jobs, measured);
+        // Submissions in time order (stable: ties keep batch order).
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_by(|&a, &b| jobs[a].submit_s.total_cmp(&jobs[b].submit_s));
+        let mut next_sub = 0usize;
+        let mut now = 0.0f64;
+        loop {
+            // Next event: submission, completion, requeue eligibility,
+            // node death, or budget change.
+            let mut t_next = f64::INFINITY;
+            if next_sub < order.len() {
+                t_next = t_next.min(jobs[order[next_sub]].submit_s);
+            }
+            for f in &st.inflight {
+                t_next = t_next.min(f.end_s);
+            }
+            for q in &st.queues {
+                for e in q {
+                    if e.eligible_s > now {
+                        t_next = t_next.min(e.eligible_s);
+                    }
+                }
+            }
+            for d in &st.deaths {
+                if d.0 > now {
+                    t_next = t_next.min(d.0);
+                    break; // sorted
+                }
+            }
+            for c in &self.clusters {
+                if let Some(t) = c.next_mem_change_after(now) {
+                    t_next = t_next.min(t);
+                }
+            }
+            let queued: usize = st.queues.iter().map(Vec::len).sum();
+            if t_next.is_infinite() {
+                if queued > 0 {
+                    // Nothing in flight, nothing scheduled, nothing ever
+                    // changing again: the queued jobs can never run.
+                    st.fail_stalled(now);
+                }
+                break;
+            }
+            // Events at t=now (admissions freed by this pass) are handled
+            // below; otherwise advance.
+            now = now.max(t_next);
+            st.process_deaths(now);
+            st.process_mem_changes(now);
+            st.process_completions(now);
+            while next_sub < order.len() && jobs[order[next_sub]].submit_s <= now {
+                st.submit(order[next_sub], now.max(jobs[order[next_sub]].submit_s));
+                next_sub += 1;
+            }
+            st.admit_all(now);
+            let queued: usize = st.queues.iter().map(Vec::len).sum();
+            if next_sub >= order.len() && st.inflight.is_empty() && queued == 0 {
+                break;
+            }
+        }
+        st.finish(now)
+    }
+}
+
+/// A queued job: `eligible_s` is its earliest admissible time (submit
+/// time, or observation + backoff after a kill).
+#[derive(Clone, Copy, Debug)]
+struct QEntry {
+    job: usize,
+    eligible_s: f64,
+    enqueued_s: f64,
+}
+
+/// An executing job.
+#[derive(Clone, Copy, Debug)]
+struct InFlight {
+    job: usize,
+    cluster: usize,
+    node: usize,
+    slot: usize,
+    start_s: f64,
+    end_s: f64,
+    ws: u64,
+}
+
+struct SchedState<'a> {
+    svc: &'a Service,
+    tenants: &'a [TenantSpec],
+    jobs: &'a [JobRequest],
+    /// Virtual duration + output fingerprint per (workload, cluster).
+    measured: &'a HashMap<(Workload, usize), (f64, u64)>,
+    control: SimExecutor,
+    execs: Vec<SimExecutor>,
+    /// Per-tenant queues, kept in (priority desc, deadline asc, seq asc)
+    /// order.
+    queues: Vec<Vec<QEntry>>,
+    inflight: Vec<InFlight>,
+    /// Stride-scheduling pass per tenant.
+    pass: Vec<u64>,
+    /// Attempts started per job.
+    attempts: Vec<u32>,
+    /// (cluster, node) liveness and busy slots.
+    alive: Vec<Vec<bool>>,
+    slots: Vec<Vec<Vec<bool>>>,
+    /// All scripted deaths, sorted by time; processed ones are marked.
+    deaths: Vec<(f64, usize, usize, bool)>,
+    /// Tenant resident bytes (quota accounting).
+    tenant_resident: Vec<u64>,
+    outcomes: Vec<JobOutcome>,
+    stats: Vec<TenantStats>,
+    peak_concurrent: usize,
+    last_event_s: f64,
+}
+
+impl<'a> SchedState<'a> {
+    fn new(
+        svc: &'a Service,
+        tenants: &'a [TenantSpec],
+        jobs: &'a [JobRequest],
+        measured: &'a HashMap<(Workload, usize), (f64, u64)>,
+    ) -> Self {
+        let mk_exec = |cluster: Cluster| {
+            let mut e = SimExecutor::new(cluster);
+            if svc.trace {
+                e.enable_trace();
+            }
+            e.set_phase("service");
+            e
+        };
+        let control = mk_exec(svc.clusters[0].clone().with_faults(FaultPlan::none()));
+        let execs: Vec<SimExecutor> = svc.clusters.iter().map(|c| mk_exec(c.clone())).collect();
+        let mut deaths: Vec<(f64, usize, usize, bool)> = Vec::new();
+        for (c, cluster) in svc.clusters.iter().enumerate() {
+            for d in cluster.faults().deaths() {
+                if d.node < cluster.nodes {
+                    deaths.push((d.at_s, c, d.node, false));
+                }
+            }
+        }
+        deaths.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let alive = svc.clusters.iter().map(|c| vec![true; c.nodes]).collect();
+        let slots = svc
+            .clusters
+            .iter()
+            .map(|c| vec![vec![false; c.profile.cores_per_node]; c.nodes])
+            .collect();
+        let outcomes = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| JobOutcome {
+                job: i,
+                tenant: j.tenant,
+                submit_s: j.submit_s,
+                admit_s: None,
+                end_s: None,
+                cluster: None,
+                retries: 0,
+                result: Err(EngineError::Unsupported("job never resolved".into())),
+            })
+            .collect();
+        SchedState {
+            svc,
+            tenants,
+            jobs,
+            measured,
+            control,
+            execs,
+            queues: vec![Vec::new(); tenants.len()],
+            inflight: Vec::new(),
+            pass: vec![0; tenants.len()],
+            attempts: vec![0; jobs.len()],
+            alive,
+            slots,
+            deaths,
+            tenant_resident: vec![0; tenants.len()],
+            outcomes,
+            stats: vec![TenantStats::default(); tenants.len()],
+            peak_concurrent: 0,
+            last_event_s: 0.0,
+        }
+    }
+
+    /// Largest budget any node could ever offer a job's working set —
+    /// the "can this ever run" admission question.
+    fn ever_hostable(&self, ws: u64) -> bool {
+        if ws == 0 {
+            return true;
+        }
+        self.svc.clusters.iter().any(|c| {
+            let cap = c.profile.mem_per_node;
+            // A scripted *set* may raise a shrunk budget back, but never
+            // above hardware capacity.
+            ws <= cap
+        })
+    }
+
+    fn reject(&mut self, job: usize, at_s: f64, reason: String) {
+        let tenant = self.jobs[job].tenant;
+        self.control.record_reject(tenant, job, at_s);
+        self.stats[tenant].rejected += 1;
+        self.outcomes[job].end_s = Some(at_s);
+        self.outcomes[job].result = Err(EngineError::Rejected {
+            tenant,
+            reason,
+            at_s,
+        });
+        self.last_event_s = self.last_event_s.max(at_s);
+    }
+
+    /// A submission arrives: backpressure and feasibility checks, then
+    /// into the tenant's queue.
+    fn submit(&mut self, job: usize, at_s: f64) {
+        let req = &self.jobs[job];
+        let tenant = req.tenant;
+        self.stats[tenant].submitted += 1;
+        let spec = &self.tenants[tenant];
+        if self.queues[tenant].len() >= spec.max_pending {
+            self.reject(
+                job,
+                at_s,
+                format!(
+                    "queue full: {} jobs pending, tenant allows {}",
+                    self.queues[tenant].len(),
+                    spec.max_pending
+                ),
+            );
+            return;
+        }
+        if req.working_set_bytes > spec.quota_bytes {
+            self.reject(
+                job,
+                at_s,
+                format!(
+                    "working set {} exceeds tenant quota {}",
+                    req.working_set_bytes, spec.quota_bytes
+                ),
+            );
+            return;
+        }
+        if !self.ever_hostable(req.working_set_bytes) {
+            self.reject(
+                job,
+                at_s,
+                format!(
+                    "working set {} exceeds every node's capacity",
+                    req.working_set_bytes
+                ),
+            );
+            return;
+        }
+        self.control.record_enqueue(tenant, job, at_s);
+        self.enqueue(QEntry {
+            job,
+            eligible_s: at_s,
+            enqueued_s: at_s,
+        });
+    }
+
+    /// Insert preserving (priority desc, deadline asc, seq asc).
+    fn enqueue(&mut self, e: QEntry) {
+        let tenant = self.jobs[e.job].tenant;
+        let key = |j: usize| {
+            let req = &self.jobs[j];
+            (
+                std::cmp::Reverse(req.priority),
+                req.policy.deadline_s.unwrap_or(f64::INFINITY),
+                j,
+            )
+        };
+        let ke = key(e.job);
+        let pos = self.queues[tenant]
+            .iter()
+            .position(|q| {
+                let kq = key(q.job);
+                ke.0 < kq.0 || (ke.0 == kq.0 && (ke.1, ke.2) < (kq.1, kq.2))
+            })
+            .unwrap_or(self.queues[tenant].len());
+        self.queues[tenant].insert(pos, e);
+    }
+
+    /// Kill every resident job on nodes that die at `now`.
+    fn process_deaths(&mut self, now: f64) {
+        for i in 0..self.deaths.len() {
+            let (at_s, c, node, done) = self.deaths[i];
+            if done || at_s > now {
+                continue;
+            }
+            self.deaths[i].3 = true;
+            self.alive[c][node] = false;
+            let victims: Vec<InFlight> = self
+                .inflight
+                .iter()
+                .copied()
+                .filter(|f| f.cluster == c && f.node == node)
+                .collect();
+            self.inflight
+                .retain(|f| !(f.cluster == c && f.node == node));
+            for v in victims {
+                self.release(&v, at_s);
+                self.record_attempt(&v, at_s, true);
+                self.execs[c].report_mut().lost_time_s += at_s - v.start_s;
+                let policy = self.jobs[v.job].policy;
+                self.requeue_killed(v.job, at_s + policy.detection_delay_s);
+            }
+        }
+    }
+
+    /// Evict the newest jobs on any node whose budget no longer holds its
+    /// residents (scripted shrinks; scripted sets may instead make queued
+    /// work admissible — the admission pass handles that side).
+    fn process_mem_changes(&mut self, now: f64) {
+        for c in 0..self.svc.clusters.len() {
+            for node in 0..self.svc.clusters[c].nodes {
+                if !self.alive[c][node] {
+                    continue;
+                }
+                loop {
+                    let budget = self.execs[c].mem_budget(node, now);
+                    if self.execs[c].mem_resident(node) <= budget {
+                        break;
+                    }
+                    // Newest admission on the node is evicted first.
+                    let victim = self
+                        .inflight
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, f)| f.cluster == c && f.node == node && f.ws > 0)
+                        .max_by(|(_, a), (_, b)| {
+                            a.start_s.total_cmp(&b.start_s).then(a.job.cmp(&b.job))
+                        })
+                        .map(|(i, _)| i);
+                    let Some(i) = victim else {
+                        break; // residue is not ours to evict
+                    };
+                    let v = self.inflight.remove(i);
+                    self.release(&v, now);
+                    self.record_attempt(&v, now, true);
+                    self.execs[c].report_mut().lost_time_s += now - v.start_s;
+                    self.requeue_killed(v.job, now);
+                }
+            }
+        }
+    }
+
+    /// Put a killed job back in its queue (bounded attempts, prompt
+    /// deadline gate) or fail it typed.
+    fn requeue_killed(&mut self, job: usize, observed_s: f64) {
+        let req = &self.jobs[job];
+        let policy = req.policy;
+        let attempts = self.attempts[job];
+        if attempts >= policy.max_attempts {
+            self.fail(
+                job,
+                observed_s,
+                EngineError::RetriesExhausted {
+                    attempts,
+                    last_failure_s: observed_s,
+                },
+            );
+            return;
+        }
+        let eligible = observed_s + policy.backoff_before(attempts + 1);
+        if let Err(e) = policy.deadline_gate(observed_s, eligible) {
+            self.fail(job, observed_s, EngineError::from(e));
+            return;
+        }
+        self.control
+            .record_recovery("requeue", observed_s, eligible);
+        self.control.report_mut().retries += 1;
+        self.outcomes[job].retries += 1;
+        self.enqueue(QEntry {
+            job,
+            eligible_s: eligible,
+            enqueued_s: observed_s,
+        });
+    }
+
+    fn fail(&mut self, job: usize, at_s: f64, err: EngineError) {
+        let tenant = self.jobs[job].tenant;
+        self.stats[tenant].failed += 1;
+        self.outcomes[job].end_s = Some(at_s);
+        self.outcomes[job].result = Err(err);
+        self.last_event_s = self.last_event_s.max(at_s);
+    }
+
+    /// Release a job's slot and ledger reservation.
+    fn release(&mut self, f: &InFlight, at_s: f64) {
+        self.slots[f.cluster][f.node][f.slot] = false;
+        if f.ws > 0 {
+            self.execs[f.cluster].release_memory(f.node, f.ws);
+            let tenant = self.jobs[f.job].tenant;
+            self.tenant_resident[tenant] -= f.ws;
+        }
+        self.last_event_s = self.last_event_s.max(at_s);
+    }
+
+    /// Record one execution interval as a task event on the cluster's
+    /// data-plane trace.
+    fn record_attempt(&mut self, f: &InFlight, end_s: f64, killed: bool) {
+        let exec = &mut self.execs[f.cluster];
+        let core = f.node * self.svc.clusters[f.cluster].profile.cores_per_node + f.slot;
+        let rep = exec.report_mut();
+        if let Some(trace) = &mut rep.trace {
+            let label = trace.intern(self.jobs[f.job].workload.label());
+            let phase = trace.intern("service");
+            trace.record(TraceEvent {
+                task: trace.next_id(),
+                core,
+                start_s: f.start_s,
+                end_s,
+                killed,
+                ready_s: f.start_s,
+                phase,
+                kind: EventKind::Task {
+                    label,
+                    speculative: false,
+                },
+            });
+        }
+    }
+
+    /// Admit as many queued jobs as capacity allows, one at a time, in
+    /// stride-scheduled tenant order.
+    fn admit_all(&mut self, now: f64) {
+        loop {
+            // Tenants in stride order: lowest pass first, id tie-break. A
+            // blocked tenant (quota, no slot) does not block the others —
+            // the scan falls through to the next pass.
+            let mut order: Vec<usize> = (0..self.tenants.len())
+                .filter(|&t| self.queues[t].iter().any(|e| e.eligible_s <= now))
+                .collect();
+            order.sort_by_key(|&t| (self.pass[t], t));
+            let mut advanced = false;
+            for t in order {
+                if self.try_admit_tenant(t, now) {
+                    // Pass values shifted: re-derive the order.
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+    }
+
+    /// Try to admit the best admissible entry of one tenant's queue.
+    fn try_admit_tenant(&mut self, tenant: usize, now: f64) -> bool {
+        let spec = &self.tenants[tenant];
+        for qi in 0..self.queues[tenant].len() {
+            let e = self.queues[tenant][qi];
+            if e.eligible_s > now {
+                continue;
+            }
+            let req = &self.jobs[e.job];
+            let ws = req.working_set_bytes;
+            if self.tenant_resident[tenant].saturating_add(ws) > spec.quota_bytes {
+                continue; // quota: wait for the tenant's own jobs to drain
+            }
+            let Some((c, node, slot)) = self.find_slot(ws, now) else {
+                continue;
+            };
+            // Deadline gate at admission: a job that cannot finish by its
+            // deadline fails now instead of occupying a slot uselessly.
+            let (dur, fp) = self.measured_for(e.job, c);
+            if let Some(deadline) = req.policy.deadline_s {
+                if now + dur > deadline {
+                    self.queues[tenant].remove(qi);
+                    self.fail(
+                        e.job,
+                        now,
+                        EngineError::DeadlineExceeded {
+                            deadline_s: deadline,
+                            at_s: now,
+                        },
+                    );
+                    return true; // progress was made (the queue shrank)
+                }
+            }
+            self.queues[tenant].remove(qi);
+            self.slots[c][node][slot] = true;
+            if ws > 0 {
+                let ok = self.execs[c].try_reserve_memory(node, ws, now);
+                debug_assert!(ok, "find_slot pre-checked the reservation");
+                self.tenant_resident[tenant] += ws;
+                let st = &mut self.stats[tenant];
+                st.mem_high_water = st.mem_high_water.max(self.tenant_resident[tenant]);
+            }
+            self.attempts[e.job] += 1;
+            if self.outcomes[e.job].admit_s.is_none() {
+                self.outcomes[e.job].admit_s = Some(now);
+                self.stats[tenant].queue_wait_s += now - req.submit_s;
+            }
+            self.control.record_admit(tenant, e.job, e.enqueued_s, now);
+            let f = InFlight {
+                job: e.job,
+                cluster: c,
+                node,
+                slot,
+                start_s: now,
+                end_s: now + dur,
+                ws,
+            };
+            self.inflight.push(f);
+            self.peak_concurrent = self.peak_concurrent.max(self.inflight.len());
+            // Stash the fingerprint for completion time.
+            self.outcomes[e.job].cluster = Some(c);
+            self.outcomes[e.job].result = Ok(fp);
+            self.pass[tenant] += STRIDE_K / spec.weight.max(1) as u64;
+            return true;
+        }
+        false
+    }
+
+    fn measured_for(&self, job: usize, cluster: usize) -> (f64, u64) {
+        // measure_workloads resolved every (workload, cluster) pair that
+        // can reach this point; a missing entry is a scheduler bug.
+        self.measured
+            .get(&(self.jobs[job].workload, cluster))
+            .copied()
+            .expect("measured duration for admitted job")
+    }
+
+    /// First (cluster, node, slot) that can host `ws` bytes right now.
+    fn find_slot(&mut self, ws: u64, now: f64) -> Option<(usize, usize, usize)> {
+        for c in 0..self.svc.clusters.len() {
+            for node in 0..self.svc.clusters[c].nodes {
+                if !self.alive[c][node] {
+                    continue;
+                }
+                let Some(slot) = self.slots[c][node].iter().position(|b| !b) else {
+                    continue;
+                };
+                if ws > 0 {
+                    let budget = self.execs[c].mem_budget(node, now);
+                    if self.execs[c].mem_resident(node).saturating_add(ws) > budget {
+                        continue;
+                    }
+                }
+                return Some((c, node, slot));
+            }
+        }
+        None
+    }
+
+    /// Complete every in-flight job whose end time has passed.
+    fn process_completions(&mut self, now: f64) {
+        let done: Vec<InFlight> = self
+            .inflight
+            .iter()
+            .copied()
+            .filter(|f| f.end_s <= now)
+            .collect();
+        self.inflight.retain(|f| f.end_s > now);
+        // Deterministic completion order: by (end, job).
+        let mut done = done;
+        done.sort_by(|a, b| a.end_s.total_cmp(&b.end_s).then(a.job.cmp(&b.job)));
+        for f in done {
+            self.release(&f, f.end_s);
+            self.record_attempt(&f, f.end_s, false);
+            let tenant = self.jobs[f.job].tenant;
+            self.stats[tenant].completed += 1;
+            self.outcomes[f.job].end_s = Some(f.end_s);
+            let exec = &mut self.execs[f.cluster];
+            let rep = exec.report_mut();
+            rep.tasks += 1;
+            rep.compute_s += f.end_s - f.start_s;
+            rep.makespan_s = rep.makespan_s.max(f.end_s);
+        }
+    }
+
+    /// Fail every still-queued job: nothing can ever admit them.
+    fn fail_stalled(&mut self, now: f64) {
+        for t in 0..self.queues.len() {
+            let entries: Vec<QEntry> = std::mem::take(&mut self.queues[t]);
+            for e in entries {
+                self.reject(
+                    e.job,
+                    now,
+                    "stalled: no node can ever admit this job".to_string(),
+                );
+            }
+        }
+    }
+
+    fn finish(mut self, now: f64) -> ServiceReport {
+        debug_assert!(self.inflight.is_empty(), "jobs left in flight");
+        let makespan = self.last_event_s.max(now);
+        self.control.report_mut().makespan_s = makespan;
+        self.control.report_mut().tasks = self.outcomes.iter().filter(|o| o.result.is_ok()).count();
+        ServiceReport {
+            control: self.control.into_report(),
+            clusters: self
+                .execs
+                .into_iter()
+                .map(SimExecutor::into_report)
+                .collect(),
+            jobs: self.outcomes,
+            tenants: self.stats,
+            makespan_s: makespan,
+            peak_concurrent: self.peak_concurrent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB: u64 = 1 << 20;
+    const GIB: u64 = 1 << 30;
+
+    fn lf(seed: u64) -> Workload {
+        Workload::Lf {
+            n_atoms: 96,
+            partitions: 2,
+            seed,
+        }
+    }
+
+    fn one_node(cores: usize, mem: u64, plan: FaultPlan) -> Cluster {
+        Cluster::builder()
+            .nodes(1)
+            .cores_per_node(cores)
+            .mem_budget(mem)
+            .fault_plan(plan)
+            .build()
+    }
+
+    fn tenant(quota: u64, pending: usize) -> TenantSpec {
+        TenantSpec::new("t", 1, quota, pending)
+    }
+
+    #[test]
+    fn jobs_complete_with_queue_accounting_in_the_trace() {
+        let svc = Service::new(vec![one_node(2, GIB, FaultPlan::none())], Engine::Dask).trace(true);
+        let tenants = [tenant(GIB, 8)];
+        let jobs = [
+            JobRequest::new(0, 0.0, lf(1)).working_set(64 * MIB),
+            JobRequest::new(0, 0.0, lf(1)).working_set(64 * MIB),
+            JobRequest::new(0, 0.0, lf(1)).working_set(64 * MIB),
+        ];
+        let rep = svc.run(&tenants, &jobs).unwrap();
+        assert!(rep.jobs.iter().all(|j| j.result.is_ok()), "{:?}", rep.jobs);
+        assert_eq!(rep.tenants[0].completed, 3);
+        assert_eq!(rep.peak_concurrent, 2, "two slots, three jobs");
+        assert!(rep.latency_quantile(0.99).unwrap() > 0.0);
+        // Third job waited for a slot: its first admission is later.
+        let trace = rep.control.trace.as_ref().unwrap();
+        let kinds: Vec<&str> = trace.events.iter().map(|e| e.kind.kind_name()).collect();
+        assert_eq!(kinds.iter().filter(|k| **k == "enqueue").count(), 3);
+        assert_eq!(kinds.iter().filter(|k| **k == "admit").count(), 3);
+        let waited = trace
+            .events
+            .iter()
+            .filter(|e| e.kind.kind_name() == "admit" && e.start_s > e.ready_s)
+            .count();
+        assert_eq!(waited, 1, "exactly one admission shows queue wait");
+    }
+
+    #[test]
+    fn backpressure_rejects_typed_when_the_queue_is_full() {
+        let svc = Service::new(vec![one_node(2, GIB, FaultPlan::none())], Engine::Spark);
+        let tenants = [tenant(GIB, 2)];
+        let jobs: Vec<JobRequest> = (0..5)
+            .map(|_| JobRequest::new(0, 0.0, lf(2)).working_set(MIB))
+            .collect();
+        let rep = svc.run(&tenants, &jobs).unwrap();
+        assert_eq!(rep.tenants[0].submitted, 5);
+        assert_eq!(rep.tenants[0].rejected, 3, "queue bound of 2 holds");
+        assert_eq!(rep.tenants[0].completed, 2);
+        let rejected: Vec<&JobOutcome> = rep.jobs.iter().filter(|j| j.result.is_err()).collect();
+        assert_eq!(rejected.len(), 3);
+        for j in rejected {
+            match &j.result {
+                Err(EngineError::Rejected { tenant, reason, .. }) => {
+                    assert_eq!(*tenant, 0);
+                    assert!(reason.contains("queue full"), "{reason}");
+                }
+                other => panic!("expected Rejected, got {other:?}"),
+            }
+            assert!(j.admit_s.is_none(), "rejected jobs never ran");
+        }
+    }
+
+    #[test]
+    fn tenant_quota_serializes_resident_working_sets() {
+        // Two slots and budget for both, but the tenant's quota only
+        // covers one 200 MiB working set at a time.
+        let svc = Service::new(vec![one_node(2, GIB, FaultPlan::none())], Engine::Dask);
+        let tenants = [tenant(300 * MIB, 8)];
+        let jobs = [
+            JobRequest::new(0, 0.0, lf(3)).working_set(200 * MIB),
+            JobRequest::new(0, 0.0, lf(3)).working_set(200 * MIB),
+        ];
+        let rep = svc.run(&tenants, &jobs).unwrap();
+        assert!(rep.jobs.iter().all(|j| j.result.is_ok()));
+        assert!(rep.tenants[0].mem_high_water <= 300 * MIB, "quota held");
+        let (a0, a1) = (rep.jobs[0].admit_s.unwrap(), rep.jobs[1].admit_s.unwrap());
+        assert!(
+            (a0 - a1).abs() > 0.0,
+            "quota forced the admissions apart: {a0} vs {a1}"
+        );
+        assert_eq!(rep.peak_concurrent, 1);
+    }
+
+    #[test]
+    fn infeasible_working_sets_are_refused_up_front() {
+        let svc = Service::new(vec![one_node(2, GIB, FaultPlan::none())], Engine::Pilot);
+        let tenants = [tenant(8 * GIB, 8)];
+        // Larger than any node's hardware capacity: no budget schedule
+        // can ever host it.
+        let jobs = [JobRequest::new(0, 0.0, lf(4)).working_set(2 * GIB)];
+        let rep = svc.run(&tenants, &jobs).unwrap();
+        match &rep.jobs[0].result {
+            Err(EngineError::Rejected { reason, .. }) => {
+                assert!(reason.contains("capacity"), "{reason}")
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        // Larger than the tenant's own quota: also refused at submit.
+        let tenants = [tenant(100 * MIB, 8)];
+        let jobs = [JobRequest::new(0, 0.0, lf(4)).working_set(200 * MIB)];
+        let rep = svc.run(&tenants, &jobs).unwrap();
+        match &rep.jobs[0].result {
+            Err(EngineError::Rejected { reason, .. }) => {
+                assert!(reason.contains("quota"), "{reason}")
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fair_share_follows_stride_weights() {
+        // One slot, two tenants at weight 4 : 1, a deep backlog each.
+        let svc = Service::new(vec![one_node(1, GIB, FaultPlan::none())], Engine::Dask);
+        let tenants = [
+            TenantSpec::new("heavy", 4, GIB, 32),
+            TenantSpec::new("light", 1, GIB, 32),
+        ];
+        let mut jobs = Vec::new();
+        for _ in 0..8 {
+            jobs.push(JobRequest::new(0, 0.0, lf(5)).working_set(MIB));
+            jobs.push(JobRequest::new(1, 0.0, lf(5)).working_set(MIB));
+        }
+        let rep = svc.run(&tenants, &jobs).unwrap();
+        let mut admitted: Vec<(f64, usize)> = rep
+            .jobs
+            .iter()
+            .map(|j| (j.admit_s.unwrap(), j.tenant))
+            .collect();
+        admitted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let heavy_in_first_10 = admitted[..10].iter().filter(|(_, t)| *t == 0).count();
+        assert_eq!(
+            heavy_in_first_10, 8,
+            "weight-4 tenant takes 4 of every 5 admissions: {admitted:?}"
+        );
+    }
+
+    #[test]
+    fn priority_then_deadline_orders_a_tenant_queue() {
+        // One slot; all four jobs queue at t=0, so admission order is
+        // exactly queue order.
+        let svc = Service::new(vec![one_node(1, GIB, FaultPlan::none())], Engine::Dask);
+        let tenants = [tenant(GIB, 8)];
+        let deadline = |d: f64| RetryPolicy::new(1).with_deadline(d);
+        let jobs = [
+            JobRequest::new(0, 0.0, lf(6)),                       // no deadline
+            JobRequest::new(0, 0.0, lf(6)).policy(deadline(1e6)), // late deadline
+            JobRequest::new(0, 0.0, lf(6)).policy(deadline(1e5)), // tight deadline
+            JobRequest::new(0, 0.0, lf(6)).priority(5),           // priority trumps
+        ];
+        let rep = svc.run(&tenants, &jobs).unwrap();
+        let mut order: Vec<usize> = (0..4).collect();
+        order.sort_by(|&a, &b| {
+            rep.jobs[a]
+                .admit_s
+                .unwrap()
+                .total_cmp(&rep.jobs[b].admit_s.unwrap())
+        });
+        assert_eq!(order, vec![3, 2, 1, 0], "priority desc, then deadline asc");
+    }
+
+    #[test]
+    fn hopeless_deadline_fails_typed_at_admission() {
+        let svc = Service::new(vec![one_node(1, GIB, FaultPlan::none())], Engine::Dask);
+        let tenants = [tenant(GIB, 8)];
+        // No workload finishes in 1 ns of virtual time.
+        let jobs = [JobRequest::new(0, 0.0, lf(7)).policy(RetryPolicy::new(1).with_deadline(1e-9))];
+        let rep = svc.run(&tenants, &jobs).unwrap();
+        match &rep.jobs[0].result {
+            Err(EngineError::DeadlineExceeded { deadline_s, .. }) => {
+                assert_eq!(*deadline_s, 1e-9)
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(rep.tenants[0].failed, 1);
+    }
+
+    #[test]
+    fn node_death_requeues_the_victim_and_it_still_completes() {
+        // Learn the job duration from a fault-free run, then kill the
+        // second node mid-flight.
+        let free = Service::new(
+            vec![Cluster::builder()
+                .nodes(2)
+                .cores_per_node(1)
+                .mem_budget(GIB)
+                .build()],
+            Engine::Dask,
+        );
+        let tenants = [tenant(GIB, 8)];
+        let policy = RetryPolicy::new(3).with_detection_delay(0.1);
+        let jobs = [
+            JobRequest::new(0, 0.0, lf(8)).policy(policy),
+            JobRequest::new(0, 0.0, lf(8)).policy(policy),
+        ];
+        let base = free.run(&tenants, &jobs).unwrap();
+        let d = base.jobs[0].end_s.unwrap();
+        assert!(d > 0.0);
+        let faulty = Service::new(
+            vec![Cluster::builder()
+                .nodes(2)
+                .cores_per_node(1)
+                .mem_budget(GIB)
+                .fault_plan(FaultPlan::none().kill_node(1, d * 0.5))
+                .build()],
+            Engine::Dask,
+        );
+        let rep = faulty.run(&tenants, &jobs).unwrap();
+        assert!(rep.jobs.iter().all(|j| j.result.is_ok()), "{:?}", rep.jobs);
+        let victim = rep.jobs.iter().find(|j| j.retries > 0).expect("a job died");
+        assert!(victim.end_s.unwrap() > d, "the retry cost time");
+        assert!(rep.control.retries >= 1);
+        assert!(
+            rep.clusters[0].lost_time_s > 0.0,
+            "killed work is accounted"
+        );
+    }
+
+    #[test]
+    fn budget_shrink_evicts_and_scripted_growth_readmits() {
+        let tenants = [tenant(GIB, 8)];
+        let jobs = [JobRequest::new(0, 0.0, lf(9))
+            .working_set(600 * MIB)
+            .policy(RetryPolicy::new(3))];
+        let free = Service::new(vec![one_node(1, GIB, FaultPlan::none())], Engine::Dask);
+        let d = free.run(&tenants, &jobs).unwrap().jobs[0].end_s.unwrap();
+        // Shrink below the working set mid-run, restore well after.
+        let plan = FaultPlan::none()
+            .shrink_memory(0, d * 0.5, 100 * MIB)
+            .set_memory(0, d * 4.0, GIB);
+        let svc = Service::new(vec![one_node(1, GIB, plan)], Engine::Dask);
+        let rep = svc.run(&tenants, &jobs).unwrap();
+        assert!(rep.jobs[0].result.is_ok(), "{:?}", rep.jobs[0].result);
+        assert_eq!(rep.jobs[0].retries, 1, "evicted once");
+        assert!(
+            rep.jobs[0].end_s.unwrap() >= d * 4.0,
+            "completion waited for the scripted budget growth"
+        );
+    }
+
+    #[test]
+    fn permanent_starvation_resolves_as_typed_rejection() {
+        // The budget drops to zero immediately and never recovers: the
+        // queued job must fail typed, not hang the loop.
+        let plan = FaultPlan::none().shrink_memory(0, 0.0, 0);
+        let svc = Service::new(vec![one_node(1, GIB, plan)], Engine::Dask);
+        let tenants = [tenant(GIB, 8)];
+        let jobs = [JobRequest::new(0, 0.0, lf(10)).working_set(100 * MIB)];
+        let rep = svc.run(&tenants, &jobs).unwrap();
+        match &rep.jobs[0].result {
+            Err(EngineError::Rejected { reason, .. }) => {
+                assert!(reason.contains("stalled"), "{reason}")
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_submissions_are_refused_by_the_front_door() {
+        let svc = Service::new(vec![one_node(1, GIB, FaultPlan::none())], Engine::Dask);
+        let err = svc
+            .run(&[tenant(GIB, 8)], &[JobRequest::new(3, 0.0, lf(11))])
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Unsupported(_)), "{err}");
+        let err = svc
+            .run(&[tenant(GIB, 8)], &[JobRequest::new(0, f64::NAN, lf(11))])
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Unsupported(_)), "{err}");
+    }
+}

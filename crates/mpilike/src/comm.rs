@@ -256,6 +256,13 @@ where
                 last_failure_s: at_s + policy.detection_delay_s,
             });
         }
+        // Gate the restart against the deadline *before* committing to
+        // the backoff + startup wait: a relaunch that could only begin
+        // past the deadline fails at observation time, typed, instead of
+        // simulating a doomed restart.
+        let observed = at_s + policy.detection_delay_s;
+        let resume = observed + policy.backoff_before(attempts + 1) + profile.startup_s;
+        policy.deadline_gate(observed, resume)?;
         attempts += 1;
         // How far the job had progressed (in its own timeline) when the
         // node died, and the checkpoint to resume from.
@@ -271,8 +278,6 @@ where
         };
         // Every rank's work since the checkpoint is redone.
         lost_time += (progress - ckpt) * world as f64;
-        let resume =
-            at_s + policy.detection_delay_s + policy.backoff_before(attempts) + profile.startup_s;
         recovery_windows.push((at_s, resume));
         end = resume + (job_end - ckpt);
         shift = end - job_end;

@@ -92,7 +92,11 @@ impl Trace {
                         nodes.push(*node);
                     }
                 }
-                EventKind::Recovery { .. } | EventKind::OomKill { .. } => {}
+                EventKind::Recovery { .. }
+                | EventKind::OomKill { .. }
+                | EventKind::Enqueue { .. }
+                | EventKind::Admit { .. }
+                | EventKind::Reject { .. } => {}
             }
         }
         cores.sort_unstable();
@@ -228,6 +232,25 @@ impl Trace {
                     );
                     ev.push(slice(
                         PID_DRIVER, 0, "oom-kill", "memory", e.start_s, e.end_s, &args,
+                    ));
+                }
+                // Service-plane events (mdtaskd) render on the driver
+                // track like recovery windows.
+                EventKind::Enqueue { tenant, job }
+                | EventKind::Admit { tenant, job }
+                | EventKind::Reject { tenant, job } => {
+                    let args = format!(
+                        "\"phase\":\"{}\",\"tenant\":{tenant},\"job\":{job}",
+                        escape_json(self.phase_of(e))
+                    );
+                    ev.push(slice(
+                        PID_DRIVER,
+                        0,
+                        e.kind.kind_name(),
+                        "service",
+                        e.start_s,
+                        e.end_s,
+                        &args,
                     ));
                 }
             }

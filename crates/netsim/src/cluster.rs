@@ -286,13 +286,22 @@ impl Cluster {
     }
 
     /// Effective memory budget of `node` at virtual time `at_s`: the
-    /// machine's `mem_per_node`, further reduced by any fault-plan memory
-    /// shrink in effect by then.
+    /// machine's `mem_per_node`, overridden by whatever fault-plan memory
+    /// shrink or set is in effect by then (never above the hardware
+    /// capacity).
     pub fn mem_budget(&self, node: usize, at_s: f64) -> u64 {
         match self.faults.mem_limit(node, at_s) {
             Some(limit) => limit.min(self.profile.mem_per_node),
             None => self.profile.mem_per_node,
         }
+    }
+
+    /// Earliest scripted memory-budget change strictly after `after_s`, on
+    /// any node, or `None` when the schedule is exhausted. Admission
+    /// controllers that found no node able to host a unit *now* use this
+    /// to decide between waiting for a future budget and refusing typed.
+    pub fn next_mem_change_after(&self, after_s: f64) -> Option<f64> {
+        self.faults.next_mem_change_after(after_s)
     }
 }
 

@@ -495,6 +495,11 @@ impl SimExecutor {
             attempt += 1;
             avoid = Some(core);
             let redispatch = observed + policy.backoff_before(attempt);
+            // Gate the backoff against the deadline *before* sleeping: a
+            // redispatch already past the deadline fails right at the
+            // observation, instead of burning the backoff in virtual time
+            // and only noticing at the next placement.
+            policy.deadline_gate(observed, redispatch)?;
             self.record_recovery(
                 if timed_out { "timeout" } else { "death-detect" },
                 killed_at,
@@ -838,6 +843,37 @@ impl SimExecutor {
     pub fn record_oom_kill(&mut self, node: usize, at_s: f64) {
         self.report.oom_kills += 1;
         self.record_network_event(EventKind::OomKill { node }, node, at_s, at_s, true);
+    }
+
+    // ---- service-queue events (mdtaskd) ----
+
+    /// Record a job entering `tenant`'s service queue at `at_s`.
+    pub fn record_enqueue(&mut self, tenant: usize, job: usize, at_s: f64) {
+        self.record_network_event(EventKind::Enqueue { tenant, job }, 0, at_s, at_s, false);
+    }
+
+    /// Record a queued job being admitted to the cluster at `at_s`; the
+    /// event's ready time is the enqueue time, so `start_s - ready_s` is
+    /// the job's queue wait (surfaced by [`crate::Metrics`]).
+    pub fn record_admit(&mut self, tenant: usize, job: usize, enqueued_s: f64, at_s: f64) {
+        if let Some(trace) = &mut self.report.trace {
+            trace.record(TraceEvent {
+                task: trace.next_id(),
+                core: 0,
+                start_s: at_s,
+                end_s: at_s,
+                killed: false,
+                ready_s: enqueued_s.min(at_s),
+                phase: self.phase_sym,
+                kind: EventKind::Admit { tenant, job },
+            });
+        }
+    }
+
+    /// Record a job refused typed (backpressure, quota, or capacity) at
+    /// `at_s` instead of being queued or run.
+    pub fn record_reject(&mut self, tenant: usize, job: usize, at_s: f64) {
+        self.record_network_event(EventKind::Reject { tenant, job }, 0, at_s, at_s, true);
     }
 
     /// Cap the cores on `node` that admission control lets run tasks
@@ -1531,6 +1567,49 @@ mod tests {
         assert!(matches!(got, Err(PolicyError::DeadlineExceeded { .. })));
         assert_eq!(e.report().tasks, 0);
         assert_eq!(e.report().lost_time_s, 0.0, "nothing ran, nothing lost");
+    }
+
+    #[test]
+    fn deadline_expiring_mid_backoff_fails_at_observation() {
+        // Regression (ISSUE-7 satellite): node 0 kills the 2s attempt at
+        // t=1, observed at t=1.5 (0.5s heartbeat). The 2s backoff would
+        // redispatch at 3.5 — past the 3.0 deadline — so the policy must
+        // fail *at the observation* (t=1.5), not sleep the backoff, record
+        // a phantom recovery window, and discover the deadline at the next
+        // placement.
+        let plan = FaultPlan::none().kill_node(0, 1.0);
+        let mut e = faulty(1, 2, plan);
+        let policy = RetryPolicy::new(3)
+            .with_detection_delay(0.5)
+            .with_backoff(2.0, 2.0, 10.0)
+            .with_deadline(3.0);
+        match e.run_task_policied(0.0, 2.0, &policy) {
+            Err(PolicyError::DeadlineExceeded { deadline_s, at_s }) => {
+                assert_eq!(deadline_s, 3.0);
+                assert_eq!(at_s, 1.5, "fails when the loss is observed");
+            }
+            other => panic!("expected prompt DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(e.report().retries, 0, "the doomed retry never dispatched");
+        assert_eq!(
+            e.report().phase_total("recovery"),
+            None,
+            "no recovery window for a backoff that never slept"
+        );
+        assert_eq!(
+            e.report().lost_time_s,
+            1.0,
+            "the killed attempt is still charged"
+        );
+        // A deadline the backoff *does* fit keeps the retry path intact.
+        let mut ok = faulty(1, 2, FaultPlan::none().kill_node(0, 1.0));
+        let relaxed = RetryPolicy::new(3)
+            .with_detection_delay(0.5)
+            .with_backoff(2.0, 2.0, 10.0)
+            .with_deadline(6.0);
+        let p = ok.run_task_policied(0.0, 2.0, &relaxed).unwrap();
+        assert_eq!(p.start, 3.5, "redispatch after detection + backoff");
+        assert_eq!(ok.report().retries, 1);
     }
 
     #[test]

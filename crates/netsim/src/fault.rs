@@ -43,6 +43,18 @@ pub struct MemShrink {
     pub to_bytes: u64,
 }
 
+/// A node whose usable memory budget is *replaced* with `to_bytes` at
+/// virtual time `at_s` — unlike a [`MemShrink`], a set may raise the
+/// budget back up (a co-tenant leaving, capacity returned after
+/// maintenance). The latest-fired set wins; shrinks that fire after it
+/// still tighten it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemSet {
+    pub node: usize,
+    pub at_s: f64,
+    pub to_bytes: u64,
+}
+
 /// Why a serialized or assembled [`FaultPlan`] was rejected.
 #[derive(Clone, Debug, PartialEq)]
 pub enum FaultPlanError {
@@ -101,6 +113,7 @@ pub struct FaultPlan {
     deaths: Vec<NodeDeath>,
     stragglers: Vec<Straggler>,
     mem_shrinks: Vec<MemShrink>,
+    mem_sets: Vec<MemSet>,
     lost_fetch_prob: f64,
     seed: u64,
 }
@@ -116,6 +129,7 @@ impl FaultPlan {
         self.deaths.is_empty()
             && self.stragglers.is_empty()
             && self.mem_shrinks.is_empty()
+            && self.mem_sets.is_empty()
             && self.lost_fetch_prob <= 0.0
     }
 
@@ -139,6 +153,21 @@ impl FaultPlan {
     pub fn shrink_memory(mut self, node: usize, at_s: f64, to_bytes: u64) -> Self {
         assert!(at_s >= 0.0, "shrink time must be non-negative");
         self.mem_shrinks.push(MemShrink {
+            node,
+            at_s,
+            to_bytes,
+        });
+        self
+    }
+
+    /// Replace `node`'s memory budget with `to_bytes` at virtual time
+    /// `at_s`. Unlike [`Self::shrink_memory`] a set may *raise* the budget
+    /// (a co-tenant leaving, capacity returned after maintenance), which
+    /// admission control can wait for. The latest-fired set wins; shrinks
+    /// firing at or after the winning set still tighten it.
+    pub fn set_memory(mut self, node: usize, at_s: f64, to_bytes: u64) -> Self {
+        assert!(at_s >= 0.0, "set time must be non-negative");
+        self.mem_sets.push(MemSet {
             node,
             at_s,
             to_bytes,
@@ -189,15 +218,49 @@ impl FaultPlan {
         &self.mem_shrinks
     }
 
-    /// Memory budget cap in effect on `node` at time `at_s`: the smallest
-    /// `to_bytes` among shrinks that have fired by then (`None` if the
-    /// node's memory is untouched so far).
+    /// The scripted memory sets, in insertion order.
+    pub fn mem_sets(&self) -> &[MemSet] {
+        &self.mem_sets
+    }
+
+    /// Memory budget cap in effect on `node` at time `at_s` (`None` if the
+    /// node's memory is untouched so far). The latest-fired *set*
+    /// establishes the base (sets may grow the budget back); shrinks that
+    /// fired at or after that set — or all fired shrinks, when no set has
+    /// fired — compose on top of it, smallest wins (shrinks only tighten).
     pub fn mem_limit(&self, node: usize, at_s: f64) -> Option<u64> {
-        self.mem_shrinks
+        let latest_set = self
+            .mem_sets
             .iter()
             .filter(|m| m.node == node && m.at_s <= at_s)
+            .max_by(|a, b| a.at_s.total_cmp(&b.at_s));
+        let since = latest_set.map(|m| m.at_s);
+        let shrink = self
+            .mem_shrinks
+            .iter()
+            .filter(|m| m.node == node && m.at_s <= at_s)
+            .filter(|m| since.is_none_or(|t| m.at_s >= t))
             .map(|m| m.to_bytes)
-            .min()
+            .min();
+        match (latest_set.map(|m| m.to_bytes), shrink) {
+            (Some(s), Some(k)) => Some(s.min(k)),
+            (Some(s), None) => Some(s),
+            (None, k) => k,
+        }
+    }
+
+    /// Earliest virtual time strictly after `after_s` at which any node's
+    /// memory budget changes (a shrink or a set fires). Admission control
+    /// uses this to *wait* for a budget that will grow rather than refusing
+    /// a unit that only fails to fit right now; `None` means the budgets
+    /// are final and a refusal is forever.
+    pub fn next_mem_change_after(&self, after_s: f64) -> Option<f64> {
+        self.mem_shrinks
+            .iter()
+            .map(|m| m.at_s)
+            .chain(self.mem_sets.iter().map(|m| m.at_s))
+            .filter(|&t| t > after_s)
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.min(t))))
     }
 
     /// Per-fetch loss probability (0 when fetches are reliable).
@@ -211,7 +274,9 @@ impl FaultPlan {
     }
 
     /// Assemble a plan from explicit parts — the chaos harness uses this
-    /// to rebuild shrunken candidate plans.
+    /// to rebuild shrunken candidate plans. Memory *sets* are not part of
+    /// the chaos generator's vocabulary, so the assembled plan carries
+    /// none; add them with [`Self::set_memory`] if needed.
     pub fn from_parts(
         deaths: Vec<NodeDeath>,
         stragglers: Vec<Straggler>,
@@ -239,6 +304,7 @@ impl FaultPlan {
             deaths,
             stragglers,
             mem_shrinks,
+            mem_sets: Vec::new(),
             lost_fetch_prob,
             seed,
         }
@@ -275,6 +341,15 @@ impl FaultPlan {
                 });
             }
         }
+        for m in &self.mem_sets {
+            if m.node >= nodes {
+                return Err(FaultPlanError::NodeOutOfRange {
+                    what: "mem_set",
+                    node: m.node,
+                    nodes,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -302,6 +377,16 @@ impl FaultPlan {
         }
         out.push_str("],\"mem_shrinks\":[");
         for (i, m) in self.mem_shrinks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"node\":{},\"at_s\":{:?},\"to_bytes\":{}}}",
+                m.node, m.at_s, m.to_bytes
+            ));
+        }
+        out.push_str("],\"mem_sets\":[");
+        for (i, m) in self.mem_sets.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -343,6 +428,12 @@ impl FaultPlan {
                 at_s: m.at_s,
             });
         }
+        if let Some(m) = plan.mem_sets.iter().find(|m| m.at_s < 0.0) {
+            return Err(FaultPlanError::NegativeTime {
+                what: "mem_set",
+                at_s: m.at_s,
+            });
+        }
         if let Some(s) = plan.stragglers.iter().find(|s| s.factor < 1.0) {
             return Err(FaultPlanError::SubUnitFactor {
                 core: s.core,
@@ -364,6 +455,7 @@ impl FaultPlan {
         let mut deaths = Vec::new();
         let mut stragglers = Vec::new();
         let mut mem_shrinks = Vec::new();
+        let mut mem_sets = Vec::new();
         let mut lost_fetch_prob = 0.0;
         let mut seed = 0u64;
         p.expect('{')?;
@@ -434,6 +526,26 @@ impl FaultPlan {
                             Ok(())
                         })?;
                     }
+                    "mem_sets" => {
+                        p.array(|p| {
+                            let (mut node, mut at_s, mut to_bytes) = (None, None, None);
+                            p.object(|k, v| {
+                                match k {
+                                    "node" => node = Some(v as usize),
+                                    "at_s" => at_s = Some(v),
+                                    "to_bytes" => to_bytes = Some(v as u64),
+                                    other => return Err(format!("unknown mem_set key {other:?}")),
+                                }
+                                Ok(())
+                            })?;
+                            mem_sets.push(MemSet {
+                                node: node.ok_or("mem_set missing \"node\"")?,
+                                at_s: at_s.ok_or("mem_set missing \"at_s\"")?,
+                                to_bytes: to_bytes.ok_or("mem_set missing \"to_bytes\"")?,
+                            });
+                            Ok(())
+                        })?;
+                    }
                     "lost_fetch_prob" => lost_fetch_prob = p.number()?,
                     "seed" => seed = p.integer()?,
                     other => return Err(format!("unknown plan key {other:?}")),
@@ -450,6 +562,7 @@ impl FaultPlan {
             deaths,
             stragglers,
             mem_shrinks,
+            mem_sets,
             lost_fetch_prob,
             seed,
         })
@@ -779,6 +892,72 @@ mod tests {
         assert_eq!(p.mem_limit(1, 0.0), Some(1 << 20));
         assert_eq!(p.mem_limit(2, 100.0), None);
         assert_eq!(p.mem_shrinks().len(), 3);
+    }
+
+    #[test]
+    fn mem_sets_can_grow_budgets_back() {
+        // A set replaces the budget wholesale — later sets win, and a set
+        // may *raise* the budget a shrink took away.
+        let p = FaultPlan::none()
+            .shrink_memory(0, 1.0, 1 << 20)
+            .set_memory(0, 5.0, 1 << 30) // capacity returns at t=5
+            .set_memory(0, 9.0, 1 << 28); // ...and is re-capped at t=9
+        assert_eq!(p.mem_limit(0, 0.5), None, "nothing fired yet");
+        assert_eq!(p.mem_limit(0, 1.0), Some(1 << 20), "shrink in effect");
+        assert_eq!(
+            p.mem_limit(0, 5.0),
+            Some(1 << 30),
+            "set overrides the shrink"
+        );
+        assert_eq!(p.mem_limit(0, 9.5), Some(1 << 28), "latest set wins");
+        // A shrink firing after the winning set still tightens it.
+        let q = FaultPlan::none()
+            .set_memory(1, 2.0, 1 << 30)
+            .shrink_memory(1, 4.0, 1 << 22);
+        assert_eq!(q.mem_limit(1, 3.0), Some(1 << 30));
+        assert_eq!(q.mem_limit(1, 4.0), Some(1 << 22), "later shrink tightens");
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn next_mem_change_walks_the_schedule() {
+        let p = FaultPlan::none()
+            .shrink_memory(0, 2.0, 1 << 20)
+            .set_memory(1, 5.0, 1 << 30);
+        assert_eq!(p.next_mem_change_after(0.0), Some(2.0));
+        assert_eq!(p.next_mem_change_after(2.0), Some(5.0), "strictly after");
+        assert_eq!(p.next_mem_change_after(5.0), None, "schedule exhausted");
+        assert_eq!(FaultPlan::none().next_mem_change_after(0.0), None);
+    }
+
+    #[test]
+    fn mem_sets_round_trip_in_json_and_validate() {
+        let p = FaultPlan::none()
+            .set_memory(2, 1.5, 1 << 33)
+            .shrink_memory(0, 0.25, 1 << 20);
+        let json = p.to_json();
+        assert!(json.contains("\"mem_sets\""));
+        let q = FaultPlan::from_json(&json).unwrap();
+        assert_eq!(p, q);
+        assert_eq!(q.to_json(), json);
+        // Plans serialized before mem_sets existed still parse.
+        let legacy = "{\"deaths\":[],\"stragglers\":[],\"mem_shrinks\":[],\"lost_fetch_prob\":0.0,\"seed\":1}";
+        assert!(FaultPlan::from_json(legacy).unwrap().mem_sets().is_empty());
+        // Validation: negative times and out-of-range nodes are typed.
+        match FaultPlan::from_json("{\"mem_sets\":[{\"node\":0,\"at_s\":-1.0,\"to_bytes\":1}]}") {
+            Err(FaultPlanError::NegativeTime {
+                what: "mem_set", ..
+            }) => {}
+            other => panic!("expected NegativeTime, got {other:?}"),
+        }
+        assert_eq!(
+            FaultPlan::none().set_memory(9, 0.0, 1).validate(4, 32),
+            Err(FaultPlanError::NodeOutOfRange {
+                what: "mem_set",
+                node: 9,
+                nodes: 4
+            })
+        );
     }
 
     #[test]

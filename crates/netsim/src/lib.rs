@@ -34,7 +34,7 @@ pub use clock::{deterministic_timing, measure, measure_scaled, set_deterministic
 pub use cluster::{comet, laptop, wrangler, Cluster, ClusterBuilder, MachineProfile, NetworkModel};
 pub use critical::{CpSegment, CriticalPath};
 pub use executor::{SimExecutor, TaskAttempt, TaskOpts, TaskPlacement};
-pub use fault::{FaultPlan, FaultPlanError, MemShrink, NodeDeath, Straggler};
+pub use fault::{FaultPlan, FaultPlanError, MemSet, MemShrink, NodeDeath, Straggler};
 pub use metrics::{Histogram, Metrics, NodeMemory, NodeTraffic, PhaseShare};
 pub use parallel::Threads;
 pub use policy::{PolicyError, RetryPolicy, BACKOFF_SATURATION_S};

@@ -38,13 +38,38 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    /// Bucket index for `v` under the documented semantics: bucket 0 holds
+    /// everything below `HIST_BASE_S`; bucket `b ≥ 1` covers the half-open
+    /// range `[HIST_BASE_S·2^(b-1), HIST_BASE_S·2^b)`; the last bucket
+    /// absorbs everything at or above its lower bound.
+    ///
+    /// The log₂-of-a-quotient estimate is only within an ulp of the true
+    /// value — a wait an ulp under a power-of-two boundary can round *up*
+    /// across it (and the division itself can push an exact boundary value
+    /// either way) — so the estimate is corrected against the exact bucket
+    /// bounds, which are themselves exact (`2f64.powi` of a power of two
+    /// times the base is one floating-point product).
+    fn bucket_of(v: f64) -> usize {
+        // NaN checked explicitly so it also lands in bucket 0.
+        if v.is_nan() || v < HIST_BASE_S {
+            return 0;
+        }
+        // Clamp in f64 *before* the cast: for v = ∞ the log is ∞ and a
+        // saturating `as i64` followed by `+ 1` would overflow.
+        let est = ((v / HIST_BASE_S).log2().floor() + 1.0).clamp(1.0, (HIST_BUCKETS - 1) as f64);
+        let mut b = est as usize;
+        while b > 1 && v < HIST_BASE_S * 2f64.powi((b - 1) as i32) {
+            b -= 1;
+        }
+        while b < HIST_BUCKETS - 1 && v >= HIST_BASE_S * 2f64.powi(b as i32) {
+            b += 1;
+        }
+        b
+    }
+
     pub fn record(&mut self, v: f64) {
         let v = v.max(0.0);
-        let b = if v < HIST_BASE_S {
-            0
-        } else {
-            ((v / HIST_BASE_S).log2().floor() as usize + 1).min(HIST_BUCKETS - 1)
-        };
+        let b = Self::bucket_of(v);
         self.counts[b] += 1;
         self.count += 1;
         self.sum += v;
@@ -168,6 +193,12 @@ pub struct Metrics {
     /// release times — a serialized dispatcher shows its per-task cost
     /// here (Fig. 2's throughput caps, seen per-task).
     pub dispatch_latency: Histogram,
+    /// Service-queue events (mdtaskd): jobs enqueued by tenants.
+    pub jobs_enqueued: usize,
+    /// Service-queue events: jobs admitted to a cluster by the scheduler.
+    pub jobs_admitted: usize,
+    /// Service-queue events: jobs refused typed (backpressure/quota).
+    pub jobs_rejected: usize,
 }
 
 impl Metrics {
@@ -198,6 +229,7 @@ impl Metrics {
 
         let mut queue_wait = Histogram::default();
         let mut dispatch_latency = Histogram::default();
+        let (mut jobs_enqueued, mut jobs_admitted, mut jobs_rejected) = (0usize, 0usize, 0usize);
         let mut traffic: Vec<NodeTraffic> = Vec::new();
         let mut memory: Vec<NodeMemory> = Vec::new();
         fn mem_entry(memory: &mut Vec<NodeMemory>, node: usize) -> &mut NodeMemory {
@@ -255,6 +287,13 @@ impl Metrics {
                         EventKind::OomKill { node } => {
                             mem_entry(&mut memory, *node).oom_kills += 1;
                         }
+                        EventKind::Enqueue { .. } => jobs_enqueued += 1,
+                        EventKind::Admit { .. } => {
+                            jobs_admitted += 1;
+                            // Service-queue wait: enqueue → admission.
+                            queue_wait.record(e.start_s - e.ready_s);
+                        }
+                        EventKind::Reject { .. } => jobs_rejected += 1,
                     }
                 }
                 releases.sort_by(f64::total_cmp);
@@ -291,6 +330,9 @@ impl Metrics {
             memory,
             queue_wait,
             dispatch_latency,
+            jobs_enqueued,
+            jobs_admitted,
+            jobs_rejected,
         }
     }
 
@@ -340,6 +382,12 @@ impl Metrics {
                 self.dispatch_latency.max()
             ));
         }
+        if self.jobs_enqueued + self.jobs_admitted + self.jobs_rejected > 0 {
+            out.push_str(&format!(
+                "  service jobs    enqueued {}  admitted {}  rejected {}\n",
+                self.jobs_enqueued, self.jobs_admitted, self.jobs_rejected
+            ));
+        }
         out
     }
 
@@ -378,7 +426,7 @@ impl Metrics {
             })
             .collect();
         format!(
-            "{{\"makespan_s\":{},\"tasks\":{},\"utilization\":{},\"busy_fraction\":{},\"phases\":[{}],\"nodes\":[{}],\"memory\":[{}],\"queue_wait\":{},\"dispatch_latency\":{}}}",
+            "{{\"makespan_s\":{},\"tasks\":{},\"utilization\":{},\"busy_fraction\":{},\"phases\":[{}],\"nodes\":[{}],\"memory\":[{}],\"queue_wait\":{},\"dispatch_latency\":{},\"jobs_enqueued\":{},\"jobs_admitted\":{},\"jobs_rejected\":{}}}",
             json_num(self.makespan_s),
             self.tasks,
             json_num(self.utilization),
@@ -388,6 +436,9 @@ impl Metrics {
             memory.join(","),
             self.queue_wait.to_json(),
             self.dispatch_latency.to_json(),
+            self.jobs_enqueued,
+            self.jobs_admitted,
+            self.jobs_rejected,
         )
     }
 }
@@ -438,6 +489,44 @@ mod tests {
         assert!(h.quantile(0.99) >= 1e-2 - 1e-12);
         assert!((h.mean() - (90.0 * 1e-4 + 10.0 * 1e-2) / 100.0).abs() < 1e-12);
         assert_eq!(Histogram::default().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_boundary_semantics_are_exact() {
+        // Regression for the bucketing audit: bucket 0 is [0, base);
+        // bucket b ≥ 1 is [base·2^(b-1), base·2^b). Sub-base, exact-
+        // boundary, and boundary±ulp values must all land per that spec —
+        // the raw log₂ estimate can round across a boundary by an ulp.
+        assert_eq!(Histogram::bucket_of(0.0), 0);
+        assert_eq!(Histogram::bucket_of(f64::NAN), 0);
+        assert_eq!(Histogram::bucket_of(HIST_BASE_S / 2.0), 0);
+        let below_base = f64::from_bits(HIST_BASE_S.to_bits() - 1);
+        assert_eq!(Histogram::bucket_of(below_base), 0, "base − ulp");
+        assert_eq!(Histogram::bucket_of(HIST_BASE_S), 1, "exact base");
+        // Every exact power-of-two boundary, plus one ulp to either side.
+        for b in 1..HIST_BUCKETS - 1 {
+            let bound = HIST_BASE_S * 2f64.powi(b as i32);
+            assert_eq!(
+                Histogram::bucket_of(bound),
+                b + 1,
+                "exact boundary base·2^{b} opens bucket {}",
+                b + 1
+            );
+            let lo = f64::from_bits(bound.to_bits() - 1);
+            assert_eq!(Histogram::bucket_of(lo), b, "boundary − ulp stays in {b}");
+            let hi = f64::from_bits(bound.to_bits() + 1);
+            assert_eq!(Histogram::bucket_of(hi), b + 1, "boundary + ulp");
+        }
+        // Beyond the last regular boundary everything collapses into the
+        // final bucket.
+        assert_eq!(Histogram::bucket_of(1e12), HIST_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_of(f64::INFINITY), HIST_BUCKETS - 1);
+        // Recording a boundary value keeps quantiles consistent with the
+        // documented ranges: p100 of a single exact-boundary sample is the
+        // sample itself (bucket upper bound clamped to the observed max).
+        let mut h = Histogram::default();
+        h.record(HIST_BASE_S);
+        assert_eq!(h.quantile(1.0), HIST_BASE_S);
     }
 
     #[test]

@@ -110,6 +110,23 @@ impl RetryPolicy {
         self
     }
 
+    /// Deadline gate for a retry decision. The failure was observed at
+    /// `observed_s`; the next attempt would dispatch at `redispatch_s`
+    /// (observation + backoff + any scheduler overheads the caller adds).
+    /// When the redispatch already falls past `deadline_s` the backoff
+    /// sleep is doomed — the typed error surfaces *now*, stamped with the
+    /// observation time, instead of burning virtual time on a wait whose
+    /// attempt could never be allowed to run.
+    pub fn deadline_gate(&self, observed_s: f64, redispatch_s: f64) -> Result<(), PolicyError> {
+        match self.deadline_s {
+            Some(deadline) if redispatch_s > deadline => Err(PolicyError::DeadlineExceeded {
+                deadline_s: deadline,
+                at_s: observed_s,
+            }),
+            _ => Ok(()),
+        }
+    }
+
     /// Backoff wait applied before dispatching `attempt` (1-based). The
     /// first attempt never waits; attempt `k+1` waits
     /// `min(cap, base · factor^(k-1))`. The wait saturates instead of

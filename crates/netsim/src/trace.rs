@@ -93,6 +93,15 @@ pub enum EventKind {
     /// A task or worker on `node` killed outright for exceeding the memory
     /// budget (after spill/eviction could not make room).
     OomKill { node: usize },
+    /// A job entering a tenant's service queue (mdtaskd).
+    Enqueue { tenant: usize, job: usize },
+    /// A queued job admitted to a cluster by the service scheduler.
+    /// `ready_s` is the enqueue time, so `start_s - ready_s` is the queue
+    /// wait the admission decision imposed.
+    Admit { tenant: usize, job: usize },
+    /// A job refused with a typed error (backpressure, quota, or
+    /// capacity). `killed` is set: the submission's work was never done.
+    Reject { tenant: usize, job: usize },
 }
 
 impl EventKind {
@@ -106,6 +115,9 @@ impl EventKind {
             EventKind::Spill { .. } => "spill",
             EventKind::Evict { .. } => "evict",
             EventKind::OomKill { .. } => "oomkill",
+            EventKind::Enqueue { .. } => "enqueue",
+            EventKind::Admit { .. } => "admit",
+            EventKind::Reject { .. } => "reject",
         }
     }
 
@@ -249,6 +261,9 @@ impl Trace {
             EventKind::Spill { .. } => "spill",
             EventKind::Evict { .. } => "evict",
             EventKind::OomKill { .. } => "oom-kill",
+            EventKind::Enqueue { .. } => "enqueue",
+            EventKind::Admit { .. } => "admit",
+            EventKind::Reject { .. } => "reject",
         }
     }
 
@@ -488,6 +503,18 @@ impl Trace {
                     String::new(),
                     String::new(),
                 ),
+                // Service events reuse from_node for the tenant and
+                // to_node for the job id.
+                EventKind::Enqueue { tenant, job }
+                | EventKind::Admit { tenant, job }
+                | EventKind::Reject { tenant, job } => (
+                    e.kind.kind_name().into(),
+                    String::new(),
+                    tenant.to_string(),
+                    job.to_string(),
+                    String::new(),
+                    String::new(),
+                ),
             };
             let phase = self.phase_of(e);
             debug_assert!(!label.contains(',') && !phase.contains(','));
@@ -578,6 +605,18 @@ impl Trace {
                 },
                 "oomkill" => EventKind::OomKill {
                     node: idx(f[10], "node")?,
+                },
+                "enqueue" => EventKind::Enqueue {
+                    tenant: idx(f[10], "tenant")?,
+                    job: idx(f[11], "job")?,
+                },
+                "admit" => EventKind::Admit {
+                    tenant: idx(f[10], "tenant")?,
+                    job: idx(f[11], "job")?,
+                },
+                "reject" => EventKind::Reject {
+                    tenant: idx(f[10], "tenant")?,
+                    job: idx(f[11], "job")?,
                 },
                 other => return Err(format!("row {i}: unknown kind: {other}")),
             };
@@ -920,6 +959,32 @@ mod tests {
             "memory",
             EventKind::OomKill { node: 1 },
         );
+        rec(
+            &mut t,
+            10,
+            0,
+            (1.5, 1.5),
+            "service",
+            EventKind::Enqueue { tenant: 2, job: 17 },
+        );
+        rec(
+            &mut t,
+            11,
+            0,
+            (1.75, 1.75),
+            "service",
+            EventKind::Admit { tenant: 2, job: 17 },
+        );
+        t.events.last_mut().unwrap().ready_s = 1.5; // queue wait survives
+        rec(
+            &mut t,
+            12,
+            0,
+            (1.75, 1.75),
+            "service",
+            EventKind::Reject { tenant: 3, job: 18 },
+        );
+        t.events.last_mut().unwrap().killed = true;
         let back = Trace::from_csv(&t.to_csv()).expect("round trip");
         assert_eq!(back, t);
     }

@@ -275,31 +275,48 @@ impl Session {
         st.exec.set_phase("execute");
         for (((_unit_id, comp), ready), ws) in ids.iter().zip(computed).zip(&t_staged).zip(&wsets) {
             let ws = *ws;
-            let t_sched = st.db.roundtrip(*ready);
+            let mut t_sched = st.db.roundtrip(*ready);
             // Admission control: the agent scheduler admits only as many
             // concurrent units per node as declared working sets fit the
-            // node's (possibly fault-shrunk) memory budget. A unit no node
-            // can ever host surfaces typed — it must not queue forever.
+            // node's (possibly fault-shrunk) memory budget. Budgets are
+            // *time-varying*: a unit no node can host right now may fit a
+            // scripted later budget, so the scheduler holds the unit and
+            // re-evaluates at each scheduled change. Only a unit no future
+            // budget can ever host surfaces typed — it must not queue
+            // forever.
             if ws > 0 {
-                let mut best = (0usize, 0u64);
-                let mut admitted_somewhere = false;
-                for node in 0..self.cluster.nodes {
-                    let budget = st.exec.mem_budget(node, t_sched);
-                    if budget > best.1 {
-                        best = (node, budget);
+                let mut t_adm = t_sched;
+                loop {
+                    let mut best = (0usize, 0u64);
+                    let mut admitted_somewhere = false;
+                    for node in 0..self.cluster.nodes {
+                        let budget = st.exec.mem_budget(node, t_adm);
+                        if budget > best.1 {
+                            best = (node, budget);
+                        }
+                        let limit = (budget.checked_div(ws).unwrap_or(0) as usize).min(per_node);
+                        st.exec.set_node_core_limit(node, limit);
+                        admitted_somewhere |= limit > 0;
                     }
-                    let limit = (budget.checked_div(ws).unwrap_or(0) as usize).min(per_node);
-                    st.exec.set_node_core_limit(node, limit);
-                    admitted_somewhere |= limit > 0;
+                    if admitted_somewhere {
+                        break;
+                    }
+                    match self.cluster.next_mem_change_after(t_adm) {
+                        Some(t_next) => t_adm = t_next,
+                        None => {
+                            return Err(EngineError::MemoryExhausted {
+                                node: best.0,
+                                budget: best.1,
+                                required: ws,
+                                at_s: t_adm,
+                                what: "declared unit working set".into(),
+                            });
+                        }
+                    }
                 }
-                if !admitted_somewhere {
-                    return Err(EngineError::MemoryExhausted {
-                        node: best.0,
-                        budget: best.1,
-                        required: ws,
-                        at_s: t_sched,
-                        what: "declared unit working set".into(),
-                    });
+                if t_adm > t_sched {
+                    st.exec.record_recovery("admission-wait", t_sched, t_adm);
+                    t_sched = t_adm;
                 }
             } else {
                 for node in 0..self.cluster.nodes {
@@ -317,7 +334,6 @@ impl Session {
             // again before a surviving core picks the unit up — bounded by
             // the policy's attempt budget.
             let policy = st.policy;
-            let mut t_sched = t_sched;
             let mut attempts: u32 = 1;
             let mut first_died: Option<f64> = None;
             let mut avoid = None;
@@ -335,13 +351,20 @@ impl Session {
                                 last_failure_s: died_at + policy.detection_delay_s,
                             });
                         }
+                        // Gate the re-enqueue against the deadline before
+                        // paying the backoff and DB round-trip: a retry
+                        // that could only dispatch past the deadline fails
+                        // at observation time, typed.
+                        let observed = died_at + policy.detection_delay_s;
+                        let redispatch = st
+                            .db
+                            .roundtrip(observed + policy.backoff_before(attempts + 1));
+                        policy.deadline_gate(observed, redispatch)?;
                         attempts += 1;
                         avoid = Some(core);
                         first_died.get_or_insert(died_at);
                         st.exec.report_mut().retries += 1;
-                        let observed =
-                            died_at + policy.detection_delay_s + policy.backoff_before(attempts);
-                        t_sched = st.db.roundtrip(observed);
+                        t_sched = redispatch;
                         st.exec.record_recovery("re-enqueue", died_at, t_sched);
                     }
                 }
@@ -582,6 +605,47 @@ mod tests {
                 other.map(|o| o.results)
             ),
         }
+    }
+
+    #[test]
+    fn admission_waits_for_a_budget_that_grows_after_submit() {
+        // Regression: the budget is zero when the unit reaches the agent
+        // scheduler, but a scripted memory *set* restores it at t=100.
+        // The old admission decision looked only at "now" and refused
+        // typed; the unit must instead wait for the restored budget and
+        // complete.
+        let plan = netsim::FaultPlan::none()
+            .shrink_memory(0, 0.0, 0)
+            .set_memory(0, 100.0, 1 << 20);
+        let s = Session::new(
+            Cluster::builder()
+                .mem_budget(1 << 20)
+                .fault_plan(plan)
+                .build(),
+        )
+        .unwrap();
+        s.enable_trace();
+        let units =
+            vec![UnitDescription::<u64>::compute_only(|_, _| 7).with_working_set(64 * 1024)];
+        let out = s
+            .submit_and_wait(units)
+            .expect("a later budget must admit the unit");
+        assert_eq!(out.results, vec![7]);
+        // The wait is visible: execution starts no earlier than the
+        // budget restoration, and the admission hold is a recovery event.
+        assert!(
+            out.report.makespan_s >= 100.0,
+            "unit must wait for the t=100 budget, makespan {}",
+            out.report.makespan_s
+        );
+        let trace = out.report.trace.as_ref().expect("traced run");
+        assert!(
+            trace
+                .events
+                .iter()
+                .any(|e| trace.label_of(e) == "admission-wait"),
+            "the admission hold must be recorded"
+        );
     }
 
     #[test]

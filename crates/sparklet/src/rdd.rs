@@ -327,21 +327,25 @@ where
                                 last_failure_s: died_at + policy.detection_delay_s,
                             });
                         }
+                        // The heartbeat reveals the loss, the driver backs
+                        // off, then re-dispatches (blacklisting the core
+                        // the attempt just died on). If that re-dispatch
+                        // already falls past the deadline, fail now rather
+                        // than burning the backoff wait on a doomed attempt.
+                        let observed = died_at + policy.detection_delay_s;
+                        let redispatch = release.max(
+                            observed
+                                + policy.backoff_before(attempts + 1)
+                                + profile.central_dispatch_s,
+                        );
+                        policy.deadline_gate(observed, redispatch)?;
                         attempts += 1;
                         avoid = Some(core);
                         first_died.get_or_insert(died_at);
                         let rep = state.exec.report_mut();
                         rep.retries += 1;
                         rep.overhead_s += profile.central_dispatch_s;
-                        // The heartbeat reveals the loss, the driver backs
-                        // off, then re-dispatches (blacklisting the core
-                        // the attempt just died on).
-                        release = release.max(
-                            died_at
-                                + policy.detection_delay_s
-                                + policy.backoff_before(attempts)
-                                + profile.central_dispatch_s,
-                        );
+                        release = redispatch;
                     }
                 }
             };

@@ -110,6 +110,15 @@ pub enum EngineError {
     DeadlineExceeded { deadline_s: f64, at_s: f64 },
     /// Every node that could host work is dead.
     NoSurvivingWorkers { at_s: f64 },
+    /// The service refused the submission outright — backpressure, a
+    /// tenant quota, or a job no cluster could ever host. Unlike the
+    /// recovery errors above, nothing was attempted: rejection is the
+    /// admission layer's typed alternative to unbounded queueing.
+    Rejected {
+        tenant: usize,
+        reason: String,
+        at_s: f64,
+    },
 }
 
 impl From<PolicyError> for EngineError {
@@ -188,6 +197,11 @@ impl std::fmt::Display for EngineError {
             EngineError::NoSurvivingWorkers { at_s } => {
                 write!(f, "no surviving workers at {at_s:.3}s (all nodes dead)")
             }
+            EngineError::Rejected {
+                tenant,
+                reason,
+                at_s,
+            } => write!(f, "rejected: tenant {tenant} at {at_s:.3}s: {reason}"),
         }
     }
 }

@@ -23,6 +23,7 @@
 //! | [`rp`] | `pilot` | RADICAL-Pilot-equivalent engine |
 //! | [`mpi`] | `mpilike` | MPI-equivalent SPMD engine |
 //! | [`cpp`] | `cpptraj` | CPPTraj-equivalent baseline |
+//! | [`service`] | `mdtaskd` | multi-tenant analysis service: fair share, quotas, backpressure |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@ pub use linalg as math;
 pub use mdio as io;
 pub use mdsim as sim;
 pub use mdtask_core as analysis;
+pub use mdtaskd as service;
 pub use mpilike as mpi;
 pub use neighbors as search;
 pub use netsim as cluster;
@@ -79,6 +81,7 @@ pub mod prelude {
     pub use crate::math::{DistanceMatrix, Frame, Vec3};
     pub use crate::mpi::Comm;
     pub use crate::rp::{Session, UnitDescription};
+    pub use crate::service::{JobRequest, Service, ServiceReport, TenantSpec};
     pub use crate::sim::{BilayerSpec, ChainSpec, LfDatasetId, PsaSize, Trajectory};
     pub use crate::spark::{Rdd, SparkContext};
 }
