@@ -34,7 +34,9 @@ pub mod run;
 
 pub use leaflet::{LfApproach, LfConfig, LfOutput};
 pub use psa::{PsaConfig, PsaOutput};
-pub use run::{run_lf, run_psa, LfRun, PsaRun, RunConfig};
+pub use run::{
+    lf_frame_value, run_lf, run_lf_stream, run_psa, LfRun, PsaRun, RunConfig, StreamTuning,
+};
 pub use taskframe::Engine;
 
 /// Which task-parallel engine executes an analysis.

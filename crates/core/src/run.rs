@@ -39,7 +39,9 @@ use crate::psa::{
 };
 use dasklet::DaskClient;
 use linalg::Vec3;
+use mdio::StreamSource;
 use mdsim::Trajectory;
+use netsim::stream::{LateDisposition, StreamJob, StreamRun, WindowSpec};
 use netsim::{parallel, Cluster, RetryPolicy, Threads};
 use pilot::Session;
 use sparklet::SparkContext;
@@ -69,6 +71,24 @@ pub struct RunConfig {
     trace_stride: u32,
     mpi_world: usize,
     threads: Option<Threads>,
+    streaming: Option<StreamTuning>,
+}
+
+/// Streaming knobs attached to a [`RunConfig`] by [`RunConfig::streaming`]:
+/// the event-time window layout plus the declared per-frame cost model and
+/// per-engine buffering sizes.
+#[derive(Clone, Debug)]
+pub struct StreamTuning {
+    pub window_s: f64,
+    pub slide_s: f64,
+    pub lateness_s: f64,
+    pub late: LateDisposition,
+    pub frame_cost_s: f64,
+    pub state_bytes_per_frame: u64,
+    /// Frames per micro-batch (Spark's posture).
+    pub micro_batch: usize,
+    /// Ring-buffer slots (MPI's posture).
+    pub ring: usize,
 }
 
 impl RunConfig {
@@ -86,7 +106,68 @@ impl RunConfig {
             trace_stride: 1,
             mpi_world,
             threads: None,
+            streaming: None,
         }
+    }
+
+    /// Switch the run into streaming mode: event-time windows of
+    /// `window_s`, one opening every `slide_s` (equal values tumble), with
+    /// `lateness_s` of allowed lateness before the watermark closes a
+    /// window. Late frames default to the side channel
+    /// ([`Self::late_disposition`]); per-frame cost and window-state
+    /// footprint default to 10 ms / 1 MiB ([`Self::stream_costs`]).
+    pub fn streaming(mut self, window_s: f64, slide_s: f64, lateness_s: f64) -> Self {
+        // Validates the layout eagerly so misconfiguration fails at build
+        // time, not mid-stream.
+        let _ = WindowSpec::sliding(window_s, slide_s, lateness_s);
+        self.streaming = Some(StreamTuning {
+            window_s,
+            slide_s,
+            lateness_s,
+            late: LateDisposition::SideChannel,
+            frame_cost_s: 0.01,
+            state_bytes_per_frame: 1 << 20,
+            micro_batch: 4,
+            ring: 4,
+        });
+        self
+    }
+
+    /// What happens to frames arriving behind the watermark. Requires
+    /// [`Self::streaming`] first.
+    pub fn late_disposition(mut self, late: LateDisposition) -> Self {
+        self.tuning_mut().late = late;
+        self
+    }
+
+    /// Declared virtual cost per streamed frame and resident window-state
+    /// bytes per (frame, window). Requires [`Self::streaming`] first.
+    pub fn stream_costs(mut self, frame_cost_s: f64, state_bytes_per_frame: u64) -> Self {
+        let t = self.tuning_mut();
+        t.frame_cost_s = frame_cost_s;
+        t.state_bytes_per_frame = state_bytes_per_frame;
+        self
+    }
+
+    /// Per-engine stream buffering: Spark's micro-batch size and MPI's
+    /// ring-buffer slots (the other engines buffer nothing). Requires
+    /// [`Self::streaming`] first.
+    pub fn stream_buffering(mut self, micro_batch: usize, ring: usize) -> Self {
+        let t = self.tuning_mut();
+        t.micro_batch = micro_batch.max(1);
+        t.ring = ring.max(1);
+        self
+    }
+
+    /// The streaming knobs, if [`Self::streaming`] was called.
+    pub fn streaming_ref(&self) -> Option<&StreamTuning> {
+        self.streaming.as_ref()
+    }
+
+    fn tuning_mut(&mut self) -> &mut StreamTuning {
+        self.streaming
+            .as_mut()
+            .expect("call .streaming(window, slide, lateness) first")
     }
 
     /// Leaflet-Finder architectural approach (Table 2). Ignored by PSA
@@ -241,6 +322,87 @@ pub fn run_psa(
                 cfg.checkpoint_restart,
             )
         }
+    })
+}
+
+/// Per-frame leaflet analysis for streamed trajectories: the lipid
+/// contact-pair count within `cutoff`, stride-sampled down to at most 128
+/// atoms so a single frame stays cheap, folded into a deterministic
+/// fingerprint. This is the real (host-executed) computation behind each
+/// streamed frame; its *virtual* cost is declared by
+/// [`StreamTuning::frame_cost_s`].
+pub fn lf_frame_value(frame: &linalg::Frame, cutoff: f32) -> u64 {
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    let pos = frame.positions();
+    let stride = pos.len().div_ceil(128).max(1);
+    let sampled: Vec<Vec3> = pos.iter().copied().step_by(stride).collect();
+    let c2 = cutoff * cutoff;
+    let mut contacts = 0u64;
+    let mut acc = 0u64;
+    for i in 0..sampled.len() {
+        for j in (i + 1)..sampled.len() {
+            if sampled[i].dist2(sampled[j]) <= c2 {
+                contacts += 1;
+                acc = mix(acc ^ ((i as u64) << 32 | j as u64));
+            }
+        }
+    }
+    mix(acc ^ contacts)
+}
+
+/// Run the Leaflet Finder over a *streamed* trajectory as configured.
+///
+/// Frame `i` of `traj` is delivered on `source`'s schedule (stalls,
+/// drops, delays, duplicates and all); each engine consumes it with its
+/// own posture — Dask per-frame tasks, Spark micro-batches, Pilot one
+/// unit per closing window, MPI ring-buffered collective steps — under
+/// the watermark/backpressure/lineage semantics of
+/// [`netsim::stream::run_stream`]. Window layout and cost model come from
+/// [`RunConfig::streaming`] (defaults: tumbling windows of four frame
+/// intervals with one interval of lateness when not set).
+pub fn run_lf_stream(
+    cfg: &RunConfig,
+    traj: Arc<Trajectory>,
+    lf: &LfConfig,
+    source: &StreamSource,
+) -> Result<StreamRun, EngineError> {
+    assert!(!traj.frames.is_empty(), "cannot stream an empty trajectory");
+    let defaults = StreamTuning {
+        window_s: source.interval_s * 4.0,
+        slide_s: source.interval_s * 4.0,
+        lateness_s: source.interval_s,
+        late: LateDisposition::SideChannel,
+        frame_cost_s: 0.01,
+        state_bytes_per_frame: 1 << 20,
+        micro_batch: 4,
+        ring: 4,
+    };
+    let t = cfg.streaming.as_ref().unwrap_or(&defaults);
+    let job = StreamJob::new(WindowSpec::sliding(t.window_s, t.slide_s, t.lateness_s))
+        .late(t.late)
+        .frame_cost(t.frame_cost_s)
+        .state_bytes(t.state_bytes_per_frame);
+    let schedule = source.schedule();
+    let cutoff = lf.cutoff;
+    let frames = &traj.frames;
+    let mut fv = move |i: usize| lf_frame_value(&frames[i % frames.len()], cutoff);
+    cfg.scoped(|| match cfg.engine {
+        Engine::Spark => spark_handle(cfg).run_stream(&schedule, &job, t.micro_batch, &mut fv),
+        Engine::Dask => dask_handle(cfg).run_stream(&schedule, &job, &mut fv),
+        Engine::Pilot => pilot_handle(cfg)?.run_stream(&schedule, &job, &mut fv),
+        Engine::Mpi => mpilike::run_stream_ring(
+            cfg.cluster.clone(),
+            t.ring,
+            &schedule,
+            &job,
+            &mpi_policy(cfg),
+            &mut fv,
+        ),
     })
 }
 

@@ -138,6 +138,33 @@ impl DaskClient {
         &self.inner.cluster
     }
 
+    /// Run an event-time windowed streaming job over a delivery schedule.
+    ///
+    /// Dask's posture is per-frame tasks: every accepted frame becomes its
+    /// own barrier-free task through the central scheduler (one dispatch
+    /// overhead each). Window close, watermarks, late-frame disposition,
+    /// backpressure, and per-window lineage replay follow
+    /// [`netsim::stream::run_stream`]; the retry policy is the client's
+    /// ([`DaskClient::set_retry_policy`]).
+    pub fn run_stream(
+        &self,
+        source: &netsim::stream::SourceLog,
+        job: &netsim::stream::StreamJob,
+        frame_value: &mut dyn FnMut(usize) -> u64,
+    ) -> Result<netsim::stream::StreamRun, EngineError> {
+        use netsim::stream::{run_stream, DispatchMode, StreamRun};
+        let overhead = self.inner.profile.central_dispatch_s + self.inner.profile.worker_overhead_s;
+        let spec = job.spec(DispatchMode::PerFrame, overhead);
+        let mut st = self.inner.state.lock();
+        let policy = st.policy;
+        st.exec.set_phase("stream");
+        let output = run_stream(&mut st.exec, source, &spec, &policy, frame_value)
+            .map_err(EngineError::from)?;
+        st.sched_free = st.sched_free.max(st.exec.all_idle_at());
+        let report = st.exec.report().clone();
+        Ok(StreamRun { output, report })
+    }
+
     /// Core scheduling path: run `f` as a task whose dependencies complete
     /// at `deps_ready` and whose inputs need `dep_transfer_bytes` moved to
     /// the worker.

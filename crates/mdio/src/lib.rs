@@ -14,11 +14,13 @@
 
 pub mod mdt;
 pub mod staging;
+pub mod stream;
 pub mod xtcq;
 pub mod xyz;
 
 pub use mdt::{read_mdt, write_mdt};
 pub use staging::StagingArea;
+pub use stream::StreamSource;
 pub use xtcq::{read_xtcq, write_xtcq};
 pub use xyz::{read_xyz, write_xyz};
 

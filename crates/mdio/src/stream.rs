@@ -1,0 +1,238 @@
+//! Streaming trajectory delivery: a seeded producer/transport model.
+//!
+//! Batch analysis opens a finished trajectory file; in-situ analysis
+//! subscribes to one being written. [`StreamSource`] models that producer
+//! side: frame `i` is stamped with event time `i·interval_s` (the MD
+//! engine's own clock), emitted on a schedule perturbed by the fault
+//! plan's producer stalls, and delivered through a transport that adds
+//! latency, seeded jitter, scripted per-frame delays, loss, and duplicate
+//! delivery. The output is a [`SourceLog`] — the ground-truth delivery
+//! schedule the `netsim::stream` runner consumes and its chaos oracles
+//! audit against.
+//!
+//! Everything is deterministic in the plan's seed: the same
+//! `(StreamSource, FaultPlan)` pair always produces the same schedule, so
+//! counterexamples found by the chaos harness replay exactly.
+
+use netsim::stream::{SourceLog, StreamEvent};
+use netsim::FaultPlan;
+
+/// A simulated trajectory producer plus the transport between it and the
+/// analysis pipeline.
+#[derive(Clone, Debug)]
+pub struct StreamSource {
+    /// Frames the producer will generate (the trajectory length).
+    pub n_frames: usize,
+    /// Event-time spacing between frames — the MD engine's output cadence.
+    pub interval_s: f64,
+    /// Base transport latency applied to every delivery.
+    pub latency_s: f64,
+    /// Maximum seeded per-frame jitter added on top of the base latency
+    /// (uniform in `[0, jitter_s)`), the source of mild reordering.
+    pub jitter_s: f64,
+    plan: FaultPlan,
+}
+
+impl StreamSource {
+    pub fn new(n_frames: usize, interval_s: f64) -> Self {
+        assert!(interval_s > 0.0, "frame interval must be positive");
+        StreamSource {
+            n_frames,
+            interval_s,
+            latency_s: 0.0,
+            jitter_s: 0.0,
+            plan: FaultPlan::none(),
+        }
+    }
+
+    pub fn with_latency(mut self, latency_s: f64) -> Self {
+        assert!(latency_s >= 0.0, "latency must be non-negative");
+        self.latency_s = latency_s;
+        self
+    }
+
+    pub fn with_jitter(mut self, jitter_s: f64) -> Self {
+        assert!(jitter_s >= 0.0, "jitter must be non-negative");
+        self.jitter_s = jitter_s;
+        self
+    }
+
+    /// Attach the fault plan whose stream faults (producer stalls/crash,
+    /// drops, delays, duplicates) and seed perturb the schedule.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// How long a lost delivery takes to be re-sent: the transport's
+    /// retransmission lag, also used for duplicate deliveries.
+    fn redelivery_lag(&self) -> f64 {
+        self.latency_s.max(self.interval_s)
+    }
+
+    /// Materialize the delivery schedule.
+    ///
+    /// The producer emits frame `i` at `i·interval_s` shifted right by
+    /// every stall that began before the (already-shifted) emission time —
+    /// a stalled MD engine pushes *all* later frames back. A crash stall
+    /// stops emission for good: remaining frames land in `undelivered` and
+    /// the log records `crashed_at`, which tells the consumer no EOS
+    /// marker will ever arrive. If the producer finished every frame
+    /// before crashing, the stream completed and `crashed_at` stays
+    /// `None`.
+    pub fn schedule(&self) -> SourceLog {
+        let mut stalls = self.plan.producer_stalls().to_vec();
+        stalls.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
+        let mut events = Vec::new();
+        let mut dropped = Vec::new();
+        let mut undelivered = Vec::new();
+        let mut crashed_at = None;
+        let mut shift = 0.0;
+        let mut next_stall = 0;
+        for frame in 0..self.n_frames {
+            let event_s = frame as f64 * self.interval_s;
+            let mut emit_s = event_s + shift;
+            while next_stall < stalls.len() && stalls[next_stall].at_s < emit_s {
+                if stalls[next_stall].is_crash() {
+                    crashed_at = Some(stalls[next_stall].at_s);
+                    break;
+                }
+                shift += stalls[next_stall].for_s;
+                emit_s = event_s + shift;
+                next_stall += 1;
+            }
+            if crashed_at.is_some() {
+                undelivered.push(frame);
+                continue;
+            }
+            let scripted_drop = self.plan.frame_drops().iter().any(|d| d.frame == frame);
+            if scripted_drop || self.plan.frame_dropped(frame) {
+                dropped.push(frame);
+                continue;
+            }
+            let arrive_s = emit_s
+                + self.latency_s
+                + self.plan.frame_jitter(frame, self.jitter_s)
+                + self.plan.frame_delay(frame);
+            events.push(StreamEvent {
+                frame,
+                event_s,
+                arrive_s,
+                duplicate: false,
+            });
+            if self.plan.frame_duplicated(frame) {
+                events.push(StreamEvent {
+                    frame,
+                    event_s,
+                    arrive_s: arrive_s + self.redelivery_lag(),
+                    duplicate: true,
+                });
+            }
+        }
+        if undelivered.is_empty() {
+            // The producer got every frame out before (or without) dying:
+            // the stream completed and the EOS marker was sent.
+            crashed_at = None;
+        }
+        events.sort_by(|a, b| {
+            a.arrive_s
+                .total_cmp(&b.arrive_s)
+                .then(a.frame.cmp(&b.frame))
+                .then(a.duplicate.cmp(&b.duplicate))
+        });
+        SourceLog {
+            events,
+            dropped,
+            crashed_at,
+            undelivered,
+            n_frames: self.n_frames,
+            interval_s: self.interval_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_schedule_is_ordered_and_complete() {
+        let log = StreamSource::new(10, 0.5).with_latency(0.1).schedule();
+        assert_eq!(log.events.len(), 10);
+        assert!(log.dropped.is_empty() && log.undelivered.is_empty());
+        assert_eq!(log.crashed_at, None);
+        for (i, e) in log.events.iter().enumerate() {
+            assert_eq!(e.frame, i);
+            assert_eq!(e.event_s, i as f64 * 0.5);
+            assert!((e.arrive_s - (e.event_s + 0.1)).abs() < 1e-12);
+            assert!(!e.duplicate);
+        }
+    }
+
+    #[test]
+    fn stalls_push_later_frames_back() {
+        // Producer stalls for 2s at t=1.2: frames stamped ≥ ~1.2 emit 2s
+        // later; earlier frames are untouched.
+        let plan = FaultPlan::none().stall_producer(1.2, 2.0);
+        let log = StreamSource::new(8, 0.5).with_faults(plan).schedule();
+        let arrive: Vec<f64> = log.events.iter().map(|e| e.arrive_s).collect();
+        assert_eq!(&arrive[..3], &[0.0, 0.5, 1.0], "pre-stall frames on time");
+        assert_eq!(arrive[3], 3.5, "frame 3 (event 1.5s) slid past the stall");
+        assert_eq!(arrive[7], 5.5, "the shift persists");
+        assert!(log.events.iter().all(|e| e.event_s == e.frame as f64 * 0.5));
+    }
+
+    #[test]
+    fn crash_truncates_and_marks_the_log() {
+        let plan = FaultPlan::none().crash_producer(1.2);
+        let log = StreamSource::new(8, 0.5).with_faults(plan).schedule();
+        assert_eq!(log.events.len(), 3, "frames 0..2 emitted before 1.2s");
+        assert_eq!(log.crashed_at, Some(1.2));
+        assert_eq!(log.undelivered, vec![3, 4, 5, 6, 7]);
+        // A crash after the last frame is not a stream failure.
+        let plan = FaultPlan::none().crash_producer(100.0);
+        let log = StreamSource::new(8, 0.5).with_faults(plan).schedule();
+        assert_eq!(log.crashed_at, None);
+        assert_eq!(log.events.len(), 8);
+    }
+
+    #[test]
+    fn drops_delays_and_duplicates_are_deterministic() {
+        let plan = FaultPlan::none()
+            .seeded(42)
+            .drop_frame(1)
+            .delay_frame(2, 3.0)
+            .drop_frames(0.2)
+            .duplicate_frames(0.2);
+        let src = StreamSource::new(40, 0.25).with_latency(0.05);
+        let a = src.clone().with_faults(plan.clone()).schedule();
+        let b = src.with_faults(plan).schedule();
+        assert_eq!(a, b, "schedules replay exactly");
+        assert!(a.dropped.contains(&1), "scripted drop");
+        assert!(a.dropped.len() > 1, "seeded drops fired at p=0.2 over 40");
+        assert!(a.events.iter().any(|e| e.duplicate), "duplicates delivered");
+        let f2 = a.events.iter().find(|e| e.frame == 2 && !e.duplicate);
+        if let Some(e) = f2 {
+            assert!(e.arrive_s >= 3.0, "scripted delay applied");
+        }
+        // Arrival order is what the consumer sees: sorted.
+        for w in a.events.windows(2) {
+            assert!(w[1].arrive_s >= w[0].arrive_s);
+        }
+    }
+
+    #[test]
+    fn jitter_reorders_but_preserves_event_stamps() {
+        let plan = FaultPlan::none().seeded(7);
+        let log = StreamSource::new(50, 0.1)
+            .with_latency(0.02)
+            .with_jitter(0.35)
+            .with_faults(plan)
+            .schedule();
+        let frames: Vec<usize> = log.events.iter().map(|e| e.frame).collect();
+        let mut sorted = frames.clone();
+        sorted.sort_unstable();
+        assert_ne!(frames, sorted, "jitter larger than the interval reorders");
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>(), "nothing lost");
+    }
+}

@@ -50,8 +50,67 @@ const MIN_JOB_S: f64 = 1e-6;
 
 /// Stride-scheduling numerator: a tenant of weight `w` advances its pass
 /// by `STRIDE_K / w` per admission, so long-run admission counts are
-/// proportional to weights.
-const STRIDE_K: u64 = 1 << 20;
+/// proportional to weights. Wide enough that integer truncation is
+/// negligible even for extreme weight ratios: at `w = u32::MAX` the stride
+/// is still ≥ 256, and the relative truncation error is below `2^-8` (at
+/// the old `1 << 20` a weight of 1000 already mis-shared by 0.05%).
+const STRIDE_K: u64 = 1 << 40;
+
+/// The stride accumulators of one service run: per-tenant pass values,
+/// lowest-pass-first admission order. Kept overflow-free by rebasing —
+/// subtracting the global minimum pass whenever it goes positive — which
+/// preserves admission order exactly (only differences ever matter) while
+/// bounding every pass by one maximal stride above zero. Without
+/// rebasing a weight-1 tenant would wrap `u64` after `2^24` admissions.
+#[derive(Clone, Debug)]
+struct StrideSched {
+    pass: Vec<u64>,
+    stride: Vec<u64>,
+}
+
+impl StrideSched {
+    fn new(weights: &[u32]) -> Self {
+        StrideSched {
+            pass: vec![0; weights.len()],
+            stride: weights
+                .iter()
+                .map(|&w| (STRIDE_K / w.max(1) as u64).max(1))
+                .collect(),
+        }
+    }
+
+    /// The sort key for admission order: lowest pass first.
+    fn pass(&self, tenant: usize) -> u64 {
+        self.pass[tenant]
+    }
+
+    /// Charge one admission to `tenant`, then rebase.
+    fn charge(&mut self, tenant: usize) {
+        self.pass[tenant] = self.pass[tenant].saturating_add(self.stride[tenant]);
+        if let Some(&m) = self.pass.iter().min() {
+            if m > 0 {
+                for p in &mut self.pass {
+                    *p -= m;
+                }
+            }
+        }
+    }
+
+    /// A tenant whose queue drained long ago wakes with a stale low pass;
+    /// left alone it would monopolize admissions until it "caught up" on
+    /// credit it never queued for, starving everyone else (the classic
+    /// stride sleeper flood). Re-join at the current front instead:
+    /// lift the waker's pass to the minimum among runnable tenants.
+    fn wake(&mut self, tenant: usize, runnable: impl Iterator<Item = usize>) {
+        if let Some(m) = runnable
+            .filter(|&t| t != tenant)
+            .map(|t| self.pass[t])
+            .min()
+        {
+            self.pass[tenant] = self.pass[tenant].max(m);
+        }
+    }
+}
 
 /// One tenant of the service.
 #[derive(Clone, Debug, PartialEq)]
@@ -433,8 +492,8 @@ struct SchedState<'a> {
     /// order.
     queues: Vec<Vec<QEntry>>,
     inflight: Vec<InFlight>,
-    /// Stride-scheduling pass per tenant.
-    pass: Vec<u64>,
+    /// Stride-scheduling accumulators (pass per tenant, rebased).
+    stride: StrideSched,
     /// Attempts started per job.
     attempts: Vec<u32>,
     /// (cluster, node) liveness and busy slots.
@@ -505,7 +564,7 @@ impl<'a> SchedState<'a> {
             execs,
             queues: vec![Vec::new(); tenants.len()],
             inflight: Vec::new(),
-            pass: vec![0; tenants.len()],
+            stride: StrideSched::new(&tenants.iter().map(|t| t.weight).collect::<Vec<_>>()),
             attempts: vec![0; jobs.len()],
             alive,
             slots,
@@ -597,6 +656,11 @@ impl<'a> SchedState<'a> {
     /// Insert preserving (priority desc, deadline asc, seq asc).
     fn enqueue(&mut self, e: QEntry) {
         let tenant = self.jobs[e.job].tenant;
+        if self.queues[tenant].is_empty() {
+            let queues = &self.queues;
+            self.stride
+                .wake(tenant, (0..queues.len()).filter(|&t| !queues[t].is_empty()));
+        }
         let key = |j: usize| {
             let req = &self.jobs[j];
             (
@@ -767,7 +831,7 @@ impl<'a> SchedState<'a> {
             let mut order: Vec<usize> = (0..self.tenants.len())
                 .filter(|&t| self.queues[t].iter().any(|e| e.eligible_s <= now))
                 .collect();
-            order.sort_by_key(|&t| (self.pass[t], t));
+            order.sort_by_key(|&t| (self.stride.pass(t), t));
             let mut advanced = false;
             for t in order {
                 if self.try_admit_tenant(t, now) {
@@ -844,7 +908,7 @@ impl<'a> SchedState<'a> {
             // Stash the fingerprint for completion time.
             self.outcomes[e.job].cluster = Some(c);
             self.outcomes[e.job].result = Ok(fp);
-            self.pass[tenant] += STRIDE_K / spec.weight.max(1) as u64;
+            self.stride.charge(tenant);
             return true;
         }
         false
@@ -1066,6 +1130,72 @@ mod tests {
             }
             other => panic!("expected Rejected, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn a_million_admissions_share_exactly_at_weight_1_vs_1000() {
+        // Drive the stride accumulators directly for a million
+        // admissions at the most truncation-hostile ratio in service
+        // configs. Regression for two accumulator bugs: integer
+        // truncation of `STRIDE_K / w` skewing long-run shares (0.05%
+        // at the old `1 << 20`), and unbounded pass growth overflowing
+        // `u64` on long-lived services.
+        let mut s = StrideSched::new(&[1, 1000]);
+        let total = 1_000_000usize;
+        let mut admitted = [0usize; 2];
+        let mut last_light = 0usize;
+        let mut max_gap = 0usize;
+        for i in 0..total {
+            let t = (0..2).min_by_key(|&t| (s.pass(t), t)).unwrap();
+            admitted[t] += 1;
+            if t == 0 {
+                max_gap = max_gap.max(i - last_light);
+                last_light = i;
+            }
+            s.charge(t);
+            // Overflow-free: rebasing keeps every pass within one
+            // maximal stride of zero, at any horizon.
+            assert!(s.pass(0) <= STRIDE_K && s.pass(1) <= STRIDE_K);
+        }
+        let exact_light = total as f64 / 1001.0;
+        assert!(
+            (admitted[0] as f64 - exact_light).abs() < 2.0,
+            "weight-1 tenant got {} admissions, exact share is {exact_light:.3}",
+            admitted[0]
+        );
+        // Starvation-free: the light tenant is served every ~1001
+        // admissions, never pushed to the end of the run.
+        assert!(
+            max_gap <= 1002,
+            "light tenant starved for {max_gap} consecutive admissions"
+        );
+    }
+
+    #[test]
+    fn a_waking_tenant_rejoins_at_the_front_instead_of_flooding() {
+        // Tenant 0 sleeps while tenant 1 absorbs 100 admissions; waking
+        // with its stale pass it would win the next 100 in a row.
+        let mut s = StrideSched::new(&[1, 1]);
+        for _ in 0..100 {
+            s.charge(1);
+        }
+        s.wake(0, [1].into_iter());
+        let mut streak = 0usize;
+        let mut worst = 0usize;
+        for _ in 0..200 {
+            let t = (0..2).min_by_key(|&t| (s.pass(t), t)).unwrap();
+            if t == 0 {
+                streak += 1;
+                worst = worst.max(streak);
+            } else {
+                streak = 0;
+            }
+            s.charge(t);
+        }
+        assert!(
+            worst <= 1,
+            "woken tenant flooded {worst} consecutive admissions"
+        );
     }
 
     #[test]

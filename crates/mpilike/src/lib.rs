@@ -25,8 +25,10 @@
 mod collective;
 mod collectives_ext;
 mod comm;
+mod stream;
 
 pub use comm::{run, try_run, try_run_with_policy, Comm, MpiRunOutput};
+pub use stream::run_stream_ring;
 
 #[cfg(test)]
 mod tests {

@@ -37,7 +37,9 @@
 //! Everything is deterministic: the same config and seed produce the same
 //! plans, the same violations, and the same shrunk counterexamples.
 
-use crate::fault::{mix, FaultPlan, MemShrink, NodeDeath, Straggler};
+use crate::fault::{
+    mix, FaultPlan, FrameDelay, FrameDrop, MemShrink, NodeDeath, ProducerStall, Straggler,
+};
 use crate::report::SimReport;
 use crate::trace::EventKind;
 
@@ -114,6 +116,31 @@ pub struct ChaosConfig {
     /// disable for workloads that re-measure real closure durations each
     /// run (their makespans carry µs-scale measurement jitter).
     pub check_empty_plan_determinism: bool,
+    /// Frame count of the streamed workload under test. `0` (the default)
+    /// disables stream-fault generation entirely, leaving plans for batch
+    /// workloads byte-identical to what older configs produced.
+    pub stream_frames: usize,
+    /// At most this many producer stalls per plan.
+    pub max_producer_stalls: usize,
+    /// Stall (and crash) times are drawn uniformly from this window.
+    pub producer_stall_window_s: (f64, f64),
+    /// Stall lengths are drawn uniformly from this range.
+    pub producer_stall_len_s: (f64, f64),
+    /// Per-plan probability that the producer also crashes outright.
+    pub producer_crash_prob: f64,
+    /// At most this many scripted frame drops per plan.
+    pub max_frame_drops: usize,
+    /// At most this many scripted frame delays per plan.
+    pub max_frame_delays: usize,
+    /// Scripted frame delays are drawn from `(0, frame_delay_max_s]`.
+    pub frame_delay_max_s: f64,
+    /// Seeded per-frame drop probability is drawn from
+    /// `[0, frame_drop_prob_max]` (half of all plans keep delivery
+    /// reliable).
+    pub frame_drop_prob_max: f64,
+    /// Seeded per-frame duplicate-delivery probability is drawn from
+    /// `[0, frame_dup_prob_max]` (half of all plans deliver exactly once).
+    pub frame_dup_prob_max: f64,
 }
 
 impl ChaosConfig {
@@ -136,7 +163,25 @@ impl ChaosConfig {
             allow_typed_errors: true,
             check_trace_accounting: true,
             check_empty_plan_determinism: true,
+            stream_frames: 0,
+            max_producer_stalls: 1,
+            producer_stall_window_s: (0.0, 10.0),
+            producer_stall_len_s: (0.5, 3.0),
+            producer_crash_prob: 0.15,
+            max_frame_drops: 2,
+            max_frame_delays: 2,
+            frame_delay_max_s: 2.0,
+            frame_drop_prob_max: 0.1,
+            frame_dup_prob_max: 0.1,
         }
+    }
+
+    /// Enable stream-fault generation for a streamed workload of
+    /// `frames` frames (producer stalls/crashes, scripted drops and
+    /// delays, seeded loss and duplicate delivery).
+    pub fn with_stream(mut self, frames: usize) -> Self {
+        self.stream_frames = frames;
+        self
     }
 }
 
@@ -185,7 +230,59 @@ pub fn plan_for_seed(cfg: &ChaosConfig, seed: u64) -> FaultPlan {
     } else {
         rng.f64() * cfg.lost_fetch_prob_max
     };
-    FaultPlan::from_parts(deaths, stragglers, mem_shrinks, lost_fetch_prob, mix(seed))
+    let plan = FaultPlan::from_parts(deaths, stragglers, mem_shrinks, lost_fetch_prob, mix(seed));
+    if cfg.stream_frames == 0 {
+        // Batch config: no stream draws at all, so plans stay
+        // byte-identical to what pre-streaming harnesses produced for
+        // the same (cfg, seed).
+        return plan;
+    }
+    let mut producer_stalls = Vec::new();
+    let n_stalls = rng.below(cfg.max_producer_stalls + 1);
+    let (slo, shi) = cfg.producer_stall_window_s;
+    let (llo, lhi) = cfg.producer_stall_len_s;
+    for _ in 0..n_stalls {
+        producer_stalls.push(ProducerStall {
+            at_s: slo + rng.f64() * (shi - slo).max(0.0),
+            for_s: (llo + rng.f64() * (lhi - llo).max(0.0)).max(1e-3),
+        });
+    }
+    if rng.f64() < cfg.producer_crash_prob {
+        producer_stalls.push(ProducerStall {
+            at_s: slo + rng.f64() * (shi - slo).max(0.0),
+            for_s: f64::INFINITY,
+        });
+    }
+    let n_drops = rng.below(cfg.max_frame_drops + 1);
+    let frame_drops = (0..n_drops)
+        .map(|_| FrameDrop {
+            frame: rng.below(cfg.stream_frames),
+        })
+        .collect();
+    let n_delays = rng.below(cfg.max_frame_delays + 1);
+    let frame_delays = (0..n_delays)
+        .map(|_| FrameDelay {
+            frame: rng.below(cfg.stream_frames),
+            by_s: rng.f64() * cfg.frame_delay_max_s,
+        })
+        .collect();
+    let frame_drop_prob = if rng.f64() < 0.5 {
+        0.0
+    } else {
+        rng.f64() * cfg.frame_drop_prob_max
+    };
+    let frame_dup_prob = if rng.f64() < 0.5 {
+        0.0
+    } else {
+        rng.f64() * cfg.frame_dup_prob_max
+    };
+    plan.with_stream_parts(
+        producer_stalls,
+        frame_drops,
+        frame_delays,
+        frame_drop_prob,
+        frame_dup_prob,
+    )
 }
 
 /// What one workload run under one plan produced: a fingerprint of the
@@ -444,93 +541,129 @@ pub fn check_invariants(
     None
 }
 
+/// A [`FaultPlan`] decomposed into its independently shrinkable parts.
+/// The shrinker mutates one field of a clone and rebuilds a candidate.
+#[derive(Clone)]
+struct PlanParts {
+    deaths: Vec<NodeDeath>,
+    stragglers: Vec<Straggler>,
+    mem_shrinks: Vec<MemShrink>,
+    producer_stalls: Vec<ProducerStall>,
+    frame_drops: Vec<FrameDrop>,
+    frame_delays: Vec<FrameDelay>,
+    lost_fetch_prob: f64,
+    frame_drop_prob: f64,
+    frame_dup_prob: f64,
+    seed: u64,
+}
+
+impl PlanParts {
+    fn decompose(plan: &FaultPlan) -> Self {
+        PlanParts {
+            deaths: plan.deaths().to_vec(),
+            stragglers: plan.stragglers().to_vec(),
+            mem_shrinks: plan.mem_shrinks().to_vec(),
+            producer_stalls: plan.producer_stalls().to_vec(),
+            frame_drops: plan.frame_drops().to_vec(),
+            frame_delays: plan.frame_delays().to_vec(),
+            lost_fetch_prob: plan.lost_fetch_prob(),
+            frame_drop_prob: plan.frame_drop_prob(),
+            frame_dup_prob: plan.frame_dup_prob(),
+            seed: plan.seed(),
+        }
+    }
+
+    fn build(&self) -> FaultPlan {
+        FaultPlan::from_parts(
+            self.deaths.clone(),
+            self.stragglers.clone(),
+            self.mem_shrinks.clone(),
+            self.lost_fetch_prob,
+            self.seed,
+        )
+        .with_stream_parts(
+            self.producer_stalls.clone(),
+            self.frame_drops.clone(),
+            self.frame_delays.clone(),
+            self.frame_drop_prob,
+            self.frame_dup_prob,
+        )
+    }
+}
+
+/// Below this a probability is snapped to zero rather than halved again —
+/// halving forever would never terminate, and no workload distinguishes
+/// 1e-18 from 0.
+const PROB_FLOOR: f64 = 1e-18;
+
 /// Greedily shrink `plan` to a minimal set of faults for which
-/// `still_fails` holds: drop one death at a time, then one straggler at a
-/// time, then one memory shrink at a time, then zero the fetch-loss
-/// probability, to a fixpoint. Bounded by the plan size (each pass removes
-/// something or stops), so shrinking a plan with `n` scripted faults
-/// re-runs the workload `O(n^2)` times.
+/// `still_fails` holds: drop one scripted fault at a time from each list
+/// (deaths, stragglers, memory shrinks, producer stalls, frame drops,
+/// frame delays), then attack the probabilities — first try zero, then
+/// repeatedly *halve* toward zero — to a fixpoint. Halving finds the
+/// smallest rate at which the failure still reproduces, which tells the
+/// investigator whether the bug needs sustained loss or a single unlucky
+/// coin. Bounded: each pass removes something or halves a finite value to
+/// the floor, so shrinking a plan with `n` scripted faults re-runs the
+/// workload `O(n^2 + log(1/PROB_FLOOR))` times.
 pub fn shrink(plan: &FaultPlan, mut still_fails: impl FnMut(&FaultPlan) -> bool) -> FaultPlan {
-    let rebuild =
-        |deaths: Vec<NodeDeath>,
-         stragglers: Vec<Straggler>,
-         mem_shrinks: Vec<MemShrink>,
-         prob: f64,
-         seed: u64| { FaultPlan::from_parts(deaths, stragglers, mem_shrinks, prob, seed) };
-    let mut cur = plan.clone();
-    loop {
+    let mut cur = PlanParts::decompose(plan);
+    // One removal pass over a fault list; returns true if it shrank.
+    fn remove_pass<T: Clone>(
+        cur: &mut PlanParts,
+        get: impl Fn(&mut PlanParts) -> &mut Vec<T>,
+        still_fails: &mut impl FnMut(&FaultPlan) -> bool,
+    ) -> bool {
+        for i in 0..get(cur).len() {
+            let mut cand = cur.clone();
+            get(&mut cand).remove(i);
+            if still_fails(&cand.build()) {
+                *cur = cand;
+                return true;
+            }
+        }
+        false
+    }
+    // Zero-then-halve a probability; returns true if it shrank at all.
+    fn prob_pass(
+        cur: &mut PlanParts,
+        get: impl Fn(&mut PlanParts) -> &mut f64,
+        still_fails: &mut impl FnMut(&FaultPlan) -> bool,
+    ) -> bool {
         let mut shrunk = false;
-        for i in 0..cur.deaths().len() {
-            let mut deaths = cur.deaths().to_vec();
-            deaths.remove(i);
-            let cand = rebuild(
-                deaths,
-                cur.stragglers().to_vec(),
-                cur.mem_shrinks().to_vec(),
-                cur.lost_fetch_prob(),
-                cur.seed(),
-            );
-            if still_fails(&cand) {
-                cur = cand;
-                shrunk = true;
+        if *get(cur) > 0.0 {
+            let mut cand = cur.clone();
+            *get(&mut cand) = 0.0;
+            if still_fails(&cand.build()) {
+                *cur = cand;
+                return true;
+            }
+        }
+        while *get(cur) > PROB_FLOOR {
+            let mut cand = cur.clone();
+            *get(&mut cand) /= 2.0;
+            if !still_fails(&cand.build()) {
                 break;
             }
+            *cur = cand;
+            shrunk = true;
         }
-        if shrunk {
+        shrunk
+    }
+    loop {
+        if remove_pass(&mut cur, |p| &mut p.deaths, &mut still_fails)
+            || remove_pass(&mut cur, |p| &mut p.stragglers, &mut still_fails)
+            || remove_pass(&mut cur, |p| &mut p.mem_shrinks, &mut still_fails)
+            || remove_pass(&mut cur, |p| &mut p.producer_stalls, &mut still_fails)
+            || remove_pass(&mut cur, |p| &mut p.frame_drops, &mut still_fails)
+            || remove_pass(&mut cur, |p| &mut p.frame_delays, &mut still_fails)
+            || prob_pass(&mut cur, |p| &mut p.lost_fetch_prob, &mut still_fails)
+            || prob_pass(&mut cur, |p| &mut p.frame_drop_prob, &mut still_fails)
+            || prob_pass(&mut cur, |p| &mut p.frame_dup_prob, &mut still_fails)
+        {
             continue;
         }
-        for i in 0..cur.stragglers().len() {
-            let mut stragglers = cur.stragglers().to_vec();
-            stragglers.remove(i);
-            let cand = rebuild(
-                cur.deaths().to_vec(),
-                stragglers,
-                cur.mem_shrinks().to_vec(),
-                cur.lost_fetch_prob(),
-                cur.seed(),
-            );
-            if still_fails(&cand) {
-                cur = cand;
-                shrunk = true;
-                break;
-            }
-        }
-        if shrunk {
-            continue;
-        }
-        for i in 0..cur.mem_shrinks().len() {
-            let mut mem_shrinks = cur.mem_shrinks().to_vec();
-            mem_shrinks.remove(i);
-            let cand = rebuild(
-                cur.deaths().to_vec(),
-                cur.stragglers().to_vec(),
-                mem_shrinks,
-                cur.lost_fetch_prob(),
-                cur.seed(),
-            );
-            if still_fails(&cand) {
-                cur = cand;
-                shrunk = true;
-                break;
-            }
-        }
-        if shrunk {
-            continue;
-        }
-        if cur.lost_fetch_prob() > 0.0 {
-            let cand = rebuild(
-                cur.deaths().to_vec(),
-                cur.stragglers().to_vec(),
-                cur.mem_shrinks().to_vec(),
-                0.0,
-                cur.seed(),
-            );
-            if still_fails(&cand) {
-                cur = cand;
-                continue;
-            }
-        }
-        return cur;
+        return cur.build();
     }
 }
 
@@ -926,6 +1059,130 @@ mod tests {
         assert!(shrunk.mem_shrinks().is_empty());
         assert_eq!(shrunk.lost_fetch_prob(), 0.0);
         assert!(calls < 25, "greedy shrink stays quadratic, ran {calls}");
+    }
+
+    #[test]
+    fn stream_plans_appear_only_when_asked_and_stay_bounded() {
+        let batch = cfg();
+        let streamed = cfg().with_stream(64);
+        for seed in 0..200 {
+            // A batch config never draws stream faults, and its plans are
+            // byte-identical to pre-streaming harness output.
+            let b = plan_for_seed(&batch, seed);
+            assert!(b.producer_stalls().is_empty());
+            assert!(b.frame_drops().is_empty() && b.frame_delays().is_empty());
+            assert_eq!(b.frame_drop_prob(), 0.0);
+            assert_eq!(b.frame_dup_prob(), 0.0);
+            let s = plan_for_seed(&streamed, seed);
+            // The batch half of a streamed plan matches the batch plan
+            // exactly: stream draws append after every existing draw.
+            assert_eq!(s.deaths(), b.deaths());
+            assert_eq!(s.stragglers(), b.stragglers());
+            assert_eq!(s.mem_shrinks(), b.mem_shrinks());
+            assert_eq!(s.lost_fetch_prob(), b.lost_fetch_prob());
+            assert!(s.producer_stalls().len() <= streamed.max_producer_stalls + 1);
+            for stall in s.producer_stalls() {
+                assert!(stall.at_s >= 0.0 && stall.for_s > 0.0);
+            }
+            assert!(s.frame_drops().len() <= streamed.max_frame_drops);
+            assert!(s.frame_delays().len() <= streamed.max_frame_delays);
+            for d in s.frame_drops() {
+                assert!(d.frame < 64);
+            }
+            for d in s.frame_delays() {
+                assert!(d.frame < 64 && (0.0..=streamed.frame_delay_max_s).contains(&d.by_s));
+            }
+            assert!((0.0..=streamed.frame_drop_prob_max).contains(&s.frame_drop_prob()));
+            assert!((0.0..=streamed.frame_dup_prob_max).contains(&s.frame_dup_prob()));
+            assert_eq!(s, plan_for_seed(&streamed, seed), "plans are deterministic");
+        }
+        // Across 200 seeds a streamed config exercises every fault class.
+        let any =
+            |f: &dyn Fn(&FaultPlan) -> bool| (0..200).any(|s| f(&plan_for_seed(&streamed, s)));
+        assert!(any(&|p| p.producer_stalls().iter().any(|s| s.is_crash())));
+        assert!(any(&|p| p.producer_stalls().iter().any(|s| !s.is_crash())));
+        assert!(any(&|p| !p.frame_drops().is_empty()));
+        assert!(any(&|p| !p.frame_delays().is_empty()));
+        assert!(any(&|p| p.frame_drop_prob() > 0.0));
+        assert!(any(&|p| p.frame_dup_prob() > 0.0));
+    }
+
+    #[test]
+    fn shrink_halves_probabilities_to_a_strictly_smaller_counterexample() {
+        // A failure that reproduces whenever seeded frame loss is at least
+        // 5%: zeroing the probability kills the repro, so the shrinker must
+        // *halve* 0.8 down until one more halving would cross the
+        // threshold. The shrunk plan is strictly smaller than the original
+        // and still within a factor of two of the true boundary.
+        let plan = FaultPlan::from_parts(vec![], vec![], vec![], 0.0, 3).with_stream_parts(
+            vec![ProducerStall {
+                at_s: 1.0,
+                for_s: 2.0,
+            }],
+            vec![],
+            vec![],
+            0.8,
+            0.0,
+        );
+        let shrunk = shrink(&plan, |cand| cand.frame_drop_prob() >= 0.05);
+        assert!(shrunk.producer_stalls().is_empty(), "stall is irrelevant");
+        assert!(
+            shrunk.frame_drop_prob() < plan.frame_drop_prob(),
+            "strictly smaller counterexample"
+        );
+        assert!(
+            (0.05..0.1).contains(&shrunk.frame_drop_prob()),
+            "halving lands within 2x of the boundary, got {}",
+            shrunk.frame_drop_prob()
+        );
+        // Same machinery on the batch-side probability: lost_fetch_prob
+        // halves from 0.6 to just above a 0.1 threshold.
+        let plan = FaultPlan::from_parts(vec![], vec![], vec![], 0.6, 3);
+        let shrunk = shrink(&plan, |cand| cand.lost_fetch_prob() >= 0.1);
+        assert!((0.1..0.2).contains(&shrunk.lost_fetch_prob()));
+    }
+
+    #[test]
+    fn shrink_strips_irrelevant_stream_faults() {
+        // Only the producer crash matters; every scripted and seeded
+        // stream fault around it must be stripped.
+        let plan = FaultPlan::from_parts(
+            vec![NodeDeath { node: 0, at_s: 4.0 }],
+            vec![],
+            vec![],
+            0.2,
+            11,
+        )
+        .with_stream_parts(
+            vec![
+                ProducerStall {
+                    at_s: 1.0,
+                    for_s: 2.0,
+                },
+                ProducerStall {
+                    at_s: 5.0,
+                    for_s: f64::INFINITY,
+                },
+            ],
+            vec![FrameDrop { frame: 3 }, FrameDrop { frame: 9 }],
+            vec![FrameDelay {
+                frame: 4,
+                by_s: 1.5,
+            }],
+            0.05,
+            0.07,
+        );
+        let shrunk = shrink(&plan, |cand| {
+            cand.producer_stalls().iter().any(|s| s.is_crash())
+        });
+        assert_eq!(shrunk.producer_stalls().len(), 1);
+        assert!(shrunk.producer_stalls()[0].is_crash());
+        assert!(shrunk.deaths().is_empty());
+        assert!(shrunk.frame_drops().is_empty());
+        assert!(shrunk.frame_delays().is_empty());
+        assert_eq!(shrunk.lost_fetch_prob(), 0.0);
+        assert_eq!(shrunk.frame_drop_prob(), 0.0);
+        assert_eq!(shrunk.frame_dup_prob(), 0.0);
     }
 
     #[test]

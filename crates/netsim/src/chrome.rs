@@ -87,7 +87,9 @@ impl Trace {
                         nodes.push(e.core);
                     }
                 }
-                EventKind::Spill { node, .. } | EventKind::Evict { node, .. } => {
+                EventKind::Spill { node, .. }
+                | EventKind::Evict { node, .. }
+                | EventKind::Backpressure { node } => {
                     if !nodes.contains(node) {
                         nodes.push(*node);
                     }
@@ -232,6 +234,21 @@ impl Trace {
                     );
                     ev.push(slice(
                         PID_DRIVER, 0, "oom-kill", "memory", e.start_s, e.end_s, &args,
+                    ));
+                }
+                EventKind::Backpressure { node } => {
+                    let args = format!(
+                        "\"phase\":\"{}\",\"node\":{node}",
+                        escape_json(self.phase_of(e))
+                    );
+                    ev.push(slice(
+                        PID_NETWORK,
+                        *node,
+                        "backpressure",
+                        "stream",
+                        e.start_s,
+                        e.end_s,
+                        &args,
                     ));
                 }
                 // Service-plane events (mdtaskd) render on the driver

@@ -838,6 +838,20 @@ impl SimExecutor {
         self.record_network_event(EventKind::Evict { node, bytes }, node, at_s, at_s, false);
     }
 
+    /// Record a streaming ingestion pause on `node` from `start_s` to
+    /// `end_s`: resident window state hit the memory budget and the
+    /// pipeline waited for a scheduled budget change instead of OOMing
+    /// (the backpressure contract).
+    pub fn record_backpressure(&mut self, node: usize, start_s: f64, end_s: f64) {
+        self.record_network_event(
+            EventKind::Backpressure { node },
+            node,
+            start_s,
+            end_s,
+            false,
+        );
+    }
+
     /// Record a worker on `node` being OOM-killed at `at_s` (Dask's
     /// terminate threshold, a pilot agent shot by the batch system).
     pub fn record_oom_kill(&mut self, node: usize, at_s: f64) {

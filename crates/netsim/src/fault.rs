@@ -55,6 +55,42 @@ pub struct MemSet {
     pub to_bytes: u64,
 }
 
+/// The trajectory producer pauses at virtual time `at_s` for `for_s`
+/// seconds: frames it would have emitted during the pause are emitted late
+/// (their *event* time — the simulation clock stamped on the frame — is
+/// unchanged; only delivery shifts). An infinite `for_s` is a producer
+/// *crash*: frames past the stall point are never delivered, and a
+/// streaming consumer waiting on them must surface a typed
+/// `StreamStalled` under its deadline instead of hanging.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProducerStall {
+    pub at_s: f64,
+    pub for_s: f64,
+}
+
+impl ProducerStall {
+    /// True when this stall never ends — the producer crashed.
+    pub fn is_crash(&self) -> bool {
+        self.for_s.is_infinite()
+    }
+}
+
+/// A scripted frame that is lost on the wire and never delivered (the
+/// probabilistic twin is [`FaultPlan::frame_dropped`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FrameDrop {
+    pub frame: usize,
+}
+
+/// A scripted frame whose delivery is delayed by `by_s` seconds past its
+/// nominal arrival — large delays past the allowed lateness turn the frame
+/// into a *late* frame the watermark machinery must classify.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FrameDelay {
+    pub frame: usize,
+    pub by_s: f64,
+}
+
 /// Why a serialized or assembled [`FaultPlan`] was rejected.
 #[derive(Clone, Debug, PartialEq)]
 pub enum FaultPlanError {
@@ -77,6 +113,11 @@ pub enum FaultPlanError {
     },
     /// A core id at or beyond the cluster's core count.
     CoreOutOfRange { core: usize, cores: usize },
+    /// A JSON key the schema does not know, at the plan level or inside a
+    /// nested record. Rejected loudly (not skipped) so a plan written by a
+    /// newer serializer — e.g. one carrying stream faults — can never be
+    /// silently mis-read as a weaker plan by an older reader.
+    UnknownField { context: &'static str, key: String },
 }
 
 impl std::fmt::Display for FaultPlanError {
@@ -90,7 +131,7 @@ impl std::fmt::Display for FaultPlanError {
                 write!(f, "straggler factor {factor} on core {core} is below 1")
             }
             FaultPlanError::InvalidProbability { prob } => {
-                write!(f, "lost_fetch_prob {prob} outside [0, 1]")
+                write!(f, "probability {prob} outside [0, 1]")
             }
             FaultPlanError::DuplicateDeath { node } => {
                 write!(f, "node {node} is killed more than once")
@@ -101,11 +142,27 @@ impl std::fmt::Display for FaultPlanError {
             FaultPlanError::CoreOutOfRange { core, cores } => {
                 write!(f, "straggler core {core} out of range for {cores} cores")
             }
+            FaultPlanError::UnknownField { context, key } => {
+                write!(f, "unknown {context} key {key:?}")
+            }
         }
     }
 }
 
 impl std::error::Error for FaultPlanError {}
+
+/// Scanner-level grammar failures surface as [`FaultPlanError::Parse`].
+impl From<String> for FaultPlanError {
+    fn from(msg: String) -> Self {
+        FaultPlanError::Parse(msg)
+    }
+}
+
+impl From<&str> for FaultPlanError {
+    fn from(msg: &str) -> Self {
+        FaultPlanError::Parse(msg.to_string())
+    }
+}
 
 /// A scripted set of failures for one simulated run.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -114,7 +171,12 @@ pub struct FaultPlan {
     stragglers: Vec<Straggler>,
     mem_shrinks: Vec<MemShrink>,
     mem_sets: Vec<MemSet>,
+    producer_stalls: Vec<ProducerStall>,
+    frame_drops: Vec<FrameDrop>,
+    frame_delays: Vec<FrameDelay>,
     lost_fetch_prob: f64,
+    frame_drop_prob: f64,
+    frame_dup_prob: f64,
     seed: u64,
 }
 
@@ -130,7 +192,12 @@ impl FaultPlan {
             && self.stragglers.is_empty()
             && self.mem_shrinks.is_empty()
             && self.mem_sets.is_empty()
+            && self.producer_stalls.is_empty()
+            && self.frame_drops.is_empty()
+            && self.frame_delays.is_empty()
             && self.lost_fetch_prob <= 0.0
+            && self.frame_drop_prob <= 0.0
+            && self.frame_dup_prob <= 0.0
     }
 
     /// Kill `node` (all its cores) at virtual time `at_s`.
@@ -184,6 +251,66 @@ impl FaultPlan {
         self
     }
 
+    /// Set the seed deciding probabilistic faults (lost fetches, frame
+    /// drops, frame duplicates) without touching any probability.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Pause the trajectory producer at virtual time `at_s` for `for_s`
+    /// seconds. Frames due during the pause are delivered late; their
+    /// event-time stamps are unchanged.
+    pub fn stall_producer(mut self, at_s: f64, for_s: f64) -> Self {
+        assert!(at_s >= 0.0, "stall time must be non-negative");
+        assert!(for_s > 0.0, "stall length must be positive");
+        self.producer_stalls.push(ProducerStall { at_s, for_s });
+        self
+    }
+
+    /// Crash the trajectory producer at virtual time `at_s`: frames not
+    /// yet emitted are never delivered (an infinite [`ProducerStall`]).
+    pub fn crash_producer(mut self, at_s: f64) -> Self {
+        assert!(at_s >= 0.0, "crash time must be non-negative");
+        self.producer_stalls.push(ProducerStall {
+            at_s,
+            for_s: f64::INFINITY,
+        });
+        self
+    }
+
+    /// Lose the delivery of one scripted frame outright.
+    pub fn drop_frame(mut self, frame: usize) -> Self {
+        self.frame_drops.push(FrameDrop { frame });
+        self
+    }
+
+    /// Delay the delivery of one scripted frame by `by_s` seconds past its
+    /// nominal arrival. Multiple delays on one frame accumulate.
+    pub fn delay_frame(mut self, frame: usize, by_s: f64) -> Self {
+        assert!(by_s >= 0.0, "frame delay must be non-negative");
+        self.frame_delays.push(FrameDelay { frame, by_s });
+        self
+    }
+
+    /// Drop each streamed frame independently with probability `prob`,
+    /// decided deterministically from the plan seed (set it with
+    /// [`Self::seeded`] or [`Self::lose_fetches`]).
+    pub fn drop_frames(mut self, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability must be in [0, 1]");
+        self.frame_drop_prob = prob;
+        self
+    }
+
+    /// Deliver each streamed frame a second time with probability `prob`
+    /// (duplicate delivery — at-least-once transports do this), decided
+    /// deterministically from the plan seed.
+    pub fn duplicate_frames(mut self, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability must be in [0, 1]");
+        self.frame_dup_prob = prob;
+        self
+    }
+
     /// Earliest death time of `node`, if the plan kills it.
     pub fn node_death(&self, node: usize) -> Option<f64> {
         self.deaths
@@ -221,6 +348,39 @@ impl FaultPlan {
     /// The scripted memory sets, in insertion order.
     pub fn mem_sets(&self) -> &[MemSet] {
         &self.mem_sets
+    }
+
+    /// The scripted producer stalls, in insertion order.
+    pub fn producer_stalls(&self) -> &[ProducerStall] {
+        &self.producer_stalls
+    }
+
+    /// The scripted frame drops, in insertion order.
+    pub fn frame_drops(&self) -> &[FrameDrop] {
+        &self.frame_drops
+    }
+
+    /// The scripted frame delays, in insertion order.
+    pub fn frame_delays(&self) -> &[FrameDelay] {
+        &self.frame_delays
+    }
+
+    /// Earliest producer-crash time, if the plan crashes the producer.
+    pub fn producer_crash(&self) -> Option<f64> {
+        self.producer_stalls
+            .iter()
+            .filter(|s| s.is_crash())
+            .map(|s| s.at_s)
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.min(t))))
+    }
+
+    /// Total scripted delivery delay for `frame` (0 if none).
+    pub fn frame_delay(&self, frame: usize) -> f64 {
+        self.frame_delays
+            .iter()
+            .filter(|d| d.frame == frame)
+            .map(|d| d.by_s)
+            .sum()
     }
 
     /// Memory budget cap in effect on `node` at time `at_s` (`None` if the
@@ -268,6 +428,17 @@ impl FaultPlan {
         self.lost_fetch_prob
     }
 
+    /// Per-frame probabilistic drop probability (0 when delivery is
+    /// reliable apart from scripted drops).
+    pub fn frame_drop_prob(&self) -> f64 {
+        self.frame_drop_prob
+    }
+
+    /// Per-frame duplicate-delivery probability.
+    pub fn frame_dup_prob(&self) -> f64 {
+        self.frame_dup_prob
+    }
+
     /// Seed deciding which fetches are lost.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -305,9 +476,47 @@ impl FaultPlan {
             stragglers,
             mem_shrinks,
             mem_sets: Vec::new(),
+            producer_stalls: Vec::new(),
+            frame_drops: Vec::new(),
+            frame_delays: Vec::new(),
             lost_fetch_prob,
+            frame_drop_prob: 0.0,
+            frame_dup_prob: 0.0,
             seed,
         }
+    }
+
+    /// Replace the stream-fault half of the plan wholesale — the chaos
+    /// shrinker pairs this with [`Self::from_parts`] to rebuild shrunken
+    /// candidates that carry stream faults.
+    pub fn with_stream_parts(
+        mut self,
+        producer_stalls: Vec<ProducerStall>,
+        frame_drops: Vec<FrameDrop>,
+        frame_delays: Vec<FrameDelay>,
+        frame_drop_prob: f64,
+        frame_dup_prob: f64,
+    ) -> Self {
+        assert!(
+            producer_stalls
+                .iter()
+                .all(|s| s.at_s >= 0.0 && s.for_s > 0.0),
+            "stall times must be non-negative and lengths positive"
+        );
+        assert!(
+            frame_delays.iter().all(|d| d.by_s >= 0.0),
+            "frame delays must be non-negative"
+        );
+        assert!(
+            (0.0..=1.0).contains(&frame_drop_prob) && (0.0..=1.0).contains(&frame_dup_prob),
+            "probability must be in [0, 1]"
+        );
+        self.producer_stalls = producer_stalls;
+        self.frame_drops = frame_drops;
+        self.frame_delays = frame_delays;
+        self.frame_drop_prob = frame_drop_prob;
+        self.frame_dup_prob = frame_dup_prob;
+        self
     }
 
     /// Check every node/core id against an actual cluster shape. Parsing
@@ -395,9 +604,33 @@ impl FaultPlan {
                 m.node, m.at_s, m.to_bytes
             ));
         }
+        out.push_str("],\"producer_stalls\":[");
+        for (i, s) in self.producer_stalls.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // JSON has no Infinity literal; a crash (infinite stall) is
+            // encoded as the sentinel -1.0 and decoded back on parse.
+            let for_s = if s.is_crash() { -1.0 } else { s.for_s };
+            out.push_str(&format!("{{\"at_s\":{:?},\"for_s\":{:?}}}", s.at_s, for_s));
+        }
+        out.push_str("],\"frame_drops\":[");
+        for (i, d) in self.frame_drops.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}", d.frame));
+        }
+        out.push_str("],\"frame_delays\":[");
+        for (i, d) in self.frame_delays.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"frame\":{},\"by_s\":{:?}}}", d.frame, d.by_s));
+        }
         out.push_str(&format!(
-            "],\"lost_fetch_prob\":{:?},\"seed\":{}}}",
-            self.lost_fetch_prob, self.seed
+            "],\"lost_fetch_prob\":{:?},\"frame_drop_prob\":{:?},\"frame_dup_prob\":{:?},\"seed\":{}}}",
+            self.lost_fetch_prob, self.frame_drop_prob, self.frame_dup_prob, self.seed
         ));
         out
     }
@@ -410,11 +643,15 @@ impl FaultPlan {
     /// silently accepted. Node/core *range* checks need a cluster shape —
     /// use [`Self::validate`] for those.
     pub fn from_json(json: &str) -> Result<FaultPlan, FaultPlanError> {
-        let plan = Self::from_json_grammar(json).map_err(FaultPlanError::Parse)?;
-        if !(0.0..=1.0).contains(&plan.lost_fetch_prob) {
-            return Err(FaultPlanError::InvalidProbability {
-                prob: plan.lost_fetch_prob,
-            });
+        let plan = Self::from_json_grammar(json)?;
+        for prob in [
+            plan.lost_fetch_prob,
+            plan.frame_drop_prob,
+            plan.frame_dup_prob,
+        ] {
+            if !(0.0..=1.0).contains(&prob) {
+                return Err(FaultPlanError::InvalidProbability { prob });
+            }
         }
         if let Some(d) = plan.deaths.iter().find(|d| d.at_s < 0.0) {
             return Err(FaultPlanError::NegativeTime {
@@ -440,6 +677,24 @@ impl FaultPlan {
                 factor: s.factor,
             });
         }
+        if let Some(s) = plan.producer_stalls.iter().find(|s| s.at_s < 0.0) {
+            return Err(FaultPlanError::NegativeTime {
+                what: "producer_stall",
+                at_s: s.at_s,
+            });
+        }
+        if let Some(s) = plan.producer_stalls.iter().find(|s| s.for_s <= 0.0) {
+            return Err(FaultPlanError::NegativeTime {
+                what: "producer_stall length",
+                at_s: s.for_s,
+            });
+        }
+        if let Some(d) = plan.frame_delays.iter().find(|d| d.by_s < 0.0) {
+            return Err(FaultPlanError::NegativeTime {
+                what: "frame_delay",
+                at_s: d.by_s,
+            });
+        }
         for (i, d) in plan.deaths.iter().enumerate() {
             if plan.deaths[..i].iter().any(|e| e.node == d.node) {
                 return Err(FaultPlanError::DuplicateDeath { node: d.node });
@@ -449,14 +704,27 @@ impl FaultPlan {
     }
 
     /// The grammar half of [`Self::from_json`]: structure only, no
-    /// semantic validation.
-    fn from_json_grammar(json: &str) -> Result<FaultPlan, String> {
+    /// semantic validation. Unknown keys — at the plan level or inside any
+    /// nested record — surface as [`FaultPlanError::UnknownField`] so newer
+    /// plans fail loudly in older readers.
+    fn from_json_grammar(json: &str) -> Result<FaultPlan, FaultPlanError> {
+        fn unknown(context: &'static str, key: &str) -> FaultPlanError {
+            FaultPlanError::UnknownField {
+                context,
+                key: key.to_string(),
+            }
+        }
         let mut p = JsonScanner::new(json);
         let mut deaths = Vec::new();
         let mut stragglers = Vec::new();
         let mut mem_shrinks = Vec::new();
         let mut mem_sets = Vec::new();
+        let mut producer_stalls = Vec::new();
+        let mut frame_drops = Vec::new();
+        let mut frame_delays = Vec::new();
         let mut lost_fetch_prob = 0.0;
+        let mut frame_drop_prob = 0.0;
+        let mut frame_dup_prob = 0.0;
         let mut seed = 0u64;
         p.expect('{')?;
         if !p.peek_is('}') {
@@ -465,13 +733,13 @@ impl FaultPlan {
                 p.expect(':')?;
                 match key.as_str() {
                     "deaths" => {
-                        p.array(|p| {
+                        p.array(|p| -> Result<(), FaultPlanError> {
                             let (mut node, mut at_s) = (None, None);
-                            p.object(|k, v| {
+                            p.object(|k, v| -> Result<(), FaultPlanError> {
                                 match k {
                                     "node" => node = Some(v as usize),
                                     "at_s" => at_s = Some(v),
-                                    other => return Err(format!("unknown death key {other:?}")),
+                                    other => return Err(unknown("death", other)),
                                 }
                                 Ok(())
                             })?;
@@ -483,15 +751,13 @@ impl FaultPlan {
                         })?;
                     }
                     "stragglers" => {
-                        p.array(|p| {
+                        p.array(|p| -> Result<(), FaultPlanError> {
                             let (mut core, mut factor) = (None, None);
-                            p.object(|k, v| {
+                            p.object(|k, v| -> Result<(), FaultPlanError> {
                                 match k {
                                     "core" => core = Some(v as usize),
                                     "factor" => factor = Some(v),
-                                    other => {
-                                        return Err(format!("unknown straggler key {other:?}"))
-                                    }
+                                    other => return Err(unknown("straggler", other)),
                                 }
                                 Ok(())
                             })?;
@@ -503,18 +769,16 @@ impl FaultPlan {
                         })?;
                     }
                     "mem_shrinks" => {
-                        p.array(|p| {
+                        p.array(|p| -> Result<(), FaultPlanError> {
                             let (mut node, mut at_s, mut to_bytes) = (None, None, None);
-                            p.object(|k, v| {
+                            p.object(|k, v| -> Result<(), FaultPlanError> {
                                 match k {
                                     "node" => node = Some(v as usize),
                                     "at_s" => at_s = Some(v),
                                     // Budgets are well below 2^53 bytes, so
                                     // the f64 path is exact.
                                     "to_bytes" => to_bytes = Some(v as u64),
-                                    other => {
-                                        return Err(format!("unknown mem_shrink key {other:?}"))
-                                    }
+                                    other => return Err(unknown("mem_shrink", other)),
                                 }
                                 Ok(())
                             })?;
@@ -527,14 +791,14 @@ impl FaultPlan {
                         })?;
                     }
                     "mem_sets" => {
-                        p.array(|p| {
+                        p.array(|p| -> Result<(), FaultPlanError> {
                             let (mut node, mut at_s, mut to_bytes) = (None, None, None);
-                            p.object(|k, v| {
+                            p.object(|k, v| -> Result<(), FaultPlanError> {
                                 match k {
                                     "node" => node = Some(v as usize),
                                     "at_s" => at_s = Some(v),
                                     "to_bytes" => to_bytes = Some(v as u64),
-                                    other => return Err(format!("unknown mem_set key {other:?}")),
+                                    other => return Err(unknown("mem_set", other)),
                                 }
                                 Ok(())
                             })?;
@@ -546,9 +810,59 @@ impl FaultPlan {
                             Ok(())
                         })?;
                     }
+                    "producer_stalls" => {
+                        p.array(|p| -> Result<(), FaultPlanError> {
+                            let (mut at_s, mut for_s) = (None, None);
+                            p.object(|k, v| -> Result<(), FaultPlanError> {
+                                match k {
+                                    "at_s" => at_s = Some(v),
+                                    // -1.0 is the serialized sentinel for an
+                                    // infinite stall (a producer crash).
+                                    "for_s" => {
+                                        for_s = Some(if v < 0.0 { f64::INFINITY } else { v })
+                                    }
+                                    other => return Err(unknown("producer_stall", other)),
+                                }
+                                Ok(())
+                            })?;
+                            producer_stalls.push(ProducerStall {
+                                at_s: at_s.ok_or("producer_stall missing \"at_s\"")?,
+                                for_s: for_s.ok_or("producer_stall missing \"for_s\"")?,
+                            });
+                            Ok(())
+                        })?;
+                    }
+                    "frame_drops" => {
+                        p.array(|p| -> Result<(), FaultPlanError> {
+                            frame_drops.push(FrameDrop {
+                                frame: p.integer()? as usize,
+                            });
+                            Ok(())
+                        })?;
+                    }
+                    "frame_delays" => {
+                        p.array(|p| -> Result<(), FaultPlanError> {
+                            let (mut frame, mut by_s) = (None, None);
+                            p.object(|k, v| -> Result<(), FaultPlanError> {
+                                match k {
+                                    "frame" => frame = Some(v as usize),
+                                    "by_s" => by_s = Some(v),
+                                    other => return Err(unknown("frame_delay", other)),
+                                }
+                                Ok(())
+                            })?;
+                            frame_delays.push(FrameDelay {
+                                frame: frame.ok_or("frame_delay missing \"frame\"")?,
+                                by_s: by_s.ok_or("frame_delay missing \"by_s\"")?,
+                            });
+                            Ok(())
+                        })?;
+                    }
                     "lost_fetch_prob" => lost_fetch_prob = p.number()?,
+                    "frame_drop_prob" => frame_drop_prob = p.number()?,
+                    "frame_dup_prob" => frame_dup_prob = p.number()?,
                     "seed" => seed = p.integer()?,
-                    other => return Err(format!("unknown plan key {other:?}")),
+                    other => return Err(unknown("plan", other)),
                 }
                 if !p.comma_or_close('}')? {
                     break;
@@ -563,7 +877,12 @@ impl FaultPlan {
             stragglers,
             mem_shrinks,
             mem_sets,
+            producer_stalls,
+            frame_drops,
+            frame_delays,
             lost_fetch_prob,
+            frame_drop_prob,
+            frame_dup_prob,
             seed,
         })
     }
@@ -580,6 +899,39 @@ impl FaultPlan {
             ^ mix((attempt as u64) << 40);
         let u = (mix(key) >> 11) as f64 / (1u64 << 53) as f64;
         u < self.lost_fetch_prob
+    }
+
+    /// Whether streamed frame `frame` is probabilistically lost in
+    /// transit. Deterministic in the plan's seed; independent of
+    /// [`Self::fetch_lost`] and [`Self::frame_duplicated`] by salting.
+    pub fn frame_dropped(&self, frame: usize) -> bool {
+        self.frame_coin(frame, 0x5ead_f0a1, self.frame_drop_prob)
+    }
+
+    /// Whether streamed frame `frame` is delivered a second time.
+    /// Deterministic in the plan's seed.
+    pub fn frame_duplicated(&self, frame: usize) -> bool {
+        self.frame_coin(frame, 0xd0b1_e77e, self.frame_dup_prob)
+    }
+
+    /// Deterministic per-frame transit jitter in `[0, max_s)`, seeded like
+    /// the frame coins (and salted independently of them).
+    pub fn frame_jitter(&self, frame: usize, max_s: f64) -> f64 {
+        if max_s <= 0.0 {
+            return 0.0;
+        }
+        let key = mix(self.seed ^ mix(0x717e_4a2b)) ^ mix(frame as u64);
+        let u = (mix(key) >> 11) as f64 / (1u64 << 53) as f64;
+        u * max_s
+    }
+
+    fn frame_coin(&self, frame: usize, salt: u64, prob: f64) -> bool {
+        if prob <= 0.0 {
+            return false;
+        }
+        let key = mix(self.seed ^ mix(salt)) ^ mix(frame as u64);
+        let u = (mix(key) >> 11) as f64 / (1u64 << 53) as f64;
+        u < prob
     }
 }
 
@@ -690,17 +1042,20 @@ impl<'a> JsonScanner<'a> {
         }
     }
 
-    fn array(
+    /// Error type is generic so element callbacks can surface typed
+    /// [`FaultPlanError`]s (e.g. unknown keys) while the scanner's own
+    /// grammar failures convert in via `From<String>`.
+    fn array<E: From<String>>(
         &mut self,
-        mut elem: impl FnMut(&mut Self) -> Result<(), String>,
-    ) -> Result<(), String> {
-        self.expect('[')?;
+        mut elem: impl FnMut(&mut Self) -> Result<(), E>,
+    ) -> Result<(), E> {
+        self.expect('[').map_err(E::from)?;
         if self.peek_is(']') {
-            return self.expect(']');
+            return self.expect(']').map_err(E::from);
         }
         loop {
             elem(self)?;
-            if !self.comma_or_close(']')? {
+            if !self.comma_or_close(']').map_err(E::from)? {
                 return Ok(());
             }
         }
@@ -708,20 +1063,20 @@ impl<'a> JsonScanner<'a> {
 
     /// Parse a flat object whose values are all numbers, feeding each
     /// `(key, value)` pair to `field`.
-    fn object(
+    fn object<E: From<String>>(
         &mut self,
-        mut field: impl FnMut(&str, f64) -> Result<(), String>,
-    ) -> Result<(), String> {
-        self.expect('{')?;
+        mut field: impl FnMut(&str, f64) -> Result<(), E>,
+    ) -> Result<(), E> {
+        self.expect('{').map_err(E::from)?;
         if self.peek_is('}') {
-            return self.expect('}');
+            return self.expect('}').map_err(E::from);
         }
         loop {
-            let key = self.string()?;
-            self.expect(':')?;
-            let value = self.number()?;
+            let key = self.string().map_err(E::from)?;
+            self.expect(':').map_err(E::from)?;
+            let value = self.number().map_err(E::from)?;
             field(&key, value)?;
-            if !self.comma_or_close('}')? {
+            if !self.comma_or_close('}').map_err(E::from)? {
                 return Ok(());
             }
         }
@@ -1005,12 +1360,142 @@ mod tests {
             other => panic!("expected SubUnitFactor, got {other:?}"),
         }
         match FaultPlan::from_json("{\"bogus\":1}") {
-            Err(FaultPlanError::Parse(msg)) => assert!(msg.contains("bogus")),
-            other => panic!("expected Parse, got {other:?}"),
+            Err(FaultPlanError::UnknownField {
+                context: "plan",
+                key,
+            }) => {
+                assert_eq!(key, "bogus")
+            }
+            other => panic!("expected UnknownField, got {other:?}"),
         }
         // Errors render through Display/Error.
         let e = FaultPlanError::DuplicateDeath { node: 7 };
         assert!(e.to_string().contains("node 7"));
+    }
+
+    // ---- stream faults ----
+
+    #[test]
+    fn stream_builders_accumulate_and_query() {
+        let p = FaultPlan::none()
+            .stall_producer(2.0, 1.5)
+            .crash_producer(10.0)
+            .drop_frame(7)
+            .delay_frame(3, 0.5)
+            .delay_frame(3, 0.25);
+        assert!(!p.is_empty());
+        assert_eq!(p.producer_stalls().len(), 2);
+        assert!(p.producer_stalls()[1].is_crash());
+        assert_eq!(p.producer_crash(), Some(10.0));
+        assert_eq!(p.frame_drops(), &[FrameDrop { frame: 7 }]);
+        assert_eq!(p.frame_delay(3), 0.75, "delays accumulate");
+        assert_eq!(p.frame_delay(4), 0.0);
+        assert_eq!(FaultPlan::none().producer_crash(), None);
+    }
+
+    #[test]
+    fn frame_coins_are_deterministic_and_independent() {
+        let p = FaultPlan::none()
+            .seeded(99)
+            .drop_frames(0.3)
+            .duplicate_frames(0.3);
+        let q = p.clone();
+        let (mut drops, mut dups) = (0, 0);
+        let n = 4000;
+        for i in 0..n {
+            assert_eq!(p.frame_dropped(i), q.frame_dropped(i));
+            assert_eq!(p.frame_duplicated(i), q.frame_duplicated(i));
+            drops += usize::from(p.frame_dropped(i));
+            dups += usize::from(p.frame_duplicated(i));
+        }
+        let (dr, du) = (drops as f64 / n as f64, dups as f64 / n as f64);
+        assert!((dr - 0.3).abs() < 0.05, "drop rate {dr} far from 0.3");
+        assert!((du - 0.3).abs() < 0.05, "dup rate {du} far from 0.3");
+        // The two coins are salted apart: the outcomes differ somewhere.
+        assert!((0..64).any(|i| p.frame_dropped(i) != p.frame_duplicated(i)));
+        // A plan without the probabilities never fires either coin.
+        let clean = FaultPlan::none().seeded(99);
+        assert!((0..64).all(|i| !clean.frame_dropped(i) && !clean.frame_duplicated(i)));
+    }
+
+    #[test]
+    fn stream_faults_round_trip_in_json() {
+        let p = FaultPlan::none()
+            .stall_producer(1.5, 2.25)
+            .crash_producer(30.0) // infinite for_s: the -1.0 sentinel path
+            .drop_frame(4)
+            .drop_frame(19)
+            .delay_frame(6, 1.75)
+            .seeded(77)
+            .drop_frames(0.125)
+            .duplicate_frames(0.0625);
+        let json = p.to_json();
+        assert!(json.contains("\"producer_stalls\""));
+        assert!(json.contains("\"for_s\":-1.0"), "crash serialized as -1");
+        let q = FaultPlan::from_json(&json).unwrap();
+        assert_eq!(p, q, "round-trip must be exact, including the crash");
+        assert!(q.producer_stalls()[1].is_crash());
+        assert_eq!(q.to_json(), json, "re-serialization is stable");
+        // Plans serialized before stream faults existed still parse.
+        let legacy = "{\"deaths\":[],\"stragglers\":[],\"mem_shrinks\":[],\"mem_sets\":[],\"lost_fetch_prob\":0.0,\"seed\":1}";
+        let old = FaultPlan::from_json(legacy).unwrap();
+        assert!(old.producer_stalls().is_empty());
+        assert_eq!(old.frame_drop_prob(), 0.0);
+    }
+
+    #[test]
+    fn stream_fault_json_validation_is_typed() {
+        match FaultPlan::from_json("{\"producer_stalls\":[{\"at_s\":-1.0,\"for_s\":2.0}]}") {
+            Err(FaultPlanError::NegativeTime {
+                what: "producer_stall",
+                ..
+            }) => {}
+            other => panic!("expected NegativeTime, got {other:?}"),
+        }
+        assert!(
+            FaultPlan::from_json("{\"producer_stalls\":[{\"at_s\":1.0,\"for_s\":0.0}]}").is_err(),
+            "zero-length stalls are invalid"
+        );
+        match FaultPlan::from_json("{\"frame_delays\":[{\"frame\":0,\"by_s\":-0.5}]}") {
+            Err(FaultPlanError::NegativeTime {
+                what: "frame_delay",
+                ..
+            }) => {}
+            other => panic!("expected NegativeTime, got {other:?}"),
+        }
+        match FaultPlan::from_json("{\"frame_drop_prob\":1.5}") {
+            Err(FaultPlanError::InvalidProbability { prob }) => assert_eq!(prob, 1.5),
+            other => panic!("expected InvalidProbability, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_fields_are_a_typed_error_at_every_level() {
+        // A stream-fault plan read by a reader that predates the schema
+        // must fail loudly with the offending key, not silently skip it.
+        match FaultPlan::from_json(
+            "{\"producer_stalls\":[{\"at_s\":0.5,\"for_s\":1.0,\"retries\":3}]}",
+        ) {
+            Err(FaultPlanError::UnknownField { context, key }) => {
+                assert_eq!(context, "producer_stall");
+                assert_eq!(key, "retries");
+            }
+            other => panic!("expected UnknownField, got {other:?}"),
+        }
+        match FaultPlan::from_json("{\"deaths\":[{\"node\":0,\"at_s\":1.0,\"blast_radius\":2}]}") {
+            Err(FaultPlanError::UnknownField {
+                context: "death",
+                key,
+            }) => {
+                assert_eq!(key, "blast_radius")
+            }
+            other => panic!("expected UnknownField, got {other:?}"),
+        }
+        let e = FaultPlanError::UnknownField {
+            context: "plan",
+            key: "bogus".into(),
+        };
+        assert!(e.to_string().contains("bogus"));
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod policy;
 pub mod report;
+pub mod stream;
 pub mod trace;
 
 pub use broadcast::{broadcast_time, BroadcastAlgo};
@@ -39,4 +40,9 @@ pub use metrics::{Histogram, Metrics, NodeMemory, NodeTraffic, PhaseShare};
 pub use parallel::Threads;
 pub use policy::{PolicyError, RetryPolicy, BACKOFF_SATURATION_S};
 pub use report::{Phase, SimReport};
+pub use stream::{
+    check_stream_invariants, run_stream, DispatchMode, LateDisposition, LateRecord, SourceLog,
+    StreamError, StreamEvent, StreamJob, StreamOutput, StreamRun, StreamSpec, WindowResult,
+    WindowSpec,
+};
 pub use trace::{EventKind, Interner, Sym, Trace, TraceEvent};

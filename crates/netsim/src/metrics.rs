@@ -199,6 +199,10 @@ pub struct Metrics {
     pub jobs_admitted: usize,
     /// Service-queue events: jobs refused typed (backpressure/quota).
     pub jobs_rejected: usize,
+    /// Streaming ingestion pauses under memory pressure (backpressure
+    /// trace events) and the total virtual time spent paused.
+    pub backpressure_pauses: usize,
+    pub backpressure_wait_s: f64,
 }
 
 impl Metrics {
@@ -230,6 +234,7 @@ impl Metrics {
         let mut queue_wait = Histogram::default();
         let mut dispatch_latency = Histogram::default();
         let (mut jobs_enqueued, mut jobs_admitted, mut jobs_rejected) = (0usize, 0usize, 0usize);
+        let (mut backpressure_pauses, mut backpressure_wait_s) = (0usize, 0.0f64);
         let mut traffic: Vec<NodeTraffic> = Vec::new();
         let mut memory: Vec<NodeMemory> = Vec::new();
         fn mem_entry(memory: &mut Vec<NodeMemory>, node: usize) -> &mut NodeMemory {
@@ -294,6 +299,10 @@ impl Metrics {
                             queue_wait.record(e.start_s - e.ready_s);
                         }
                         EventKind::Reject { .. } => jobs_rejected += 1,
+                        EventKind::Backpressure { .. } => {
+                            backpressure_pauses += 1;
+                            backpressure_wait_s += e.end_s - e.start_s;
+                        }
                     }
                 }
                 releases.sort_by(f64::total_cmp);
@@ -333,6 +342,8 @@ impl Metrics {
             jobs_enqueued,
             jobs_admitted,
             jobs_rejected,
+            backpressure_pauses,
+            backpressure_wait_s,
         }
     }
 
@@ -388,6 +399,12 @@ impl Metrics {
                 self.jobs_enqueued, self.jobs_admitted, self.jobs_rejected
             ));
         }
+        if self.backpressure_pauses > 0 {
+            out.push_str(&format!(
+                "  backpressure    pauses {}  waited {:.4}s\n",
+                self.backpressure_pauses, self.backpressure_wait_s
+            ));
+        }
         out
     }
 
@@ -426,7 +443,7 @@ impl Metrics {
             })
             .collect();
         format!(
-            "{{\"makespan_s\":{},\"tasks\":{},\"utilization\":{},\"busy_fraction\":{},\"phases\":[{}],\"nodes\":[{}],\"memory\":[{}],\"queue_wait\":{},\"dispatch_latency\":{},\"jobs_enqueued\":{},\"jobs_admitted\":{},\"jobs_rejected\":{}}}",
+            "{{\"makespan_s\":{},\"tasks\":{},\"utilization\":{},\"busy_fraction\":{},\"phases\":[{}],\"nodes\":[{}],\"memory\":[{}],\"queue_wait\":{},\"dispatch_latency\":{},\"jobs_enqueued\":{},\"jobs_admitted\":{},\"jobs_rejected\":{},\"backpressure_pauses\":{},\"backpressure_wait_s\":{}}}",
             json_num(self.makespan_s),
             self.tasks,
             json_num(self.utilization),
@@ -439,6 +456,8 @@ impl Metrics {
             self.jobs_enqueued,
             self.jobs_admitted,
             self.jobs_rejected,
+            self.backpressure_pauses,
+            json_num(self.backpressure_wait_s),
         )
     }
 }

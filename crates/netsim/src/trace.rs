@@ -102,6 +102,11 @@ pub enum EventKind {
     /// A job refused with a typed error (backpressure, quota, or
     /// capacity). `killed` is set: the submission's work was never done.
     Reject { tenant: usize, job: usize },
+    /// A streaming pipeline pausing ingestion because `node`'s resident
+    /// window state is at the memory budget — the interval is the pause,
+    /// which ends when a scheduled budget change makes room. Pausing
+    /// instead of OOM-killing is the backpressure contract.
+    Backpressure { node: usize },
 }
 
 impl EventKind {
@@ -118,6 +123,7 @@ impl EventKind {
             EventKind::Enqueue { .. } => "enqueue",
             EventKind::Admit { .. } => "admit",
             EventKind::Reject { .. } => "reject",
+            EventKind::Backpressure { .. } => "backpressure",
         }
     }
 
@@ -264,6 +270,7 @@ impl Trace {
             EventKind::Enqueue { .. } => "enqueue",
             EventKind::Admit { .. } => "admit",
             EventKind::Reject { .. } => "reject",
+            EventKind::Backpressure { .. } => "backpressure",
         }
     }
 
@@ -503,6 +510,14 @@ impl Trace {
                     String::new(),
                     String::new(),
                 ),
+                EventKind::Backpressure { node } => (
+                    "backpressure".into(),
+                    String::new(),
+                    node.to_string(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ),
                 // Service events reuse from_node for the tenant and
                 // to_node for the job id.
                 EventKind::Enqueue { tenant, job }
@@ -604,6 +619,9 @@ impl Trace {
                         .map_err(|_| format!("row {i}: bad bytes: {}", f[12]))?,
                 },
                 "oomkill" => EventKind::OomKill {
+                    node: idx(f[10], "node")?,
+                },
+                "backpressure" => EventKind::Backpressure {
                     node: idx(f[10], "node")?,
                 },
                 "enqueue" => EventKind::Enqueue {
@@ -985,6 +1003,14 @@ mod tests {
             EventKind::Reject { tenant: 3, job: 18 },
         );
         t.events.last_mut().unwrap().killed = true;
+        rec(
+            &mut t,
+            13,
+            0,
+            (2.0, 2.5),
+            "stream",
+            EventKind::Backpressure { node: 1 },
+        );
         let back = Trace::from_csv(&t.to_csv()).expect("round trip");
         assert_eq!(back, t);
     }

@@ -195,6 +195,33 @@ impl Session {
         &self.cluster
     }
 
+    /// Run an event-time windowed streaming job over a delivery schedule.
+    ///
+    /// The pilot posture is continuous unit re-submission: frames only
+    /// accumulate window state; when a window closes, its whole frame set
+    /// runs as one Compute-Unit (one unit-dispatch overhead per window).
+    /// Window close, watermarks, late-frame disposition, backpressure,
+    /// and per-window lineage replay follow
+    /// [`netsim::stream::run_stream`]; the retry policy is the session's
+    /// ([`Session::set_retry_policy`]).
+    pub fn run_stream(
+        &self,
+        source: &netsim::stream::SourceLog,
+        job: &netsim::stream::StreamJob,
+        frame_value: &mut dyn FnMut(usize) -> u64,
+    ) -> Result<netsim::stream::StreamRun, EngineError> {
+        use netsim::stream::{run_stream, DispatchMode, StreamRun};
+        let overhead = self.profile.central_dispatch_s + self.profile.worker_overhead_s;
+        let spec = job.spec(DispatchMode::UnitPerWindow, overhead);
+        let mut st = self.state.lock();
+        let policy = st.policy;
+        st.exec.set_phase("stream");
+        let output = run_stream(&mut st.exec, source, &spec, &policy, frame_value)
+            .map_err(EngineError::from)?;
+        let report = st.exec.report().clone();
+        Ok(StreamRun { output, report })
+    }
+
     /// Submit units and wait for completion (the paper's usage mode: "all
     /// tasks were submitted simultaneously", §4.1).
     pub fn submit_and_wait<T: Payload + Send>(

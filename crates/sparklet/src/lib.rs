@@ -25,9 +25,11 @@ mod context;
 mod rdd;
 mod rdd_ext;
 mod shuffle;
+mod stream;
 
 pub use context::{Broadcast, SparkContext};
 pub use rdd::Rdd;
+pub use stream::DEFAULT_MICRO_BATCH;
 
 #[cfg(test)]
 mod tests {

@@ -8,6 +8,7 @@
 //! framework.
 
 use crate::TaskCtx;
+use netsim::stream::StreamError;
 use netsim::{PolicyError, SimReport};
 
 /// The four reproduced execution frameworks, as data — what a
@@ -119,6 +120,13 @@ pub enum EngineError {
         reason: String,
         at_s: f64,
     },
+    /// A streaming pipeline stopped making progress — the producer crashed
+    /// with windows still open, or backpressure dead-locked with no
+    /// scheduled budget change to wait for — and the
+    /// [`RetryPolicy`](netsim::RetryPolicy) watchdog fired at `at_s`
+    /// instead of letting the run hang. `open_windows` is how many
+    /// event-time windows were still waiting on frames.
+    StreamStalled { at_s: f64, open_windows: usize },
 }
 
 impl From<PolicyError> for EngineError {
@@ -144,6 +152,29 @@ impl From<PolicyError> for EngineError {
                 EngineError::DeadlineExceeded { deadline_s, at_s }
             }
             PolicyError::NoSurvivingCore { at_s } => EngineError::NoSurvivingWorkers { at_s },
+        }
+    }
+}
+
+impl From<StreamError> for EngineError {
+    fn from(e: StreamError) -> Self {
+        match e {
+            StreamError::Stalled { at_s, open_windows } => {
+                EngineError::StreamStalled { at_s, open_windows }
+            }
+            StreamError::Policy(p) => p.into(),
+            StreamError::Memory {
+                node,
+                budget,
+                required,
+                at_s,
+            } => EngineError::MemoryExhausted {
+                node,
+                budget,
+                required,
+                at_s,
+                what: "stream window state".into(),
+            },
         }
     }
 }
@@ -202,6 +233,11 @@ impl std::fmt::Display for EngineError {
                 reason,
                 at_s,
             } => write!(f, "rejected: tenant {tenant} at {at_s:.3}s: {reason}"),
+            EngineError::StreamStalled { at_s, open_windows } => write!(
+                f,
+                "stream stalled: no progress possible at {at_s:.3}s with \
+                 {open_windows} window(s) still open"
+            ),
         }
     }
 }

@@ -69,15 +69,18 @@ pub mod prelude {
         psa_dask, psa_mpi, psa_mpi_with_policy, psa_pilot, psa_serial, psa_spark,
     };
     pub use crate::analysis::{
-        run_lf, run_psa, Engine, EngineKind, LfApproach, LfConfig, LfOutput, LfRun, PsaConfig,
-        PsaOutput, PsaRun, RunConfig,
+        lf_frame_value, run_lf, run_lf_stream, run_psa, Engine, EngineKind, LfApproach, LfConfig,
+        LfOutput, LfRun, PsaConfig, PsaOutput, PsaRun, RunConfig, StreamTuning,
     };
     pub use crate::cluster::{
-        comet, laptop, wrangler, ChaosConfig, Cluster, CriticalPath, EventKind, FaultPlan,
-        MachineProfile, Metrics, RetryPolicy, SimReport, Threads, Trace, TraceEvent,
+        check_stream_invariants, comet, laptop, wrangler, ChaosConfig, Cluster, CriticalPath,
+        DispatchMode, EventKind, FaultPlan, LateDisposition, MachineProfile, Metrics, RetryPolicy,
+        SimReport, SourceLog, StreamError, StreamJob, StreamOutput, StreamRun, Threads, Trace,
+        TraceEvent, WindowSpec,
     };
     pub use crate::dask::{Bag, DaskClient, Delayed};
     pub use crate::frame::{BagEngine, EngineError, FrameworkProfile, Payload, TaskCtx};
+    pub use crate::io::StreamSource;
     pub use crate::math::{DistanceMatrix, Frame, Vec3};
     pub use crate::mpi::Comm;
     pub use crate::rp::{Session, UnitDescription};
