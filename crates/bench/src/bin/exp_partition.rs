@@ -1,0 +1,362 @@
+//! Partition/split-brain experiment: what a false-positive failure
+//! detector costs, per engine, in one artifact.
+//!
+//! Two legs:
+//!
+//! 1. **sweep**: partition duration × detector timeout, per engine. A
+//!    scripted cut isolates node 1 mid-execution while its tasks keep
+//!    running. A detector timeout shorter than the cut false-positively
+//!    declares the node dead: work is rescheduled (wasted as
+//!    `zombie_time_s`) and the stale results are fenced at heal. A
+//!    timeout longer than the cut rides it out: nothing is rescheduled,
+//!    the job merely stalls. Every run must still match the fault-free
+//!    results bit-for-bit, and fences must conserve zombies.
+//! 2. **chaos**: `--plans` seeded partition plans (cuts + link
+//!    degradation stacked on deaths/stragglers) run on every engine.
+//!    Each run completes with fault-free results and a balanced
+//!    zombie/fence ledger or fails typed. Violations are shrunk to a
+//!    minimal plan, written to `--violations-dir` for CI to upload, and
+//!    fail the binary.
+//!
+//! Results land in `--out` (default `results/partition.json`). Exits 1
+//! on any violated contract, so CI runs it as a gate.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin exp_partition
+//! cargo run -p bench --release --bin exp_partition -- --plans 200
+//! ```
+
+use mdtask_core::run::{run_lf, RunConfig};
+use mdtask_core::{LfApproach, LfConfig, LfOutput};
+use netsim::chaos::{plan_for_seed, shrink, ChaosConfig};
+use netsim::{laptop, Cluster, FaultPlan, RetryPolicy};
+use std::sync::Arc;
+use taskframe::{Engine, EngineError};
+
+const HEARTBEAT_S: f64 = 0.25;
+/// Cut durations crossed with detector timeouts in the sweep.
+const DURATIONS_S: [f64; 4] = [0.3, 0.75, 1.5, 3.0];
+const TIMEOUTS_S: [f64; 4] = [0.25, 0.5, 1.0, 2.0];
+
+fn system() -> (Arc<Vec<linalg::Vec3>>, LfConfig) {
+    let b = mdsim::bilayer::generate(
+        &mdsim::BilayerSpec {
+            n_atoms: 200,
+            ..Default::default()
+        },
+        7,
+    );
+    (
+        Arc::new(b.positions),
+        LfConfig {
+            // More partitions than one node's 8 cores, so node 1 hosts
+            // in-flight tasks for every cut to strand.
+            partitions: 16,
+            cutoff: b.suggested_cutoff,
+            paper_atoms: 200,
+            charge_io: false,
+        },
+    )
+}
+
+fn policy(timeout_s: f64) -> RetryPolicy {
+    RetryPolicy::new(4)
+        .with_detection_delay(HEARTBEAT_S)
+        .with_suspicion(HEARTBEAT_S, timeout_s)
+        .with_deadline(10_000.0)
+}
+
+fn rc(engine: Engine, plan: FaultPlan, timeout_s: f64) -> RunConfig {
+    RunConfig::new(Cluster::new(laptop(), 2).with_faults(plan), engine)
+        .approach(LfApproach::Broadcast1D)
+        .mpi_world(16)
+        .retry_policy(policy(timeout_s))
+}
+
+/// Virtual time guaranteed to land among in-flight tasks: the middle of
+/// the engine's execution window.
+fn cut_time(engine: Engine, clean: &LfOutput) -> f64 {
+    match engine {
+        // Past the 35 s pilot bootstrap / 0.5 s mpirun startup.
+        Engine::Pilot => 0.5 * (35.0 + clean.report.makespan_s),
+        Engine::Mpi => 0.5 * (0.5 + clean.report.makespan_s),
+        _ => clean
+            .report
+            .phases
+            .iter()
+            .find(|p| p.name == "edge-discovery")
+            .map(|p| 0.5 * (p.start_s + p.end_s))
+            .expect("edge-discovery phase"),
+    }
+}
+
+fn matches(clean: &LfOutput, got: &LfOutput) -> bool {
+    got.leaflet_sizes == clean.leaflet_sizes
+        && got.n_components == clean.n_components
+        && got.edges_found == clean.edges_found
+}
+
+struct SweepPoint {
+    engine: Engine,
+    duration_s: f64,
+    timeout_s: f64,
+    false_positive: bool,
+    zombie_attempts: usize,
+    zombie_time_s: f64,
+    fenced_results: usize,
+    reschedules: usize,
+    makespan_s: f64,
+    clean_makespan_s: f64,
+}
+
+fn main() {
+    let args = bench::cli::Cli::new()
+        .value("--plans", "N", "seeded partition chaos plans (default 100)")
+        .value(
+            "--out",
+            "PATH",
+            "output path (default results/partition.json)",
+        )
+        .value(
+            "--violations-dir",
+            "PATH",
+            "where shrunk violating plans land (default results)",
+        )
+        .parse();
+    let n_plans = args.usize_or("--plans", 100);
+    let out_path = args.str_or("--out", "results/partition.json");
+    let viol_dir = args.str_or("--violations-dir", "results");
+    let mut failed = false;
+
+    let (positions, cfg) = system();
+    println!(
+        "partition experiment: {}x{} duration x timeout sweep x 4 engines + {n_plans} chaos plans",
+        DURATIONS_S.len(),
+        TIMEOUTS_S.len()
+    );
+
+    let mut points: Vec<SweepPoint> = Vec::new();
+    for engine in Engine::ALL {
+        let clean = run_lf(
+            &rc(engine, FaultPlan::none(), TIMEOUTS_S[0]),
+            Arc::clone(&positions),
+            &cfg,
+        )
+        .expect("fault-free run");
+        let t_cut = cut_time(engine, &clean);
+        for &duration in &DURATIONS_S {
+            for &timeout in &TIMEOUTS_S {
+                let plan = FaultPlan::none().partition(vec![vec![1]], t_cut, t_cut + duration);
+                let out = run_lf(&rc(engine, plan, timeout), Arc::clone(&positions), &cfg)
+                    .unwrap_or_else(|e| panic!("{engine:?} dur {duration} to {timeout}: {e}"));
+                if !matches(&clean, &out) {
+                    eprintln!(
+                        "FAILED: {engine:?} dur {duration}s timeout {timeout}s \
+                         diverged from the fault-free results"
+                    );
+                    failed = true;
+                }
+                if out.report.fenced_results != out.report.zombie_attempts {
+                    eprintln!(
+                        "FAILED: {engine:?} dur {duration}s timeout {timeout}s: \
+                         {} zombies but {} fences — stale results not rejected exactly once",
+                        out.report.zombie_attempts, out.report.fenced_results
+                    );
+                    failed = true;
+                }
+                points.push(SweepPoint {
+                    engine,
+                    duration_s: duration,
+                    timeout_s: timeout,
+                    false_positive: out.report.zombie_attempts > 0,
+                    zombie_attempts: out.report.zombie_attempts,
+                    zombie_time_s: out.report.zombie_time_s,
+                    fenced_results: out.report.fenced_results,
+                    reschedules: out.report.retries,
+                    makespan_s: out.report.makespan_s,
+                    clean_makespan_s: clean.report.makespan_s,
+                });
+            }
+        }
+    }
+    for p in &points {
+        println!(
+            "  sweep: {:?} cut {:5.2}s timeout {:5.2}s -> {} zombies, \
+             {:7.4}s wasted, {} reschedules{}",
+            p.engine,
+            p.duration_s,
+            p.timeout_s,
+            p.zombie_attempts,
+            p.zombie_time_s,
+            p.reschedules,
+            if p.false_positive {
+                " (false positive)"
+            } else {
+                " (rode it out)"
+            }
+        );
+    }
+    // The trade-off must actually show: per engine, the longest cut under
+    // the hairiest trigger false-positives (wasted work > 0) while the
+    // shortest cut under the laziest timeout rides it out (nothing
+    // rescheduled, nothing fenced).
+    for engine in Engine::ALL {
+        let at = |d: f64, t: f64| {
+            points
+                .iter()
+                .find(|p| p.engine == engine && p.duration_s == d && p.timeout_s == t)
+                .unwrap()
+        };
+        let hasty = at(DURATIONS_S[3], TIMEOUTS_S[0]);
+        if !hasty.false_positive || hasty.zombie_time_s <= 0.0 {
+            eprintln!(
+                "FAILED: {engine:?}: a {}s cut under a {}s timeout must \
+                 false-positive and waste work",
+                DURATIONS_S[3], TIMEOUTS_S[0]
+            );
+            failed = true;
+        }
+        let patient = at(DURATIONS_S[0], TIMEOUTS_S[3]);
+        if patient.false_positive || patient.fenced_results > 0 {
+            eprintln!(
+                "FAILED: {engine:?}: a {}s cut under a {}s timeout must be \
+                 waited out (no zombies, no fences)",
+                DURATIONS_S[0], TIMEOUTS_S[3]
+            );
+            failed = true;
+        }
+    }
+
+    // Chaos leg: generated cuts + link degradation stacked on the usual
+    // deaths/stragglers, on every engine.
+    let mut completed = 0usize;
+    let mut typed = 0usize;
+    let mut violations = 0usize;
+    let mut chaos_zombies = 0usize;
+    let mut chaos_fences = 0usize;
+    for engine in Engine::ALL {
+        let clean = run_lf(
+            &rc(engine, FaultPlan::none(), 0.5),
+            Arc::clone(&positions),
+            &cfg,
+        )
+        .expect("fault-free run");
+        let chaos_cfg = {
+            let mut c = ChaosConfig::new(2, 8).with_partitions(2);
+            c.death_window_s = match engine {
+                Engine::Spark | Engine::Dask => (0.0, 3.0),
+                Engine::Pilot => (0.0, 40.0),
+                Engine::Mpi => (0.0, 1.5),
+            };
+            // Aim the cuts at the engine's busy window so they land
+            // among in-flight tasks.
+            let busy_lo = if engine == Engine::Pilot { 34.0 } else { 0.05 };
+            c.partition_window_s = (busy_lo, clean.report.makespan_s);
+            c.partition_len_s = (0.5, 3.0);
+            c
+        };
+        let run_plan =
+            |plan: FaultPlan| run_lf(&rc(engine, plan, 0.5), Arc::clone(&positions), &cfg);
+        let verdict = |plan: &FaultPlan| -> Result<Option<String>, EngineError> {
+            let out = run_plan(plan.clone())?;
+            if !matches(&clean, &out) {
+                return Ok(Some("results diverged from the fault-free run".into()));
+            }
+            if out.report.zombie_attempts > 0 && out.report.fenced_results == 0 {
+                return Ok(Some("zombie results were not fenced".into()));
+            }
+            if !out.report.makespan_s.is_finite() {
+                return Ok(Some("non-finite makespan".into()));
+            }
+            Ok(None)
+        };
+        for seed in 0..n_plans as u64 {
+            let plan = plan_for_seed(&chaos_cfg, seed);
+            match verdict(&plan) {
+                Ok(None) => {
+                    completed += 1;
+                    let r = run_plan(plan.clone()).expect("just ran").report;
+                    chaos_zombies += r.zombie_attempts;
+                    chaos_fences += r.fenced_results;
+                }
+                Ok(Some(msg)) => {
+                    eprintln!("VIOLATION seed {seed} {engine:?}: {msg}");
+                    let shrunk = shrink(&plan, |cand| matches!(verdict(cand), Ok(Some(_))));
+                    let path = format!(
+                        "{viol_dir}/partition_violation_{seed}_{}.json",
+                        format!("{engine:?}").to_lowercase()
+                    );
+                    std::fs::create_dir_all(&viol_dir).ok();
+                    std::fs::write(&path, shrunk.to_json()).expect("write violating plan");
+                    eprintln!("  shrunk plan written to {path}");
+                    violations += 1;
+                    failed = true;
+                }
+                Err(
+                    EngineError::RetriesExhausted { .. }
+                    | EngineError::DeadlineExceeded { .. }
+                    | EngineError::WorkerLost { .. }
+                    | EngineError::NoSurvivingWorkers { .. },
+                ) => typed += 1,
+                Err(other) => {
+                    eprintln!("VIOLATION seed {seed} {engine:?}: untyped failure {other:?}");
+                    violations += 1;
+                    failed = true;
+                }
+            }
+        }
+    }
+    println!(
+        "  chaos: {completed} completed, {typed} typed failures, {violations} violations, \
+         {chaos_zombies} zombies all fenced ({chaos_fences} fences) over {} runs",
+        n_plans * 4
+    );
+    if chaos_zombies == 0 {
+        eprintln!(
+            "FAILED: no chaos plan produced a zombie — the battery is not exercising fencing"
+        );
+        failed = true;
+    }
+
+    let mut rows = String::new();
+    for (i, p) in points.iter().enumerate() {
+        rows.push_str(&format!(
+            "    {{\"engine\": \"{:?}\", \"duration_s\": {}, \"timeout_s\": {}, \
+             \"false_positive\": {}, \"zombie_attempts\": {}, \"zombie_time_s\": {:.6}, \
+             \"fenced_results\": {}, \"reschedules\": {}, \"makespan_s\": {:.6}, \
+             \"clean_makespan_s\": {:.6}}}{}\n",
+            p.engine,
+            p.duration_s,
+            p.timeout_s,
+            p.false_positive,
+            p.zombie_attempts,
+            p.zombie_time_s,
+            p.fenced_results,
+            p.reschedules,
+            p.makespan_s,
+            p.clean_makespan_s,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    let json = format!(
+        "{{\n  \"heartbeat_s\": {HEARTBEAT_S},\n  \
+         \"durations_s\": {DURATIONS_S:?},\n  \"timeouts_s\": {TIMEOUTS_S:?},\n  \
+         \"sweep\": [\n{rows}  ],\n  \
+         \"chaos_plans\": {n_plans},\n  \"chaos_runs\": {},\n  \
+         \"chaos_completed\": {completed},\n  \"chaos_typed_failures\": {typed},\n  \
+         \"chaos_violations\": {violations},\n  \
+         \"chaos_zombie_attempts\": {chaos_zombies},\n  \
+         \"chaos_fenced_results\": {chaos_fences}\n}}\n",
+        n_plans * 4,
+    );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write partition.json");
+    eprintln!("wrote {out_path}");
+    if failed {
+        std::process::exit(1);
+    }
+}

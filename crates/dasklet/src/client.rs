@@ -222,7 +222,15 @@ impl DaskClient {
         // Worker fetches remote inputs (single-node clusters fetch locally).
         let same_node = self.inner.cluster.nodes == 1;
         let fetch = if n_deps > 0 {
+            // Dependency transfers ride the scheduler-to-worker link;
+            // scripted degradation of that link inflates them. (Identity
+            // multiply when the plan degrades nothing.)
             net.transfer_time(dep_transfer_bytes, same_node)
+                * self
+                    .inner
+                    .cluster
+                    .faults()
+                    .link_latency_factor(0, 1, dispatch)
                 + profile.per_transfer_overhead_s * n_deps as f64
         } else {
             0.0
@@ -258,12 +266,52 @@ impl DaskClient {
                 avoid_core: avoid,
                 ..Default::default()
             };
-            match st.exec.run_task_attempt_checked(release, dur, opts) {
+            match st
+                .exec
+                .run_task_attempt_detected(release, dur, opts, &policy)
+            {
                 Err(e) => {
                     error = Some(EngineError::from(e));
                     break None;
                 }
                 Ok(netsim::TaskAttempt::Done(p)) => break Some(p),
+                // A partitioned worker the scheduler's detector gave up
+                // on: the key was rescheduled, but the original worker is
+                // alive and completes behind the cut. When it reconnects
+                // its result carries a superseded transition epoch and the
+                // scheduler ignores it — exactly once, never double-set.
+                Ok(netsim::TaskAttempt::Zombie {
+                    core,
+                    suspected_at,
+                    deliver_at,
+                    ..
+                }) => {
+                    if attempts >= policy.max_attempts {
+                        error = Some(EngineError::RetriesExhausted {
+                            attempts,
+                            last_failure_s: suspected_at,
+                        });
+                        break None;
+                    }
+                    let redispatch = release.max(
+                        suspected_at
+                            + policy.backoff_before(attempts + 1)
+                            + profile.central_dispatch_s,
+                    );
+                    if let Err(e) = policy.deadline_gate(suspected_at, redispatch) {
+                        error = Some(EngineError::from(e));
+                        break None;
+                    }
+                    attempts += 1;
+                    avoid = Some(core);
+                    first_died.get_or_insert(suspected_at);
+                    st.exec
+                        .record_fenced("superseded-key", suspected_at, deliver_at);
+                    let rep = st.exec.report_mut();
+                    rep.retries += 1;
+                    rep.overhead_s += profile.central_dispatch_s;
+                    release = redispatch;
+                }
                 Ok(netsim::TaskAttempt::Killed { died_at, core, .. }) => {
                     if attempts >= policy.max_attempts {
                         error = Some(EngineError::RetriesExhausted {

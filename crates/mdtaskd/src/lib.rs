@@ -425,6 +425,9 @@ impl Service {
                     break; // sorted
                 }
             }
+            if let Some(t) = st.next_partition_event_after(now) {
+                t_next = t_next.min(t);
+            }
             for c in &self.clusters {
                 if let Some(t) = c.next_mem_change_after(now) {
                     t_next = t_next.min(t);
@@ -443,6 +446,7 @@ impl Service {
             // below; otherwise advance.
             now = now.max(t_next);
             st.process_deaths(now);
+            st.process_partitions(now);
             st.process_mem_changes(now);
             st.process_completions(now);
             while next_sub < order.len() && jobs[order[next_sub]].submit_s <= now {
@@ -451,7 +455,11 @@ impl Service {
             }
             st.admit_all(now);
             let queued: usize = st.queues.iter().map(Vec::len).sum();
-            if next_sub >= order.len() && st.inflight.is_empty() && queued == 0 {
+            if next_sub >= order.len()
+                && st.inflight.is_empty()
+                && queued == 0
+                && st.zombies.is_empty()
+            {
                 break;
             }
         }
@@ -501,6 +509,11 @@ struct SchedState<'a> {
     slots: Vec<Vec<Vec<bool>>>,
     /// All scripted deaths, sorted by time; processed ones are marked.
     deaths: Vec<(f64, usize, usize, bool)>,
+    /// Attempts the control plane gave up on while their node was merely
+    /// cut off: `(attempt, suspected_s, heal_s)`. The attempt is still
+    /// computing behind the cut; at heal its stale result arrives and is
+    /// fenced, and its slot/ledger are finally reclaimed.
+    zombies: Vec<(InFlight, f64, f64)>,
     /// Tenant resident bytes (quota accounting).
     tenant_resident: Vec<u64>,
     outcomes: Vec<JobOutcome>,
@@ -569,6 +582,7 @@ impl<'a> SchedState<'a> {
             alive,
             slots,
             deaths,
+            zombies: Vec::new(),
             tenant_resident: vec![0; tenants.len()],
             outcomes,
             stats: vec![TenantStats::default(); tenants.len()],
@@ -705,6 +719,108 @@ impl<'a> SchedState<'a> {
                 self.requeue_killed(v.job, at_s + policy.detection_delay_s);
             }
         }
+    }
+
+    /// Can the control plane reach `node` of cluster `c` at `t`? Node 0 is
+    /// each cluster's control ingress; a scripted partition that separates
+    /// a node from it makes the node unschedulable (and its resident jobs
+    /// suspectable) until heal.
+    fn reachable(&self, c: usize, node: usize, t: f64) -> bool {
+        let faults = self.svc.clusters[c].faults();
+        !faults.has_partitions() || faults.can_reach(0, node, t)
+    }
+
+    /// Suspicion and reconciliation across scripted network partitions.
+    ///
+    /// A node behind a cut is *alive*: its resident jobs keep computing,
+    /// but their results cannot reach the control plane and their
+    /// heartbeats stop. When a job's detector fires while the cut is still
+    /// up (a false positive), the control plane requeues the job elsewhere
+    /// and the original attempt becomes a zombie holding its slot and
+    /// ledger bytes. At heal the zombie's stale completion arrives and is
+    /// fenced — counted, never applied — and its resources are reclaimed.
+    /// A cut the detector outlives is ridden out: delivery is merely
+    /// delayed (see [`Self::process_completions`]).
+    fn process_partitions(&mut self, now: f64) {
+        // Suspicion pass: zombify in-flight victims whose detector fired.
+        let mut i = 0;
+        while i < self.inflight.len() {
+            let f = self.inflight[i];
+            let faults = self.svc.clusters[f.cluster].faults();
+            let mut zombified = false;
+            if faults.has_partitions() {
+                if let Some(det) = self.jobs[f.job].policy.detector() {
+                    for p in faults.partitions() {
+                        if !p.separates(0, f.node) || p.from_s < f.start_s || p.from_s >= f.end_s {
+                            continue;
+                        }
+                        let suspect = det.suspect_time(p.from_s);
+                        if suspect >= p.to_s || suspect > now {
+                            continue;
+                        }
+                        let v = self.inflight.remove(i);
+                        self.record_attempt(&v, suspect, true);
+                        let rep = self.execs[v.cluster].report_mut();
+                        rep.zombie_attempts += 1;
+                        rep.zombie_time_s += v.end_s.min(p.to_s) - v.start_s;
+                        self.zombies.push((v, suspect, p.to_s));
+                        self.requeue_killed(v.job, suspect);
+                        zombified = true;
+                        break;
+                    }
+                }
+            }
+            if !zombified {
+                i += 1;
+            }
+        }
+        // Heal pass: reclaim each zombie's slot/ledger and fence its
+        // stale result, exactly once.
+        let mut z = 0;
+        while z < self.zombies.len() {
+            let (v, suspect, heal) = self.zombies[z];
+            if heal > now {
+                z += 1;
+                continue;
+            }
+            self.zombies.remove(z);
+            self.release(&v, heal);
+            self.control
+                .record_fenced("stale-completion", suspect, heal);
+        }
+    }
+
+    /// Earliest future partition-driven event: a detector firing on an
+    /// in-flight job behind a cut, or a heal owing a zombie its fence.
+    fn next_partition_event_after(&self, now: f64) -> Option<f64> {
+        fn push(cand: f64, t: &mut Option<f64>) {
+            *t = Some(t.map_or(cand, |x| x.min(cand)));
+        }
+        let mut t: Option<f64> = None;
+        for f in &self.inflight {
+            let faults = self.svc.clusters[f.cluster].faults();
+            if !faults.has_partitions() {
+                continue;
+            }
+            let Some(det) = self.jobs[f.job].policy.detector() else {
+                continue;
+            };
+            for p in faults.partitions() {
+                if !p.separates(0, f.node) || p.from_s < f.start_s || p.from_s >= f.end_s {
+                    continue;
+                }
+                let suspect = det.suspect_time(p.from_s);
+                if suspect < p.to_s && suspect > now {
+                    push(suspect, &mut t);
+                }
+            }
+        }
+        for &(_, _, heal) in &self.zombies {
+            if heal > now {
+                push(heal, &mut t);
+            }
+        }
+        t
     }
 
     /// Evict the newest jobs on any node whose budget no longer holds its
@@ -927,7 +1043,7 @@ impl<'a> SchedState<'a> {
     fn find_slot(&mut self, ws: u64, now: f64) -> Option<(usize, usize, usize)> {
         for c in 0..self.svc.clusters.len() {
             for node in 0..self.svc.clusters[c].nodes {
-                if !self.alive[c][node] {
+                if !self.alive[c][node] || !self.reachable(c, node, now) {
                     continue;
                 }
                 let Some(slot) = self.slots[c][node].iter().position(|b| !b) else {
@@ -947,6 +1063,20 @@ impl<'a> SchedState<'a> {
 
     /// Complete every in-flight job whose end time has passed.
     fn process_completions(&mut self, now: f64) {
+        // A result computed behind an active cut cannot reach the control
+        // plane until the cut heals: defer delivery, keeping the job in
+        // flight (and suspectable) until then.
+        for f in self.inflight.iter_mut() {
+            if f.end_s <= now {
+                let faults = self.svc.clusters[f.cluster].faults();
+                if faults.has_partitions() {
+                    let reach = faults.earliest_reach(0, f.node, f.end_s);
+                    if reach > f.end_s {
+                        f.end_s = reach;
+                    }
+                }
+            }
+        }
         let done: Vec<InFlight> = self
             .inflight
             .iter()
@@ -1304,6 +1434,97 @@ mod tests {
             rep.clusters[0].lost_time_s > 0.0,
             "killed work is accounted"
         );
+    }
+
+    #[test]
+    fn suspected_partition_requeues_and_fences_the_zombie_at_heal() {
+        // Learn the job duration fault-free, then cut the second node off
+        // mid-flight for a long time. The job's detector (beat 0.1s,
+        // timeout 0.2s) gives up well before heal: the service requeues
+        // the job, the original attempt survives as a zombie, and its
+        // stale completion is fenced when the cut heals.
+        let mk = |plan: FaultPlan| {
+            Service::new(
+                vec![Cluster::builder()
+                    .nodes(2)
+                    .cores_per_node(1)
+                    .mem_budget(GIB)
+                    .fault_plan(plan)
+                    .build()],
+                Engine::Dask,
+            )
+        };
+        let tenants = [tenant(GIB, 8)];
+        let policy = RetryPolicy::new(3)
+            .with_detection_delay(0.1)
+            .with_suspicion(0.1, 0.2);
+        let jobs = [
+            JobRequest::new(0, 0.0, lf(8)).policy(policy),
+            JobRequest::new(0, 0.0, lf(8)).policy(policy),
+        ];
+        let base = mk(FaultPlan::none()).run(&tenants, &jobs).unwrap();
+        let d = base.jobs[0].end_s.unwrap();
+        assert!(d > 0.0);
+        let plan = FaultPlan::none().partition(vec![vec![0], vec![1]], d * 0.5, d * 0.5 + 10.0);
+        let rep = mk(plan).run(&tenants, &jobs).unwrap();
+        assert!(rep.jobs.iter().all(|j| j.result.is_ok()), "{:?}", rep.jobs);
+        let victim = rep
+            .jobs
+            .iter()
+            .find(|j| j.retries > 0)
+            .expect("a job was suspected");
+        assert!(victim.end_s.unwrap() > d, "the false positive cost time");
+        assert_eq!(rep.clusters[0].zombie_attempts, 1, "one zombie attempt");
+        assert!(rep.clusters[0].zombie_time_s > 0.0, "wasted work accounted");
+        assert_eq!(
+            rep.control.fenced_results, 1,
+            "the zombie's stale result was fenced exactly once at heal"
+        );
+        // Outcomes match the fault-free run: same fingerprints, no
+        // double-applied completion.
+        for (a, b) in rep.jobs.iter().zip(base.jobs.iter()) {
+            assert_eq!(a.result.as_ref().ok(), b.result.as_ref().ok());
+        }
+    }
+
+    #[test]
+    fn waited_out_cut_only_delays_delivery() {
+        // The cut heals before the detector's timeout elapses: no
+        // suspicion, no requeue, no fence — the victim's result is merely
+        // delivered at heal.
+        let mk = |plan: FaultPlan| {
+            Service::new(
+                vec![Cluster::builder()
+                    .nodes(2)
+                    .cores_per_node(1)
+                    .mem_budget(GIB)
+                    .fault_plan(plan)
+                    .build()],
+                Engine::Dask,
+            )
+        };
+        let tenants = [tenant(GIB, 8)];
+        let policy = RetryPolicy::new(3)
+            .with_detection_delay(0.1)
+            .with_suspicion(0.1, 0.2);
+        let jobs = [
+            JobRequest::new(0, 0.0, lf(8)).policy(policy),
+            JobRequest::new(0, 0.0, lf(8)).policy(policy),
+        ];
+        let base = mk(FaultPlan::none()).run(&tenants, &jobs).unwrap();
+        let d = base.jobs[0].end_s.unwrap();
+        let heal = d * 0.5 + 0.05;
+        let plan = FaultPlan::none().partition(vec![vec![0], vec![1]], d * 0.5, heal);
+        let rep = mk(plan).run(&tenants, &jobs).unwrap();
+        assert!(rep.jobs.iter().all(|j| j.result.is_ok()), "{:?}", rep.jobs);
+        assert!(rep.jobs.iter().all(|j| j.retries == 0), "nobody suspected");
+        assert_eq!(rep.control.fenced_results, 0);
+        assert_eq!(rep.clusters[0].zombie_attempts, 0);
+        let delayed = rep.jobs.iter().any(|j| j.end_s.unwrap() >= heal);
+        assert!(delayed, "the cut job's delivery waited for heal");
+        for (a, b) in rep.jobs.iter().zip(base.jobs.iter()) {
+            assert_eq!(a.result.as_ref().ok(), b.result.as_ref().ok());
+        }
     }
 
     #[test]

@@ -223,49 +223,120 @@ where
     // one attempt and a restart from the last completed collective
     // barrier (or from scratch, without barrier checkpoints).
     let barriers: Vec<f64> = shared.collective_ends.lock().values().copied().collect();
-    let mut deaths: Vec<(usize, f64)> = (0..world)
+    let rank_nodes: std::collections::BTreeSet<usize> = (0..world)
         .map(|rank| shared.cluster.node_of_core(rank))
-        .collect::<std::collections::BTreeSet<_>>()
-        .into_iter()
-        .filter_map(|node| {
+        .collect();
+    // A fault hitting the communicator: a node death (`heal: None`), or a
+    // network partition separating two rank-hosting nodes (`heal:
+    // Some(_)`) — the cut breaks collectives exactly like a death, except
+    // the isolated ranks are alive and their progress must be fenced.
+    struct CommFault {
+        node: usize,
+        at_s: f64,
+        heal: Option<f64>,
+    }
+    let mut faults_hit: Vec<CommFault> = rank_nodes
+        .iter()
+        .filter_map(|&node| {
             shared
                 .cluster
                 .faults()
                 .node_death(node)
-                .map(|at_s| (node, at_s))
+                .map(|at_s| CommFault {
+                    node,
+                    at_s,
+                    heal: None,
+                })
         })
         .collect();
-    deaths.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    let root_node = shared.cluster.node_of_core(0);
+    for p in shared.cluster.faults().partitions() {
+        // The cut matters iff it separates any two rank-hosting nodes.
+        // Blame the smallest node severed from rank 0's side (rank 0
+        // hosts the job launcher), falling back to the smallest node in
+        // any severed pair.
+        let victim = rank_nodes
+            .iter()
+            .find(|&&n| p.separates(root_node, n))
+            .or_else(|| {
+                rank_nodes
+                    .iter()
+                    .find(|&&a| rank_nodes.iter().any(|&b| p.separates(a, b)))
+            });
+        if let Some(&node) = victim {
+            faults_hit.push(CommFault {
+                node,
+                at_s: p.from_s,
+                heal: Some(p.to_s),
+            });
+        }
+    }
+    faults_hit.sort_by(|a, b| a.at_s.total_cmp(&b.at_s).then(a.node.cmp(&b.node)));
     let mut attempts: u32 = 1;
     let mut shift = 0.0f64;
     let mut end = job_end;
     let mut restarts = 0usize;
     let mut lost_time = 0.0f64;
+    let mut zombie_restarts = 0usize;
+    let mut zombie_time = 0.0f64;
     let mut recovery_windows: Vec<(f64, f64)> = Vec::new();
-    for (node, at_s) in deaths {
+    let mut fence_windows: Vec<(f64, f64)> = Vec::new();
+    for CommFault { node, at_s, heal } in faults_hit {
         if at_s >= end {
             continue;
         }
+        // A cut the detector waits out is a stall, not a failure: ranks
+        // block on the broken collective and resume at heal. No attempt
+        // is consumed and no work is redone — the timeline just shifts.
+        if let Some(h) = heal {
+            let waited_out = match policy.detector() {
+                Some(d) => d.suspect_time(at_s) >= h,
+                None => at_s + policy.detection_delay_s >= h,
+            };
+            if waited_out {
+                recovery_windows.push((at_s, h));
+                end += h - at_s;
+                shift += h - at_s;
+                continue;
+            }
+        }
         if policy.max_attempts == 1 {
-            // Plain MPI: nothing to retry, the communicator is gone.
+            // Plain MPI: nothing to retry, the communicator is gone —
+            // a partition crossing it is indistinguishable from a death.
             return Err(EngineError::WorkerLost { node, at_s });
         }
+        // Death is observed one heartbeat later; a partition via the
+        // suspicion detector timing out on the silent cohort.
+        let observed = match heal {
+            Some(_) => match policy.detector() {
+                Some(d) => d.suspect_time(at_s),
+                None => at_s + policy.detection_delay_s,
+            },
+            None => at_s + policy.detection_delay_s,
+        };
         if attempts >= policy.max_attempts {
             return Err(EngineError::RetriesExhausted {
                 attempts,
-                last_failure_s: at_s + policy.detection_delay_s,
+                last_failure_s: observed,
             });
         }
         // Gate the restart against the deadline *before* committing to
         // the backoff + startup wait: a relaunch that could only begin
         // past the deadline fails at observation time, typed, instead of
-        // simulating a doomed restart.
-        let observed = at_s + policy.detection_delay_s;
-        let resume = observed + policy.backoff_before(attempts + 1) + profile.startup_s;
+        // simulating a doomed restart. A partition restart additionally
+        // cannot relaunch before the cut heals: the isolated nodes must
+        // rejoin the communicator.
+        let resume = {
+            let r = observed + policy.backoff_before(attempts + 1) + profile.startup_s;
+            match heal {
+                Some(h) => r.max(h),
+                None => r,
+            }
+        };
         policy.deadline_gate(observed, resume)?;
         attempts += 1;
         // How far the job had progressed (in its own timeline) when the
-        // node died, and the checkpoint to resume from.
+        // fault hit, and the checkpoint to resume from.
         let progress = (at_s - shift).clamp(profile.startup_s, job_end);
         let ckpt = if restart_from_barrier {
             barriers
@@ -278,6 +349,14 @@ where
         };
         // Every rank's work since the checkpoint is redone.
         lost_time += (progress - ckpt) * world as f64;
+        if heal.is_some() {
+            // The isolated cohort kept computing past the checkpoint;
+            // when it rejoins, its post-checkpoint contributions carry a
+            // stale communicator epoch and are discarded — exactly once.
+            zombie_restarts += 1;
+            zombie_time += progress - ckpt;
+            fence_windows.push((observed, resume));
+        }
         recovery_windows.push((at_s, resume));
         end = resume + (job_end - ckpt);
         shift = end - job_end;
@@ -311,6 +390,21 @@ where
             kind: EventKind::Recovery { label },
         });
     }
+    for &(start_s, end_s) in &fence_windows {
+        let task = trace.next_id();
+        let phase = trace.intern("recovery");
+        let label = trace.intern("communicator-fenced");
+        trace.record(TraceEvent {
+            task,
+            core: 0,
+            start_s,
+            end_s,
+            killed: false,
+            ready_s: start_s,
+            phase,
+            kind: EventKind::Fenced { label },
+        });
+    }
     trace.sort_for_determinism();
     let mut report = SimReport {
         makespan_s: end,
@@ -323,6 +417,9 @@ where
         oom_kills: shared.oom_kills.load(Ordering::Relaxed) as usize,
         retries: restarts,
         lost_time_s: lost_time,
+        zombie_attempts: zombie_restarts,
+        zombie_time_s: zombie_time,
+        fenced_results: zombie_restarts,
         trace: Some(trace),
         ..Default::default()
     };

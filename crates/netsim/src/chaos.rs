@@ -38,7 +38,8 @@
 //! plans, the same violations, and the same shrunk counterexamples.
 
 use crate::fault::{
-    mix, FaultPlan, FrameDelay, FrameDrop, MemShrink, NodeDeath, ProducerStall, Straggler,
+    mix, FaultPlan, FrameDelay, FrameDrop, LinkDegrade, MemShrink, NodeDeath, Partition,
+    ProducerStall, Straggler,
 };
 use crate::report::SimReport;
 use crate::trace::EventKind;
@@ -141,6 +142,23 @@ pub struct ChaosConfig {
     /// Seeded per-frame duplicate-delivery probability is drawn from
     /// `[0, frame_dup_prob_max]` (half of all plans deliver exactly once).
     pub frame_dup_prob_max: f64,
+    /// At most this many scripted network partitions per plan. `0` (the
+    /// default) disables partition and link-degradation generation
+    /// entirely, leaving plans byte-identical to what older configs
+    /// produced for the same `(cfg, seed)`.
+    pub max_partitions: usize,
+    /// Partition cut times are drawn from this window (successive cuts
+    /// are laid out disjoint by construction, so every plan validates).
+    pub partition_window_s: (f64, f64),
+    /// Cut-to-heal durations are drawn uniformly from this range.
+    pub partition_len_s: (f64, f64),
+    /// At most this many per-link degradations per plan.
+    pub max_link_degrades: usize,
+    /// Link latency factors are drawn from `[1, link_factor_max]`.
+    pub link_factor_max: f64,
+    /// Link loss probability is drawn from `[0, link_loss_prob_max]`
+    /// (half of all degraded links stay lossless).
+    pub link_loss_prob_max: f64,
 }
 
 impl ChaosConfig {
@@ -173,6 +191,12 @@ impl ChaosConfig {
             frame_delay_max_s: 2.0,
             frame_drop_prob_max: 0.1,
             frame_dup_prob_max: 0.1,
+            max_partitions: 0,
+            partition_window_s: (0.0, 10.0),
+            partition_len_s: (0.5, 4.0),
+            max_link_degrades: 1,
+            link_factor_max: 4.0,
+            link_loss_prob_max: 0.2,
         }
     }
 
@@ -181,6 +205,15 @@ impl ChaosConfig {
     /// delays, seeded loss and duplicate delivery).
     pub fn with_stream(mut self, frames: usize) -> Self {
         self.stream_frames = frames;
+        self
+    }
+
+    /// Enable partition generation: up to `max` scripted network cuts
+    /// (plus link degradations) per plan. The driver's node 0 is never
+    /// isolated alone — cuts strand worker groups, as real split-brain
+    /// scenarios do.
+    pub fn with_partitions(mut self, max: usize) -> Self {
+        self.max_partitions = max;
         self
     }
 }
@@ -231,12 +264,27 @@ pub fn plan_for_seed(cfg: &ChaosConfig, seed: u64) -> FaultPlan {
         rng.f64() * cfg.lost_fetch_prob_max
     };
     let plan = FaultPlan::from_parts(deaths, stragglers, mem_shrinks, lost_fetch_prob, mix(seed));
-    if cfg.stream_frames == 0 {
-        // Batch config: no stream draws at all, so plans stay
-        // byte-identical to what pre-streaming harnesses produced for
-        // the same (cfg, seed).
+    if cfg.stream_frames == 0 && cfg.max_partitions == 0 {
+        // Batch config: no stream or partition draws at all, so plans
+        // stay byte-identical to what pre-streaming harnesses produced
+        // for the same (cfg, seed).
         return plan;
     }
+    let plan = if cfg.stream_frames > 0 {
+        stream_draws(cfg, &mut rng, plan)
+    } else {
+        plan
+    };
+    if cfg.max_partitions == 0 {
+        return plan;
+    }
+    partition_draws(cfg, &mut rng, plan)
+}
+
+/// Stream-fault draws for [`plan_for_seed`]. Split out so the draw order
+/// stays a stable prefix: enabling partitions never changes what a
+/// stream-only config would have drawn.
+fn stream_draws(cfg: &ChaosConfig, rng: &mut SeedStream, plan: FaultPlan) -> FaultPlan {
     let mut producer_stalls = Vec::new();
     let n_stalls = rng.below(cfg.max_producer_stalls + 1);
     let (slo, shi) = cfg.producer_stall_window_s;
@@ -283,6 +331,70 @@ pub fn plan_for_seed(cfg: &ChaosConfig, seed: u64) -> FaultPlan {
         frame_drop_prob,
         frame_dup_prob,
     )
+}
+
+/// Partition and link-degradation draws for [`plan_for_seed`]. Cut
+/// windows are laid out left-to-right from a moving cursor, so no two
+/// partitions ever overlap in time and every generated plan validates.
+fn partition_draws(cfg: &ChaosConfig, rng: &mut SeedStream, plan: FaultPlan) -> FaultPlan {
+    let n_parts = if cfg.nodes >= 2 {
+        rng.below(cfg.max_partitions + 1)
+    } else {
+        0 // a single node has nothing to cut
+    };
+    let (plo, phi) = cfg.partition_window_s;
+    let (llo, lhi) = cfg.partition_len_s;
+    let mut partitions = Vec::with_capacity(n_parts);
+    let mut cursor = plo;
+    for _ in 0..n_parts {
+        let from_s = cursor + rng.f64() * (phi - cursor).max(0.0);
+        let len = (llo + rng.f64() * (lhi - llo).max(0.0)).max(1e-3);
+        let to_s = from_s + len;
+        // Isolate a random non-empty set of worker nodes; the driver's
+        // node 0 always stays in the implicit remainder group.
+        let k = 1 + rng.below(cfg.nodes - 1);
+        let mut workers: Vec<usize> = (1..cfg.nodes).collect();
+        let mut cut = Vec::with_capacity(k);
+        for i in 0..k {
+            let j = i + rng.below(workers.len() - i);
+            workers.swap(i, j);
+            cut.push(workers[i]);
+        }
+        cut.sort_unstable();
+        partitions.push(Partition {
+            groups: vec![cut],
+            from_s,
+            to_s,
+        });
+        cursor = to_s;
+    }
+    let n_links = if cfg.nodes >= 2 {
+        rng.below(cfg.max_link_degrades + 1)
+    } else {
+        0
+    };
+    let mut link_degrades = Vec::with_capacity(n_links);
+    for _ in 0..n_links {
+        let a = rng.below(cfg.nodes);
+        let b = (a + 1 + rng.below(cfg.nodes - 1)) % cfg.nodes;
+        let latency_factor = 1.0 + rng.f64() * (cfg.link_factor_max - 1.0).max(0.0);
+        let loss_prob = if rng.f64() < 0.5 {
+            0.0
+        } else {
+            rng.f64() * cfg.link_loss_prob_max
+        };
+        let from_s = plo + rng.f64() * (phi - plo).max(0.0);
+        let len = (llo + rng.f64() * (lhi - llo).max(0.0)).max(1e-3);
+        link_degrades.push(LinkDegrade {
+            a,
+            b,
+            latency_factor,
+            loss_prob,
+            from_s,
+            to_s: from_s + len,
+        });
+    }
+    plan.with_partition_parts(partitions, link_degrades)
 }
 
 /// What one workload run under one plan produced: a fingerprint of the
@@ -423,6 +535,44 @@ pub fn check_invariants(
     if !r.makespan_s.is_finite() || r.makespan_s < 0.0 {
         return Some(format!("non-finite makespan {}", r.makespan_s));
     }
+    // Zombie/fence accounting: zombies exist only under scripted
+    // partitions, and a zombie attempt whose stale result was never
+    // fenced is a double-count waiting to happen. The fingerprint oracle
+    // above already proved no double-count *happened*; these prove the
+    // bookkeeping that prevents it is present.
+    if !plan.has_partitions() && (r.zombie_attempts > 0 || r.fenced_results > 0) {
+        return Some(format!(
+            "plan scripts no partition but the report claims {} zombie attempts / {} fenced results",
+            r.zombie_attempts, r.fenced_results
+        ));
+    }
+    if r.zombie_attempts > 0 && r.fenced_results == 0 {
+        return Some(format!(
+            "{} zombie attempts but no fenced result: stale outputs were not rejected",
+            r.zombie_attempts
+        ));
+    }
+    if r.zombie_time_s < 0.0 || (r.zombie_attempts == 0 && r.zombie_time_s != 0.0) {
+        return Some(format!(
+            "inconsistent zombie accounting: {} attempts, {}s wasted",
+            r.zombie_attempts, r.zombie_time_s
+        ));
+    }
+    if let Some(trace) = &r.trace {
+        if !trace.is_sampled() {
+            let fences = trace
+                .events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Fenced { .. }))
+                .count();
+            if fences != r.fenced_results {
+                return Some(format!(
+                    "fences not conserved: trace records {fences} but the report claims {}",
+                    r.fenced_results
+                ));
+            }
+        }
+    }
     if r.bytes_shuffled != baseline.report.bytes_shuffled {
         return Some(format!(
             "shuffle bytes not conserved: {} vs fault-free {}",
@@ -551,6 +701,8 @@ struct PlanParts {
     producer_stalls: Vec<ProducerStall>,
     frame_drops: Vec<FrameDrop>,
     frame_delays: Vec<FrameDelay>,
+    partitions: Vec<Partition>,
+    link_degrades: Vec<LinkDegrade>,
     lost_fetch_prob: f64,
     frame_drop_prob: f64,
     frame_dup_prob: f64,
@@ -566,6 +718,8 @@ impl PlanParts {
             producer_stalls: plan.producer_stalls().to_vec(),
             frame_drops: plan.frame_drops().to_vec(),
             frame_delays: plan.frame_delays().to_vec(),
+            partitions: plan.partitions().to_vec(),
+            link_degrades: plan.link_degrades().to_vec(),
             lost_fetch_prob: plan.lost_fetch_prob(),
             frame_drop_prob: plan.frame_drop_prob(),
             frame_dup_prob: plan.frame_dup_prob(),
@@ -588,6 +742,7 @@ impl PlanParts {
             self.frame_drop_prob,
             self.frame_dup_prob,
         )
+        .with_partition_parts(self.partitions.clone(), self.link_degrades.clone())
     }
 }
 
@@ -650,6 +805,25 @@ pub fn shrink(plan: &FaultPlan, mut still_fails: impl FnMut(&FaultPlan) -> bool)
         }
         shrunk
     }
+    // Halve one partition's cut-to-heal duration (heal-time halving):
+    // finds the shortest cut that still reproduces, which tells the
+    // investigator whether the bug needs a sustained split or a blip.
+    // Floored at 1 ms so the pass terminates.
+    fn heal_pass(cur: &mut PlanParts, still_fails: &mut impl FnMut(&FaultPlan) -> bool) -> bool {
+        for i in 0..cur.partitions.len() {
+            let dur = cur.partitions[i].to_s - cur.partitions[i].from_s;
+            if dur <= 1e-3 {
+                continue;
+            }
+            let mut cand = cur.clone();
+            cand.partitions[i].to_s = cand.partitions[i].from_s + dur / 2.0;
+            if still_fails(&cand.build()) {
+                *cur = cand;
+                return true;
+            }
+        }
+        false
+    }
     loop {
         if remove_pass(&mut cur, |p| &mut p.deaths, &mut still_fails)
             || remove_pass(&mut cur, |p| &mut p.stragglers, &mut still_fails)
@@ -657,6 +831,9 @@ pub fn shrink(plan: &FaultPlan, mut still_fails: impl FnMut(&FaultPlan) -> bool)
             || remove_pass(&mut cur, |p| &mut p.producer_stalls, &mut still_fails)
             || remove_pass(&mut cur, |p| &mut p.frame_drops, &mut still_fails)
             || remove_pass(&mut cur, |p| &mut p.frame_delays, &mut still_fails)
+            || remove_pass(&mut cur, |p| &mut p.partitions, &mut still_fails)
+            || remove_pass(&mut cur, |p| &mut p.link_degrades, &mut still_fails)
+            || heal_pass(&mut cur, &mut still_fails)
             || prob_pass(&mut cur, |p| &mut p.lost_fetch_prob, &mut still_fails)
             || prob_pass(&mut cur, |p| &mut p.frame_drop_prob, &mut still_fails)
             || prob_pass(&mut cur, |p| &mut p.frame_dup_prob, &mut still_fails)
@@ -746,9 +923,12 @@ mod tests {
                 .build(),
         );
         exec.enable_trace();
+        // Suspicion is only consulted under scripted partitions, so
+        // partition-free plans keep their exact legacy schedules.
         let policy = RetryPolicy::new(4)
             .with_detection_delay(0.2)
-            .with_backoff(0.1, 2.0, 2.0);
+            .with_backoff(0.1, 2.0, 2.0)
+            .with_suspicion(0.2, 0.4);
         let mut fp = Fingerprint::new();
         for i in 0..12u64 {
             let dur = 0.5 + (i % 4) as f64 * 0.25;
@@ -1105,6 +1285,139 @@ mod tests {
         assert!(any(&|p| !p.frame_delays().is_empty()));
         assert!(any(&|p| p.frame_drop_prob() > 0.0));
         assert!(any(&|p| p.frame_dup_prob() > 0.0));
+    }
+
+    #[test]
+    fn partition_plans_appear_only_when_asked_and_validate() {
+        let batch = cfg();
+        let parted = cfg().with_partitions(2);
+        for seed in 0..200 {
+            // The partition knob off keeps plans byte-identical (covered
+            // elsewhere); on, the batch prefix still matches exactly.
+            let b = plan_for_seed(&batch, seed);
+            assert!(b.partitions().is_empty() && b.link_degrades().is_empty());
+            let p = plan_for_seed(&parted, seed);
+            assert_eq!(p.deaths(), b.deaths());
+            assert_eq!(p.stragglers(), b.stragglers());
+            assert_eq!(p.mem_shrinks(), b.mem_shrinks());
+            assert_eq!(p.lost_fetch_prob(), b.lost_fetch_prob());
+            assert!(p.partitions().len() <= 2);
+            assert!(p.link_degrades().len() <= parted.max_link_degrades);
+            for part in p.partitions() {
+                assert!(part.from_s >= 0.0 && part.to_s > part.from_s);
+                assert_eq!(part.groups.len(), 1, "one cut group, driver in remainder");
+                assert!(!part.groups[0].is_empty());
+                assert!(part.groups[0].iter().all(|&n| n >= 1 && n < 3));
+            }
+            // Successive cuts are disjoint by construction.
+            for w in p.partitions().windows(2) {
+                assert!(w[1].from_s >= w[0].to_s, "cut windows never overlap");
+            }
+            for l in p.link_degrades() {
+                assert!(l.a < 3 && l.b < 3 && l.a != l.b);
+                assert!(l.latency_factor >= 1.0 && (0.0..=1.0).contains(&l.loss_prob));
+            }
+            p.validate(3, 6).expect("every generated plan validates");
+            assert_eq!(p, plan_for_seed(&parted, seed), "plans are deterministic");
+        }
+        let any = |f: &dyn Fn(&FaultPlan) -> bool| (0..200).any(|s| f(&plan_for_seed(&parted, s)));
+        assert!(any(&|p| !p.partitions().is_empty()));
+        assert!(any(&|p| p.partitions().len() == 2));
+        assert!(any(&|p| !p.link_degrades().is_empty()));
+        assert!(any(&|p| p
+            .link_degrades()
+            .iter()
+            .any(|l| l.loss_prob > 0.0)));
+    }
+
+    #[test]
+    fn partition_chaos_sweep_passes_and_fences_zombies() {
+        // The full battery under scripted partitions: every oracle holds
+        // (no double-count, no hang, fences conserved), and the sweep
+        // actually exercised the zombie path somewhere.
+        let mut c = cfg().with_partitions(2);
+        c.partition_window_s = (0.1, 3.0);
+        c.partition_len_s = (0.5, 3.0);
+        let report = fuzz(&c, |plan| workload(plan, false));
+        assert!(
+            report.passed(),
+            "partition chaos must satisfy every oracle: {:?}",
+            report.violations.first().map(|v| &v.message)
+        );
+        let mut zombies = 0usize;
+        let mut fences = 0usize;
+        for seed in 0..c.plans as u64 {
+            let plan = plan_for_seed(&c, c.base_seed + seed);
+            if let Ok(out) = workload(&plan, false) {
+                zombies += out.report.zombie_attempts;
+                fences += out.report.fenced_results;
+            }
+        }
+        assert!(zombies > 0, "the sweep produced at least one zombie");
+        assert!(fences >= zombies, "every zombie's stale result was fenced");
+    }
+
+    #[test]
+    fn shrink_strips_partitions_and_halves_heal_times() {
+        // Only a sustained (≥ 1 s) cut isolating node 1 matters; the
+        // death, the link degradation, and the second partition must all
+        // be stripped, and the surviving cut's heal halved to within a
+        // factor of two of the 1 s boundary — a strictly smaller
+        // counterexample on both axes.
+        let plan = FaultPlan::from_parts(
+            vec![NodeDeath { node: 2, at_s: 2.0 }],
+            vec![],
+            vec![],
+            0.0,
+            13,
+        )
+        .with_partition_parts(
+            vec![
+                Partition {
+                    groups: vec![vec![1]],
+                    from_s: 1.0,
+                    to_s: 9.0,
+                },
+                Partition {
+                    groups: vec![vec![2]],
+                    from_s: 10.0,
+                    to_s: 11.0,
+                },
+            ],
+            vec![LinkDegrade {
+                a: 0,
+                b: 2,
+                latency_factor: 3.0,
+                loss_prob: 0.1,
+                from_s: 0.5,
+                to_s: 4.0,
+            }],
+        );
+        let fails = |cand: &FaultPlan| {
+            cand.partitions()
+                .iter()
+                .any(|p| p.separates(0, 1) && (p.to_s - p.from_s) >= 1.0)
+        };
+        assert!(fails(&plan), "original plan reproduces");
+        let shrunk = shrink(&plan, fails);
+        assert!(shrunk.deaths().is_empty(), "death is irrelevant");
+        assert!(shrunk.link_degrades().is_empty(), "link is irrelevant");
+        assert_eq!(shrunk.partitions().len(), 1, "one cut survives");
+        let p = &shrunk.partitions()[0];
+        assert!(p.separates(0, 1));
+        let dur = p.to_s - p.from_s;
+        assert!(
+            (1.0..2.0).contains(&dur),
+            "heal halving lands within 2x of the boundary, got {dur}"
+        );
+        assert!(
+            dur < 8.0,
+            "strictly smaller counterexample than the original 8 s cut"
+        );
+        assert!(fails(&shrunk), "shrunk plan still reproduces");
+        // And it round-trips through the JSON artifact for replay.
+        let replayed = FaultPlan::from_json(&shrunk.to_json()).unwrap();
+        assert_eq!(replayed, shrunk);
     }
 
     #[test]

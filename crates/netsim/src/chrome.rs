@@ -95,6 +95,7 @@ impl Trace {
                     }
                 }
                 EventKind::Recovery { .. }
+                | EventKind::Fenced { .. }
                 | EventKind::OomKill { .. }
                 | EventKind::Enqueue { .. }
                 | EventKind::Admit { .. }
@@ -192,6 +193,18 @@ impl Trace {
                         0,
                         self.resolve(*label),
                         "recovery",
+                        e.start_s,
+                        e.end_s,
+                        &args,
+                    ));
+                }
+                EventKind::Fenced { label } => {
+                    let args = format!("\"phase\":\"{}\"", escape_json(self.phase_of(e)));
+                    ev.push(slice(
+                        PID_DRIVER,
+                        0,
+                        self.resolve(*label),
+                        "fenced",
                         e.start_s,
                         e.end_s,
                         &args,

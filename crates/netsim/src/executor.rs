@@ -26,6 +26,25 @@ pub enum TaskAttempt {
         start: f64,
         died_at: f64,
     },
+    /// The attempt's node was partitioned from the driver mid-attempt and
+    /// the suspicion detector false-positived: the node is *alive* and the
+    /// attempt ran to completion at `end`, but the scheduler declared it
+    /// dead at `suspected_at` and must reschedule. The orphaned result
+    /// arrives at `deliver_at` (after heal) carrying a stale attempt
+    /// epoch; the caller MUST fence it ([`SimExecutor::record_fenced`]) so
+    /// it is rejected exactly-once and never double-counted.
+    Zombie {
+        core: usize,
+        start: f64,
+        /// When the zombie finished computing (its core was genuinely busy
+        /// until then — wasted work, accounted as `zombie_time_s`).
+        end: f64,
+        /// When the detector declared the node suspect; recovery starts
+        /// here, not at any real death.
+        suspected_at: f64,
+        /// When the stale result crosses the healed network and is fenced.
+        deliver_at: f64,
+    },
 }
 
 /// Per-attempt placement options.
@@ -384,6 +403,72 @@ impl SimExecutor {
             .expect("no surviving core can run the task (all nodes dead)")
     }
 
+    /// Partition-aware core choice: the driver (node 0) cannot dispatch
+    /// across an active cut, so a core's earliest start is pushed to
+    /// [`FaultPlan::earliest_reach`](crate::FaultPlan::earliest_reach) of
+    /// its node. Linear — the tournament tree cannot fold per-node
+    /// reachability into its keys — and only used when the plan scripts
+    /// partitions, so partition-free runs keep the O(log cores) path
+    /// bit-identical.
+    fn try_pick_core_reachable(&self, ready: f64, avoid: Option<usize>) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (c, &free) in self.core_free.iter().enumerate() {
+            if Some(c) == avoid || !self.core_admitted(c) {
+                continue;
+            }
+            let node = self.cluster.node_of_core(c);
+            let start = self
+                .cluster
+                .faults()
+                .earliest_reach(0, node, free.max(ready));
+            if let Some(died_at) = self.death_of(c) {
+                if start >= died_at {
+                    continue; // node gone before the task could begin
+                }
+            }
+            if best.is_none_or(|(_, s)| start < s) {
+                best = Some((c, start));
+            }
+        }
+        best
+    }
+
+    /// Whether an attempt on `core` spanning `[start, end)` becomes a
+    /// zombie: a partition cuts its node off from the driver mid-attempt
+    /// and the policy's suspicion detector fires before the cut heals, so
+    /// the scheduler falsely declares the (alive, still-computing) node
+    /// dead. Returns `(suspected_at, deliver_at)` — when recovery starts
+    /// and when the orphaned result arrives to be fenced. `None` when no
+    /// partition crosses the attempt, no detector is configured, or the
+    /// cut heals before the detector times out (a near-miss, not a false
+    /// positive: the result is merely delivered late).
+    fn zombie_outcome(
+        &self,
+        core: usize,
+        start: f64,
+        end: f64,
+        policy: &RetryPolicy,
+    ) -> Option<(f64, f64)> {
+        let faults = self.cluster.faults();
+        if !faults.has_partitions() {
+            return None;
+        }
+        let node = self.cluster.node_of_core(core);
+        if node == 0 {
+            return None; // driver-local: never cut off from itself
+        }
+        let (cut, heal) = faults.next_cut_after(0, node, start)?;
+        if cut >= end {
+            return None; // finished (and reported) before contact was lost
+        }
+        let det = policy.detector()?;
+        let suspect = det.suspect_time(cut);
+        if suspect >= heal {
+            return None; // heard from again before the timeout expired
+        }
+        Some((suspect, faults.earliest_reach(0, node, end)))
+    }
+
     /// Schedule a task on the best core, retrying transparently until an
     /// attempt survives. `dur` is in simulated seconds (already scaled by
     /// the machine profile). Engines with their own recovery semantics use
@@ -398,6 +483,9 @@ impl SimExecutor {
                     self.report.retries += 1;
                     release = release.max(died_at);
                 }
+                // Only the detected path produces zombies; the plain
+                // attempt API has no failure detector to false-positive.
+                TaskAttempt::Zombie { .. } => unreachable!("zombies need a detector"),
             }
         }
     }
@@ -419,6 +507,10 @@ impl SimExecutor {
         policy: &RetryPolicy,
     ) -> Result<TaskPlacement, PolicyError> {
         assert!(dur >= 0.0 && ready >= 0.0, "negative time");
+        // Scripted partitions force the linear reachability-aware pick and
+        // arm the zombie path; partition-free plans keep the indexed pick
+        // and stay bit-identical to the pre-partition scheduler.
+        let has_parts = self.cluster.faults().has_partitions();
         let mut release = ready;
         let mut attempt: u32 = 1;
         // After a kill the offending core is blacklisted for the next
@@ -426,14 +518,21 @@ impl SimExecutor {
         // watchdog-killed straggler core would win the tie-break again.
         let mut avoid: Option<usize> = None;
         loop {
+            let pick = |s: &Self, avoid: Option<usize>| {
+                if has_parts {
+                    s.try_pick_core_reachable(release, avoid)
+                } else {
+                    s.try_pick_core(release, avoid)
+                }
+            };
             // The blacklist is advisory, not fatal: when the blacklisted
             // core is the *only* survivor, scheduling on nothing would
             // deadlock the job, so the scheduler re-admits it — and traces
             // that decision so the concession is visible, rather than
             // silently re-picking the core it just blamed.
-            let picked = match self.try_pick_core(release, avoid) {
+            let picked = match pick(self, avoid) {
                 some @ Some(_) => some,
-                None => match avoid.and_then(|_| self.try_pick_core(release, None)) {
+                None => match avoid.and_then(|_| pick(self, None)) {
                     Some((core, start)) => {
                         self.record_recovery("blacklist-fallback", release, release.max(start));
                         Some((core, start))
@@ -462,7 +561,58 @@ impl SimExecutor {
             // The attempt dies at the earlier of its node's death and the
             // watchdog firing; `timed_out` records which observer won.
             let (killed_at, timed_out) = match (death, watchdog) {
-                (None, None) => return Ok(self.place(core, release, start, eff)),
+                (None, None) => {
+                    // Survived death and watchdog — but under a scripted
+                    // partition the attempt may still be a zombie: alive,
+                    // complete, and falsely given up on.
+                    if let Some((suspected_at, deliver_at)) =
+                        self.zombie_outcome(core, start, end, policy)
+                    {
+                        self.set_core_free(core, end);
+                        self.report.zombie_attempts += 1;
+                        self.report.zombie_time_s += end - start;
+                        self.record_task_event(core, release, start, end, true, false);
+                        if attempt >= policy.max_attempts {
+                            return Err(PolicyError::RetriesExhausted {
+                                attempts: attempt,
+                                last_failure_s: suspected_at,
+                            });
+                        }
+                        attempt += 1;
+                        avoid = Some(core);
+                        let redispatch = suspected_at + policy.backoff_before(attempt);
+                        policy.deadline_gate(suspected_at, redispatch)?;
+                        // The stale result is rejected by its attempt epoch
+                        // when it finally crosses the healed cut.
+                        self.record_fenced("suspect-fence", suspected_at, deliver_at);
+                        self.record_recovery("suspicion", suspected_at, redispatch);
+                        self.report.push_phase("recovery", suspected_at, redispatch);
+                        self.report.retries += 1;
+                        release = release.max(redispatch);
+                        continue;
+                    }
+                    if has_parts {
+                        let node = self.cluster.node_of_core(core);
+                        let deliver = self.cluster.faults().earliest_reach(0, node, end);
+                        if deliver > end {
+                            // Completed behind a cut that heals before the
+                            // detector gives up: the result is simply late.
+                            // The core frees at compute end; only the
+                            // driver-visible completion moves to the heal.
+                            self.set_core_free(core, end);
+                            self.record_task_event(core, release, start, end, false, false);
+                            self.report.tasks += 1;
+                            self.report.compute_s += eff;
+                            self.report.makespan_s = self.report.makespan_s.max(deliver);
+                            return Ok(TaskPlacement {
+                                core,
+                                start,
+                                end: deliver,
+                            });
+                        }
+                    }
+                    return Ok(self.place(core, release, start, eff));
+                }
                 (Some(d), None) => (d, false),
                 (None, Some(t)) => (t, true),
                 (Some(d), Some(t)) => (d.min(t), t <= d),
@@ -533,6 +683,74 @@ impl SimExecutor {
             return Err(PolicyError::NoSurvivingCore { at_s: ready });
         }
         Ok(self.run_task_attempt_with(ready, dur, opts))
+    }
+
+    /// Place a single task attempt under a suspicion-based failure
+    /// detector — the partition-aware sibling of
+    /// [`Self::run_task_attempt_checked`], used by engines whose recovery
+    /// loop must handle split-brain. Without scripted partitions this
+    /// delegates to the checked path bit-for-bit. With partitions:
+    /// dispatch waits out any active cut between the driver and a core's
+    /// node, a cut opening mid-attempt plus a detector false-positive
+    /// surfaces as [`TaskAttempt::Zombie`] (core busy to compute end, work
+    /// accounted as `zombie_time_s`, trace shows a killed attempt), and a
+    /// cut the detector waits out merely delays the result: `Done` with
+    /// `end` pushed to the heal. Speculation is not modelled on the
+    /// partition path (`opts.speculation_cap` is ignored there).
+    pub fn run_task_attempt_detected(
+        &mut self,
+        ready: f64,
+        dur: f64,
+        opts: TaskOpts,
+        policy: &RetryPolicy,
+    ) -> Result<TaskAttempt, PolicyError> {
+        if !self.cluster.faults().has_partitions() {
+            return self.run_task_attempt_checked(ready, dur, opts);
+        }
+        assert!(dur >= 0.0 && ready >= 0.0, "negative time");
+        let picked = self
+            .try_pick_core_reachable(ready, opts.avoid_core)
+            .or_else(|| self.try_pick_core_reachable(ready, None));
+        let Some((core, start)) = picked else {
+            return Err(PolicyError::NoSurvivingCore { at_s: ready });
+        };
+        let eff = dur * self.cluster.faults().slowdown(core);
+        let end = start + eff;
+        if let Some(died_at) = self.death_of(core).filter(|&d| end > d) {
+            self.set_core_free(core, died_at);
+            self.report.lost_time_s += died_at - start;
+            self.record_task_event(core, ready, start, died_at, true, false);
+            return Ok(TaskAttempt::Killed {
+                core,
+                start,
+                died_at,
+            });
+        }
+        if let Some((suspected_at, deliver_at)) = self.zombie_outcome(core, start, end, policy) {
+            self.set_core_free(core, end);
+            self.report.zombie_attempts += 1;
+            self.report.zombie_time_s += end - start;
+            self.record_task_event(core, ready, start, end, true, false);
+            return Ok(TaskAttempt::Zombie {
+                core,
+                start,
+                end,
+                suspected_at,
+                deliver_at,
+            });
+        }
+        let node = self.cluster.node_of_core(core);
+        let deliver = self.cluster.faults().earliest_reach(0, node, end);
+        self.set_core_free(core, end);
+        self.record_task_event(core, ready, start, end, false, false);
+        self.report.tasks += 1;
+        self.report.compute_s += eff;
+        self.report.makespan_s = self.report.makespan_s.max(deliver);
+        Ok(TaskAttempt::Done(TaskPlacement {
+            core,
+            start,
+            end: deliver,
+        }))
     }
 
     /// Place a single task attempt with placement options.
@@ -767,6 +985,23 @@ impl SimExecutor {
         };
         let label = trace.intern(label);
         self.record_network_event(EventKind::Recovery { label }, 0, start_s, end_s, false);
+    }
+
+    /// Record a stale result rejected by fencing: a zombie attempt's
+    /// delivery (suspicion at `start_s`, arrival at `end_s`) discarded by
+    /// its attempt epoch / generation number. Bumps
+    /// `report.fenced_results` whether or not tracing is on — the
+    /// exactly-once oracle counts fences, not trace events — and, when
+    /// tracing, records an [`EventKind::Fenced`] window labelled with the
+    /// engine's fencing mechanism (`"stale-shuffle-epoch"`,
+    /// `"db-generation"`, …).
+    pub fn record_fenced(&mut self, label: &str, start_s: f64, end_s: f64) {
+        self.report.fenced_results += 1;
+        let Some(trace) = &mut self.report.trace else {
+            return;
+        };
+        let label = trace.intern(label);
+        self.record_network_event(EventKind::Fenced { label }, 0, start_s, end_s, false);
     }
 
     // ---- per-node memory model ----

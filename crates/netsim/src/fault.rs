@@ -91,6 +91,73 @@ pub struct FrameDelay {
     pub by_s: f64,
 }
 
+/// A scripted network partition: between `from_s` (inclusive) and `to_s`
+/// (exclusive, the *heal* time) nodes listed in different groups cannot
+/// exchange messages — no fetches, no heartbeats, no collectives. Nodes
+/// not listed in any group form one implicit extra group of their own.
+///
+/// A partitioned node is *alive*: tasks already running on it keep
+/// computing in virtual time. Only communication across the cut fails,
+/// which is exactly what lets a suspicion-based failure detector
+/// false-positive and create zombie attempts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Partition {
+    pub groups: Vec<Vec<usize>>,
+    pub from_s: f64,
+    pub to_s: f64,
+}
+
+impl Partition {
+    /// Which side of this partition `node` is on: `Some(i)` for an
+    /// explicitly listed group, `None` for the implicit remainder group.
+    pub fn group_of(&self, node: usize) -> Option<usize> {
+        self.groups.iter().position(|g| g.contains(&node))
+    }
+
+    /// True while this partition is in effect at `at_s` (half-open
+    /// window: cut at `from_s`, healed at `to_s`).
+    pub fn active_at(&self, at_s: f64) -> bool {
+        self.from_s <= at_s && at_s < self.to_s
+    }
+
+    /// True if this partition separates `a` and `b` while active.
+    pub fn separates(&self, a: usize, b: usize) -> bool {
+        a != b && self.group_of(a) != self.group_of(b)
+    }
+
+    /// Every node this partition explicitly lists.
+    pub fn listed_nodes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.groups.iter().flatten().copied()
+    }
+}
+
+/// Degraded (but not cut) connectivity between nodes `a` and `b` during
+/// `[from_s, to_s)`: transfer latency is inflated by `latency_factor`
+/// (≥ 1) and each message is independently lost with `loss_prob`
+/// (re-sent by the transport, costing another round). The link is
+/// symmetric.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkDegrade {
+    pub a: usize,
+    pub b: usize,
+    pub latency_factor: f64,
+    pub loss_prob: f64,
+    pub from_s: f64,
+    pub to_s: f64,
+}
+
+impl LinkDegrade {
+    /// True while this degradation is in effect at `at_s`.
+    pub fn active_at(&self, at_s: f64) -> bool {
+        self.from_s <= at_s && at_s < self.to_s
+    }
+
+    /// True if this degradation covers the (unordered) link `x`–`y`.
+    pub fn covers(&self, x: usize, y: usize) -> bool {
+        (self.a == x && self.b == y) || (self.a == y && self.b == x)
+    }
+}
+
 /// Why a serialized or assembled [`FaultPlan`] was rejected.
 #[derive(Clone, Debug, PartialEq)]
 pub enum FaultPlanError {
@@ -118,6 +185,20 @@ pub enum FaultPlanError {
     /// newer serializer — e.g. one carrying stream faults — can never be
     /// silently mis-read as a weaker plan by an older reader.
     UnknownField { context: &'static str, key: String },
+    /// A partition or link-degrade window that heals at or before its cut
+    /// (`to_s <= from_s`): the fault would never be in effect, which is
+    /// always a generator or serialization bug.
+    HealBeforeCut {
+        what: &'static str,
+        from_s: f64,
+        to_s: f64,
+    },
+    /// The same node appears on two sides of concurrently active
+    /// partitions (two groups of one partition, or two partitions whose
+    /// windows overlap in time). Reachability would be ambiguous.
+    OverlappingPartition { node: usize },
+    /// A link latency factor below 1 (that would be a speedup).
+    SubUnitLinkFactor { a: usize, b: usize, factor: f64 },
 }
 
 impl std::fmt::Display for FaultPlanError {
@@ -144,6 +225,15 @@ impl std::fmt::Display for FaultPlanError {
             }
             FaultPlanError::UnknownField { context, key } => {
                 write!(f, "unknown {context} key {key:?}")
+            }
+            FaultPlanError::HealBeforeCut { what, from_s, to_s } => {
+                write!(f, "{what} heals at {to_s} at or before its {from_s} cut")
+            }
+            FaultPlanError::OverlappingPartition { node } => {
+                write!(f, "node {node} is in overlapping partition groups")
+            }
+            FaultPlanError::SubUnitLinkFactor { a, b, factor } => {
+                write!(f, "link {a}-{b} latency factor {factor} is below 1")
             }
         }
     }
@@ -174,6 +264,8 @@ pub struct FaultPlan {
     producer_stalls: Vec<ProducerStall>,
     frame_drops: Vec<FrameDrop>,
     frame_delays: Vec<FrameDelay>,
+    partitions: Vec<Partition>,
+    link_degrades: Vec<LinkDegrade>,
     lost_fetch_prob: f64,
     frame_drop_prob: f64,
     frame_dup_prob: f64,
@@ -195,6 +287,8 @@ impl FaultPlan {
             && self.producer_stalls.is_empty()
             && self.frame_drops.is_empty()
             && self.frame_delays.is_empty()
+            && self.partitions.is_empty()
+            && self.link_degrades.is_empty()
             && self.lost_fetch_prob <= 0.0
             && self.frame_drop_prob <= 0.0
             && self.frame_dup_prob <= 0.0
@@ -293,6 +387,54 @@ impl FaultPlan {
         self
     }
 
+    /// Cut the network between `groups` of nodes from `from_s` until the
+    /// partition *heals* at `to_s`. Nodes in different groups (or not
+    /// listed at all — the implicit remainder group) cannot exchange any
+    /// message while the cut is in effect; tasks already running on a
+    /// partitioned node keep computing. Overlap with other partitions of
+    /// the same node is rejected by [`Self::from_json`]; builders trust
+    /// the caller.
+    pub fn partition(mut self, groups: Vec<Vec<usize>>, from_s: f64, to_s: f64) -> Self {
+        assert!(from_s >= 0.0, "partition cut time must be non-negative");
+        assert!(to_s > from_s, "partition must heal after its cut");
+        self.partitions.push(Partition {
+            groups,
+            from_s,
+            to_s,
+        });
+        self
+    }
+
+    /// Degrade the link between `a` and `b` during `[from_s, to_s)`:
+    /// latency inflated by `latency_factor` (≥ 1), each message lost with
+    /// `loss_prob` (decided by the plan seed) and re-sent.
+    pub fn degrade_link(
+        mut self,
+        a: usize,
+        b: usize,
+        latency_factor: f64,
+        loss_prob: f64,
+        from_s: f64,
+        to_s: f64,
+    ) -> Self {
+        assert!(latency_factor >= 1.0, "link latency factor must be >= 1");
+        assert!(
+            (0.0..=1.0).contains(&loss_prob),
+            "probability must be in [0, 1]"
+        );
+        assert!(from_s >= 0.0, "degrade time must be non-negative");
+        assert!(to_s > from_s, "degrade must end after it starts");
+        self.link_degrades.push(LinkDegrade {
+            a,
+            b,
+            latency_factor,
+            loss_prob,
+            from_s,
+            to_s,
+        });
+        self
+    }
+
     /// Drop each streamed frame independently with probability `prob`,
     /// decided deterministically from the plan seed (set it with
     /// [`Self::seeded`] or [`Self::lose_fetches`]).
@@ -363,6 +505,101 @@ impl FaultPlan {
     /// The scripted frame delays, in insertion order.
     pub fn frame_delays(&self) -> &[FrameDelay] {
         &self.frame_delays
+    }
+
+    /// The scripted network partitions, in insertion order.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// The scripted link degradations, in insertion order.
+    pub fn link_degrades(&self) -> &[LinkDegrade] {
+        &self.link_degrades
+    }
+
+    /// Fast gate for the partition-aware placement path: plans without
+    /// partitions keep the tournament-tree pick and the exact legacy
+    /// schedule, bit for bit.
+    pub fn has_partitions(&self) -> bool {
+        !self.partitions.is_empty()
+    }
+
+    /// Can `a` and `b` exchange a message at `at_s`? False while any
+    /// active partition separates them. A node can always reach itself.
+    pub fn can_reach(&self, a: usize, b: usize, at_s: f64) -> bool {
+        a == b
+            || !self
+                .partitions
+                .iter()
+                .any(|p| p.active_at(at_s) && p.separates(a, b))
+    }
+
+    /// The partition window separating `a` and `b` at `at_s`, if any.
+    /// Plans validated against overlap have at most one.
+    pub fn cut_between(&self, a: usize, b: usize, at_s: f64) -> Option<(f64, f64)> {
+        self.partitions
+            .iter()
+            .filter(|p| p.active_at(at_s) && p.separates(a, b))
+            .map(|p| (p.from_s, p.to_s))
+            .fold(None, |acc: Option<(f64, f64)>, w| {
+                Some(acc.map_or(w, |a| if w.1 > a.1 { w } else { a }))
+            })
+    }
+
+    /// Earliest cut separating `a` and `b` that begins strictly after
+    /// `after_s`, as a `(cut_s, heal_s)` window.
+    pub fn next_cut_after(&self, a: usize, b: usize, after_s: f64) -> Option<(f64, f64)> {
+        self.partitions
+            .iter()
+            .filter(|p| p.from_s > after_s && p.separates(a, b))
+            .map(|p| (p.from_s, p.to_s))
+            .fold(None, |acc: Option<(f64, f64)>, w| {
+                Some(acc.map_or(w, |a| if w.0 < a.0 { w } else { a }))
+            })
+    }
+
+    /// Earliest time ≥ `at_s` at which `a` can reach `b`, walking
+    /// through (possibly back-to-back) partition windows. Partitions are
+    /// finite, so this always terminates and returns a finite time.
+    pub fn earliest_reach(&self, a: usize, b: usize, at_s: f64) -> f64 {
+        let mut t = at_s;
+        while let Some((_, heal)) = self.cut_between(a, b, t) {
+            t = heal;
+        }
+        t
+    }
+
+    /// Latency multiplier for a transfer on the link `a`–`b` at `at_s`
+    /// (1.0 on a healthy link; concurrent degradations compose).
+    pub fn link_latency_factor(&self, a: usize, b: usize, at_s: f64) -> f64 {
+        self.link_degrades
+            .iter()
+            .filter(|d| d.active_at(at_s) && d.covers(a, b))
+            .map(|d| d.latency_factor)
+            .product()
+    }
+
+    /// Whether the `attempt`-th send over link `a`–`b` at `at_s` is lost
+    /// to link degradation (the transport pays for it and re-sends).
+    /// Deterministic in the plan's seed; the link is symmetric so the
+    /// coin is too.
+    pub fn link_lost(&self, a: usize, b: usize, attempt: usize, at_s: f64) -> bool {
+        let prob: f64 = self
+            .link_degrades
+            .iter()
+            .filter(|d| d.active_at(at_s) && d.covers(a, b))
+            .map(|d| d.loss_prob)
+            .fold(0.0, |acc, p| 1.0 - (1.0 - acc) * (1.0 - p));
+        if prob <= 0.0 {
+            return false;
+        }
+        let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
+        let key = mix(self.seed ^ mix(0x1a7e_917c))
+            ^ mix(lo)
+            ^ mix(hi << 20)
+            ^ mix((attempt as u64) << 40);
+        let u = (mix(key) >> 11) as f64 / (1u64 << 53) as f64;
+        u < prob
     }
 
     /// Earliest producer-crash time, if the plan crashes the producer.
@@ -479,11 +716,40 @@ impl FaultPlan {
             producer_stalls: Vec::new(),
             frame_drops: Vec::new(),
             frame_delays: Vec::new(),
+            partitions: Vec::new(),
+            link_degrades: Vec::new(),
             lost_fetch_prob,
             frame_drop_prob: 0.0,
             frame_dup_prob: 0.0,
             seed,
         }
+    }
+
+    /// Replace the partition half of the plan wholesale — the chaos
+    /// shrinker pairs this with [`Self::from_parts`] /
+    /// [`Self::with_stream_parts`] to rebuild shrunken candidates that
+    /// carry partitions and link degradations.
+    pub fn with_partition_parts(
+        mut self,
+        partitions: Vec<Partition>,
+        link_degrades: Vec<LinkDegrade>,
+    ) -> Self {
+        assert!(
+            partitions
+                .iter()
+                .all(|p| p.from_s >= 0.0 && p.to_s > p.from_s),
+            "partition windows must be non-negative and heal after the cut"
+        );
+        assert!(
+            link_degrades.iter().all(|d| d.from_s >= 0.0
+                && d.to_s > d.from_s
+                && d.latency_factor >= 1.0
+                && (0.0..=1.0).contains(&d.loss_prob)),
+            "link degradations must have valid windows, factors and probabilities"
+        );
+        self.partitions = partitions;
+        self.link_degrades = link_degrades;
+        self
     }
 
     /// Replace the stream-fault half of the plan wholesale — the chaos
@@ -559,6 +825,24 @@ impl FaultPlan {
                 });
             }
         }
+        for p in &self.partitions {
+            if let Some(node) = p.listed_nodes().find(|&n| n >= nodes) {
+                return Err(FaultPlanError::NodeOutOfRange {
+                    what: "partition",
+                    node,
+                    nodes,
+                });
+            }
+        }
+        for d in &self.link_degrades {
+            if let Some(node) = [d.a, d.b].into_iter().find(|&n| n >= nodes) {
+                return Err(FaultPlanError::NodeOutOfRange {
+                    what: "link",
+                    node,
+                    nodes,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -627,6 +911,40 @@ impl FaultPlan {
                 out.push(',');
             }
             out.push_str(&format!("{{\"frame\":{},\"by_s\":{:?}}}", d.frame, d.by_s));
+        }
+        out.push_str("],\"partitions\":[");
+        for (i, p) in self.partitions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"groups\":[");
+            for (gi, g) in p.groups.iter().enumerate() {
+                if gi > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                for (ni, n) in g.iter().enumerate() {
+                    if ni > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{n}"));
+                }
+                out.push(']');
+            }
+            out.push_str(&format!(
+                "],\"from_s\":{:?},\"to_s\":{:?}}}",
+                p.from_s, p.to_s
+            ));
+        }
+        out.push_str("],\"links\":[");
+        for (i, d) in self.link_degrades.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"a\":{},\"b\":{},\"latency_factor\":{:?},\"loss_prob\":{:?},\"from_s\":{:?},\"to_s\":{:?}}}",
+                d.a, d.b, d.latency_factor, d.loss_prob, d.from_s, d.to_s
+            ));
         }
         out.push_str(&format!(
             "],\"lost_fetch_prob\":{:?},\"frame_drop_prob\":{:?},\"frame_dup_prob\":{:?},\"seed\":{}}}",
@@ -700,6 +1018,68 @@ impl FaultPlan {
                 return Err(FaultPlanError::DuplicateDeath { node: d.node });
             }
         }
+        for p in &plan.partitions {
+            if p.from_s < 0.0 {
+                return Err(FaultPlanError::NegativeTime {
+                    what: "partition",
+                    at_s: p.from_s,
+                });
+            }
+            if p.to_s <= p.from_s {
+                return Err(FaultPlanError::HealBeforeCut {
+                    what: "partition",
+                    from_s: p.from_s,
+                    to_s: p.to_s,
+                });
+            }
+            // A node listed in two groups of the same partition would sit
+            // on both sides of its own cut.
+            for (gi, g) in p.groups.iter().enumerate() {
+                for &n in g {
+                    if p.groups[..gi].iter().any(|h| h.contains(&n))
+                        || g.iter().filter(|&&m| m == n).count() > 1
+                    {
+                        return Err(FaultPlanError::OverlappingPartition { node: n });
+                    }
+                }
+            }
+        }
+        // Two partitions whose windows overlap in time must not list the
+        // same node — reachability would be ambiguous.
+        for (i, p) in plan.partitions.iter().enumerate() {
+            for q in &plan.partitions[..i] {
+                if p.from_s < q.to_s && q.from_s < p.to_s {
+                    if let Some(n) = p.listed_nodes().find(|&n| q.listed_nodes().any(|m| m == n)) {
+                        return Err(FaultPlanError::OverlappingPartition { node: n });
+                    }
+                }
+            }
+        }
+        for d in &plan.link_degrades {
+            if d.from_s < 0.0 {
+                return Err(FaultPlanError::NegativeTime {
+                    what: "link",
+                    at_s: d.from_s,
+                });
+            }
+            if d.to_s <= d.from_s {
+                return Err(FaultPlanError::HealBeforeCut {
+                    what: "link",
+                    from_s: d.from_s,
+                    to_s: d.to_s,
+                });
+            }
+            if d.latency_factor < 1.0 {
+                return Err(FaultPlanError::SubUnitLinkFactor {
+                    a: d.a,
+                    b: d.b,
+                    factor: d.latency_factor,
+                });
+            }
+            if !(0.0..=1.0).contains(&d.loss_prob) {
+                return Err(FaultPlanError::InvalidProbability { prob: d.loss_prob });
+            }
+        }
         Ok(plan)
     }
 
@@ -722,6 +1102,8 @@ impl FaultPlan {
         let mut producer_stalls = Vec::new();
         let mut frame_drops = Vec::new();
         let mut frame_delays = Vec::new();
+        let mut partitions = Vec::new();
+        let mut link_degrades = Vec::new();
         let mut lost_fetch_prob = 0.0;
         let mut frame_drop_prob = 0.0;
         let mut frame_dup_prob = 0.0;
@@ -858,6 +1240,80 @@ impl FaultPlan {
                             Ok(())
                         })?;
                     }
+                    // Partition records nest an array-of-arrays under
+                    // "groups", which the flat-number `object()` helper
+                    // cannot express — parsed by hand.
+                    "partitions" => {
+                        p.array(|p| -> Result<(), FaultPlanError> {
+                            let mut groups: Option<Vec<Vec<usize>>> = None;
+                            let (mut from_s, mut to_s) = (None, None);
+                            p.expect('{')?;
+                            if p.peek_is('}') {
+                                p.expect('}')?;
+                            } else {
+                                loop {
+                                    let key = p.string()?;
+                                    p.expect(':')?;
+                                    match key.as_str() {
+                                        "groups" => {
+                                            let mut gs: Vec<Vec<usize>> = Vec::new();
+                                            p.array(|p| -> Result<(), FaultPlanError> {
+                                                let mut g = Vec::new();
+                                                p.array(|p| -> Result<(), FaultPlanError> {
+                                                    g.push(p.integer()? as usize);
+                                                    Ok(())
+                                                })?;
+                                                gs.push(g);
+                                                Ok(())
+                                            })?;
+                                            groups = Some(gs);
+                                        }
+                                        "from_s" => from_s = Some(p.number()?),
+                                        "to_s" => to_s = Some(p.number()?),
+                                        other => return Err(unknown("partition", other)),
+                                    }
+                                    if !p.comma_or_close('}')? {
+                                        break;
+                                    }
+                                }
+                            }
+                            partitions.push(Partition {
+                                groups: groups.ok_or("partition missing \"groups\"")?,
+                                from_s: from_s.ok_or("partition missing \"from_s\"")?,
+                                to_s: to_s.ok_or("partition missing \"to_s\"")?,
+                            });
+                            Ok(())
+                        })?;
+                    }
+                    "links" => {
+                        p.array(|p| -> Result<(), FaultPlanError> {
+                            let (mut a, mut b) = (None, None);
+                            let (mut latency_factor, mut loss_prob) = (None, None);
+                            let (mut from_s, mut to_s) = (None, None);
+                            p.object(|k, v| -> Result<(), FaultPlanError> {
+                                match k {
+                                    "a" => a = Some(v as usize),
+                                    "b" => b = Some(v as usize),
+                                    "latency_factor" => latency_factor = Some(v),
+                                    "loss_prob" => loss_prob = Some(v),
+                                    "from_s" => from_s = Some(v),
+                                    "to_s" => to_s = Some(v),
+                                    other => return Err(unknown("link", other)),
+                                }
+                                Ok(())
+                            })?;
+                            link_degrades.push(LinkDegrade {
+                                a: a.ok_or("link missing \"a\"")?,
+                                b: b.ok_or("link missing \"b\"")?,
+                                latency_factor: latency_factor
+                                    .ok_or("link missing \"latency_factor\"")?,
+                                loss_prob: loss_prob.ok_or("link missing \"loss_prob\"")?,
+                                from_s: from_s.ok_or("link missing \"from_s\"")?,
+                                to_s: to_s.ok_or("link missing \"to_s\"")?,
+                            });
+                            Ok(())
+                        })?;
+                    }
                     "lost_fetch_prob" => lost_fetch_prob = p.number()?,
                     "frame_drop_prob" => frame_drop_prob = p.number()?,
                     "frame_dup_prob" => frame_dup_prob = p.number()?,
@@ -880,6 +1336,8 @@ impl FaultPlan {
             producer_stalls,
             frame_drops,
             frame_delays,
+            partitions,
+            link_degrades,
             lost_fetch_prob,
             frame_drop_prob,
             frame_dup_prob,
@@ -1528,5 +1986,187 @@ mod tests {
             })
         );
         assert!(FaultPlan::none().validate(1, 1).is_ok());
+    }
+
+    // ---- partitions and link degradation ----
+
+    #[test]
+    fn partition_reachability_semantics() {
+        let p = FaultPlan::none().partition(vec![vec![0, 1], vec![2, 3]], 10.0, 20.0);
+        assert!(p.has_partitions());
+        assert!(!p.is_empty());
+        // Same side of the cut, or outside the window: reachable.
+        assert!(p.can_reach(0, 1, 15.0));
+        assert!(p.can_reach(2, 3, 15.0));
+        assert!(p.can_reach(0, 2, 9.99));
+        assert!(p.can_reach(0, 2, 20.0), "heal bound is half-open");
+        // Across the cut while active: unreachable.
+        assert!(!p.can_reach(0, 2, 10.0));
+        assert!(!p.can_reach(3, 1, 19.99));
+        // Self-loops always reach.
+        assert!(p.can_reach(2, 2, 15.0));
+        assert_eq!(p.cut_between(0, 2, 15.0), Some((10.0, 20.0)));
+        assert_eq!(p.cut_between(0, 1, 15.0), None);
+        assert_eq!(p.next_cut_after(0, 2, 5.0), Some((10.0, 20.0)));
+        assert_eq!(p.next_cut_after(0, 2, 10.0), None, "strictly after");
+        assert_eq!(p.earliest_reach(0, 2, 15.0), 20.0);
+        assert_eq!(p.earliest_reach(0, 2, 3.0), 3.0);
+    }
+
+    #[test]
+    fn unlisted_nodes_form_the_remainder_group() {
+        // Node 4 is unlisted: it sits outside every group and is cut off
+        // from all listed groups (it has no group, so `group_of` is None
+        // for it but Some for listed nodes).
+        let p = FaultPlan::none().partition(vec![vec![0], vec![1]], 0.0, 5.0);
+        assert!(!p.can_reach(0, 4, 1.0));
+        assert!(!p.can_reach(1, 4, 1.0));
+        // Two unlisted nodes share the remainder group.
+        assert!(p.can_reach(4, 5, 1.0));
+    }
+
+    #[test]
+    fn earliest_reach_walks_heal_chains() {
+        let p = FaultPlan::none()
+            .partition(vec![vec![0], vec![1]], 1.0, 2.0)
+            .partition(vec![vec![0], vec![1]], 2.0, 4.0);
+        // At t=1.5 the first cut is live; its heal at 2.0 lands inside
+        // the second cut, so reachability only resumes at 4.0.
+        assert_eq!(p.earliest_reach(0, 1, 1.5), 4.0);
+    }
+
+    #[test]
+    fn link_degradation_inflates_latency_and_flips_loss_coins() {
+        let p = FaultPlan::none()
+            .degrade_link(0, 2, 3.0, 0.5, 5.0, 15.0)
+            .seeded(99);
+        assert_eq!(p.link_latency_factor(0, 2, 10.0), 3.0);
+        assert_eq!(p.link_latency_factor(2, 0, 10.0), 3.0, "symmetric");
+        assert_eq!(p.link_latency_factor(0, 2, 4.0), 1.0);
+        assert_eq!(p.link_latency_factor(0, 1, 10.0), 1.0);
+        // Coin is deterministic in (plan seed, link, attempt) and roughly
+        // calibrated to the configured probability.
+        let mut lost = 0;
+        let n = 4000;
+        for i in 0..n {
+            let a = p.link_lost(0, 2, i, 10.0);
+            assert_eq!(a, p.link_lost(2, 0, i, 10.0), "symmetric coin");
+            lost += usize::from(a);
+        }
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.5).abs() < 0.05, "loss rate {rate} far from 0.5");
+        assert!(!p.link_lost(0, 2, 0, 20.0), "no loss outside the window");
+    }
+
+    #[test]
+    fn partition_json_round_trips_exactly() {
+        let p = FaultPlan::none()
+            .partition(vec![vec![0, 1], vec![2]], 1.5, 7.25)
+            .degrade_link(0, 3, 2.5, 0.125, 0.5, 9.0)
+            .kill_node(1, 3.0);
+        let json = p.to_json();
+        let q = FaultPlan::from_json(&json).unwrap();
+        assert_eq!(p, q, "round-trip must be exact, bit-for-bit");
+        assert_eq!(q.to_json(), json, "re-serialization is stable");
+    }
+
+    #[test]
+    fn legacy_plans_without_partition_fields_still_parse() {
+        let json = "{\"deaths\":[{\"node\":0,\"at_s\":1.0}],\"seed\":3}";
+        let p = FaultPlan::from_json(json).unwrap();
+        assert!(p.partitions().is_empty());
+        assert!(p.link_degrades().is_empty());
+        assert!(!p.has_partitions());
+    }
+
+    #[test]
+    fn partition_json_rejects_bad_plans_with_typed_errors() {
+        // Heal at or before the cut.
+        match FaultPlan::from_json(
+            "{\"partitions\":[{\"groups\":[[0],[1]],\"from_s\":5.0,\"to_s\":5.0}]}",
+        ) {
+            Err(FaultPlanError::HealBeforeCut {
+                what: "partition",
+                from_s,
+                to_s,
+            }) => {
+                assert_eq!((from_s, to_s), (5.0, 5.0));
+            }
+            other => panic!("expected HealBeforeCut, got {other:?}"),
+        }
+        // One node in two groups of the same partition.
+        match FaultPlan::from_json(
+            "{\"partitions\":[{\"groups\":[[0,1],[1]],\"from_s\":0.0,\"to_s\":5.0}]}",
+        ) {
+            Err(FaultPlanError::OverlappingPartition { node: 1 }) => {}
+            other => panic!("expected OverlappingPartition, got {other:?}"),
+        }
+        // Two time-overlapping partitions claiming the same node.
+        match FaultPlan::from_json(
+            "{\"partitions\":[{\"groups\":[[0],[1]],\"from_s\":0.0,\"to_s\":5.0},\
+             {\"groups\":[[1],[2]],\"from_s\":4.0,\"to_s\":6.0}]}",
+        ) {
+            Err(FaultPlanError::OverlappingPartition { node: 1 }) => {}
+            other => panic!("expected OverlappingPartition, got {other:?}"),
+        }
+        // Disjoint windows over the same node are fine.
+        assert!(FaultPlan::from_json(
+            "{\"partitions\":[{\"groups\":[[0],[1]],\"from_s\":0.0,\"to_s\":5.0},\
+             {\"groups\":[[1],[2]],\"from_s\":5.0,\"to_s\":6.0}]}",
+        )
+        .is_ok());
+        // Sub-unit latency factor on a link.
+        match FaultPlan::from_json(
+            "{\"links\":[{\"a\":0,\"b\":1,\"latency_factor\":0.5,\"loss_prob\":0.0,\
+             \"from_s\":0.0,\"to_s\":1.0}]}",
+        ) {
+            Err(FaultPlanError::SubUnitLinkFactor { a: 0, b: 1, factor }) => {
+                assert_eq!(factor, 0.5);
+            }
+            other => panic!("expected SubUnitLinkFactor, got {other:?}"),
+        }
+        // Unknown fields stay typed at the new levels.
+        match FaultPlan::from_json(
+            "{\"partitions\":[{\"groups\":[[0]],\"from_s\":0.0,\"to_s\":1.0,\"mode\":1}]}",
+        ) {
+            Err(FaultPlanError::UnknownField {
+                context: "partition",
+                key,
+            }) => assert_eq!(key, "mode"),
+            other => panic!("expected UnknownField, got {other:?}"),
+        }
+        match FaultPlan::from_json(
+            "{\"links\":[{\"a\":0,\"b\":1,\"latency_factor\":1.0,\"loss_prob\":0.0,\
+             \"from_s\":0.0,\"to_s\":1.0,\"jitter\":0.1}]}",
+        ) {
+            Err(FaultPlanError::UnknownField {
+                context: "link",
+                key,
+            }) => assert_eq!(key, "jitter"),
+            other => panic!("expected UnknownField, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partition_validate_checks_node_ranges() {
+        let p = FaultPlan::none().partition(vec![vec![0], vec![5]], 0.0, 1.0);
+        assert!(p.validate(6, 8).is_ok());
+        assert_eq!(
+            p.validate(4, 8),
+            Err(FaultPlanError::NodeOutOfRange {
+                what: "partition",
+                node: 5,
+                nodes: 4
+            })
+        );
+        let l = FaultPlan::none().degrade_link(0, 7, 2.0, 0.0, 0.0, 1.0);
+        assert_eq!(
+            l.validate(4, 8),
+            Err(FaultPlanError::NodeOutOfRange {
+                what: "link",
+                node: 7,
+                nodes: 4
+            })
+        );
     }
 }

@@ -282,7 +282,7 @@ impl Metrics {
                         EventKind::Broadcast { bytes, .. } => {
                             bump(0, 0, *bytes, &mut traffic);
                         }
-                        EventKind::Recovery { .. } => {}
+                        EventKind::Recovery { .. } | EventKind::Fenced { .. } => {}
                         EventKind::Spill { node, bytes } => {
                             mem_entry(&mut memory, *node).bytes_spilled += bytes;
                         }

@@ -54,6 +54,15 @@ pub struct RetryPolicy {
     /// Absolute virtual-time deadline: an attempt that cannot finish by
     /// this time fails fast with [`PolicyError::DeadlineExceeded`].
     pub deadline_s: Option<f64>,
+    /// Heartbeat period of the suspicion-based failure detector. `0.0`
+    /// disables suspicion: partitioned nodes are simply waited out and
+    /// only real deaths are observed (via `detection_delay_s`).
+    pub heartbeat_interval_s: f64,
+    /// How long after the last received heartbeat the detector declares a
+    /// node suspect. A network partition that outlives this window makes
+    /// the detector *false-positive* on a live node — the scheduler
+    /// reschedules while the original attempt survives as a zombie.
+    pub suspicion_timeout_s: f64,
 }
 
 impl Default for RetryPolicy {
@@ -75,6 +84,8 @@ impl RetryPolicy {
             detection_delay_s: 0.0,
             attempt_timeout_s: None,
             deadline_s: None,
+            heartbeat_interval_s: 0.0,
+            suspicion_timeout_s: 0.0,
         }
     }
 
@@ -108,6 +119,34 @@ impl RetryPolicy {
         assert!(deadline_s > 0.0);
         self.deadline_s = Some(deadline_s);
         self
+    }
+
+    /// Enable the suspicion-based failure detector: workers heartbeat
+    /// every `heartbeat_s`; a node whose heartbeats stop (death *or*
+    /// partition) is declared suspect `timeout_s` after its last received
+    /// heartbeat. `timeout_s` must be at least `heartbeat_s`, otherwise
+    /// the detector would suspect healthy nodes between beats.
+    pub fn with_suspicion(mut self, heartbeat_s: f64, timeout_s: f64) -> Self {
+        assert!(heartbeat_s > 0.0, "heartbeat interval must be positive");
+        assert!(
+            timeout_s >= heartbeat_s,
+            "suspicion timeout below the heartbeat interval suspects healthy nodes"
+        );
+        self.heartbeat_interval_s = heartbeat_s;
+        self.suspicion_timeout_s = timeout_s;
+        self
+    }
+
+    /// The configured suspicion detector, if any.
+    pub fn detector(&self) -> Option<Detector> {
+        if self.heartbeat_interval_s > 0.0 {
+            Some(Detector {
+                heartbeat_s: self.heartbeat_interval_s,
+                timeout_s: self.suspicion_timeout_s,
+            })
+        } else {
+            None
+        }
     }
 
     /// Deadline gate for a retry decision. The failure was observed at
@@ -149,6 +188,35 @@ impl RetryPolicy {
         } else {
             cap
         }
+    }
+}
+
+/// Suspicion-based failure detector in virtual time. Workers beat every
+/// `heartbeat_s`; a node is suspect `timeout_s` after its last *received*
+/// beat. Unlike the oracle `detection_delay_s`, this detector can
+/// false-positive: a partitioned-but-alive node stops being heard without
+/// being dead.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Detector {
+    /// Heartbeat period.
+    pub heartbeat_s: f64,
+    /// Silence tolerated after the last received heartbeat.
+    pub timeout_s: f64,
+}
+
+impl Detector {
+    /// When the detector declares a node suspect, given that contact was
+    /// lost (death or partition cut) at `lost_contact_s`. Heartbeats land
+    /// on the grid `0, h, 2h, …`; the last one *received* is the last
+    /// grid point strictly before the cut (a beat exactly at the cut is
+    /// lost with it). The suspect time never precedes the cut itself,
+    /// which keeps the `timeout_s == heartbeat_s` boundary honest: a cut
+    /// just after a beat is suspected one full timeout later, a cut just
+    /// before a beat almost immediately.
+    pub fn suspect_time(&self, lost_contact_s: f64) -> f64 {
+        let h = self.heartbeat_s;
+        let last_beat = ((lost_contact_s / h).ceil() - 1.0).max(0.0) * h;
+        (last_beat + self.timeout_s).max(lost_contact_s)
     }
 }
 
@@ -251,6 +319,38 @@ mod tests {
     #[should_panic]
     fn zero_attempts_rejected() {
         RetryPolicy::new(0);
+    }
+
+    #[test]
+    fn suspicion_detector_math() {
+        let p = RetryPolicy::new(3).with_suspicion(1.0, 3.0);
+        let d = p.detector().expect("suspicion enabled");
+        // Cut at 5.5: last received beat was at 5.0, suspect at 8.0.
+        assert_eq!(d.suspect_time(5.5), 8.0);
+        // Cut exactly on a beat: that beat is lost, last received is the
+        // previous one.
+        assert_eq!(d.suspect_time(5.0), 7.0);
+        // Cut before the first beat: nothing was ever heard after t=0.
+        assert_eq!(d.suspect_time(0.5), 3.0);
+        assert_eq!(d.suspect_time(0.0), 3.0);
+        // timeout == heartbeat boundary: suspicion can never precede the
+        // cut, even though last_beat + timeout would.
+        let tight = RetryPolicy::new(3).with_suspicion(2.0, 2.0);
+        let d = tight.detector().unwrap();
+        assert_eq!(d.suspect_time(3.9), 4.0, "last beat 2.0 + 2.0");
+        assert_eq!(d.suspect_time(4.0), 4.0, "clamped to the cut itself");
+        assert_eq!(d.suspect_time(4.1), 6.0);
+    }
+
+    #[test]
+    fn suspicion_disabled_by_default() {
+        assert_eq!(RetryPolicy::new(3).detector(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn suspicion_timeout_below_heartbeat_rejected() {
+        RetryPolicy::new(3).with_suspicion(2.0, 1.0);
     }
 
     #[test]

@@ -55,6 +55,18 @@ pub struct SimReport {
     /// Tasks or workers killed outright because a node's memory budget
     /// could not accommodate them even after spilling/evicting.
     pub oom_kills: usize,
+    /// Attempts orphaned by a false-positive failure detection: the node
+    /// was partitioned, not dead, and the attempt kept computing while its
+    /// task was rescheduled elsewhere.
+    pub zombie_attempts: usize,
+    /// Virtual core-time burned by zombie attempts — work that completed
+    /// but whose result was fenced off. Wasted-work accounting distinct
+    /// from `lost_time_s` (partial work of killed attempts).
+    pub zombie_time_s: f64,
+    /// Stale results rejected by fencing (attempt epochs / generation
+    /// numbers). Each fenced result corresponds to exactly one zombie or
+    /// superseded delivery that was *not* double-counted.
+    pub fenced_results: usize,
     /// Per-node resident-memory high-water marks (bytes), indexed by node.
     /// Empty when the run never engaged the memory ledger.
     pub mem_high_water: Vec<u64>,

@@ -395,6 +395,9 @@ struct Runner<'a> {
     /// channel's high-water mark.
     last_close_s: f64,
     handled_deaths: Vec<usize>,
+    /// Partition indices whose false-positive suspicion has already been
+    /// acted on (window replay + fence) — the exactly-once guard.
+    handled_partitions: Vec<usize>,
     faults: FaultPlan,
 }
 
@@ -449,10 +452,18 @@ impl<'a> Runner<'a> {
         // consumer's view and the state is replayed once the death is
         // detected. Fresh placements only go to nodes believed alive.
         let pinned = home.is_some();
+        let has_parts = self.faults.has_partitions();
         let mut t = now;
         loop {
             for &n in &candidates {
-                if (pinned || self.alive(n, t)) && self.exec.try_reserve_memory(n, bytes, t) {
+                // Fresh placements additionally avoid nodes the driver
+                // cannot currently reach — state written across a cut
+                // would immediately be stranded.
+                let reachable = !has_parts || pinned || self.faults.can_reach(0, n, t);
+                if (pinned || self.alive(n, t))
+                    && reachable
+                    && self.exec.try_reserve_memory(n, bytes, t)
+                {
                     if t > now {
                         self.exec.record_backpressure(n, now, t);
                         self.out.backpressure_pauses += 1;
@@ -462,7 +473,25 @@ impl<'a> Runner<'a> {
                     return Ok((n, t));
                 }
             }
-            match self.faults.next_mem_change_after(t) {
+            // Advance to whatever changes the picture next: a scheduled
+            // memory-budget change, or a cut healing and re-admitting a
+            // candidate node.
+            let next_heal = if has_parts && !pinned {
+                candidates
+                    .iter()
+                    .filter_map(|&n| self.faults.cut_between(0, n, t).map(|(_, h)| h))
+                    .fold(None, |acc: Option<f64>, h| {
+                        Some(acc.map_or(h, |a| a.min(h)))
+                    })
+            } else {
+                None
+            };
+            let next = match (self.faults.next_mem_change_after(t), next_heal) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, None) => a,
+                (None, b) => b,
+            };
+            match next {
                 Some(t2) => t = t2,
                 None => {
                     // Nothing scheduled can ever make room: fail typed.
@@ -610,6 +639,69 @@ impl<'a> Runner<'a> {
         Ok(())
     }
 
+    /// Notice partitions the suspicion detector has (falsely) given up on
+    /// by `now` and re-home the window state stranded behind the cut. The
+    /// stranded node is *alive*: its replica keeps accumulating until
+    /// heal, when its duplicate window contribution arrives under a stale
+    /// window epoch and is fenced — exactly once per stranded window, so
+    /// no frame is double-counted. A cut the detector waits out
+    /// (`suspect_time ≥ heal`) replays nothing: the state was never given
+    /// up on.
+    fn handle_partitions_up_to(&mut self, now: f64) -> Result<(), StreamError> {
+        if !self.faults.has_partitions() {
+            return Ok(());
+        }
+        let Some(det) = self.policy.detector() else {
+            return Ok(());
+        };
+        let parts = self.faults.partitions().to_vec();
+        for (i, p) in parts.iter().enumerate() {
+            let suspect = det.suspect_time(p.from_s);
+            if suspect >= p.to_s || suspect > now || self.handled_partitions.contains(&i) {
+                continue;
+            }
+            self.handled_partitions.push(i);
+            let stranded: Vec<usize> = self
+                .open
+                .iter()
+                .filter(|(_, w)| p.separates(0, w.node))
+                .map(|(&id, _)| id)
+                .collect();
+            for wid in stranded {
+                let (node, reserved, frames) = {
+                    let w = &self.open[&wid];
+                    (w.node, w.reserved, w.frames.clone())
+                };
+                // The driver writes off the stranded replica (its ledger
+                // entry is released on suspicion) and rebuilds the window
+                // from lineage on a reachable node.
+                self.exec.release_memory(node, reserved);
+                let (new_node, ready) = self.reserve_state(reserved, suspect, None, Some(node))?;
+                self.exec
+                    .record_recovery("window-replay", p.from_s, ready.max(suspect));
+                self.exec.set_task_label("stream-replay");
+                let mut done = 0.0f64;
+                for &f in &frames {
+                    let pl =
+                        self.exec
+                            .run_task_policied(ready, self.spec.frame_cost_s, self.policy)?;
+                    done = done.max(pl.end);
+                    let e = self.frame_done.entry(f).or_insert(0.0);
+                    *e = e.max(pl.end);
+                }
+                self.out.frames_replayed += frames.len();
+                self.exec.report_mut().recomputed_partitions += frames.len();
+                // The zombie replica's contribution is rejected at heal.
+                self.exec.record_fenced("window-duplicate", suspect, p.to_s);
+                let w = self.open.get_mut(&wid).expect("window is open");
+                w.node = new_node;
+                w.replayed = true;
+                w.work_done_s = w.work_done_s.max(done);
+            }
+        }
+        Ok(())
+    }
+
     /// Close every open window the watermark has passed, in end order.
     fn close_ripe_windows(&mut self, trigger_s: f64, flush: bool) -> Result<(), StreamError> {
         loop {
@@ -728,6 +820,7 @@ impl<'a> Runner<'a> {
                 }
             }
             self.handle_deaths_up_to(now)?;
+            self.handle_partitions_up_to(now)?;
             if ev.frame >= self.seen.len() {
                 self.seen.resize(ev.frame + 1, false);
             }
@@ -786,6 +879,7 @@ impl<'a> Runner<'a> {
             self.close_ripe_windows(last_now, false)?;
         }
         self.handle_deaths_up_to(last_now)?;
+        self.handle_partitions_up_to(last_now)?;
         if !self.open.is_empty() || !self.buffer.is_empty() {
             if source.crashed_at.is_some() {
                 // The producer died mid-stream: the frames that would
@@ -841,6 +935,7 @@ pub fn run_stream(
         ingest_free_s: start,
         last_close_s: 0.0,
         handled_deaths: Vec::new(),
+        handled_partitions: Vec::new(),
         faults,
     };
     runner.run(source)?;
@@ -996,7 +1091,17 @@ mod tests {
         spec: &StreamSpec,
         policy: &RetryPolicy,
     ) -> Result<(StreamOutput, SimReport), StreamError> {
-        let cluster = Cluster::new(laptop(), 2).with_faults(faults);
+        run_with_nodes(faults, 2, source, spec, policy)
+    }
+
+    fn run_with_nodes(
+        faults: FaultPlan,
+        nodes: usize,
+        source: &SourceLog,
+        spec: &StreamSpec,
+        policy: &RetryPolicy,
+    ) -> Result<(StreamOutput, SimReport), StreamError> {
+        let cluster = Cluster::new(laptop(), nodes).with_faults(faults);
         let mut exec = SimExecutor::new(cluster);
         exec.enable_trace();
         let out = run_stream(&mut exec, source, spec, policy, &mut |f| mix(f as u64))?;
@@ -1153,6 +1258,135 @@ mod tests {
         assert_eq!(out.duplicates_dropped, 1);
         assert_eq!(out.frames_accepted, 6);
         assert_eq!(check_stream_invariants(&source, &sp, &out, 1.0), None);
+    }
+
+    /// Node 0 (the driver) holds no state memory, so every window lands on
+    /// node 1 — the node the partition tests then cut off or kill.
+    fn driverless_state() -> FaultPlan {
+        FaultPlan::none().shrink_memory(0, 0.0, 0)
+    }
+
+    #[test]
+    fn false_positive_partition_replays_windows_and_fences_duplicates() {
+        // A cut isolates node 1 (where all window state lives) from 1.0s
+        // to 4.0s — long enough for the detector (beat 0.25s, timeout
+        // 0.5s → suspected at 1.25s) to falsely give up on a node that is
+        // still alive. The stranded windows replay on node 2 and the
+        // zombie replica's post-heal contribution is fenced.
+        let faults = driverless_state().partition(vec![vec![0, 2], vec![1]], 1.0, 4.0);
+        let source = SourceLog::clean(20, 0.25, 0.05);
+        let sp = spec(DispatchMode::PerFrame);
+        let policy = RetryPolicy::new(4)
+            .with_detection_delay(0.25)
+            .with_suspicion(0.25, 0.5);
+        let (out, report) = run_with_nodes(faults, 3, &source, &sp, &policy).expect("recovers");
+        assert!(out.frames_replayed > 0, "stranded windows were replayed");
+        assert!(
+            report.fenced_results > 0,
+            "zombie contributions were fenced"
+        );
+        assert!(out.windows.iter().any(|w| w.replayed));
+        // No double count: if a fenced replica's frames were also folded,
+        // the window values would differ from the fault-free run.
+        let (clean, _) =
+            run_with_nodes(driverless_state(), 3, &source, &sp, &RetryPolicy::new(3)).unwrap();
+        let a: Vec<_> = out.windows.iter().map(|w| (w.id, w.value)).collect();
+        let b: Vec<_> = clean.windows.iter().map(|w| (w.id, w.value)).collect();
+        assert_eq!(a, b, "fenced replay never double-counts a frame");
+        assert_eq!(check_stream_invariants(&source, &sp, &out, 8.0), None);
+    }
+
+    #[test]
+    fn waited_out_cut_replays_nothing_and_fences_nothing() {
+        // The cut heals at 1.2s, before the detector's suspicion time of
+        // 1.25s: a patient detector never gives up on the node, so there
+        // is no zombie, no replay, and no fence.
+        let faults = driverless_state().partition(vec![vec![0, 2], vec![1]], 1.0, 1.2);
+        let source = SourceLog::clean(20, 0.25, 0.05);
+        let sp = spec(DispatchMode::PerFrame);
+        let policy = RetryPolicy::new(4)
+            .with_detection_delay(0.25)
+            .with_suspicion(0.25, 0.5);
+        let (out, report) = run_with_nodes(faults, 3, &source, &sp, &policy).expect("rides it out");
+        assert_eq!(out.frames_replayed, 0, "nothing was given up on");
+        assert_eq!(report.fenced_results, 0, "no zombie, nothing to fence");
+        let (clean, _) =
+            run_with_nodes(driverless_state(), 3, &source, &sp, &RetryPolicy::new(3)).unwrap();
+        let a: Vec<_> = out.windows.iter().map(|w| (w.id, w.value)).collect();
+        let b: Vec<_> = clean.windows.iter().map(|w| (w.id, w.value)).collect();
+        assert_eq!(a, b);
+        assert_eq!(check_stream_invariants(&source, &sp, &out, 8.0), None);
+    }
+
+    #[test]
+    fn suspicion_timeout_equal_to_heartbeat_suspects_at_the_cut() {
+        // Boundary audit: timeout == heartbeat means a cut landing exactly
+        // on a beat (1.0s is a multiple of 0.25s) is suspected the instant
+        // it happens — suspect_time clamps to the cut, never before it.
+        // Instant suspicion must still replay and fence exactly once.
+        let faults = driverless_state().partition(vec![vec![0, 2], vec![1]], 1.0, 3.0);
+        let source = SourceLog::clean(20, 0.25, 0.05);
+        let sp = spec(DispatchMode::PerFrame);
+        let policy = RetryPolicy::new(4)
+            .with_detection_delay(0.25)
+            .with_suspicion(0.25, 0.25);
+        let (out, report) = run_with_nodes(faults, 3, &source, &sp, &policy).expect("recovers");
+        assert!(report.fenced_results > 0);
+        assert!(out.frames_replayed > 0);
+        let (clean, _) =
+            run_with_nodes(driverless_state(), 3, &source, &sp, &RetryPolicy::new(3)).unwrap();
+        let a: Vec<_> = out.windows.iter().map(|w| (w.id, w.value)).collect();
+        let b: Vec<_> = clean.windows.iter().map(|w| (w.id, w.value)).collect();
+        assert_eq!(a, b, "instant suspicion still folds every frame once");
+        assert_eq!(check_stream_invariants(&source, &sp, &out, 8.0), None);
+    }
+
+    #[test]
+    fn death_at_exact_dispatch_with_zero_detection_replays_once() {
+        // Satellite audit: with_detection_delay(0.0) makes a death visible
+        // the same instant a frame arrives (frame 4 arrives at exactly
+        // 1.05s, when node 1 dies). The replay must not race the dispatch:
+        // the dead node's windows re-home before the frame is accepted,
+        // and nothing is double-counted or hung.
+        let faults = driverless_state().kill_node(1, 1.05);
+        let source = SourceLog::clean(20, 0.25, 0.05);
+        let sp = spec(DispatchMode::PerFrame);
+        let policy = RetryPolicy::new(4).with_detection_delay(0.0);
+        let (out, _) = run_with_nodes(faults, 3, &source, &sp, &policy).expect("recovers");
+        assert!(out.frames_replayed > 0, "the death was felt");
+        assert_eq!(out.windows.len(), 5, "every window still closes once");
+        let (clean, _) =
+            run_with_nodes(driverless_state(), 3, &source, &sp, &RetryPolicy::new(3)).unwrap();
+        let a: Vec<_> = out.windows.iter().map(|w| (w.id, w.value)).collect();
+        let b: Vec<_> = clean.windows.iter().map(|w| (w.id, w.value)).collect();
+        assert_eq!(a, b, "zero-delay detection folds every frame once");
+        assert_eq!(check_stream_invariants(&source, &sp, &out, 8.0), None);
+    }
+
+    #[test]
+    fn producer_crash_stall_time_is_finite_with_zero_detection_delay() {
+        // Satellite audit: the no-deadline stall fallback pads the stall
+        // stamp by detection_delay_s.max(1.0); with a zero detection delay
+        // the typed stall must still land strictly after the last
+        // delivery, not at it (a zero pad would collide with legitimate
+        // completion times).
+        let mut source = SourceLog::clean(16, 0.25, 0.05);
+        source.crashed_at = Some(1.0);
+        source.undelivered = (8..16).collect();
+        source.events.truncate(8);
+        let sp = spec(DispatchMode::PerFrame);
+        let policy = RetryPolicy::new(3).with_detection_delay(0.0);
+        match run_with(FaultPlan::none(), &source, &sp, &policy) {
+            Err(StreamError::Stalled { at_s, .. }) => {
+                let last_arrival = 7.0 * 0.25 + 0.05;
+                assert!(at_s.is_finite());
+                assert!(
+                    at_s > last_arrival,
+                    "stall stamped strictly after the last delivery ({at_s} vs {last_arrival})"
+                );
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
     }
 
     #[test]

@@ -107,6 +107,12 @@ pub enum EventKind {
     /// which ends when a scheduled budget change makes room. Pausing
     /// instead of OOM-killing is the backpressure contract.
     Backpressure { node: usize },
+    /// A stale result rejected by fencing: a zombie attempt (rescheduled
+    /// on false-positive suspicion while the original survived a
+    /// partition) delivered after heal and was discarded by its attempt
+    /// epoch / generation number. The interval spans suspicion to the
+    /// would-be delivery; the label names the engine's fencing mechanism.
+    Fenced { label: Sym },
 }
 
 impl EventKind {
@@ -124,13 +130,17 @@ impl EventKind {
             EventKind::Admit { .. } => "admit",
             EventKind::Reject { .. } => "reject",
             EventKind::Backpressure { .. } => "backpressure",
+            EventKind::Fenced { .. } => "fenced",
         }
     }
 
-    /// The label symbol for kinds that carry one (`Task`, `Recovery`).
+    /// The label symbol for kinds that carry one (`Task`, `Recovery`,
+    /// `Fenced`).
     fn label_sym(&self) -> Option<Sym> {
         match self {
-            EventKind::Task { label, .. } | EventKind::Recovery { label } => Some(*label),
+            EventKind::Task { label, .. }
+            | EventKind::Recovery { label }
+            | EventKind::Fenced { label } => Some(*label),
             _ => None,
         }
     }
@@ -224,6 +234,7 @@ impl Trace {
                 },
             ) => sa == sb,
             (EventKind::Recovery { .. }, EventKind::Recovery { .. }) => true,
+            (EventKind::Fenced { .. }, EventKind::Fenced { .. }) => true,
             (ka, kb) => ka == kb,
         };
         payload_eq
@@ -259,9 +270,9 @@ impl Trace {
     /// and critical-path attribution.
     pub fn label_of(&self, e: &TraceEvent) -> &str {
         match &e.kind {
-            EventKind::Task { label, .. } | EventKind::Recovery { label } => {
-                self.interner.resolve(*label)
-            }
+            EventKind::Task { label, .. }
+            | EventKind::Recovery { label }
+            | EventKind::Fenced { label } => self.interner.resolve(*label),
             EventKind::Fetch { .. } => "fetch",
             EventKind::Broadcast { .. } => "broadcast",
             EventKind::Spill { .. } => "spill",
@@ -477,7 +488,7 @@ impl Trace {
                     bytes.to_string(),
                     dest_nodes.to_string(),
                 ),
-                EventKind::Recovery { label } => (
+                EventKind::Recovery { label } | EventKind::Fenced { label } => (
                     self.resolve(*label).to_string(),
                     String::new(),
                     String::new(),
@@ -604,6 +615,9 @@ impl Trace {
                     }
                 }
                 "recovery" => EventKind::Recovery {
+                    label: t.intern(f[6]),
+                },
+                "fenced" => EventKind::Fenced {
                     label: t.intern(f[6]),
                 },
                 "spill" => EventKind::Spill {

@@ -369,7 +369,10 @@ impl Session {
                     avoid_core: avoid,
                     ..Default::default()
                 };
-                match st.exec.run_task_attempt_checked(t_sched, dur, opts)? {
+                match st
+                    .exec
+                    .run_task_attempt_detected(t_sched, dur, opts, &policy)?
+                {
                     netsim::TaskAttempt::Done(p) => break p,
                     netsim::TaskAttempt::Killed { died_at, core, .. } => {
                         if attempts >= policy.max_attempts {
@@ -393,6 +396,36 @@ impl Session {
                         st.exec.report_mut().retries += 1;
                         t_sched = redispatch;
                         st.exec.record_recovery("re-enqueue", died_at, t_sched);
+                    }
+                    // A partitioned agent the DB poll gave up on: the unit
+                    // went back to FAILED and was re-enqueued, but the
+                    // original agent is alive and finishes behind the cut.
+                    // Its eventual state update carries a stale generation
+                    // number and the DB rejects it — exactly once.
+                    netsim::TaskAttempt::Zombie {
+                        core,
+                        suspected_at,
+                        deliver_at,
+                        ..
+                    } => {
+                        if attempts >= policy.max_attempts {
+                            return Err(EngineError::RetriesExhausted {
+                                attempts,
+                                last_failure_s: suspected_at,
+                            });
+                        }
+                        let redispatch = st
+                            .db
+                            .roundtrip(suspected_at + policy.backoff_before(attempts + 1));
+                        policy.deadline_gate(suspected_at, redispatch)?;
+                        attempts += 1;
+                        avoid = Some(core);
+                        first_died.get_or_insert(suspected_at);
+                        st.exec
+                            .record_fenced("db-generation", suspected_at, deliver_at);
+                        st.exec.report_mut().retries += 1;
+                        t_sched = redispatch;
+                        st.exec.record_recovery("re-enqueue", suspected_at, t_sched);
                     }
                 }
             };

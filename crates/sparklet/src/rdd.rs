@@ -318,8 +318,45 @@ where
                     speculation_cap: spec_cap,
                     avoid_core: avoid,
                 };
-                match state.exec.run_task_attempt_checked(release, dur, opts)? {
+                match state
+                    .exec
+                    .run_task_attempt_detected(release, dur, opts, &policy)?
+                {
                     netsim::TaskAttempt::Done(pl) => break pl,
+                    // A partitioned executor the driver's detector gave up
+                    // on: the stage was re-dispatched, but the original
+                    // attempt finished behind the cut. Its map output
+                    // registers under a stale shuffle epoch after heal and
+                    // the driver discards it — exactly once, never merged.
+                    netsim::TaskAttempt::Zombie {
+                        core,
+                        suspected_at,
+                        deliver_at,
+                        ..
+                    } => {
+                        if attempts >= policy.max_attempts {
+                            return Err(EngineError::RetriesExhausted {
+                                attempts,
+                                last_failure_s: suspected_at,
+                            });
+                        }
+                        let redispatch = release.max(
+                            suspected_at
+                                + policy.backoff_before(attempts + 1)
+                                + profile.central_dispatch_s,
+                        );
+                        policy.deadline_gate(suspected_at, redispatch)?;
+                        attempts += 1;
+                        avoid = Some(core);
+                        first_died.get_or_insert(suspected_at);
+                        state
+                            .exec
+                            .record_fenced("stale-shuffle-epoch", suspected_at, deliver_at);
+                        let rep = state.exec.report_mut();
+                        rep.retries += 1;
+                        rep.overhead_s += profile.central_dispatch_s;
+                        release = redispatch;
+                    }
                     netsim::TaskAttempt::Killed { died_at, core, .. } => {
                         if attempts >= policy.max_attempts {
                             return Err(EngineError::RetriesExhausted {

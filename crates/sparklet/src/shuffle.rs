@@ -238,29 +238,37 @@ where
                     for (p, row) in bytes_pq.iter().enumerate() {
                         let b = row[q];
                         if b > 0 {
-                            let once = cost_once(b, map_node[p] == reduce_nodes[q]);
-                            let mut attempt = 0;
-                            while faults.fetch_lost(p, q, attempt) {
-                                state.exec.record_fetch_lost(
-                                    map_node[p],
-                                    reduce_nodes[q],
-                                    b,
-                                    start + fetch,
-                                    start + fetch + once,
-                                );
-                                fetch += once;
-                                resent += 1;
-                                attempt += 1;
+                            let (from, to) = (map_node[p], reduce_nodes[q]);
+                            // A fetch cannot cross an active cut: it waits
+                            // out the partition before going on the wire.
+                            if faults.has_partitions() {
+                                let at = faults.earliest_reach(from, to, start + fetch);
+                                if at > start + fetch {
+                                    fetch = at - start;
+                                }
                             }
-                            state.exec.record_fetch(
-                                map_node[p],
-                                reduce_nodes[q],
-                                b,
-                                start + fetch,
-                                start + fetch + once,
-                            );
-                            fetch += once;
-                            total_bytes += b;
+                            let base = cost_once(b, from == to);
+                            let mut attempt = 0;
+                            loop {
+                                let t0 = start + fetch;
+                                // Scripted link degradation inflates the
+                                // wire time and adds its own loss coin on
+                                // top of the plan-wide fetch-loss one.
+                                let once = base * faults.link_latency_factor(from, to, t0);
+                                if faults.fetch_lost(p, q, attempt)
+                                    || faults.link_lost(from, to, attempt, t0)
+                                {
+                                    state.exec.record_fetch_lost(from, to, b, t0, t0 + once);
+                                    fetch += once;
+                                    resent += 1;
+                                    attempt += 1;
+                                } else {
+                                    state.exec.record_fetch(from, to, b, t0, t0 + once);
+                                    fetch += once;
+                                    total_bytes += b;
+                                    break;
+                                }
+                            }
                         }
                     }
                     if spilled > 0 {

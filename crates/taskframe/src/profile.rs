@@ -72,9 +72,19 @@ impl FrameworkProfile {
     /// exponential backoff (re-dispatch is never cheaper than going back
     /// through the scheduler once).
     pub fn retry_policy(&self) -> netsim::RetryPolicy {
-        netsim::RetryPolicy::new(self.max_attempts as u32)
+        let policy = netsim::RetryPolicy::new(self.max_attempts as u32)
             .with_detection_delay(self.detection_delay_s)
-            .with_backoff(self.central_dispatch_s, 2.0, 64.0 * self.central_dispatch_s)
+            .with_backoff(self.central_dispatch_s, 2.0, 64.0 * self.central_dispatch_s);
+        if self.detection_delay_s > 0.0 {
+            // Suspicion-based detection for split-brain scenarios: workers
+            // heartbeat at the profile's detection cadence, and a node is
+            // suspected after two silent beats. Only consulted when the
+            // fault plan scripts network partitions — fail-stop plans
+            // never reach the detector.
+            policy.with_suspicion(self.detection_delay_s, 2.0 * self.detection_delay_s)
+        } else {
+            policy
+        }
     }
 }
 
