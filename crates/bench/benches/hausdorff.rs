@@ -30,6 +30,9 @@ fn bench_hausdorff(c: &mut Criterion) {
                 })
             },
         );
+        g.bench_with_input(BenchmarkId::new("pruned", frames), &frames, |bch, _| {
+            bch.iter(|| linalg::hausdorff_rmsd_pruned(black_box(&a.frames), black_box(&b.frames)))
+        });
     }
     g.finish();
 }

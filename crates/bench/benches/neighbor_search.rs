@@ -52,5 +52,40 @@ fn bench_tree_build(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_strategies, bench_tree_build);
+/// The Leaflet-Finder block kernels the generic analysis API dispatches:
+/// brute `block_edges` vs `block_edges_tree` on a full diagonal block.
+fn bench_lf_block_kernels(c: &mut Criterion) {
+    use mdtask_core::leaflet::{block_edges, block_edges_tree};
+    use mdtask_core::partition::Block;
+    let mut g = c.benchmark_group("lf_block_kernels");
+    g.sample_size(10);
+    for n in [4096usize, 16384] {
+        let b = mdsim::bilayer::generate(
+            &BilayerSpec {
+                n_atoms: n,
+                ..Default::default()
+            },
+            17,
+        );
+        let cutoff = b.suggested_cutoff;
+        let block = Block {
+            row: (0, b.positions.len() as u32),
+            col: (0, b.positions.len() as u32),
+        };
+        g.bench_with_input(BenchmarkId::new("brute", n), &n, |bch, _| {
+            bch.iter(|| block_edges(black_box(&b.positions), block, cutoff))
+        });
+        g.bench_with_input(BenchmarkId::new("tree", n), &n, |bch, _| {
+            bch.iter(|| block_edges_tree(black_box(&b.positions), block, cutoff))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_strategies,
+    bench_tree_build,
+    bench_lf_block_kernels
+);
 criterion_main!(benches);

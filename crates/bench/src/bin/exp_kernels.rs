@@ -1,0 +1,260 @@
+//! Optimized per-frame kernels vs their naive references — the kernel
+//! half of the generic-analysis-API PR, tracked the way `sim_throughput`
+//! tracks the simulator's hot path.
+//!
+//! Three kernel families, each with a differential check before any
+//! timing (a speedup is only meaningful if the fast path is exact):
+//!
+//! * **Leaflet-Finder edge discovery** — `block_edges_tree` (BallTree)
+//!   against the brute-force `block_edges`, on generated bilayers at the
+//!   paper's atom counts. The brute leg is O(n²) and is skipped above
+//!   `--brute-max` atoms; the tree leg always runs and its throughput
+//!   (atoms/s) is the CI floor (`--min-atoms-per-sec`). At the largest
+//!   size where both legs ran, `--min-speedup` gates the ratio.
+//! * **Hausdorff / PSA** — `hausdorff_rmsd_pruned` (early-abandon +
+//!   centroid spatial pruning, bitwise-equal by construction and
+//!   proptest) against `hausdorff_naive`, with the fraction of frame-RMSD
+//!   evaluations actually performed.
+//! * **2-D RMSD** — the cache-blocked `rmsd2d_blocked` against the
+//!   row-major `rmsd2d`.
+//!
+//! Results land in `--out` (default `results/kernels.json`).
+//!
+//! ```sh
+//! cargo run -p bench --release --bin exp_kernels
+//! cargo run -p bench --release --bin exp_kernels -- \
+//!     --brute-max 32768 --min-speedup 5 --min-atoms-per-sec 1000000
+//! ```
+
+use linalg::{
+    hausdorff_naive, hausdorff_rmsd_pruned, hausdorff_rmsd_pruned_evals, rmsd2d, rmsd2d_blocked,
+};
+use mdsim::{BilayerSpec, ChainSpec};
+use mdtask_core::leaflet::{block_edges, block_edges_tree};
+use mdtask_core::partition::Block;
+use std::time::Instant;
+
+/// Canonical undirected edge set for the equality check.
+fn canon(mut edges: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    for e in edges.iter_mut() {
+        if e.0 > e.1 {
+            *e = (e.1, e.0);
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t = Instant::now();
+    let v = f();
+    (v, t.elapsed().as_secs_f64())
+}
+
+struct LfPoint {
+    atoms: usize,
+    edges: u64,
+    tree_s: f64,
+    tree_atoms_per_s: f64,
+    brute_s: Option<f64>,
+}
+
+impl LfPoint {
+    fn speedup(&self) -> Option<f64> {
+        self.brute_s.map(|b| b / self.tree_s)
+    }
+}
+
+fn main() {
+    let args = bench::cli::Cli::new()
+        .value(
+            "--brute-max",
+            "N",
+            "largest atom count for the O(n^2) brute leg (default 32768)",
+        )
+        .value(
+            "--min-speedup",
+            "X",
+            "fail unless tree beats brute by Xx at the largest compared size (default: record only)",
+        )
+        .value(
+            "--min-atoms-per-sec",
+            "X",
+            "fail unless the tree leg sustains X atoms/s at the largest size (default: record only)",
+        )
+        .value("--out", "PATH", "output path (default results/kernels.json)")
+        .parse();
+    let brute_max = args.usize_or("--brute-max", 32_768);
+    let min_speedup = args.f64_or("--min-speedup", 0.0);
+    let min_aps = args.f64_or("--min-atoms-per-sec", 0.0);
+    let out_path = args.str_or("--out", "results/kernels.json");
+
+    // --- Leaflet-Finder edge discovery -------------------------------
+    let sizes = [8_192usize, 32_768, 131_072];
+    println!("exp_kernels: tree vs brute edge discovery, brute capped at {brute_max} atoms");
+    let mut lf_points = Vec::new();
+    for &atoms in &sizes {
+        let b = mdsim::bilayer::generate(
+            &BilayerSpec {
+                n_atoms: atoms,
+                ..Default::default()
+            },
+            17,
+        );
+        let n = b.positions.len() as u32;
+        let block = Block {
+            row: (0, n),
+            col: (0, n),
+        };
+        let (tree_edges, tree_s) =
+            time(|| block_edges_tree(&b.positions, block, b.suggested_cutoff));
+        let brute_s = (atoms <= brute_max).then(|| {
+            let (brute_edges, s) = time(|| block_edges(&b.positions, block, b.suggested_cutoff));
+            assert_eq!(
+                canon(tree_edges.clone()),
+                canon(brute_edges),
+                "tree and brute edge sets diverged at {atoms} atoms"
+            );
+            s
+        });
+        let p = LfPoint {
+            atoms,
+            edges: tree_edges.len() as u64,
+            tree_s,
+            tree_atoms_per_s: atoms as f64 / tree_s,
+            brute_s,
+        };
+        println!(
+            "{:>7} atoms: tree {:>8.4}s ({:>12.0} atoms/s), {}",
+            p.atoms,
+            p.tree_s,
+            p.tree_atoms_per_s,
+            match p.brute_s {
+                Some(b) => format!(
+                    "brute {:>8.4}s, speedup {:.1}x (edge sets identical)",
+                    b,
+                    b / p.tree_s
+                ),
+                None => "brute skipped".into(),
+            }
+        );
+        lf_points.push(p);
+    }
+    let gate_point = lf_points
+        .iter()
+        .rfind(|p| p.brute_s.is_some())
+        .expect("at least one compared size");
+    let gate_speedup = gate_point.speedup().unwrap();
+    let largest = lf_points.last().unwrap();
+    let largest_aps = largest.tree_atoms_per_s;
+    println!(
+        "gate: {:.1}x at {} atoms, tree throughput {:.0} atoms/s at {} atoms",
+        gate_speedup, gate_point.atoms, largest_aps, largest.atoms
+    );
+
+    // --- Hausdorff (PSA metric) --------------------------------------
+    let spec = ChainSpec {
+        n_atoms: 64,
+        n_frames: 96,
+        stride: 1,
+        ..Default::default()
+    };
+    let e = mdsim::chain::generate_ensemble(&spec, 2, 23);
+    let (naive_d, naive_s) =
+        time(|| hausdorff_naive(&e[0].frames, &e[1].frames, linalg::frame_rmsd));
+    let (pruned_d, pruned_s) = time(|| hausdorff_rmsd_pruned(&e[0].frames, &e[1].frames));
+    assert_eq!(
+        naive_d.to_bits(),
+        pruned_d.to_bits(),
+        "pruned Hausdorff diverged from naive"
+    );
+    let (_, evals) = hausdorff_rmsd_pruned_evals(&e[0].frames, &e[1].frames);
+    let full = (e[0].frames.len() * e[1].frames.len() * 2) as u64;
+    let hausdorff_speedup = naive_s / pruned_s;
+    println!(
+        "hausdorff: naive {naive_s:.4}s, pruned {pruned_s:.4}s ({hausdorff_speedup:.1}x), \
+         {evals}/{full} frame-RMSD evals (bitwise identical)"
+    );
+
+    // --- 2-D RMSD ----------------------------------------------------
+    let (d_naive, rmsd2d_naive_s) = time(|| rmsd2d(&e[0].frames, &e[1].frames));
+    let (d_blocked, rmsd2d_blocked_s) = time(|| rmsd2d_blocked(&e[0].frames, &e[1].frames));
+    assert_eq!(
+        d_naive.as_slice(),
+        d_blocked.as_slice(),
+        "blocked 2-D RMSD diverged from row-major"
+    );
+    let rmsd2d_speedup = rmsd2d_naive_s / rmsd2d_blocked_s;
+    println!(
+        "rmsd2d: row-major {rmsd2d_naive_s:.4}s, blocked {rmsd2d_blocked_s:.4}s \
+         ({rmsd2d_speedup:.2}x, matrices identical)"
+    );
+
+    // --- JSON --------------------------------------------------------
+    let mut json = String::from("{\n  \"lf_edge_discovery\": {\n    \"points\": [\n");
+    for (i, p) in lf_points.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"atoms\": {}, \"edges\": {}, \"tree_s\": {:.6}, \
+             \"tree_atoms_per_s\": {:.0}{}}}{}\n",
+            p.atoms,
+            p.edges,
+            p.tree_s,
+            p.tree_atoms_per_s,
+            match p.brute_s {
+                Some(b) => format!(
+                    ", \"brute_s\": {:.6}, \"speedup\": {:.2}",
+                    b,
+                    p.speedup().unwrap()
+                ),
+                None => String::new(),
+            },
+            if i + 1 < lf_points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "    ],\n    \"gate_atoms\": {},\n    \"gate_speedup\": {:.2},\n    \
+         \"tree_atoms_per_s_at_largest\": {:.0},\n    \
+         \"min_speedup_required\": {min_speedup},\n    \
+         \"min_atoms_per_sec_required\": {min_aps}\n  }},\n",
+        gate_point.atoms, gate_speedup, largest_aps
+    ));
+    json.push_str(&format!(
+        "  \"hausdorff\": {{\"frames\": {}, \"naive_s\": {naive_s:.6}, \
+         \"pruned_s\": {pruned_s:.6}, \"speedup\": {hausdorff_speedup:.2}, \
+         \"evals\": {evals}, \"evals_full\": {full}, \"bitwise_identical\": true}},\n",
+        e[0].frames.len()
+    ));
+    json.push_str(&format!(
+        "  \"rmsd2d\": {{\"frames\": {}, \"naive_s\": {rmsd2d_naive_s:.6}, \
+         \"blocked_s\": {rmsd2d_blocked_s:.6}, \"speedup\": {rmsd2d_speedup:.2}, \
+         \"identical\": true}}\n}}\n",
+        e[0].frames.len()
+    ));
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write kernels.json");
+    eprintln!("wrote {out_path}");
+
+    let mut failed = false;
+    if min_speedup > 0.0 && gate_speedup < min_speedup {
+        eprintln!(
+            "FAIL: tree beat brute by {gate_speedup:.1}x at {} atoms, below the {min_speedup:.1}x floor",
+            gate_point.atoms
+        );
+        failed = true;
+    }
+    if min_aps > 0.0 && largest_aps < min_aps {
+        eprintln!(
+            "FAIL: tree leg sustained {largest_aps:.0} atoms/s at {} atoms, below the {min_aps:.0} floor",
+            largest.atoms
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,205 @@
+//! Per-frame analyses over a trajectory: the pmda-style
+//! `AnalysisFromFunction` adapter plus RMSD and contact-count built-ins.
+//!
+//! [`AnalysisFromFunction`] lifts any `Fn(&Frame, &AtomSelection) -> T`
+//! into a [`ParallelAnalysis`]: the trajectory is broadcast, frame ranges
+//! become slices, the closure maps each frame, and the driver reassembles
+//! the per-frame series in trajectory order regardless of which engine
+//! (and which rank/task interleaving) executed it.
+
+use super::{Gathered, ParallelAnalysis};
+use crate::partition::plan_1d;
+use crate::EngineKind;
+use linalg::{rmsd_superposed, Frame, Vec3};
+use mdsim::Trajectory;
+use neighbors::{neighbor_pairs, SearchStrategy};
+use netsim::{Cluster, SimReport};
+use std::marker::PhantomData;
+use std::sync::Arc;
+use taskframe::{EngineError, Payload};
+
+/// Which atoms of each frame an analysis reads (MDAnalysis'
+/// `select_atoms`, reduced to the shapes the synthetic trajectories
+/// need).
+#[derive(Clone, Debug)]
+pub enum AtomSelection {
+    /// Every atom.
+    All,
+    /// Every `k`-th atom (k ≥ 1).
+    Stride(usize),
+    /// An explicit index list (shared, so selections clone cheaply into
+    /// task closures).
+    Indices(Arc<Vec<u32>>),
+}
+
+impl AtomSelection {
+    /// Materialize the selected coordinates of one frame.
+    pub fn gather(&self, frame: &Frame) -> Vec<Vec3> {
+        let pos = frame.positions();
+        match self {
+            AtomSelection::All => pos.to_vec(),
+            AtomSelection::Stride(k) => pos.iter().copied().step_by((*k).max(1)).collect(),
+            AtomSelection::Indices(idx) => idx.iter().map(|&i| pos[i as usize]).collect(),
+        }
+    }
+}
+
+/// The per-frame series a frame-mapped analysis produces, in frame order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrameSeries<T> {
+    pub values: Vec<T>,
+    pub report: SimReport,
+}
+
+/// A [`ParallelAnalysis`] built from a per-frame closure (pmda's
+/// `AnalysisFromFunction`): `f(frame, selection)` is evaluated for every
+/// frame, on whichever engine [`crate::run::RunConfig`] selects, and the
+/// results come back as a [`FrameSeries`] in frame order.
+pub struct AnalysisFromFunction<T, F> {
+    name: &'static str,
+    traj: Arc<Trajectory>,
+    select: AtomSelection,
+    slices: usize,
+    cost: super::AnalysisCost,
+    f: F,
+    _result: PhantomData<fn() -> T>,
+}
+
+impl<T, F> AnalysisFromFunction<T, F>
+where
+    T: Payload + Clone + Send + Sync + 'static,
+    F: Fn(&Frame, &AtomSelection) -> T + Send + Sync + 'static,
+{
+    /// Build the analysis: `slices` frame ranges over `traj`, each frame
+    /// reduced by `f` under `select`.
+    pub fn new(
+        name: &'static str,
+        traj: Arc<Trajectory>,
+        select: AtomSelection,
+        slices: usize,
+        f: F,
+    ) -> Self {
+        assert!(
+            !traj.frames.is_empty(),
+            "cannot analyse an empty trajectory"
+        );
+        AnalysisFromFunction {
+            name,
+            traj,
+            select,
+            slices: slices.max(1),
+            cost: super::AnalysisCost::DEFAULT,
+            f,
+            _result: PhantomData,
+        }
+    }
+
+    /// Override the declared cost model (per-frame virtual cost, staging
+    /// expansion) for this analysis.
+    pub fn with_cost(mut self, cost: super::AnalysisCost) -> Self {
+        self.cost = cost;
+        self
+    }
+}
+
+impl<T, F> ParallelAnalysis for AnalysisFromFunction<T, F>
+where
+    T: Payload + Clone + Send + Sync + 'static,
+    F: Fn(&Frame, &AtomSelection) -> T + Send + Sync + 'static,
+{
+    type Shared = Trajectory;
+    type Slice = (u32, u32);
+    type Item = (u32, T);
+    type Wire = Vec<(u32, T)>;
+    type Output = FrameSeries<T>;
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn shared(&self) -> Arc<Trajectory> {
+        Arc::clone(&self.traj)
+    }
+
+    fn slices(&self, _engine: EngineKind, _cluster: &Cluster) -> Vec<(u32, u32)> {
+        plan_1d(self.traj.n_frames(), self.slices)
+    }
+
+    fn broadcast(&self) -> bool {
+        // pmda's posture: the universe ships to the workers once.
+        true
+    }
+
+    fn map_phase(&self, _engine: EngineKind) -> &'static str {
+        "frame-map"
+    }
+
+    fn cost(&self) -> super::AnalysisCost {
+        self.cost
+    }
+
+    fn slice_cost_s(&self, slice: (u32, u32)) -> f64 {
+        // The declared per-frame cost model: frame analyses occupy
+        // virtual time proportional to the frames they touch, so fault
+        // plans and schedulers see realistic task durations even when
+        // the host closure is trivially cheap.
+        (slice.1 - slice.0) as f64 * self.cost().stream_frame_cost_s
+    }
+
+    fn map(&self, shared: &Trajectory, slice: (u32, u32)) -> Vec<(u32, T)> {
+        (slice.0..slice.1)
+            .map(|i| (i, (self.f)(&shared.frames[i as usize], &self.select)))
+            .collect()
+    }
+
+    fn rank_map(&self, shared: &Trajectory, mine: &[(u32, u32)]) -> Vec<(u32, T)> {
+        mine.iter().flat_map(|&s| self.map(shared, s)).collect()
+    }
+
+    fn finalize(
+        &self,
+        gathered: Gathered<(u32, T), Vec<(u32, T)>>,
+        ctx: super::DriverCtx<'_>,
+    ) -> Result<FrameSeries<T>, EngineError> {
+        let mut pairs = match gathered {
+            Gathered::Items(items) => items,
+            Gathered::Ranks(wires) => wires.into_iter().flatten().collect(),
+            Gathered::Merged(_) => unreachable!("frame analyses are gather-shaped"),
+        };
+        // MPI's round-robin rank order interleaves slices; restore frame
+        // order before handing the series back.
+        pairs.sort_by_key(|&(i, _)| i);
+        Ok(FrameSeries {
+            values: pairs.into_iter().map(|(_, v)| v).collect(),
+            report: ctx.finish(),
+        })
+    }
+}
+
+/// Per-frame RMSD to a reference frame after optimal superposition
+/// (MDAnalysis `rms.RMSD` / pmda's `RMSD`), over the selected atoms.
+pub fn rmsd_analysis(
+    traj: Arc<Trajectory>,
+    select: AtomSelection,
+    reference: usize,
+    slices: usize,
+) -> AnalysisFromFunction<f64, impl Fn(&Frame, &AtomSelection) -> f64 + Send + Sync + 'static> {
+    let ref_frame = Frame::new(select.gather(&traj.frames[reference]));
+    AnalysisFromFunction::new("rmsd", traj, select, slices, move |frame, sel| {
+        rmsd_superposed(&Frame::new(sel.gather(frame)), &ref_frame)
+    })
+}
+
+/// Per-frame contact count: pairs of selected atoms within `cutoff`,
+/// found with the cell-list search.
+pub fn contacts_analysis(
+    traj: Arc<Trajectory>,
+    select: AtomSelection,
+    cutoff: f32,
+    slices: usize,
+) -> AnalysisFromFunction<u64, impl Fn(&Frame, &AtomSelection) -> u64 + Send + Sync + 'static> {
+    AnalysisFromFunction::new("contacts", traj, select, slices, move |frame, sel| {
+        let pts = sel.gather(frame);
+        neighbor_pairs(&pts, cutoff, SearchStrategy::CellList).len() as u64
+    })
+}

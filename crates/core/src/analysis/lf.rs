@@ -1,0 +1,445 @@
+//! The Leaflet Finder expressed as [`ParallelAnalysis`] instances.
+//!
+//! Two instances cover the four architectural approaches of Table 2:
+//! [`LfEdges`] for the edge-gathering approaches (1: broadcast + 1-D
+//! strips, 2: task API + 2-D blocks) and [`LfPartials`] for the
+//! partial-connected-components approaches (3: parallel CC, 4: tree
+//! search), whose reduce is engine-side. Both reproduce the bespoke
+//! drivers' postures exactly — `tests/api_surface.rs` proves the reports
+//! byte-identical.
+
+use super::{DriverCtx, Gathered, MpiClocks, ParallelAnalysis, ReduceShape};
+use crate::codec;
+use crate::leaflet::{
+    block_edges, block_edges_tree, block_input_bytes, check_feasible, driver_components,
+    edge_shuffle_bytes, sizes_of_groups, strip_edges, task_mem_budget, LfApproach, LfConfig,
+    LfOutput,
+};
+use crate::partition::{grid_for_tasks, plan_1d, plan_2d_grid, plan_2d_mem, Block, Range};
+use crate::EngineKind;
+use graphops::{merge_partials, partial_components, PartialComponents};
+use linalg::Vec3;
+use netsim::Cluster;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use taskframe::EngineError;
+
+/// Per-rank MPI wire format shared by both LF analyses: `(edge list,
+/// partial components, edges found)` — one of the first two is empty
+/// depending on the approach.
+pub(crate) type RankOut = (Vec<(u32, u32)>, Vec<Vec<u32>>, u64);
+
+/// One unit of Leaflet-Finder work: a 1-D atom strip (approach 1) or a
+/// 2-D block (approaches 2–4).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum LfSlice {
+    Strip(Range),
+    Block(Block),
+}
+
+/// Approaches 1–2: map tasks emit raw edge lists, gathered at the driver,
+/// which runs connected components (the O(E)-shuffle posture of Table 2).
+pub(crate) struct LfEdges {
+    positions: Arc<Vec<Vec3>>,
+    cfg: LfConfig,
+    approach: LfApproach,
+    /// Edges found across *executions* (Spark's broadcast counter — under
+    /// retries or speculation it counts every attempt, exactly like the
+    /// accumulator the bespoke driver used).
+    edge_count: AtomicU64,
+}
+
+impl LfEdges {
+    pub(crate) fn new(positions: Arc<Vec<Vec3>>, cfg: LfConfig, approach: LfApproach) -> Self {
+        debug_assert!(matches!(
+            approach,
+            LfApproach::Broadcast1D | LfApproach::Task2D
+        ));
+        LfEdges {
+            positions,
+            cfg,
+            approach,
+            edge_count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ParallelAnalysis for LfEdges {
+    type Shared = Vec<Vec3>;
+    type Slice = LfSlice;
+    type Item = (u32, u32);
+    type Wire = RankOut;
+    type Output = LfOutput;
+
+    fn name(&self) -> &'static str {
+        "leaflet-finder"
+    }
+
+    fn check(&self, engine: EngineKind, cluster: &Cluster) -> Result<(), EngineError> {
+        check_feasible(engine, self.approach, &self.cfg, cluster)
+    }
+
+    fn shared(&self) -> Arc<Vec<Vec3>> {
+        Arc::clone(&self.positions)
+    }
+
+    fn slices(&self, _engine: EngineKind, _cluster: &Cluster) -> Vec<LfSlice> {
+        let n = self.positions.len();
+        match self.approach {
+            LfApproach::Broadcast1D => plan_1d(n, self.cfg.partitions)
+                .into_iter()
+                .map(LfSlice::Strip)
+                .collect(),
+            _ => plan_2d_grid(n, grid_for_tasks(self.cfg.partitions))
+                .into_iter()
+                .map(LfSlice::Block)
+                .collect(),
+        }
+    }
+
+    fn broadcast(&self) -> bool {
+        self.approach == LfApproach::Broadcast1D
+    }
+
+    fn map_phase(&self, _engine: EngineKind) -> &'static str {
+        "edge-discovery"
+    }
+
+    fn bracket_map_phase(&self) -> bool {
+        true
+    }
+
+    fn io_bytes(&self, slice: LfSlice) -> Option<u64> {
+        match slice {
+            LfSlice::Strip(_) => None, // approach 1 ships data by broadcast
+            LfSlice::Block(b) => self.cfg.charge_io.then(|| block_input_bytes(b)),
+        }
+    }
+
+    fn map(&self, shared: &Vec<Vec3>, slice: LfSlice) -> Vec<(u32, u32)> {
+        match slice {
+            LfSlice::Strip(s) => {
+                let edges = strip_edges(shared, s, self.cfg.cutoff);
+                self.edge_count
+                    .fetch_add(edges.len() as u64, Ordering::Relaxed);
+                edges
+            }
+            LfSlice::Block(b) => block_edges(shared, b, self.cfg.cutoff),
+        }
+    }
+
+    fn rank_map(&self, shared: &Vec<Vec3>, mine: &[LfSlice]) -> RankOut {
+        let edges: Vec<(u32, u32)> = mine
+            .iter()
+            .flat_map(|&s| match s {
+                LfSlice::Strip(s) => strip_edges(shared, s, self.cfg.cutoff),
+                LfSlice::Block(b) => block_edges(shared, b, self.cfg.cutoff),
+            })
+            .collect();
+        let found = edges.len() as u64;
+        (edges, Vec::new(), found)
+    }
+
+    fn rank_io_bytes(&self, mine: &[LfSlice]) -> Option<u64> {
+        // Approach 2's MPI posture charges the read unconditionally when
+        // I/O accounting is on — even a rank with no blocks pays the
+        // (zero-byte) request.
+        match self.approach {
+            LfApproach::Broadcast1D => None,
+            _ => self.cfg.charge_io.then(|| {
+                mine.iter()
+                    .map(|&s| match s {
+                        LfSlice::Strip(_) => 0,
+                        LfSlice::Block(b) => block_input_bytes(b),
+                    })
+                    .sum()
+            }),
+        }
+    }
+
+    fn stage(&self, shared: &Vec<Vec3>, slice: LfSlice) -> Option<(Vec<u8>, u64)> {
+        // Pilot posture: block coordinate slices really encoded and staged
+        // through the filesystem (RP's only data path).
+        match slice {
+            LfSlice::Strip(_) => None,
+            LfSlice::Block(b) => {
+                let rows = &shared[b.row.0 as usize..b.row.1 as usize];
+                let cols = &shared[b.col.0 as usize..b.col.1 as usize];
+                Some((codec::encode_point_pair(rows, cols), 0))
+            }
+        }
+    }
+
+    fn map_staged(&self, slice: LfSlice, _token: u64, staged: &[u8]) -> Vec<(u32, u32)> {
+        let LfSlice::Block(b) = slice else {
+            unreachable!("only block slices are staged")
+        };
+        let (rows, cols) = codec::decode_point_pair(staged);
+        // Re-derive global indices from the block ranges.
+        let local = Block {
+            row: (0, rows.len() as u32),
+            col: (rows.len() as u32, (rows.len() + cols.len()) as u32),
+        };
+        let mut joined = rows;
+        joined.extend_from_slice(&cols);
+        let edges = if b.is_diagonal() {
+            block_edges(
+                &joined,
+                Block {
+                    row: local.row,
+                    col: local.row,
+                },
+                self.cfg.cutoff,
+            )
+        } else {
+            block_edges(&joined, local, self.cfg.cutoff)
+        };
+        edges
+            .into_iter()
+            .map(|(i, j)| {
+                let gi = b.row.0 + i;
+                let gj = if b.is_diagonal() {
+                    b.row.0 + j
+                } else {
+                    b.col.0 + (j - local.col.0)
+                };
+                (gi, gj)
+            })
+            .collect()
+    }
+
+    fn finalize(
+        &self,
+        gathered: Gathered<(u32, u32), RankOut>,
+        mut ctx: DriverCtx<'_>,
+    ) -> Result<LfOutput, EngineError> {
+        let n = self.positions.len();
+        match gathered {
+            Gathered::Items(edges) => {
+                let shuffle_bytes = edge_shuffle_bytes(edges.len() as u64);
+                // Spark's broadcast approach reports the accumulator (all
+                // executions); the rest report the collected edge count.
+                let edges_found = if ctx.engine() == EngineKind::Spark
+                    && self.approach == LfApproach::Broadcast1D
+                {
+                    self.edge_count.load(Ordering::Relaxed)
+                } else {
+                    edges.len() as u64
+                };
+                let (sizes, count) =
+                    ctx.charge_measured("connected-components", || driver_components(n, &edges));
+                Ok(LfOutput {
+                    leaflet_sizes: sizes,
+                    n_components: count,
+                    edges_found,
+                    shuffle_bytes,
+                    tasks: ctx.tasks(),
+                    report: ctx.finish(),
+                })
+            }
+            Gathered::Ranks(wires) => Ok(finalize_mpi(n, self.approach, &wires, ctx)),
+            Gathered::Merged(_) => unreachable!("LfEdges is gather-shaped"),
+        }
+    }
+}
+
+/// Approaches 3–4: map tasks compute partial connected components,
+/// merged engine-side (one partial per task crosses the wire — Table 2's
+/// O(n) shuffle instead of O(E)).
+pub(crate) struct LfPartials {
+    positions: Arc<Vec<Vec3>>,
+    cfg: LfConfig,
+    approach: LfApproach,
+    edge_count: AtomicU64,
+    shuffle_bytes: AtomicU64,
+}
+
+impl LfPartials {
+    pub(crate) fn new(positions: Arc<Vec<Vec3>>, cfg: LfConfig, approach: LfApproach) -> Self {
+        debug_assert!(matches!(
+            approach,
+            LfApproach::ParallelCC | LfApproach::TreeSearch
+        ));
+        LfPartials {
+            positions,
+            cfg,
+            approach,
+            edge_count: AtomicU64::new(0),
+            shuffle_bytes: AtomicU64::new(0),
+        }
+    }
+
+    fn edges_of(&self, shared: &[Vec3], b: Block) -> Vec<(u32, u32)> {
+        if self.approach == LfApproach::TreeSearch {
+            block_edges_tree(shared, b, self.cfg.cutoff)
+        } else {
+            block_edges(shared, b, self.cfg.cutoff)
+        }
+    }
+}
+
+impl ParallelAnalysis for LfPartials {
+    type Shared = Vec<Vec3>;
+    type Slice = Block;
+    type Item = Vec<Vec<u32>>;
+    type Wire = RankOut;
+    type Output = LfOutput;
+
+    fn name(&self) -> &'static str {
+        "leaflet-finder"
+    }
+
+    fn check(&self, engine: EngineKind, cluster: &Cluster) -> Result<(), EngineError> {
+        check_feasible(engine, self.approach, &self.cfg, cluster)
+    }
+
+    fn shared(&self) -> Arc<Vec<Vec3>> {
+        Arc::clone(&self.positions)
+    }
+
+    fn slices(&self, _engine: EngineKind, cluster: &Cluster) -> Vec<Block> {
+        let n = self.positions.len();
+        match self.approach {
+            LfApproach::ParallelCC => plan_2d_mem(
+                n,
+                self.cfg.paper_atoms,
+                self.cfg.partitions,
+                task_mem_budget(cluster),
+            ),
+            _ => plan_2d_grid(n, grid_for_tasks(self.cfg.partitions)),
+        }
+    }
+
+    fn map_phase(&self, engine: EngineKind) -> &'static str {
+        // The SPMD engine folds the partial-CC into its edge loop; the
+        // task engines label the fused map+reduce stage explicitly.
+        if engine == EngineKind::Mpi {
+            "edge-discovery"
+        } else {
+            "edge-discovery+partial-cc"
+        }
+    }
+
+    fn io_bytes(&self, b: Block) -> Option<u64> {
+        self.cfg.charge_io.then(|| block_input_bytes(b))
+    }
+
+    fn map(&self, shared: &Vec<Vec3>, b: Block) -> Vec<Vec<Vec<u32>>> {
+        vec![self.map_one(shared, b)]
+    }
+
+    fn map_one(&self, shared: &Vec<Vec3>, b: Block) -> Vec<Vec<u32>> {
+        let edges = self.edges_of(shared, b);
+        self.edge_count
+            .fetch_add(edges.len() as u64, Ordering::Relaxed);
+        let partial = partial_components(&edges);
+        self.shuffle_bytes
+            .fetch_add(partial.wire_bytes(), Ordering::Relaxed);
+        partial.components
+    }
+
+    fn reduce_shape(&self) -> ReduceShape {
+        ReduceShape::Tree
+    }
+
+    fn combine(&self, a: Vec<Vec<u32>>, b: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
+        merge_partials(&[
+            PartialComponents { components: a },
+            PartialComponents { components: b },
+        ])
+        .components
+    }
+
+    fn rank_map(&self, shared: &Vec<Vec3>, mine: &[Block]) -> RankOut {
+        let mut found = 0u64;
+        let parts: Vec<PartialComponents> = mine
+            .iter()
+            .map(|&b| {
+                let edges = self.edges_of(shared, b);
+                found += edges.len() as u64;
+                partial_components(&edges)
+            })
+            .collect();
+        (Vec::new(), merge_partials(&parts).components, found)
+    }
+
+    fn rank_io_bytes(&self, mine: &[Block]) -> Option<u64> {
+        self.cfg
+            .charge_io
+            .then(|| mine.iter().map(|&b| block_input_bytes(b)).sum())
+    }
+
+    fn finalize(
+        &self,
+        gathered: Gathered<Vec<Vec<u32>>, RankOut>,
+        ctx: DriverCtx<'_>,
+    ) -> Result<LfOutput, EngineError> {
+        let n = self.positions.len();
+        match gathered {
+            Gathered::Merged(merged) => {
+                // Engine-side reduce already ran: no driver CC charge.
+                let (sizes, count) = sizes_of_groups(merged.unwrap_or_default());
+                Ok(LfOutput {
+                    leaflet_sizes: sizes,
+                    n_components: count,
+                    edges_found: self.edge_count.load(Ordering::Relaxed),
+                    shuffle_bytes: self.shuffle_bytes.load(Ordering::Relaxed),
+                    tasks: ctx.tasks(),
+                    report: ctx.finish(),
+                })
+            }
+            Gathered::Ranks(wires) => Ok(finalize_mpi(n, self.approach, &wires, ctx)),
+            Gathered::Items(_) => unreachable!("LfPartials is tree-shaped"),
+        }
+    }
+}
+
+/// Shared MPI rank-0 reduce for both LF analyses: accumulate per-rank
+/// wires, attribute the broadcast/edge-discovery spans from the rank
+/// clocks, and charge the measured driver-side component reduction.
+fn finalize_mpi(
+    n: usize,
+    approach: LfApproach,
+    wires: &[RankOut],
+    mut ctx: DriverCtx<'_>,
+) -> LfOutput {
+    let mut all_edges: Vec<(u32, u32)> = Vec::new();
+    let mut all_partials: Vec<PartialComponents> = Vec::new();
+    let mut edges_found = 0u64;
+    let mut shuffle_bytes = 0u64;
+    for (edges, partials, found) in wires {
+        shuffle_bytes += edge_shuffle_bytes(edges.len() as u64)
+            + PartialComponents {
+                components: partials.clone(),
+            }
+            .wire_bytes();
+        all_edges.extend_from_slice(edges);
+        all_partials.push(PartialComponents {
+            components: partials.clone(),
+        });
+        edges_found += found;
+    }
+    let MpiClocks {
+        start_min,
+        bcast_max,
+        map_max,
+    } = ctx.mpi_clocks().expect("MPI finalize requires rank clocks");
+    if approach == LfApproach::Broadcast1D {
+        ctx.push_span("broadcast", start_min, bcast_max);
+    }
+    ctx.push_span("edge-discovery", bcast_max, map_max);
+    let (sizes, count) = ctx.charge_measured("connected-components", || match approach {
+        LfApproach::Broadcast1D | LfApproach::Task2D => driver_components(n, &all_edges),
+        LfApproach::ParallelCC | LfApproach::TreeSearch => {
+            sizes_of_groups(merge_partials(&all_partials).components)
+        }
+    });
+    LfOutput {
+        leaflet_sizes: sizes,
+        n_components: count,
+        edges_found,
+        shuffle_bytes,
+        tasks: ctx.tasks(),
+        report: ctx.finish(),
+    }
+}

@@ -1,0 +1,139 @@
+//! Path Similarity Analysis expressed as a [`ParallelAnalysis`].
+//!
+//! One instance replaces the four bespoke PSA drivers: per-block all-pairs
+//! Hausdorff distances over the 2-D partitioning of Algorithm 2, gathered
+//! and assembled at the driver. The per-pair kernel is the
+//! centroid-pruned Hausdorff ([`linalg::hausdorff_rmsd_pruned`]), which
+//! is bitwise-identical to the naive sweep the old drivers ran — so the
+//! distance matrices match the legacy output to the last bit
+//! (`tests/api_surface.rs`).
+
+use super::{DriverCtx, Gathered, ParallelAnalysis};
+use crate::codec;
+use crate::partition::{plan_psa_2d, Block};
+use crate::psa::{assemble, block_input_bytes, PsaConfig, PsaOutput};
+use crate::EngineKind;
+use linalg::hausdorff_rmsd_pruned;
+use mdsim::Trajectory;
+use netsim::Cluster;
+use std::sync::Arc;
+use taskframe::EngineError;
+
+pub(crate) struct PsaAnalysis {
+    ensemble: Arc<Vec<Trajectory>>,
+    cfg: PsaConfig,
+}
+
+impl PsaAnalysis {
+    pub(crate) fn new(ensemble: Arc<Vec<Trajectory>>, cfg: PsaConfig) -> Self {
+        PsaAnalysis { ensemble, cfg }
+    }
+}
+
+/// All Hausdorff distances of one 2-D block (Algorithm 2 step 3), with
+/// the pruned kernel.
+fn block_distances(ensemble: &[Trajectory], b: Block) -> Vec<(u32, u32, f64)> {
+    let mut out = Vec::with_capacity(((b.row.1 - b.row.0) * (b.col.1 - b.col.0)) as usize);
+    for i in b.row.0..b.row.1 {
+        for j in b.col.0..b.col.1 {
+            let h =
+                hausdorff_rmsd_pruned(&ensemble[i as usize].frames, &ensemble[j as usize].frames);
+            out.push((i, j, h));
+        }
+    }
+    out
+}
+
+impl ParallelAnalysis for PsaAnalysis {
+    type Shared = Vec<Trajectory>;
+    type Slice = Block;
+    type Item = (u32, u32, f64);
+    type Wire = Vec<(u32, u32, f64)>;
+    type Output = PsaOutput;
+
+    fn name(&self) -> &'static str {
+        "psa"
+    }
+
+    fn shared(&self) -> Arc<Vec<Trajectory>> {
+        Arc::clone(&self.ensemble)
+    }
+
+    fn slices(&self, _engine: EngineKind, _cluster: &Cluster) -> Vec<Block> {
+        plan_psa_2d(self.ensemble.len(), self.cfg.groups)
+    }
+
+    fn map_phase(&self, _engine: EngineKind) -> &'static str {
+        "psa-map"
+    }
+
+    fn io_bytes(&self, b: Block) -> Option<u64> {
+        self.cfg
+            .charge_io
+            .then(|| block_input_bytes(&self.ensemble, b))
+    }
+
+    fn map(&self, shared: &Vec<Trajectory>, b: Block) -> Vec<(u32, u32, f64)> {
+        block_distances(shared, b)
+    }
+
+    fn rank_map(&self, shared: &Vec<Trajectory>, mine: &[Block]) -> Vec<(u32, u32, f64)> {
+        mine.iter()
+            .flat_map(|&b| block_distances(shared, b))
+            .collect()
+    }
+
+    fn rank_io_bytes(&self, mine: &[Block]) -> Option<u64> {
+        // The paper's file-per-task layout charges the read whenever I/O
+        // accounting is on — a rank with no blocks still pays the
+        // zero-byte request.
+        self.cfg.charge_io.then(|| {
+            mine.iter()
+                .map(|&b| block_input_bytes(&self.ensemble, b))
+                .sum()
+        })
+    }
+
+    fn stage(&self, shared: &Vec<Trajectory>, b: Block) -> Option<(Vec<u8>, u64)> {
+        // Pilot posture: the block's row and column trajectories genuinely
+        // serialized through the staging filesystem; the split offset
+        // travels as the decode token.
+        let rows: Vec<&Trajectory> = (b.row.0..b.row.1).map(|i| &shared[i as usize]).collect();
+        let cols: Vec<&Trajectory> = (b.col.0..b.col.1).map(|j| &shared[j as usize]).collect();
+        let mut input = codec::encode_trajectories(&rows);
+        let row_len = input.len() as u64;
+        input.extend_from_slice(&codec::encode_trajectories(&cols));
+        Some((input, row_len))
+    }
+
+    fn map_staged(&self, b: Block, token: u64, staged: &[u8]) -> Vec<(u32, u32, f64)> {
+        let row_len = token as usize;
+        let rows = codec::decode_trajectories(&staged[..row_len]);
+        let cols = codec::decode_trajectories(&staged[row_len..]);
+        let mut out = Vec::new();
+        for (di, ti) in rows.iter().enumerate() {
+            for (dj, tj) in cols.iter().enumerate() {
+                let h = hausdorff_rmsd_pruned(&ti.frames, &tj.frames);
+                out.push((b.row.0 + di as u32, b.col.0 + dj as u32, h));
+            }
+        }
+        out
+    }
+
+    fn finalize(
+        &self,
+        gathered: Gathered<(u32, u32, f64), Vec<(u32, u32, f64)>>,
+        ctx: DriverCtx<'_>,
+    ) -> Result<PsaOutput, EngineError> {
+        let n = self.ensemble.len();
+        let distances = match gathered {
+            Gathered::Items(triples) => assemble(n, triples),
+            Gathered::Ranks(wires) => assemble(n, wires.into_iter().flatten()),
+            Gathered::Merged(_) => unreachable!("PSA is gather-shaped"),
+        };
+        Ok(PsaOutput {
+            distances,
+            report: ctx.finish(),
+        })
+    }
+}

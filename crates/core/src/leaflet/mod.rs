@@ -32,10 +32,7 @@ pub use pilot_impl::lf_pilot;
 #[allow(deprecated)]
 pub use spark_impl::lf_spark;
 
-pub(crate) use dask_impl::lf_dask_impl;
-pub(crate) use mpi_impl::lf_mpi_with_policy_impl;
-pub(crate) use pilot_impl::lf_pilot_impl;
-pub(crate) use spark_impl::lf_spark_impl;
+pub(crate) use kernels::block_input_bytes;
 
 use graphops::connected_components_uf;
 use linalg::Vec3;

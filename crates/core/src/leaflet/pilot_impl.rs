@@ -48,7 +48,8 @@ pub(crate) fn lf_pilot_impl(
             // Declared peak footprint: the staged bytes, their decoded
             // copy, and the joined coordinate buffer. The agent's
             // admission control bounds concurrent units per node by this.
-            let working_set = input.len() as u64 * 3;
+            let working_set = input.len() as u64
+                * crate::analysis::AnalysisCost::DEFAULT.staging_working_set_factor;
             UnitDescription::new(input, move |_ctx, staged: &[u8]| {
                 let (rows, cols) = codec::decode_point_pair(staged);
                 // Re-derive global indices from the block ranges.

@@ -22,6 +22,7 @@
 //! execution report (`netsim::SimReport`) carrying virtual makespan and
 //! communication volumes — the quantities the paper's figures plot.
 
+pub mod analysis;
 pub mod clustering;
 pub mod codec;
 pub mod common;
@@ -32,10 +33,15 @@ pub mod partition;
 pub mod psa;
 pub mod run;
 
+pub use analysis::{
+    contacts_analysis, rmsd_analysis, AnalysisCost, AnalysisFromFunction, AtomSelection, DriverCtx,
+    FrameSeries, Gathered, MpiClocks, ParallelAnalysis, ReduceShape,
+};
 pub use leaflet::{LfApproach, LfConfig, LfOutput};
 pub use psa::{PsaConfig, PsaOutput};
 pub use run::{
-    lf_frame_value, run_lf, run_lf_stream, run_psa, LfRun, PsaRun, RunConfig, StreamTuning,
+    lf_frame_value, run_lf, run_lf_stream, run_psa, run_workload, LfRun, PsaRun, RunConfig,
+    StreamTuning, Workload, WorkloadRun,
 };
 pub use taskframe::Engine;
 

@@ -89,7 +89,7 @@ fn block_distances(ensemble: &[Trajectory], b: Block) -> Vec<(u32, u32, f64)> {
 }
 
 /// Bytes a task must read from storage for block `b`.
-fn block_input_bytes(ensemble: &[Trajectory], b: Block) -> u64 {
+pub(crate) fn block_input_bytes(ensemble: &[Trajectory], b: Block) -> u64 {
     let row: u64 = (b.row.0..b.row.1)
         .map(|i| ensemble[i as usize].size_bytes())
         .sum();
@@ -99,7 +99,10 @@ fn block_input_bytes(ensemble: &[Trajectory], b: Block) -> u64 {
     row + col
 }
 
-fn assemble(n: usize, triples: impl IntoIterator<Item = (u32, u32, f64)>) -> DistanceMatrix {
+pub(crate) fn assemble(
+    n: usize,
+    triples: impl IntoIterator<Item = (u32, u32, f64)>,
+) -> DistanceMatrix {
     let mut d = DistanceMatrix::zeros(n, n);
     for (i, j, h) in triples {
         d.set(i as usize, j as usize, h);
@@ -216,7 +219,8 @@ pub(crate) fn psa_pilot_impl(
             let row_len = codec::encode_trajectories(&rows).len();
             // Staged bytes plus their decoded trajectory copies: the
             // declared footprint admission control schedules against.
-            let working_set = input.len() as u64 * 3;
+            let working_set = input.len() as u64
+                * crate::analysis::AnalysisCost::DEFAULT.staging_working_set_factor;
             UnitDescription::new(input, move |_ctx, staged: &[u8]| {
                 let rows = codec::decode_trajectories(&staged[..row_len]);
                 let cols = codec::decode_trajectories(&staged[row_len..]);

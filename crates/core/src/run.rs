@@ -30,13 +30,13 @@
 //! assert!(out.report.trace.is_some());
 //! ```
 
-use crate::leaflet::{
-    lf_dask_impl, lf_mpi_with_policy_impl, lf_pilot_impl, lf_spark_impl, LfApproach, LfConfig,
-    LfOutput,
+use crate::analysis::lf::{LfEdges, LfPartials};
+use crate::analysis::psa_impl::PsaAnalysis;
+use crate::analysis::{
+    contacts_analysis, engines, rmsd_analysis, AnalysisCost, AtomSelection, ParallelAnalysis,
 };
-use crate::psa::{
-    psa_dask_impl, psa_mpi_with_policy_impl, psa_pilot_impl, psa_spark_impl, PsaConfig, PsaOutput,
-};
+use crate::leaflet::{LfApproach, LfConfig, LfOutput};
+use crate::psa::{PsaConfig, PsaOutput};
 use dasklet::DaskClient;
 use linalg::Vec3;
 use mdio::StreamSource;
@@ -120,15 +120,16 @@ impl RunConfig {
         // Validates the layout eagerly so misconfiguration fails at build
         // time, not mid-stream.
         let _ = WindowSpec::sliding(window_s, slide_s, lateness_s);
+        let cost = AnalysisCost::DEFAULT;
         self.streaming = Some(StreamTuning {
             window_s,
             slide_s,
             lateness_s,
             late: LateDisposition::SideChannel,
-            frame_cost_s: 0.01,
-            state_bytes_per_frame: 1 << 20,
-            micro_batch: 4,
-            ring: 4,
+            frame_cost_s: cost.stream_frame_cost_s,
+            state_bytes_per_frame: cost.stream_state_bytes_per_frame,
+            micro_batch: cost.stream_micro_batch,
+            ring: cost.stream_ring,
         });
         self
     }
@@ -256,73 +257,73 @@ impl RunConfig {
             None => f(),
         }
     }
+
+    /// Execute any [`ParallelAnalysis`] on the configured engine — the
+    /// generic entry point [`run_lf`] and [`run_psa`] are built on.
+    ///
+    /// The analysis runs with the engine's native posture (Spark
+    /// map-partitions + `treeReduce`, Dask per-slice task graph + gather,
+    /// Pilot one staged Compute-Unit per slice, MPI scatter +
+    /// gather/reduce) and inherits everything this config carries: fault
+    /// plans on the cluster, the [`RetryPolicy`], tracing, speculation,
+    /// MPI world size and checkpoint posture, and the host-parallelism
+    /// degree.
+    pub fn run_analysis<A: ParallelAnalysis + 'static>(
+        &self,
+        analysis: A,
+    ) -> Result<A::Output, EngineError> {
+        let a = Arc::new(analysis);
+        self.scoped(|| {
+            a.prepare()?;
+            match self.engine {
+                Engine::Spark => engines::run_spark(&spark_handle(self), &a),
+                Engine::Dask => engines::run_dask(&dask_handle(self), &a),
+                Engine::Pilot => engines::run_pilot(&pilot_handle(self)?, &a),
+                Engine::Mpi => engines::run_mpi(
+                    &self.cluster,
+                    self.mpi_world,
+                    &mpi_policy(self),
+                    self.checkpoint_restart,
+                    &a,
+                ),
+            }
+        })
+    }
 }
 
 /// Run the Leaflet Finder as configured.
+///
+/// Since the generic-API redesign this is an instance of
+/// [`RunConfig::run_analysis`]: approaches 1–2 dispatch the
+/// edge-gathering analysis, 3–4 the partial-components analysis (the
+/// pilot implements approach 2 only). `tests/api_surface.rs` proves the
+/// outputs byte-identical to the legacy bespoke drivers.
 pub fn run_lf(
     cfg: &RunConfig,
     positions: Arc<Vec<Vec3>>,
     lf: &LfConfig,
 ) -> Result<LfRun, EngineError> {
-    cfg.scoped(|| match cfg.engine {
-        Engine::Spark => {
-            let sc = spark_handle(cfg);
-            lf_spark_impl(&sc, positions, cfg.approach, lf)
+    if cfg.engine == Engine::Pilot {
+        return cfg.run_analysis(LfEdges::new(positions, lf.clone(), LfApproach::Task2D));
+    }
+    match cfg.approach {
+        LfApproach::Broadcast1D | LfApproach::Task2D => {
+            cfg.run_analysis(LfEdges::new(positions, lf.clone(), cfg.approach))
         }
-        Engine::Dask => {
-            let client = dask_handle(cfg);
-            lf_dask_impl(&client, positions, cfg.approach, lf)
+        LfApproach::ParallelCC | LfApproach::TreeSearch => {
+            cfg.run_analysis(LfPartials::new(positions, lf.clone(), cfg.approach))
         }
-        Engine::Pilot => {
-            let session = pilot_handle(cfg)?;
-            lf_pilot_impl(&session, &positions, lf)
-        }
-        Engine::Mpi => {
-            let policy = mpi_policy(cfg);
-            lf_mpi_with_policy_impl(
-                cfg.cluster.clone(),
-                cfg.mpi_world,
-                &positions,
-                cfg.approach,
-                lf,
-                &policy,
-                cfg.checkpoint_restart,
-            )
-        }
-    })
+    }
 }
 
-/// Run Path Similarity Analysis as configured.
+/// Run Path Similarity Analysis as configured — an instance of
+/// [`RunConfig::run_analysis`] since the generic-API redesign.
 pub fn run_psa(
     cfg: &RunConfig,
     ensemble: Arc<Vec<Trajectory>>,
     psa: &PsaConfig,
 ) -> Result<PsaRun, EngineError> {
-    cfg.scoped(|| match cfg.engine {
-        Engine::Spark => {
-            let sc = spark_handle(cfg);
-            psa_spark_impl(&sc, ensemble, psa)
-        }
-        Engine::Dask => {
-            let client = dask_handle(cfg);
-            psa_dask_impl(&client, ensemble, psa)
-        }
-        Engine::Pilot => {
-            let session = pilot_handle(cfg)?;
-            psa_pilot_impl(&session, &ensemble, psa)
-        }
-        Engine::Mpi => {
-            let policy = mpi_policy(cfg);
-            psa_mpi_with_policy_impl(
-                cfg.cluster.clone(),
-                cfg.mpi_world,
-                &ensemble,
-                psa,
-                &policy,
-                cfg.checkpoint_restart,
-            )
-        }
-    })
+    cfg.run_analysis(PsaAnalysis::new(ensemble, psa.clone()))
 }
 
 /// Per-frame leaflet analysis for streamed trajectories: the lipid
@@ -372,15 +373,16 @@ pub fn run_lf_stream(
     source: &StreamSource,
 ) -> Result<StreamRun, EngineError> {
     assert!(!traj.frames.is_empty(), "cannot stream an empty trajectory");
+    let cost = AnalysisCost::DEFAULT;
     let defaults = StreamTuning {
         window_s: source.interval_s * 4.0,
         slide_s: source.interval_s * 4.0,
         lateness_s: source.interval_s,
         late: LateDisposition::SideChannel,
-        frame_cost_s: 0.01,
-        state_bytes_per_frame: 1 << 20,
-        micro_batch: 4,
-        ring: 4,
+        frame_cost_s: cost.stream_frame_cost_s,
+        state_bytes_per_frame: cost.stream_state_bytes_per_frame,
+        micro_batch: cost.stream_micro_batch,
+        ring: cost.stream_ring,
     };
     let t = cfg.streaming.as_ref().unwrap_or(&defaults);
     let job = StreamJob::new(WindowSpec::sliding(t.window_s, t.slide_s, t.lateness_s))
@@ -479,7 +481,28 @@ pub enum Workload {
         optimized: bool,
         seed: u64,
     },
+    /// Per-frame RMSD to frame 0 over a generated chain trajectory —
+    /// the built-in [`crate::analysis::rmsd_analysis`] on the generic API.
+    Rmsd {
+        n_atoms: usize,
+        n_frames: usize,
+        slices: usize,
+        seed: u64,
+    },
+    /// Per-frame contact counts over a generated chain trajectory —
+    /// the built-in [`crate::analysis::contacts_analysis`].
+    Contacts {
+        n_atoms: usize,
+        n_frames: usize,
+        slices: usize,
+        seed: u64,
+    },
 }
+
+/// Contact cutoff (Å) for the [`Workload::Contacts`] recipe — a little
+/// above the chain generator's 3.8 Å bond length so bonded neighbors
+/// always count and fluctuating non-bonded pairs flicker in and out.
+const CONTACT_CUTOFF: f32 = 6.0;
 
 impl Workload {
     /// Short lowercase name (trace labels, JSON keys).
@@ -488,6 +511,8 @@ impl Workload {
             Workload::Lf { .. } => "lf",
             Workload::Psa { .. } => "psa",
             Workload::Rmsd2d { .. } => "rmsd2d",
+            Workload::Rmsd { .. } => "rmsd",
+            Workload::Contacts { .. } => "contacts",
         }
     }
 }
@@ -558,6 +583,57 @@ pub fn run_workload(cfg: &RunConfig, w: &Workload) -> Result<WorkloadRun, Engine
             let mut fp = netsim::Fingerprint::new();
             for &d in out.distances.as_slice() {
                 fp.write_f64(d);
+            }
+            Ok(WorkloadRun {
+                fingerprint: fp.finish(),
+                report: out.report,
+            })
+        }
+        Workload::Rmsd {
+            n_atoms,
+            n_frames,
+            slices,
+            seed,
+        } => {
+            let spec = mdsim::ChainSpec {
+                n_atoms,
+                n_frames,
+                stride: 1,
+                ..Default::default()
+            };
+            let traj = Arc::new(mdsim::chain::generate(&spec, seed));
+            let out = cfg.run_analysis(rmsd_analysis(traj, AtomSelection::All, 0, slices))?;
+            let mut fp = netsim::Fingerprint::new();
+            for &v in &out.values {
+                fp.write_f64(v);
+            }
+            Ok(WorkloadRun {
+                fingerprint: fp.finish(),
+                report: out.report,
+            })
+        }
+        Workload::Contacts {
+            n_atoms,
+            n_frames,
+            slices,
+            seed,
+        } => {
+            let spec = mdsim::ChainSpec {
+                n_atoms,
+                n_frames,
+                stride: 1,
+                ..Default::default()
+            };
+            let traj = Arc::new(mdsim::chain::generate(&spec, seed));
+            let out = cfg.run_analysis(contacts_analysis(
+                traj,
+                AtomSelection::All,
+                CONTACT_CUTOFF,
+                slices,
+            ))?;
+            let mut fp = netsim::Fingerprint::new();
+            for &v in &out.values {
+                fp.write_u64(v);
             }
             Ok(WorkloadRun {
                 fingerprint: fp.finish(),

@@ -86,6 +86,102 @@ pub fn hausdorff_rmsd(a: &[Frame], b: &[Frame]) -> f64 {
     hausdorff_naive(a, b, frame_rmsd)
 }
 
+/// Margin protecting the centroid lower bound against floating-point
+/// rounding: a candidate frame is skipped only when its bound beats the
+/// running minimum by more than `MARGIN · (1 + lb)`. The bound itself is
+/// exact in real arithmetic (Jensen: mean ‖pᵢ−qᵢ‖² ≥ ‖mean (pᵢ−qᵢ)‖²);
+/// the margin absorbs the ~1e-13 relative error of the f64 evaluation, so
+/// the pruned scan can never discard the true minimizer.
+const PRUNE_MARGIN: f64 = 1e-9;
+
+/// Spatially-pruned Hausdorff distance under [`frame_rmsd`]: Taha &
+/// Hanbury's early break plus a centroid-distance lower bound
+/// (`frame_rmsd(a, b) ≥ ‖centroid(a) − centroid(b)‖`) that skips whole
+/// frame pairs without touching their coordinates.
+///
+/// Returns **bitwise** the same value as
+/// `hausdorff_naive(a, b, frame_rmsd)`: every value that survives into the
+/// min/max reduction is an actually-evaluated `frame_rmsd`, skipped
+/// candidates are provably not row minimizers (see [`PRUNE_MARGIN`]), and
+/// `f64::max`/`min` over the identical evaluation set reproduce the
+/// identical bits. A proptest in this module asserts exact equality.
+pub fn hausdorff_rmsd_pruned(a: &[Frame], b: &[Frame]) -> f64 {
+    hausdorff_rmsd_pruned_evals(a, b).0
+}
+
+/// [`hausdorff_rmsd_pruned`] plus the number of `frame_rmsd` evaluations
+/// actually performed — the quantity the kernel bench reports against the
+/// naive `2·|A|·|B|`.
+pub fn hausdorff_rmsd_pruned_evals(a: &[Frame], b: &[Frame]) -> (f64, u64) {
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "hausdorff: empty trajectory"
+    );
+    let ca = centroids(a);
+    let cb = centroids(b);
+    let mut evals = 0u64;
+    let d_ab = directed_pruned(a, b, &ca, &cb, &mut evals);
+    let d_ba = directed_pruned(b, a, &cb, &ca, &mut evals);
+    (d_ab.max(d_ba), evals)
+}
+
+/// Per-frame centroids accumulated in f64 so the lower bound's own
+/// rounding error stays far below [`PRUNE_MARGIN`].
+fn centroids(frames: &[Frame]) -> Vec<[f64; 3]> {
+    frames
+        .iter()
+        .map(|f| {
+            let mut s = [0.0f64; 3];
+            for p in f.positions() {
+                s[0] += p.x as f64;
+                s[1] += p.y as f64;
+                s[2] += p.z as f64;
+            }
+            let n = f.n_atoms().max(1) as f64;
+            [s[0] / n, s[1] / n, s[2] / n]
+        })
+        .collect()
+}
+
+fn directed_pruned(
+    a: &[Frame],
+    b: &[Frame],
+    ca: &[[f64; 3]],
+    cb: &[[f64; 3]],
+    evals: &mut u64,
+) -> f64 {
+    let mut cmax = 0.0f64;
+    for (fa, pa) in a.iter().zip(ca) {
+        let mut cmin = f64::INFINITY;
+        let mut broke = false;
+        for (fb, pb) in b.iter().zip(cb) {
+            let dx = pa[0] - pb[0];
+            let dy = pa[1] - pb[1];
+            let dz = pa[2] - pb[2];
+            let lb = (dx * dx + dy * dy + dz * dz).sqrt();
+            // The bound also floors the row minimum: a frame whose centroid
+            // is already further than the running minimum cannot improve it.
+            if lb - PRUNE_MARGIN * (1.0 + lb) > cmin {
+                continue;
+            }
+            let d = frame_rmsd(fa, fb);
+            *evals += 1;
+            if d <= cmax {
+                // This row's minimum is <= cmax; it cannot change the max.
+                broke = true;
+                break;
+            }
+            if d < cmin {
+                cmin = d;
+            }
+        }
+        if !broke && cmin > cmax {
+            cmax = cmin;
+        }
+    }
+    cmax
+}
+
 /// Hausdorff with a flavoured RMSD kernel — used by the CPPTraj-style
 /// pipeline where the kernel build (GNU vs Intel-O3) is the variable.
 pub fn hausdorff_rmsd_flavored(a: &[Frame], b: &[Frame], flavor: KernelFlavor) -> f64 {
@@ -149,6 +245,43 @@ mod tests {
     }
 
     proptest! {
+        /// The pruned kernel must be *bitwise* equal to the naive double
+        /// loop — the generic PSA driver relies on exact equality.
+        #[test]
+        fn pruned_equals_naive_bitwise(
+            xs in prop::collection::vec(-50.0f32..50.0, 1..20),
+            ys in prop::collection::vec(-50.0f32..50.0, 1..20),
+        ) {
+            let a = traj(&xs);
+            let b = traj(&ys);
+            let naive = hausdorff_naive(&a, &b, frame_rmsd);
+            let (pruned, evals) = hausdorff_rmsd_pruned_evals(&a, &b);
+            prop_assert_eq!(naive.to_bits(), pruned.to_bits(),
+                "naive={} pruned={}", naive, pruned);
+            prop_assert!(evals <= 2 * (xs.len() as u64) * (ys.len() as u64));
+        }
+
+        /// Same bitwise oracle over multi-atom 3-D frames, where the
+        /// centroid bound is loose and rounding differs from the metric's.
+        #[test]
+        fn pruned_equals_naive_multiatom(
+            coords in prop::collection::vec(
+                prop::collection::vec(-20.0f32..20.0, 9..10), 1..12),
+            split in 1usize..11,
+        ) {
+            let frames: Vec<Frame> = coords.iter().map(|c| {
+                Frame::new(c.chunks(3).map(|p| Vec3::new(p[0], p[1], p[2])).collect())
+            }).collect();
+            let (a, b) = if frames.len() < 2 {
+                (&frames[..], &frames[..])
+            } else {
+                frames.split_at(split.clamp(1, frames.len() - 1))
+            };
+            let naive = hausdorff_naive(a, b, frame_rmsd);
+            let pruned = hausdorff_rmsd_pruned(a, b);
+            prop_assert_eq!(naive.to_bits(), pruned.to_bits());
+        }
+
         /// Early-break must compute exactly the same value as the naive
         /// double loop, for arbitrary small trajectories.
         #[test]

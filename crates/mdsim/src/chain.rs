@@ -62,6 +62,20 @@ impl Trajectory {
     }
 }
 
+/// A trajectory on the wire is its frame sequence — lets the generic
+/// analysis API ([`ParallelAnalysis::Shared`] in `mdtask-core`) broadcast
+/// or ship whole trajectories with the same length-prefixed accounting as
+/// any other sequence payload.
+impl taskframe::Payload for Trajectory {
+    fn wire_bytes(&self) -> u64 {
+        taskframe::Payload::wire_bytes(&self.frames)
+    }
+
+    fn item_count(&self) -> u64 {
+        taskframe::Payload::item_count(&self.frames)
+    }
+}
+
 /// Standard normal via Box–Muller (keeps us inside the plain `rand` crate —
 /// `rand_distr` is not in the approved dependency set).
 fn normal(rng: &mut StdRng) -> f32 {

@@ -170,6 +170,18 @@ fn workload_pool() -> Vec<Workload> {
             groups: 2,
             seed: 13,
         },
+        Workload::Rmsd {
+            n_atoms: 24,
+            n_frames: 8,
+            slices: 4,
+            seed: 14,
+        },
+        Workload::Contacts {
+            n_atoms: 24,
+            n_frames: 8,
+            slices: 4,
+            seed: 15,
+        },
     ]
 }
 
@@ -371,8 +383,10 @@ mod tests {
 
     #[test]
     fn battery_passes_and_is_reproducible() {
-        let mut cfg = ServiceChaosConfig::default();
-        cfg.scenarios = 6;
+        let cfg = ServiceChaosConfig {
+            scenarios: 6,
+            ..Default::default()
+        };
         let a = fuzz_service(&cfg);
         assert!(
             a.passed(),

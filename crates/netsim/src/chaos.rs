@@ -1307,7 +1307,7 @@ mod tests {
                 assert!(part.from_s >= 0.0 && part.to_s > part.from_s);
                 assert_eq!(part.groups.len(), 1, "one cut group, driver in remainder");
                 assert!(!part.groups[0].is_empty());
-                assert!(part.groups[0].iter().all(|&n| n >= 1 && n < 3));
+                assert!(part.groups[0].iter().all(|&n| (1..3).contains(&n)));
             }
             // Successive cuts are disjoint by construction.
             for w in p.partitions().windows(2) {

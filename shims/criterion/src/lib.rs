@@ -133,6 +133,9 @@ impl BenchmarkGroup<'_> {
     }
 
     fn run(&mut self, label: String, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        if !filter_matches(&format!("{}/{}", self.name, label)) {
+            return self;
+        }
         let mut bencher = Bencher::new(self.sample_size);
         f(&mut bencher);
         let per_iter = bencher.last_median;
@@ -184,6 +187,22 @@ impl Criterion {
         self.benchmark_group(name.clone()).bench_function("", f);
         self
     }
+}
+
+/// Real criterion treats positional CLI args as substring filters on the
+/// full `group/bench` label and tolerates its own flags (`--quick`,
+/// `--bench`, …); mirror that so `cargo bench -- <filter>` selects
+/// benches here too. Flags and their obvious values are ignored.
+fn filter_matches(full_label: &str) -> bool {
+    use std::sync::OnceLock;
+    static FILTERS: OnceLock<Vec<String>> = OnceLock::new();
+    let filters = FILTERS.get_or_init(|| {
+        std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect()
+    });
+    filters.is_empty() || filters.iter().any(|f| full_label.contains(f.as_str()))
 }
 
 /// Hidden entry point used by [`criterion_main!`].

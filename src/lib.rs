@@ -59,18 +59,20 @@ pub use sparklet as spark;
 pub use taskframe as frame;
 
 /// The most common imports in one place.
+///
+/// The deprecated per-engine free functions (`lf_spark`, `psa_dask`, …)
+/// are intentionally *not* re-exported: [`RunConfig`] +
+/// [`run_lf`]/[`run_psa`]/[`RunConfig::run_analysis`] are the only
+/// supported entry points. The serial references (`lf_serial`,
+/// `psa_serial`) remain — they are oracles, not drivers.
 pub mod prelude {
-    #[allow(deprecated)]
-    pub use crate::analysis::leaflet::{
-        lf_dask, lf_mpi, lf_mpi_with_policy, lf_pilot, lf_serial, lf_spark,
-    };
-    #[allow(deprecated)]
-    pub use crate::analysis::psa::{
-        psa_dask, psa_mpi, psa_mpi_with_policy, psa_pilot, psa_serial, psa_spark,
-    };
+    pub use crate::analysis::leaflet::lf_serial;
+    pub use crate::analysis::psa::psa_serial;
     pub use crate::analysis::{
-        lf_frame_value, run_lf, run_lf_stream, run_psa, Engine, EngineKind, LfApproach, LfConfig,
-        LfOutput, LfRun, PsaConfig, PsaOutput, PsaRun, RunConfig, StreamTuning,
+        contacts_analysis, lf_frame_value, rmsd_analysis, run_lf, run_lf_stream, run_psa,
+        run_workload, AnalysisCost, AnalysisFromFunction, AtomSelection, Engine, EngineKind,
+        FrameSeries, Gathered, LfApproach, LfConfig, LfOutput, LfRun, ParallelAnalysis, PsaConfig,
+        PsaOutput, PsaRun, ReduceShape, RunConfig, StreamTuning, Workload, WorkloadRun,
     };
     pub use crate::cluster::{
         check_stream_invariants, comet, laptop, wrangler, ChaosConfig, Cluster, CriticalPath,

@@ -1,0 +1,262 @@
+//! The generic analysis API (this PR's tentpole): a *custom*
+//! [`AnalysisFromFunction`] — one the engines have never seen — must
+//! produce bit-identical per-frame values on every engine, at every
+//! host-parallelism degree, clean or under a node-death + network
+//! partition fault plan. Plus differential oracles for the optimized
+//! kernels: tree/cell-list edge discovery against the brute-force
+//! reference, on arbitrary generated point clouds.
+
+use mdtask::analysis::leaflet::{block_edges, block_edges_tree};
+use mdtask::analysis::partition::Block;
+use mdtask::math::rmsd_superposed;
+use mdtask::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const ENGINES: [Engine; 4] = [Engine::Spark, Engine::Dask, Engine::Pilot, Engine::Mpi];
+const DEGREES: [Threads; 3] = [Threads::Fixed(1), Threads::Fixed(2), Threads::Fixed(8)];
+
+fn trajectory() -> Arc<Trajectory> {
+    let spec = ChainSpec {
+        n_atoms: 30,
+        n_frames: 12,
+        stride: 1,
+        ..ChainSpec::default()
+    };
+    Arc::new(mdtask::sim::chain::generate(&spec, 71))
+}
+
+/// Radius of gyration — a closure none of the built-ins ship, so this
+/// exercises the user-defined path, not a special case.
+fn rgyr(frame: &Frame, sel: &AtomSelection) -> f64 {
+    let pts = sel.gather(frame);
+    let inv = 1.0 / pts.len() as f64;
+    let (mut cx, mut cy, mut cz) = (0.0f64, 0.0f64, 0.0f64);
+    for p in &pts {
+        cx += p.x as f64;
+        cy += p.y as f64;
+        cz += p.z as f64;
+    }
+    (cx, cy, cz) = (cx * inv, cy * inv, cz * inv);
+    let mut acc = 0.0f64;
+    for p in &pts {
+        let (dx, dy, dz) = (p.x as f64 - cx, p.y as f64 - cy, p.z as f64 - cz);
+        acc += dx * dx + dy * dy + dz * dz;
+    }
+    (acc * inv).sqrt()
+}
+
+fn rgyr_analysis(
+    traj: Arc<Trajectory>,
+) -> AnalysisFromFunction<f64, impl Fn(&Frame, &AtomSelection) -> f64> {
+    AnalysisFromFunction::new("rgyr", traj, AtomSelection::Stride(2), 5, rgyr)
+}
+
+/// A node death early enough to land inside even the fastest engine's
+/// run (Dask finishes this workload in ~0.2 virtual seconds) plus a
+/// network partition over the same window, so both recovery mechanisms
+/// — reschedule-after-death and fencing across a cut — are exercised.
+fn death_and_partition() -> FaultPlan {
+    FaultPlan::none()
+        .kill_node(1, 0.05)
+        .partition(vec![vec![1]], 0.1, 0.5)
+}
+
+#[test]
+fn custom_analysis_bit_identical_across_engines_threads_and_faults() {
+    mdtask::cluster::set_deterministic_timing(true);
+    let traj = trajectory();
+    let select = AtomSelection::Stride(2);
+    let reference: Vec<f64> = traj.frames.iter().map(|f| rgyr(f, &select)).collect();
+
+    for engine in ENGINES {
+        for faulty in [false, true] {
+            let mut reports = Vec::new();
+            for threads in DEGREES {
+                let mut cluster = Cluster::new(laptop(), 2);
+                if faulty {
+                    cluster = cluster.with_faults(death_and_partition());
+                }
+                let rc = RunConfig::new(cluster, engine)
+                    .retry_policy(RetryPolicy::new(4).with_detection_delay(0.25))
+                    .threads(threads);
+                let out = rc
+                    .run_analysis(rgyr_analysis(Arc::clone(&traj)))
+                    .unwrap_or_else(|e| panic!("{engine:?} faulty={faulty} {threads}: {e:?}"));
+                // Bitwise f64 equality: per-frame map with a collected
+                // reduce has no floating-point reassociation anywhere.
+                assert_eq!(
+                    out.values, reference,
+                    "{engine:?} faulty={faulty} threads={threads}: values"
+                );
+                assert!(out.report.makespan_s > 0.0);
+                reports.push(out.report);
+            }
+            // Host threads are an execution vehicle, not a semantic knob:
+            // under deterministic timing the full report is identical at
+            // every degree.
+            assert_eq!(
+                reports[0], reports[1],
+                "{engine:?} faulty={faulty}: report 1 vs 2 threads"
+            );
+            assert_eq!(
+                reports[1], reports[2],
+                "{engine:?} faulty={faulty}: report 2 vs 8 threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn faulty_runs_actually_retried() {
+    mdtask::cluster::set_deterministic_timing(true);
+    let traj = trajectory();
+    let reference: Vec<f64> = {
+        let select = AtomSelection::Stride(2);
+        traj.frames.iter().map(|f| rgyr(f, &select)).collect()
+    };
+    // Heavy declared frames (0.5 s each) keep tasks on the wire long
+    // enough to be interrupted mid-flight.
+    let heavy = AnalysisCost {
+        stream_frame_cost_s: 0.5,
+        ..AnalysisCost::DEFAULT
+    };
+    // One slice per frame: 12 half-second tasks over 2 × 8 cores, so
+    // node 1 demonstrably holds work when the plan strikes.
+    let analysis = |cost| {
+        AnalysisFromFunction::new(
+            "rgyr-heavy",
+            Arc::clone(&traj),
+            AtomSelection::Stride(2),
+            12,
+            rgyr,
+        )
+        .with_cost(cost)
+    };
+    for engine in [Engine::Spark, Engine::Dask] {
+        // Clean run first: the kill must land inside the frame-map task
+        // window, which starts after the engine's startup + broadcast.
+        let rc = RunConfig::new(Cluster::new(laptop(), 2), engine);
+        let clean = rc.run_analysis(analysis(heavy)).unwrap();
+        let bcast_end = clean
+            .report
+            .phases
+            .iter()
+            .find(|p| p.name == "broadcast")
+            .map(|p| p.end_s)
+            .unwrap();
+        let t_kill = 0.5 * (bcast_end + clean.report.makespan_s);
+        let plan = FaultPlan::none().kill_node(1, t_kill).partition(
+            vec![vec![1]],
+            t_kill + 0.05,
+            t_kill + 0.6,
+        );
+        let rc = RunConfig::new(Cluster::new(laptop(), 2).with_faults(plan), engine)
+            .retry_policy(RetryPolicy::new(4).with_detection_delay(0.25));
+        let out = rc.run_analysis(analysis(heavy)).unwrap();
+        assert!(
+            out.report.retries > 0,
+            "{engine:?}: the plan must actually bite, got {} retries",
+            out.report.retries
+        );
+        assert_eq!(out.values, reference, "{engine:?}: recovery is exact");
+    }
+}
+
+#[test]
+fn builtin_rmsd_matches_direct_kernel_and_contacts_matches_brute_force() {
+    mdtask::cluster::set_deterministic_timing(true);
+    let traj = trajectory();
+
+    let rc = RunConfig::new(Cluster::new(laptop(), 2), Engine::Spark);
+    let out = rc
+        .run_analysis(rmsd_analysis(Arc::clone(&traj), AtomSelection::All, 0, 4))
+        .unwrap();
+    assert_eq!(out.values.len(), traj.frames.len());
+    assert_eq!(out.values[0], 0.0, "self-RMSD of the reference frame");
+    let reference = &traj.frames[0];
+    for (i, frame) in traj.frames.iter().enumerate() {
+        assert_eq!(
+            out.values[i],
+            rmsd_superposed(frame, reference),
+            "frame {i}"
+        );
+    }
+
+    let cutoff = 5.0f32;
+    let out = rc
+        .run_analysis(contacts_analysis(
+            Arc::clone(&traj),
+            AtomSelection::All,
+            cutoff,
+            4,
+        ))
+        .unwrap();
+    let c2 = cutoff * cutoff;
+    for (i, frame) in traj.frames.iter().enumerate() {
+        let pts = frame.positions();
+        let mut brute = 0u64;
+        for a in 0..pts.len() {
+            for b in (a + 1)..pts.len() {
+                if pts[a].dist2(pts[b]) <= c2 {
+                    brute += 1;
+                }
+            }
+        }
+        assert_eq!(out.values[i], brute, "frame {i} contact count");
+    }
+}
+
+/// Sorted canonical form: the kernels may emit edges in any order.
+fn canon(mut edges: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    for e in edges.iter_mut() {
+        if e.0 > e.1 {
+            *e = (e.1, e.0);
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+fn points_from(raw: &[(f32, f32, f32)]) -> Vec<Vec3> {
+    raw.iter().map(|&(x, y, z)| Vec3::new(x, y, z)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tree-based edge discovery (Approach 4's kernel) finds exactly the
+    /// brute-force edge set on a diagonal block of arbitrary points.
+    #[test]
+    fn tree_edges_match_brute_force_diagonal(
+        raw in prop::collection::vec((0.0f32..18.0, 0.0f32..18.0, 0.0f32..18.0), 2..80),
+        cutoff in 1.0f32..6.0,
+    ) {
+        let pts = points_from(&raw);
+        let n = pts.len() as u32;
+        let b = Block { row: (0, n), col: (0, n) };
+        prop_assert_eq!(
+            canon(block_edges_tree(&pts, b, cutoff)),
+            canon(block_edges(&pts, b, cutoff))
+        );
+    }
+
+    /// Same oracle on off-diagonal blocks — the rectangular case the 2-D
+    /// partitioning actually dispatches.
+    #[test]
+    fn tree_edges_match_brute_force_off_diagonal(
+        raw in prop::collection::vec((0.0f32..18.0, 0.0f32..18.0, 0.0f32..18.0), 4..80),
+        cutoff in 1.0f32..6.0,
+        split_num in 1u32..9,
+    ) {
+        let pts = points_from(&raw);
+        let n = pts.len() as u32;
+        let split = (n * split_num / 10).clamp(1, n - 1);
+        let b = Block { row: (0, split), col: (split, n) };
+        prop_assert_eq!(
+            canon(block_edges_tree(&pts, b, cutoff)),
+            canon(block_edges(&pts, b, cutoff))
+        );
+    }
+}

@@ -8,6 +8,8 @@
 //! bytes, retries, phases, trace) is exact, not approximate.
 #![allow(deprecated)]
 
+use mdtask::analysis::leaflet::{lf_dask, lf_mpi, lf_mpi_with_policy, lf_pilot, lf_spark};
+use mdtask::analysis::psa::{psa_dask, psa_mpi, psa_mpi_with_policy, psa_pilot, psa_spark};
 use mdtask::prelude::*;
 use std::sync::Arc;
 
